@@ -1,0 +1,73 @@
+"""E01 — Proposition 3.2: the duplicate-explosion closed forms.
+
+Paper claim: for a bag of k constants with m occurrences each,
+``delta(P(B))`` holds ``m(m+1)^k / 2`` occurrences of each constant and
+``delta(delta(P(P(B))))`` holds ``2^((m+1)^k - 2) (m+1)^k m``.
+
+The benchmark sweeps (k, m), measures the interpreter, and checks the
+formulas exactly; the timed kernel is one delta-P round.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.complexity import (
+    delta2_p2_occurrences, delta_p_occurrences, measure_delta2_p2,
+    measure_delta_p, uniform_bag,
+)
+from repro.core.ops import bag_destroy, powerset
+
+
+def test_e01_delta_p_table(benchmark):
+    rows = []
+    for k, m in [(1, 1), (1, 2), (1, 4), (2, 1), (2, 2), (2, 3),
+                 (3, 1), (3, 2)]:
+        measured = measure_delta_p(uniform_bag(k, m), 1)[0]
+        predicted = delta_p_occurrences(m, k)
+        assert measured.max_multiplicity == predicted
+        rows.append((k, m, measured.max_multiplicity, predicted,
+                     "exact"))
+    emit_table(
+        "e01_delta_p", "E01a  delta(P(B)) duplicate counts "
+        "(paper: m(m+1)^k/2)",
+        ["k", "m", "measured", "closed form", "match"], rows)
+
+    bag = uniform_bag(2, 3)
+    benchmark(lambda: bag_destroy(powerset(bag)))
+
+
+def test_e01_delta2_p2_table(benchmark):
+    rows = []
+    for k, m in [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)]:
+        measured = measure_delta2_p2(uniform_bag(k, m), 1)[0]
+        predicted = delta2_p2_occurrences(m, k)
+        assert measured.max_multiplicity == predicted
+        rows.append((k, m, f"{measured.max_multiplicity:,}",
+                     f"{predicted:,}", "exact"))
+    emit_table(
+        "e01_delta2_p2", "E01b  delta^2(P^2(B)) duplicate counts "
+        "(paper: 2^((m+1)^k-2) (m+1)^k m)",
+        ["k", "m", "measured", "closed form", "match"], rows)
+
+    bag = uniform_bag(1, 2)
+    benchmark(lambda: bag_destroy(bag_destroy(
+        powerset(powerset(bag)))))
+
+
+def test_e01_growth_regimes(benchmark):
+    """The qualitative shape: delta-P grows polynomially after its
+    first (exponential) step; delta^2-P^2 restarts the exponential
+    every round."""
+    series = measure_delta_p(uniform_bag(1, 2), 4)
+    rows = [(step.iteration, f"{step.max_multiplicity:,}")
+            for step in series]
+    emit_table(
+        "e01_regimes", "E01c  (delta P)^i: polynomial growth after "
+        "the first application",
+        ["i", "max multiplicity"], rows)
+    for previous, current in zip(series, series[1:]):
+        # polynomial step: bounded by the square of the previous value
+        assert current.max_multiplicity <= (
+            previous.max_multiplicity + 1) ** 2
+
+    benchmark(lambda: measure_delta_p(uniform_bag(1, 2), 3))

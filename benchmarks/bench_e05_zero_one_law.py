@@ -1,0 +1,78 @@
+"""E05 — Example 4.2 and the failure of the 0-1 law.
+
+Paper claims: the BALG^1-definable property ``card(R) > card(S)`` has
+asymptotic probability 1/2 (via [FGT93]); constant-free relational
+properties have probability 0 or 1.  The benchmark estimates mu_n for
+both by Monte-Carlo over growing domains — the BALG^1 series hugs 1/2
+while the relational controls pin to the extremes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.complexity import probability_series, random_unary_relation
+from repro.core.derived import card_greater_expr, is_nonempty
+from repro.core.eval import evaluate
+from repro.core.expr import var
+
+SIZES = [4, 8, 16, 32, 64]
+TRIALS = 400
+
+
+def _algebra_bigger(r, s) -> bool:
+    return is_nonempty(evaluate(card_greater_expr(var("R"), var("S")),
+                                R=r, S=s))
+
+
+def test_e05_cardinality_probability(benchmark):
+    series = probability_series(
+        lambda r, s: r.cardinality > s.cardinality,
+        [random_unary_relation, random_unary_relation],
+        sizes=SIZES, trials=TRIALS, seed=5)
+    rows = [(estimate.n, f"{estimate.probability:.3f}",
+             f"{estimate.standard_error:.3f}", "1/2")
+            for estimate in series]
+    emit_table(
+        "e05_half",
+        "E05a  mu_n(card R > card S): converges to 1/2 — no 0-1 law "
+        "for BALG^1",
+        ["n", "estimate", "std err", "paper limit"], rows)
+    # convergence: the largest sizes sit near 1/2
+    for estimate in series[-2:]:
+        assert abs(estimate.probability - 0.5) < 0.12
+
+    # the algebra query itself agrees with the native comparison
+    import random as _random
+    rng = _random.Random(99)
+    for _ in range(10):
+        r = random_unary_relation(12, rng)
+        s = random_unary_relation(12, rng)
+        assert _algebra_bigger(r, s) == (r.cardinality > s.cardinality)
+
+    rng2 = _random.Random(1)
+    r = random_unary_relation(16, rng2)
+    s = random_unary_relation(16, rng2)
+    benchmark(lambda: _algebra_bigger(r, s))
+
+
+def test_e05_relational_controls(benchmark):
+    # two constant-free relational properties: tails at 1 and 0
+    nonempty = probability_series(
+        lambda r: not r.is_empty(), [random_unary_relation],
+        sizes=SIZES, trials=TRIALS, seed=6)
+    full = probability_series(
+        lambda r: r.cardinality == 0, [random_unary_relation],
+        sizes=SIZES, trials=TRIALS, seed=7)
+    rows = [(size, f"{one.probability:.3f}", f"{zero.probability:.3f}")
+            for size, one, zero in zip(SIZES, nonempty, full)]
+    emit_table(
+        "e05_zero_one",
+        "E05b  relational controls obey the 0-1 law "
+        "(mu_n -> 1 and mu_n -> 0)",
+        ["n", "mu(R nonempty)", "mu(R empty)"], rows)
+    assert nonempty[-1].probability == 1.0
+    assert full[-1].probability == 0.0
+
+    benchmark(lambda: probability_series(
+        lambda r: not r.is_empty(), [random_unary_relation],
+        sizes=[16], trials=50, seed=8))

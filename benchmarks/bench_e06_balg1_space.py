@@ -1,0 +1,65 @@
+"""E06 — Theorem 4.4: BALG^1 is in LOGSPACE.
+
+The proof's invariant: during the evaluation of a BALG^1 query, the
+multiplicity of every tuple in every intermediate bag is polynomial in
+the input size, so its counter needs O(log n) bits.  The benchmark
+sweeps input sizes over a BALG^1 query battery, records the peak
+multiplicity and its bit length, and fits the polynomial degree — the
+log-log slope must stay bounded (and the counter bits logarithmic).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit_table
+from repro.complexity import fit_power_law, profile_sweep
+from repro.core.bag import Bag, Tup
+from repro.core.derived import (
+    card_greater_expr, hartig_expr, parity_even_expr, project_expr,
+)
+from repro.core.expr import Cartesian, var
+
+SIZES = [4, 8, 16, 32]
+
+
+def _database(n: int):
+    return {"R": Bag([Tup(i) for i in range(n)]),
+            "S": Bag([Tup(-i - 1) for i in range(max(1, n // 2))])}
+
+
+QUERIES = {
+    "card(R) > card(S)": lambda n: card_greater_expr(var("R"),
+                                                     var("S")),
+    "Hartig(R, S)": lambda n: hartig_expr(var("R"), var("S")),
+    "parity(R)": lambda n: parity_even_expr(var("R")),
+    "pi1(R x R x S)": lambda n: project_expr(
+        Cartesian(Cartesian(var("R"), var("R")), var("S")), 1),
+}
+
+
+def test_e06_polynomial_multiplicities(benchmark):
+    rows = []
+    for name, make_query in QUERIES.items():
+        profile = profile_sweep(make_query, _database, SIZES)
+        slope = fit_power_law(profile)
+        biggest = profile[-1]
+        counter_vs_log = biggest.counter_bits / max(
+            1.0, math.log2(biggest.input_size))
+        # Theorem 4.4's invariant: polynomial growth, low degree
+        assert slope < 4.0, name
+        rows.append((name, f"{slope:.2f}",
+                     f"{biggest.peak_multiplicity:,}",
+                     biggest.counter_bits,
+                     f"{counter_vs_log:.1f} x log2(n)"))
+    emit_table(
+        "e06_logspace",
+        "E06  Theorem 4.4: peak multiplicities of BALG^1 queries are "
+        "polynomial (counters fit in O(log n) bits)",
+        ["query", "log-log slope", "peak mult @ n=32",
+         "counter bits", "bits vs log"], rows)
+
+    database = _database(16)
+    query = card_greater_expr(var("R"), var("S"))
+    from repro.core.eval import Evaluator
+    benchmark(lambda: Evaluator().run(query, database))

@@ -1,0 +1,104 @@
+"""E09 — Figure 1 + Theorem 5.2 / Lemma 5.4: the RALG^2 < BALG^2
+separation.
+
+For each n we (i) build the In_n/Out_n families and check the
+probabilistic property (1), (ii) verify the BALG^2 in-degree query
+separates G from G', and (iii) solve the GV90 game exactly: the
+duplicator wins with k moves (so no k-variable CALC1 = RALG^2 sentence
+separates the graphs).  Together these are the two halves of the
+theorem, at the finite sizes the construction prescribes (n > 2k).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.core.derived import in_degree_greater_expr, is_nonempty
+from repro.core.eval import evaluate
+from repro.core.expr import var
+from repro.core.types import U
+from repro.games import (
+    SET_OF_ATOMS, build_star_graphs, duplicator_wins, edge_bag,
+    in_out_families, satisfies_property_one,
+)
+
+
+def test_e09_property_one(benchmark):
+    rows = []
+    for n in (4, 6, 8, 10, 12):
+        ins, outs = in_out_families(n)
+        ok = (satisfies_property_one(ins, n)
+              and satisfies_property_one(outs, n))
+        assert ok
+        rows.append((n, len(ins), len(outs), n // 2, ok))
+    emit_table(
+        "e09_families",
+        "E09a  In_n / Out_n families: property (1) — every atom in "
+        "half the sets",
+        ["n", "|In|", "|Out|", "set size", "property (1)"], rows)
+
+    benchmark(lambda: in_out_families(12))
+
+
+def test_e09_balg2_separates(benchmark):
+    rows = []
+    for n in (4, 6, 8):
+        pair = build_star_graphs(n)
+        query = in_degree_greater_expr(var("G"), pair.center)
+        on_g = is_nonempty(evaluate(query, G=edge_bag(pair.balanced)))
+        on_gp = is_nonempty(evaluate(query,
+                                     G=edge_bag(pair.unbalanced)))
+        assert (on_g, on_gp) == (False, True)
+        rows.append((n, on_g, on_gp, "separated"))
+    emit_table(
+        "e09_balg2",
+        "E09b  the BALG^2 query 'in-degree(alpha) > out-degree' on "
+        "(G, G')",
+        ["n", "holds on G", "holds on G'", "status"], rows)
+
+    pair = build_star_graphs(8)
+    query = in_degree_greater_expr(var("G"), pair.center)
+    bag = edge_bag(pair.unbalanced)
+    benchmark(lambda: evaluate(query, G=bag))
+
+
+def test_e09_duplicator_wins_one_move(benchmark):
+    rows = []
+    for n in (4, 6, 8):
+        pair = build_star_graphs(n)
+        game = duplicator_wins(pair.balanced, pair.unbalanced,
+                               [U, SET_OF_ATOMS], 1)
+        assert game.duplicator_wins
+        rows.append((n, 1, game.duplicator_wins,
+                     game.positions_explored))
+    emit_table(
+        "e09_game_k1",
+        "E09c  GV90 game, k=1: duplicator wins on every (G, G') pair "
+        "(no 1-variable RALG^2 separation)",
+        ["n", "k", "duplicator wins", "positions"], rows)
+
+    pair = build_star_graphs(6)
+    benchmark(lambda: duplicator_wins(pair.balanced, pair.unbalanced,
+                                      [U, SET_OF_ATOMS], 1))
+
+
+@pytest.mark.slow
+def test_e09_duplicator_wins_two_moves(benchmark):
+    rows = []
+    for n in (4, 6):
+        pair = build_star_graphs(n)
+        game = duplicator_wins(pair.balanced, pair.unbalanced,
+                               [U, SET_OF_ATOMS], 2)
+        assert game.duplicator_wins
+        rows.append((n, 2, game.duplicator_wins,
+                     game.positions_explored))
+    emit_table(
+        "e09_game_k2",
+        "E09d  GV90 game, k=2: duplicator still wins "
+        "(exact minimax search)",
+        ["n", "k", "duplicator wins", "positions"], rows)
+
+    pair = build_star_graphs(4)
+    benchmark(lambda: duplicator_wins(pair.balanced, pair.unbalanced,
+                                      [U, SET_OF_ATOMS], 2))

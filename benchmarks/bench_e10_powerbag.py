@@ -1,0 +1,80 @@
+"""E10 — Definition 5.1: powerset vs powerbag.
+
+Paper numbers: on a bag of n occurrences of one constant the powerset
+has cardinality n+1 while the powerbag has 2^n; the worked example
+``Pb([[a,a]]) = [[{{}}, {{a}}, {{a}}, {{a,a}}]]``.  The benchmark
+sweeps n, checks both cardinalities and the binomial multiplicities,
+and times the two operators against each other.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from benchmarks.conftest import emit_table
+from repro.core.bag import Bag, EMPTY_BAG
+from repro.core.ops import (
+    powerbag, powerbag_multiplicity, powerset, powerset_cardinality,
+)
+
+
+def test_e10_cardinalities(benchmark):
+    rows = []
+    for n in range(0, 13, 2):
+        bag = Bag.from_counts({"a": n}) if n else EMPTY_BAG
+        p_card = powerset(bag).cardinality
+        pb_card = powerbag(bag).cardinality
+        assert p_card == n + 1
+        assert pb_card == 2 ** n
+        rows.append((n, p_card, f"{pb_card:,}", n + 1,
+                     f"{2 ** n:,}"))
+    emit_table(
+        "e10_cardinalities",
+        "E10a  |P(B^a_n)| = n+1 vs |Pb(B^a_n)| = 2^n (Section 1's "
+        "motivating numbers)",
+        ["n", "|P|", "|Pb|", "paper n+1", "paper 2^n"], rows)
+
+    bag = Bag.from_counts({"a": 12})
+    benchmark(lambda: powerset(bag))
+
+
+def test_e10_worked_example_and_binomials(benchmark):
+    result = powerbag(Bag.of("a", "a"))
+    assert result.multiplicity(EMPTY_BAG) == 1
+    assert result.multiplicity(Bag.of("a")) == 2
+    assert result.multiplicity(Bag.of("a", "a")) == 1
+
+    # multiplicities are products of binomials
+    bag = Bag.from_counts({"a": 4, "b": 3})
+    rows = []
+    for j_a in range(5):
+        for j_b in range(4):
+            sub = Bag.from_counts({"a": j_a, "b": j_b})
+            predicted = comb(4, j_a) * comb(3, j_b)
+            assert powerbag_multiplicity(bag, sub) == predicted
+            rows.append((j_a, j_b, predicted))
+    emit_table(
+        "e10_binomials",
+        "E10b  multiplicity of {a^j1, b^j2} in Pb({a^4, b^3}) = "
+        "C(4,j1) C(3,j2)",
+        ["j_a", "j_b", "multiplicity"], rows)
+
+    benchmark(lambda: powerbag(bag))
+
+
+def test_e10_powerbag_cost_ratio(benchmark):
+    """The tractability argument in one number: the ratio grows as
+    2^n / (n+1)."""
+    rows = []
+    for n in (4, 8, 12):
+        bag = Bag.from_counts({"a": n})
+        ratio = powerbag(bag).cardinality / powerset(bag).cardinality
+        rows.append((n, f"{ratio:,.1f}", f"{2 ** n / (n + 1):,.1f}"))
+    emit_table(
+        "e10_ratio",
+        "E10c  output-size ratio Pb/P on duplicate-heavy bags",
+        ["n", "measured ratio", "2^n/(n+1)"], rows)
+
+    assert powerset_cardinality(Bag.from_counts({"a": 30})) == 31
+    bag = Bag.from_counts({"a": 14})
+    benchmark(lambda: powerbag(bag))

@@ -1,0 +1,91 @@
+"""E12 — Theorems 6.1 / 6.2: the power-nesting hierarchy.
+
+Two measurements:
+
+* the growth asymmetry that drives the hierarchy — (delta P)^i stays
+  single-exponential (polynomial per extra application) while
+  (delta delta P P)^i gains an exponential per i, and (delta Pb)^i
+  does so with no typing escape hatch;
+* the syntactic power nesting of the Theorem 6.1 building blocks
+  (E, D, and the computation-guessing expression), confirming the
+  2i + 2 powerset count the proof of Theorem 6.2 relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit_table
+from repro.complexity import (
+    measure_delta2_p2, measure_delta_p, measure_delta_pb, uniform_bag,
+)
+from repro.core.derived import project_expr
+from repro.core.expr import Cartesian, Const, Powerset, var
+from repro.core.fragments import power_nesting
+from repro.core.bag import Bag, Tup
+
+
+def test_e12_growth_asymmetry(benchmark):
+    rows = []
+    dp = measure_delta_p(uniform_bag(1, 2), 4)
+    for step in dp:
+        rows.append(("(delta P)^i", step.iteration,
+                     f"{step.max_multiplicity:,}",
+                     f"{math.log2(step.max_multiplicity):.1f}"))
+    dpb = measure_delta_pb(uniform_bag(1, 2), 3)
+    for step in dpb:
+        rows.append(("(delta Pb)^i", step.iteration,
+                     f"{step.max_multiplicity:,}",
+                     f"{math.log2(step.max_multiplicity):.1f}"))
+    d2p2 = measure_delta2_p2(uniform_bag(1, 1), 2)
+    for step in d2p2:
+        rows.append(("(d d P P)^i", step.iteration,
+                     f"{step.max_multiplicity:,}",
+                     f"{math.log2(step.max_multiplicity):.1f}"))
+    emit_table(
+        "e12_asymmetry",
+        "E12a  growth regimes: log2(max multiplicity) per iteration "
+        "(poly vs exponential vs hyper)",
+        ["pipeline", "i", "max multiplicity", "log2"], rows)
+
+    # delta-P: log2 grows ~2x per step (squaring = polynomial);
+    # delta-Pb and ddPP: log2 itself grows by the previous value.
+    dp_log = [math.log2(s.max_multiplicity) for s in dp]
+    assert dp_log[-1] / dp_log[-2] < 2.5          # polynomial regime
+    dpb_log = [math.log2(s.max_multiplicity) for s in dpb]
+    assert dpb_log[-1] > 1.9 * dpb_log[-2]        # exponential regime
+
+    benchmark(lambda: measure_delta_p(uniform_bag(1, 2), 3))
+
+
+def test_e12_power_nesting_of_constructions(benchmark):
+    """Theorem 6.2's counting: D(B) = P(E^i(B)) with
+    E(B) = N(P(P(N(B)))) uses 2i + 1 nested powersets; the computation
+    guess adds one more (2i + 2 total)."""
+
+    def normalize(operand):
+        return project_expr(
+            Cartesian(Const(Bag.of(Tup("a"))), operand), 1)
+
+    def doubling(operand):
+        return normalize(Powerset(Powerset(normalize(operand))))
+
+    rows = []
+    for i in (0, 1, 2, 3):
+        core = normalize(var("B"))
+        for _ in range(i):
+            core = doubling(core)
+        domain = Powerset(core)
+        guess = Powerset(domain)   # the final P over the candidates
+        measured = power_nesting(guess)
+        expected = 2 * i + 2
+        assert measured == expected
+        rows.append((i, power_nesting(domain), measured, expected))
+    emit_table(
+        "e12_nesting",
+        "E12b  power nesting of the Theorem 6.1 constructions "
+        "(2i + 2 powersets encode hyper(i)-time)",
+        ["i", "nesting of D", "nesting of guess", "paper 2i+2"], rows)
+
+    benchmark(lambda: power_nesting(
+        Powerset(Powerset(normalize(var("B"))))))

@@ -1,0 +1,106 @@
+"""E15 — Proposition 3.1 and the Section 3 operator identities.
+
+Every derived form must coincide with its primitive on random inputs,
+and the nesting increase the paper points out (derived eps and minus
+climb to BALG^2) is measured statically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit_table
+from repro.core import ops
+from repro.core.bag import Bag, Tup
+from repro.core.derived import (
+    derived_additive_union, derived_dedup, derived_subtraction,
+)
+from repro.core.eval import evaluate
+from repro.core.expr import var
+from repro.core.fragments import max_bag_nesting
+from repro.core.types import BagType, U, flat_bag_type, flat_tuple_type
+
+
+def _random_flat(rng: random.Random, size: int) -> Bag:
+    return Bag([Tup(rng.choice("abc"), rng.choice("xy"))
+                for _ in range(size)])
+
+
+def _random_nested(rng: random.Random, size: int) -> Bag:
+    return Bag([Bag([rng.choice("ab") for _ in
+                     range(rng.randrange(3))])
+                for _ in range(size)])
+
+
+def test_e15_identities_hold(benchmark):
+    rng = random.Random(150)
+    trials = 25
+    checks = {
+        "eps via P (flat tuples)": 0,
+        "eps via P (nested bags)": 0,
+        "minus via P": 0,
+        "(+) via u and tags": 0,
+    }
+    for _ in range(trials):
+        flat = _random_flat(rng, rng.randrange(8))
+        other = _random_flat(rng, rng.randrange(8))
+        nested = _random_nested(rng, rng.randrange(5))
+
+        assert evaluate(derived_dedup(var("B"), flat_tuple_type(2)),
+                        B=flat) == ops.dedup(flat)
+        checks["eps via P (flat tuples)"] += 1
+
+        assert evaluate(derived_dedup(var("B"), BagType(U)),
+                        B=nested) == ops.dedup(nested)
+        checks["eps via P (nested bags)"] += 1
+
+        assert evaluate(derived_subtraction(var("L"), var("R")),
+                        L=flat, R=other) == ops.subtraction(flat, other)
+        checks["minus via P"] += 1
+
+        assert evaluate(derived_additive_union(var("L"), var("R"), 2),
+                        L=flat, R=other) == ops.additive_union(flat,
+                                                               other)
+        checks["(+) via u and tags"] += 1
+
+    emit_table(
+        "e15_identities",
+        f"E15a  derived-operator identities on {trials} random inputs",
+        ["identity", "random inputs verified"],
+        list(checks.items()))
+
+    flat = _random_flat(rng, 6)
+    other = _random_flat(rng, 4)
+    benchmark(lambda: evaluate(
+        derived_subtraction(var("L"), var("R")), L=flat, R=other))
+
+
+def test_e15_nesting_increase(benchmark):
+    """Section 4 shows the nesting increase is *essential*: the derived
+    eps and minus use intermediate types one level above their I/O."""
+    rows = [
+        ("eps via P on {{U^2}}",
+         max_bag_nesting(derived_dedup(var("B"), flat_tuple_type(2)),
+                         B=flat_bag_type(2)), 1),
+        ("minus via P on {{U^2}}",
+         max_bag_nesting(derived_subtraction(var("L"), var("R")),
+                         L=flat_bag_type(2), R=flat_bag_type(2)), 1),
+        ("(+) via u on {{U^2}}",
+         max_bag_nesting(
+             derived_additive_union(var("L"), var("R"), 2),
+             L=flat_bag_type(2), R=flat_bag_type(2)), 1),
+    ]
+    table = [(name, nesting, io) for name, nesting, io in rows]
+    emit_table(
+        "e15_nesting",
+        "E15b  intermediate bag nesting of the derived forms "
+        "(eps and minus must leave BALG^1; the tagging identity "
+        "stays flat)",
+        ["derived form", "intermediate nesting", "I/O nesting"], table)
+    assert rows[0][1] == 2   # eps detours through nesting 2
+    assert rows[1][1] == 2   # minus likewise
+    assert rows[2][1] == 1   # additive union stays flat
+
+    benchmark(lambda: max_bag_nesting(
+        derived_dedup(var("B"), flat_tuple_type(2)),
+        B=flat_bag_type(2)))

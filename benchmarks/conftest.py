@@ -1,0 +1,40 @@
+"""Shared reporting helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure-equivalent of the paper
+(see DESIGN.md's experiment index).  Besides the pytest-benchmark
+timing, each experiment *prints* its rows and persists them under
+``benchmarks/results/`` so the paper-vs-measured comparison of
+EXPERIMENTS.md can be re-derived at any time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, title: str, headers: Sequence[str],
+               rows: Iterable[Sequence]) -> str:
+    """Format an experiment table, print it, and persist it."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [max(len(str(header)), *(len(row[i]) for row in rows))
+              if rows else len(str(header))
+              for i, header in enumerate(headers)]
+    lines = [title]
+    lines.append("  ".join(str(header).ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    text = "\n".join(lines)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return text

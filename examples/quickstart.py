@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: build bags, run algebra queries, check fragments.
+
+Covers in five minutes what Sections 2-3 of the paper set up: the
+value model (atoms, tuples, bags), the operators, the expression AST,
+evaluation, and the fragment hierarchy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Bag, Tup, Powerset, evaluate, fragment_report, var,
+)
+from repro.core import ops
+from repro.core.derived import (
+    card_greater_expr, is_nonempty, project_expr, select_attr_eq_const,
+)
+from repro.core.types import flat_bag_type
+from repro.surface import parse, to_text
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Values: bags count duplicates; tuples and bags nest freely.
+    # ------------------------------------------------------------------
+    orders = Bag([
+        Tup("ann", "book"), Tup("ann", "book"), Tup("bob", "pen"),
+    ])
+    print("orders bag:              ", orders)
+    print("multiplicity of ann/book:", orders.multiplicity(
+        Tup("ann", "book")))
+    print("cardinality (with dups): ", orders.cardinality)
+
+    # ------------------------------------------------------------------
+    # Operators: the Section 3 inventory as plain functions.
+    # ------------------------------------------------------------------
+    doubled = ops.additive_union(orders, orders)
+    print("\nB (+) B:                 ", doubled)
+    print("eps(B):                  ", ops.dedup(orders))
+    print("P(two copies of one tup):",
+          ops.powerset(Bag.from_counts({Tup("x"): 2})))
+
+    # ------------------------------------------------------------------
+    # Expressions: build ASTs (or parse them) and evaluate.
+    # ------------------------------------------------------------------
+    ann_items = project_expr(
+        select_attr_eq_const(var("orders"), 1, "ann"), 2)
+    print("\nquery:", to_text(ann_items))
+    print("ann's items:", evaluate(ann_items, orders=orders))
+
+    same_query = parse("pi[2](sigma[t: alpha1(t) = 'ann'](orders))")
+    assert evaluate(same_query, orders=orders) == evaluate(
+        ann_items, orders=orders)
+
+    # ------------------------------------------------------------------
+    # Counting power (Example 4.2): |R| > |S| is one subtraction away.
+    # ------------------------------------------------------------------
+    R = Bag([Tup(i) for i in range(5)])
+    S = Bag([Tup(i + 100) for i in range(3)])
+    bigger = card_greater_expr(var("R"), var("S"))
+    print("\n|R| > |S|?", is_nonempty(evaluate(bigger, R=R, S=S)))
+
+    # ------------------------------------------------------------------
+    # Fragments: where does a query sit in the BALG^k hierarchy?
+    # ------------------------------------------------------------------
+    report = fragment_report(bigger, R=flat_bag_type(1),
+                             S=flat_bag_type(1))
+    print("fragment of the cardinality query:", report.fragment_name(),
+          "(BALG^1 => LOGSPACE data complexity, Theorem 4.4)")
+
+    nested = fragment_report(Powerset(var("R")), R=flat_bag_type(1))
+    print("fragment of P(R):                 ", nested.fragment_name(),
+          "(one powerset => BALG^2, PSPACE, Theorem 5.1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""SQL is a bag language — the introduction's motivation, executable.
+
+A small order-management workload runs through the mini SQL front end,
+which compiles every query to a BALG expression.  The demo highlights
+the places where bag semantics and set semantics genuinely diverge
+(ALL vs DISTINCT, UNION ALL, EXCEPT ALL, COUNT), and shows that the
+whole dialect lands in BALG^1 — the fragment Theorem 4.4 puts in
+LOGSPACE.  That is the paper's tractability message in SQL clothes.
+
+Run:  python examples/sql_on_bags.py
+"""
+
+from repro.core.bag import Bag, Tup
+from repro.core.fragments import fragment_report
+from repro.core.types import flat_bag_type
+from repro.sql import Catalog, compile_sql, run_sql
+from repro.surface import to_text
+
+
+def main() -> None:
+    catalog = Catalog({
+        "orders": ("customer", "item"),
+        "returns": ("customer", "item"),
+        "vip": ("customer",),
+    })
+    database = {
+        "orders": Bag([
+            Tup("ann", "book"), Tup("ann", "book"), Tup("ann", "ink"),
+            Tup("bob", "pen"), Tup("bob", "pen"), Tup("cid", "book"),
+        ]),
+        "returns": Bag([Tup("ann", "book"), Tup("bob", "pen")]),
+        "vip": Bag([Tup("ann"), Tup("cid")]),
+    }
+
+    def show(sql: str) -> None:
+        rows = run_sql(sql, catalog, database)
+        print(f"  {sql}\n    -> {rows}")
+
+    print("bag semantics vs set semantics, in SQL:")
+    show("SELECT item FROM orders WHERE customer = 'ann'")
+    show("SELECT DISTINCT item FROM orders WHERE customer = 'ann'")
+
+    print("\nduplicate-sensitive set operations:")
+    show("SELECT customer FROM orders UNION ALL SELECT customer FROM vip")
+    show("SELECT customer FROM orders UNION SELECT customer FROM vip")
+    # EXCEPT ALL is the paper's monus: 2 books bought, 1 returned.
+    show("SELECT customer, item FROM orders EXCEPT ALL "
+         "SELECT customer, item FROM returns")
+    show("SELECT customer, item FROM orders INTERSECT ALL "
+         "SELECT customer, item FROM returns")
+
+    print("\naggregation (COUNT is duplicate-sensitive):")
+    show("SELECT COUNT(*) FROM orders")
+    show("SELECT COUNT(*) FROM orders WHERE item = 'book'")
+
+    print("\njoins compile to product + selection:")
+    sql = ("SELECT orders.item FROM orders, vip "
+           "WHERE orders.customer = vip.customer")
+    show(sql)
+    compiled = compile_sql(sql, catalog)
+    print("\n  compiled algebra:", to_text(compiled.expr))
+
+    schema = {"orders": flat_bag_type(2), "returns": flat_bag_type(2),
+              "vip": flat_bag_type(1)}
+    report = fragment_report(compiled.expr, schema)
+    print("  fragment:", report.fragment_name(),
+          "-> the dialect lives in BALG^1: LOGSPACE data complexity")
+    print("     (Theorem 4.4 — bags without nesting stay tractable).")
+
+
+if __name__ == "__main__":
+    main()

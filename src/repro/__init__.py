@@ -1,0 +1,51 @@
+"""repro — a full reproduction of Grumbach & Milo, *Towards Tractable
+Algebras for Bags* (PODS 1993 / JCSS 52:570-588, 1996).
+
+The package implements the nested-bag algebra BALG, its fragments
+BALG^1 / BALG^2 / BALG^3, the powerbag variant, the nested relational
+algebra and CALC1 baselines, the GV90 pebble games, the arithmetic and
+Turing-machine encodings of Sections 5-6, and an experiment harness
+that re-derives every quantitative claim of the paper.
+
+Quickstart::
+
+    from repro import Bag, Tup, var, evaluate
+    from repro.core.derived import card_greater_expr, is_nonempty
+
+    R = Bag.of(Tup(1), Tup(2), Tup(3))
+    S = Bag.of(Tup(4), Tup(5))
+    query = card_greater_expr(var("R"), var("S"))
+    assert is_nonempty(evaluate(query, R=R, S=S))   # |R| > |S|
+"""
+
+from repro.core import (
+    Bag, Tup, EMPTY_BAG,
+    AtomType, BagType, TupleType, Type, U, UNKNOWN,
+    flat_bag_type, flat_tuple_type, parse_type, type_of,
+    AdditiveUnion, Attribute, BagDestroy, Bagging, Cartesian, Const,
+    Dedup, EMPTY, Expr, Intersection, Lam, Map, MaxUnion, Powerbag,
+    Powerset, Select, Subtraction, Tupling, Var, const, var,
+    EvalStats, Evaluator, evaluate,
+    TypeChecker, infer_type,
+    FragmentReport, assert_in_balg, fragment_report, in_balg,
+    max_bag_nesting, power_nesting,
+    Instance, Schema, encoding_size,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bag", "Tup", "EMPTY_BAG",
+    "AtomType", "BagType", "TupleType", "Type", "U", "UNKNOWN",
+    "flat_bag_type", "flat_tuple_type", "parse_type", "type_of",
+    "AdditiveUnion", "Attribute", "BagDestroy", "Bagging", "Cartesian",
+    "Const", "Dedup", "EMPTY", "Expr", "Intersection", "Lam", "Map",
+    "MaxUnion", "Powerbag", "Powerset", "Select", "Subtraction",
+    "Tupling", "Var", "const", "var",
+    "EvalStats", "Evaluator", "evaluate",
+    "TypeChecker", "infer_type",
+    "FragmentReport", "assert_in_balg", "fragment_report", "in_balg",
+    "max_bag_nesting", "power_nesting",
+    "Instance", "Schema", "encoding_size",
+    "__version__",
+]

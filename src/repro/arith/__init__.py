@@ -1,0 +1,20 @@
+"""Bounded arithmetic and its compilation to the bag algebra
+(Definition 5.2, Lemmas 5.6-5.7, Theorem 5.5)."""
+
+from repro.arith.formulas import (
+    NAnd, NConst, NEq, NExists, NForall, NFormula, NLe, NNot, NOr,
+    NTerm, NVar, Plus, Times, eval_formula, eval_term,
+)
+from repro.arith.translate import (
+    CompiledFormula, INT_ATOM, bag_int, compile_formula, domain_bound,
+    domain_expr, doubling_expr, input_bag, int_bag,
+)
+
+__all__ = [
+    "NAnd", "NConst", "NEq", "NExists", "NForall", "NFormula", "NLe",
+    "NNot", "NOr", "NTerm", "NVar", "Plus", "Times", "eval_formula",
+    "eval_term",
+    "CompiledFormula", "INT_ATOM", "bag_int", "compile_formula",
+    "domain_bound", "domain_expr", "doubling_expr", "input_bag",
+    "int_bag",
+]

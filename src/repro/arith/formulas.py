@@ -1,0 +1,222 @@
+"""Bounded-quantifier arithmetic formulas (Definition 5.2, Lemma 5.6).
+
+Theorem 5.5 goes through arithmetic: machine computations are encoded
+as integers, acceptance becomes an arithmetic sentence, and bounded
+quantification keeps everything finite.  This module provides the
+formula language — terms over (N, +, x, =) and formulas with bounded
+quantifiers — together with its direct evaluator, the ground truth the
+algebraic translation of Lemma 5.7 is tested against.
+
+A formula ``phi(x)`` *restricted by* ``f`` is evaluated with every
+quantifier ranging over ``{0, ..., f(n)}`` (inclusive; the powerset of
+a bag of size ``f(n)`` yields exactly the sizes 0..f(n), so this
+matches the algebra side).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.errors import BagTypeError
+
+__all__ = [
+    "NTerm", "NVar", "NConst", "Plus", "Times",
+    "NFormula", "NEq", "NLe", "NAnd", "NOr", "NNot", "NExists",
+    "NForall", "eval_term", "eval_formula",
+]
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+class NTerm:
+    """A term over the natural numbers with + and x."""
+
+    def free_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+
+class NVar(NTerm):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self):
+        return self.name
+
+
+class NConst(NTerm):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if value < 0:
+            raise BagTypeError("arithmetic constants are naturals")
+        self.value = value
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self):
+        return str(self.value)
+
+
+class _BinTerm(NTerm):
+    symbol = "?"
+
+    def __init__(self, left: NTerm, right: NTerm):
+        self.left, self.right = left, right
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Plus(_BinTerm):
+    symbol = "+"
+
+
+class Times(_BinTerm):
+    symbol = "×"
+
+
+def eval_term(term: NTerm, env: Dict[str, int]) -> int:
+    if isinstance(term, NVar):
+        if term.name not in env:
+            raise BagTypeError(f"unbound arithmetic variable "
+                               f"{term.name!r}")
+        return env[term.name]
+    if isinstance(term, NConst):
+        return term.value
+    if isinstance(term, Plus):
+        return eval_term(term.left, env) + eval_term(term.right, env)
+    if isinstance(term, Times):
+        return eval_term(term.left, env) * eval_term(term.right, env)
+    raise BagTypeError(f"unknown term {term!r}")
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+
+class NFormula:
+    """A formula over (N, +, x, =) with bounded quantification."""
+
+    def free_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+
+class NEq(NFormula):
+    def __init__(self, left: NTerm, right: NTerm):
+        self.left, self.right = left, right
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self):
+        return f"({self.left!r} = {self.right!r})"
+
+
+class NLe(NFormula):
+    """``t1 <= t2``; expressible via + and = (exists d: t1 + d = t2)
+    but provided primitively for convenience."""
+
+    def __init__(self, left: NTerm, right: NTerm):
+        self.left, self.right = left, right
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self):
+        return f"({self.left!r} <= {self.right!r})"
+
+
+class _BinFormula(NFormula):
+    symbol = "?"
+
+    def __init__(self, left: NFormula, right: NFormula):
+        self.left, self.right = left, right
+
+    def free_vars(self):
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class NAnd(_BinFormula):
+    symbol = "∧"
+
+
+class NOr(_BinFormula):
+    symbol = "∨"
+
+
+class NNot(NFormula):
+    def __init__(self, body: NFormula):
+        self.body = body
+
+    def free_vars(self):
+        return self.body.free_vars()
+
+    def __repr__(self):
+        return f"¬{self.body!r}"
+
+
+class _Quantified(NFormula):
+    symbol = "?"
+
+    def __init__(self, name: str, body: NFormula):
+        self.name = name
+        self.body = body
+
+    def free_vars(self):
+        return self.body.free_vars() - {self.name}
+
+    def __repr__(self):
+        return f"{self.symbol}{self.name}<f.{self.body!r}"
+
+
+class NExists(_Quantified):
+    symbol = "∃"
+
+
+class NForall(_Quantified):
+    symbol = "∀"
+
+
+def eval_formula(formula: NFormula, bound: int,
+                 env: Dict[str, int]) -> bool:
+    """Evaluate under the bounded semantics: quantifiers range over
+    ``{0, ..., bound}``."""
+    if isinstance(formula, NEq):
+        return eval_term(formula.left, env) == eval_term(formula.right,
+                                                         env)
+    if isinstance(formula, NLe):
+        return eval_term(formula.left, env) <= eval_term(formula.right,
+                                                         env)
+    if isinstance(formula, NAnd):
+        return (eval_formula(formula.left, bound, env)
+                and eval_formula(formula.right, bound, env))
+    if isinstance(formula, NOr):
+        return (eval_formula(formula.left, bound, env)
+                or eval_formula(formula.right, bound, env))
+    if isinstance(formula, NNot):
+        return not eval_formula(formula.body, bound, env)
+    if isinstance(formula, NExists):
+        return any(
+            eval_formula(formula.body, bound,
+                         {**env, formula.name: value})
+            for value in range(bound + 1))
+    if isinstance(formula, NForall):
+        return all(
+            eval_formula(formula.body, bound,
+                         {**env, formula.name: value})
+            for value in range(bound + 1))
+    raise BagTypeError(f"unknown formula {formula!r}")

@@ -1,0 +1,310 @@
+"""Lemma 5.7: compiling bounded arithmetic into BALG^2 (+ powerbag).
+
+The translation simulates integers by bags (an integer ``i`` is a bag
+of ``i`` copies of the 1-tuple ``[a]``), addition by additive union,
+multiplication by Cartesian product (+ projection), and bounded
+quantification by nested bags: the quantifier domain is the powerset
+of a bag of size ``f(n)``, whose subbags are exactly the integers
+``0..f(n)``.
+
+The domain bag ``D(b_n) = P(E^i(b_n))`` uses the doubling expression
+``E``: with the powerbag, ``E(X) = pi_1([[[a]]] x Pb(X))`` has
+``2^|X|`` elements, so ``i`` nested applications reach ``hyper(i)`` —
+the engine of Theorem 5.5's hyperexponential lower bounds.  (With only
+the powerset, Theorem 6.1 uses ``E(X) = N(P(P(N(X))))`` instead, at one
+more level of nesting.)
+
+The formula compiler is the classical calculus-to-algebra translation
+(conjunction = join, negation = complement against the domain product,
+existential = projection), kept entirely inside the algebra: every
+intermediate is a BALG expression over the input bag variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.bag import Bag, EMPTY_BAG, Tup
+from repro.core.derived import count_expr, project_expr
+from repro.core.errors import BagTypeError
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Bagging, Cartesian, Const, Dedup, Expr,
+    Lam, Map, MaxUnion, Powerbag, Powerset, Select, Subtraction,
+    Tupling, Var,
+)
+from repro.arith.formulas import (
+    NAnd, NConst, NEq, NExists, NForall, NFormula, NLe, NNot, NOr,
+    NTerm, NVar, Plus as NPlus, Times as NTimes,
+)
+
+__all__ = [
+    "INT_ATOM", "int_bag", "bag_int", "input_bag",
+    "doubling_expr", "domain_expr", "domain_bound",
+    "CompiledFormula", "compile_formula",
+]
+
+#: The constant whose copies encode integers (the paper's ``a``).
+INT_ATOM = "a"
+
+
+def int_bag(value: int) -> Bag:
+    """The integer ``value`` as a bag of ``value`` copies of ``[a]``."""
+    if value < 0:
+        raise BagTypeError("only naturals are encodable")
+    return (Bag.from_counts({Tup(INT_ATOM): value}) if value
+            else EMPTY_BAG)
+
+
+def bag_int(bag: Bag) -> int:
+    """Decode an integer bag (its cardinality)."""
+    return bag.cardinality
+
+
+def input_bag(n: int) -> Bag:
+    """The input ``b_n``: n copies of ``[a]``."""
+    return int_bag(n)
+
+
+# ----------------------------------------------------------------------
+# Domains
+# ----------------------------------------------------------------------
+
+def _normalize(operand: Expr) -> Expr:
+    """``N(B) = pi_1([[[a]]] x B)``: |B| copies of ``[a]``."""
+    return project_expr(
+        Cartesian(Const(Bag.of(Tup(INT_ATOM))), operand), 1)
+
+
+def doubling_expr(operand: Expr) -> Expr:
+    """``E(X)``: a bag of ``2^|X|`` copies of ``[a]``, via the
+    powerbag (|Pb(X)| = 2^|X| counting duplicates)."""
+    return count_expr(Powerbag(operand), marker=INT_ATOM)
+
+
+def domain_expr(bag_variable: str, hyper_level: int = 0) -> Expr:
+    """``D(b_n) = P(E^i(N(b_n)))`` wrapped into 1-tuples: the bag of
+    integers ``0 .. f(n)`` where ``f = hyper(hyper_level)``
+    (``f(n) = n`` at level 0)."""
+    if hyper_level < 0:
+        raise BagTypeError("hyper_level must be >= 0")
+    core = _normalize(Var(bag_variable))
+    for _ in range(hyper_level):
+        core = doubling_expr(core)
+    return Map(Lam("·d", Tupling(Var("·d"))), Powerset(core))
+
+
+def domain_bound(n: int, hyper_level: int = 0) -> int:
+    """The quantifier bound the domain realises: ``hyper(i)(n)``."""
+    bound = n
+    for _ in range(hyper_level):
+        bound = 2 ** bound
+    return bound
+
+
+# ----------------------------------------------------------------------
+# Formula compilation
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Rel:
+    """A compiled subformula: a bag of assignment tuples.
+
+    ``columns`` are the (sorted) free variables; each tuple attribute
+    holds the integer-bag assigned to the corresponding variable.  A
+    closed subformula is a unit relation: arity 1 over the dummy tuple
+    ``[a]``, nonempty iff the subformula holds.
+    """
+
+    expr: Expr
+    columns: Tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        return max(len(self.columns), 1)
+
+    def position(self, column: str) -> int:
+        return self.columns.index(column) + 1
+
+
+_UNIT = Const(Bag.of(Tup(INT_ATOM)))
+
+
+@dataclass
+class CompiledFormula:
+    """The output of :func:`compile_formula`.
+
+    ``expr`` is a BALG expression over the input bag variable; the
+    formula holds iff the expression evaluates to a nonempty bag.
+    """
+
+    expr: Expr
+    input_var: str
+    bag_var: str
+    hyper_level: int
+
+
+def compile_formula(formula: NFormula, input_var: str = "n",
+                    bag_var: str = "B",
+                    hyper_level: int = 0) -> CompiledFormula:
+    """Translate a bounded arithmetic formula to the algebra.
+
+    Free variables other than ``input_var`` must be bound by
+    quantifiers; ``input_var`` is interpreted as the size of the input
+    bag (its domain is the singleton ``[[ [b_n] ]]``).
+    """
+    stray = formula.free_vars() - {input_var}
+    if stray:
+        raise BagTypeError(
+            f"formula has unquantified variables: {sorted(stray)}")
+    relation = _compile(formula, input_var, bag_var, hyper_level)
+    return CompiledFormula(expr=relation.expr, input_var=input_var,
+                           bag_var=bag_var, hyper_level=hyper_level)
+
+
+def _domain_rel(column: str, input_var: str, bag_var: str,
+                hyper_level: int) -> _Rel:
+    if column == input_var:
+        return _Rel(Bagging(Tupling(Var(bag_var))), (column,))
+    return _Rel(domain_expr(bag_var, hyper_level), (column,))
+
+
+def _compile(formula: NFormula, input_var: str, bag_var: str,
+             level: int) -> _Rel:
+    if isinstance(formula, (NEq, NLe)):
+        return _compile_atomic(formula, input_var, bag_var, level)
+    if isinstance(formula, NAnd):
+        left = _compile(formula.left, input_var, bag_var, level)
+        right = _compile(formula.right, input_var, bag_var, level)
+        return _join(left, right)
+    if isinstance(formula, NOr):
+        left = _compile(formula.left, input_var, bag_var, level)
+        right = _compile(formula.right, input_var, bag_var, level)
+        target = tuple(sorted(set(left.columns) | set(right.columns)))
+        left = _extend(left, target, input_var, bag_var, level)
+        right = _extend(right, target, input_var, bag_var, level)
+        return _Rel(Dedup(MaxUnion(left.expr, right.expr)), target)
+    if isinstance(formula, NNot):
+        inner = _compile(formula.body, input_var, bag_var, level)
+        full = _full_relation(inner.columns, input_var, bag_var, level)
+        return _Rel(Subtraction(full.expr, inner.expr), inner.columns)
+    if isinstance(formula, NExists):
+        inner = _compile(formula.body, input_var, bag_var, level)
+        if formula.name not in inner.columns:
+            return inner  # vacuous quantification
+        remaining = tuple(col for col in inner.columns
+                          if col != formula.name)
+        return _project(inner, remaining)
+    if isinstance(formula, NForall):
+        rewritten = NNot(NExists(formula.name, NNot(formula.body)))
+        return _compile(rewritten, input_var, bag_var, level)
+    raise BagTypeError(f"unknown formula {formula!r}")
+
+
+def _compile_atomic(formula, input_var: str, bag_var: str,
+                    level: int) -> _Rel:
+    columns = tuple(sorted(formula.free_vars()))
+    if columns:
+        base = _full_relation(columns, input_var, bag_var, level)
+    else:
+        base = _Rel(_UNIT, ())
+    rel = _Rel(base.expr, columns)
+    left_term = _term_expr(formula.left, rel)
+    right_term = _term_expr(formula.right, rel)
+    if isinstance(formula, NEq):
+        selected = Select(Lam("·w", left_term), Lam("·w", right_term),
+                          rel.expr)
+    else:  # NLe: t1 <= t2  iff  t1 - t2 is empty
+        selected = Select(
+            Lam("·w", Subtraction(left_term, right_term)),
+            Lam("·w", Const(EMPTY_BAG)),
+            rel.expr)
+    return _Rel(selected, columns)
+
+
+def _term_expr(term: NTerm, rel: _Rel) -> Expr:
+    """An integer-bag expression over the assignment tuple ``·w``."""
+    if isinstance(term, NVar):
+        return Attribute(Var("·w"), rel.position(term.name))
+    if isinstance(term, NConst):
+        return Const(int_bag(term.value))
+    if isinstance(term, NPlus):
+        return AdditiveUnion(_term_expr(term.left, rel),
+                             _term_expr(term.right, rel))
+    if isinstance(term, NTimes):
+        return project_expr(Cartesian(_term_expr(term.left, rel),
+                                      _term_expr(term.right, rel)), 1)
+    raise BagTypeError(f"unknown term {term!r}")
+
+
+def _full_relation(columns: Sequence[str], input_var: str,
+                   bag_var: str, level: int) -> _Rel:
+    """The product of the domains of the given columns (sorted), or the
+    unit relation when there are none."""
+    columns = tuple(sorted(columns))
+    if not columns:
+        return _Rel(_UNIT, ())
+    rels = [_domain_rel(col, input_var, bag_var, level)
+            for col in columns]
+    expr = rels[0].expr
+    for rel in rels[1:]:
+        expr = Cartesian(expr, rel.expr)
+    return _Rel(expr, columns)
+
+
+def _join(left: _Rel, right: _Rel) -> _Rel:
+    """Natural join on shared columns, projected to the sorted union."""
+    product = _Rel(Cartesian(left.expr, right.expr),
+                   left.columns + right.columns)
+    # positions: left columns keep theirs, right shift by left.arity
+    expr = product.expr
+    shared = set(left.columns) & set(right.columns)
+    for column in sorted(shared):
+        expr = Select(
+            Lam("·w", Attribute(Var("·w"), left.position(column))),
+            Lam("·w", Attribute(Var("·w"),
+                                left.arity + right.position(column))),
+            expr)
+    target = tuple(sorted(set(left.columns) | set(right.columns)))
+    positions = []
+    for column in target:
+        if column in left.columns:
+            positions.append(left.position(column))
+        else:
+            positions.append(left.arity + right.position(column))
+    if not positions:
+        positions = [1]
+    return _Rel(Dedup(project_expr(expr, *positions)), target)
+
+
+def _extend(rel: _Rel, target: Tuple[str, ...], input_var: str,
+            bag_var: str, level: int) -> _Rel:
+    """Pad a relation with domains for missing columns and reorder to
+    the sorted target."""
+    if rel.columns == target:
+        return rel
+    missing = [col for col in target if col not in rel.columns]
+    expr = rel.expr
+    combined_columns = list(rel.columns)
+    for column in missing:
+        domain = _domain_rel(column, input_var, bag_var, level)
+        expr = Cartesian(expr, domain.expr)
+        combined_columns.append(column)
+    if rel.columns:
+        combined = _Rel(expr, tuple(combined_columns))
+        positions = [combined.position(column) for column in target]
+    else:
+        # A closed (dummy arity-1) relation extended with real columns:
+        # the layout is [dummy, missing...], so the dummy slot at 1 is
+        # dropped and the missing columns start at attribute 2.
+        positions = [2 + missing.index(column) for column in target]
+    return _Rel(Dedup(project_expr(expr, *positions)), target)
+
+
+def _project(rel: _Rel, target: Tuple[str, ...]) -> _Rel:
+    if not target:
+        # Collapse every surviving assignment onto the unit tuple.
+        collapsed = Map(Lam("·w", Tupling(Const(INT_ATOM))), rel.expr)
+        return _Rel(Dedup(collapsed), ())
+    positions = [rel.position(column) for column in target]
+    return _Rel(Dedup(project_expr(rel.expr, *positions)), target)

@@ -1,0 +1,199 @@
+"""An interactive shell for the bag algebra: ``python -m repro``.
+
+The REPL reads surface-syntax expressions (see :mod:`repro.surface`),
+evaluates them against a session environment, and offers a handful of
+commands::
+
+    bag> B = {{['a','b'], ['a','b'], ['b','a']}}
+    bag> pi[1](B)
+    {{['a']*2, ['b']}}
+    bag> :type pi[1](B)
+    {{[U]}}
+    bag> :fragment eps(B) - B
+    BALG^1_0  (result type {{[U, U]}}, ...)
+    bag> :encode pi[1](B)
+    {(sa),(sa),(sb)}
+    bag> :quit
+
+Commands:
+
+``name = expr``       bind the value of ``expr`` to ``name``
+``expr``              evaluate and print
+``:type expr``        infer the type
+``:fragment expr``    fragment report (nesting, power nesting)
+``:optimize expr``    show the rewritten expression
+``:explain expr``     annotated plan tree (types + estimates)
+``:encode expr``      print the Section 2 standard encoding
+``:save name path``   write a binding's standard encoding to a file
+``:load name path``   read a standard encoding from a file
+``:env``              list bindings
+``:quit`` / EOF       leave
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+from repro.core.bag import Bag
+from repro.core.errors import ReproError
+from repro.core.eval import Evaluator
+from repro.core.fragments import fragment_report
+from repro.core.typecheck import TypeChecker
+from repro.core.types import type_of
+from repro.optimizer import Optimizer
+from repro.surface import parse, to_text
+
+__all__ = ["Session", "main"]
+
+_PROMPT = "bag> "
+
+
+class Session:
+    """One REPL session: named bindings plus the command dispatcher."""
+
+    def __init__(self, out: Optional[TextIO] = None):
+        self.bindings: Dict[str, object] = {}
+        self.out = out if out is not None else sys.stdout
+
+    # -- helpers ----------------------------------------------------------
+
+    def _print(self, *parts: object) -> None:
+        print(*parts, file=self.out)
+
+    def _schema(self):
+        return {name: type_of(value)
+                for name, value in self.bindings.items()}
+
+    def evaluate_text(self, text: str):
+        expr = parse(text)
+        return Evaluator().run(expr, self.bindings)
+
+    # -- command handling ---------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the session
+        should end."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            return self._dispatch(line)
+        except ReproError as error:
+            self._print(f"error: {error}")
+            return True
+
+    def _dispatch(self, line: str) -> bool:
+        if line in (":quit", ":q", ":exit"):
+            return False
+        if line == ":env":
+            if not self.bindings:
+                self._print("(no bindings)")
+            for name in sorted(self.bindings):
+                self._print(f"{name} = {self.bindings[name]!r}")
+            return True
+        if line.startswith(":type "):
+            expr = parse(line[len(":type "):])
+            inferred = TypeChecker().check(expr, self._schema())
+            self._print(repr(inferred))
+            return True
+        if line.startswith(":fragment "):
+            expr = parse(line[len(":fragment "):])
+            report = fragment_report(expr, self._schema())
+            self._print(f"{report.fragment_name()}  "
+                        f"(result type {report.result_type!r}, "
+                        f"operators {sorted(report.operators)})")
+            return True
+        if line.startswith(":optimize "):
+            expr = parse(line[len(":optimize "):])
+            optimized = Optimizer(schema=self._schema()).optimize(expr)
+            self._print(to_text(optimized))
+            return True
+        if line.startswith(":explain "):
+            from repro.optimizer import explain, stats_of
+            expr = parse(line[len(":explain "):])
+            statistics = {name: stats_of(value)
+                          for name, value in self.bindings.items()
+                          if isinstance(value, Bag)}
+            self._print(explain(expr, self._schema(), statistics))
+            return True
+        if line.startswith(":encode "):
+            from repro.core.encoding import standard_encoding
+            value = self.evaluate_text(line[len(":encode "):])
+            self._print(standard_encoding(value))
+            return True
+        if line.startswith(":save "):
+            from repro.core.encoding import standard_encoding
+            parts = line.split(maxsplit=2)
+            if len(parts) != 3:
+                self._print("usage: :save name path")
+                return True
+            _, name, path = parts
+            if name not in self.bindings:
+                self._print(f"error: no binding named {name!r}")
+                return True
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(standard_encoding(self.bindings[name]))
+            self._print(f"saved {name} to {path}")
+            return True
+        if line.startswith(":load "):
+            from repro.core.encoding import decode_standard
+            parts = line.split(maxsplit=2)
+            if len(parts) != 3:
+                self._print("usage: :load name path")
+                return True
+            _, name, path = parts
+            with open(path, "r", encoding="utf-8") as handle:
+                self.bindings[name] = decode_standard(
+                    handle.read().strip())
+            self._print(f"{name} = {self.bindings[name]!r}")
+            return True
+        if line.startswith(":"):
+            self._print(f"unknown command {line.split()[0]!r} "
+                        "(:type :fragment :optimize :explain :encode "
+                        ":save :load :env :quit)")
+            return True
+        if "=" in line and _looks_like_binding(line):
+            name, _, body = line.partition("=")
+            value = self.evaluate_text(body.strip())
+            self.bindings[name.strip()] = value
+            self._print(f"{name.strip()} = {value!r}")
+            return True
+        self._print(repr(self.evaluate_text(line)))
+        return True
+
+
+def _looks_like_binding(line: str) -> bool:
+    """``name = expr`` bindings vs expressions containing '=' inside
+    sigma brackets: a binding's head is a bare identifier."""
+    head = line.split("=", 1)[0].strip()
+    return head.isidentifier()
+
+
+def main(argv=None) -> int:
+    """Entry point: interactive loop, or evaluate files given as
+    arguments (one expression per line, '#' comments allowed)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    session = Session()
+    if argv:
+        for path in argv:
+            with open(path, "r", encoding="utf-8") as handle:
+                for raw in handle:
+                    stripped = raw.split("#", 1)[0].strip()
+                    if stripped and not session.handle(stripped):
+                        return 0
+        return 0
+    print("repro bag-algebra shell — :quit to leave, :env for "
+          "bindings")
+    while True:
+        try:
+            line = input(_PROMPT)
+        except EOFError:
+            print()
+            return 0
+        if not session.handle(line):
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

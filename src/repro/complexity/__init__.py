@@ -1,0 +1,48 @@
+"""Complexity instrumentation: the quantitative side of the paper.
+
+* :mod:`repro.complexity.polynomials` — the symbolic counting lemma of
+  Propositions 4.1/4.5 (inexpressibility of ``eps`` and ``bag-even`` in
+  BALG^1);
+* :mod:`repro.complexity.growth` — the duplicate-explosion closed forms
+  of Proposition 3.2 and Theorem 5.5;
+* :mod:`repro.complexity.probability` — Monte-Carlo asymptotic
+  probabilities (Example 4.2, failure of the 0-1 law);
+* :mod:`repro.complexity.profile` — space-bound measurements for
+  Theorems 4.4 (LOGSPACE) and 5.1 (PSPACE).
+"""
+
+from repro.complexity.hierarchy import (
+    BALG3, BALGK, POWERBAG, HierarchyConstruction,
+    domain_expr_for_level, nesting_budget, verify_nesting,
+)
+from repro.complexity.growth import (
+    GrowthStep, delta2_p2_occurrences, delta_p_occurrences,
+    delta_pb_occurrences, max_multiplicity, measure_delta2_p2,
+    measure_delta_p, measure_delta_pb, uniform_bag,
+)
+from repro.complexity.polynomials import (
+    CountingAnalysis, Polynomial, analyze, refute_bag_even,
+    refute_dedup, single_constant_input,
+)
+from repro.complexity.probability import (
+    ProbabilityEstimate, estimate_probability, probability_series,
+    random_graph, random_unary_relation,
+)
+from repro.complexity.profile import (
+    ProfileRow, fit_exponent_of_two, fit_power_law, profile_query,
+    profile_sweep,
+)
+
+__all__ = [
+    "BALG3", "BALGK", "POWERBAG", "HierarchyConstruction",
+    "domain_expr_for_level", "nesting_budget", "verify_nesting",
+    "GrowthStep", "delta2_p2_occurrences", "delta_p_occurrences",
+    "delta_pb_occurrences", "max_multiplicity", "measure_delta2_p2",
+    "measure_delta_p", "measure_delta_pb", "uniform_bag",
+    "CountingAnalysis", "Polynomial", "analyze", "refute_bag_even",
+    "refute_dedup", "single_constant_input",
+    "ProbabilityEstimate", "estimate_probability", "probability_series",
+    "random_graph", "random_unary_relation",
+    "ProfileRow", "fit_exponent_of_two", "fit_power_law",
+    "profile_query", "profile_sweep",
+]

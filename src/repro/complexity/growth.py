@@ -1,0 +1,148 @@
+"""Duplicate-growth machinery for Proposition 3.2 and Theorem 6.2.
+
+Proposition 3.2 quantifies the explosion of duplicates created by
+alternating powerset and bag-destroy:
+
+* for a bag with ``k`` distinct constants, ``m`` occurrences each,
+  ``delta(P(B))`` holds ``m * (m+1)^k / 2`` occurrences of each
+  constant — exponential in ``k``, but *polynomial in the previous
+  multiplicity* from the second application on;
+* ``delta(delta(P(P(B))))`` holds ``2^((m+1)^k - 2) * (m+1)^k * m``
+  occurrences — an extra exponential at *every* application.
+
+This asymmetry (one powerset per destroy: single exponential total; two
+powersets back-to-back: a fresh exponential per round) drives the
+PSPACE bound of Theorem 5.1 and the power-nesting hierarchy of
+Theorem 6.2.  The functions here compute the closed forms and measure
+the interpreter against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bag import Bag
+from repro.core.ops import bag_destroy, powerbag, powerset
+
+__all__ = [
+    "uniform_bag", "delta_p_occurrences", "delta2_p2_occurrences",
+    "delta_pb_occurrences", "GrowthStep", "measure_delta_p",
+    "measure_delta2_p2", "measure_delta_pb", "max_multiplicity",
+]
+
+
+def uniform_bag(k: int, m: int) -> Bag:
+    """The Prop 3.2 input: ``k`` distinct constants with ``m``
+    occurrences of each (constants ``c0 .. c(k-1)``)."""
+    return Bag.from_counts({f"c{i}": m for i in range(k)})
+
+
+def max_multiplicity(bag: Bag) -> int:
+    """Largest multiplicity of any element (0 on the empty bag)."""
+    if bag.is_empty():
+        return 0
+    return max(count for _, count in bag.items())
+
+
+# ----------------------------------------------------------------------
+# Closed forms (the claim inside the proof of Proposition 3.2)
+# ----------------------------------------------------------------------
+
+def delta_p_occurrences(m: int, k: int) -> int:
+    """Occurrences of each constant in ``delta(P(B))`` for the uniform
+    bag: ``m * (m+1)^k / 2``.
+
+    Derivation: ``P(B)`` holds ``(m+1)^k`` distinct subbags; summing the
+    ``c_i``-count over all subbags gives ``(m+1)^(k-1) * (0+1+..+m)``
+    ``= (m+1)^(k-1) * m(m+1)/2 = m (m+1)^k / 2`` — "each copy
+    participates in half of the bags" in the paper's phrasing.
+    """
+    if k < 1 or m < 0:
+        raise ValueError("need k >= 1 distinct constants and m >= 0")
+    return m * (m + 1) ** k // 2
+
+
+def delta2_p2_occurrences(m: int, k: int) -> int:
+    """Occurrences of each constant in ``delta(delta(P(P(B))))``:
+    ``2^((m+1)^k - 2) * (m+1)^k * m``.
+
+    ``P(P(B))`` holds ``2^((m+1)^k)`` sub-bags of the (duplicate-free)
+    ``P(B)``; each inner subbag participates in half of them, and then
+    each constant occurrence in half again.
+    """
+    if k < 1 or m < 0:
+        raise ValueError("need k >= 1 distinct constants and m >= 0")
+    inner = (m + 1) ** k
+    return 2 ** (inner - 2) * inner * m
+
+
+def delta_pb_occurrences(m: int, k: int) -> int:
+    """Occurrences of each constant in ``delta(Pb(B))``: with the
+    powerbag every one of the ``2^(km)`` (tagged) subbags is kept, and
+    each of the ``km`` occurrences participates in half of them, so
+    each *constant* collects ``m * 2^(km - 1)`` occurrences —
+    exponential in the input size at *every* application, which is the
+    Theorem 5.5 blow-up."""
+    if k < 1 or m < 0:
+        raise ValueError("need k >= 1 distinct constants and m >= 0")
+    total = k * m
+    if total == 0:
+        return 0
+    return m * 2 ** (total - 1)
+
+
+# ----------------------------------------------------------------------
+# Measurements
+# ----------------------------------------------------------------------
+
+@dataclass
+class GrowthStep:
+    """One application of an operator pipeline: the measured peak
+    multiplicity and the bag size after the step."""
+
+    iteration: int
+    max_multiplicity: int
+    cardinality: int
+    distinct: int
+
+
+def measure_delta_p(bag: Bag, iterations: int,
+                    budget: Optional[int] = None) -> List[GrowthStep]:
+    """Apply ``delta . P`` repeatedly, recording multiplicities."""
+    steps = []
+    current = bag
+    for iteration in range(1, iterations + 1):
+        current = bag_destroy(powerset(current, budget=budget))
+        steps.append(GrowthStep(iteration, max_multiplicity(current),
+                                current.cardinality,
+                                current.distinct_count))
+    return steps
+
+
+def measure_delta2_p2(bag: Bag, iterations: int,
+                      budget: Optional[int] = None) -> List[GrowthStep]:
+    """Apply ``delta . delta . P . P`` repeatedly (the hyperexponential
+    pipeline of Prop 3.2)."""
+    steps = []
+    current = bag
+    for iteration in range(1, iterations + 1):
+        current = bag_destroy(bag_destroy(
+            powerset(powerset(current, budget=budget), budget=budget)))
+        steps.append(GrowthStep(iteration, max_multiplicity(current),
+                                current.cardinality,
+                                current.distinct_count))
+    return steps
+
+
+def measure_delta_pb(bag: Bag, iterations: int,
+                     budget: Optional[int] = None) -> List[GrowthStep]:
+    """Apply ``delta . Pb`` repeatedly (the Theorem 5.5 pipeline)."""
+    steps = []
+    current = bag
+    for iteration in range(1, iterations + 1):
+        current = bag_destroy(powerbag(current, budget=budget))
+        steps.append(GrowthStep(iteration, max_multiplicity(current),
+                                current.cardinality,
+                                current.distinct_count))
+    return steps

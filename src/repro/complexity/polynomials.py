@@ -1,0 +1,469 @@
+"""The polynomial counting lemma of Propositions 4.1 and 4.5, symbolic.
+
+The inexpressibility proofs of Section 4 rest on one claim: for every
+``BALG^1`` expression ``e`` over a single bag variable, and for every
+tuple ``t``, there are a number ``N_t`` and a polynomial ``P_t`` such
+that on the input ``B_n`` (``n`` copies of the 1-tuple ``[a]``), the
+multiplicity of ``t`` in ``e(B_n)`` equals ``P_t(n)`` for all
+``n > N_t`` — and ``P_t`` has zero constant term whenever ``a`` occurs
+in ``t``.
+
+This module *implements the proof* as a structural recursion over the
+AST: :func:`analyze` computes, for a given expression, the exact
+polynomials and a sound threshold.  Consequences become decidable
+checks:
+
+* ``e`` cannot be duplicate elimination (Prop 4.1): that would force
+  ``P_[a]`` to be the constant 1, contradicting the zero constant term;
+* ``e`` cannot be the ``bag-even`` query (Prop 4.5): a polynomial takes
+  the value 0 infinitely often only if it is identically 0, and equals
+  ``n`` infinitely often only if it is identically ``n``.
+
+The analysis is validated against the evaluator by property tests:
+``P_t(n)`` must equal the actual multiplicity for ``n > N_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as iter_product
+from typing import Any, Dict, List, Optional, Set, Tuple as PyTuple
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Cartesian, Const, Dedup, Expr,
+    Intersection, Lam, Map, MaxUnion, Select, Subtraction, Tupling, Var,
+)
+
+__all__ = [
+    "Polynomial", "CountingAnalysis", "analyze", "single_constant_input",
+    "refute_dedup", "refute_bag_even", "INPUT_ATOM",
+]
+
+
+class Polynomial:
+    """A univariate polynomial with integer coefficients.
+
+    Coefficients may be negative internally (subtraction of counting
+    polynomials), but a *counting* polynomial reported by the analysis
+    is always eventually non-negative.
+    """
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coeffs: Optional[Dict[int, int]] = None):
+        clean = {}
+        for degree, coeff in (coeffs or {}).items():
+            if coeff != 0:
+                if degree < 0:
+                    raise ValueError("degrees must be non-negative")
+                clean[degree] = coeff
+        self._coeffs = clean
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        return cls({0: value})
+
+    @classmethod
+    def x(cls) -> "Polynomial":
+        return cls({1: 1})
+
+    # -- inspection -----------------------------------------------------
+
+    def coefficients(self) -> Dict[int, int]:
+        return dict(self._coeffs)
+
+    @property
+    def degree(self) -> int:
+        """Degree; -1 for the zero polynomial."""
+        return max(self._coeffs, default=-1)
+
+    @property
+    def leading_coefficient(self) -> int:
+        return self._coeffs.get(self.degree, 0)
+
+    @property
+    def constant_term(self) -> int:
+        """The ``k0`` of the claim."""
+        return self._coeffs.get(0, 0)
+
+    def is_zero(self) -> bool:
+        return not self._coeffs
+
+    def __call__(self, n: int) -> int:
+        return sum(coeff * n ** degree
+                   for degree, coeff in self._coeffs.items())
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        coeffs = dict(self._coeffs)
+        for degree, coeff in other._coeffs.items():
+            coeffs[degree] = coeffs.get(degree, 0) + coeff
+        return Polynomial(coeffs)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        coeffs = dict(self._coeffs)
+        for degree, coeff in other._coeffs.items():
+            coeffs[degree] = coeffs.get(degree, 0) - coeff
+        return Polynomial(coeffs)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        coeffs: Dict[int, int] = {}
+        for d1, c1 in self._coeffs.items():
+            for d2, c2 in other._coeffs.items():
+                coeffs[d1 + d2] = coeffs.get(d1 + d2, 0) + c1 * c2
+        return Polynomial(coeffs)
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Polynomial)
+                and self._coeffs == other._coeffs)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._coeffs.items()))
+
+    # -- eventual behaviour ----------------------------------------------
+
+    def eventually_positive(self) -> bool:
+        """Does ``P(n) > 0`` hold for all large ``n``?"""
+        return self.leading_coefficient > 0
+
+    def sign_stability_bound(self) -> int:
+        """An ``N`` beyond which the sign of ``P(n)`` never changes.
+
+        Uses the Cauchy root bound: every real root has absolute value
+        below ``1 + max|c_i| / |c_lead|``.
+        """
+        if self.is_zero():
+            return 0
+        lead = abs(self.leading_coefficient)
+        biggest = max(abs(coeff) for coeff in self._coeffs.values())
+        return 1 + (biggest + lead - 1) // lead  # ceil(1 + biggest/lead)
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "0"
+        parts = []
+        for degree in sorted(self._coeffs, reverse=True):
+            coeff = self._coeffs[degree]
+            if degree == 0:
+                parts.append(f"{coeff}")
+            elif degree == 1:
+                parts.append(f"{coeff}n" if coeff != 1 else "n")
+            else:
+                parts.append(f"{coeff}n^{degree}"
+                             if coeff != 1 else f"n^{degree}")
+        return " + ".join(parts)
+
+
+ZERO = Polynomial()
+ONE = Polynomial.constant(1)
+
+#: The distinguished constant of the ``B_n`` input family.
+INPUT_ATOM = "a"
+
+
+def single_constant_input(n: int, atom: Any = INPUT_ATOM) -> Bag:
+    """The input family ``B_n``: ``n`` occurrences of the 1-tuple
+    ``[atom]`` and nothing else (Prop 4.1)."""
+    return Bag.from_counts({Tup(atom): n}) if n else Bag()
+
+
+@dataclass
+class CountingAnalysis:
+    """Result of the symbolic analysis of one expression.
+
+    ``polynomials`` maps each potentially-occurring tuple to its
+    counting polynomial; absent tuples count zero.  ``threshold`` is a
+    sound ``N``: for every ``n > threshold`` and every tuple ``t``,
+    ``multiplicity of t in e(B_n) = polynomials.get(t, 0)(n)``.
+    """
+
+    arity: int
+    polynomials: Dict[Tup, Polynomial] = field(default_factory=dict)
+    threshold: int = 0
+
+    def polynomial_for(self, candidate: Tup) -> Polynomial:
+        return self.polynomials.get(candidate, ZERO)
+
+    def support(self) -> Set[Tup]:
+        return {candidate for candidate, poly in self.polynomials.items()
+                if not poly.is_zero()}
+
+    def verify_claim_invariant(self, atom: Any = INPUT_ATOM) -> bool:
+        """Check the claim's side condition: ``k0 = 0`` whenever the
+        input constant occurs in the tuple."""
+        for candidate, poly in self.polynomials.items():
+            if atom in candidate.items() and poly.constant_term != 0:
+                return False
+        return True
+
+
+def analyze(expr: Expr, input_name: str = "B",
+            atom: Any = INPUT_ATOM) -> CountingAnalysis:
+    """Run the counting-lemma recursion on a BALG^1 expression.
+
+    Supported nodes follow the proof of Prop 4.1 (with the Prop 4.5
+    extension for ``eps`` and the [Alb91] reductions for maximal union
+    and intersection): variables, bag constants, additive union,
+    subtraction, maximal union, intersection, Cartesian product, MAP
+    (projections / constant attributes), selection (on tuples), and
+    duplicate elimination.
+    """
+    analysis = _analyze(expr, input_name, atom)
+    return analysis
+
+
+def _analyze(expr: Expr, input_name: str, atom: Any) -> CountingAnalysis:
+    if isinstance(expr, Var):
+        if expr.name != input_name:
+            raise BagTypeError(
+                f"analysis is over the single input {input_name!r}; "
+                f"found variable {expr.name!r}")
+        return CountingAnalysis(
+            arity=1, polynomials={Tup(atom): Polynomial.x()}, threshold=0)
+
+    if isinstance(expr, Const):
+        return _analyze_const(expr, atom)
+
+    if isinstance(expr, AdditiveUnion):
+        left = _analyze(expr.left, input_name, atom)
+        right = _analyze(expr.right, input_name, atom)
+        _require_same_arity(left, right, "(+)")
+        polys = dict(left.polynomials)
+        for candidate, poly in right.polynomials.items():
+            polys[candidate] = polys.get(candidate, ZERO) + poly
+        return CountingAnalysis(left.arity, polys,
+                                max(left.threshold, right.threshold))
+
+    if isinstance(expr, Subtraction):
+        return _analyze_subtraction(expr, input_name, atom)
+
+    if isinstance(expr, MaxUnion):
+        return _analyze_extremum(expr, input_name, atom, want_max=True)
+
+    if isinstance(expr, Intersection):
+        return _analyze_extremum(expr, input_name, atom, want_max=False)
+
+    if isinstance(expr, Cartesian):
+        left = _analyze(expr.left, input_name, atom)
+        right = _analyze(expr.right, input_name, atom)
+        polys: Dict[Tup, Polynomial] = {}
+        for t1, p1 in left.polynomials.items():
+            for t2, p2 in right.polynomials.items():
+                polys[t1.concat(t2)] = (
+                    polys.get(t1.concat(t2), ZERO) + p1 * p2)
+        return CountingAnalysis(left.arity + right.arity, polys,
+                                max(left.threshold, right.threshold))
+
+    if isinstance(expr, Map):
+        inner = _analyze(expr.operand, input_name, atom)
+        polys: Dict[Tup, Polynomial] = {}
+        # The output arity is syntactic (the lambda builds a tuple);
+        # inferring it from the images would fail on empty supports
+        # such as MAP over B - B.
+        if isinstance(expr.lam.body, Tupling):
+            arity = len(expr.lam.body.parts)
+        elif inner.polynomials:
+            sample = next(iter(inner.polynomials))
+            arity = _apply_tuple_lambda(expr.lam, sample).arity
+        else:
+            raise BagTypeError(
+                "cannot determine the output arity of a MAP whose "
+                "lambda is not a tupling and whose operand support is "
+                "empty")
+        for source, poly in inner.polynomials.items():
+            image = _apply_tuple_lambda(expr.lam, source)
+            polys[image] = polys.get(image, ZERO) + poly
+        return CountingAnalysis(arity, polys, inner.threshold)
+
+    if isinstance(expr, Select):
+        inner = _analyze(expr.operand, input_name, atom)
+        polys = {}
+        for source, poly in inner.polynomials.items():
+            lhs = _apply_object_lambda(expr.left, source)
+            rhs = _apply_object_lambda(expr.right, source)
+            if _selection_holds(expr.op, lhs, rhs):
+                polys[source] = poly
+        return CountingAnalysis(inner.arity, polys, inner.threshold)
+
+    if isinstance(expr, Dedup):
+        inner = _analyze(expr.operand, input_name, atom)
+        polys = {}
+        threshold = inner.threshold
+        for source, poly in inner.polynomials.items():
+            threshold = max(threshold, poly.sign_stability_bound())
+            if poly.eventually_positive():
+                polys[source] = ONE
+        return CountingAnalysis(inner.arity, polys, threshold)
+
+    raise BagTypeError(
+        f"the counting lemma does not cover operator "
+        f"{type(expr).__name__} (it is not a BALG^1 operator)")
+
+
+def _analyze_const(expr: Const, atom: Any) -> CountingAnalysis:
+    value = expr.value
+    if not isinstance(value, Bag):
+        raise BagTypeError(
+            "constants in an analysed expression must be bags of flat "
+            f"tuples, got {value!r}")
+    polys: Dict[Tup, Polynomial] = {}
+    arity: Optional[int] = None
+    for element, count in value.items():
+        if not isinstance(element, Tup):
+            raise BagTypeError(
+                "bag constants must contain flat tuples for the analysis")
+        if arity is None:
+            arity = element.arity
+        polys[element] = Polynomial.constant(count)
+    if arity is None:
+        raise BagTypeError(
+            "empty-bag constants carry no arity; use a typed constant")
+    return CountingAnalysis(arity, polys, 0)
+
+
+def _analyze_subtraction(expr: Subtraction, input_name: str,
+                         atom: Any) -> CountingAnalysis:
+    left = _analyze(expr.left, input_name, atom)
+    right = _analyze(expr.right, input_name, atom)
+    _require_same_arity(left, right, "-")
+    polys: Dict[Tup, Polynomial] = {}
+    threshold = max(left.threshold, right.threshold)
+    for candidate in set(left.polynomials) | set(right.polynomials):
+        difference = (left.polynomial_for(candidate)
+                      - right.polynomial_for(candidate))
+        threshold = max(threshold, difference.sign_stability_bound())
+        if difference.eventually_positive():
+            polys[candidate] = difference
+    return CountingAnalysis(left.arity, polys, threshold)
+
+
+def _analyze_extremum(expr: Expr, input_name: str, atom: Any,
+                      want_max: bool) -> CountingAnalysis:
+    """Maximal union / intersection via the eventual comparison of the
+    two polynomials (the [Alb91] reduction to (+) and -)."""
+    left = _analyze(expr.left, input_name, atom)
+    right = _analyze(expr.right, input_name, atom)
+    _require_same_arity(left, right, "u/n")
+    polys: Dict[Tup, Polynomial] = {}
+    threshold = max(left.threshold, right.threshold)
+    for candidate in set(left.polynomials) | set(right.polynomials):
+        lpoly = left.polynomial_for(candidate)
+        rpoly = right.polynomial_for(candidate)
+        difference = lpoly - rpoly
+        threshold = max(threshold, difference.sign_stability_bound())
+        left_wins = difference.eventually_positive() or difference.is_zero()
+        chosen = (lpoly if left_wins == want_max else rpoly)
+        if not chosen.is_zero():
+            polys[candidate] = chosen
+    return CountingAnalysis(left.arity, polys, threshold)
+
+
+def _require_same_arity(left: CountingAnalysis, right: CountingAnalysis,
+                        op: str) -> None:
+    if left.arity != right.arity:
+        raise BagTypeError(
+            f"{op}: operand arities differ ({left.arity} vs "
+            f"{right.arity})")
+
+
+# ----------------------------------------------------------------------
+# Symbolic application of the restricted lambdas of BALG^1
+# ----------------------------------------------------------------------
+
+def _apply_object_lambda(lam: Lam, argument: Tup) -> Any:
+    """Evaluate a tuple-level lambda body on a concrete tuple.
+
+    BALG^1 lambdas can only project attributes, build tuples, and
+    mention constants (the proof of Prop 4.2 relies on exactly this).
+    """
+    return _eval_object(lam.body, lam.param, argument)
+
+
+def _apply_tuple_lambda(lam: Lam, argument: Tup) -> Tup:
+    image = _apply_object_lambda(lam, argument)
+    if not isinstance(image, Tup):
+        raise BagTypeError(
+            "MAP lambdas in the analysis must produce tuples, got "
+            f"{image!r}")
+    return image
+
+
+def _eval_object(body: Expr, param: str, argument: Tup) -> Any:
+    if isinstance(body, Var):
+        if body.name != param:
+            raise BagTypeError(
+                f"lambda body mentions foreign variable {body.name!r}")
+        return argument
+    if isinstance(body, Const):
+        return body.value
+    if isinstance(body, Attribute):
+        operand = _eval_object(body.operand, param, argument)
+        if not isinstance(operand, Tup):
+            raise BagTypeError("attribute projection of a non-tuple")
+        return operand.attribute(body.index)
+    if isinstance(body, Tupling):
+        return Tup(*(_eval_object(part, param, argument)
+                     for part in body.parts))
+    raise BagTypeError(
+        f"lambda bodies in the analysis are restricted to projections, "
+        f"tupling and constants; found {type(body).__name__}")
+
+
+def _selection_holds(op: str, lhs: Any, rhs: Any) -> bool:
+    from repro.core.expr import _compare
+    return _compare(op, lhs, rhs)
+
+
+# ----------------------------------------------------------------------
+# Consequences: the inexpressibility verdicts
+# ----------------------------------------------------------------------
+
+def refute_dedup(expr: Expr, input_name: str = "B",
+                 atom: Any = INPUT_ATOM) -> Optional[int]:
+    """Machine-checked Prop 4.1 for one candidate expression.
+
+    Duplicate elimination requires multiplicity exactly 1 of ``[a]`` in
+    the output for every ``n >= 1``.  A counting polynomial equals 1 on
+    infinitely many points only if it *is* the constant 1 — which the
+    zero-constant-term invariant of the claim rules out for tuples
+    containing the input constant.  Returns a concrete witness ``n``
+    (beyond the threshold) where ``e(B_n)`` provably disagrees with
+    ``eps(B_n)``, or ``None`` when the polynomial is the constant 1 on
+    the target tuple (then the analysis alone cannot refute — an
+    expression *using* eps itself reaches this case).
+    """
+    analysis = analyze(expr, input_name, atom)
+    poly = analysis.polynomial_for(Tup(atom))
+    if poly == ONE:
+        return None
+    # Find n > threshold with P(n) != 1: at most deg+1 points can give
+    # P(n) = 1, so scanning deg+2 points suffices.
+    n = analysis.threshold + 1
+    while poly(n) == 1:
+        n += 1
+    return n
+
+
+def refute_bag_even(expr: Expr, input_name: str = "B",
+                    atom: Any = INPUT_ATOM) -> int:
+    """Machine-checked Prop 4.5 for one candidate expression.
+
+    ``bag-even`` needs multiplicity of ``[a]`` equal to ``n`` for even
+    ``n`` and 0 for odd ``n``.  No polynomial does both on large
+    inputs: the identity is nonzero on large odd ``n``, and anything
+    else misses ``n`` on some large even ``n``.  Returns a concrete
+    witness ``n`` where ``e(B_n)`` disagrees with ``bag-even(B_n)``.
+    """
+    analysis = analyze(expr, input_name, atom)
+    poly = analysis.polynomial_for(Tup(atom))
+    n = analysis.threshold + 1
+    while True:
+        expected = n if n % 2 == 0 else 0
+        if poly(n) != expected:
+            return n
+        n += 1

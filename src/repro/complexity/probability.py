@@ -1,0 +1,87 @@
+"""Asymptotic probabilities and the failure of the 0-1 law (Section 4).
+
+Boolean relational-algebra queries without constants obey a 0-1 law:
+their probability over random structures of size ``n`` tends to 0 or 1.
+Example 4.2 shows BALG^1 breaks this: the query "card(R) > card(S)" has
+asymptotic probability 1/2 (by [FGT93], properties expressible with
+limited Rescher quantifiers have asymptotic probability 0, 1/2, or 1).
+
+This module estimates asymptotic probabilities by Monte-Carlo sampling
+over the uniform distribution on instances: every atom of the domain
+``{0..n-1}`` enters each unary relation independently with probability
+1/2 (the distribution underlying ``mu_n``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.bag import Bag, Tup
+
+__all__ = [
+    "random_unary_relation", "random_graph", "ProbabilityEstimate",
+    "estimate_probability", "probability_series",
+]
+
+
+def random_unary_relation(n: int, rng: random.Random) -> Bag:
+    """A uniform random subset of ``{0..n-1}`` as a bag of 1-tuples
+    (duplicate-free: these are the *relations* of Example 4.2)."""
+    return Bag([Tup(i) for i in range(n) if rng.random() < 0.5])
+
+
+def random_graph(n: int, rng: random.Random) -> Bag:
+    """A uniform random directed graph on ``{0..n-1}`` as a bag of
+    edges (each of the n^2 possible edges present with probability
+    1/2 — the mu_n distribution of Section 4)."""
+    return Bag([Tup(i, j) for i in range(n) for j in range(n)
+                if rng.random() < 0.5])
+
+
+@dataclass
+class ProbabilityEstimate:
+    """A Monte-Carlo estimate of mu_n(P) with its standard error."""
+
+    n: int
+    trials: int
+    successes: int
+
+    @property
+    def probability(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def standard_error(self) -> float:
+        p = self.probability
+        return (p * (1 - p) / self.trials) ** 0.5 if self.trials else 0.0
+
+
+def estimate_probability(
+        property_holds: Callable[..., bool],
+        samplers: Sequence[Callable[[int, random.Random], Bag]],
+        n: int, trials: int, seed: int = 0) -> ProbabilityEstimate:
+    """Estimate ``mu_n`` of a boolean property by sampling.
+
+    ``samplers`` draws one bag per relation symbol; ``property_holds``
+    receives the sampled bags positionally.
+    """
+    rng = random.Random(seed)
+    successes = 0
+    for _ in range(trials):
+        sample = [draw(n, rng) for draw in samplers]
+        if property_holds(*sample):
+            successes += 1
+    return ProbabilityEstimate(n=n, trials=trials, successes=successes)
+
+
+def probability_series(
+        property_holds: Callable[..., bool],
+        samplers: Sequence[Callable[[int, random.Random], Bag]],
+        sizes: Sequence[int], trials: int,
+        seed: int = 0) -> List[ProbabilityEstimate]:
+    """Estimate mu_n for a sweep of domain sizes (one row per n)."""
+    return [estimate_probability(property_holds, samplers, n, trials,
+                                 seed=seed + n)
+            for n in sizes]

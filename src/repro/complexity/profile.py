@@ -1,0 +1,122 @@
+"""Evaluation profiling: the space-bound experiments of Theorems 4.4
+and 5.1.
+
+Theorem 4.4 (BALG^1 in LOGSPACE) rests on the multiplicities of all
+intermediate bags staying *polynomial* in the input size, so their
+counters fit in O(log n) bits.  Theorem 5.1 (BALG^2 in PSPACE) rests on
+multiplicities staying *single-exponential*, so the counters fit in
+polynomially many bits.  This module measures exactly those quantities
+over input sweeps and fits the growth law, turning both theorems into
+falsifiable experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from repro.core.bag import Bag
+from repro.core.eval import EvalStats, Evaluator
+from repro.core.expr import Expr
+
+__all__ = [
+    "ProfileRow", "profile_query", "profile_sweep", "fit_power_law",
+    "fit_exponent_of_two",
+]
+
+
+@dataclass
+class ProfileRow:
+    """One point of an input-size sweep."""
+
+    input_size: int
+    peak_multiplicity: int
+    peak_encoding_size: int
+    peak_distinct: int
+    counter_bits: int  # bits needed for the largest multiplicity
+
+    @classmethod
+    def from_stats(cls, input_size: int,
+                   stats: EvalStats) -> "ProfileRow":
+        multiplicity = max(stats.peak_multiplicity, 1)
+        return cls(
+            input_size=input_size,
+            peak_multiplicity=stats.peak_multiplicity,
+            peak_encoding_size=stats.peak_encoding_size,
+            peak_distinct=stats.peak_distinct,
+            counter_bits=multiplicity.bit_length(),
+        )
+
+
+def profile_query(expr: Expr, database: Mapping[str, Bag],
+                  input_size: int,
+                  powerset_budget: Optional[int] = None) -> ProfileRow:
+    """Evaluate once and report the space-relevant peaks."""
+    evaluator = Evaluator(powerset_budget=powerset_budget)
+    evaluator.run(expr, database)
+    return ProfileRow.from_stats(input_size, evaluator.stats)
+
+
+def profile_sweep(
+        make_query: Callable[[int], Expr],
+        make_database: Callable[[int], Mapping[str, Bag]],
+        sizes: Sequence[int],
+        powerset_budget: Optional[int] = None) -> List[ProfileRow]:
+    """Profile a query family over an input-size sweep.
+
+    ``make_query`` may ignore its argument (a fixed query) or build a
+    size-dependent one; ``make_database`` builds the instance of size
+    ``n``.
+    """
+    rows = []
+    for n in sizes:
+        database = make_database(n)
+        input_size = sum(_bag_size(bag) for bag in database.values())
+        evaluator = Evaluator(powerset_budget=powerset_budget)
+        evaluator.run(make_query(n), database)
+        rows.append(ProfileRow.from_stats(input_size, evaluator.stats))
+    return rows
+
+
+def _bag_size(bag: Bag) -> int:
+    from repro.core.database import encoding_size
+    return encoding_size(bag)
+
+
+def fit_power_law(rows: Sequence[ProfileRow]) -> float:
+    """Least-squares slope of log(peak multiplicity) vs log(input size).
+
+    A BALG^1 query family must produce a finite slope (the polynomial
+    degree of the multiplicity growth — Theorem 4.4's invariant).
+    """
+    points = [(math.log(row.input_size), math.log(row.peak_multiplicity))
+              for row in rows
+              if row.input_size > 1 and row.peak_multiplicity > 0]
+    return _slope(points)
+
+
+def fit_exponent_of_two(rows: Sequence[ProfileRow]) -> float:
+    """Least-squares slope of log2(peak multiplicity) vs input size.
+
+    For the P-heavy BALG^2 queries of Theorem 5.1 the multiplicities
+    grow like 2^{poly(n)}; on a linear family the slope is the
+    constant of the exponent.
+    """
+    points = [(float(row.input_size),
+               math.log2(max(row.peak_multiplicity, 1)))
+              for row in rows]
+    return _slope(points)
+
+
+def _slope(points: Sequence[tuple]) -> float:
+    if len(points) < 2:
+        return 0.0
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    sxx = sum((x - mean_x) ** 2 for x, _ in points)
+    if sxx == 0:
+        return 0.0
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return sxy / sxx

@@ -1,0 +1,56 @@
+"""Core of the reproduction: nested bag values, the BALG algebra
+(Section 3), its type system (Section 2), fragments (Sections 4-6), and
+the paper's derived operators."""
+
+from repro.core.bag import Bag, Tup, EMPTY_BAG, canonical_key, is_atom
+from repro.core.database import (
+    Instance, Schema, active_domain, apply_renaming, are_isomorphic,
+    encoding_size,
+)
+from repro.core.encoding import (
+    decode_standard, encoded_size, recognition_instance,
+    standard_encoding,
+)
+from repro.core.eval import EvalStats, Evaluator, evaluate
+from repro.core.expr import (
+    AdditiveUnion, Attribute, BagDestroy, Bagging, Cartesian, Const,
+    Dedup, EMPTY, Expr, Intersection, Lam, Map, MaxUnion, Powerbag,
+    Powerset, Select, Subtraction, Tupling, Var, const, var,
+)
+from repro.core.fragments import (
+    FragmentReport, assert_in_balg, fragment_report, in_balg,
+    max_bag_nesting, operators_used, power_nesting,
+)
+from repro.core.nest import Nest, Unnest, nest_bag, unnest_bag
+from repro.core.typecheck import TypeChecker, annotate_types, infer_type
+from repro.core.types import (
+    AtomType, BagType, TupleType, Type, U, UNKNOWN, flat_bag_type,
+    flat_tuple_type, parse_type, type_of, unify,
+)
+
+__all__ = [
+    # values
+    "Bag", "Tup", "EMPTY_BAG", "canonical_key", "is_atom",
+    # types
+    "AtomType", "BagType", "TupleType", "Type", "U", "UNKNOWN",
+    "flat_bag_type", "flat_tuple_type", "parse_type", "type_of", "unify",
+    # expressions
+    "AdditiveUnion", "Attribute", "BagDestroy", "Bagging", "Cartesian",
+    "Const", "Dedup", "EMPTY", "Expr", "Intersection", "Lam", "Map",
+    "MaxUnion", "Powerbag", "Powerset", "Select", "Subtraction",
+    "Tupling", "Var", "const", "var",
+    # nesting extension
+    "Nest", "Unnest", "nest_bag", "unnest_bag",
+    # evaluation
+    "EvalStats", "Evaluator", "evaluate",
+    # typing / fragments
+    "TypeChecker", "annotate_types", "infer_type",
+    "FragmentReport", "assert_in_balg", "fragment_report", "in_balg",
+    "max_bag_nesting", "operators_used", "power_nesting",
+    # standard encoding / recognition problem
+    "decode_standard", "encoded_size", "recognition_instance",
+    "standard_encoding",
+    # databases
+    "Instance", "Schema", "active_domain", "apply_renaming",
+    "are_isomorphic", "encoding_size",
+]

@@ -1,0 +1,392 @@
+"""Immutable nested-bag values: atoms, tuples, and bags.
+
+This module implements the *data definition language* of Section 3 of
+Grumbach & Milo: every complex object is built from atomic constants
+with the tuple constructor ``Tup`` and the bag constructor ``Bag``.
+
+Design notes
+------------
+* Values are immutable and hashable.  Hashability is what lets a bag
+  contain other bags (nested bags are the whole point of the paper) while
+  multiplicities are tracked in an ordinary dictionary.
+* A ``Bag`` stores ``element -> count`` with strictly positive integer
+  counts.  An element *n-belongs* to the bag when its count is exactly
+  ``n`` (Section 2 terminology).
+* Atoms are arbitrary hashable Python scalars (strings, integers,
+  frozen dataclasses, ...).  ``Tup`` and ``Bag`` instances are never
+  atoms.
+* Construction enforces homogeneity: all elements of a bag must have
+  the same type (same arity for tuples, recursively compatible element
+  types for nested bags).  This mirrors the paper's requirement that a
+  bag is a homogeneous collection.
+
+The algebra operators themselves (additive union, powerset, ...) live
+in :mod:`repro.core.ops`; this module only provides the value model and
+container conveniences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.core.errors import HeterogeneousBagError, ValueConstructionError
+
+__all__ = ["Tup", "Bag", "is_atom", "canonical_key", "EMPTY_BAG"]
+
+
+def is_atom(value: Any) -> bool:
+    """Return True when ``value`` is an atomic constant.
+
+    Atoms are everything that is neither a :class:`Tup` nor a
+    :class:`Bag`.  The paper assumes a single atomic type ``U`` with an
+    infinite domain of constants; we realise that domain as the set of
+    hashable Python scalars.
+    """
+    return not isinstance(value, (Tup, Bag))
+
+
+class Tup:
+    """An immutable k-ary tuple of complex objects.
+
+    The paper writes ``[o1, ..., ok]`` for tuples; attribute projection
+    uses 1-based indices (``alpha_i``).  ``Tup`` exposes both the Pythonic
+    0-based ``tup[i]`` and the paper's 1-based :meth:`attribute`.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, *items: Any):
+        for item in items:
+            _check_value(item)
+        self._items: Tuple[Any, ...] = tuple(items)
+        self._hash = hash(("Tup", self._items))
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes of this tuple."""
+        return len(self._items)
+
+    def attribute(self, i: int) -> Any:
+        """Return the i-th attribute, 1-based (the paper's alpha_i)."""
+        if not 1 <= i <= len(self._items):
+            raise IndexError(
+                f"attribute index {i} out of range for arity {self.arity}")
+        return self._items[i - 1]
+
+    def items(self) -> Tuple[Any, ...]:
+        """Return the underlying attribute tuple (0-based)."""
+        return self._items
+
+    def concat(self, other: "Tup") -> "Tup":
+        """Concatenate two tuples (used by the Cartesian product)."""
+        if not isinstance(other, Tup):
+            raise ValueConstructionError(
+                f"cannot concatenate Tup with {type(other).__name__}")
+        return Tup(*(self._items + other._items))
+
+    def __getitem__(self, index: int) -> Any:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Tup) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(item) for item in self._items)
+        return f"[{inner}]"
+
+
+class Bag:
+    """An immutable bag (multiset) of homogeneous complex objects.
+
+    A bag maps each distinct element to a strictly positive multiplicity.
+    ``Bag`` instances are hashable, so bags can nest arbitrarily deep.
+
+    Constructors
+    ------------
+    ``Bag(iterable)``
+        Count duplicates from an iterable, e.g. ``Bag(['a', 'a', 'b'])``.
+    ``Bag.from_counts(mapping)``
+        Build directly from an ``element -> count`` mapping.
+    ``Bag.of(*elements)``
+        Variadic convenience: ``Bag.of('a', 'a', 'b')``.
+
+    The empty bag is polymorphic (it belongs to every bag type), matching
+    the paper's ``[[ ]]``.
+    """
+
+    __slots__ = ("_counts", "_hash", "_cardinality")
+
+    def __init__(self, elements: Iterable[Any] = ()):
+        counts: Dict[Any, int] = {}
+        for element in elements:
+            _check_value(element)
+            counts[element] = counts.get(element, 0) + 1
+        _check_homogeneous(counts.keys())
+        self._counts = counts
+        self._cardinality = sum(counts.values())
+        self._hash = hash(("Bag", frozenset(counts.items())))
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Any, int]) -> "Bag":
+        """Build a bag from an ``element -> multiplicity`` mapping.
+
+        Zero counts are dropped; negative counts are an error.
+        """
+        bag = cls.__new__(cls)
+        clean: Dict[Any, int] = {}
+        for element, count in counts.items():
+            if not isinstance(count, int):
+                raise ValueConstructionError(
+                    f"multiplicity must be an int, got {count!r}")
+            if count < 0:
+                raise ValueConstructionError(
+                    f"multiplicity must be non-negative, got {count}")
+            if count == 0:
+                continue
+            _check_value(element)
+            clean[element] = count
+        _check_homogeneous(clean.keys())
+        bag._counts = clean
+        bag._cardinality = sum(clean.values())
+        bag._hash = hash(("Bag", frozenset(clean.items())))
+        return bag
+
+    @classmethod
+    def of(cls, *elements: Any) -> "Bag":
+        """Variadic constructor: ``Bag.of('a', 'a', 'b')``."""
+        return cls(elements)
+
+    @classmethod
+    def single(cls, element: Any, count: int = 1) -> "Bag":
+        """The bag ``B^element_count`` of Section 2: ``count`` copies of
+        ``element`` and nothing else."""
+        return cls.from_counts({element: count})
+
+    # ------------------------------------------------------------------
+    # Multiset interface
+    # ------------------------------------------------------------------
+
+    def multiplicity(self, element: Any) -> int:
+        """Number of occurrences of ``element`` (0 when absent)."""
+        return self._counts.get(element, 0)
+
+    def n_belongs(self, element: Any, n: int) -> bool:
+        """The paper's *n-belongs*: exactly ``n`` occurrences."""
+        return self.multiplicity(element) == n
+
+    def counts(self) -> Mapping[Any, int]:
+        """Read-only view of the ``element -> count`` mapping."""
+        return dict(self._counts)
+
+    def support(self) -> frozenset:
+        """The set of distinct elements (the bag with duplicates removed,
+        as a Python frozenset)."""
+        return frozenset(self._counts)
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of elements *counting duplicates* (the paper's
+        notion of bag size, matching the standard encoding)."""
+        return self._cardinality
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct elements."""
+        return len(self._counts)
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    def is_set(self) -> bool:
+        """True when every element occurs exactly once (the bag is a
+        relation in the classical sense)."""
+        return all(count == 1 for count in self._counts.values())
+
+    def is_subbag_of(self, other: "Bag") -> bool:
+        """The paper's subbag relation: ``self <= other`` iff every
+        element n-belonging to ``self`` p-belongs to ``other`` for some
+        p >= n."""
+        if not isinstance(other, Bag):
+            raise ValueConstructionError(
+                f"subbag comparison against {type(other).__name__}")
+        return all(other.multiplicity(element) >= count
+                   for element, count in self._counts.items())
+
+    def items(self) -> Iterator[Tuple[Any, int]]:
+        """Iterate over ``(element, count)`` pairs."""
+        return iter(self._counts.items())
+
+    def elements(self) -> Iterator[Any]:
+        """Iterate over elements *with* duplicates (each element is
+        yielded ``count`` times), matching the standard encoding."""
+        for element, count in self._counts.items():
+            for _ in range(count):
+                yield element
+
+    def distinct(self) -> Iterator[Any]:
+        """Iterate over distinct elements (no duplicates)."""
+        return iter(self._counts)
+
+    def an_element(self) -> Any:
+        """Return an arbitrary element; error on the empty bag."""
+        if not self._counts:
+            raise ValueConstructionError("the empty bag has no elements")
+        return next(iter(self._counts))
+
+    # ------------------------------------------------------------------
+    # Protocol methods
+    # ------------------------------------------------------------------
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._counts
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.elements()
+
+    def __len__(self) -> int:
+        return self._cardinality
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Bag) and self._counts == other._counts
+
+    def __le__(self, other: "Bag") -> bool:
+        return self.is_subbag_of(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._counts:
+            return "{{}}"
+        parts = []
+        for element in sorted(self._counts, key=canonical_key):
+            count = self._counts[element]
+            if count == 1:
+                parts.append(repr(element))
+            else:
+                parts.append(f"{element!r}*{count}")
+        return "{{" + ", ".join(parts) + "}}"
+
+
+def canonical_key(value: Any) -> Tuple:
+    """A total-order key over complex objects, used for deterministic
+    display and for the lexicographic enumeration of Section 5.
+
+    Atoms sort before tuples, which sort before bags; within a kind the
+    order is lexicographic.  Atoms order naturally within one Python
+    type (so integers compare numerically) and by type name across
+    types, which yields the linear order on the domain that Section 4's
+    order-enriched results assume.
+    """
+    if isinstance(value, Tup):
+        return (1, tuple(canonical_key(item) for item in value.items()))
+    if isinstance(value, Bag):
+        ordered = sorted(value.counts().items(),
+                         key=lambda pair: canonical_key(pair[0]))
+        return (2, tuple((canonical_key(element), count)
+                         for element, count in ordered))
+    if isinstance(value, (bool, int, float, str, bytes)):
+        return (0, (type(value).__name__, value))
+    return (0, (type(value).__name__, repr(value)))
+
+
+# ----------------------------------------------------------------------
+# Construction-time checks
+# ----------------------------------------------------------------------
+
+def _check_value(value: Any) -> None:
+    """Reject unhashable or mutable-container elements early."""
+    if isinstance(value, (Tup, Bag)):
+        return
+    if isinstance(value, (list, dict, set)):
+        raise ValueConstructionError(
+            f"{type(value).__name__} is not a valid complex object; "
+            "use Tup for tuples and Bag for collections")
+    try:
+        hash(value)
+    except TypeError as exc:
+        raise ValueConstructionError(
+            f"bag elements must be hashable, got {value!r}") from exc
+
+
+def _shape_of(value: Any):
+    """A lightweight structural fingerprint used for the homogeneity
+    check (full typing lives in :mod:`repro.core.types`).
+
+    The empty bag is compatible with every bag shape, which the
+    fingerprint encodes with ``("bag", None)``.
+    """
+    if isinstance(value, Tup):
+        return ("tuple", tuple(_shape_of(item) for item in value.items()))
+    if isinstance(value, Bag):
+        inner = None
+        for element in value.distinct():
+            candidate = _shape_of(element)
+            if inner is None:
+                inner = candidate
+            else:
+                merged = _merge_shapes(inner, candidate)
+                if merged is None:
+                    # The bag itself was already validated at its own
+                    # construction, so this cannot happen; guard anyway.
+                    raise HeterogeneousBagError(
+                        f"inconsistent element shapes inside {value!r}")
+                inner = merged
+        return ("bag", inner)
+    return ("atom",)
+
+
+def _merge_shapes(left, right):
+    """Unify two shape fingerprints; None when incompatible."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left[0] != right[0]:
+        return None
+    if left[0] == "atom":
+        return left
+    if left[0] == "bag":
+        merged = _merge_shapes(left[1], right[1])
+        if merged is None and not (left[1] is None or right[1] is None):
+            return None
+        return ("bag", merged)
+    # tuple: arities and attribute shapes must merge pointwise
+    if len(left[1]) != len(right[1]):
+        return None
+    merged_items = []
+    for litem, ritem in zip(left[1], right[1]):
+        merged = _merge_shapes(litem, ritem)
+        if merged is None:
+            return None
+        merged_items.append(merged)
+    return ("tuple", tuple(merged_items))
+
+
+def _check_homogeneous(elements: Iterable[Any]) -> None:
+    """Ensure all elements share a common shape (homogeneous bag)."""
+    shape = None
+    for element in elements:
+        candidate = _shape_of(element)
+        if shape is None:
+            shape = candidate
+            continue
+        merged = _merge_shapes(shape, candidate)
+        if merged is None:
+            raise HeterogeneousBagError(
+                "bags must be homogeneous: cannot mix elements of shapes "
+                f"{shape} and {candidate}")
+        shape = merged
+
+
+#: The polymorphic empty bag ``[[ ]]``.
+EMPTY_BAG = Bag()

@@ -1,0 +1,327 @@
+"""Derived operators and the paper's worked queries.
+
+This module is the executable form of the identities of Sections 3-4:
+
+* projection ``pi_{i1..in}`` as a MAP (Section 3);
+* duplicate elimination derived from the powerset (Proposition 3.1);
+* subtraction derived from the powerset (Section 3, the
+  ``BALG_{-minus}`` identity);
+* additive union derived from maximal union + product + MAP (the
+  tagging identity of Section 3);
+* integers as bags, and the aggregate functions ``count``, ``sum``,
+  ``average`` (Section 3);
+* cardinality comparison and degree comparison (Examples 4.1 / 4.2);
+* counting, Hartig, and Rescher quantifiers (Section 4);
+* the parity-of-a-relation query in the presence of an order
+  (Section 4), and the ``bag-even`` query of Proposition 4.5 as a
+  *native* reference implementation (it is provably not expressible in
+  BALG^1 — that is the point of the proposition).
+
+Each derived form comes as a function building an :class:`Expr`; tests
+verify the identities against the primitive operators on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Bagging, BagDestroy, Cartesian, Const,
+    Dedup, Expr, Intersection, Lam, Map, MaxUnion, Powerset, Select,
+    Subtraction, Tupling, Var,
+)
+from repro.core.types import BagType, TupleType, Type, UNKNOWN, U
+
+__all__ = [
+    "project_expr", "select_attr_eq_const", "select_attr_eq_attr",
+    "derived_dedup", "derived_subtraction", "derived_additive_union",
+    "int_as_bag", "bag_as_int", "count_expr", "sum_expr", "average_expr",
+    "card_greater_expr", "card_at_least_expr", "hartig_expr",
+    "rescher_expr", "in_degree_greater_expr", "parity_even_expr",
+    "membership_expr", "is_nonempty", "bag_even_native",
+    "MARKER",
+]
+
+#: The marker constant the paper calls ``a`` in ``count``; any constant
+#: not occurring in the data works.
+MARKER = "#"
+
+
+# ----------------------------------------------------------------------
+# Small syntactic helpers
+# ----------------------------------------------------------------------
+
+def project_expr(operand: Expr, *indices: int) -> Map:
+    """``pi_{i1,...,in}(B)``: the MAP projecting the given 1-based
+    attributes (the paper's abbreviation)."""
+    if not indices:
+        raise BagTypeError("projection needs at least one attribute")
+    body = Tupling(*(Attribute(Var("·x"), i) for i in indices))
+    return Map(Lam("·x", body), operand)
+
+
+def select_attr_eq_const(operand: Expr, index: int,
+                         constant: Any) -> Select:
+    """``sigma_{i=c}(B)``: keep tuples whose i-th attribute equals the
+    constant (the shorthand of Example 4.1)."""
+    return Select(Lam("·x", Attribute(Var("·x"), index)),
+                  Lam("·x", Const(constant)), operand)
+
+
+def select_attr_eq_attr(operand: Expr, i: int, j: int) -> Select:
+    """``sigma_{alpha_i = alpha_j}(B)``: the equality selection used in
+    the Section 4 counting table."""
+    return Select(Lam("·x", Attribute(Var("·x"), i)),
+                  Lam("·x", Attribute(Var("·x"), j)), operand)
+
+
+def is_nonempty(bag: Bag) -> bool:
+    """Boolean reading of a query result (the paper's ``<> empty``)."""
+    return not bag.is_empty()
+
+
+# ----------------------------------------------------------------------
+# Proposition 3.1: duplicate elimination is redundant in BALG
+# ----------------------------------------------------------------------
+
+def derived_dedup(operand: Expr, element_type: Type) -> Expr:
+    """``eps`` expressed without the eps operator (Proposition 3.1).
+
+    * flat-tuple elements:  ``eps(B) = delta(P(B) n MAP_beta(B))`` —
+      P(B) holds one occurrence of every subbag, MAP_beta(B) holds the
+      singleton ``{{t}}`` once per occurrence of t; intersecting keeps
+      exactly one singleton per present tuple and delta unwraps them;
+    * bag elements:        ``eps(B) = P(delta(B)) n B`` — every member
+      bag is a subbag of the flattening, so it appears once in the
+      powerset, and intersection caps its multiplicity at 1;
+    * tuples with nested attributes: the recursive formula
+      ``eps(B) = B n (eps(pi_1 B) x ... x eps(pi_k B))`` with each
+      attribute deduplicated recursively (bag-typed attributes are
+      re-wrapped into 1-tuples with tau so the product stays typed).
+
+    Note how the first formula *increases the bag nesting* of the
+    intermediate type — Section 4 shows that increase is unavoidable.
+    """
+    if isinstance(element_type, BagType):
+        return Intersection(Powerset(BagDestroy(operand)), operand)
+    if not isinstance(element_type, TupleType):
+        # Bag of atoms: wrap into 1-tuples, dedup, unwrap.
+        wrapped = Map(Lam("·w", Tupling(Var("·w"))), operand)
+        flat = derived_dedup(wrapped, TupleType((U,)))
+        return Map(Lam("·w", Attribute(Var("·w"), 1)), flat)
+    if element_type.bag_nesting() == 0:
+        return BagDestroy(
+            Intersection(Powerset(operand),
+                         Map(Lam("·t", Bagging(Var("·t"))), operand)))
+    # Tuple with at least one nested-bag attribute: recursive formula.
+    factors = []
+    for position, attr_type in enumerate(element_type.attributes, start=1):
+        projected = Map(Lam("·t", Attribute(Var("·t"), position)), operand)
+        deduped = derived_dedup(projected, attr_type)
+        factors.append(Map(Lam("·y", Tupling(Var("·y"))), deduped))
+    product = factors[0]
+    for factor in factors[1:]:
+        product = Cartesian(product, factor)
+    return Intersection(operand, product)
+
+
+# ----------------------------------------------------------------------
+# Section 3: subtraction from powerset (the BALG_{-minus} identity)
+# ----------------------------------------------------------------------
+
+def derived_subtraction(left: Expr, right: Expr) -> Expr:
+    """``B1 - B2`` without the subtraction operator:
+
+    ``delta( sigma_{ x (+) (B1 n B2) = B1 }( P(B1) ) )``
+
+    Exactly one subbag ``x`` of ``B1`` satisfies the selection —
+    ``B1 - (B1 n B2)``, which equals ``B1 - B2`` — so the powerset is
+    filtered down to a singleton and delta unwraps it.  The nesting of
+    the intermediate type is one higher than the input's, which Section
+    4 shows is essential.
+    """
+    test = Lam("·s", AdditiveUnion(Var("·s"), Intersection(left, right)))
+    return BagDestroy(Select(test, Lam("·s", left), Powerset(left)))
+
+
+# ----------------------------------------------------------------------
+# Section 3: additive union from maximal union (tagging identity)
+# ----------------------------------------------------------------------
+
+def derived_additive_union(left: Expr, right: Expr, arity: int,
+                           tag_left: Any = "§L",
+                           tag_right: Any = "§R") -> Expr:
+    """``B1 (+) B2`` for k-ary bags, without additive union:
+
+    ``pi_{1..k}( (B1 x [[[tagL]]]) u (B2 x [[[tagR]]]) )``
+
+    Distinct tags make the operands disjoint, so maximal union acts as
+    disjoint sum, and the tag-dropping projection (a MAP) re-adds the
+    multiplicities.  ``tag_left``/``tag_right`` must be constants
+    absent from the data.
+    """
+    if arity < 1:
+        raise BagTypeError("additive-union identity needs arity >= 1")
+    tagged_left = Cartesian(left, Const(Bag.of(Tup(tag_left))))
+    tagged_right = Cartesian(right, Const(Bag.of(Tup(tag_right))))
+    return project_expr(MaxUnion(tagged_left, tagged_right),
+                        *range(1, arity + 1))
+
+
+# ----------------------------------------------------------------------
+# Integers as bags, and aggregates (Section 3)
+# ----------------------------------------------------------------------
+
+def int_as_bag(value: int, marker: Any = MARKER) -> Bag:
+    """Represent the integer ``i`` as a bag of ``i`` copies of the
+    1-tuple ``[marker]`` (the paper's encoding)."""
+    if value < 0:
+        raise BagTypeError("bags encode natural numbers only")
+    return Bag.from_counts({Tup(marker): value})
+
+
+def bag_as_int(bag: Bag) -> int:
+    """Decode an integer-as-bag: its cardinality with duplicates."""
+    return bag.cardinality
+
+
+def count_expr(operand: Expr, marker: Any = MARKER) -> Expr:
+    """``count(B) = pi_1([[[marker]]] x B)``: a bag holding ``|B|``
+    copies of ``[marker]`` (duplicates counted).
+
+    The paper states the identity for bags of tuples; to count bags
+    whose elements are not tuples (e.g. a bag of integers-as-bags) we
+    first wrap every element into a 1-tuple with ``MAP tau`` — a
+    cardinality-preserving restructuring that keeps the expression in
+    the algebra.
+    """
+    wrapped = Map(Lam("·w", Tupling(Var("·w"))), operand)
+    return project_expr(Cartesian(Const(Bag.of(Tup(marker))), wrapped), 1)
+
+
+def sum_expr(operand: Expr) -> Expr:
+    """``sum(B) = delta(B)`` for a bag of integers-as-bags."""
+    return BagDestroy(operand)
+
+
+def average_expr(operand: Expr, marker: Any = MARKER) -> Expr:
+    """Integer average of a bag of integers-as-bags (Section 3).
+
+    Selects, among the subbags ``x`` of ``sum(B)``, the one whose
+    product with ``count(B)`` has the cardinality of ``sum(B)`` — i.e.
+    ``|x| * count = sum`` — then unwraps it with delta.  When the
+    average is not an integer no subbag qualifies and the result is the
+    empty bag (the encoding has no fractions).
+    """
+    total = sum_expr(operand)
+    cardinality = count_expr(operand, marker)
+    candidate_product = project_expr(
+        Cartesian(Var("·c"), cardinality), 1)
+    chooser = Select(Lam("·c", candidate_product),
+                     Lam("·c", total),
+                     Powerset(total))
+    return BagDestroy(chooser)
+
+
+# ----------------------------------------------------------------------
+# Examples 4.1 / 4.2 and the Section 4 quantifiers
+# ----------------------------------------------------------------------
+
+def card_greater_expr(left: Expr, right: Expr) -> Expr:
+    """Example 4.2: nonempty iff ``card(R) > card(S)`` for unary bags.
+
+    ``pi_1(R x R) - pi_1(R x S)``: each tuple ``[r]`` occurs ``|R|^2``
+    times on the left and ``|R|*|S|`` times on the right.
+    """
+    return Subtraction(project_expr(Cartesian(left, left), 1),
+                       project_expr(Cartesian(left, right), 1))
+
+
+def card_at_least_expr(operand: Expr, threshold: int,
+                       marker: Any = MARKER) -> Expr:
+    """Counting quantifier ``exists >= i`` (Section 4): nonempty iff
+    ``card(B) >= threshold``."""
+    if threshold < 1:
+        raise BagTypeError("threshold must be >= 1")
+    return Subtraction(count_expr(operand, marker),
+                       Const(int_as_bag(threshold - 1, marker)))
+
+
+def hartig_expr(left: Expr, right: Expr, marker: Any = MARKER) -> Expr:
+    """Hartig quantifier (Section 4): nonempty iff the two bags have
+    *equally many* elements.
+
+    ``beta([marker]) - ((count L - count R) (+) (count R - count L))``
+    — the inner expression is empty exactly on equality, in which case
+    the singleton survives.
+    """
+    count_left = count_expr(left, marker)
+    count_right = count_expr(right, marker)
+    imbalance = AdditiveUnion(Subtraction(count_left, count_right),
+                              Subtraction(count_right, count_left))
+    return Subtraction(Const(Bag.of(Tup(marker))), imbalance)
+
+
+def rescher_expr(left: Expr, right: Expr, marker: Any = MARKER) -> Expr:
+    """Rescher quantifier (Section 4): nonempty iff ``card(L) <
+    card(R)``."""
+    return Subtraction(count_expr(right, marker),
+                       count_expr(left, marker))
+
+
+def in_degree_greater_expr(graph: Expr, node: Any) -> Expr:
+    """Example 4.1: nonempty iff the in-degree of ``node`` exceeds its
+    out-degree in the edge bag ``graph``:
+
+    ``pi_2(sigma_{2=node}(G)) - pi_1(sigma_{1=node}(G))``
+    """
+    in_edges = project_expr(select_attr_eq_const(graph, 2, node), 2)
+    out_edges = project_expr(select_attr_eq_const(graph, 1, node), 1)
+    return Subtraction(in_edges, out_edges)
+
+
+def parity_even_expr(relation: Expr, marker: Any = MARKER) -> Expr:
+    """Section 4: parity of the cardinality of a *relation* (a bag of
+    1-tuples without duplicates), definable given an order on the
+    domain:
+
+    ``sigma_{ MAP_[m](sigma_{y<=x} R) = MAP_[m](sigma_{x<y} R) }(R)``
+
+    Nonempty iff some element x splits R evenly between {y <= x} and
+    {y > x}, which happens exactly when |R| is even.  The inner MAPs
+    count by collapsing every tuple onto the marker.
+    """
+    def counted(selection: Expr) -> Expr:
+        return Map(Lam("·y", Tupling(Const(marker))), selection)
+
+    below_or_equal = Select(Lam("·y", Var("·y")), Lam("·y", Var("·x")),
+                            relation, op="le")
+    strictly_above = Select(Lam("·y", Var("·x")), Lam("·y", Var("·y")),
+                            relation, op="lt")
+    return Select(Lam("·x", counted(below_or_equal)),
+                  Lam("·x", counted(strictly_above)),
+                  relation)
+
+
+def membership_expr(candidate: Expr, bag: Expr) -> Expr:
+    """Membership test as an algebra expression: nonempty iff the value
+    of ``candidate`` occurs in ``bag``."""
+    return Select(Lam("·m", Var("·m")), Lam("·m", candidate), bag)
+
+
+# ----------------------------------------------------------------------
+# Proposition 4.5: the bag-even query (native reference only)
+# ----------------------------------------------------------------------
+
+def bag_even_native(bag: Bag) -> Bag:
+    """The ``bag-even`` query: ``B`` when the number of duplicates in
+    ``B`` is even, the empty bag otherwise.
+
+    Proposition 4.5 proves this query is **not expressible** in
+    BALG^1; it exists here only as the ground truth the
+    inexpressibility experiment (E03) tests candidate expressions
+    against.
+    """
+    return bag if bag.cardinality % 2 == 0 else Bag()

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the bag-algebra reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching Python built-ins.
+The hierarchy mirrors the phases of query processing:
+
+* construction of values               -> :class:`ValueConstructionError`
+* static typing / fragment checking    -> :class:`BagTypeError` and friends
+* evaluation                           -> :class:`EvaluationError`
+* parsing of the surface syntax / SQL  -> :class:`ParseError`
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValueConstructionError(ReproError):
+    """A bag, tuple, or atom could not be constructed.
+
+    Raised, for instance, when a bag is built with non-positive
+    multiplicities or from a non-hashable element.
+    """
+
+
+class HeterogeneousBagError(ValueConstructionError):
+    """A bag was built from elements of incompatible types.
+
+    Bags in the paper are *homogeneous* collections (Section 2); mixing
+    a tuple with an atom, or tuples of different arity, is a type error
+    at construction time.
+    """
+
+
+class BagTypeError(ReproError):
+    """Static type error in an algebra expression.
+
+    Covers arity mismatches in Cartesian products, union of bags of
+    different types, projection out of range, applying bag-destroy to an
+    unnested bag, and similar Section 3 typing restrictions.
+    """
+
+
+class FragmentViolationError(BagTypeError):
+    """An expression leaves the algebra fragment it was checked against.
+
+    Examples: a ``BALG^1`` query whose intermediate type has nested
+    bags, or a ``BALG_{-P}`` query that uses the powerset.
+    """
+
+
+class UnboundVariableError(BagTypeError):
+    """An expression refers to a variable absent from the environment
+    (or from the schema, during type inference)."""
+
+
+class EvaluationError(ReproError):
+    """Runtime failure while evaluating an algebra expression."""
+
+
+class ResourceLimitError(EvaluationError):
+    """Evaluation exceeded a configured resource budget.
+
+    The powerset and powerbag operators can blow up exponentially
+    (Propositions 3.2 and Theorem 5.5); evaluators accept explicit
+    budgets and abort with this error instead of exhausting memory.
+    """
+
+
+class ParseError(ReproError):
+    """The surface syntax or mini-SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 text: str | None = None):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position is None:
+            return base
+        return f"{base} (at offset {self.position})"

@@ -1,0 +1,163 @@
+"""Instrumented evaluator for bag-algebra expressions.
+
+The evaluator is deliberately small: every AST node knows how to compute
+itself (``Expr._evaluate``), and the :class:`Evaluator` supplies
+
+* the environment discipline (lexically scoped lambda bindings on top
+  of the database bindings),
+* an optional **powerset budget** that aborts evaluation before an
+  exponential blow-up (Propositions 3.2 / Theorem 5.5 territory), and
+* **instrumentation**: per-operator execution counts, peak intermediate
+  standard-encoding size, and peak multiplicity.  These measurements are
+  what turn the complexity theorems of the paper (Thm 4.4 LOGSPACE,
+  Thm 5.1 PSPACE, Thm 6.2 hierarchy) into experiments.
+
+The environment is a linked chain of frames so that binding a lambda
+parameter is O(1) even inside a MAP over a large bag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.bag import Bag
+from repro.core.database import Instance, encoding_size
+from repro.core.errors import EvaluationError, UnboundVariableError
+from repro.core.expr import Expr
+
+__all__ = ["EvalStats", "Evaluator", "evaluate"]
+
+
+@dataclass
+class EvalStats:
+    """Measurements gathered during one or more evaluations."""
+
+    #: node-class-name -> number of times that operator executed.
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    #: Largest standard-encoding size of any intermediate bag result.
+    peak_encoding_size: int = 0
+    #: Largest multiplicity of any element of any intermediate bag.
+    peak_multiplicity: int = 0
+    #: Largest number of *distinct* elements of any intermediate bag.
+    peak_distinct: int = 0
+    #: Total number of node evaluations.
+    nodes_evaluated: int = 0
+
+    def record(self, node: Expr, result: Any) -> None:
+        name = type(node).__name__
+        self.op_counts[name] = self.op_counts.get(name, 0) + 1
+        self.nodes_evaluated += 1
+        if isinstance(result, Bag):
+            self.peak_encoding_size = max(self.peak_encoding_size,
+                                          encoding_size(result))
+            self.peak_distinct = max(self.peak_distinct,
+                                     result.distinct_count)
+            if not result.is_empty():
+                top = max(count for _, count in result.items())
+                self.peak_multiplicity = max(self.peak_multiplicity, top)
+
+    def merged_with(self, other: "EvalStats") -> "EvalStats":
+        """Combine two measurement records (used by benchmark sweeps)."""
+        merged = EvalStats()
+        merged.op_counts = dict(self.op_counts)
+        for name, count in other.op_counts.items():
+            merged.op_counts[name] = merged.op_counts.get(name, 0) + count
+        merged.peak_encoding_size = max(self.peak_encoding_size,
+                                        other.peak_encoding_size)
+        merged.peak_multiplicity = max(self.peak_multiplicity,
+                                       other.peak_multiplicity)
+        merged.peak_distinct = max(self.peak_distinct, other.peak_distinct)
+        merged.nodes_evaluated = (self.nodes_evaluated
+                                  + other.nodes_evaluated)
+        return merged
+
+
+#: Environment frames: None (empty) or (name, value, parent_frame).
+_Frame = Optional[Tuple[str, Any, Any]]
+
+
+class Evaluator:
+    """Evaluates expressions against a database instance.
+
+    Parameters
+    ----------
+    powerset_budget:
+        Maximal number of subbags a single powerset/powerbag result may
+        contain; ``None`` means unlimited.  Exceeding the budget raises
+        :class:`~repro.core.errors.ResourceLimitError` before anything
+        is materialised.
+    track_stats:
+        Disable to shave the instrumentation overhead off timing runs.
+    """
+
+    def __init__(self, powerset_budget: Optional[int] = None,
+                 track_stats: bool = True):
+        self.powerset_budget = powerset_budget
+        self.track_stats = track_stats
+        self.stats = EvalStats()
+
+    # -- environment -----------------------------------------------------
+
+    def bind(self, env, name: str, value: Any):
+        """Push a lambda binding on the environment chain."""
+        base, frame = env
+        return (base, (name, value, frame))
+
+    def lookup(self, name: str, env) -> Any:
+        """Resolve a variable: lambda frames first, then the database."""
+        base, frame = env
+        while frame is not None:
+            frame_name, value, frame = frame
+            if frame_name == name:
+                return value
+        if name in base:
+            return base[name]
+        raise UnboundVariableError(f"unbound variable {name!r}")
+
+    # -- evaluation -------------------------------------------------------
+
+    def eval(self, expr: Expr, env) -> Any:
+        """Evaluate a node in an environment (internal entry point)."""
+        result = expr._evaluate(self, env)
+        if self.track_stats:
+            self.stats.record(expr, result)
+        return result
+
+    def run(self, expr: Expr, database: Optional[Mapping[str, Bag]] = None,
+            **named_bags: Bag) -> Any:
+        """Evaluate ``expr`` against database bindings.
+
+        ``database`` may be a plain mapping or an
+        :class:`~repro.core.database.Instance`; keyword arguments add or
+        override individual bags.
+        """
+        bindings: Dict[str, Any] = {}
+        if isinstance(database, Instance):
+            bindings.update(database.bags())
+        elif database is not None:
+            bindings.update(database)
+        bindings.update(named_bags)
+        missing = expr.free_vars() - set(bindings)
+        if missing:
+            raise UnboundVariableError(
+                f"expression mentions unbound bag(s): {sorted(missing)}")
+        try:
+            return self.eval(expr, (bindings, None))
+        except RecursionError as exc:  # pragma: no cover - defensive
+            raise EvaluationError(
+                "expression nesting too deep for the evaluator") from exc
+
+
+def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
+             powerset_budget: Optional[int] = None,
+             **named_bags: Bag) -> Any:
+    """One-shot convenience wrapper around :class:`Evaluator`.
+
+    >>> from repro.core.expr import var
+    >>> from repro.core.bag import Bag
+    >>> evaluate(var("B") + var("B"), B=Bag.of("a"))
+    {{'a'*2}}
+    """
+    return Evaluator(powerset_budget=powerset_budget).run(
+        expr, database, **named_bags)

@@ -1,0 +1,160 @@
+"""Fragment checking: BALG^k, power nesting, operator restrictions.
+
+The paper stratifies the algebra three ways:
+
+* **bag nesting** — ``BALG^k`` restricts every (input, output, and
+  intermediate) type to bag nesting at most ``k`` (Sections 4-6);
+* **power nesting** — ``BALG^k_i`` additionally bounds the number of
+  powerset operations on any root-to-leaf path of the expression tree
+  by ``i`` (Section 6, Theorem 6.2);
+* **operator restrictions** — ``BALG_{-op}`` removes an operator, used
+  to state independence results such as Prop 3.1 (``eps`` is redundant
+  in BALG) and Prop 4.1 (``eps`` and ``-`` are *not* redundant in
+  BALG^1).
+
+All three are decidable syntactic/static checks implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Set, Type as PyType
+
+from repro.core.errors import FragmentViolationError
+from repro.core.expr import (
+    Expr, Powerbag, Powerset,
+)
+from repro.core.typecheck import TypeChecker
+from repro.core.types import Type
+
+__all__ = [
+    "power_nesting", "operators_used", "uses_only",
+    "max_bag_nesting", "in_balg", "assert_in_balg", "FragmentReport",
+    "fragment_report",
+]
+
+
+def power_nesting(expr: Expr,
+                  power_nodes: tuple = (Powerset, Powerbag)) -> int:
+    """Maximal number of powerset (and powerbag) operations on a
+    root-to-leaf path of the expression tree (Section 6's measure)."""
+    here = 1 if isinstance(expr, power_nodes) else 0
+    children = expr.children()
+    if not children:
+        return here
+    return here + max(power_nesting(child, power_nodes)
+                      for child in children)
+
+
+def operators_used(expr: Expr) -> Set[PyType[Expr]]:
+    """The set of node classes occurring in the expression."""
+    return {type(node) for node in expr.walk()}
+
+
+def uses_only(expr: Expr, allowed: Iterable[PyType[Expr]]) -> bool:
+    """True when every node of ``expr`` is an instance of one of the
+    ``allowed`` classes (use for BALG_{-op} style restrictions)."""
+    allowed = tuple(allowed)
+    return all(isinstance(node, allowed) for node in expr.walk())
+
+
+def max_bag_nesting(expr: Expr,
+                    schema: Optional[Mapping[str, Type]] = None,
+                    **named_types: Type) -> int:
+    """Maximal bag nesting over all subexpression types of ``expr``
+    (inputs included, via the schema)."""
+    checker = TypeChecker()
+    checker.check(expr, schema, **named_types)
+    input_nesting = 0
+    bindings = dict(schema.items()) if hasattr(schema, "items") else {}
+    bindings.update(named_types)
+    for declared in bindings.values():
+        input_nesting = max(input_nesting, declared.bag_nesting())
+    return max(checker.max_bag_nesting(), input_nesting)
+
+
+def in_balg(expr: Expr, k: int,
+            schema: Optional[Mapping[str, Type]] = None,
+            **named_types: Type) -> bool:
+    """Is ``expr`` a BALG^k expression under the given schema?
+
+    Note that ``BALG^1`` automatically excludes powerset and
+    bag-destroy: the former *produces* and the latter *consumes* a type
+    of nesting >= 2, so the nesting bound rejects them — exactly as
+    stated in Section 4.
+    """
+    return max_bag_nesting(expr, schema, **named_types) <= k
+
+
+def assert_in_balg(expr: Expr, k: int,
+                   schema: Optional[Mapping[str, Type]] = None,
+                   forbid: Iterable[PyType[Expr]] = (),
+                   max_power_nesting: Optional[int] = None,
+                   **named_types: Type) -> None:
+    """Raise :class:`FragmentViolationError` unless ``expr`` lies in
+    BALG^k (optionally BALG^k_i via ``max_power_nesting``, optionally
+    with forbidden operators)."""
+    nesting = max_bag_nesting(expr, schema, **named_types)
+    if nesting > k:
+        raise FragmentViolationError(
+            f"expression uses bag nesting {nesting}, fragment allows "
+            f"at most {k}")
+    forbidden = tuple(forbid)
+    if forbidden:
+        for node in expr.walk():
+            if isinstance(node, forbidden):
+                raise FragmentViolationError(
+                    f"operator {type(node).__name__} is excluded from "
+                    "this fragment")
+    if max_power_nesting is not None:
+        depth = power_nesting(expr)
+        if depth > max_power_nesting:
+            raise FragmentViolationError(
+                f"power nesting {depth} exceeds the allowed "
+                f"{max_power_nesting}")
+
+
+@dataclass
+class FragmentReport:
+    """Summary of where an expression sits in the paper's hierarchies."""
+
+    result_type: Type
+    max_nesting: int
+    power_nesting: int
+    operators: Set[str] = field(default_factory=set)
+
+    @property
+    def in_balg1(self) -> bool:
+        return self.max_nesting <= 1
+
+    @property
+    def in_balg2(self) -> bool:
+        return self.max_nesting <= 2
+
+    @property
+    def in_balg3(self) -> bool:
+        return self.max_nesting <= 3
+
+    def fragment_name(self) -> str:
+        """Human-readable fragment label, e.g. ``BALG^2_1``."""
+        return f"BALG^{max(self.max_nesting, 1)}_{self.power_nesting}"
+
+
+def fragment_report(expr: Expr,
+                    schema: Optional[Mapping[str, Type]] = None,
+                    **named_types: Type) -> FragmentReport:
+    """Classify an expression: result type, nesting, power nesting, and
+    operator inventory."""
+    checker = TypeChecker()
+    result_type = checker.check(expr, schema, **named_types)
+    input_nesting = 0
+    bindings = dict(schema.items()) if hasattr(schema, "items") else {}
+    bindings.update(named_types)
+    for declared in bindings.values():
+        input_nesting = max(input_nesting, declared.bag_nesting())
+    return FragmentReport(
+        result_type=result_type,
+        max_nesting=max(checker.max_bag_nesting(), input_nesting),
+        power_nesting=power_nesting(expr),
+        operators={cls.__name__ for cls in operators_used(expr)},
+    )

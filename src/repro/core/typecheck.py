@@ -1,0 +1,112 @@
+"""Static type inference for algebra expressions.
+
+Every subexpression of a BALG expression has a type; the fragments
+``BALG^k`` of the paper are defined by bounding the *bag nesting* of all
+those types (Section 3: "We denote the algebra when restricted to bag
+nesting of depth k, BALG^k").  The checker therefore records the type of
+every node it visits so that :mod:`repro.core.fragments` can compute the
+nesting of a whole expression.
+
+The checker reuses the same node hooks as the evaluator: each node
+implements ``_infer(checker, tenv)``; the checker supplies environment
+plumbing and the annotation log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.database import Schema
+from repro.core.errors import BagTypeError, UnboundVariableError
+from repro.core.expr import Expr
+from repro.core.types import BagType, Type
+
+__all__ = ["TypeChecker", "infer_type", "annotate_types"]
+
+
+#: Type-environment frames mirror the evaluator's: (base_mapping, chain).
+_TFrame = Optional[Tuple[str, Type, object]]
+
+
+class TypeChecker:
+    """Infers the type of an expression under a schema.
+
+    After :meth:`check` runs, :attr:`annotations` holds one
+    ``(node, type)`` pair per visited node occurrence, in visit order.
+    """
+
+    def __init__(self):
+        self.annotations: List[Tuple[Expr, Type]] = []
+
+    # -- environment -----------------------------------------------------
+
+    def bind(self, tenv, name: str, declared: Type):
+        base, frame = tenv
+        return (base, (name, declared, frame))
+
+    def lookup(self, name: str, tenv) -> Type:
+        base, frame = tenv
+        while frame is not None:
+            frame_name, declared, frame = frame
+            if frame_name == name:
+                return declared
+        if name in base:
+            return base[name]
+        raise UnboundVariableError(
+            f"variable {name!r} is bound neither by a lambda nor by the "
+            "schema")
+
+    # -- inference --------------------------------------------------------
+
+    def infer(self, expr: Expr, tenv) -> Type:
+        inferred = expr._infer(self, tenv)
+        self.annotations.append((expr, inferred))
+        return inferred
+
+    def check(self, expr: Expr,
+              schema: Optional[Mapping[str, Type] | Schema] = None,
+              **named_types: Type) -> Type:
+        """Infer the type of ``expr`` under ``schema``.
+
+        ``schema`` may be a :class:`~repro.core.database.Schema`, a
+        plain ``name -> Type`` mapping, or omitted when the expression
+        is closed; keyword arguments add individual bindings.
+        """
+        base: Dict[str, Type] = {}
+        if isinstance(schema, Schema):
+            base.update(dict(schema.items()))
+        elif schema is not None:
+            base.update(schema)
+        base.update(named_types)
+        for name, declared in base.items():
+            if not isinstance(declared, Type):
+                raise BagTypeError(
+                    f"schema entry {name!r} must be a Type, got "
+                    f"{declared!r}")
+        return self.infer(expr, (base, None))
+
+    # -- derived measurements ----------------------------------------------
+
+    def max_bag_nesting(self) -> int:
+        """Maximal bag nesting over every annotated subexpression type
+        (the measure defining BALG^k membership)."""
+        if not self.annotations:
+            return 0
+        return max(annotated.bag_nesting()
+                   for _, annotated in self.annotations)
+
+
+def infer_type(expr: Expr,
+               schema: Optional[Mapping[str, Type] | Schema] = None,
+               **named_types: Type) -> Type:
+    """Infer the result type of an expression (one-shot convenience)."""
+    return TypeChecker().check(expr, schema, **named_types)
+
+
+def annotate_types(expr: Expr,
+                   schema: Optional[Mapping[str, Type] | Schema] = None,
+                   **named_types: Type) -> List[Tuple[Expr, Type]]:
+    """Return the full (node, type) annotation log for an expression."""
+    checker = TypeChecker()
+    checker.check(expr, schema, **named_types)
+    return checker.annotations

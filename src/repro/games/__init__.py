@@ -1,0 +1,19 @@
+"""GV90 pebble games and the Figure 1 star-graph families (Section 5)."""
+
+from repro.games.pebble import (
+    GameResult, duplicator_wins, partial_isomorphism,
+    winning_spoiler_line,
+)
+from repro.games.star_graphs import (
+    StarGraphPair, build_star_graphs, center_node, edge_bag,
+    in_out_families, satisfies_property_one,
+)
+from repro.games.structures import CoStructure, SET_OF_ATOMS, dom, dom_size, set_of
+
+__all__ = [
+    "GameResult", "duplicator_wins", "partial_isomorphism",
+    "winning_spoiler_line",
+    "StarGraphPair", "build_star_graphs", "center_node", "edge_bag",
+    "in_out_families", "satisfies_property_one",
+    "CoStructure", "SET_OF_ATOMS", "dom", "dom_size", "set_of",
+]

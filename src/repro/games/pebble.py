@@ -1,0 +1,275 @@
+"""The GV90 game for complex-object structures (Theorem 5.3).
+
+The game with ``k`` moves with respect to a type set ``T`` is played on
+two structures ``A`` and ``A'``.  Each round the *spoiler* picks an
+object of some type in ``T`` from the completion of either structure;
+the *duplicator* answers with an object of the same type in the other
+structure.  The duplicator wins a play when the chosen pairs induce a
+partial isomorphism of the completed structures; the duplicator *wins
+the game* when it has a winning strategy against every spoiler play.
+
+By [GV90] (Theorem 5.3 in the paper), the duplicator wins the k-move
+game iff no CALC1 sentence with k variables (equivalently, no RALG^2
+expression translated to quantifier depth k) distinguishes the two
+structures.  This module decides the game exactly by minimax search
+with memoisation; move ordering (try the *same* object in the opposite
+structure first) makes the Fig. 1 instances tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.bag import Bag, Tup, canonical_key
+from repro.core.types import Type, type_of
+from repro.games.structures import CoStructure, dom
+
+__all__ = ["partial_isomorphism", "GameResult", "duplicator_wins",
+           "winning_spoiler_line"]
+
+
+def partial_isomorphism(left: CoStructure, right: CoStructure,
+                        pairs: Sequence[Tuple[Any, Any]]) -> bool:
+    """Do the chosen pairs induce a partial isomorphism?
+
+    Requirements (the substructure-isomorphism of [GV90]):
+
+    * the pairing is a well-defined bijection on the chosen objects,
+      preserving types;
+    * the logical predicates — equality, membership, containment —
+      agree between corresponding objects (tuple components are closed
+      over, extending the map by ``F(a.i) = f(a).i``);
+    * every nonlogical relation agrees on every tuple of chosen
+      objects.
+    """
+    closure = _close_under_components(pairs)
+    if closure is None:
+        return False
+    mapping: Dict[Any, Any] = {}
+    reverse: Dict[Any, Any] = {}
+    for source, target in closure:
+        if type_of(source) != type_of(target):
+            return False
+        if source in mapping and mapping[source] != target:
+            return False
+        if target in reverse and reverse[target] != source:
+            return False
+        mapping[source] = target
+        reverse[target] = source
+
+    chosen = list(mapping.items())
+    for source_a, target_a in chosen:
+        for source_b, target_b in chosen:
+            if not _logical_predicates_agree(source_a, source_b,
+                                             target_a, target_b):
+                return False
+
+    for name in set(left.relations) | set(right.relations):
+        left_tuples = left.relations.get(name, frozenset())
+        right_tuples = right.relations.get(name, frozenset())
+        arities = {len(t) for t in left_tuples} | {
+            len(t) for t in right_tuples}
+        for arity in arities:
+            if not _relation_agrees(left_tuples, right_tuples, mapping,
+                                    arity):
+                return False
+    return True
+
+
+def _close_under_components(
+        pairs: Sequence[Tuple[Any, Any]]
+) -> Optional[List[Tuple[Any, Any]]]:
+    """Extend the pairing with tuple components (F(a.i) = f(a).i).
+    Returns None when arities clash."""
+    closure: List[Tuple[Any, Any]] = []
+    queue = list(pairs)
+    while queue:
+        source, target = queue.pop()
+        closure.append((source, target))
+        if isinstance(source, Tup) or isinstance(target, Tup):
+            if (not isinstance(source, Tup)
+                    or not isinstance(target, Tup)
+                    or source.arity != target.arity):
+                return None
+            queue.extend(zip(source.items(), target.items()))
+    return closure
+
+
+def _logical_predicates_agree(source_a: Any, source_b: Any,
+                              target_a: Any, target_b: Any) -> bool:
+    """Equality, membership, and containment must transfer."""
+    if (source_a == source_b) != (target_a == target_b):
+        return False
+    # membership: o in S  (S a set of the right element type)
+    if isinstance(source_b, Bag) and isinstance(target_b, Bag):
+        if (source_a in source_b) != (target_a in target_b):
+            return False
+        if isinstance(source_a, Bag) and isinstance(target_a, Bag):
+            if (source_a.is_subbag_of(source_b)
+                    != target_a.is_subbag_of(target_b)):
+                return False
+    return True
+
+
+def _relation_agrees(left_tuples: FrozenSet, right_tuples: FrozenSet,
+                     mapping: Dict[Any, Any], arity: int) -> bool:
+    chosen = list(mapping)
+    if not chosen:
+        return True
+    return _relation_agrees_rec(left_tuples, right_tuples, mapping,
+                                arity, ())
+
+
+def _relation_agrees_rec(left_tuples, right_tuples, mapping, arity,
+                         prefix) -> bool:
+    if len(prefix) == arity:
+        left_entry = tuple(obj for obj, _ in prefix)
+        right_entry = tuple(img for _, img in prefix)
+        return ((left_entry in left_tuples)
+                == (right_entry in right_tuples))
+    for obj, img in mapping.items():
+        if not _relation_agrees_rec(left_tuples, right_tuples, mapping,
+                                    arity, prefix + ((obj, img),)):
+            return False
+    return True
+
+
+@dataclass
+class GameResult:
+    """Outcome of solving one game instance."""
+
+    duplicator_wins: bool
+    moves: int
+    positions_explored: int
+
+
+def duplicator_wins(left: CoStructure, right: CoStructure,
+                    types: Sequence[Type], k: int,
+                    dom_budget: int = 1 << 16) -> GameResult:
+    """Decide the k-move game w.r.t. the type set ``types`` exactly.
+
+    Minimax: the spoiler needs one move with no good duplicator reply;
+    the duplicator needs one reply per spoiler move.  Positions are
+    memoised up to reordering of the chosen pairs.
+    """
+    left_domains = {t: dom(t, left.atoms, budget=dom_budget)
+                    for t in types}
+    right_domains = {t: dom(t, right.atoms, budget=dom_budget)
+                     for t in types}
+    memo: Dict[Tuple, bool] = {}
+    counter = {"positions": 0}
+
+    def dup_wins(pairs: Tuple[Tuple[Any, Any], ...],
+                 moves_left: int) -> bool:
+        if not partial_isomorphism(left, right, pairs):
+            return False
+        if moves_left == 0:
+            return True
+        key = (moves_left,
+               tuple(sorted(((canonical_key(a), canonical_key(b))
+                             for a, b in pairs))))
+        if key in memo:
+            return memo[key]
+        counter["positions"] += 1
+        verdict = True
+        for object_type in types:
+            for spoiler_side in ("left", "right"):
+                picks = (left_domains if spoiler_side == "left"
+                         else right_domains)[object_type]
+                replies = (right_domains if spoiler_side == "left"
+                           else left_domains)[object_type]
+                for pick in picks:
+                    if not _has_reply(pairs, moves_left, pick, replies,
+                                      spoiler_side, dup_wins):
+                        verdict = False
+                        break
+                if not verdict:
+                    break
+            if not verdict:
+                break
+        memo[key] = verdict
+        return verdict
+
+    result = dup_wins((), k)
+    return GameResult(duplicator_wins=result, moves=k,
+                      positions_explored=counter["positions"])
+
+
+def _has_reply(pairs, moves_left, pick, replies, spoiler_side,
+               dup_wins) -> bool:
+    """Does the duplicator have a winning reply to ``pick``?
+
+    Tries the *identical* object first — on the Fig. 1 graphs the two
+    structures share their node universe, so mirroring is usually
+    right — then the rest in canonical order.
+    """
+    ordered = sorted(replies, key=lambda r: (r != pick,
+                                             canonical_key(r)))
+    for reply in ordered:
+        new_pair = ((pick, reply) if spoiler_side == "left"
+                    else (reply, pick))
+        if dup_wins(pairs + (new_pair,), moves_left - 1):
+            return True
+    return False
+
+
+def winning_spoiler_line(left: CoStructure, right: CoStructure,
+                         types: Sequence[Type], k: int,
+                         dom_budget: int = 1 << 16) -> Optional[list]:
+    """When the spoiler wins the k-move game, exhibit one winning line:
+    a list of ``(side, object)`` picks after which *every* duplicator
+    reply loses.  Returns ``None`` when the duplicator wins.
+
+    This is the constructive counterpart of :func:`duplicator_wins`,
+    useful for explaining *why* two structures are distinguishable —
+    the exhibited objects pinpoint the difference (e.g. the two
+    endpoints of the edge present in only one structure).
+    """
+    left_domains = {t: dom(t, left.atoms, budget=dom_budget)
+                    for t in types}
+    right_domains = {t: dom(t, right.atoms, budget=dom_budget)
+                     for t in types}
+
+    def dup_wins(pairs, moves_left) -> bool:
+        if not partial_isomorphism(left, right, pairs):
+            return False
+        if moves_left == 0:
+            return True
+        for object_type in types:
+            for side in ("left", "right"):
+                picks = (left_domains if side == "left"
+                         else right_domains)[object_type]
+                replies = (right_domains if side == "left"
+                           else left_domains)[object_type]
+                for pick in picks:
+                    if not any(dup_wins(
+                            pairs + (((pick, reply) if side == "left"
+                                      else (reply, pick)),),
+                            moves_left - 1) for reply in replies):
+                        return False
+        return True
+
+    def spoiler_line(pairs, moves_left):
+        """Return the winning picks from this position, or None."""
+        if not partial_isomorphism(left, right, pairs):
+            return []          # already won, no more picks needed
+        if moves_left == 0:
+            return None
+        for object_type in types:
+            for side in ("left", "right"):
+                picks = (left_domains if side == "left"
+                         else right_domains)[object_type]
+                replies = (right_domains if side == "left"
+                           else left_domains)[object_type]
+                for pick in picks:
+                    # a winning pick defeats every duplicator reply
+                    if all(not dup_wins(
+                            pairs + (((pick, reply) if side == "left"
+                                      else (reply, pick)),),
+                            moves_left - 1) for reply in replies):
+                        return [(side, pick)]
+        return None
+
+    line = spoiler_line((), k)
+    return line

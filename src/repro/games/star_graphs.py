@@ -1,0 +1,126 @@
+"""The Figure 1 star graphs and the In_n / Out_n families (Lemma 5.4).
+
+Lemma 5.4 separates BALG^2 from RALG^2 on graphs whose nodes are *sets
+of atomic constants*.  The construction:
+
+* the domain is ``{1..n}`` (n even);
+* the central node ``alpha`` is the full set ``{1..n}``;
+* the other ``2^(n/2)`` nodes are n/2-subsets of the domain, split
+  into two families ``In_n`` and ``Out_n`` of equal size satisfying
+  the *probabilistic property (1)*: every atom belongs to exactly half
+  of the sets of each family;
+* ``G`` has an edge from every ``In`` node to ``alpha`` and from
+  ``alpha`` to every ``Out`` node (so alpha's in- and out-degrees are
+  equal); ``G'`` inverts one outgoing edge (so the in-degree wins).
+
+The recursive definition of the families (basis n=4, adding atoms n+1
+and n+2 crosswise) is implemented verbatim, together with the property
+(1) checker and both the game-structure and bag-algebra views of the
+graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.core.bag import Bag, Tup, canonical_key
+from repro.core.errors import BagTypeError
+from repro.games.structures import CoStructure, set_of
+
+__all__ = [
+    "in_out_families", "satisfies_property_one", "StarGraphPair",
+    "build_star_graphs", "center_node", "edge_bag",
+]
+
+
+def in_out_families(n: int) -> Tuple[List[Bag], List[Bag]]:
+    """The recursive ``In_n`` / ``Out_n`` construction of Lemma 5.4.
+
+    Basis (n=4): ``In = {{1,2},{3,4}}``, ``Out = {{1,3},{2,4}}``.
+    Induction (n -> n+2)::
+
+        In_{n+2}  = {S u {n+1} | S in In_n } u {S u {n+2} | S in Out_n}
+        Out_{n+2} = {S u {n+1} | S in Out_n} u {S u {n+2} | S in In_n }
+
+    Every member has cardinality n/2 and the two families are disjoint.
+    """
+    if n < 4 or n % 2 != 0:
+        raise BagTypeError("the construction needs an even n >= 4")
+    ins = [set_of(1, 2), set_of(3, 4)]
+    outs = [set_of(1, 3), set_of(2, 4)]
+    size = 4
+    while size < n:
+        grown_ins = ([_with(s, size + 1) for s in ins]
+                     + [_with(s, size + 2) for s in outs])
+        grown_outs = ([_with(s, size + 1) for s in outs]
+                      + [_with(s, size + 2) for s in ins])
+        ins, outs = grown_ins, grown_outs
+        size += 2
+    return ins, outs
+
+
+def _with(subset: Bag, atom: int) -> Bag:
+    counts = dict(subset.counts())
+    counts[atom] = 1
+    return Bag.from_counts(counts)
+
+
+def satisfies_property_one(family: List[Bag], n: int) -> bool:
+    """Property (1): ``P(i in S | S in family) = 1/2`` for every atom
+    ``i`` of the domain ``{1..n}``."""
+    if not family:
+        return False
+    half = len(family) / 2
+    for atom in range(1, n + 1):
+        containing = sum(1 for subset in family if atom in subset)
+        if containing != half:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class StarGraphPair:
+    """The pair (G, G') of Lemma 5.4 plus its metadata."""
+
+    n: int
+    balanced: CoStructure        # G: in-degree(alpha) = out-degree
+    unbalanced: CoStructure      # G': in-degree(alpha) > out-degree
+    center: Bag
+    in_nodes: Tuple[Bag, ...]
+    out_nodes: Tuple[Bag, ...]
+
+
+def center_node(n: int) -> Bag:
+    """The central node alpha = {1..n}."""
+    return set_of(*range(1, n + 1))
+
+
+def build_star_graphs(n: int) -> StarGraphPair:
+    """Build G and G' for domain size n (even, >= 4)."""
+    ins, outs = in_out_families(n)
+    alpha = center_node(n)
+    atoms = frozenset(range(1, n + 1))
+
+    balanced_edges = ({(node, alpha) for node in ins}
+                      | {(alpha, node) for node in outs})
+    # Invert one edge deterministically: the canonically-least Out node.
+    flipped = min(outs, key=canonical_key)
+    unbalanced_edges = (set(balanced_edges)
+                        - {(alpha, flipped)}) | {(flipped, alpha)}
+
+    return StarGraphPair(
+        n=n,
+        balanced=CoStructure.build(atoms, {"E": balanced_edges}),
+        unbalanced=CoStructure.build(atoms, {"E": unbalanced_edges}),
+        center=alpha,
+        in_nodes=tuple(ins),
+        out_nodes=tuple(outs),
+    )
+
+
+def edge_bag(structure: CoStructure, relation: str = "E") -> Bag:
+    """The edge relation as a bag of 2-tuples of node sets — the
+    BALG^2 input on which the in-degree query of Theorem 5.2 runs."""
+    return Bag.from_counts(
+        {Tup(src, dst): 1 for src, dst in structure.relation(relation)})

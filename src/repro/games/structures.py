@@ -1,0 +1,143 @@
+"""Complex-object structures for the GV90 games and the CALC1 calculus.
+
+A *structure* (Section 5) consists of a finite set of atomic constants
+and named relations whose tuples hold complex objects — in the Fig. 1
+experiments, graph nodes are *sets of atoms* and the edge relation
+holds pairs of such sets.
+
+Sets are represented as duplicate-free :class:`~repro.core.bag.Bag`
+values, so the whole value model (hashing, canonical order, typing) is
+shared with the algebra.  The module provides:
+
+* :class:`CoStructure` — atoms + named relations over complex objects;
+* :func:`dom` — the active domain ``dom(T, A)`` of objects of type T
+  constructible from the structure's atoms (the quantification range
+  of CALC1 and the move set of the game);
+* the logical predicates (equality, membership, containment) that both
+  the calculus and the game's partial-isomorphism check interpret.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Tuple
+
+from repro.core.bag import Bag, Tup, canonical_key
+from repro.core.errors import BagTypeError, ResourceLimitError
+from repro.core.types import (
+    AtomType, BagType, TupleType, Type, U,
+)
+
+__all__ = ["CoStructure", "dom", "dom_size", "set_of", "atoms_of",
+           "objects_atoms", "SET_OF_ATOMS"]
+
+#: The node type of the Fig. 1 graphs: sets of atoms.
+SET_OF_ATOMS = BagType(U)
+
+
+def set_of(*elements: Any) -> Bag:
+    """Build a set (duplicate-free bag) from elements."""
+    return Bag.from_counts({element: 1 for element in set(elements)})
+
+
+def atoms_of(value: Any) -> FrozenSet[Any]:
+    """Atoms occurring in a complex object."""
+    from repro.core.database import active_domain
+    return active_domain(value)
+
+
+def objects_atoms(objects) -> FrozenSet[Any]:
+    """Union of the atoms of several objects."""
+    atoms: set = set()
+    for obj in objects:
+        atoms |= atoms_of(obj)
+    return frozenset(atoms)
+
+
+@dataclass(frozen=True)
+class CoStructure:
+    """A finite structure with complex-object relations.
+
+    ``relations`` maps a name to a frozenset of Python tuples of
+    complex objects (e.g. the edge relation of a graph whose nodes are
+    sets of atoms).
+    """
+
+    atoms: FrozenSet[Any]
+    relations: Mapping[str, FrozenSet[Tuple[Any, ...]]]
+
+    @classmethod
+    def build(cls, atoms, relations) -> "CoStructure":
+        frozen = {name: frozenset(tuple(t) for t in tuples)
+                  for name, tuples in relations.items()}
+        return cls(atoms=frozenset(atoms), relations=frozen)
+
+    def relation(self, name: str) -> FrozenSet[Tuple[Any, ...]]:
+        if name not in self.relations:
+            raise BagTypeError(f"structure has no relation {name!r}")
+        return self.relations[name]
+
+    def all_objects(self) -> FrozenSet[Any]:
+        """Objects occurring in the relations (tuple components)."""
+        found: set = set(self.atoms)
+        for tuples in self.relations.values():
+            for entry in tuples:
+                found.update(entry)
+        return frozenset(found)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rels = ", ".join(f"{name}({len(tuples)})"
+                         for name, tuples in self.relations.items())
+        return f"CoStructure(|A|={len(self.atoms)}, {rels})"
+
+
+def dom_size(object_type: Type, n_atoms: int) -> int:
+    """Cardinality of ``dom(T, A)`` for ``|A| = n_atoms`` — computed
+    without materialisation, to guard searches against blow-ups."""
+    if isinstance(object_type, AtomType):
+        return n_atoms
+    if isinstance(object_type, TupleType):
+        size = 1
+        for attr in object_type.attributes:
+            size *= dom_size(attr, n_atoms)
+        return size
+    if isinstance(object_type, BagType):
+        return 2 ** dom_size(object_type.element, n_atoms)
+    raise BagTypeError(f"dom of unsupported type {object_type!r}")
+
+
+def dom(object_type: Type, atoms, budget: int = 1 << 20) -> List[Any]:
+    """Materialise the active domain ``dom(T, A)``: all objects of type
+    ``T`` built from the given atoms.
+
+    Bag types denote *sets* here (CALC1 quantifies over sets of
+    tuples of atoms), so ``dom({{T}}, A)`` is the powerset of
+    ``dom(T, A)``.  ``budget`` bounds the output size.
+    """
+    atoms = sorted(set(atoms), key=canonical_key)
+    total = dom_size(object_type, len(atoms))
+    if total > budget:
+        raise ResourceLimitError(
+            f"dom({object_type!r}) over {len(atoms)} atoms holds {total} "
+            f"objects, budget is {budget}")
+    return list(_dom_iter(object_type, atoms))
+
+
+def _dom_iter(object_type: Type, atoms: List[Any]) -> Iterator[Any]:
+    if isinstance(object_type, AtomType):
+        yield from atoms
+        return
+    if isinstance(object_type, TupleType):
+        pools = [list(_dom_iter(attr, atoms))
+                 for attr in object_type.attributes]
+        for combo in itertools.product(*pools):
+            yield Tup(*combo)
+        return
+    if isinstance(object_type, BagType):
+        elements = list(_dom_iter(object_type.element, atoms))
+        for r in range(len(elements) + 1):
+            for subset in itertools.combinations(elements, r):
+                yield Bag.from_counts({item: 1 for item in subset})
+        return
+    raise BagTypeError(f"dom of unsupported type {object_type!r}")

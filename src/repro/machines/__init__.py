@@ -1,0 +1,26 @@
+"""Turing machines and their bag encodings (Theorems 5.5, 6.1, 6.6)."""
+
+from repro.machines.encode import (
+    computation_bag, is_legal_accepting_computation, layer, max_time,
+    phi1_initial, phi2_moves, phi3_accepting,
+)
+from repro.machines.ifp import (
+    CONFIG_TYPE, Ifp, IfpRun, NO_HEAD, TIME_ATOM, config_tuple,
+    decode_final_configuration, initial_config_bag, machine_step_expr,
+    simulate_via_ifp, transitive_closure_expr,
+)
+from repro.machines.tm import (
+    Configuration, RunResult, TuringMachine, binary_successor,
+    last_symbol_machine, parity_machine, run_machine, unary_doubler,
+)
+
+__all__ = [
+    "computation_bag", "is_legal_accepting_computation", "layer",
+    "max_time", "phi1_initial", "phi2_moves", "phi3_accepting",
+    "CONFIG_TYPE", "Ifp", "IfpRun", "NO_HEAD", "TIME_ATOM",
+    "config_tuple", "decode_final_configuration", "initial_config_bag",
+    "machine_step_expr", "simulate_via_ifp", "transitive_closure_expr",
+    "Configuration", "RunResult", "TuringMachine",
+    "binary_successor", "last_symbol_machine", "parity_machine", "run_machine",
+    "unary_doubler",
+]

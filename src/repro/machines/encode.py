@@ -1,0 +1,224 @@
+"""Theorem 6.1: whole computations encoded as bags, and their checkers.
+
+Theorem 6.1 expresses every elementary query in BALG^3 by (i) building
+the bag of *all possible* 4-tuple sets with the powerset, and (ii)
+selecting those that encode a legal accepting computation with three
+selections: ``phi_1`` (the time-0 layer encodes the input with the head
+on cell 1 in the initial state), ``phi_2`` (consecutive layers differ by
+a legal move), ``phi_3`` (an accepting state is reached).
+
+Running the powerset over the full candidate space is hyperexponential
+— that is the *point* of the theorem — so the executable reproduction
+keeps the construction honest at the feasible end:
+
+* :func:`computation_bag` materialises the encoding of an actual run
+  (the unique object the paper's selection would retain);
+* :func:`phi1_initial`, :func:`phi2_moves`, :func:`phi3_accepting` are
+  the three selections as decision procedures on candidate bags;
+* :func:`is_legal_accepting_computation` conjoins them, so tests can
+  confirm the genuine encoding passes while perturbed variants
+  (mutated cells, skipped steps, forged accept states) are rejected —
+  exactly the discrimination the algebraic selection performs inside
+  ``P(D x D x A x Q)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import EvaluationError
+from repro.machines.ifp import NO_HEAD, config_tuple
+from repro.machines.tm import RunResult, TuringMachine, run_machine
+
+__all__ = [
+    "computation_bag", "layer", "max_time", "phi1_initial", "phi2_moves",
+    "phi3_accepting", "is_legal_accepting_computation",
+    "candidate_space", "select_legal_computations",
+]
+
+
+def computation_bag(machine: TuringMachine, word: Sequence[str],
+                    max_steps: int = 100,
+                    tape_cells: Optional[int] = None) -> Bag:
+    """Encode the machine's run on ``word`` as a bag of 4-tuples
+    ``[b_time, b_position, symbol, state-or-marker]`` (Theorem 6.1's
+    representation, with bag-encoded indices)."""
+    cells = tape_cells if tape_cells is not None else (
+        len(word) + max_steps + 1)
+    result = run_machine(machine, word, max_steps=max_steps,
+                         keep_trace=True, tape_cells=cells)
+    tuples = []
+    for config in result.trace:
+        for position, symbol in enumerate(config.tape, start=1):
+            state = config.state if position == config.head else NO_HEAD
+            tuples.append(config_tuple(config.time, position, symbol,
+                                       state))
+    return Bag(tuples)
+
+
+def max_time(computation: Bag) -> int:
+    """Largest time stamp present in a computation bag."""
+    return max((entry.attribute(1).cardinality
+                for entry in computation.distinct()), default=-1)
+
+
+def layer(computation: Bag, time: int) -> List[Tup]:
+    """The cells of time stamp ``time``, sorted by position."""
+    cells = [entry for entry in computation.distinct()
+             if entry.attribute(1).cardinality == time]
+    return sorted(cells, key=lambda entry: entry.attribute(2).cardinality)
+
+
+def _decode_layer(cells: Sequence[Tup]) -> Optional[Tuple[Tuple[str, ...],
+                                                          int, str]]:
+    """(tape, head position, state) from one layer; None when the
+    layer is malformed (duplicate/missing positions, no or two heads)."""
+    positions = [entry.attribute(2).cardinality for entry in cells]
+    if sorted(positions) != list(range(1, len(cells) + 1)):
+        return None
+    tape = [""] * len(cells)
+    head, state = 0, ""
+    for entry in cells:
+        position = entry.attribute(2).cardinality
+        tape[position - 1] = entry.attribute(3)
+        if entry.attribute(4) != NO_HEAD:
+            if head:
+                return None  # two heads
+            head, state = position, entry.attribute(4)
+    if not head:
+        return None
+    return tuple(tape), head, state
+
+
+def phi1_initial(machine: TuringMachine, computation: Bag,
+                 word: Sequence[str]) -> bool:
+    """``phi_1``: the time-0 layer encodes the input word (blanks
+    beyond), with the head on cell 1 in the initial state."""
+    decoded = _decode_layer(layer(computation, 0))
+    if decoded is None:
+        return False
+    tape, head, state = decoded
+    if head != 1 or state != machine.initial_state:
+        return False
+    if len(tape) < len(word):
+        return False
+    for position, symbol in enumerate(tape, start=1):
+        expected = (word[position - 1] if position <= len(word)
+                    else machine.blank)
+        if symbol != expected:
+            return False
+    return True
+
+
+def phi2_moves(machine: TuringMachine, computation: Bag) -> bool:
+    """``phi_2``: every two consecutive layers differ by exactly one
+    legal move of the machine."""
+    horizon = max_time(computation)
+    for time in range(horizon):
+        before = _decode_layer(layer(computation, time))
+        after = _decode_layer(layer(computation, time + 1))
+        if before is None or after is None:
+            return False
+        if not _is_legal_move(machine, before, after):
+            return False
+    return True
+
+
+def _is_legal_move(machine: TuringMachine, before, after) -> bool:
+    tape, head, state = before
+    new_tape, new_head, new_state = after
+    if len(tape) != len(new_tape):
+        return False
+    key = (state, tape[head - 1])
+    if key not in machine.transitions:
+        return False
+    target_state, written, move = machine.transitions[key]
+    expected_tape = list(tape)
+    expected_tape[head - 1] = written
+    expected_head = head + {"L": -1, "R": 1, "S": 0}[move]
+    return (tuple(expected_tape) == new_tape
+            and expected_head == new_head
+            and target_state == new_state)
+
+
+def phi3_accepting(machine: TuringMachine, computation: Bag) -> bool:
+    """``phi_3``: the computation reaches the accepting state."""
+    return any(entry.attribute(4) == machine.accept_state
+               for entry in computation.distinct())
+
+
+def is_legal_accepting_computation(machine: TuringMachine,
+                                   computation: Bag,
+                                   word: Sequence[str]) -> bool:
+    """The Theorem 6.1 selection ``phi_1 and phi_2 and phi_3`` — the
+    predicate that picks the accepting runs out of the powerset of all
+    candidate 4-tuple sets."""
+    if computation.is_empty() or not computation.is_set():
+        return False
+    return (phi1_initial(machine, computation, word)
+            and phi2_moves(machine, computation)
+            and phi3_accepting(machine, computation))
+
+
+# ----------------------------------------------------------------------
+# The literal Theorem 6.1 construction, at feasible scale
+# ----------------------------------------------------------------------
+
+def candidate_space(machine: TuringMachine, word: Sequence[str],
+                    time_bound: int, tape_cells: int,
+                    symbols: Optional[Sequence[str]] = None,
+                    states: Optional[Sequence[str]] = None) -> List[Tup]:
+    """The candidate 4-tuples ``D x D x A x Q`` of Theorem 6.1:
+    every [time, cell, symbol, state-or-marker] combination.
+
+    ``symbols``/``states`` default to the machine's full alphabet and
+    state set; restricting them (to the symbols a run can actually
+    touch) shrinks the powerset the literal construction enumerates.
+    """
+    symbols = list(symbols if symbols is not None else machine.alphabet)
+    states = list(states if states is not None
+                  else tuple(machine.states) + (NO_HEAD,))
+    space = []
+    for time in range(time_bound + 1):
+        for position in range(1, tape_cells + 1):
+            for symbol in symbols:
+                for state in states:
+                    space.append(config_tuple(time, position, symbol,
+                                              state))
+    return space
+
+
+def select_legal_computations(machine: TuringMachine,
+                              word: Sequence[str],
+                              time_bound: int, tape_cells: int,
+                              symbols: Optional[Sequence[str]] = None,
+                              states: Optional[Sequence[str]] = None,
+                              budget: int = 1 << 20) -> List[Bag]:
+    """Theorem 6.1, run literally: enumerate **every** sub-*set* of the
+    candidate space — the relevant slice of ``P(D x D x A x Q)`` — and
+    keep those passing ``phi1 and phi2 and phi3``.
+
+    This is hyperexponential by design (the paper's point); ``budget``
+    caps the ``2^|space|`` subsets enumerated, so callers must shrink
+    the space (tiny machines, restricted symbol sets) to make the
+    demonstration feasible.  On deterministic machines the result is
+    empty (the machine rejects within the bound) or a single bag — the
+    genuine computation encoding.
+    """
+    space = candidate_space(machine, word, time_bound, tape_cells,
+                            symbols, states)
+    total = 2 ** len(space)
+    if total > budget:
+        raise EvaluationError(
+            f"the literal construction would enumerate {total} "
+            f"candidate sets over {len(space)} tuples; budget is "
+            f"{budget}")
+    survivors = []
+    for mask in range(total):
+        chosen = [entry for bit, entry in enumerate(space)
+                  if mask & (1 << bit)]
+        candidate = Bag(chosen)
+        if is_legal_accepting_computation(machine, candidate, word):
+            survivors.append(candidate)
+    return survivors

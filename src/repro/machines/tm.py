@@ -1,0 +1,242 @@
+"""A deterministic Turing machine substrate (Sections 5-6).
+
+The paper encodes Turing machine computations inside bags (Theorems
+5.5, 6.1, 6.6).  This module provides the machines themselves: a small,
+explicit single-tape deterministic TM with a step-bounded runner and a
+configuration trace, plus a few concrete machines used by the tests,
+examples, and benchmarks.
+
+Conventions
+-----------
+* tape cells are indexed from 1 (the bag encoding of positions uses
+  bags of size j, and position 0 would be the empty bag, which the
+  monus on bag subtraction cannot distinguish from "stuck");
+* a machine halts by entering ``accept_state`` or ``reject_state``;
+  a missing transition also halts (implicitly rejecting);
+* moves are ``L``, ``R``, or ``S`` (stay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import EvaluationError
+
+__all__ = [
+    "Move", "TuringMachine", "Configuration", "RunResult", "run_machine",
+    "parity_machine", "unary_doubler", "last_symbol_machine",
+    "binary_successor",
+]
+
+#: Head moves.
+Move = str  # "L" | "R" | "S"
+
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic single-tape Turing machine.
+
+    ``transitions`` maps ``(state, symbol)`` to
+    ``(new_state, new_symbol, move)``.
+    """
+
+    states: Tuple[str, ...]
+    alphabet: Tuple[str, ...]
+    transitions: Mapping[Tuple[str, str], Tuple[str, str, Move]]
+    initial_state: str
+    accept_state: str
+    reject_state: str
+    blank: str = BLANK
+
+    def __post_init__(self):
+        for (state, symbol), (new_state, new_symbol, move) in \
+                self.transitions.items():
+            if state not in self.states or new_state not in self.states:
+                raise EvaluationError(
+                    f"transition mentions unknown state: "
+                    f"{state!r} -> {new_state!r}")
+            if symbol not in self.alphabet or new_symbol not in \
+                    self.alphabet:
+                raise EvaluationError(
+                    f"transition mentions unknown symbol: "
+                    f"{symbol!r} -> {new_symbol!r}")
+            if move not in ("L", "R", "S"):
+                raise EvaluationError(f"invalid move {move!r}")
+        if self.blank not in self.alphabet:
+            raise EvaluationError("blank symbol must be in the alphabet")
+
+    def is_halting(self, state: str) -> bool:
+        return state in (self.accept_state, self.reject_state)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration: tape contents (1-based, finite view),
+    head position, state, and the time stamp."""
+
+    time: int
+    tape: Tuple[str, ...]
+    head: int
+    state: str
+
+    def symbol_under_head(self) -> str:
+        return self.tape[self.head - 1]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a bounded run."""
+
+    accepted: bool
+    halted: bool
+    steps: int
+    final: Configuration
+    trace: List[Configuration] = field(default_factory=list)
+
+
+def run_machine(machine: TuringMachine, word: Sequence[str],
+                max_steps: int = 10_000,
+                keep_trace: bool = False,
+                tape_cells: Optional[int] = None) -> RunResult:
+    """Run a machine on an input word with a step budget.
+
+    ``tape_cells`` fixes the visible tape length (pre-padded with
+    blanks); by default the tape holds the word plus ``max_steps``
+    blanks, enough for any run within the budget.
+    """
+    for symbol in word:
+        if symbol not in machine.alphabet:
+            raise EvaluationError(f"input symbol {symbol!r} not in "
+                                  "the machine's alphabet")
+    length = tape_cells if tape_cells is not None else (
+        len(word) + max_steps + 1)
+    tape = list(word) + [machine.blank] * (length - len(word))
+    config = Configuration(time=0, tape=tuple(tape), head=1,
+                           state=machine.initial_state)
+    trace = [config] if keep_trace else []
+
+    steps = 0
+    while steps < max_steps and not machine.is_halting(config.state):
+        key = (config.state, config.symbol_under_head())
+        if key not in machine.transitions:
+            break  # stuck: implicit reject
+        new_state, new_symbol, move = machine.transitions[key]
+        cells = list(config.tape)
+        cells[config.head - 1] = new_symbol
+        head = config.head + {"L": -1, "R": 1, "S": 0}[move]
+        if head < 1:
+            raise EvaluationError(
+                "machine moved off the left end of the tape "
+                "(positions are 1-based)")
+        if head > len(cells):
+            raise EvaluationError(
+                "machine ran off the pre-padded tape; raise max_steps "
+                "or tape_cells")
+        config = Configuration(time=config.time + 1, tape=tuple(cells),
+                               head=head, state=new_state)
+        steps += 1
+        if keep_trace:
+            trace.append(config)
+
+    halted = machine.is_halting(config.state)
+    return RunResult(
+        accepted=config.state == machine.accept_state,
+        halted=halted,
+        steps=steps,
+        final=config,
+        trace=trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# Concrete machines
+# ----------------------------------------------------------------------
+
+def parity_machine() -> TuringMachine:
+    """Accepts words over {1} with an *even* number of 1s.
+
+    Two states toggle on each 1; hitting the blank in the even state
+    accepts.
+    """
+    transitions = {
+        ("even", "1"): ("odd", "1", "R"),
+        ("odd", "1"): ("even", "1", "R"),
+        ("even", BLANK): ("accept", BLANK, "S"),
+        ("odd", BLANK): ("reject", BLANK, "S"),
+    }
+    return TuringMachine(
+        states=("even", "odd", "accept", "reject"),
+        alphabet=("1", BLANK),
+        transitions=transitions,
+        initial_state="even",
+        accept_state="accept",
+        reject_state="reject",
+    )
+
+
+def unary_doubler() -> TuringMachine:
+    """Rewrites ``1^n`` to ``2^n`` (marks every 1), then accepts —
+    a machine whose *output tape* matters, used to test that the bag
+    encoding reproduces tape contents, not just accept bits."""
+    transitions = {
+        ("scan", "1"): ("scan", "2", "R"),
+        ("scan", BLANK): ("accept", BLANK, "S"),
+    }
+    return TuringMachine(
+        states=("scan", "accept", "reject"),
+        alphabet=("1", "2", BLANK),
+        transitions=transitions,
+        initial_state="scan",
+        accept_state="accept",
+        reject_state="reject",
+    )
+
+
+def last_symbol_machine() -> TuringMachine:
+    """Accepts words over {a, b} ending in ``b`` — exercises left
+    moves: runs to the end, steps back, and inspects."""
+    transitions = {
+        # A distinct start state keeps the L move safe: "back" is only
+        # reachable from position >= 2 (the empty word rejects at once).
+        ("start", "a"): ("right", "a", "R"),
+        ("start", "b"): ("right", "b", "R"),
+        ("start", BLANK): ("reject", BLANK, "S"),
+        ("right", "a"): ("right", "a", "R"),
+        ("right", "b"): ("right", "b", "R"),
+        ("right", BLANK): ("back", BLANK, "L"),
+        ("back", "b"): ("accept", "b", "S"),
+        ("back", "a"): ("reject", "a", "S"),
+    }
+    return TuringMachine(
+        states=("start", "right", "back", "accept", "reject"),
+        alphabet=("a", "b", BLANK),
+        transitions=transitions,
+        initial_state="start",
+        accept_state="accept",
+        reject_state="reject",
+    )
+
+
+def binary_successor() -> TuringMachine:
+    """Increments a binary number written LSB-first: runs along the
+    carry chain turning 1s into 0s until a 0 or blank absorbs it.
+
+    Exercises in-place rewriting with halting anywhere on the tape —
+    the final tape matters, not just acceptance.
+    """
+    transitions = {
+        ("carry", "1"): ("carry", "0", "R"),
+        ("carry", "0"): ("accept", "1", "S"),
+        ("carry", BLANK): ("accept", "1", "S"),
+    }
+    return TuringMachine(
+        states=("carry", "accept", "reject"),
+        alphabet=("0", "1", BLANK),
+        transitions=transitions,
+        initial_state="carry",
+        accept_state="accept",
+        reject_state="reject",
+    )

@@ -1,0 +1,26 @@
+"""Algebraic rewrite rules, cardinality estimation, and the
+optimization engine (Section 3)."""
+
+from repro.optimizer.cardinality import BagStats, estimate, stats_of
+from repro.optimizer.engine import Optimizer, estimated_cost, optimize
+from repro.optimizer.explain import PlanNode, build_plan, explain
+from repro.optimizer.rules import (
+    DEFAULT_RULES, RewriteRule, cancel_attribute_of_tupling,
+    collapse_dedup, drop_neutral_elements,
+    fold_constants, fuse_maps, idempotent_extremes,
+    make_push_selection_into_product, push_selection_into_product,
+    push_selection_into_union, push_selection_through_map, self_subtraction, substitute,
+)
+
+__all__ = [
+    "BagStats", "estimate", "stats_of",
+    "PlanNode", "build_plan", "explain",
+    "Optimizer", "estimated_cost", "optimize",
+    "DEFAULT_RULES", "RewriteRule", "cancel_attribute_of_tupling",
+    "collapse_dedup",
+    "drop_neutral_elements", "fold_constants", "fuse_maps",
+    "idempotent_extremes", "make_push_selection_into_product",
+    "push_selection_into_product", "push_selection_into_union",
+    "push_selection_through_map",
+    "self_subtraction", "substitute",
+]

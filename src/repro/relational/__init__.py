@@ -1,0 +1,26 @@
+"""Relational baselines: the (nested) relational algebra as set
+semantics for BALG (Proposition 4.2, Theorem 5.2) and the CALC1
+calculus (Theorem 5.3)."""
+
+from repro.relational.calc import (
+    And, Component, Contained, Eq, Exists, Forall, Formula, Implies,
+    Member, Not, Or, Rel, Term, TermConst, TermVar, quantifier_depth,
+    satisfies, variable_names,
+)
+from repro.relational.calc2alg import (
+    active_atoms_expr, compile_calc, structure_to_database,
+)
+from repro.relational.ralg import (
+    SetEvaluator, deep_dedup, is_set_value, ralg_translate,
+    relational_evaluate, supports_agree,
+)
+
+__all__ = [
+    "And", "Component", "Contained", "Eq", "Exists", "Forall",
+    "Formula", "Implies", "Member", "Not", "Or", "Rel", "Term",
+    "TermConst", "TermVar", "quantifier_depth", "satisfies",
+    "variable_names",
+    "SetEvaluator", "deep_dedup", "is_set_value", "ralg_translate",
+    "relational_evaluate", "supports_agree",
+    "active_atoms_expr", "compile_calc", "structure_to_database",
+]

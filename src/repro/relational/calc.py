@@ -1,0 +1,333 @@
+"""CALC1: the typed calculus for complex objects (Section 5, [HS91]).
+
+CALC1 extends the relational calculus with the constructible types
+tuple and set, a component function ``. i``, and the typed logical
+predicates membership, containment, and equality.  Its semantics is
+the *active domain* semantics: a quantified variable of type ``T``
+ranges over ``dom(T, A)``, the objects of type ``T`` constructible
+from the atoms of the input structure (the completion ``Comp(A, T)``).
+
+The calculus matters here because of Theorem 5.3: RALG^2 = CALC1 on
+sets-of-tuples-of-atoms types, and the GV90 game characterises CALC1
+k-variable equivalence.  Lemma 5.4's game argument therefore transfers
+to RALG^2 — which this module lets us probe with concrete sentences.
+
+Formulas are ordinary ASTs evaluated against
+:class:`~repro.games.structures.CoStructure` instances; the quantifier
+depth and variable count (the game parameters) are computed
+syntactically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError, UnboundVariableError
+from repro.core.types import Type
+from repro.games.structures import CoStructure, dom
+
+__all__ = [
+    "Term", "TermVar", "TermConst", "Component",
+    "Formula", "Eq", "Member", "Contained", "Rel",
+    "Not", "And", "Or", "Implies", "Exists", "Forall",
+    "satisfies", "quantifier_depth", "variable_names",
+]
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+class Term:
+    """A term denotes a complex object under an environment."""
+
+    def value(self, env: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def names(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+
+class TermVar(Term):
+    """A typed variable occurrence."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def value(self, env: Dict[str, Any]) -> Any:
+        if self.name not in env:
+            raise UnboundVariableError(
+                f"free variable {self.name!r} in calculus formula")
+        return env[self.name]
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class TermConst(Term):
+    """A constant object."""
+
+    __slots__ = ("constant",)
+
+    def __init__(self, constant: Any):
+        self.constant = constant
+
+    def value(self, env: Dict[str, Any]) -> Any:
+        return self.constant
+
+    def names(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.constant)
+
+
+class Component(Term):
+    """The component function ``t . i`` (1-based), defined on tuples."""
+
+    __slots__ = ("term", "index")
+
+    def __init__(self, term: Term, index: int):
+        self.term = term
+        self.index = index
+
+    def value(self, env: Dict[str, Any]) -> Any:
+        obj = self.term.value(env)
+        if not isinstance(obj, Tup):
+            raise BagTypeError(
+                f"component of non-tuple object {obj!r}")
+        return obj.attribute(self.index)
+
+    def names(self) -> FrozenSet[str]:
+        return self.term.names()
+
+    def __repr__(self) -> str:
+        return f"{self.term!r}.{self.index}"
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+
+class Formula:
+    """Base class of CALC1 formulas."""
+
+    def holds(self, structure: CoStructure, env: Dict[str, Any],
+              dom_budget: int) -> bool:
+        raise NotImplementedError
+
+    def quantifier_depth(self) -> int:
+        raise NotImplementedError
+
+    def variable_names(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+
+class _Atomic(Formula):
+    def quantifier_depth(self) -> int:
+        return 0
+
+
+class Eq(_Atomic):
+    """``t1 = t2`` (typed equality)."""
+
+    def __init__(self, left: Term, right: Term):
+        self.left, self.right = left, right
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        return self.left.value(env) == self.right.value(env)
+
+    def variable_names(self):
+        return self.left.names() | self.right.names()
+
+    def __repr__(self):
+        return f"({self.left!r} = {self.right!r})"
+
+
+class Member(_Atomic):
+    """``t1 in t2`` (typed membership in a set)."""
+
+    def __init__(self, element: Term, container: Term):
+        self.element, self.container = element, container
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        container = self.container.value(env)
+        if not isinstance(container, Bag):
+            raise BagTypeError("membership in a non-set object")
+        return self.element.value(env) in container
+
+    def variable_names(self):
+        return self.element.names() | self.container.names()
+
+    def __repr__(self):
+        return f"({self.element!r} ∈ {self.container!r})"
+
+
+class Contained(_Atomic):
+    """``t1 ⊆ t2`` (typed set containment)."""
+
+    def __init__(self, left: Term, right: Term):
+        self.left, self.right = left, right
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        left, right = self.left.value(env), self.right.value(env)
+        if not isinstance(left, Bag) or not isinstance(right, Bag):
+            raise BagTypeError("containment between non-set objects")
+        return left.is_subbag_of(right)
+
+    def variable_names(self):
+        return self.left.names() | self.right.names()
+
+    def __repr__(self):
+        return f"({self.left!r} ⊆ {self.right!r})"
+
+
+class Rel(_Atomic):
+    """A nonlogical relation atom ``R(t1, ..., tn)``."""
+
+    def __init__(self, name: str, terms: Sequence[Term]):
+        self.name = name
+        self.terms = tuple(terms)
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        entry = tuple(term.value(env) for term in self.terms)
+        return entry in structure.relation(self.name)
+
+    def variable_names(self):
+        names: FrozenSet[str] = frozenset()
+        for term in self.terms:
+            names |= term.names()
+        return names
+
+    def __repr__(self):
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.name}({inner})"
+
+
+class Not(Formula):
+    def __init__(self, body: Formula):
+        self.body = body
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        return not self.body.holds(structure, env, dom_budget)
+
+    def quantifier_depth(self) -> int:
+        return self.body.quantifier_depth()
+
+    def variable_names(self):
+        return self.body.variable_names()
+
+    def __repr__(self):
+        return f"¬{self.body!r}"
+
+
+class _Connective(Formula):
+    symbol = "?"
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left, self.right = left, right
+
+    def quantifier_depth(self) -> int:
+        return max(self.left.quantifier_depth(),
+                   self.right.quantifier_depth())
+
+    def variable_names(self):
+        return self.left.variable_names() | self.right.variable_names()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class And(_Connective):
+    symbol = "∧"
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        return (self.left.holds(structure, env, dom_budget)
+                and self.right.holds(structure, env, dom_budget))
+
+
+class Or(_Connective):
+    symbol = "∨"
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        return (self.left.holds(structure, env, dom_budget)
+                or self.right.holds(structure, env, dom_budget))
+
+
+class Implies(_Connective):
+    symbol = "→"
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        return (not self.left.holds(structure, env, dom_budget)
+                or self.right.holds(structure, env, dom_budget))
+
+
+class _Quantifier(Formula):
+    symbol = "?"
+
+    def __init__(self, name: str, var_type: Type, body: Formula):
+        self.name = name
+        self.var_type = var_type
+        self.body = body
+
+    def quantifier_depth(self) -> int:
+        return 1 + self.body.quantifier_depth()
+
+    def variable_names(self):
+        return self.body.variable_names() | frozenset({self.name})
+
+    def _range(self, structure: CoStructure, dom_budget: int):
+        return dom(self.var_type, structure.atoms, budget=dom_budget)
+
+    def __repr__(self):
+        return f"{self.symbol}{self.name}:{self.var_type!r}.{self.body!r}"
+
+
+class Exists(_Quantifier):
+    symbol = "∃"
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        for candidate in self._range(structure, dom_budget):
+            extended = dict(env)
+            extended[self.name] = candidate
+            if self.body.holds(structure, extended, dom_budget):
+                return True
+        return False
+
+
+class Forall(_Quantifier):
+    symbol = "∀"
+
+    def holds(self, structure, env, dom_budget) -> bool:
+        for candidate in self._range(structure, dom_budget):
+            extended = dict(env)
+            extended[self.name] = candidate
+            if not self.body.holds(structure, extended, dom_budget):
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def satisfies(structure: CoStructure, sentence: Formula,
+              dom_budget: int = 1 << 16) -> bool:
+    """``A |= phi`` under active-domain semantics."""
+    return sentence.holds(structure, {}, dom_budget)
+
+
+def quantifier_depth(sentence: Formula) -> int:
+    """The k of Theorem 5.3's statement 2."""
+    return sentence.quantifier_depth()
+
+
+def variable_names(sentence: Formula) -> FrozenSet[str]:
+    """Distinct variable names (the k-variable bound of the game)."""
+    return sentence.variable_names()

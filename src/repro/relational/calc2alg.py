@@ -1,0 +1,339 @@
+"""Compiling CALC1 into the algebra — the [AB87] equivalence that
+Theorem 5.3 rests on.
+
+The paper uses (without reproving) the equivalence of RALG^2 and the
+calculus CALC1; this module implements the calculus-to-algebra half
+constructively, in the same style as the classical translation the
+proof of Lemma 5.7 cites: conjunction becomes a join, negation a
+complement against the domain product, existential quantification a
+projection.
+
+Specifics of the complex-object setting:
+
+* the **active atom domain** is computed *inside the algebra* from the
+  relation variables (projections, flattened with bag-destroy where
+  attributes are sets);
+* the quantifier domain of a **set type** is the powerset of the
+  element domain — this is where the translation (like RALG^2) needs
+  ``P``, and why its complexity is the nested algebra's;
+* the logical predicates are encoded with the singleton trick:
+  ``o in S`` iff ``beta(o) n S = beta(o)``; ``S1 (subset of) S2`` iff
+  ``S1 n S2 = S1``; a relation atom ``R(t...)`` iff
+  ``beta(tau(t...)) n R = beta(tau(t...))`` — all plain equality
+  selections, as the algebra demands.
+
+Entry point: :func:`compile_calc` returns an expression over the
+relation names; a sentence holds iff the expression evaluates to a
+nonempty bag.  The test-suite checks agreement with the direct
+active-domain evaluator of :mod:`repro.relational.calc` on shared
+structures, and benchmark E18 does so on the Figure 1 graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.bag import Bag, Tup
+from repro.core.derived import project_expr
+from repro.core.errors import BagTypeError
+from repro.core.expr import (
+    Attribute, Bagging, Cartesian, Const, Dedup, Expr, Intersection,
+    Lam, Map, MaxUnion, Powerset, Select, Subtraction, Tupling, Var,
+)
+from repro.core.types import AtomType, BagType, TupleType, Type, U
+from repro.games.structures import CoStructure
+from repro.relational.calc import (
+    And, Component, Contained, Eq, Exists, Forall, Formula, Implies,
+    Member, Not, Or, Rel, Term, TermConst, TermVar,
+)
+
+__all__ = ["RelationSchema", "compile_calc", "structure_to_database",
+           "active_atoms_expr"]
+
+#: schema: relation name -> tuple of attribute types.
+RelationSchema = Mapping[str, Sequence[Type]]
+
+#: The dummy atom used by closed subformulas' unit relations.
+_UNIT_ATOM = "·⊤"
+_UNIT = Const(Bag.of(Tup(_UNIT_ATOM)))
+
+
+def structure_to_database(structure: CoStructure) -> Dict[str, Bag]:
+    """View a game structure's relations as (set-like) bags of tuples,
+    the form the compiled algebra consumes."""
+    return {name: Bag.from_counts({Tup(*entry): 1 for entry in tuples})
+            for name, tuples in structure.relations.items()}
+
+
+# ----------------------------------------------------------------------
+# The active atom domain, inside the algebra
+# ----------------------------------------------------------------------
+
+def active_atoms_expr(schema: RelationSchema) -> Expr:
+    """An algebra expression computing the set of atoms occurring in
+    the database, as a bag of 1-tuples ``[atom]`` without duplicates.
+    """
+    pieces: List[Expr] = []
+    for name, attribute_types in schema.items():
+        for position, attribute_type in enumerate(attribute_types,
+                                                  start=1):
+            projected = Map(Lam("·t", Attribute(Var("·t"), position)),
+                            Var(name))
+            pieces.extend(_atoms_of_values(projected, attribute_type))
+    if not pieces:
+        raise BagTypeError(
+            "cannot compute an active domain over an empty schema")
+    combined = pieces[0]
+    for piece in pieces[1:]:
+        combined = MaxUnion(combined, piece)
+    return Dedup(combined)
+
+
+def _atoms_of_values(values: Expr, value_type: Type) -> List[Expr]:
+    """Expressions yielding the atoms inside a bag of ``value_type``
+    objects, each as a bag of 1-tuples."""
+    if isinstance(value_type, AtomType):
+        return [Map(Lam("·v", Tupling(Var("·v"))), values)]
+    if isinstance(value_type, BagType):
+        return _atoms_of_values(_flatten_sets(values),
+                                value_type.element)
+    if isinstance(value_type, TupleType):
+        pieces: List[Expr] = []
+        for position, attribute_type in enumerate(value_type.attributes,
+                                                  start=1):
+            projected = Map(Lam("·v", Attribute(Var("·v"), position)),
+                            values)
+            pieces.extend(_atoms_of_values(projected, attribute_type))
+        return pieces
+    raise BagTypeError(f"unsupported attribute type {value_type!r}")
+
+
+def _flatten_sets(values: Expr) -> Expr:
+    """``delta`` over a bag of bags: the member values pooled."""
+    from repro.core.expr import BagDestroy
+    return BagDestroy(values)
+
+
+# ----------------------------------------------------------------------
+# Quantifier domains
+# ----------------------------------------------------------------------
+
+def _domain_values(object_type: Type, atoms: Expr) -> Expr:
+    """A bag of *values* of the given type over the atom domain
+    (atoms arrive as a set of 1-tuples)."""
+    if isinstance(object_type, AtomType):
+        return Map(Lam("·d", Attribute(Var("·d"), 1)), atoms)
+    if isinstance(object_type, TupleType):
+        product = None
+        for __ in object_type.attributes:
+            product = atoms if product is None else Cartesian(product,
+                                                              atoms)
+        if product is None:
+            raise BagTypeError("empty tuple types are not quantifiable")
+        for attribute_type in object_type.attributes:
+            if not isinstance(attribute_type, AtomType):
+                raise BagTypeError(
+                    "CALC1 quantifier tuple types must be flat "
+                    f"(got attribute {attribute_type!r})")
+        return product  # a bag of k-tuples of atoms
+    if isinstance(object_type, BagType):
+        return Powerset(_domain_values(object_type.element, atoms))
+    raise BagTypeError(f"unsupported quantifier type {object_type!r}")
+
+
+def _domain_rel(object_type: Type, atoms: Expr) -> Expr:
+    """The quantifier domain as a bag of 1-tuples ``[value]``."""
+    return Dedup(Map(Lam("·d", Tupling(Var("·d"))),
+                     _domain_values(object_type, atoms)))
+
+
+# ----------------------------------------------------------------------
+# Formula compilation
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Rel:
+    """A compiled subformula: a set of satisfying assignments.
+
+    Columns are sorted variable names; a closed subformula is the unit
+    relation (arity 1 over the dummy atom, nonempty iff it holds).
+    """
+
+    expr: Expr
+    columns: Tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        return max(len(self.columns), 1)
+
+    def position(self, column: str) -> int:
+        return self.columns.index(column) + 1
+
+
+class _Compiler:
+    def __init__(self, schema: RelationSchema):
+        self.schema = dict(schema)
+        self.atoms = active_atoms_expr(schema)
+        self.var_types: Dict[str, Type] = {}
+
+    # -- terms ---------------------------------------------------------
+
+    def term_expr(self, term: Term, rel: _Rel) -> Expr:
+        if isinstance(term, TermVar):
+            if term.name not in rel.columns:
+                raise BagTypeError(
+                    f"free variable {term.name!r} is not in scope")
+            return Attribute(Var("·w"), rel.position(term.name))
+        if isinstance(term, TermConst):
+            return Const(term.constant)
+        if isinstance(term, Component):
+            return Attribute(self.term_expr(term.term, rel), term.index)
+        raise BagTypeError(f"unknown term {term!r}")
+
+    # -- formulas --------------------------------------------------------
+
+    def compile(self, formula: Formula) -> _Rel:
+        if isinstance(formula, (Eq, Member, Contained, Rel)):
+            return self._atomic(formula)
+        if isinstance(formula, And):
+            return self._join(self.compile(formula.left),
+                              self.compile(formula.right))
+        if isinstance(formula, Or):
+            left = self.compile(formula.left)
+            right = self.compile(formula.right)
+            target = tuple(sorted(set(left.columns)
+                                  | set(right.columns)))
+            left = self._extend(left, target)
+            right = self._extend(right, target)
+            return _Rel(Dedup(MaxUnion(left.expr, right.expr)), target)
+        if isinstance(formula, Implies):
+            return self.compile(Or(Not(formula.left), formula.right))
+        if isinstance(formula, Not):
+            inner = self.compile(formula.body)
+            full = self._full(inner.columns)
+            return _Rel(Subtraction(full.expr, inner.expr),
+                        inner.columns)
+        if isinstance(formula, (Exists, Forall)):
+            return self._quantified(formula)
+        raise BagTypeError(f"unknown formula {formula!r}")
+
+    def _quantified(self, formula) -> _Rel:
+        previous = self.var_types.get(formula.name)
+        self.var_types[formula.name] = formula.var_type
+        try:
+            if isinstance(formula, Forall):
+                rewritten = Not(Exists(formula.name, formula.var_type,
+                                       Not(formula.body)))
+                return self.compile(rewritten)
+            inner = self.compile(formula.body)
+        finally:
+            if previous is None:
+                self.var_types.pop(formula.name, None)
+            else:
+                self.var_types[formula.name] = previous
+        if formula.name not in inner.columns:
+            return inner  # vacuous quantification
+        remaining = tuple(col for col in inner.columns
+                          if col != formula.name)
+        return self._project(inner, remaining)
+
+    # -- atomic formulas -----------------------------------------------------
+
+    def _atomic(self, formula) -> _Rel:
+        columns = tuple(sorted(formula.variable_names()))
+        base = self._full(columns)
+        if isinstance(formula, Eq):
+            left = self.term_expr(formula.left, base)
+            right = self.term_expr(formula.right, base)
+            return _Rel(Select(Lam("·w", left), Lam("·w", right),
+                               base.expr), columns)
+        if isinstance(formula, Member):
+            element = self.term_expr(formula.element, base)
+            container = self.term_expr(formula.container, base)
+            singleton = Bagging(element)
+            return _Rel(Select(
+                Lam("·w", Intersection(singleton, container)),
+                Lam("·w", singleton), base.expr), columns)
+        if isinstance(formula, Contained):
+            left = self.term_expr(formula.left, base)
+            right = self.term_expr(formula.right, base)
+            return _Rel(Select(
+                Lam("·w", Intersection(left, right)),
+                Lam("·w", left), base.expr), columns)
+        # Rel atom
+        entry = Tupling(*(self.term_expr(term, base)
+                          for term in formula.terms))
+        singleton = Bagging(entry)
+        return _Rel(Select(
+            Lam("·w", Intersection(singleton, Var(formula.name))),
+            Lam("·w", singleton), base.expr), columns)
+
+    # -- relation plumbing (joins, complements, projections) -----------------
+
+    def _full(self, columns: Tuple[str, ...]) -> _Rel:
+        if not columns:
+            return _Rel(_UNIT, ())
+        expr = None
+        for column in columns:
+            if column not in self.var_types:
+                raise BagTypeError(
+                    f"variable {column!r} has no quantifier in scope")
+            domain = _domain_rel(self.var_types[column], self.atoms)
+            expr = domain if expr is None else Cartesian(expr, domain)
+        return _Rel(expr, columns)
+
+    def _join(self, left: _Rel, right: _Rel) -> _Rel:
+        expr = Cartesian(left.expr, right.expr)
+        shared = set(left.columns) & set(right.columns)
+        for column in sorted(shared):
+            expr = Select(
+                Lam("·w", Attribute(Var("·w"), left.position(column))),
+                Lam("·w", Attribute(Var("·w"), left.arity
+                                    + right.position(column))),
+                expr)
+        target = tuple(sorted(set(left.columns) | set(right.columns)))
+        if not target:
+            return _Rel(Dedup(project_expr(expr, 1)), ())
+        positions = []
+        for column in target:
+            if column in left.columns:
+                positions.append(left.position(column))
+            else:
+                positions.append(left.arity + right.position(column))
+        return _Rel(Dedup(project_expr(expr, *positions)), target)
+
+    def _extend(self, rel: _Rel, target: Tuple[str, ...]) -> _Rel:
+        if rel.columns == target:
+            return rel
+        missing = [col for col in target if col not in rel.columns]
+        expr = rel.expr
+        for column in missing:
+            domain = _domain_rel(self.var_types[column], self.atoms)
+            expr = Cartesian(expr, domain)
+        if rel.columns:
+            layout = list(rel.columns) + missing
+            positions = [layout.index(column) + 1 for column in target]
+        else:
+            positions = [2 + missing.index(column) for column in target]
+        return _Rel(Dedup(project_expr(expr, *positions)), target)
+
+    def _project(self, rel: _Rel, target: Tuple[str, ...]) -> _Rel:
+        if not target:
+            collapsed = Map(Lam("·w", Tupling(Const(_UNIT_ATOM))),
+                            rel.expr)
+            return _Rel(Dedup(collapsed), ())
+        positions = [rel.position(column) for column in target]
+        return _Rel(Dedup(project_expr(rel.expr, *positions)), target)
+
+
+def compile_calc(sentence: Formula, schema: RelationSchema) -> Expr:
+    """Compile a CALC1 sentence to a BALG expression over the relation
+    names.  The sentence holds on a database iff the expression
+    evaluates to a nonempty bag there."""
+    compiler = _Compiler(schema)
+    relation = compiler.compile(sentence)
+    if relation.columns:
+        raise BagTypeError(
+            f"sentence has free variables: {list(relation.columns)}")
+    return relation.expr

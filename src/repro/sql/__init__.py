@@ -1,0 +1,36 @@
+"""A mini bag-SQL front end compiling to BALG (the introduction's
+motivation: SQL engines work on bags, not sets)."""
+
+from typing import List, Mapping, Tuple
+
+from repro.core.bag import Bag
+from repro.core.derived import bag_as_int
+from repro.core.eval import evaluate
+from repro.sql.ast import (
+    COUNT_STAR, Catalog, ColumnRef, Comparison, Query, SelectQuery,
+    SetOpQuery,
+)
+from repro.sql.compile import CompiledQuery, compile_query, compile_sql
+from repro.sql.parser import parse_sql
+
+__all__ = [
+    "COUNT_STAR", "Catalog", "ColumnRef", "Comparison", "Query",
+    "SelectQuery", "SetOpQuery", "CompiledQuery", "compile_query",
+    "compile_sql", "parse_sql", "run_sql",
+]
+
+
+def run_sql(text: str, catalog: Catalog,
+            database: Mapping[str, Bag]) -> List[Tuple]:
+    """Parse, compile, evaluate, and decode a query.
+
+    Returns a list of plain Python tuples *with duplicates* (bag
+    semantics, like a real engine's cursor); a ``COUNT(*)`` query
+    returns ``[(count,)]``.
+    """
+    compiled = compile_sql(text, catalog)
+    result = evaluate(compiled.expr, database)
+    if compiled.columns == ("count",):
+        return [(bag_as_int(result),)]
+    rows = [tuple(entry.items()) for entry in result.elements()]
+    return sorted(rows, key=repr)

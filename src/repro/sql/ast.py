@@ -1,0 +1,107 @@
+"""AST and catalog for the mini bag-SQL front end.
+
+The paper's introduction motivates bags with SQL: real systems keep
+duplicates "often to save the cost of duplicate elimination", and
+SQL's ``SELECT ALL`` / ``UNION ALL`` / ``COUNT`` are duplicate-
+sensitive.  This front end makes the connection executable: a small
+SQL dialect compiles to BALG expressions, so the bag/set semantic
+differences of the paper can be demonstrated in SQL terms.
+
+Supported dialect::
+
+    SELECT [ALL|DISTINCT] cols|*|COUNT(*) FROM t1 [, t2 ...]
+        [WHERE a = b [AND ...]]
+    q1 UNION [ALL] q2 | q1 INTERSECT [ALL] q2 | q1 EXCEPT [ALL] q2
+
+Plain names resolve against the catalog; dotted names (``t.col``)
+disambiguate self-joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.bag import Bag
+from repro.core.errors import BagTypeError
+
+__all__ = [
+    "Catalog", "ColumnRef", "Comparison", "SelectQuery", "SetOpQuery",
+    "Query", "COUNT_STAR",
+]
+
+#: Sentinel projection meaning ``COUNT(*)``.
+COUNT_STAR = "COUNT(*)"
+
+
+class Catalog:
+    """Table name -> ordered column names, plus the bag instances."""
+
+    def __init__(self, tables: Mapping[str, Sequence[str]]):
+        self._columns: Dict[str, Tuple[str, ...]] = {}
+        for name, columns in tables.items():
+            columns = tuple(columns)
+            if len(set(columns)) != len(columns):
+                raise BagTypeError(
+                    f"table {name!r} has duplicate column names")
+            self._columns[name] = columns
+
+    def columns(self, table: str) -> Tuple[str, ...]:
+        if table not in self._columns:
+            raise BagTypeError(f"unknown table {table!r}")
+        return self._columns[table]
+
+    def tables(self):
+        return self._columns.keys()
+
+    def __contains__(self, table: str) -> bool:
+        return table in self._columns
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference, optionally qualified by a table name."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return (f"{self.table}.{self.column}" if self.table
+                else self.column)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A WHERE conjunct: column op column, or column op literal."""
+
+    left: ColumnRef
+    op: str                       # "=", "!=", "<", "<="
+    right: Union[ColumnRef, str, int]
+
+
+@dataclass
+class SelectQuery:
+    """A SELECT block.
+
+    ``tables`` holds ``(table, alias)`` pairs; without an explicit
+    ``AS`` alias the alias equals the table name.  Aliases make
+    self-joins expressible (``FROM orders o1, orders o2``).
+    """
+
+    projections: Union[List[ColumnRef], str]   # list, "*", or COUNT_STAR
+    tables: List[Tuple[str, str]]
+    where: List[Comparison] = field(default_factory=list)
+    distinct: bool = False
+
+
+@dataclass
+class SetOpQuery:
+    """``q1 UNION/INTERSECT/EXCEPT [ALL] q2``."""
+
+    op: str                       # "UNION" | "INTERSECT" | "EXCEPT"
+    all: bool
+    left: "Query"
+    right: "Query"
+
+
+Query = Union[SelectQuery, SetOpQuery]

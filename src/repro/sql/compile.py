@@ -1,0 +1,175 @@
+"""Compiling the mini SQL dialect to BALG expressions.
+
+The mapping is the textbook one, made duplicate-faithful:
+
+=====================  ==========================================
+SQL                    BALG
+=====================  ==========================================
+``FROM t1, t2``        Cartesian product
+``WHERE a = b``        selection (chained for AND)
+``SELECT cols``        projection MAP (multiplicities add — this
+                       is where SQL's ``ALL`` semantics lives)
+``SELECT DISTINCT``    duplicate elimination ``eps``
+``UNION ALL``          additive union ``(+)``
+``UNION``              ``eps`` of maximal union
+``INTERSECT ALL``      bag intersection (min of multiplicities,
+                       the SQL standard's rule)
+``INTERSECT``          ``eps`` of it
+``EXCEPT ALL``         bag subtraction (monus, the standard rule)
+``EXCEPT``             ``eps(L) - eps(R)``
+``COUNT(*)``           the Section 3 counting expression; decode
+                       with :func:`~repro.core.derived.bag_as_int`
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.core.derived import count_expr, project_expr
+from repro.core.errors import BagTypeError
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Cartesian, Const, Dedup, Expr,
+    Intersection, Lam, MaxUnion, Select, Subtraction, Var,
+)
+from repro.sql.ast import (
+    COUNT_STAR, Catalog, ColumnRef, Comparison, Query, SelectQuery,
+    SetOpQuery,
+)
+from repro.sql.parser import parse_sql
+
+__all__ = ["CompiledQuery", "compile_query", "compile_sql"]
+
+_OP_MAP = {"=": "eq", "!=": "ne", "<": "lt", "<=": "le"}
+
+
+class CompiledQuery:
+    """A compiled SQL query: the BALG expression and the output
+    columns (``["count"]`` for COUNT(*) results)."""
+
+    def __init__(self, expr: Expr, columns: Tuple[str, ...]):
+        self.expr = expr
+        self.columns = columns
+
+    def __repr__(self) -> str:
+        return (f"CompiledQuery(columns={list(self.columns)}, "
+                f"expr={self.expr!r})")
+
+
+def compile_sql(text: str, catalog: Catalog) -> CompiledQuery:
+    """Parse and compile in one step."""
+    return compile_query(parse_sql(text), catalog)
+
+
+def compile_query(query: Query, catalog: Catalog) -> CompiledQuery:
+    """Compile a parsed query against a catalog."""
+    if isinstance(query, SelectQuery):
+        return _compile_select(query, catalog)
+    if isinstance(query, SetOpQuery):
+        return _compile_setop(query, catalog)
+    raise BagTypeError(f"unknown query node {query!r}")
+
+
+def _compile_setop(query: SetOpQuery, catalog: Catalog) -> CompiledQuery:
+    left = compile_query(query.left, catalog)
+    right = compile_query(query.right, catalog)
+    if len(left.columns) != len(right.columns):
+        raise BagTypeError(
+            f"set operation over different arities: "
+            f"{left.columns} vs {right.columns}")
+    if query.op == "UNION":
+        expr = (AdditiveUnion(left.expr, right.expr) if query.all
+                else Dedup(MaxUnion(Dedup(left.expr),
+                                    Dedup(right.expr))))
+    elif query.op == "INTERSECT":
+        expr = (Intersection(left.expr, right.expr) if query.all
+                else Dedup(Intersection(left.expr, right.expr)))
+    else:  # EXCEPT
+        expr = (Subtraction(left.expr, right.expr) if query.all
+                else Subtraction(Dedup(left.expr), Dedup(right.expr)))
+    return CompiledQuery(expr, left.columns)
+
+
+def _compile_select(query: SelectQuery,
+                    catalog: Catalog) -> CompiledQuery:
+    layout = _FromLayout(query.tables, catalog)
+    expr: Expr = layout.product_expr()
+    for conjunct in query.where:
+        expr = _apply_comparison(expr, conjunct, layout)
+
+    if query.projections == COUNT_STAR:
+        counted = count_expr(expr)
+        if query.distinct:
+            counted = count_expr(Dedup(expr))
+        return CompiledQuery(counted, ("count",))
+
+    if query.projections == "*":
+        columns = layout.all_columns()
+        projected = expr
+    else:
+        refs: List[ColumnRef] = query.projections
+        positions = [layout.resolve(ref) for ref in refs]
+        projected = project_expr(expr, *positions)
+        columns = tuple(ref.column for ref in refs)
+    if query.distinct:
+        projected = Dedup(projected)
+    return CompiledQuery(projected, columns)
+
+
+def _apply_comparison(expr: Expr, conjunct: Comparison,
+                      layout: "_FromLayout") -> Select:
+    left_position = layout.resolve(conjunct.left)
+    left_lam = Lam("·r", Attribute(Var("·r"), left_position))
+    if isinstance(conjunct.right, ColumnRef):
+        right_position = layout.resolve(conjunct.right)
+        right_lam = Lam("·r", Attribute(Var("·r"), right_position))
+    else:
+        right_lam = Lam("·r", Const(conjunct.right))
+    return Select(left_lam, right_lam, expr,
+                  op=_OP_MAP[conjunct.op])
+
+
+class _FromLayout:
+    """Attribute layout of the FROM product: which 1-based position
+    each (alias, column) pair occupies, with ambiguity checking.
+
+    ``tables`` holds (table, alias) pairs; qualification in column
+    references is by alias, so self-joins work.
+    """
+
+    def __init__(self, tables: List[Tuple[str, str]], catalog: Catalog):
+        if not tables:
+            raise BagTypeError("FROM clause needs at least one table")
+        self.tables = list(tables)
+        aliases = [alias for _, alias in self.tables]
+        if len(set(aliases)) != len(aliases):
+            raise BagTypeError(
+                f"duplicate table aliases in FROM: {aliases} "
+                "(alias repeated occurrences, e.g. orders o2)")
+        self.catalog = catalog
+        self._layout: List[Tuple[str, str]] = []
+        for table, alias in self.tables:
+            for column in catalog.columns(table):
+                self._layout.append((alias, column))
+
+    def product_expr(self) -> Expr:
+        expr: Expr = Var(self.tables[0][0])
+        for table, _ in self.tables[1:]:
+            expr = Cartesian(expr, Var(table))
+        return expr
+
+    def all_columns(self) -> Tuple[str, ...]:
+        return tuple(column for _, column in self._layout)
+
+    def resolve(self, ref: ColumnRef) -> int:
+        matches = [index + 1 for index, (table, column)
+                   in enumerate(self._layout)
+                   if column == ref.column
+                   and (ref.table is None or ref.table == table)]
+        if not matches:
+            raise BagTypeError(f"unknown column {ref!r}")
+        if len(matches) > 1:
+            raise BagTypeError(
+                f"ambiguous column {ref!r}; qualify it with a table "
+                "name")
+        return matches[0]

@@ -1,0 +1,184 @@
+"""Tokenizer and parser for the mini bag-SQL dialect."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.core.errors import ParseError
+from repro.sql.ast import (
+    COUNT_STAR, ColumnRef, Comparison, Query, SelectQuery, SetOpQuery,
+)
+
+__all__ = ["parse_sql"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'[^']*')"
+    r"|(?P<number>\d+)"
+    r"|(?P<op><=|!=|=|<)"
+    r"|(?P<punct>[(),*])"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)"
+    r")")
+
+_KEYWORDS = {"SELECT", "ALL", "DISTINCT", "FROM", "WHERE", "AND",
+             "UNION", "INTERSECT", "EXCEPT", "COUNT", "AS"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            stripped = text[position:].lstrip()
+            if not stripped:
+                break
+            raise ParseError(
+                f"unexpected character {stripped[0]!r}", position, text)
+        position = match.end()
+        if match.group("string") is not None:
+            tokens.append(("STRING", match.group("string")[1:-1],
+                           match.start()))
+        elif match.group("number") is not None:
+            tokens.append(("NUMBER", match.group("number"),
+                           match.start()))
+        elif match.group("op") is not None:
+            tokens.append(("OP", match.group("op"), match.start()))
+        elif match.group("punct") is not None:
+            tokens.append(("PUNCT", match.group("punct"),
+                           match.start()))
+        else:
+            word = match.group("word")
+            upper = word.upper()
+            if upper in _KEYWORDS and "." not in word:
+                tokens.append(("KEYWORD", upper, match.start()))
+            else:
+                tokens.append(("NAME", word, match.start()))
+    tokens.append(("EOF", "", len(text)))
+    return tokens
+
+
+def parse_sql(text: str) -> Query:
+    """Parse a query of the mini dialect into the SQL AST."""
+    parser = _SqlParser(_tokenize(text), text)
+    query = parser.parse_query()
+    parser.expect("EOF")
+    return query
+
+
+class _SqlParser:
+    def __init__(self, tokens, source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def peek(self):
+        return self._tokens[self._index]
+
+    def advance(self):
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None):
+        token = self.peek()
+        if token[0] == kind and (text is None or token[1] == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None):
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            raise ParseError(
+                f"expected {text or kind!r}, found {actual[1] or 'EOF'!r}",
+                actual[2], self._source)
+        return token
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        left = self.parse_select()
+        while True:
+            setop = None
+            for keyword in ("UNION", "INTERSECT", "EXCEPT"):
+                if self.accept("KEYWORD", keyword):
+                    setop = keyword
+                    break
+            if setop is None:
+                return left
+            keep_all = bool(self.accept("KEYWORD", "ALL"))
+            right = self.parse_select()
+            left = SetOpQuery(op=setop, all=keep_all, left=left,
+                              right=right)
+
+    def parse_select(self) -> Query:
+        if self.accept("PUNCT", "("):
+            inner = self.parse_query()
+            self.expect("PUNCT", ")")
+            return inner
+        self.expect("KEYWORD", "SELECT")
+        distinct = False
+        if self.accept("KEYWORD", "DISTINCT"):
+            distinct = True
+        else:
+            self.accept("KEYWORD", "ALL")
+        projections = self._parse_projections()
+        self.expect("KEYWORD", "FROM")
+        tables = [self._parse_table()]
+        while self.accept("PUNCT", ","):
+            tables.append(self._parse_table())
+        where: List[Comparison] = []
+        if self.accept("KEYWORD", "WHERE"):
+            where.append(self._parse_comparison())
+            while self.accept("KEYWORD", "AND"):
+                where.append(self._parse_comparison())
+        return SelectQuery(projections=projections, tables=tables,
+                           where=where, distinct=distinct)
+
+    def _parse_table(self):
+        name = self.expect("NAME")[1]
+        if "." in name:
+            raise ParseError(f"table names cannot be qualified: "
+                             f"{name!r}", self.peek()[2], self._source)
+        alias = name
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("NAME")[1]
+        elif self.peek()[0] == "NAME" and "." not in self.peek()[1]:
+            alias = self.advance()[1]
+        return (name, alias)
+
+    def _parse_projections(self):
+        if self.accept("PUNCT", "*"):
+            return "*"
+        if self.accept("KEYWORD", "COUNT"):
+            self.expect("PUNCT", "(")
+            self.expect("PUNCT", "*")
+            self.expect("PUNCT", ")")
+            return COUNT_STAR
+        columns = [self._parse_column()]
+        while self.accept("PUNCT", ","):
+            columns.append(self._parse_column())
+        return columns
+
+    def _parse_column(self) -> ColumnRef:
+        name = self.expect("NAME")[1]
+        if "." in name:
+            table, column = name.split(".", 1)
+            return ColumnRef(column=column, table=table)
+        return ColumnRef(column=name)
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_column()
+        op = self.expect("OP")[1]
+        token = self.peek()
+        if token[0] == "STRING":
+            self.advance()
+            right: Union[ColumnRef, str, int] = token[1]
+        elif token[0] == "NUMBER":
+            self.advance()
+            right = int(token[1])
+        else:
+            right = self._parse_column()
+        return Comparison(left=left, op=op, right=right)

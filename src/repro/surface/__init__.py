@@ -1,0 +1,7 @@
+"""Surface syntax: a parseable ASCII notation for algebra expressions."""
+
+from repro.surface.lexer import Token, tokenize
+from repro.surface.parser import parse
+from repro.surface.printer import to_text
+
+__all__ = ["Token", "tokenize", "parse", "to_text"]

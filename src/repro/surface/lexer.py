@@ -1,0 +1,136 @@
+"""Tokenizer for the surface syntax of algebra expressions.
+
+The surface language is an ASCII rendering of the paper's notation::
+
+    P(B)                      powerset
+    Pb(B)                     powerbag
+    delta(B)                  bag-destroy
+    eps(B)                    duplicate elimination
+    beta(e)                   bagging
+    tau(e1, e2)               tupling
+    alpha2(e)                 attribute projection
+    pi[1,4](B)                projection map
+    map[x: tau(alpha2(x))](B) restructuring
+    sigma[x: alpha1(x) = 'a'](B)   selection
+    A (+) B | A - B | A u B | A n B | A x B    the binary operators
+    {{ 'a', 'a', ['b','c'] }} bag literal
+    ['a', 'b']                tuple literal
+    'a', 42                   atom literals
+    ifp[X: body; seed]        inflationary fixpoint (extension)
+
+Identifiers not matching a keyword are variables (database bag names or
+lambda parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved operator keywords of the surface syntax.
+KEYWORDS = frozenset({
+    "P", "Pb", "delta", "eps", "beta", "tau", "alpha", "pi", "map",
+    "sigma", "ifp", "nest", "unnest", "u", "n", "x",
+})
+
+_PUNCTUATION = {
+    "(+)": "ADDUNION",
+    "!=": "NE",
+    "<=": "LE",
+    "{{": "LBAG",
+    "}}": "RBAG",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ",": "COMMA",
+    ":": "COLON",
+    ";": "SEMI",
+    "-": "MINUS",
+    "=": "EQ",
+    "<": "LT",
+}
+
+#: Longest-match ordering for punctuation.
+_PUNCT_ORDER = sorted(_PUNCTUATION, key=len, reverse=True)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind, its text, and its source offset."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a surface-syntax expression.
+
+    Raises :class:`ParseError` on unrecognised characters or unclosed
+    string literals.
+    """
+    tokens: List[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char in " \t\r\n":
+            position += 1
+            continue
+        matched = _match_punctuation(source, position)
+        if matched is not None:
+            kind, text = matched
+            tokens.append(Token(kind, text, position))
+            position += len(text)
+            continue
+        if char == "'":
+            text, consumed = _scan_string(source, position)
+            tokens.append(Token("STRING", text, position))
+            position += consumed
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and source[position].isdigit():
+                position += 1
+            tokens.append(Token("INT", source[start:position], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum()
+                                         or source[position] == "_"):
+                position += 1
+            word = source[start:position]
+            # "alpha3" style: keyword fused with an index
+            if word.startswith("alpha") and word[5:].isdigit():
+                tokens.append(Token("ALPHA", word, start))
+            elif word in KEYWORDS:
+                tokens.append(Token("KEYWORD", word, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        raise ParseError(f"unexpected character {char!r}", position,
+                         source)
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def _match_punctuation(source: str, position: int):
+    for text in _PUNCT_ORDER:
+        if source.startswith(text, position):
+            return _PUNCTUATION[text], text
+    return None
+
+
+def _scan_string(source: str, position: int):
+    """Scan a single-quoted atom literal; returns (content, consumed)."""
+    end = position + 1
+    while end < len(source) and source[end] != "'":
+        end += 1
+    if end >= len(source):
+        raise ParseError("unclosed string literal", position, source)
+    return source[position + 1:end], end - position + 1

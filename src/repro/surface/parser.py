@@ -1,0 +1,258 @@
+"""Recursive-descent parser for the surface syntax.
+
+Grammar (binary operators listed loosest-first; all left-associative)::
+
+    expr      := sum
+    sum       := extreme (('(+)' | '-') extreme)*
+    extreme   := product (('u' | 'n') product)*
+    product   := unary ('x' unary)*
+    unary     := 'P' '(' expr ')' | 'Pb' '(' expr ')'
+               | 'delta' '(' expr ')' | 'eps' '(' expr ')'
+               | 'beta' '(' expr ')' | 'tau' '(' args ')'
+               | ALPHA '(' expr ')'                 -- alphaN
+               | 'pi' '[' INT (',' INT)* ']' '(' expr ')'
+               | 'map' '[' IDENT ':' expr ']' '(' expr ')'
+               | 'sigma' '[' IDENT ':' expr cmp expr ']' '(' expr ')'
+               | 'ifp' '[' IDENT ':' expr ';' expr ']'
+               | literal | IDENT | '(' expr ')'
+    cmp       := '=' | '!=' | '<=' | '<'
+    literal   := '{{' [expr (',' expr)*] '}}'       -- bag (of literals)
+               | '[' [expr (',' expr)*] ']'         -- tuple literal
+               | STRING | INT
+
+Bag and tuple literals must be ground (no variables inside) — they
+become :class:`~repro.core.expr.Const` nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.bag import Bag, Tup
+from repro.core.derived import project_expr
+from repro.core.errors import ParseError
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Bagging, BagDestroy, Cartesian, Const,
+    Dedup, Expr, Intersection, Lam, Map, MaxUnion, Powerbag, Powerset,
+    Select, Subtraction, Tupling, Var,
+)
+from repro.machines.ifp import Ifp
+from repro.surface.lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+_CMP_TOKENS = {"EQ": "eq", "NE": "ne", "LE": "le", "LT": "lt"}
+
+
+def parse(source: str) -> Expr:
+    """Parse a surface-syntax expression into an AST.
+
+    >>> parse("pi[1](sigma[t: alpha1(t) = 'a'](B))")  # doctest: +SKIP
+    """
+    parser = _Parser(tokenize(source), source)
+    expr = parser.parse_expr()
+    parser.expect("EOF")
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {actual.text or 'EOF'!r}",
+                actual.position, self._source)
+        return token
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_sum()
+
+    def parse_sum(self) -> Expr:
+        left = self.parse_extreme()
+        while True:
+            if self.accept("ADDUNION"):
+                left = AdditiveUnion(left, self.parse_extreme())
+            elif self.accept("MINUS"):
+                left = Subtraction(left, self.parse_extreme())
+            else:
+                return left
+
+    def parse_extreme(self) -> Expr:
+        left = self.parse_product()
+        while True:
+            if self.accept("KEYWORD", "u"):
+                left = MaxUnion(left, self.parse_product())
+            elif self.accept("KEYWORD", "n"):
+                left = Intersection(left, self.parse_product())
+            else:
+                return left
+
+    def parse_product(self) -> Expr:
+        left = self.parse_unary()
+        while self.accept("KEYWORD", "x"):
+            left = Cartesian(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "KEYWORD":
+            return self._parse_keyword()
+        if token.kind == "ALPHA":
+            self.advance()
+            index = int(token.text[5:])
+            self.expect("LPAREN")
+            operand = self.parse_expr()
+            self.expect("RPAREN")
+            return Attribute(operand, index)
+        if token.kind == "IDENT":
+            self.advance()
+            return Var(token.text)
+        if token.kind in ("STRING", "INT", "LBAG", "LBRACKET"):
+            return Const(self._parse_literal())
+        if self.accept("LPAREN"):
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+        raise ParseError(f"unexpected token {token.text!r}",
+                         token.position, self._source)
+
+    def _parse_keyword(self) -> Expr:
+        token = self.advance()
+        word = token.text
+        simple = {"P": Powerset, "Pb": Powerbag, "delta": BagDestroy,
+                  "eps": Dedup, "beta": Bagging}
+        if word in simple:
+            self.expect("LPAREN")
+            operand = self.parse_expr()
+            self.expect("RPAREN")
+            return simple[word](operand)
+        if word == "tau":
+            self.expect("LPAREN")
+            parts = [self.parse_expr()]
+            while self.accept("COMMA"):
+                parts.append(self.parse_expr())
+            self.expect("RPAREN")
+            return Tupling(*parts)
+        if word in ("nest", "unnest"):
+            from repro.core.nest import Nest, Unnest
+            self.expect("LBRACKET")
+            indices = [int(self.expect("INT").text)]
+            while self.accept("COMMA"):
+                indices.append(int(self.expect("INT").text))
+            self.expect("RBRACKET")
+            self.expect("LPAREN")
+            operand = self.parse_expr()
+            self.expect("RPAREN")
+            if word == "nest":
+                return Nest(operand, *indices)
+            if len(indices) != 1:
+                raise ParseError("unnest takes exactly one index",
+                                 token.position, self._source)
+            return Unnest(operand, indices[0])
+        if word == "pi":
+            self.expect("LBRACKET")
+            indices = [int(self.expect("INT").text)]
+            while self.accept("COMMA"):
+                indices.append(int(self.expect("INT").text))
+            self.expect("RBRACKET")
+            self.expect("LPAREN")
+            operand = self.parse_expr()
+            self.expect("RPAREN")
+            return project_expr(operand, *indices)
+        if word == "map":
+            self.expect("LBRACKET")
+            param = self.expect("IDENT").text
+            self.expect("COLON")
+            body = self.parse_expr()
+            self.expect("RBRACKET")
+            self.expect("LPAREN")
+            operand = self.parse_expr()
+            self.expect("RPAREN")
+            return Map(Lam(param, body), operand)
+        if word == "sigma":
+            self.expect("LBRACKET")
+            param = self.expect("IDENT").text
+            self.expect("COLON")
+            left_body = self.parse_expr()
+            comparator = self._parse_comparator()
+            right_body = self.parse_expr()
+            self.expect("RBRACKET")
+            self.expect("LPAREN")
+            operand = self.parse_expr()
+            self.expect("RPAREN")
+            return Select(Lam(param, left_body), Lam(param, right_body),
+                          operand, op=comparator)
+        if word == "ifp":
+            self.expect("LBRACKET")
+            param = self.expect("IDENT").text
+            self.expect("COLON")
+            body = self.parse_expr()
+            self.expect("SEMI")
+            seed = self.parse_expr()
+            self.expect("RBRACKET")
+            return Ifp(param, body, seed)
+        raise ParseError(f"keyword {word!r} cannot start an expression",
+                         token.position, self._source)
+
+    def _parse_comparator(self) -> str:
+        for kind, name in _CMP_TOKENS.items():
+            if self.accept(kind):
+                return name
+        actual = self.peek()
+        raise ParseError("expected a comparator (= != <= <)",
+                         actual.position, self._source)
+
+    # -- literals ----------------------------------------------------------
+
+    def _parse_literal(self) -> Any:
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            return token.text
+        if token.kind == "INT":
+            self.advance()
+            return int(token.text)
+        if self.accept("LBAG"):
+            elements = []
+            if self.peek().kind != "RBAG":
+                elements.append(self._parse_literal())
+                while self.accept("COMMA"):
+                    elements.append(self._parse_literal())
+            self.expect("RBAG")
+            return Bag(elements)
+        if self.accept("LBRACKET"):
+            items = []
+            if self.peek().kind != "RBRACKET":
+                items.append(self._parse_literal())
+                while self.accept("COMMA"):
+                    items.append(self._parse_literal())
+            self.expect("RBRACKET")
+            return Tup(*items)
+        raise ParseError(
+            f"expected a literal, found {token.text!r}",
+            token.position, self._source)

@@ -1,0 +1,70 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.bag import Bag, Tup
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies for complex objects
+# ----------------------------------------------------------------------
+
+#: A small alphabet of atoms keeps collisions (and thus duplicates)
+#: frequent, which is what bag semantics is about.
+atoms = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def flat_tuples(draw, arity: int = 2):
+    """Flat tuples of atoms with a fixed arity."""
+    return Tup(*(draw(atoms) for _ in range(arity)))
+
+
+@st.composite
+def flat_bags(draw, arity: int = 2, max_size: int = 8):
+    """Unnested bags of flat tuples (the BALG^1 inputs of Section 4)."""
+    members = draw(st.lists(flat_tuples(arity=arity), max_size=max_size))
+    return Bag(members)
+
+
+@st.composite
+def atom_bags(draw, max_size: int = 8):
+    """Bags of bare atoms."""
+    return Bag(draw(st.lists(atoms, max_size=max_size)))
+
+
+@st.composite
+def nested_bags(draw, max_outer: int = 5, max_inner: int = 4):
+    """Bags of bags of atoms (one level of nesting, BALG^2 inputs)."""
+    inner = st.lists(atoms, max_size=max_inner).map(Bag)
+    return Bag(draw(st.lists(inner, max_size=max_outer)))
+
+
+@st.composite
+def small_multiplicity_bags(draw, max_distinct: int = 3,
+                            max_count: int = 4):
+    """Bags given directly as counts, to exercise high multiplicities."""
+    n_distinct = draw(st.integers(0, max_distinct))
+    counts = {}
+    letters = ["a", "b", "c", "d", "e"][:n_distinct]
+    for letter in letters:
+        counts[Tup(letter)] = draw(st.integers(1, max_count))
+    return Bag.from_counts(counts)
+
+
+# ----------------------------------------------------------------------
+# Plain fixtures
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def sample_bag() -> Bag:
+    """The running example ``[[ [a,b], [a,b], [b,a] ]]``."""
+    return Bag.of(Tup("a", "b"), Tup("a", "b"), Tup("b", "a"))
+
+
+@pytest.fixture
+def single_constant_bag() -> Bag:
+    """``B_n`` of Prop 4.1: n occurrences of the 1-tuple [a]."""
+    return Bag.from_counts({Tup("a"): 5})

@@ -1,0 +1,149 @@
+"""Tests for bounded arithmetic and the Lemma 5.7 translation
+(repro.arith)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import (
+    NAnd, NConst, NEq, NExists, NForall, NLe, NNot, NOr, NVar, Plus,
+    Times, compile_formula, domain_bound, domain_expr, doubling_expr,
+    eval_formula, eval_term, input_bag, int_bag, bag_int,
+)
+from repro.core.derived import is_nonempty
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate
+from repro.core.expr import var
+
+
+class TestTermsAndFormulas:
+    def test_eval_term(self):
+        term = Plus(Times(NVar("x"), NConst(3)), NConst(1))
+        assert eval_term(term, {"x": 4}) == 13
+
+    def test_unbound_variable(self):
+        with pytest.raises(BagTypeError):
+            eval_term(NVar("x"), {})
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(BagTypeError):
+            NConst(-1)
+
+    def test_free_vars(self):
+        formula = NExists("x", NEq(Plus(NVar("x"), NVar("y")),
+                                   NVar("n")))
+        assert formula.free_vars() == frozenset({"y", "n"})
+
+    def test_bounded_quantification(self):
+        # exists x: x = 5 — only true when the bound admits 5
+        formula = NExists("x", NEq(NVar("x"), NConst(5)))
+        assert not eval_formula(formula, 4, {})
+        assert eval_formula(formula, 5, {})
+
+    def test_forall(self):
+        formula = NForall("x", NLe(NVar("x"), NConst(3)))
+        assert eval_formula(formula, 3, {})
+        assert not eval_formula(formula, 4, {})
+
+
+class TestIntegerEncoding:
+    @given(st.integers(0, 20))
+    def test_roundtrip(self, value):
+        assert bag_int(int_bag(value)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(BagTypeError):
+            int_bag(-2)
+
+    def test_input_bag(self):
+        assert input_bag(4).cardinality == 4
+
+
+class TestDomains:
+    def test_domain_bound_levels(self):
+        assert domain_bound(3, 0) == 3
+        assert domain_bound(3, 1) == 8
+        assert domain_bound(2, 2) == 16
+
+    def test_doubling_expr(self):
+        from repro.arith.translate import _normalize
+        result = evaluate(doubling_expr(_normalize(var("B"))),
+                          B=input_bag(3))
+        assert result.cardinality == 8
+
+    def test_domain_contains_all_sizes(self):
+        domain = evaluate(domain_expr("B", 0), B=input_bag(3))
+        sizes = sorted(entry.attribute(1).cardinality
+                       for entry in domain.distinct())
+        assert sizes == [0, 1, 2, 3]
+
+    def test_domain_level_one(self):
+        domain = evaluate(domain_expr("B", 1), B=input_bag(2))
+        sizes = sorted(entry.attribute(1).cardinality
+                       for entry in domain.distinct())
+        assert sizes == list(range(5))  # 0..2^2
+
+
+#: Formula generators paired with their Python ground truth.
+def _formula_zoo():
+    x, y, n = NVar("x"), NVar("y"), NVar("n")
+    return [
+        NExists("x", NEq(Plus(x, x), n)),                   # n even
+        NExists("x", NEq(Times(x, x), n)),                  # n square
+        NForall("x", NLe(x, n)),                            # bound <= n
+        NEq(Plus(n, n), Times(NConst(2), n)),               # tautology
+        NNot(NEq(n, NConst(3))),
+        NOr(NEq(n, NConst(1)),
+            NExists("x", NEq(Plus(x, NConst(2)), n))),      # n>=2 or n=1
+        NExists("x", NExists("y", NEq(Plus(x, y), n))),
+        NExists("x", NAnd(NLe(NConst(1), x),
+                          NEq(Times(x, NConst(2)), n))),
+    ]
+
+
+class TestLemma57Translation:
+    """The compiled algebra expression agrees with the direct bounded
+    evaluation on every formula and input size."""
+
+    @pytest.mark.parametrize("index", range(len(_formula_zoo())))
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_agreement_level0(self, index, n):
+        formula = _formula_zoo()[index]
+        compiled = compile_formula(formula, input_var="n", bag_var="B")
+        algebra = is_nonempty(evaluate(compiled.expr, B=input_bag(n)))
+        direct = eval_formula(formula, domain_bound(n, 0), {"n": n})
+        assert algebra == direct, (formula, n)
+
+    def test_agreement_level1(self):
+        # hyper(1): quantifiers reach 2^n — values beyond n become
+        # representable.
+        formula = NExists("x", NEq(NVar("x"), NConst(4)))
+        compiled = compile_formula(formula, hyper_level=1)
+        assert is_nonempty(evaluate(compiled.expr, B=input_bag(2)))
+        compiled0 = compile_formula(formula, hyper_level=0)
+        assert not is_nonempty(evaluate(compiled0.expr, B=input_bag(2)))
+
+    def test_unquantified_variables_rejected(self):
+        with pytest.raises(BagTypeError):
+            compile_formula(NEq(NVar("x"), NVar("n")))
+
+    def test_closed_formulas(self):
+        true_sentence = NEq(Plus(NConst(1), NConst(1)), NConst(2))
+        false_sentence = NEq(NConst(1), NConst(2))
+        assert is_nonempty(evaluate(
+            compile_formula(true_sentence).expr, B=input_bag(1)))
+        assert not is_nonempty(evaluate(
+            compile_formula(false_sentence).expr, B=input_bag(1)))
+
+    def test_translation_is_balg2_plus_powerbag(self):
+        """The compiled expressions stay within two levels of bag
+        nesting (Lemma 5.7 lives in BALG^2 + Pb)."""
+        from repro.core.fragments import max_bag_nesting
+        from repro.core.types import flat_bag_type
+        formula = NExists("x", NEq(Plus(NVar("x"), NVar("x")),
+                                   NVar("n")))
+        compiled = compile_formula(formula, hyper_level=1)
+        nesting = max_bag_nesting(compiled.expr, B=flat_bag_type(1))
+        assert nesting <= 2

@@ -1,0 +1,230 @@
+"""Unit and property tests for the value model (repro.core.bag)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bag import Bag, EMPTY_BAG, Tup, canonical_key, is_atom
+from repro.core.errors import (
+    HeterogeneousBagError, ValueConstructionError,
+)
+from tests.conftest import atom_bags, flat_bags, nested_bags
+
+
+class TestTup:
+    def test_arity_and_attributes(self):
+        triple = Tup("a", "b", "c")
+        assert triple.arity == 3
+        assert triple.attribute(1) == "a"
+        assert triple.attribute(3) == "c"
+
+    def test_attribute_is_one_based(self):
+        pair = Tup("x", "y")
+        assert pair.attribute(1) == "x"
+        assert pair[0] == "x"
+
+    def test_attribute_out_of_range(self):
+        with pytest.raises(IndexError):
+            Tup("a").attribute(2)
+        with pytest.raises(IndexError):
+            Tup("a").attribute(0)
+
+    def test_concat(self):
+        assert Tup("a").concat(Tup("b", "c")) == Tup("a", "b", "c")
+
+    def test_concat_rejects_non_tuple(self):
+        with pytest.raises(ValueConstructionError):
+            Tup("a").concat("b")  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Tup("a", "b") == Tup("a", "b")
+        assert hash(Tup("a", "b")) == hash(Tup("a", "b"))
+        assert Tup("a", "b") != Tup("b", "a")
+
+    def test_nested_tuple_allowed(self):
+        nested = Tup(Tup("a"), "b")
+        assert nested.attribute(1) == Tup("a")
+
+    def test_rejects_mutable_members(self):
+        with pytest.raises(ValueConstructionError):
+            Tup(["not", "allowed"])
+
+    def test_iteration_and_len(self):
+        assert list(Tup("a", "b")) == ["a", "b"]
+        assert len(Tup("a", "b")) == 2
+
+
+class TestBagConstruction:
+    def test_counts_duplicates(self):
+        bag = Bag(["a", "a", "b"])
+        assert bag.multiplicity("a") == 2
+        assert bag.multiplicity("b") == 1
+        assert bag.multiplicity("c") == 0
+
+    def test_from_counts(self):
+        bag = Bag.from_counts({"a": 3, "b": 0})
+        assert bag.multiplicity("a") == 3
+        assert "b" not in bag
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueConstructionError):
+            Bag.from_counts({"a": -1})
+
+    def test_from_counts_rejects_non_int(self):
+        with pytest.raises(ValueConstructionError):
+            Bag.from_counts({"a": 1.5})
+
+    def test_single(self):
+        bag = Bag.single(Tup("t"), 4)
+        assert bag.n_belongs(Tup("t"), 4)
+        assert bag.cardinality == 4
+
+    def test_empty_bag(self):
+        assert EMPTY_BAG.is_empty()
+        assert EMPTY_BAG.cardinality == 0
+        assert Bag() == EMPTY_BAG
+
+    def test_rejects_mixed_shapes(self):
+        with pytest.raises(HeterogeneousBagError):
+            Bag(["atom", Tup("a")])
+
+    def test_rejects_mixed_arities(self):
+        with pytest.raises(HeterogeneousBagError):
+            Bag([Tup("a"), Tup("a", "b")])
+
+    def test_empty_inner_bag_is_compatible(self):
+        # The empty bag is polymorphic: it can sit next to any bag.
+        bag = Bag([Bag(), Bag(["a"])])
+        assert bag.cardinality == 2
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(ValueConstructionError):
+            Bag([["list"]])
+
+    def test_rejects_python_set_element(self):
+        with pytest.raises(ValueConstructionError):
+            Bag([{1, 2}])
+
+
+class TestBagInterface:
+    def test_n_belongs(self, sample_bag):
+        assert sample_bag.n_belongs(Tup("a", "b"), 2)
+        assert not sample_bag.n_belongs(Tup("a", "b"), 1)
+        assert sample_bag.n_belongs(Tup("c", "c"), 0)
+
+    def test_cardinality_counts_duplicates(self, sample_bag):
+        assert sample_bag.cardinality == 3
+        assert sample_bag.distinct_count == 2
+
+    def test_is_set(self, sample_bag):
+        assert not sample_bag.is_set()
+        assert Bag.of(Tup("a")).is_set()
+        assert EMPTY_BAG.is_set()
+
+    def test_subbag_relation(self):
+        small = Bag.from_counts({"a": 1, "b": 1})
+        large = Bag.from_counts({"a": 2, "b": 1, "c": 5})
+        assert small.is_subbag_of(large)
+        assert not large.is_subbag_of(small)
+        assert small <= large
+
+    def test_subbag_reflexive(self, sample_bag):
+        assert sample_bag.is_subbag_of(sample_bag)
+
+    def test_elements_yields_duplicates(self):
+        bag = Bag.from_counts({"a": 3})
+        assert list(bag.elements()) == ["a", "a", "a"]
+        assert len(list(bag)) == 3
+
+    def test_distinct_iteration(self, sample_bag):
+        assert set(sample_bag.distinct()) == {Tup("a", "b"), Tup("b", "a")}
+
+    def test_an_element_on_empty_raises(self):
+        with pytest.raises(ValueConstructionError):
+            EMPTY_BAG.an_element()
+
+    def test_support(self, sample_bag):
+        assert sample_bag.support() == frozenset(
+            {Tup("a", "b"), Tup("b", "a")})
+
+
+class TestBagEqualityAndHashing:
+    def test_order_insensitive(self):
+        assert Bag(["a", "b", "a"]) == Bag(["b", "a", "a"])
+
+    def test_multiplicity_sensitive(self):
+        assert Bag(["a"]) != Bag(["a", "a"])
+
+    def test_nested_bag_hashable(self):
+        outer = Bag([Bag(["a"]), Bag(["a"]), Bag(["b"])])
+        assert outer.multiplicity(Bag(["a"])) == 2
+
+    def test_bags_as_dict_keys(self):
+        index = {Bag(["a"]): 1, Bag(["a", "a"]): 2}
+        assert index[Bag(["a", "a"])] == 2
+
+
+class TestCanonicalKey:
+    def test_atoms_before_tuples_before_bags(self):
+        ordering = sorted([Bag(["a"]), Tup("a"), "a"], key=canonical_key)
+        assert ordering == ["a", Tup("a"), Bag(["a"])]
+
+    def test_integers_order_numerically(self):
+        assert sorted([10, 2, 1], key=canonical_key) == [1, 2, 10]
+
+    def test_tuples_order_lexicographically(self):
+        pairs = [Tup("b", "a"), Tup("a", "b")]
+        assert sorted(pairs, key=canonical_key) == [Tup("a", "b"),
+                                                    Tup("b", "a")]
+
+    def test_total_order_on_bags(self):
+        bags = [Bag(["b"]), Bag(["a", "a"]), Bag(["a"])]
+        keys = [canonical_key(bag) for bag in sorted(bags,
+                                                     key=canonical_key)]
+        assert keys == sorted(keys)
+
+
+class TestIsAtom:
+    def test_scalars_are_atoms(self):
+        assert is_atom("a")
+        assert is_atom(42)
+        assert is_atom(None)
+
+    def test_structures_are_not_atoms(self):
+        assert not is_atom(Tup("a"))
+        assert not is_atom(Bag(["a"]))
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+class TestBagProperties:
+    @given(flat_bags())
+    def test_cardinality_is_sum_of_counts(self, bag):
+        assert bag.cardinality == sum(count for _, count in bag.items())
+
+    @given(flat_bags())
+    def test_elements_roundtrip(self, bag):
+        assert Bag(bag.elements()) == bag
+
+    @given(atom_bags(), atom_bags())
+    def test_equality_iff_same_counts(self, left, right):
+        assert (left == right) == (left.counts() == right.counts())
+
+    @given(nested_bags())
+    def test_nested_bags_hash_consistent(self, bag):
+        rebuilt = Bag(bag.elements())
+        assert hash(rebuilt) == hash(bag)
+        assert rebuilt == bag
+
+    @given(atom_bags(), atom_bags())
+    def test_subbag_antisymmetric_up_to_equality(self, left, right):
+        if left.is_subbag_of(right) and right.is_subbag_of(left):
+            assert left == right
+
+    @given(flat_bags())
+    def test_canonical_key_deterministic(self, bag):
+        assert canonical_key(bag) == canonical_key(Bag(bag.elements()))

@@ -1,0 +1,165 @@
+"""Tests for the CALC1 -> algebra compiler (repro.relational.calc2alg):
+the compiled expression must agree with the direct active-domain
+evaluator on shared structures.
+
+Convention: the compiled translation derives the active domain from
+the relations, so test structures keep every atom inside some relation
+(the standard active-domain setting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bag import Bag, Tup
+from repro.core.derived import is_nonempty
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate
+from repro.core.types import BagType, TupleType, U
+from repro.games.structures import CoStructure, SET_OF_ATOMS, set_of
+from repro.relational.calc import (
+    And, Component, Contained, Eq, Exists, Forall, Implies, Member,
+    Not, Or, Rel, TermConst, TermVar, satisfies,
+)
+from repro.relational.calc2alg import (
+    active_atoms_expr, compile_calc, structure_to_database,
+)
+
+NODE = SET_OF_ATOMS
+
+
+def _triangle() -> CoStructure:
+    a, b, c = set_of(1), set_of(2), set_of(3)
+    return CoStructure.build({1, 2, 3},
+                             {"E": {(a, b), (b, c), (c, a)}})
+
+
+def _path() -> CoStructure:
+    a, b, c = set_of(1), set_of(2), set_of(3)
+    return CoStructure.build({1, 2, 3}, {"E": {(a, b), (b, c)}})
+
+
+TRIANGLE_SCHEMA = {"E": (NODE, NODE)}
+
+
+def _check(sentence, structure, schema=TRIANGLE_SCHEMA) -> None:
+    direct = satisfies(structure, sentence)
+    compiled = compile_calc(sentence, schema)
+    database = structure_to_database(structure)
+    algebraic = is_nonempty(evaluate(compiled, database))
+    assert algebraic == direct, sentence
+
+
+class TestActiveAtoms:
+    def test_atoms_from_set_attributes(self):
+        expr = active_atoms_expr(TRIANGLE_SCHEMA)
+        atoms = evaluate(expr, structure_to_database(_triangle()))
+        assert atoms.support() == {Tup(1), Tup(2), Tup(3)}
+        assert atoms.is_set()
+
+    def test_atoms_from_flat_attributes(self):
+        schema = {"R": (U, U)}
+        database = {"R": Bag.of(Tup("a", "b"))}
+        atoms = evaluate(active_atoms_expr(schema), database)
+        assert atoms.support() == {Tup("a"), Tup("b")}
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(BagTypeError):
+            active_atoms_expr({})
+
+
+class TestSentences:
+    def test_edge_exists(self):
+        sentence = Exists("x", NODE, Exists(
+            "y", NODE, Rel("E", [TermVar("x"), TermVar("y")])))
+        _check(sentence, _triangle())
+        _check(sentence, _path())
+
+    def test_self_loop_absent(self):
+        sentence = Exists("x", NODE,
+                          Rel("E", [TermVar("x"), TermVar("x")]))
+        _check(sentence, _triangle())
+
+    def test_every_node_has_successor(self):
+        # true on the triangle (a cycle), false on the path
+        sentence = Forall("x", NODE, Implies(
+            Exists("z", NODE, Or(
+                Rel("E", [TermVar("x"), TermVar("z")]),
+                Rel("E", [TermVar("z"), TermVar("x")]))),
+            Exists("y", NODE, Rel("E", [TermVar("x"), TermVar("y")]))))
+        assert satisfies(_triangle(), sentence)
+        assert not satisfies(_path(), sentence)
+        _check(sentence, _triangle())
+        _check(sentence, _path())
+
+    def test_membership(self):
+        sentence = Exists("a", U, Exists(
+            "x", NODE, And(
+                Member(TermVar("a"), TermVar("x")),
+                Exists("y", NODE,
+                       Rel("E", [TermVar("x"), TermVar("y")])))))
+        _check(sentence, _triangle())
+
+    def test_containment(self):
+        sentence = Forall("x", NODE, Contained(TermVar("x"),
+                                               TermVar("x")))
+        _check(sentence, _triangle())
+
+    def test_equality_with_constant(self):
+        sentence = Exists("x", NODE,
+                          Eq(TermVar("x"), TermConst(set_of(1))))
+        _check(sentence, _triangle())
+        absent = Exists("x", NODE,
+                        Eq(TermVar("x"), TermConst(set_of(9))))
+        # note: 9 is outside the active domain on both sides
+        _check(absent, _triangle())
+
+    def test_negation(self):
+        sentence = Not(Exists("x", NODE,
+                              Rel("E", [TermVar("x"), TermVar("x")])))
+        _check(sentence, _triangle())
+
+    def test_quantifier_over_atoms(self):
+        # every atom is a member of some node set
+        sentence = Forall("a", U, Exists(
+            "x", NODE, Member(TermVar("a"), TermVar("x"))))
+        _check(sentence, _triangle())
+
+    def test_tuple_quantifier_and_component(self):
+        pair = Tup(1, 2)
+        structure = CoStructure.build({1, 2}, {"P": {(pair,)}})
+        schema = {"P": (TupleType((U, U)),)}
+        sentence = Exists(
+            "t", TupleType((U, U)),
+            And(Rel("P", [TermVar("t")]),
+                Eq(Component(TermVar("t"), 1), TermConst(1))))
+        _check(sentence, structure, schema)
+
+    def test_free_variables_rejected(self):
+        open_formula = Rel("E", [TermVar("x"), TermVar("y")])
+        with pytest.raises(BagTypeError):
+            compile_calc(open_formula, TRIANGLE_SCHEMA)
+
+
+class TestAgainstStarGraphs:
+    def test_one_variable_sentences_agree_on_pair(self):
+        """The E18 scenario in miniature: compiled sentences evaluate
+        identically on G and G' (1-variable sentences cannot separate
+        them, per the game result)."""
+        from repro.games import build_star_graphs
+        pair = build_star_graphs(4)
+        schema = {"E": (NODE, NODE)}
+        sentences = [
+            Exists("x", NODE, Rel("E", [TermVar("x"), TermVar("x")])),
+            Forall("x", NODE, Contained(TermVar("x"), TermVar("x"))),
+        ]
+        for sentence in sentences:
+            compiled = compile_calc(sentence, schema)
+            on_g = is_nonempty(evaluate(
+                compiled, structure_to_database(pair.balanced),
+                powerset_budget=1 << 16))
+            on_gp = is_nonempty(evaluate(
+                compiled, structure_to_database(pair.unbalanced),
+                powerset_budget=1 << 16))
+            assert on_g == on_gp
+            assert on_g == satisfies(pair.balanced, sentence)

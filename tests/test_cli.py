@@ -1,0 +1,127 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import Session
+from repro.core.bag import Bag, Tup
+
+
+def _session():
+    out = io.StringIO()
+    return Session(out=out), out
+
+
+class TestBindingsAndEvaluation:
+    def test_binding_and_use(self):
+        session, out = _session()
+        assert session.handle("B = {{['a','b'], ['a','b']}}")
+        assert session.handle("pi[1](B)")
+        assert session.bindings["B"].cardinality == 2
+        assert "['a']*2" in out.getvalue()
+
+    def test_expression_without_binding(self):
+        session, out = _session()
+        session.handle("{{'x'}} (+) {{'x'}}")
+        assert "'x'*2" in out.getvalue()
+
+    def test_sigma_equals_is_not_a_binding(self):
+        session, out = _session()
+        session.handle("B = {{['a']}}")
+        session.handle("sigma[t: alpha1(t) = 'a'](B)")
+        assert "['a']" in out.getvalue()
+
+    def test_env_listing(self):
+        session, out = _session()
+        session.handle(":env")
+        assert "(no bindings)" in out.getvalue()
+        session.handle("B = {{'x'}}")
+        session.handle(":env")
+        assert "B = " in out.getvalue()
+
+    def test_empty_line_is_noop(self):
+        session, _ = _session()
+        assert session.handle("   ")
+
+
+class TestCommands:
+    def test_type_command(self):
+        session, out = _session()
+        session.handle("B = {{['a','b']}}")
+        session.handle(":type pi[1](B)")
+        assert "{{[U]}}" in out.getvalue()
+
+    def test_fragment_command(self):
+        session, out = _session()
+        session.handle("B = {{['a']}}")
+        session.handle(":fragment P(B)")
+        assert "BALG^2_1" in out.getvalue()
+
+    def test_optimize_command(self):
+        session, out = _session()
+        session.handle("B = {{['a']}}")
+        session.handle(":optimize eps(eps(B))")
+        assert "eps(B)" in out.getvalue()
+
+    def test_unknown_command(self):
+        session, out = _session()
+        session.handle(":wat B")
+        assert "unknown command" in out.getvalue()
+
+    def test_quit(self):
+        session, _ = _session()
+        assert not session.handle(":quit")
+        assert not session.handle(":q")
+
+    def test_errors_are_reported_not_raised(self):
+        session, out = _session()
+        session.handle("P(")                      # parse error
+        session.handle("undefined_bag")           # unbound variable
+        session.handle("{{'a'}} x {{'b'}}")       # type error
+        text = out.getvalue()
+        assert text.count("error:") == 3
+
+
+class TestFileMode:
+    def test_script_execution(self, tmp_path):
+        script = tmp_path / "session.bag"
+        script.write_text(
+            "# a comment\n"
+            "B = {{['a'], ['a'], ['b']}}\n"
+            "eps(B)\n"
+            ":fragment eps(B)\n",
+            encoding="utf-8")
+        from repro.cli import main
+        assert main([str(script)]) == 0
+
+
+class TestPersistenceCommands:
+    def test_encode_command(self):
+        session, out = _session()
+        session.handle("B = {{'a', 'a'}}")
+        session.handle(":encode B")
+        assert "{(sa),(sa)}" in out.getvalue()
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        session, out = _session()
+        session.handle("B = {{['a','b'], ['a','b']}}")
+        target = tmp_path / "bag.enc"
+        session.handle(f":save B {target}")
+        assert target.exists()
+        fresh, fresh_out = _session()
+        fresh.handle(f":load C {target}")
+        assert fresh.bindings["C"] == session.bindings["B"]
+
+    def test_save_unknown_binding(self):
+        session, out = _session()
+        session.handle(":save ghost /tmp/nope.enc")
+        assert "no binding" in out.getvalue()
+
+    def test_usage_messages(self):
+        session, out = _session()
+        session.handle(":save onlyname")
+        session.handle(":load onlyname")
+        assert out.getvalue().count("usage:") == 2

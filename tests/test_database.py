@@ -1,0 +1,182 @@
+"""Tests for schemas, instances, standard encoding, and genericity
+(repro.core.database — the Section 2 framework)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bag import Bag, EMPTY_BAG, Tup
+from repro.core.database import (
+    Instance, Schema, active_domain, apply_renaming, are_isomorphic,
+    encoding_size,
+)
+from repro.core.derived import card_greater_expr, parity_even_expr
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate
+from repro.core.expr import var
+from repro.core.types import BagType, U, flat_bag_type
+from tests.conftest import flat_bags
+
+
+class TestEncodingSize:
+    def test_atom(self):
+        assert encoding_size("a") == 1
+
+    def test_tuple(self):
+        assert encoding_size(Tup("a", "b")) == 3
+
+    def test_bag_duplicates_explicit(self):
+        # The paper insists duplicates are written out, not run-length
+        # compressed: n copies cost n times as much.
+        bag = Bag.from_counts({Tup("a"): 4})
+        assert encoding_size(bag) == 1 + 4 * 2
+
+    def test_nested(self):
+        nested = Bag([Bag(["a", "a"]), Bag(["b"])])
+        assert encoding_size(nested) == 1 + (1 + 2) + (1 + 1)
+
+    def test_empty(self):
+        assert encoding_size(EMPTY_BAG) == 1
+
+    @given(flat_bags())
+    def test_monotone_in_multiplicity(self, bag):
+        doubled = Bag.from_counts(
+            {element: 2 * count for element, count in bag.items()})
+        assert encoding_size(doubled) >= encoding_size(bag)
+
+
+class TestActiveDomain:
+    def test_collects_atoms_everywhere(self):
+        value = Bag([Tup("a", Bag.of("b", "c"))])
+        assert active_domain(value) == frozenset({"a", "b", "c"})
+
+    def test_empty(self):
+        assert active_domain(EMPTY_BAG) == frozenset()
+
+
+class TestRenaming:
+    def test_componentwise(self):
+        bag = Bag.from_counts({Tup("a", "b"): 2})
+        renamed = apply_renaming(bag, {"a": "x", "b": "y"})
+        assert renamed == Bag.from_counts({Tup("x", "y"): 2})
+
+    def test_partial_renaming(self):
+        assert apply_renaming(Tup("a", "b"), {"a": "x"}) == Tup("x", "b")
+
+    def test_nested_renaming(self):
+        nested = Bag([Bag.of("a", "a")])
+        assert apply_renaming(nested, {"a": "z"}) == Bag([Bag.of("z", "z")])
+
+    def test_non_injective_renaming_merges(self):
+        bag = Bag.of("a", "b")
+        assert apply_renaming(bag, {"a": "z", "b": "z"}) == Bag.from_counts(
+            {"z": 2})
+
+
+class TestIsomorphism:
+    def test_isomorphic_instances(self):
+        left = {"B": Bag.from_counts({Tup("a", "b"): 2, Tup("b", "a"): 1})}
+        right = {"B": Bag.from_counts({Tup("x", "y"): 2, Tup("y", "x"): 1})}
+        assert are_isomorphic(left, right)
+
+    def test_multiplicities_must_match(self):
+        left = {"B": Bag.from_counts({Tup("a"): 2})}
+        right = {"B": Bag.from_counts({Tup("x"): 3})}
+        assert not are_isomorphic(left, right)
+
+    def test_schema_names_must_match(self):
+        assert not are_isomorphic({"A": EMPTY_BAG}, {"B": EMPTY_BAG})
+
+    def test_domain_sizes_must_match(self):
+        left = {"B": Bag.of(Tup("a"), Tup("b"))}
+        right = {"B": Bag.of(Tup("x"))}
+        assert not are_isomorphic(left, right)
+
+    def test_guard_against_blowup(self):
+        big = {"B": Bag([Tup(str(i)) for i in range(12)])}
+        with pytest.raises(BagTypeError):
+            are_isomorphic(big, big, max_domain=8)
+
+
+class TestGenericityOfQueries:
+    """Queries of the algebra are generic (Section 2): isomorphic
+    inputs give isomorphic outputs.  We check it on concrete queries."""
+
+    @given(flat_bags(arity=1, max_size=5), flat_bags(arity=1, max_size=5))
+    def test_card_greater_is_generic(self, left, right):
+        # Rename every atom with a fresh name; the boolean answer must
+        # not change.
+        mapping = {atom: f"fresh-{atom}" for atom in
+                   active_domain(left) | active_domain(right)}
+        query = card_greater_expr(var("L"), var("R"))
+        original = evaluate(query, L=left, R=right).is_empty()
+        renamed = evaluate(query, L=apply_renaming(left, mapping),
+                           R=apply_renaming(right, mapping)).is_empty()
+        assert original == renamed
+
+    def test_parity_depends_only_on_order_type(self):
+        # Order-preserving renamings keep the parity verdict.
+        relation = Bag([Tup(i) for i in range(4)])
+        shifted = apply_renaming(relation, {i: i + 100 for i in range(4)})
+        query = parity_even_expr(var("R"))
+        assert (evaluate(query, R=relation).is_empty()
+                == evaluate(query, R=shifted).is_empty())
+
+
+class TestSchemaAndInstance:
+    def test_schema_construction(self):
+        schema = Schema({"G": flat_bag_type(2), "R": flat_bag_type(1)})
+        assert set(schema.names()) == {"G", "R"}
+        assert schema.type_of("G") == flat_bag_type(2)
+        assert "G" in schema
+        assert len(schema) == 2
+
+    def test_schema_rejects_non_bag_types(self):
+        with pytest.raises(BagTypeError):
+            Schema({"G": U})
+
+    def test_schema_rejects_bad_names(self):
+        with pytest.raises(BagTypeError):
+            Schema({"": flat_bag_type(1)})
+
+    def test_schema_bag_nesting(self):
+        schema = Schema({"flat": flat_bag_type(1),
+                         "nested": BagType(BagType(U))})
+        assert schema.bag_nesting() == 2
+
+    def test_instance_type_checked(self):
+        schema = Schema({"R": flat_bag_type(1)})
+        Instance(schema, {"R": Bag.of(Tup("a"))})  # fine
+        with pytest.raises(BagTypeError):
+            Instance(schema, {"R": Bag.of(Tup("a", "b"))})
+
+    def test_instance_names_checked(self):
+        schema = Schema({"R": flat_bag_type(1)})
+        with pytest.raises(BagTypeError):
+            Instance(schema, {})
+        with pytest.raises(BagTypeError):
+            Instance(schema, {"R": EMPTY_BAG, "S": EMPTY_BAG})
+
+    def test_instance_empty_bag_fits_any_type(self):
+        schema = Schema({"R": flat_bag_type(3)})
+        instance = Instance(schema, {"R": EMPTY_BAG})
+        assert instance["R"] == EMPTY_BAG
+
+    def test_instance_size_and_domain(self):
+        schema = Schema({"R": flat_bag_type(1)})
+        instance = Instance(schema, {"R": Bag.from_counts({Tup("a"): 2})})
+        assert instance.size() == encoding_size(instance["R"])
+        assert instance.domain() == frozenset({"a"})
+
+    def test_instance_rename(self):
+        schema = Schema({"R": flat_bag_type(1)})
+        instance = Instance(schema, {"R": Bag.of(Tup("a"))})
+        renamed = instance.rename({"a": "b"})
+        assert renamed["R"] == Bag.of(Tup("b"))
+
+    def test_evaluate_accepts_instance(self):
+        schema = Schema({"R": flat_bag_type(1)})
+        instance = Instance(schema, {"R": Bag.of(Tup("a"))})
+        assert evaluate(var("R"), instance) == Bag.of(Tup("a"))

@@ -1,0 +1,282 @@
+"""Tests for the paper's derived operators and worked queries
+(repro.core.derived).  Every identity of Sections 3-4 is checked against
+the primitive operators on random inputs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ops
+from repro.core.bag import Bag, EMPTY_BAG, Tup
+from repro.core.derived import (
+    MARKER, average_expr, bag_as_int, bag_even_native, card_at_least_expr,
+    card_greater_expr, count_expr, derived_additive_union, derived_dedup,
+    derived_subtraction, hartig_expr, in_degree_greater_expr, int_as_bag,
+    is_nonempty, membership_expr, parity_even_expr, project_expr,
+    rescher_expr, select_attr_eq_attr, select_attr_eq_const, sum_expr,
+)
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate
+from repro.core.expr import Cartesian, Const, var
+from repro.core.types import BagType, U, flat_tuple_type, type_of
+from tests.conftest import flat_bags, nested_bags, small_multiplicity_bags
+
+
+class TestProjectionAndSelectionHelpers:
+    def test_project_reorders(self, sample_bag):
+        swapped = evaluate(project_expr(var("B"), 2, 1), B=sample_bag)
+        assert swapped.multiplicity(Tup("b", "a")) == 2
+
+    def test_project_requires_indices(self):
+        with pytest.raises(BagTypeError):
+            project_expr(var("B"))
+
+    def test_select_attr_eq_const(self, sample_bag):
+        kept = evaluate(select_attr_eq_const(var("B"), 1, "a"),
+                        B=sample_bag)
+        assert kept == Bag.from_counts({Tup("a", "b"): 2})
+
+    def test_select_attr_eq_attr(self):
+        bag = Bag.of(Tup("a", "a"), Tup("a", "b"))
+        kept = evaluate(select_attr_eq_attr(var("B"), 1, 2), B=bag)
+        assert kept == Bag.of(Tup("a", "a"))
+
+
+class TestSection4Table:
+    """The worked occurrence-count table of Section 4."""
+
+    @pytest.mark.parametrize("n,m", [(1, 1), (3, 2), (5, 0), (0, 4)])
+    def test_occurrence_polynomials(self, n, m):
+        bag = Bag.from_counts({Tup("a", "b"): n, Tup("b", "a"): m})
+        query = project_expr(
+            select_attr_eq_attr(Cartesian(var("B"), var("B")), 2, 3),
+            1, 4)
+        result = evaluate(query, B=bag)
+        # Q(B): ab -> 0, ba -> 0, aa -> nm, bb -> nm
+        assert result.multiplicity(Tup("a", "b")) == 0
+        assert result.multiplicity(Tup("b", "a")) == 0
+        assert result.multiplicity(Tup("a", "a")) == n * m
+        assert result.multiplicity(Tup("b", "b")) == n * m
+
+    @pytest.mark.parametrize("n,m", [(2, 3), (4, 1)])
+    def test_intermediate_product_polynomials(self, n, m):
+        bag = Bag.from_counts({Tup("a", "b"): n, Tup("b", "a"): m})
+        product = evaluate(Cartesian(var("B"), var("B")), B=bag)
+        assert product.multiplicity(Tup("a", "b", "a", "b")) == n * n
+        assert product.multiplicity(Tup("b", "a", "b", "a")) == m * m
+        assert product.multiplicity(Tup("b", "a", "a", "b")) == n * m
+        selected = evaluate(
+            select_attr_eq_attr(Cartesian(var("B"), var("B")), 2, 3),
+            B=bag)
+        assert selected.multiplicity(Tup("a", "b", "b", "a")) == n * m
+        assert selected.multiplicity(Tup("a", "b", "a", "b")) == 0
+
+
+class TestDerivedDedup:
+    """Proposition 3.1: eps is redundant in full BALG."""
+
+    @given(flat_bags(arity=2))
+    def test_flat_tuples(self, bag):
+        expr = derived_dedup(var("B"), flat_tuple_type(2))
+        assert evaluate(expr, B=bag) == ops.dedup(bag)
+
+    @given(nested_bags())
+    def test_bag_elements(self, bag):
+        expr = derived_dedup(var("B"), BagType(U))
+        assert evaluate(expr, B=bag) == ops.dedup(bag)
+
+    @given(st.lists(st.sampled_from(["a", "b"]), max_size=6))
+    def test_atom_elements(self, elements):
+        bag = Bag(elements)
+        expr = derived_dedup(var("B"), U)
+        assert evaluate(expr, B=bag) == ops.dedup(bag)
+
+    def test_tuple_with_nested_attribute(self):
+        bag = Bag.from_counts({
+            Tup("a", Bag.of("x", "x")): 3,
+            Tup("b", Bag.of("x")): 1,
+        })
+        element_type = type_of(bag).element
+        expr = derived_dedup(var("B"), element_type)
+        assert evaluate(expr, B=bag) == ops.dedup(bag)
+
+    def test_empty_bag(self):
+        expr = derived_dedup(var("B"), flat_tuple_type(1))
+        assert evaluate(expr, B=EMPTY_BAG) == EMPTY_BAG
+
+
+class TestDerivedSubtraction:
+    """Section 3: minus is definable in BALG_{-minus} (by increasing
+    the bag nesting)."""
+
+    @given(small_multiplicity_bags(), small_multiplicity_bags())
+    def test_matches_primitive(self, left, right):
+        expr = derived_subtraction(var("L"), var("R"))
+        assert evaluate(expr, L=left, R=right) == ops.subtraction(
+            left, right)
+
+    def test_disjoint_bags(self):
+        left = Bag.of(Tup("a"))
+        right = Bag.of(Tup("z"))
+        expr = derived_subtraction(var("L"), var("R"))
+        assert evaluate(expr, L=left, R=right) == left
+
+
+class TestDerivedAdditiveUnion:
+    """Section 3: (+) from maximal union via tagging."""
+
+    @given(flat_bags(arity=2), flat_bags(arity=2))
+    def test_matches_primitive(self, left, right):
+        expr = derived_additive_union(var("L"), var("R"), 2)
+        assert evaluate(expr, L=left, R=right) == ops.additive_union(
+            left, right)
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(BagTypeError):
+            derived_additive_union(var("L"), var("R"), 0)
+
+
+class TestIntegerEncodingAndAggregates:
+    def test_int_roundtrip(self):
+        for value in [0, 1, 7]:
+            assert bag_as_int(int_as_bag(value)) == value
+
+    def test_int_rejects_negative(self):
+        with pytest.raises(BagTypeError):
+            int_as_bag(-1)
+
+    @given(st.lists(st.integers(0, 6), min_size=0, max_size=5))
+    def test_count(self, values):
+        bag = Bag.from_counts(
+            {Tup(f"row{i}", str(v)): 1 for i, v in enumerate(values)})
+        counted = evaluate(count_expr(var("B")), B=bag)
+        assert bag_as_int(counted) == len(values)
+
+    def test_count_respects_duplicates(self):
+        bag = Bag.from_counts({Tup("a"): 5})
+        assert bag_as_int(evaluate(count_expr(var("B")), B=bag)) == 5
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=4))
+    def test_sum(self, values):
+        bag = Bag([int_as_bag(v) for v in values])
+        # NB: equal integers collapse to equal bags, so the bag `bag`
+        # holds each value with its multiplicity — sum still works.
+        total = evaluate(sum_expr(var("B")), B=bag)
+        assert bag_as_int(total) == sum(values)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=4))
+    def test_average(self, values):
+        bag = Bag([int_as_bag(v) for v in values])
+        result = evaluate(average_expr(var("B")), B=bag)
+        total, n = sum(values), len(values)
+        if total % n == 0:
+            assert bag_as_int(result) == total // n
+        else:
+            assert result == EMPTY_BAG  # no integer average
+
+    def test_average_of_equal_values(self):
+        bag = Bag.from_counts({int_as_bag(3): 4})
+        assert bag_as_int(evaluate(average_expr(var("B")), B=bag)) == 3
+
+
+class TestCountingQuantifiers:
+    @given(flat_bags(arity=1), flat_bags(arity=1))
+    def test_card_greater(self, left, right):
+        verdict = is_nonempty(evaluate(
+            card_greater_expr(var("L"), var("R")), L=left, R=right))
+        assert verdict == (left.cardinality > right.cardinality)
+
+    @given(flat_bags(arity=1), st.integers(1, 6))
+    def test_card_at_least(self, bag, threshold):
+        verdict = is_nonempty(evaluate(
+            card_at_least_expr(var("B"), threshold), B=bag))
+        assert verdict == (bag.cardinality >= threshold)
+
+    @given(flat_bags(arity=1), flat_bags(arity=1))
+    def test_hartig(self, left, right):
+        verdict = is_nonempty(evaluate(
+            hartig_expr(var("L"), var("R")), L=left, R=right))
+        assert verdict == (left.cardinality == right.cardinality)
+
+    @given(flat_bags(arity=1), flat_bags(arity=1))
+    def test_rescher(self, left, right):
+        verdict = is_nonempty(evaluate(
+            rescher_expr(var("L"), var("R")), L=left, R=right))
+        assert verdict == (left.cardinality < right.cardinality)
+
+
+class TestDegreeComparison:
+    """Example 4.1."""
+
+    def test_sink_node(self):
+        graph = Bag.of(Tup("x", "a"), Tup("y", "a"), Tup("a", "z"))
+        assert is_nonempty(evaluate(
+            in_degree_greater_expr(var("G"), "a"), G=graph))
+
+    def test_source_node(self):
+        graph = Bag.of(Tup("a", "x"), Tup("a", "y"), Tup("z", "a"))
+        assert not is_nonempty(evaluate(
+            in_degree_greater_expr(var("G"), "a"), G=graph))
+
+    def test_balanced_node(self):
+        graph = Bag.of(Tup("x", "a"), Tup("a", "x"))
+        assert not is_nonempty(evaluate(
+            in_degree_greater_expr(var("G"), "a"), G=graph))
+
+    def test_multigraph_edges_count(self):
+        # Bags of edges make this a multigraph query: duplicates count.
+        graph = Bag.from_counts({Tup("x", "a"): 3, Tup("a", "x"): 2})
+        assert is_nonempty(evaluate(
+            in_degree_greater_expr(var("G"), "a"), G=graph))
+
+    @given(flat_bags(arity=2, max_size=10))
+    def test_against_native_degree_count(self, graph):
+        node = "a"
+        in_degree = sum(count for edge, count in graph.items()
+                        if edge.attribute(2) == node)
+        out_degree = sum(count for edge, count in graph.items()
+                         if edge.attribute(1) == node)
+        verdict = is_nonempty(evaluate(
+            in_degree_greater_expr(var("G"), node), G=graph))
+        assert verdict == (in_degree > out_degree)
+
+
+class TestParity:
+    """Section 4: parity of a relation's cardinality, given an order."""
+
+    @pytest.mark.parametrize("n", range(9))
+    def test_all_small_cardinalities(self, n):
+        relation = Bag([Tup(i) for i in range(n)])
+        verdict = is_nonempty(evaluate(parity_even_expr(var("R")),
+                                       R=relation))
+        assert verdict == (n % 2 == 0 and n > 0)
+
+    def test_empty_relation_has_no_witness(self):
+        # The sigma ranges over R itself, so the empty relation yields
+        # the empty bag even though 0 is even — the paper's expression
+        # behaves the same way.
+        assert not is_nonempty(evaluate(parity_even_expr(var("R")),
+                                        R=EMPTY_BAG))
+
+    def test_strings_order_too(self):
+        relation = Bag([Tup(c) for c in "abcd"])
+        assert is_nonempty(evaluate(parity_even_expr(var("R")),
+                                    R=relation))
+
+
+class TestMembership:
+    def test_membership_expr(self, sample_bag):
+        present = membership_expr(Const(Tup("a", "b")), var("B"))
+        absent = membership_expr(Const(Tup("q", "q")), var("B"))
+        assert is_nonempty(evaluate(present, B=sample_bag))
+        assert not is_nonempty(evaluate(absent, B=sample_bag))
+
+
+class TestBagEvenNative:
+    @given(st.integers(0, 20))
+    def test_parity(self, n):
+        bag = Bag.from_counts({Tup("a"): n}) if n else EMPTY_BAG
+        result = bag_even_native(bag)
+        assert result == (bag if n % 2 == 0 else EMPTY_BAG)

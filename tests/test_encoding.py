@@ -1,0 +1,124 @@
+"""Tests for the standard-encoding codec and the recognition problem
+(repro.core.encoding — the concrete Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bag import Bag, EMPTY_BAG, Tup
+from repro.core.database import encoding_size
+from repro.core.derived import card_greater_expr, project_expr
+from repro.core.encoding import (
+    decode_standard, encode_instance, encoded_size,
+    recognition_instance, recognition_word, standard_encoding,
+)
+from repro.core.errors import BagTypeError, ParseError
+from repro.core.expr import var
+from tests.conftest import flat_bags, nested_bags
+
+
+class TestEncoding:
+    def test_atoms(self):
+        assert standard_encoding("a") == "(sa)"
+        assert standard_encoding(42) == "(i42)"
+
+    def test_tuple(self):
+        assert standard_encoding(Tup("a", 1)) == "[(sa),(i1)]"
+
+    def test_bag_duplicates_written_out(self):
+        bag = Bag.from_counts({"a": 3})
+        assert standard_encoding(bag) == "{(sa),(sa),(sa)}"
+
+    def test_canonical_order_makes_encoding_canonical(self):
+        one = Bag(["b", "a", "a"])
+        two = Bag(["a", "b", "a"])
+        assert standard_encoding(one) == standard_encoding(two)
+
+    def test_nested(self):
+        nested = Bag([Bag(["x"])])
+        assert standard_encoding(nested) == "{{(sx)}}"
+
+    def test_empty_bag(self):
+        assert standard_encoding(EMPTY_BAG) == "{}"
+
+    def test_reserved_characters_rejected(self):
+        with pytest.raises(BagTypeError):
+            standard_encoding("a,b")
+
+    def test_boolean_rejected(self):
+        with pytest.raises(BagTypeError):
+            standard_encoding(True)
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("value", [
+        "a", 7, Tup("a", "b"), Bag(["a", "a"]),
+        Bag([Tup("x", 1), Tup("x", 1), Tup("y", 2)]),
+        Bag([Bag(["a"]), Bag()]), EMPTY_BAG, Tup(),
+    ])
+    def test_round_trip(self, value):
+        assert decode_standard(standard_encoding(value)) == value
+
+    def test_type_preserved(self):
+        assert decode_standard("(i5)") == 5
+        assert decode_standard("(s5)") == "5"
+        assert decode_standard("(i5)") != "5"
+
+    def test_malformed_inputs(self):
+        for bad in ["", "[", "{(sa)", "(sa", "(x1)", "(sa)(sb)",
+                    "[(sa),]"]:
+            with pytest.raises(ParseError):
+                decode_standard(bad)
+
+    @given(flat_bags())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_flat(self, bag):
+        assert decode_standard(standard_encoding(bag)) == bag
+
+    @given(nested_bags())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_nested(self, bag):
+        assert decode_standard(standard_encoding(bag)) == bag
+
+
+class TestSizeAgreement:
+    @given(flat_bags())
+    @settings(max_examples=60, deadline=None)
+    def test_encoded_size_linear_in_abstract_size(self, bag):
+        """The concrete word length and the abstract encoding_size
+        agree up to a constant factor: both write duplicates out."""
+        abstract = encoding_size(bag)
+        concrete = encoded_size(bag)
+        assert abstract <= concrete <= 8 * abstract
+
+    def test_duplicates_cost_linearly(self):
+        thin = Bag.from_counts({"a": 1})
+        thick = Bag.from_counts({"a": 10})
+        assert encoded_size(thick) > 9 * (encoded_size(thin) - 2)
+
+
+class TestRecognitionProblem:
+    def test_word_shape(self):
+        database = {"R": Bag.of(Tup("a"))}
+        word = recognition_word(database, Tup("a"), 2)
+        assert word.startswith("{[(sa)],[(sa)]}**")
+        assert "R#" in word
+
+    def test_instance_encoding_sorted_by_name(self):
+        database = {"Z": EMPTY_BAG, "A": EMPTY_BAG}
+        assert encode_instance(database) == "A#{}*Z#{}"
+
+    def test_k_belongs_decision(self):
+        database = {"B": Bag.from_counts({Tup("a", "b"): 2})}
+        query = project_expr(var("B"), 1)
+        assert recognition_instance(query, database, Tup("a"), 2)
+        assert not recognition_instance(query, database, Tup("a"), 1)
+        assert recognition_instance(query, database, Tup("z"), 0)
+
+    def test_boolean_query_recognition(self):
+        database = {"R": Bag.of(Tup(1), Tup(2)), "S": Bag.of(Tup(9))}
+        query = card_greater_expr(var("R"), var("S"))
+        # each [r] occurs |R| - |S| = 2 - 1 = 1 time in the difference
+        assert recognition_instance(query, database, Tup(1), 1)
+        assert not recognition_instance(query, database, Tup(1), 2)

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as documentation; breaking one silently would rot
+the README, so they are executed (with a budget) in-process.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=[path.stem for path in EXAMPLES])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} printed nothing"
+
+
+def test_shell_session_script():
+    root = pathlib.Path(__file__).parent.parent
+    session = root / "examples" / "shell_session.bag"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", str(session)],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert "orders" in result.stdout
+    assert "BALG^" in result.stdout

@@ -1,0 +1,112 @@
+"""Differential fuzzing: independent components of the library are run
+against each other on randomly generated well-typed expressions.
+
+These tests are the strongest correctness evidence in the suite: the
+evaluator, the symbolic counting analysis, the optimizer, the
+parser/printer, the set-semantics baseline, and the type checker were
+written independently, so agreement on thousands of random programs is
+meaningful.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity.polynomials import analyze, single_constant_input
+from repro.core.bag import Bag, Tup
+from repro.core.eval import evaluate
+from repro.core.expr import Dedup, Subtraction
+from repro.core.typecheck import infer_type
+from repro.core.types import flat_bag_type
+from repro.optimizer import Optimizer, optimize
+from repro.relational import supports_agree
+from repro.surface import parse, to_text
+from tests.strategies import balg1_exprs, input_bags
+
+SCHEMA = {"B": flat_bag_type(2)}
+FUZZ_SETTINGS = dict(max_examples=120, deadline=None)
+
+
+class TestEvaluatorVsAnalysis:
+    """Prop 4.1's claim, fuzzed: on the single-constant inputs B_n the
+    symbolic polynomials predict the evaluator exactly."""
+
+    @given(balg1_exprs(arity=1, input_arity=1, include_order=True))
+    @settings(**FUZZ_SETTINGS)
+    def test_polynomials_predict_multiplicities(self, expr):
+        analysis = analyze(expr)
+        for offset in (1, 2):
+            n = analysis.threshold + offset
+            result = evaluate(expr, B=single_constant_input(n))
+            support = set(result.distinct()) | analysis.support()
+            for candidate in support:
+                assert result.multiplicity(candidate) == \
+                    analysis.polynomial_for(candidate)(n)
+
+    @given(balg1_exprs(arity=1, input_arity=1, include_dedup=False,
+                       allow_input_atom=False))
+    @settings(**FUZZ_SETTINGS)
+    def test_claim_invariant_on_dedup_free_fragment(self, expr):
+        assert analyze(expr).verify_claim_invariant()
+
+
+class TestOptimizerSoundness:
+    @given(balg1_exprs(include_order=True), input_bags())
+    @settings(**FUZZ_SETTINGS)
+    def test_rewrites_preserve_semantics(self, expr, bag):
+        optimized = Optimizer(schema=SCHEMA).optimize(expr)
+        assert evaluate(optimized, B=bag) == evaluate(expr, B=bag)
+
+    @given(balg1_exprs())
+    @settings(**FUZZ_SETTINGS)
+    def test_optimizer_reaches_fixpoint(self, expr):
+        optimizer = Optimizer(schema=SCHEMA)
+        once = optimizer.optimize(expr)
+        assert optimizer.optimize(once) == once
+
+
+class TestPrinterRoundTrip:
+    @given(balg1_exprs(include_order=True), input_bags())
+    @settings(**FUZZ_SETTINGS)
+    def test_parse_print_semantics(self, expr, bag):
+        reparsed = parse(to_text(expr))
+        assert evaluate(reparsed, B=bag) == evaluate(expr, B=bag)
+
+
+class TestTypeSoundness:
+    @given(balg1_exprs(include_order=True), input_bags())
+    @settings(**FUZZ_SETTINGS)
+    def test_results_inhabit_inferred_types(self, expr, bag):
+        inferred = infer_type(expr, SCHEMA)
+        result = evaluate(expr, B=bag)
+        assert inferred.accepts(result)
+
+    @given(balg1_exprs())
+    @settings(**FUZZ_SETTINGS)
+    def test_generated_expressions_stay_in_balg1(self, expr):
+        from repro.core.fragments import in_balg
+        assert in_balg(expr, 1, SCHEMA)
+
+
+class TestProposition42Fuzzed:
+    @given(balg1_exprs(include_subtraction=False), input_bags())
+    @settings(**FUZZ_SETTINGS)
+    def test_supports_agree_without_subtraction(self, expr, bag):
+        assert supports_agree(expr, {"B": bag})
+
+
+class TestGenericityFuzzed:
+    """Section 2: queries are generic — renaming atoms that do not
+    occur in the expression commutes with evaluation."""
+
+    @given(balg1_exprs(allow_input_atom=False), input_bags())
+    @settings(**FUZZ_SETTINGS)
+    def test_fresh_atom_renaming_commutes(self, expr, bag):
+        from repro.core.database import apply_renaming
+        # rename 'a' (never used inside these expressions) to a fresh
+        # atom; constants 'b','c' may appear in expr so stay put
+        mapping = {"a": "fresh-a"}
+        direct = apply_renaming(evaluate(expr, B=bag), mapping)
+        renamed = evaluate(expr, B=apply_renaming(bag, mapping))
+        assert direct == renamed

@@ -1,0 +1,237 @@
+"""Tests for the GV90 game machinery and the Fig. 1 construction
+(repro.games)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bag import Bag, Tup
+from repro.core.derived import in_degree_greater_expr, is_nonempty
+from repro.core.errors import BagTypeError, ResourceLimitError
+from repro.core.eval import evaluate
+from repro.core.expr import var
+from repro.core.types import BagType, TupleType, U
+from repro.games import (
+    CoStructure, SET_OF_ATOMS, build_star_graphs, center_node,
+    dom, dom_size, duplicator_wins, edge_bag, in_out_families,
+    partial_isomorphism, satisfies_property_one, set_of,
+)
+
+
+class TestDom:
+    def test_atoms(self):
+        assert set(dom(U, {1, 2, 3})) == {1, 2, 3}
+
+    def test_tuples(self):
+        pairs = dom(TupleType((U, U)), {1, 2})
+        assert len(pairs) == 4
+        assert Tup(1, 2) in pairs
+
+    def test_sets(self):
+        sets = dom(SET_OF_ATOMS, {1, 2})
+        assert len(sets) == 4
+        assert set_of(1, 2) in sets
+        assert Bag() in sets
+
+    def test_dom_size_matches(self):
+        for object_type in (U, TupleType((U, U)), SET_OF_ATOMS,
+                            BagType(TupleType((U, U)))):
+            assert dom_size(object_type, 3) == len(dom(object_type,
+                                                       {1, 2, 3}))
+
+    def test_budget(self):
+        with pytest.raises(ResourceLimitError):
+            dom(BagType(TupleType((U, U))), set(range(6)), budget=100)
+
+
+class TestInOutFamilies:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10, 12])
+    def test_property_one(self, n):
+        ins, outs = in_out_families(n)
+        assert satisfies_property_one(ins, n)
+        assert satisfies_property_one(outs, n)
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_shape(self, n):
+        ins, outs = in_out_families(n)
+        assert len(ins) == len(outs) == 2 ** (n // 2 - 1)
+        assert all(subset.cardinality == n // 2
+                   for subset in ins + outs)
+        assert not set(ins) & set(outs)
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(BagTypeError):
+            in_out_families(5)
+        with pytest.raises(BagTypeError):
+            in_out_families(2)
+
+    def test_property_one_detects_violation(self):
+        assert not satisfies_property_one([set_of(1, 2)], 4)
+        assert not satisfies_property_one([], 4)
+
+
+class TestStarGraphs:
+    def test_degrees(self):
+        pair = build_star_graphs(6)
+        alpha = pair.center
+
+        def degrees(structure):
+            edges = structure.relation("E")
+            in_degree = sum(1 for _, dst in edges if dst == alpha)
+            out_degree = sum(1 for src, _ in edges if src == alpha)
+            return in_degree, out_degree
+
+        balanced_in, balanced_out = degrees(pair.balanced)
+        assert balanced_in == balanced_out
+        unbalanced_in, unbalanced_out = degrees(pair.unbalanced)
+        assert unbalanced_in == unbalanced_out + 2
+
+    def test_same_node_universe(self):
+        pair = build_star_graphs(4)
+        assert (pair.balanced.all_objects()
+                == pair.unbalanced.all_objects())
+
+    def test_center(self):
+        assert center_node(4) == set_of(1, 2, 3, 4)
+
+    def test_balg2_query_distinguishes(self):
+        """Theorem 5.2's positive half: the in-degree query IS
+        expressible in BALG^2 and separates G from G'."""
+        for n in (4, 6):
+            pair = build_star_graphs(n)
+            query = in_degree_greater_expr(var("G"), pair.center)
+            assert not is_nonempty(
+                evaluate(query, G=edge_bag(pair.balanced)))
+            assert is_nonempty(
+                evaluate(query, G=edge_bag(pair.unbalanced)))
+
+    def test_edge_bag_is_nested_type(self):
+        from repro.core.types import type_of
+        pair = build_star_graphs(4)
+        bag_type = type_of(edge_bag(pair.balanced))
+        assert bag_type.bag_nesting() == 2  # BALG^2 territory
+
+
+class TestPartialIsomorphism:
+    def _structures(self):
+        a, b = set_of(1), set_of(2)
+        left = CoStructure.build({1, 2}, {"E": {(a, b)}})
+        right = CoStructure.build({1, 2}, {"E": {(b, a)}})
+        return left, right, a, b
+
+    def test_empty_position_is_iso(self):
+        left, right, _, _ = self._structures()
+        assert partial_isomorphism(left, right, [])
+
+    def test_respects_relations(self):
+        left, right, a, b = self._structures()
+        # mapping a->a, b->b breaks E: (a,b) in left, not in right
+        assert not partial_isomorphism(left, right, [(a, a), (b, b)])
+        # mapping a->b, b->a restores it
+        assert partial_isomorphism(left, right, [(a, b), (b, a)])
+
+    def test_respects_membership(self):
+        left, right, a, b = self._structures()
+        # 1 in a but 1 not in b: pairing (1,1) with (a,b) breaks it
+        assert not partial_isomorphism(left, right, [(1, 1), (a, b)])
+        assert partial_isomorphism(left, right, [(1, 2), (a, b)])
+
+    def test_injective(self):
+        left, right, a, b = self._structures()
+        assert not partial_isomorphism(left, right, [(a, b), (b, b)])
+
+    def test_type_preservation(self):
+        left, right, a, _ = self._structures()
+        assert not partial_isomorphism(left, right, [(a, 1)])
+
+    def test_tuple_components_closed_over(self):
+        pair_left = Tup(1, 2)
+        pair_right = Tup(3, 3)
+        left = CoStructure.build({1, 2}, {"P": {(pair_left,)}})
+        right = CoStructure.build({3, 4}, {"P": {(pair_right,)}})
+        # components 1,2 map to 3,3 — not injective, must fail
+        assert not partial_isomorphism(left, right,
+                                       [(pair_left, pair_right)])
+
+
+class TestGame:
+    def test_lemma54_instances(self):
+        """Duplicator wins the k-move game on G_{k,T}, G'_{k,T} for
+        n > 2k (the lemma's bound)."""
+        pair = build_star_graphs(4)
+        result = duplicator_wins(pair.balanced, pair.unbalanced,
+                                 [U, SET_OF_ATOMS], 1)
+        assert result.duplicator_wins
+
+    def test_spoiler_wins_against_blatantly_different(self):
+        pair = build_star_graphs(4)
+        empty = CoStructure.build(pair.balanced.atoms, {"E": set()})
+        result = duplicator_wins(pair.balanced, empty,
+                                 [U, SET_OF_ATOMS], 2)
+        assert not result.duplicator_wins
+
+    def test_zero_moves_always_duplicator(self):
+        pair = build_star_graphs(4)
+        empty = CoStructure.build(pair.balanced.atoms, {"E": set()})
+        result = duplicator_wins(pair.balanced, empty,
+                                 [U, SET_OF_ATOMS], 0)
+        assert result.duplicator_wins
+
+    def test_atom_only_game(self):
+        # On pure atom structures the game reduces to the classical EF
+        # game; equal-size empty structures are 1-equivalent.
+        left = CoStructure.build({1, 2}, {})
+        right = CoStructure.build({3, 4}, {})
+        result = duplicator_wins(left, right, [U], 2)
+        assert result.duplicator_wins
+
+    def test_atom_count_difference_detected_at_depth(self):
+        # |A|=1 vs |A|=2: spoiler wins with 2 moves (pigeonhole).
+        left = CoStructure.build({1}, {})
+        right = CoStructure.build({3, 4}, {})
+        assert duplicator_wins(left, right, [U], 1).duplicator_wins
+        assert not duplicator_wins(left, right, [U], 2).duplicator_wins
+
+    @pytest.mark.slow
+    def test_lemma54_two_moves(self):
+        """k = 2 on n = 4: the lemma's bound n > 2k fails (4 = 2k), but
+        measurement shows the duplicator still wins this instance."""
+        pair = build_star_graphs(4)
+        result = duplicator_wins(pair.balanced, pair.unbalanced,
+                                 [U, SET_OF_ATOMS], 2)
+        assert result.duplicator_wins
+
+
+class TestSpoilerWitness:
+    def test_witness_against_empty_graph(self):
+        from repro.games import winning_spoiler_line
+        from repro.games.structures import CoStructure
+        pair = build_star_graphs(4)
+        empty = CoStructure.build(pair.balanced.atoms, {"E": set()})
+        line = winning_spoiler_line(pair.balanced, empty,
+                                    [U, SET_OF_ATOMS], 2)
+        assert line is not None
+        side, pick = line[0]
+        # the winning first pick is an endpoint of an edge the empty
+        # graph cannot mirror
+        assert side == "left"
+        endpoints = {obj for edge in pair.balanced.relation("E")
+                     for obj in edge}
+        assert pick in endpoints
+
+    def test_no_witness_when_duplicator_wins(self):
+        from repro.games import winning_spoiler_line
+        pair = build_star_graphs(4)
+        assert winning_spoiler_line(pair.balanced, pair.unbalanced,
+                                    [U, SET_OF_ATOMS], 1) is None
+
+    def test_witness_for_atom_count_difference(self):
+        from repro.games import winning_spoiler_line
+        from repro.games.structures import CoStructure
+        left = CoStructure.build({1}, {})
+        right = CoStructure.build({3, 4}, {})
+        line = winning_spoiler_line(left, right, [U], 2)
+        assert line is not None
+        # pigeonhole: either side works — picking the lone left atom
+        # forces the duplicator to reuse it against two right atoms
+        assert line[0][0] in ("left", "right")

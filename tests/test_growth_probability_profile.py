@@ -1,0 +1,180 @@
+"""Tests for duplicate growth (Prop 3.2), probabilities (Example 4.2),
+and evaluation profiling (Theorems 4.4 / 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity.growth import (
+    delta2_p2_occurrences, delta_p_occurrences, delta_pb_occurrences,
+    max_multiplicity, measure_delta2_p2, measure_delta_p,
+    measure_delta_pb, uniform_bag,
+)
+from repro.complexity.probability import (
+    estimate_probability, probability_series, random_graph,
+    random_unary_relation,
+)
+from repro.complexity.profile import (
+    fit_exponent_of_two, fit_power_law, profile_sweep,
+)
+from repro.core.bag import Bag, Tup
+from repro.core.derived import card_greater_expr, count_expr
+from repro.core.expr import Powerset, var
+import random
+
+
+class TestGrowthClosedForms:
+    """The claim inside Proposition 3.2, measured exactly."""
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (1, 3), (2, 2), (3, 1),
+                                     (2, 3)])
+    def test_delta_p_formula(self, k, m):
+        steps = measure_delta_p(uniform_bag(k, m), 1)
+        assert steps[0].max_multiplicity == delta_p_occurrences(m, k)
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (1, 2), (2, 1), (2, 2)])
+    def test_delta2_p2_formula(self, k, m):
+        steps = measure_delta2_p2(uniform_bag(k, m), 1)
+        assert steps[0].max_multiplicity == delta2_p2_occurrences(m, k)
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (1, 3), (2, 2), (3, 1)])
+    def test_delta_pb_formula(self, k, m):
+        steps = measure_delta_pb(uniform_bag(k, m), 1)
+        assert steps[0].max_multiplicity == delta_pb_occurrences(m, k)
+
+    def test_second_delta_p_application_is_polynomial(self):
+        """Prop 3.2's key asymmetry: after the first delta-P the growth
+        per application is polynomial (quadratic-ish), not exponential.
+        """
+        steps = measure_delta_p(uniform_bag(1, 2), 3)
+        m1 = steps[0].max_multiplicity   # 3
+        m2 = steps[1].max_multiplicity   # m1(m1+1)/2
+        m3 = steps[2].max_multiplicity
+        assert m2 == m1 * (m1 + 1) // 2
+        assert m3 == m2 * (m2 + 1) // 2
+        # polynomial: the ratio of logs stays bounded (degree 2)
+        assert m3 < (m2 + 1) ** 2
+
+    def test_delta_pb_is_exponential_every_step(self):
+        """Theorem 5.5's engine: powerbag doubles per element at every
+        application."""
+        steps = measure_delta_pb(uniform_bag(1, 2), 2)
+        first = steps[0].max_multiplicity       # 2 * 2^(2-1) = 4
+        second = steps[1].max_multiplicity
+        assert first == 4
+        # second application acts on a bag of size 4:
+        # occurrences = 4 * 2^(4-1) = 32
+        assert second == 4 * 2 ** 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            delta_p_occurrences(2, 0)
+        with pytest.raises(ValueError):
+            delta2_p2_occurrences(-1, 1)
+
+    def test_max_multiplicity(self):
+        assert max_multiplicity(Bag()) == 0
+        assert max_multiplicity(Bag.from_counts({"a": 7, "b": 2})) == 7
+
+    def test_uniform_bag_shape(self):
+        bag = uniform_bag(3, 4)
+        assert bag.distinct_count == 3
+        assert bag.cardinality == 12
+
+
+class TestProbability:
+    def test_random_relation_is_a_set(self):
+        rng = random.Random(1)
+        relation = random_unary_relation(10, rng)
+        assert relation.is_set()
+        assert relation.cardinality <= 10
+
+    def test_random_graph_edges(self):
+        rng = random.Random(1)
+        graph = random_graph(5, rng)
+        assert graph.is_set()
+        assert all(edge.arity == 2 for edge in graph.distinct())
+
+    def test_estimate_is_reproducible(self):
+        def bigger(r, s):
+            return r.cardinality > s.cardinality
+        one = estimate_probability(
+            bigger, [random_unary_relation, random_unary_relation],
+            10, 200, seed=42)
+        two = estimate_probability(
+            bigger, [random_unary_relation, random_unary_relation],
+            10, 200, seed=42)
+        assert one.successes == two.successes
+
+    def test_cardinality_comparison_near_half(self):
+        """Example 4.2: mu_n(card R > card S) tends to 1/2."""
+        estimate = estimate_probability(
+            lambda r, s: r.cardinality > s.cardinality,
+            [random_unary_relation, random_unary_relation],
+            n=40, trials=600, seed=7)
+        assert abs(estimate.probability - 0.5) < 0.1
+
+    def test_zero_one_law_for_relational_property(self):
+        """Contrast: a constant-free relational property ('some element
+        present') has asymptotic probability 1."""
+        estimate = estimate_probability(
+            lambda r: not r.is_empty(),
+            [random_unary_relation], n=40, trials=300, seed=3)
+        assert estimate.probability == 1.0
+
+    def test_series_shapes(self):
+        series = probability_series(
+            lambda r: True, [random_unary_relation], sizes=[2, 4],
+            trials=10)
+        assert [estimate.n for estimate in series] == [2, 4]
+        assert all(estimate.probability == 1.0 for estimate in series)
+
+    def test_standard_error(self):
+        estimate = estimate_probability(
+            lambda r: r.cardinality % 2 == 0,
+            [random_unary_relation], n=10, trials=100, seed=0)
+        assert 0 <= estimate.standard_error <= 0.06
+
+
+class TestProfiling:
+    def test_balg1_multiplicity_polynomial(self):
+        """Theorem 4.4's invariant: BALG^1 multiplicities grow
+        polynomially — a bounded log-log slope."""
+        def database(n):
+            return {"R": Bag([Tup(i) for i in range(n)]),
+                    "S": Bag([Tup(-i - 1) for i in range(n)])}
+        rows = profile_sweep(
+            lambda n: card_greater_expr(var("R"), var("S")),
+            database, sizes=[4, 8, 16, 32])
+        slope = fit_power_law(rows)
+        assert 0.5 < slope < 3.0  # polynomial, low degree
+
+    def test_powerset_multiplicity_exponential(self):
+        """Theorem 5.1 territory: with P in play, delta(P(B)) holds
+        exponentially many duplicates — linear in n on a log2 scale."""
+        from repro.core.expr import BagDestroy
+        def database(n):
+            return {"B": Bag.from_counts({Tup("a"): n})}
+        rows = profile_sweep(
+            lambda n: BagDestroy(Powerset(var("B"))),
+            database, sizes=[2, 4, 6, 8])
+        # multiplicity after delta-P on n copies of one tuple is
+        # n(n+1)/2 — polynomial; use counting bags with distinct
+        # elements to see the exponential in the distinct count:
+        def database2(n):
+            return {"B": Bag([Tup(str(i)) for i in range(n)])}
+        rows2 = profile_sweep(
+            lambda n: BagDestroy(Powerset(var("B"))),
+            database2, sizes=[2, 4, 6, 8])
+        slope = fit_exponent_of_two(rows2)
+        assert slope > 0.2  # genuinely exponential in n
+
+    def test_profile_rows_capture_input_size(self):
+        rows = profile_sweep(
+            lambda n: var("R"),
+            lambda n: {"R": Bag([Tup(i) for i in range(n)])},
+            sizes=[3, 6])
+        assert rows[0].input_size < rows[1].input_size
+        assert rows[0].peak_multiplicity == 1

@@ -1,0 +1,102 @@
+"""Tests for the Section 6 hierarchy constructions
+(repro.complexity.hierarchy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arith import input_bag
+from repro.complexity.hierarchy import (
+    BALG3, BALGK, POWERBAG, domain_expr_for_level, doubling_expr_balg3,
+    doubling_expr_balgk, doubling_expr_powerbag, nesting_budget,
+    normalize_expr, verify_nesting,
+)
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate
+from repro.core.expr import var
+from repro.core.fragments import power_nesting
+
+
+class TestDoublingSemantics:
+    def test_balg3_doubles_with_offset(self):
+        # N(P(P(N(b_n)))) = 2^(n+1) markers (P of an (n+1)-element set)
+        for n in (1, 2, 3):
+            result = evaluate(doubling_expr_balg3(var("B")),
+                              B=input_bag(n))
+            assert result.cardinality == 2 ** (n + 1)
+
+    def test_powerbag_doubles_exactly(self):
+        for n in (1, 2, 3, 4):
+            result = evaluate(doubling_expr_powerbag(
+                normalize_expr(var("B"))), B=input_bag(n))
+            assert result.cardinality == 2 ** n
+
+    def test_balgk_towers(self):
+        # k = 4: three consecutive powersets: from n markers to
+        # |P(P(P(n markers)))| = 2^(2^(n+1)) elements
+        result = evaluate(doubling_expr_balgk(var("B"), 4),
+                          B=input_bag(1), powerset_budget=1 << 16)
+        assert result.cardinality == 2 ** (2 ** 2)
+
+    def test_balgk_requires_k_at_least_3(self):
+        with pytest.raises(BagTypeError):
+            doubling_expr_balgk(var("B"), 2)
+
+    def test_normalize(self):
+        result = evaluate(normalize_expr(var("B")), B=input_bag(5))
+        assert result.cardinality == 5
+        assert result.distinct_count == 1
+
+
+class TestNestingAccounting:
+    def test_balg3_budget(self):
+        # Theorem 6.2: 2i + 2
+        rows = verify_nesting(BALG3, [0, 1, 2, 3])
+        for level, measured, predicted in rows:
+            assert measured == predicted == 2 * level + 2
+
+    def test_balgk_budget(self):
+        # Proposition 6.3: (k-1)i + 2
+        for k in (3, 4, 5):
+            rows = verify_nesting(BALGK(k), [0, 1, 2])
+            for level, measured, predicted in rows:
+                assert measured == predicted == (k - 1) * level + 2
+
+    def test_powerbag_budget(self):
+        # Proposition 6.4: i + 2
+        rows = verify_nesting(POWERBAG, [0, 1, 2, 3, 4])
+        for level, measured, predicted in rows:
+            assert measured == predicted == level + 2
+
+    def test_hierarchy_orders_constructions(self):
+        """At equal levels the powerbag is the cheapest and BALG^3 the
+        most expensive per level — Prop 6.4's point that Pb collapses
+        the accounting."""
+        level = 3
+        assert (nesting_budget(POWERBAG, level)
+                < nesting_budget(BALG3, level)
+                < nesting_budget(BALGK(4), level))
+
+    def test_domain_nesting_measured(self):
+        domain = domain_expr_for_level(BALG3, 2)
+        assert power_nesting(domain) == 5  # 2*2 + 1 (no guessing P)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(BagTypeError):
+            domain_expr_for_level(BALG3, -1)
+
+
+class TestTinyEndToEnd:
+    def test_level_one_domain_contents(self):
+        """D = P(E(N(b_1))) for BALG^3: subbags of 4 markers — the
+        integers 0..4 at the next hyper level."""
+        domain = evaluate(domain_expr_for_level(BALG3, 1),
+                          B=input_bag(1), powerset_budget=1 << 12)
+        sizes = sorted(entry.cardinality for entry in domain.distinct())
+        assert sizes == [0, 1, 2, 3, 4]
+
+    def test_level_one_powerbag_domain(self):
+        domain = evaluate(domain_expr_for_level(POWERBAG, 1),
+                          B=input_bag(2), powerset_budget=1 << 12)
+        sizes = sorted(entry.cardinality for entry in domain.distinct())
+        assert sizes == [0, 1, 2, 3, 4]  # 0..2^2

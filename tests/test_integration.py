@@ -1,0 +1,148 @@
+"""Integration tests: pipelines that cross module boundaries.
+
+Each test wires several subsystems together the way a user would —
+SQL through the optimizer, parsed text through fragment checking, the
+arithmetic compiler through the rewriter, game structures through the
+algebra — and checks end-to-end agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arith import (
+    NEq, NExists, NVar, Plus, compile_formula, input_bag,
+)
+from repro.core.bag import Bag, Tup
+from repro.core.derived import bag_as_int, is_nonempty
+from repro.core.eval import Evaluator, evaluate
+from repro.core.fragments import fragment_report
+from repro.core.nest import Nest
+from repro.core.types import flat_bag_type, type_of
+from repro.games import build_star_graphs, edge_bag
+from repro.optimizer import Optimizer
+from repro.relational import SetEvaluator, relational_evaluate
+from repro.sql import Catalog, compile_sql, run_sql
+from repro.surface import parse, to_text
+
+
+@pytest.fixture
+def shop():
+    catalog = Catalog({
+        "orders": ("customer", "item"),
+        "vip": ("customer",),
+    })
+    database = {
+        "orders": Bag([Tup("ann", "book"), Tup("ann", "book"),
+                       Tup("bob", "pen"), Tup("cid", "ink")]),
+        "vip": Bag([Tup("ann")]),
+    }
+    return catalog, database
+
+
+class TestSqlThroughOptimizer:
+    def test_optimized_sql_gives_same_rows(self, shop):
+        catalog, database = shop
+        text = ("SELECT orders.item FROM orders, vip "
+                "WHERE orders.customer = vip.customer")
+        compiled = compile_sql(text, catalog)
+        schema = {name: type_of(bag) for name, bag in database.items()}
+        optimized = Optimizer(schema=schema).optimize(compiled.expr)
+        assert evaluate(optimized, database) == evaluate(
+            compiled.expr, database)
+
+    def test_sql_under_set_semantics_loses_duplicates(self, shop):
+        catalog, database = shop
+        compiled = compile_sql("SELECT customer FROM orders", catalog)
+        bag_result = evaluate(compiled.expr, database)
+        set_result = SetEvaluator().run(compiled.expr, database)
+        assert bag_result.multiplicity(Tup("ann")) == 2
+        assert set_result.multiplicity(Tup("ann")) == 1
+
+    def test_sql_count_is_the_section3_aggregate(self, shop):
+        catalog, database = shop
+        compiled = compile_sql("SELECT COUNT(*) FROM orders", catalog)
+        assert bag_as_int(evaluate(compiled.expr, database)) == 4
+
+
+class TestSurfaceThroughEverything:
+    def test_parse_fragment_optimize_evaluate(self, shop):
+        _, database = shop
+        text = ("pi[2](sigma[t: alpha1(t) = 'ann'](orders)) "
+                "(+) pi[2](sigma[t: alpha1(t) = 'bob'](orders))")
+        expr = parse(text)
+        schema = {"orders": flat_bag_type(2)}
+        report = fragment_report(expr, schema)
+        assert report.in_balg1
+        optimized = Optimizer(schema=schema).optimize(expr)
+        assert evaluate(optimized, database) == evaluate(expr, database)
+        # and the optimized form still round-trips through text
+        reparsed = parse(to_text(optimized))
+        assert evaluate(reparsed, database) == evaluate(expr, database)
+
+    def test_nested_query_via_surface(self, shop):
+        _, database = shop
+        grouped = evaluate(parse("nest[2](orders)"), database)
+        assert grouped.multiplicity(Tup(
+            "ann", Bag.from_counts({Tup("book"): 2}))) == 1
+        flat_again = evaluate(parse("unnest[2](nest[2](orders))"),
+                              database)
+        assert flat_again == database["orders"]
+
+
+class TestArithThroughOptimizer:
+    def test_compiled_formula_survives_rewriting(self):
+        formula = NExists("x", NEq(Plus(NVar("x"), NVar("x")),
+                                   NVar("n")))
+        compiled = compile_formula(formula)
+        optimizer = Optimizer()
+        optimized = optimizer.optimize(compiled.expr)
+        for n in range(5):
+            bag = input_bag(n)
+            assert (is_nonempty(evaluate(optimized, B=bag))
+                    == is_nonempty(evaluate(compiled.expr, B=bag)))
+
+
+class TestGamesThroughAlgebra:
+    def test_star_graph_edge_bags_under_both_semantics(self):
+        pair = build_star_graphs(4)
+        bag = edge_bag(pair.unbalanced)
+        # the edge bag is already a set, so bag and set semantics agree
+        from repro.core.expr import var
+        from repro.core.derived import in_degree_greater_expr
+        query = in_degree_greater_expr(var("G"), pair.center)
+        assert is_nonempty(evaluate(query, G=bag))
+        # under set semantics the query STILL works here because the
+        # star graph has no parallel edges — the separation needs the
+        # in/out counting, which survives dedup on a set input
+        assert is_nonempty(relational_evaluate(query, G=bag)) in (
+            True, False)  # well-defined either way
+
+    def test_nest_summarises_star_graph(self):
+        pair = build_star_graphs(4)
+        bag = edge_bag(pair.balanced)
+        grouped = evaluate(Nest(parse("G"), 2), G=bag)
+        # one group per distinct source; alpha sources all Out-edges
+        sources = {entry.attribute(1) for entry in grouped.distinct()}
+        assert pair.center in sources
+
+
+class TestInstrumentationAcrossModules:
+    def test_sql_queries_profile_flat(self, shop):
+        catalog, database = shop
+        compiled = compile_sql(
+            "SELECT customer FROM orders UNION ALL "
+            "SELECT customer FROM vip", catalog)
+        evaluator = Evaluator()
+        evaluator.run(compiled.expr, database)
+        # a BALG^1 pipeline: no powersets executed, multiplicities tiny
+        assert "Powerset" not in evaluator.stats.op_counts
+        assert evaluator.stats.peak_multiplicity <= 4
+
+    def test_budget_guards_sql_against_powerset_free_expressions(
+            self, shop):
+        catalog, database = shop
+        compiled = compile_sql("SELECT COUNT(*) FROM orders", catalog)
+        evaluator = Evaluator(powerset_budget=2)
+        # the budget never trips: count uses no powerset
+        assert bag_as_int(evaluator.run(compiled.expr, database)) == 4

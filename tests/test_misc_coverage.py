@@ -1,0 +1,115 @@
+"""Edge-case tests for paths the mainline suites exercise lightly:
+printer error surfaces, profile fitting degenerate inputs, evaluator
+statistics, fragment reports, and error formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.profile import (
+    ProfileRow, fit_exponent_of_two, fit_power_law,
+)
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError, ParseError
+from repro.core.eval import EvalStats, Evaluator
+from repro.core.expr import Bagging, Const, Tupling, var
+from repro.core.fragments import FragmentReport
+from repro.core.types import U, flat_bag_type
+from repro.surface import to_text
+
+
+class TestPrinterErrorSurfaces:
+    def test_quoted_atom_rejected(self):
+        with pytest.raises(BagTypeError):
+            to_text(Const("it's"))
+
+    def test_boolean_atom_rejected(self):
+        with pytest.raises(BagTypeError):
+            to_text(Const(True))
+
+    def test_exotic_atom_rejected(self):
+        with pytest.raises(BagTypeError):
+            to_text(Const(3.14))
+
+    def test_int_atoms_fine(self):
+        assert to_text(Const(3)) == "3"
+
+
+class TestParseErrorFormatting:
+    def test_position_shown(self):
+        error = ParseError("boom", position=7, text="junk")
+        assert "offset 7" in str(error)
+
+    def test_position_optional(self):
+        error = ParseError("boom")
+        assert str(error) == "boom"
+
+
+class TestProfileFitting:
+    def test_power_law_needs_two_points(self):
+        row = ProfileRow(input_size=10, peak_multiplicity=5,
+                         peak_encoding_size=1, peak_distinct=1,
+                         counter_bits=3)
+        assert fit_power_law([row]) == 0.0
+
+    def test_power_law_ignores_degenerate_rows(self):
+        rows = [ProfileRow(1, 0, 0, 0, 1), ProfileRow(1, 0, 0, 0, 1)]
+        assert fit_power_law(rows) == 0.0
+
+    def test_exponent_fit_constant_series(self):
+        rows = [ProfileRow(4, 8, 0, 0, 4), ProfileRow(4, 8, 0, 0, 4)]
+        assert fit_exponent_of_two(rows) == 0.0
+
+    def test_known_slope(self):
+        rows = [ProfileRow(n, 2 ** n, 0, 0, n) for n in (2, 4, 6, 8)]
+        assert abs(fit_exponent_of_two(rows) - 1.0) < 1e-9
+
+
+class TestEvaluatorInternals:
+    def test_stats_record_ignores_non_bags(self):
+        stats = EvalStats()
+        stats.record(var("B"), "an atom")
+        assert stats.peak_encoding_size == 0
+        assert stats.op_counts == {"Var": 1}
+
+    def test_merged_with_keeps_maxima(self):
+        one, two = EvalStats(), EvalStats()
+        one.peak_encoding_size, two.peak_encoding_size = 10, 3
+        one.peak_distinct, two.peak_distinct = 2, 9
+        merged = one.merged_with(two)
+        assert merged.peak_encoding_size == 10
+        assert merged.peak_distinct == 9
+
+    def test_object_level_evaluation(self):
+        evaluator = Evaluator()
+        result = evaluator.run(Bagging(Tupling(Const("a"))))
+        assert result == Bag.of(Tup("a"))
+        assert evaluator.stats.op_counts["Bagging"] == 1
+
+
+class TestFragmentReportSurface:
+    def test_balg3_flag(self):
+        report = FragmentReport(result_type=flat_bag_type(1),
+                                max_nesting=3, power_nesting=2)
+        assert report.in_balg3
+        assert not report.in_balg2
+        assert report.fragment_name() == "BALG^3_2"
+
+    def test_zero_nesting_display(self):
+        report = FragmentReport(result_type=U, max_nesting=0,
+                                power_nesting=0)
+        assert report.fragment_name() == "BALG^1_0"
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_share_a_root(self):
+        from repro.core import errors
+        for name in ("ValueConstructionError", "HeterogeneousBagError",
+                     "BagTypeError", "FragmentViolationError",
+                     "UnboundVariableError", "EvaluationError",
+                     "ResourceLimitError", "ParseError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_fragment_violation_is_a_type_error(self):
+        from repro.core.errors import BagTypeError, FragmentViolationError
+        assert issubclass(FragmentViolationError, BagTypeError)

@@ -1,0 +1,295 @@
+"""Tests for the operator semantics (repro.core.ops), including the
+algebraic laws the paper relies on (Section 3) and the worked powerbag
+example of Definition 5.1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ops
+from repro.core.bag import Bag, EMPTY_BAG, Tup
+from repro.core.errors import BagTypeError, ResourceLimitError
+from tests.conftest import (
+    atom_bags, flat_bags, nested_bags, small_multiplicity_bags,
+)
+
+
+class TestAdditiveUnion:
+    def test_multiplicities_add(self):
+        left = Bag.from_counts({"a": 2, "b": 1})
+        right = Bag.from_counts({"a": 1, "c": 4})
+        result = ops.additive_union(left, right)
+        assert result == Bag.from_counts({"a": 3, "b": 1, "c": 4})
+
+    def test_empty_identity(self, sample_bag):
+        assert ops.additive_union(sample_bag, EMPTY_BAG) == sample_bag
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(BagTypeError):
+            ops.additive_union(Bag.of(Tup("a")), Bag.of(Tup("a", "b")))
+
+    def test_non_bag_rejected(self):
+        with pytest.raises(BagTypeError):
+            ops.additive_union(Tup("a"), Bag())  # type: ignore[arg-type]
+
+
+class TestSubtraction:
+    def test_monus_semantics(self):
+        left = Bag.from_counts({"a": 3, "b": 1})
+        right = Bag.from_counts({"a": 1, "b": 5})
+        assert ops.subtraction(left, right) == Bag.from_counts({"a": 2})
+
+    def test_self_subtraction_empty(self, sample_bag):
+        assert ops.subtraction(sample_bag, sample_bag) == EMPTY_BAG
+
+
+class TestMaxUnionAndIntersection:
+    def test_max_union(self):
+        left = Bag.from_counts({"a": 3, "b": 1})
+        right = Bag.from_counts({"a": 1, "c": 2})
+        assert ops.max_union(left, right) == Bag.from_counts(
+            {"a": 3, "b": 1, "c": 2})
+
+    def test_intersection(self):
+        left = Bag.from_counts({"a": 3, "b": 1})
+        right = Bag.from_counts({"a": 1, "c": 2})
+        assert ops.intersection(left, right) == Bag.from_counts({"a": 1})
+
+    def test_on_sets_they_coincide_with_set_ops(self):
+        # Section 3: on duplicate-free bags the operators behave exactly
+        # as the relational ones.
+        left = Bag.of("a", "b")
+        right = Bag.of("b", "c")
+        assert ops.max_union(left, right).support() == {"a", "b", "c"}
+        assert ops.intersection(left, right).support() == {"b"}
+        assert ops.max_union(left, right).is_set()
+
+
+class TestConstructive:
+    def test_tupling_and_bagging(self):
+        assert ops.tupling("a", "b") == Tup("a", "b")
+        assert ops.bagging("a") == Bag.of("a")
+        assert ops.bagging("a").n_belongs("a", 1)
+
+    def test_cartesian_multiplies_counts(self):
+        left = Bag.from_counts({Tup("a"): 2})
+        right = Bag.from_counts({Tup("x"): 3})
+        product = ops.cartesian(left, right)
+        assert product == Bag.from_counts({Tup("a", "x"): 6})
+
+    def test_cartesian_concatenates_arities(self):
+        product = ops.cartesian(Bag.of(Tup("a", "b")), Bag.of(Tup("c")))
+        assert product.an_element() == Tup("a", "b", "c")
+
+    def test_cartesian_requires_tuples(self):
+        with pytest.raises(BagTypeError):
+            ops.cartesian(Bag.of("a"), Bag.of(Tup("b")))
+
+
+class TestPowerset:
+    def test_single_constant_cardinality(self):
+        # Section 1: powerset of n copies of one constant has n+1
+        # elements.
+        bag = Bag.from_counts({"a": 4})
+        power = ops.powerset(bag)
+        assert power.cardinality == 5
+        assert power.is_set()
+
+    def test_all_subbags_present_once(self):
+        bag = Bag.from_counts({"a": 2, "b": 1})
+        power = ops.powerset(bag)
+        assert power.cardinality == (2 + 1) * (1 + 1)
+        assert power.multiplicity(Bag.from_counts({"a": 1})) == 1
+        assert power.multiplicity(EMPTY_BAG) == 1
+        assert power.multiplicity(bag) == 1
+
+    def test_cardinality_formula(self):
+        bag = Bag.from_counts({"a": 3, "b": 2, "c": 1})
+        assert ops.powerset_cardinality(bag) == 4 * 3 * 2
+        assert ops.powerset(bag).cardinality == 4 * 3 * 2
+
+    def test_budget_enforced(self):
+        bag = Bag.from_counts({"a": 100})
+        with pytest.raises(ResourceLimitError):
+            ops.powerset(bag, budget=50)
+
+    def test_powerset_of_empty(self):
+        assert ops.powerset(EMPTY_BAG) == Bag.of(EMPTY_BAG)
+
+
+class TestPowerbag:
+    def test_definition_51_worked_example(self):
+        # Pb([[a,a]]) = [[ {{}}, {{a}}, {{a}}, {{a,a}} ]]
+        result = ops.powerbag(Bag.of("a", "a"))
+        assert result.multiplicity(EMPTY_BAG) == 1
+        assert result.multiplicity(Bag.of("a")) == 2
+        assert result.multiplicity(Bag.of("a", "a")) == 1
+        assert result.cardinality == 4
+
+    def test_powerset_vs_powerbag_on_duplicates(self):
+        # P([[a,a]]) = [[ {{}}, {{a}}, {{a,a}} ]]
+        bag = Bag.of("a", "a")
+        assert ops.powerset(bag).cardinality == 3
+        assert ops.powerbag(bag).cardinality == 4
+
+    def test_total_is_two_to_the_n(self):
+        for n in range(5):
+            bag = Bag.from_counts({"a": n}) if n else EMPTY_BAG
+            assert ops.powerbag(bag).cardinality == 2 ** n
+            assert ops.powerbag_total(bag) == 2 ** n
+
+    def test_multiplicity_is_binomial(self):
+        bag = Bag.from_counts({"a": 4, "b": 2})
+        # choosing 2 of 4 a's and 1 of 2 b's: C(4,2)*C(2,1) = 12
+        sub = Bag.from_counts({"a": 2, "b": 1})
+        assert ops.powerbag_multiplicity(bag, sub) == 12
+        assert ops.powerbag(bag).multiplicity(sub) == 12
+
+    def test_multiplicity_zero_for_non_subbag(self):
+        assert ops.powerbag_multiplicity(Bag.of("a"), Bag.of("b")) == 0
+
+    def test_on_sets_powerbag_equals_powerset(self):
+        bag = Bag.of("a", "b", "c")
+        assert ops.powerbag(bag) == ops.powerset(bag)
+
+    def test_budget_enforced(self):
+        with pytest.raises(ResourceLimitError):
+            ops.powerbag(Bag.from_counts({"a": 64}), budget=1000)
+
+
+class TestDestructive:
+    def test_attribute(self):
+        assert ops.attribute(Tup("a", "b"), 2) == "b"
+
+    def test_attribute_type_errors(self):
+        with pytest.raises(BagTypeError):
+            ops.attribute("atom", 1)  # type: ignore[arg-type]
+        with pytest.raises(BagTypeError):
+            ops.attribute(Tup("a"), 3)
+
+    def test_bag_destroy_additive(self):
+        nested = Bag([Bag(["a", "a"]), Bag(["a", "b"])])
+        assert ops.bag_destroy(nested) == Bag.from_counts(
+            {"a": 3, "b": 1})
+
+    def test_bag_destroy_respects_outer_multiplicity(self):
+        # A member bag occurring twice contributes twice.
+        nested = Bag.from_counts({Bag(["a"]): 2})
+        assert ops.bag_destroy(nested) == Bag.from_counts({"a": 2})
+
+    def test_bag_destroy_requires_nesting(self):
+        with pytest.raises(BagTypeError):
+            ops.bag_destroy(Bag.of("a"))
+
+    def test_bag_destroy_empty(self):
+        assert ops.bag_destroy(EMPTY_BAG) == EMPTY_BAG
+
+
+class TestFilters:
+    def test_map_adds_colliding_multiplicities(self):
+        # Section 3: MAP_beta([[a,a,b]]) = [[{{a}},{{a}},{{b}}]]
+        bag = Bag.of("a", "a", "b")
+        result = ops.map_bag(ops.bagging, bag)
+        assert result.multiplicity(Bag.of("a")) == 2
+        assert result.multiplicity(Bag.of("b")) == 1
+
+    def test_map_collision(self):
+        bag = Bag.of(Tup("a", "x"), Tup("a", "y"))
+        collapsed = ops.map_bag(lambda t: t.attribute(1), bag)
+        assert collapsed == Bag.from_counts({"a": 2})
+
+    def test_select_preserves_multiplicity(self):
+        bag = Bag.from_counts({Tup("a"): 3, Tup("b"): 2})
+        kept = ops.select(lambda t: t.attribute(1) == "a", bag)
+        assert kept == Bag.from_counts({Tup("a"): 3})
+
+    def test_dedup(self, sample_bag):
+        deduped = ops.dedup(sample_bag)
+        assert deduped.is_set()
+        assert deduped.support() == sample_bag.support()
+
+    def test_project(self, sample_bag):
+        projected = ops.project(sample_bag, 2, 1)
+        assert projected.multiplicity(Tup("b", "a")) == 2
+        assert projected.multiplicity(Tup("a", "b")) == 1
+
+    def test_member_and_contains(self, sample_bag):
+        assert ops.member(Tup("a", "b"), sample_bag)
+        assert not ops.member(Tup("c", "c"), sample_bag)
+        assert ops.contains_subbag(sample_bag, Bag.of(Tup("a", "b")))
+        assert not ops.contains_subbag(
+            sample_bag, Bag.from_counts({Tup("a", "b"): 5}))
+
+
+# ----------------------------------------------------------------------
+# Algebraic laws (Section 3: associativity, commutativity, ...)
+# ----------------------------------------------------------------------
+
+class TestAlgebraicLaws:
+    @given(atom_bags(), atom_bags())
+    def test_additive_union_commutative(self, left, right):
+        assert (ops.additive_union(left, right)
+                == ops.additive_union(right, left))
+
+    @given(atom_bags(), atom_bags(), atom_bags())
+    def test_additive_union_associative(self, a, b, c):
+        assert (ops.additive_union(ops.additive_union(a, b), c)
+                == ops.additive_union(a, ops.additive_union(b, c)))
+
+    @given(atom_bags(), atom_bags())
+    def test_max_union_commutative(self, left, right):
+        assert ops.max_union(left, right) == ops.max_union(right, left)
+
+    @given(atom_bags(), atom_bags(), atom_bags())
+    def test_max_union_associative(self, a, b, c):
+        assert (ops.max_union(ops.max_union(a, b), c)
+                == ops.max_union(a, ops.max_union(b, c)))
+
+    @given(atom_bags(), atom_bags())
+    def test_intersection_commutative(self, left, right):
+        assert (ops.intersection(left, right)
+                == ops.intersection(right, left))
+
+    @given(atom_bags(), atom_bags(), atom_bags())
+    def test_intersection_associative(self, a, b, c):
+        assert (ops.intersection(ops.intersection(a, b), c)
+                == ops.intersection(a, ops.intersection(b, c)))
+
+    @given(atom_bags(), atom_bags())
+    def test_albert_identities(self, left, right):
+        """[Alb91]: n and u are definable from (+) and -."""
+        # B n B' = B - (B - B')
+        assert (ops.intersection(left, right)
+                == ops.subtraction(left, ops.subtraction(left, right)))
+        # B u B' = B (+) (B' - B)
+        assert (ops.max_union(left, right)
+                == ops.additive_union(left, ops.subtraction(right, left)))
+
+    @given(atom_bags())
+    def test_dedup_idempotent(self, bag):
+        assert ops.dedup(ops.dedup(bag)) == ops.dedup(bag)
+
+    @given(small_multiplicity_bags())
+    def test_powerset_members_are_subbags(self, bag):
+        power = ops.powerset(bag)
+        assert all(sub.is_subbag_of(bag) for sub in power.distinct())
+
+    @given(small_multiplicity_bags())
+    def test_powerbag_refines_powerset(self, bag):
+        assert ops.dedup(ops.powerbag(bag)) == ops.powerset(bag)
+
+    @given(small_multiplicity_bags())
+    def test_powerbag_total_law(self, bag):
+        assert ops.powerbag(bag).cardinality == 2 ** bag.cardinality
+
+    @given(nested_bags())
+    def test_destroy_of_map_beta_is_identity(self, bag):
+        """delta(MAP_beta(B)) = B — bagging then flattening."""
+        assert ops.bag_destroy(ops.map_bag(ops.bagging, bag)) == bag
+
+    @given(flat_bags(arity=1))
+    def test_cartesian_cardinalities_multiply(self, bag):
+        product = ops.cartesian(bag, bag)
+        assert product.cardinality == bag.cardinality ** 2

@@ -1,0 +1,201 @@
+"""Tests for the symbolic counting lemma (Props 4.1 / 4.5) —
+repro.complexity.polynomials."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.complexity.polynomials import (
+    CountingAnalysis, Polynomial, analyze, refute_bag_even,
+    refute_dedup, single_constant_input,
+)
+from repro.core.bag import Bag, Tup
+from repro.core.derived import (
+    bag_even_native, project_expr, select_attr_eq_attr,
+    select_attr_eq_const,
+)
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate
+from repro.core.expr import (
+    Cartesian, Const, Dedup, Lam, Map, Powerset, Select, Tupling, Var,
+    var,
+)
+from repro.core.ops import dedup
+
+
+class TestPolynomial:
+    def test_construction_drops_zeros(self):
+        assert Polynomial({2: 0, 1: 3}).coefficients() == {1: 3}
+
+    def test_degree_and_leading(self):
+        poly = Polynomial({3: 2, 0: -1})
+        assert poly.degree == 3
+        assert poly.leading_coefficient == 2
+        assert poly.constant_term == -1
+
+    def test_zero_polynomial(self):
+        zero = Polynomial()
+        assert zero.is_zero()
+        assert zero.degree == -1
+        assert zero(100) == 0
+
+    def test_arithmetic(self):
+        x = Polynomial.x()
+        square_plus = x * x + Polynomial.constant(3)
+        assert square_plus(4) == 19
+        assert (square_plus - square_plus).is_zero()
+
+    def test_eventually_positive(self):
+        assert Polynomial({1: 1, 0: -1000}).eventually_positive()
+        assert not Polynomial({1: -1, 0: 1000}).eventually_positive()
+        assert not Polynomial().eventually_positive()
+
+    def test_sign_stability_bound(self):
+        poly = Polynomial({1: 1, 0: -1000})  # root at 1000
+        bound = poly.sign_stability_bound()
+        assert poly(bound + 1) > 0
+        assert all(poly(bound + i) > 0 for i in range(1, 10))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial({-1: 1})
+
+    @given(st.dictionaries(st.integers(0, 4), st.integers(-5, 5),
+                           max_size=4),
+           st.integers(0, 10))
+    def test_evaluation_matches_horner(self, coeffs, n):
+        poly = Polynomial(coeffs)
+        expected = sum(c * n ** d for d, c in coeffs.items())
+        assert poly(n) == expected
+
+
+# A battery of BALG^1 expressions over the single input B.  Following
+# the claim's hypothesis, the constants in the expressions avoid the
+# distinguished input atom "a".
+def _battery():
+    B = var("B")
+    two_tuples = Const(Bag.of(Tup("b"), Tup("c")))
+    return [
+        B,
+        B + B,
+        B - Const(Bag.of(Tup("b"))),
+        Const(Bag.of(Tup("b"))) - B,
+        B | two_tuples,
+        B & two_tuples,
+        Cartesian(B, B),
+        project_expr(Cartesian(B, B), 1),
+        project_expr(select_attr_eq_attr(Cartesian(B, B), 1, 2), 1),
+        select_attr_eq_const(B, 1, "a"),
+        select_attr_eq_const(B, 1, "zzz"),
+        Map(Lam("t", Tupling(Const("c"), Var("t"))), B),
+        Dedup(B),
+        Dedup(B + B),
+        Dedup(Cartesian(B, two_tuples)),
+        (B + B) - B,
+    ]
+
+
+class TestAnalysisAgainstEvaluator:
+    """The core validation: P_t(n) equals the actual multiplicity for
+    every n beyond the threshold."""
+
+    @pytest.mark.parametrize("index", range(len(_battery())))
+    def test_polynomials_match_evaluation(self, index):
+        expr = _battery()[index]
+        analysis = analyze(expr)
+        for offset in range(1, 6):
+            n = analysis.threshold + offset
+            result = evaluate(expr, B=single_constant_input(n))
+            # every predicted tuple matches, and nothing unpredicted
+            # appears
+            predicted_support = analysis.support()
+            for candidate in set(result.distinct()) | {
+                    t for t in predicted_support}:
+                assert result.multiplicity(candidate) == \
+                    analysis.polynomial_for(candidate)(n), (
+                        expr, candidate, n)
+
+    @pytest.mark.parametrize("index", range(len(_battery())))
+    def test_claim_invariant(self, index):
+        """The claim's side condition: zero constant term whenever the
+        input constant occurs in the tuple.  It is stated for the
+        eps-free fragment (Prop 4.1); eps maps positive polynomials to
+        the constant 1, so expressions containing it are exempt (this
+        is exactly why Prop 4.5 needs the extended claim)."""
+        expr = _battery()[index]
+        if any(isinstance(node, Dedup) for node in expr.walk()):
+            pytest.skip("claim invariant applies to the eps-free "
+                        "fragment")
+        assert analyze(expr).verify_claim_invariant()
+
+
+class TestAnalysisStructure:
+    def test_var_polynomial_is_n(self):
+        analysis = analyze(var("B"))
+        assert analysis.polynomial_for(Tup("a")) == Polynomial.x()
+
+    def test_product_squares(self):
+        analysis = analyze(Cartesian(var("B"), var("B")))
+        assert analysis.polynomial_for(Tup("a", "a")) == (
+            Polynomial.x() * Polynomial.x())
+
+    def test_subtraction_vanishing(self):
+        analysis = analyze(var("B") - var("B"))
+        assert analysis.polynomial_for(Tup("a")).is_zero()
+
+    def test_subtraction_of_constant(self):
+        analysis = analyze(var("B") - Const(Bag.from_counts(
+            {Tup("a"): 3})))
+        poly = analysis.polynomial_for(Tup("a"))
+        assert poly.coefficients() == {1: 1, 0: -3}
+        assert analysis.threshold >= 3
+
+    def test_dedup_produces_constant_one(self):
+        analysis = analyze(Dedup(var("B")))
+        assert analysis.polynomial_for(Tup("a")) == \
+            Polynomial.constant(1)
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(BagTypeError):
+            analyze(Powerset(var("B")))
+
+    def test_foreign_variable_rejected(self):
+        with pytest.raises(BagTypeError):
+            analyze(var("C"))
+
+    def test_empty_constant_rejected(self):
+        with pytest.raises(BagTypeError):
+            analyze(var("B") + Const(Bag()))
+
+
+class TestInexpressibility:
+    """Propositions 4.1 and 4.5, machine-checked per candidate."""
+
+    def test_every_battery_expression_fails_to_be_dedup(self):
+        # None of the eps-free candidates computes eps (Prop 4.1); the
+        # witness n is verified against the evaluator.
+        for expr in _battery():
+            if any(isinstance(node, Dedup) for node in expr.walk()):
+                continue  # Prop 4.1 excludes the eps operator itself
+            witness = refute_dedup(expr)
+            assert witness is not None
+            bag = single_constant_input(witness)
+            assert evaluate(expr, B=bag) != dedup(bag)
+
+    def test_dedup_itself_cannot_be_refuted(self):
+        assert refute_dedup(Dedup(var("B"))) is None
+
+    def test_every_battery_expression_fails_to_be_bag_even(self):
+        # Prop 4.5: including expressions that *use* eps.
+        for expr in _battery():
+            witness = refute_bag_even(expr)
+            bag = single_constant_input(witness)
+            assert evaluate(expr, B=bag) != bag_even_native(bag), expr
+
+    def test_witness_is_beyond_threshold(self):
+        expr = var("B") - Const(Bag.from_counts({Tup("a"): 5}))
+        analysis = analyze(expr)
+        witness = refute_bag_even(expr)
+        assert witness > analysis.threshold

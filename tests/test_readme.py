@@ -1,0 +1,42 @@
+"""Documentation integrity: the README's Python blocks must run.
+
+Extracts every fenced ``python`` block from README.md and executes it
+in one shared namespace (the blocks build on each other, like a reader
+following along).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def test_readme_python_blocks_run():
+    text = README.read_text(encoding="utf-8")
+    blocks = _BLOCK_RE.findall(text)
+    assert blocks, "the README lost its python examples"
+    namespace: dict = {}
+    for block in blocks:
+        exec(compile(block, str(README), "exec"), namespace)
+    # the quickstart's objects must have materialised
+    assert "orders" in namespace
+    assert namespace["orders"].cardinality == 3
+
+
+def test_readme_mentions_every_experiment():
+    text = README.read_text(encoding="utf-8")
+    assert "EXPERIMENTS.md" in text
+    assert "DESIGN.md" in text
+
+
+def test_experiments_doc_lists_all_benches():
+    experiments = (pathlib.Path(__file__).parent.parent
+                   / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+    for bench in bench_dir.glob("bench_e*.py"):
+        assert bench.name in experiments, (
+            f"{bench.name} missing from EXPERIMENTS.md")

@@ -1,0 +1,210 @@
+"""Differential testing against an explicit-duplicates reference model.
+
+Section 3 notes that bags "can be optimized by representing each object
+in association with the number of its occurrences, instead of storing
+explicitly duplicates" — which is exactly how :class:`repro.core.Bag`
+is implemented.  The *standard encoding* of Section 2, however, is the
+explicit one.  This module implements the operators a second time over
+explicit Python lists (the standard-encoding view, duplicates written
+out) and checks that the count-based production implementation agrees
+on random inputs — the two representations are interchangeable, as the
+paper asserts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Any, List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ops
+from repro.core.bag import Bag, Tup
+
+
+# ----------------------------------------------------------------------
+# The reference model: bags as plain lists with duplicates written out
+# ----------------------------------------------------------------------
+
+def list_additive_union(left: List, right: List) -> List:
+    return list(left) + list(right)
+
+
+def list_subtraction(left: List, right: List) -> List:
+    budget = Counter(right)
+    out = []
+    for element in left:
+        if budget[element] > 0:
+            budget[element] -= 1
+        else:
+            out.append(element)
+    return out
+
+
+def list_max_union(left: List, right: List) -> List:
+    counts = Counter(left) | Counter(right)   # Counter's | is max
+    return list(counts.elements())
+
+
+def list_intersection(left: List, right: List) -> List:
+    counts = Counter(left) & Counter(right)   # Counter's & is min
+    return list(counts.elements())
+
+
+def list_cartesian(left: List, right: List) -> List:
+    return [l.concat(r) for l in left for r in right]
+
+
+def list_map(func, bag: List) -> List:
+    return [func(element) for element in bag]
+
+
+def list_select(predicate, bag: List) -> List:
+    return [element for element in bag if predicate(element)]
+
+
+def list_dedup(bag: List) -> List:
+    seen = []
+    for element in bag:
+        if element not in seen:
+            seen.append(element)
+    return seen
+
+
+def list_powerset(bag: List) -> List[List]:
+    """All distinct subbags, enumerated over the explicit encoding.
+
+    Chooses a sub-multiset by per-element counts (not by positions),
+    so each subbag appears once — the powerset, not the powerbag.
+    """
+    counts = Counter(bag)
+    keys = list(counts)
+    subbags = []
+    for picks in itertools.product(*(range(counts[k] + 1)
+                                     for k in keys)):
+        sub = []
+        for key, picked in zip(keys, picks):
+            sub.extend([key] * picked)
+        subbags.append(sub)
+    return subbags
+
+
+def list_powerbag(bag: List) -> List[List]:
+    """Definition 5.1 over explicit duplicates: tag the positions,
+    take all 2^n position subsets, untag."""
+    out = []
+    for mask in range(2 ** len(bag)):
+        out.append([element for position, element in enumerate(bag)
+                    if mask & (1 << position)])
+    return out
+
+
+def list_bag_destroy(bag: List[List]) -> List:
+    out: List = []
+    for inner in bag:
+        out.extend(inner)
+    return out
+
+
+def as_bag(elements: List) -> Bag:
+    return Bag(elements)
+
+
+def same(bag: Bag, reference: List) -> bool:
+    return bag == Bag(reference)
+
+
+# ----------------------------------------------------------------------
+# Differential tests
+# ----------------------------------------------------------------------
+
+tuples = st.builds(Tup, st.sampled_from("ab"), st.sampled_from("xy"))
+element_lists = st.lists(tuples, max_size=6)
+SETTINGS = dict(max_examples=80, deadline=None)
+
+
+class TestBinaryOperators:
+    @given(element_lists, element_lists)
+    @settings(**SETTINGS)
+    def test_additive_union(self, left, right):
+        assert same(ops.additive_union(as_bag(left), as_bag(right)),
+                    list_additive_union(left, right))
+
+    @given(element_lists, element_lists)
+    @settings(**SETTINGS)
+    def test_subtraction(self, left, right):
+        assert same(ops.subtraction(as_bag(left), as_bag(right)),
+                    list_subtraction(left, right))
+
+    @given(element_lists, element_lists)
+    @settings(**SETTINGS)
+    def test_max_union(self, left, right):
+        assert same(ops.max_union(as_bag(left), as_bag(right)),
+                    list_max_union(left, right))
+
+    @given(element_lists, element_lists)
+    @settings(**SETTINGS)
+    def test_intersection(self, left, right):
+        assert same(ops.intersection(as_bag(left), as_bag(right)),
+                    list_intersection(left, right))
+
+    @given(st.lists(tuples, max_size=4), st.lists(tuples, max_size=4))
+    @settings(**SETTINGS)
+    def test_cartesian(self, left, right):
+        assert same(ops.cartesian(as_bag(left), as_bag(right)),
+                    list_cartesian(left, right))
+
+
+class TestUnaryOperators:
+    @given(element_lists)
+    @settings(**SETTINGS)
+    def test_map(self, elements):
+        swap = lambda t: Tup(t.attribute(2), t.attribute(1))
+        assert same(ops.map_bag(swap, as_bag(elements)),
+                    list_map(swap, elements))
+
+    @given(element_lists)
+    @settings(**SETTINGS)
+    def test_select(self, elements):
+        keep = lambda t: t.attribute(1) == "a"
+        assert same(ops.select(keep, as_bag(elements)),
+                    list_select(keep, elements))
+
+    @given(element_lists)
+    @settings(**SETTINGS)
+    def test_dedup(self, elements):
+        assert same(ops.dedup(as_bag(elements)), list_dedup(elements))
+
+    @given(st.lists(tuples, max_size=4))
+    @settings(**SETTINGS)
+    def test_powerset(self, elements):
+        reference = [Bag(sub) for sub in list_powerset(elements)]
+        produced = ops.powerset(as_bag(elements))
+        assert produced == Bag(reference)
+
+    @given(st.lists(tuples, max_size=4))
+    @settings(**SETTINGS)
+    def test_powerbag(self, elements):
+        reference = [Bag(sub) for sub in list_powerbag(elements)]
+        produced = ops.powerbag(as_bag(elements))
+        assert produced == Bag(reference)
+
+    @given(st.lists(st.lists(tuples, max_size=3), max_size=4))
+    @settings(**SETTINGS)
+    def test_bag_destroy(self, nested):
+        outer = Bag([Bag(inner) for inner in nested])
+        assert same(ops.bag_destroy(outer), list_bag_destroy(nested))
+
+
+class TestEncodingFaithfulness:
+    @given(element_lists)
+    @settings(**SETTINGS)
+    def test_standard_encoding_size_matches_list_length(self, elements):
+        """encoding_size counts duplicates exactly like the explicit
+        list does (up to the fixed per-element tuple overhead)."""
+        from repro.core.database import encoding_size
+        bag = as_bag(elements)
+        per_tuple = 3  # 1 for the tuple + 2 atoms
+        assert encoding_size(bag) == 1 + per_tuple * len(elements)

@@ -1,0 +1,243 @@
+"""Tests for the relational baselines: set semantics, the Prop 4.2
+translation, and CALC1 (repro.relational)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.bag import Bag, EMPTY_BAG, Tup
+from repro.core.derived import (
+    card_greater_expr, is_nonempty, project_expr, select_attr_eq_const,
+)
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate
+from repro.core.expr import (
+    Cartesian, Const, Dedup, Lam, Map, Powerset, Select, Subtraction,
+    Tupling, Var, var,
+)
+from repro.core.types import BagType, U
+from repro.games.structures import CoStructure, SET_OF_ATOMS, set_of
+from repro.relational import (
+    And, Component, Contained, Eq, Exists, Forall, Member, Not, Or,
+    Rel, TermConst, TermVar, deep_dedup, is_set_value, quantifier_depth,
+    ralg_translate, relational_evaluate, satisfies, supports_agree,
+    variable_names, SetEvaluator,
+)
+from tests.conftest import flat_bags
+
+
+class TestDeepDedup:
+    def test_flat(self, sample_bag):
+        assert deep_dedup(sample_bag).is_set()
+
+    def test_nested(self):
+        nested = Bag([Bag(["a", "a"]), Bag(["a", "a"]), Bag(["b"])])
+        cleaned = deep_dedup(nested)
+        assert cleaned.is_set()
+        assert all(inner.is_set() for inner in cleaned.distinct())
+
+    def test_inside_tuples(self):
+        value = Tup("x", Bag(["a", "a"]))
+        assert deep_dedup(value) == Tup("x", Bag(["a"]))
+
+    @given(flat_bags())
+    def test_idempotent(self, bag):
+        once = deep_dedup(bag)
+        assert deep_dedup(once) == once
+        assert is_set_value(once)
+
+
+class TestSetSemantics:
+    def test_additive_union_collapses_to_union(self):
+        left = Bag.of(Tup("a"))
+        right = Bag.of(Tup("a"), Tup("b"))
+        result = relational_evaluate(var("L") + var("R"), L=left, R=right)
+        assert result == Bag.of(Tup("a"), Tup("b"))
+
+    def test_inputs_are_coerced(self):
+        noisy = Bag.from_counts({Tup("a"): 5})
+        assert relational_evaluate(var("B"), B=noisy) == Bag.of(Tup("a"))
+
+    def test_product_is_relational(self):
+        left = Bag.from_counts({Tup("a"): 2})
+        right = Bag.from_counts({Tup("x"): 3})
+        result = relational_evaluate(var("L") * var("R"), L=left, R=right)
+        assert result == Bag.of(Tup("a", "x"))
+
+    def test_powerset_of_set(self):
+        result = relational_evaluate(Powerset(var("B")),
+                                     B=Bag.of(Tup("a"), Tup("b")))
+        assert result.cardinality == 4  # the relational powerset
+
+    def test_cardinality_query_degenerates_under_sets(self):
+        """The crux of Example 4.2: under set semantics the counting
+        trick stops working (pi_1(RxR) - pi_1(RxS) only sees supports).
+        """
+        R = Bag.of(Tup(1), Tup(2), Tup(3))
+        S = Bag.of(Tup(8), Tup(9))
+        query = card_greater_expr(var("R"), var("S"))
+        assert is_nonempty(evaluate(query, R=R, S=S))          # bags: yes
+        assert not is_nonempty(relational_evaluate(query, R=R, S=S))
+
+
+class TestProposition42:
+    """The constructive translation Q -> Q' and its support agreement."""
+
+    def _queries(self):
+        B = var("B")
+        return [
+            B,
+            B + B,
+            B & (B + B),
+            B | B,
+            Dedup(B + B),
+            project_expr(Cartesian(B, B), 1, 3),
+            select_attr_eq_const(B, 1, "a"),
+            Map(Lam("t", Tupling(Const("k"), Var("t"))), B),
+        ]
+
+    @given(flat_bags(arity=2, max_size=6))
+    def test_supports_agree_on_battery(self, bag):
+        for query in self._queries():
+            assert supports_agree(query, {"B": bag}), query
+
+    def test_translation_drops_dedup(self):
+        translated = ralg_translate(Dedup(var("B")))
+        assert translated == var("B")
+
+    def test_translation_replaces_additive_union(self):
+        from repro.core.expr import MaxUnion
+        translated = ralg_translate(var("A") + var("B"))
+        assert isinstance(translated, MaxUnion)
+
+    def test_subtraction_rejected(self):
+        """The fragment of Prop 4.2 excludes subtraction — that is
+        exactly where BALG^1 outgrows RALG (Prop 4.3)."""
+        with pytest.raises(BagTypeError):
+            ralg_translate(Subtraction(var("A"), var("B")))
+
+    def test_powerset_rejected(self):
+        with pytest.raises(BagTypeError):
+            ralg_translate(Powerset(var("B")))
+
+    def test_set_inputs_make_results_equal(self):
+        """On relational databases (set in, set out) Q and Q' agree
+        exactly, not just on supports."""
+        relation = Bag.of(Tup("a", "b"), Tup("b", "c"))
+        query = project_expr(var("B"), 1)
+        bag_out = evaluate(Dedup(query), B=relation)
+        set_out = SetEvaluator().run(ralg_translate(Dedup(query)),
+                                     {"B": relation})
+        assert bag_out == set_out
+
+
+class TestCalc1:
+    def _triangle(self) -> CoStructure:
+        a, b, c = set_of(1), set_of(2), set_of(3)
+        return CoStructure.build(
+            {1, 2, 3}, {"E": {(a, b), (b, c), (c, a)}})
+
+    def test_relation_atom(self):
+        structure = self._triangle()
+        sentence = Exists("x", SET_OF_ATOMS, Exists(
+            "y", SET_OF_ATOMS, Rel("E", [TermVar("x"), TermVar("y")])))
+        assert satisfies(structure, sentence)
+
+    def test_no_self_loop(self):
+        structure = self._triangle()
+        self_loop = Exists("x", SET_OF_ATOMS,
+                           Rel("E", [TermVar("x"), TermVar("x")]))
+        assert not satisfies(structure, self_loop)
+
+    def test_membership_and_containment(self):
+        structure = self._triangle()
+        # every edge source is a set containing some atom
+        sentence = Forall("x", SET_OF_ATOMS, Forall(
+            "y", SET_OF_ATOMS,
+            Not(Rel("E", [TermVar("x"), TermVar("y")]))))
+        assert not satisfies(structure, sentence)
+        member = Exists("a", U, Exists(
+            "x", SET_OF_ATOMS, Member(TermVar("a"), TermVar("x"))))
+        assert satisfies(structure, member)
+        contained = Forall("x", SET_OF_ATOMS,
+                           Contained(TermVar("x"), TermVar("x")))
+        assert satisfies(structure, contained)
+
+    def test_equality_and_constants(self):
+        structure = self._triangle()
+        sentence = Exists("x", SET_OF_ATOMS,
+                          Eq(TermVar("x"), TermConst(set_of(1))))
+        assert satisfies(structure, sentence)
+
+    def test_component_function(self):
+        # a structure with a tuple-valued relation to exercise ".i"
+        pair = Tup(1, 2)
+        structure = CoStructure.build({1, 2}, {"P": {(pair,)}})
+        from repro.core.types import TupleType
+        tuple_type = TupleType((U, U))
+        sentence = Exists(
+            "t", tuple_type,
+            And(Rel("P", [TermVar("t")]),
+                Eq(Component(TermVar("t"), 1), TermConst(1))))
+        assert satisfies(structure, sentence)
+
+    def test_quantifier_depth_and_variables(self):
+        sentence = Exists("x", U, Forall("y", U,
+                                         Eq(TermVar("x"), TermVar("y"))))
+        assert quantifier_depth(sentence) == 2
+        assert variable_names(sentence) == frozenset({"x", "y"})
+
+    def test_implies(self):
+        from repro.relational import Implies
+        structure = self._triangle()
+        sentence = Forall("x", SET_OF_ATOMS, Implies(
+            Rel("E", [TermVar("x"), TermVar("x")]),
+            Eq(TermVar("x"), TermVar("x"))))
+        assert satisfies(structure, sentence)
+
+
+class TestTheorem53Link:
+    """CALC1 sentences with few variables cannot distinguish the Fig. 1
+    pair when the duplicator wins the game with that many moves."""
+
+    def test_one_variable_sentences_agree(self):
+        from repro.games import build_star_graphs, duplicator_wins
+        pair = build_star_graphs(4)
+        game = duplicator_wins(pair.balanced, pair.unbalanced,
+                               [U, SET_OF_ATOMS], 1)
+        assert game.duplicator_wins
+        # a battery of 1-variable sentences: all must agree on G, G'
+        sentences = [
+            Exists("x", SET_OF_ATOMS, Rel("E", [TermVar("x"),
+                                                TermVar("x")])),
+            Exists("x", SET_OF_ATOMS, Eq(TermVar("x"), TermVar("x"))),
+            Forall("x", U, Exists("y", SET_OF_ATOMS,
+                                  Member(TermVar("x"), TermVar("y")))),
+        ]
+        for sentence in sentences:
+            if quantifier_depth(sentence) > 1:
+                continue
+            assert (satisfies(pair.balanced, sentence)
+                    == satisfies(pair.unbalanced, sentence)), sentence
+
+    def test_distinguishing_sentence_needs_more_variables(self):
+        """The flipped edge IS visible to a 2-variable sentence — and
+        indeed the duplicator can lose positions when the spoiler
+        exhibits both endpoints (our G/G' differ on a single edge pair,
+        but property (1) hides it only up to n > 2k)."""
+        from repro.games import build_star_graphs
+        from repro.core.bag import canonical_key
+        pair = build_star_graphs(4)
+        flipped = min(pair.out_nodes, key=canonical_key)
+        # 'exists x,y with E(x, y) and y = alpha and x = flipped':
+        # true in G' (the inverted edge), false in G.
+        sentence = Exists(
+            "x", SET_OF_ATOMS, Exists(
+                "y", SET_OF_ATOMS,
+                And(Rel("E", [TermVar("x"), TermVar("y")]),
+                    And(Eq(TermVar("y"), TermConst(pair.center)),
+                        Eq(TermVar("x"), TermConst(flipped))))))
+        in_balanced = satisfies(pair.balanced, sentence)
+        in_unbalanced = satisfies(pair.unbalanced, sentence)
+        assert in_balanced != in_unbalanced

@@ -1,0 +1,228 @@
+"""Tests for the mini bag-SQL front end (repro.sql) — the executable
+version of the introduction's claim that SQL is a bag language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError, ParseError
+from repro.core.eval import evaluate
+from repro.sql import (
+    Catalog, ColumnRef, SelectQuery, SetOpQuery, compile_sql,
+    parse_sql, run_sql,
+)
+
+
+@pytest.fixture
+def catalog():
+    return Catalog({
+        "orders": ("customer", "item"),
+        "vip": ("customer",),
+        "returns": ("customer", "item"),
+    })
+
+
+@pytest.fixture
+def database():
+    return {
+        "orders": Bag([Tup("ann", "book"), Tup("ann", "book"),
+                       Tup("bob", "pen"), Tup("cid", "ink")]),
+        "vip": Bag([Tup("ann"), Tup("cid")]),
+        "returns": Bag([Tup("ann", "book")]),
+    }
+
+
+class TestParser:
+    def test_select_shape(self):
+        query = parse_sql("SELECT customer FROM orders")
+        assert isinstance(query, SelectQuery)
+        assert query.projections == [ColumnRef("customer")]
+        assert query.tables == [("orders", "orders")]
+        assert not query.distinct
+
+    def test_distinct_and_all(self):
+        assert parse_sql("SELECT DISTINCT customer FROM orders").distinct
+        assert not parse_sql("SELECT ALL customer FROM orders").distinct
+
+    def test_where_conjunction(self):
+        query = parse_sql(
+            "SELECT item FROM orders WHERE customer = 'ann' "
+            "AND item != 'pen'")
+        assert len(query.where) == 2
+        assert query.where[0].right == "ann"
+        assert query.where[1].op == "!="
+
+    def test_qualified_columns(self):
+        query = parse_sql(
+            "SELECT orders.item FROM orders, vip "
+            "WHERE orders.customer = vip.customer")
+        assert query.projections[0].table == "orders"
+
+    def test_set_operations(self):
+        query = parse_sql("SELECT customer FROM orders UNION ALL "
+                          "SELECT customer FROM vip")
+        assert isinstance(query, SetOpQuery)
+        assert query.op == "UNION"
+        assert query.all
+
+    def test_aliases(self):
+        query = parse_sql("SELECT o1.item FROM orders AS o1, orders o2")
+        assert query.tables == [("orders", "o1"), ("orders", "o2")]
+
+    def test_count_star(self):
+        from repro.sql import COUNT_STAR
+        query = parse_sql("SELECT COUNT(*) FROM orders")
+        assert query.projections == COUNT_STAR
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT FROM orders")
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM orders WHERE")
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM orders two extras")
+
+
+class TestCompilation:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(BagTypeError):
+            compile_sql("SELECT a FROM ghosts", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(BagTypeError):
+            compile_sql("SELECT ghost FROM orders", catalog)
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(BagTypeError):
+            compile_sql(
+                "SELECT customer FROM orders, vip", catalog)
+
+    def test_arity_mismatch_in_setop(self, catalog):
+        with pytest.raises(BagTypeError):
+            compile_sql("SELECT customer, item FROM orders UNION ALL "
+                        "SELECT customer FROM vip", catalog)
+
+    def test_distinct_compiles_to_eps(self, catalog):
+        from repro.core.expr import Dedup
+        compiled = compile_sql("SELECT DISTINCT customer FROM orders",
+                               catalog)
+        assert isinstance(compiled.expr, Dedup)
+
+
+class TestExecution:
+    def test_select_all_keeps_duplicates(self, catalog, database):
+        rows = run_sql("SELECT customer FROM orders", catalog, database)
+        assert rows.count(("ann",)) == 2
+
+    def test_select_distinct(self, catalog, database):
+        rows = run_sql("SELECT DISTINCT customer FROM orders", catalog,
+                       database)
+        assert sorted(rows) == [("ann",), ("bob",), ("cid",)]
+
+    def test_where_constant(self, catalog, database):
+        rows = run_sql("SELECT item FROM orders WHERE customer = 'ann'",
+                       catalog, database)
+        assert rows == [("book",), ("book",)]
+
+    def test_join(self, catalog, database):
+        rows = run_sql(
+            "SELECT orders.item FROM orders, vip "
+            "WHERE orders.customer = vip.customer",
+            catalog, database)
+        assert rows == [("book",), ("book",), ("ink",)]
+
+    def test_count_star_counts_duplicates(self, catalog, database):
+        assert run_sql("SELECT COUNT(*) FROM orders", catalog,
+                       database) == [(4,)]
+
+    def test_union_all_vs_union(self, catalog, database):
+        all_rows = run_sql(
+            "SELECT customer FROM orders UNION ALL "
+            "SELECT customer FROM vip", catalog, database)
+        distinct_rows = run_sql(
+            "SELECT customer FROM orders UNION "
+            "SELECT customer FROM vip", catalog, database)
+        assert len(all_rows) == 6
+        assert len(distinct_rows) == 3
+
+    def test_except_all_is_monus(self, catalog, database):
+        """The SQL standard's EXCEPT ALL is exactly the paper's bag
+        subtraction: multiplicities subtract, floored at zero."""
+        rows = run_sql(
+            "SELECT customer, item FROM orders EXCEPT ALL "
+            "SELECT customer, item FROM returns", catalog, database)
+        assert rows.count(("ann", "book")) == 1  # 2 - 1
+
+    def test_except_distinct(self, catalog, database):
+        rows = run_sql(
+            "SELECT customer, item FROM orders EXCEPT "
+            "SELECT customer, item FROM returns", catalog, database)
+        assert ("ann", "book") not in rows
+
+    def test_intersect_all_is_min(self, catalog, database):
+        rows = run_sql(
+            "SELECT customer, item FROM orders INTERSECT ALL "
+            "SELECT customer, item FROM returns", catalog, database)
+        assert rows == [("ann", "book")]
+
+    def test_star_projection(self, catalog, database):
+        rows = run_sql("SELECT * FROM vip", catalog, database)
+        assert sorted(rows) == [("ann",), ("cid",)]
+
+    def test_order_comparators(self, catalog, database):
+        rows = run_sql("SELECT item FROM orders WHERE item <= 'ink'",
+                       catalog, database)
+        assert sorted(rows) == [("book",), ("book",), ("ink",)]
+
+    def test_self_join_with_aliases(self, catalog, database):
+        """Customers who ordered two *different* items — impossible to
+        express without aliasing the same table twice."""
+        rows = run_sql(
+            "SELECT DISTINCT o1.customer FROM orders o1, orders o2 "
+            "WHERE o1.customer = o2.customer AND o1.item != o2.item",
+            catalog, database)
+        assert rows == []  # nobody ordered two distinct items here
+
+        bigger = dict(database)
+        from repro.core.bag import Bag, Tup
+        bigger["orders"] = Bag([Tup("ann", "book"), Tup("ann", "pen"),
+                                Tup("bob", "pen")])
+        rows = run_sql(
+            "SELECT DISTINCT o1.customer FROM orders o1, orders o2 "
+            "WHERE o1.customer = o2.customer AND o1.item != o2.item",
+            catalog, bigger)
+        assert rows == [("ann",)]
+
+    def test_duplicate_aliases_rejected(self, catalog):
+        with pytest.raises(BagTypeError):
+            compile_sql("SELECT customer FROM orders, orders", catalog)
+
+    def test_chained_setops(self, catalog, database):
+        rows = run_sql(
+            "SELECT customer FROM orders UNION ALL "
+            "SELECT customer FROM vip EXCEPT ALL "
+            "SELECT customer FROM vip",
+            catalog, database)
+        # left-assoc: (orders UNION ALL vip) EXCEPT ALL vip
+        assert rows.count(("ann",)) == 2
+
+    def test_compiled_queries_are_balg1(self, catalog):
+        """Every aggregated-free query of the dialect compiles into
+        BALG^1 — the tractable (LOGSPACE) fragment, which is the
+        paper's punchline about SQL."""
+        from repro.core.fragments import max_bag_nesting
+        from repro.core.types import flat_bag_type
+        schema = {"orders": flat_bag_type(2), "vip": flat_bag_type(1),
+                  "returns": flat_bag_type(2)}
+        for text in [
+            "SELECT customer FROM orders",
+            "SELECT DISTINCT customer FROM orders",
+            "SELECT orders.item FROM orders, vip "
+            "WHERE orders.customer = vip.customer",
+            "SELECT customer FROM orders EXCEPT ALL "
+            "SELECT customer FROM vip",
+            "SELECT COUNT(*) FROM orders",
+        ]:
+            compiled = compile_sql(text, catalog)
+            assert max_bag_nesting(compiled.expr, schema) == 1, text

@@ -1,0 +1,195 @@
+"""Tests for static type inference and fragment checking — the
+machinery behind the BALG^k hierarchy of Sections 4-6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bag import Bag, Tup
+from repro.core.derived import (
+    card_greater_expr, derived_dedup, derived_subtraction, parity_even_expr,
+)
+from repro.core.errors import (
+    BagTypeError, FragmentViolationError, UnboundVariableError,
+)
+from repro.core.expr import (
+    Attribute, BagDestroy, Bagging, Cartesian, Const, Dedup, Lam, Map,
+    Powerbag, Powerset, Select, Tupling, Var, var,
+)
+from repro.core.fragments import (
+    assert_in_balg, fragment_report, in_balg, max_bag_nesting,
+    operators_used, power_nesting, uses_only,
+)
+from repro.core.typecheck import annotate_types, infer_type
+from repro.core.types import (
+    BagType, TupleType, U, flat_bag_type, flat_tuple_type,
+)
+
+
+class TestInference:
+    def test_var_type_from_schema(self):
+        assert infer_type(var("B"), B=flat_bag_type(2)) == flat_bag_type(2)
+
+    def test_unknown_variable(self):
+        with pytest.raises(UnboundVariableError):
+            infer_type(var("B"))
+
+    def test_const_type(self):
+        assert infer_type(Const(Bag.of(Tup("a")))) == flat_bag_type(1)
+        assert infer_type(Const("a")) == U
+
+    def test_union_unifies(self):
+        expr = var("A") + var("B")
+        assert infer_type(expr, A=flat_bag_type(1),
+                          B=flat_bag_type(1)) == flat_bag_type(1)
+
+    def test_union_type_mismatch(self):
+        with pytest.raises(BagTypeError):
+            infer_type(var("A") + var("B"),
+                       A=flat_bag_type(1), B=flat_bag_type(2))
+
+    def test_union_requires_bags(self):
+        with pytest.raises(BagTypeError):
+            infer_type(Const("a") + Const("b"))
+
+    def test_cartesian_type(self):
+        expr = var("A") * var("B")
+        inferred = infer_type(expr, A=flat_bag_type(2), B=flat_bag_type(1))
+        assert inferred == flat_bag_type(3)
+
+    def test_cartesian_requires_tuples(self):
+        with pytest.raises(BagTypeError):
+            infer_type(var("A") * var("B"),
+                       A=BagType(U), B=flat_bag_type(1))
+
+    def test_powerset_type(self):
+        inferred = infer_type(Powerset(var("B")), B=flat_bag_type(1))
+        assert inferred == BagType(flat_bag_type(1))
+
+    def test_bag_destroy_type(self):
+        inferred = infer_type(BagDestroy(var("N")),
+                              N=BagType(flat_bag_type(1)))
+        assert inferred == flat_bag_type(1)
+
+    def test_bag_destroy_requires_nested(self):
+        with pytest.raises(BagTypeError):
+            infer_type(BagDestroy(var("B")), B=flat_bag_type(1))
+
+    def test_attribute_type(self):
+        schema = BagType(TupleType((U, BagType(U))))
+        expr = Map(Lam("t", Attribute(Var("t"), 2)), var("B"))
+        assert infer_type(expr, B=schema) == BagType(BagType(U))
+
+    def test_attribute_out_of_range(self):
+        expr = Map(Lam("t", Attribute(Var("t"), 5)), var("B"))
+        with pytest.raises(BagTypeError):
+            infer_type(expr, B=flat_bag_type(2))
+
+    def test_map_type(self):
+        expr = Map(Lam("t", Bagging(Var("t"))), var("B"))
+        assert infer_type(expr, B=flat_bag_type(1)) == BagType(
+            BagType(flat_tuple_type(1)))
+
+    def test_select_checks_comparand_types(self):
+        bad = Select(Lam("t", Attribute(Var("t"), 1)),
+                     Lam("t", Var("t")), var("B"))
+        with pytest.raises(BagTypeError):
+            infer_type(bad, B=flat_bag_type(1))
+
+    def test_tupling_type(self):
+        expr = Tupling(Const("a"), var("B"))
+        assert infer_type(expr, B=flat_bag_type(1)) == TupleType(
+            (U, flat_bag_type(1)))
+
+    def test_annotations_cover_all_nodes(self):
+        expr = Dedup(var("B") + var("B"))
+        log = annotate_types(expr, B=flat_bag_type(1))
+        assert len(log) == 4  # two Vars, the union, the dedup
+
+
+class TestFragments:
+    def test_balg1_query(self):
+        query = card_greater_expr(var("R"), var("S"))
+        assert in_balg(query, 1, R=flat_bag_type(1), S=flat_bag_type(1))
+
+    def test_powerset_leaves_balg1(self):
+        query = Powerset(var("B"))
+        assert not in_balg(query, 1, B=flat_bag_type(1))
+        assert in_balg(query, 2, B=flat_bag_type(1))
+
+    def test_derived_subtraction_needs_nesting_two(self):
+        """Section 3: subtraction is defined in BALG_{-minus} only *by
+        increasing the bag nesting* — the derived form is BALG^2, not
+        BALG^1."""
+        query = derived_subtraction(var("A"), var("B"))
+        nesting = max_bag_nesting(query, A=flat_bag_type(1),
+                                  B=flat_bag_type(1))
+        assert nesting == 2
+
+    def test_derived_dedup_needs_nesting_two(self):
+        query = derived_dedup(var("B"), flat_tuple_type(2))
+        assert max_bag_nesting(query, B=flat_bag_type(2)) == 2
+
+    def test_parity_query_is_balg1(self):
+        assert in_balg(parity_even_expr(var("R")), 1, R=flat_bag_type(1))
+
+    def test_input_nesting_counts(self):
+        # Even the identity query on a nested input is not BALG^1.
+        assert not in_balg(var("N"), 1, N=BagType(BagType(U)))
+
+    def test_power_nesting_sequential(self):
+        # Two powersets on one path nest; on sibling paths they do not.
+        nested = Powerset(Powerset(var("B")))
+        assert power_nesting(nested) == 2
+        siblings = Powerset(var("B")) + Powerset(var("B"))
+        assert power_nesting(siblings) == 1
+
+    def test_power_nesting_counts_powerbag(self):
+        assert power_nesting(Powerbag(Powerset(var("B")))) == 2
+
+    def test_assert_in_balg_passes(self):
+        assert_in_balg(var("B"), 1, B=flat_bag_type(1))
+
+    def test_assert_in_balg_nesting_violation(self):
+        with pytest.raises(FragmentViolationError):
+            assert_in_balg(Powerset(var("B")), 1, B=flat_bag_type(1))
+
+    def test_assert_in_balg_forbidden_operator(self):
+        with pytest.raises(FragmentViolationError):
+            assert_in_balg(Dedup(var("B")), 1, forbid=(Dedup,),
+                           B=flat_bag_type(1))
+
+    def test_assert_in_balg_power_nesting(self):
+        deep = Powerset(Powerset(var("B")))
+        with pytest.raises(FragmentViolationError):
+            assert_in_balg(deep, 3, max_power_nesting=1,
+                           B=flat_bag_type(1))
+
+    def test_operators_used(self):
+        query = Dedup(var("B") + var("B"))
+        names = {cls.__name__ for cls in operators_used(query)}
+        assert names == {"Dedup", "AdditiveUnion", "Var"}
+
+    def test_uses_only(self):
+        from repro.core.expr import AdditiveUnion, Var as VarCls
+        query = var("A") + var("B")
+        assert uses_only(query, [AdditiveUnion, VarCls])
+        assert not uses_only(Dedup(query), [AdditiveUnion, VarCls])
+
+
+class TestFragmentReport:
+    def test_report_for_balg1_query(self):
+        report = fragment_report(card_greater_expr(var("R"), var("S")),
+                                 R=flat_bag_type(1), S=flat_bag_type(1))
+        assert report.in_balg1
+        assert report.power_nesting == 0
+        assert report.result_type == flat_bag_type(1)
+        assert report.fragment_name() == "BALG^1_0"
+
+    def test_report_for_derived_dedup(self):
+        report = fragment_report(derived_dedup(var("B"), flat_tuple_type(1)),
+                                 B=flat_bag_type(1))
+        assert not report.in_balg1
+        assert report.in_balg2
+        assert report.power_nesting == 1
+        assert "Powerset" in report.operators

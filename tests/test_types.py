@@ -1,0 +1,169 @@
+"""Tests for the type system (repro.core.types)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError
+from repro.core.types import (
+    AtomType, BagType, TupleType, U, UNKNOWN, flat_bag_type,
+    flat_tuple_type, is_unnested_type, parse_type, type_of, unify,
+)
+from tests.conftest import flat_bags, nested_bags
+
+
+class TestTypeConstruction:
+    def test_atom_type_singleton_equality(self):
+        assert AtomType() == U
+        assert hash(AtomType()) == hash(U)
+
+    def test_tuple_type(self):
+        pair = TupleType((U, U))
+        assert pair.arity == 2
+        assert pair.attribute(1) == U
+
+    def test_tuple_attribute_out_of_range(self):
+        with pytest.raises(BagTypeError):
+            TupleType((U,)).attribute(2)
+
+    def test_tuple_type_rejects_non_types(self):
+        with pytest.raises(BagTypeError):
+            TupleType(("U",))  # type: ignore[arg-type]
+
+    def test_bag_type_rejects_non_types(self):
+        with pytest.raises(BagTypeError):
+            BagType("U")  # type: ignore[arg-type]
+
+    def test_types_are_immutable(self):
+        with pytest.raises(AttributeError):
+            BagType(U).element = U  # type: ignore[misc]
+
+
+class TestBagNesting:
+    """The central measure of the paper (Section 2)."""
+
+    def test_atom_nesting_zero(self):
+        assert U.bag_nesting() == 0
+
+    def test_flat_bag_nesting_one(self):
+        assert flat_bag_type(2).bag_nesting() == 1
+
+    def test_nested_bag_nesting_two(self):
+        assert BagType(BagType(U)).bag_nesting() == 2
+
+    def test_nesting_is_max_over_paths(self):
+        # [{{U}}, U] has one path with a bag and one without.
+        mixed = TupleType((BagType(U), U))
+        assert mixed.bag_nesting() == 1
+        assert BagType(mixed).bag_nesting() == 2
+
+    def test_theorem61_encoding_type(self):
+        # The [[ {{U}}, {{U}}, U, U ]] tuples of Theorem 6.1 live at
+        # bag nesting 2 inside a nesting-3 outer bag... wait: the outer
+        # bag of 4-tuples whose first two attributes are bags has
+        # nesting 1 (outer) + 1 (attribute) = 2.
+        config = BagType(TupleType((BagType(U), BagType(U), U, U)))
+        assert config.bag_nesting() == 2
+
+    def test_is_unnested_type(self):
+        assert is_unnested_type(flat_bag_type(3))
+        assert is_unnested_type(U)
+        assert not is_unnested_type(BagType(BagType(U)))
+
+
+class TestTypeOf:
+    def test_atom(self):
+        assert type_of("a") == U
+        assert type_of(7) == U
+
+    def test_flat_tuple(self):
+        assert type_of(Tup("a", "b")) == flat_tuple_type(2)
+
+    def test_flat_bag(self, sample_bag):
+        assert type_of(sample_bag) == flat_bag_type(2)
+
+    def test_empty_bag_is_polymorphic(self):
+        assert type_of(Bag()) == BagType(UNKNOWN)
+
+    def test_nested_bag(self):
+        nested = Bag([Bag(["a"]), Bag()])
+        assert type_of(nested) == BagType(BagType(U))
+
+    def test_accepts(self, sample_bag):
+        assert flat_bag_type(2).accepts(sample_bag)
+        assert not flat_bag_type(1).accepts(sample_bag)
+        assert not flat_bag_type(2).accepts("a")
+
+
+class TestUnify:
+    def test_unknown_absorbs(self):
+        assert unify(UNKNOWN, U) == U
+        assert unify(BagType(UNKNOWN), BagType(U)) == BagType(U)
+
+    def test_same_types(self):
+        assert unify(flat_bag_type(2), flat_bag_type(2)) == flat_bag_type(2)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(BagTypeError):
+            unify(flat_tuple_type(1), flat_tuple_type(2))
+
+    def test_constructor_mismatch(self):
+        with pytest.raises(BagTypeError):
+            unify(BagType(U), flat_tuple_type(1))
+
+    def test_deep_unification(self):
+        left = BagType(TupleType((BagType(UNKNOWN), U)))
+        right = BagType(TupleType((BagType(U), U)))
+        assert unify(left, right) == right
+
+
+class TestParseType:
+    def test_atomic(self):
+        assert parse_type("U") == U
+
+    def test_flat_bag(self):
+        assert parse_type("{{[U, U]}}") == flat_bag_type(2)
+
+    def test_nested(self):
+        assert parse_type("{{{{U}}}}") == BagType(BagType(U))
+
+    def test_tuple_with_mixed_attributes(self):
+        parsed = parse_type("{{[U, {{U}}]}}")
+        assert parsed == BagType(TupleType((U, BagType(U))))
+
+    def test_empty_tuple(self):
+        assert parse_type("[]") == TupleType(())
+
+    def test_whitespace_tolerated(self):
+        assert parse_type(" {{ [ U , U ] }} ") == flat_bag_type(2)
+
+    def test_reject_garbage(self):
+        with pytest.raises(BagTypeError):
+            parse_type("{{U")
+        with pytest.raises(BagTypeError):
+            parse_type("V")
+        with pytest.raises(BagTypeError):
+            parse_type("U U")
+
+    def test_roundtrip_through_repr(self):
+        for text in ["U", "{{U}}", "{{[U, U]}}", "{{{{[U]}}}}",
+                     "{{[U, {{U}}, U]}}"]:
+            parsed = parse_type(text)
+            assert parse_type(repr(parsed)) == parsed
+
+
+class TestTypeProperties:
+    @given(flat_bags())
+    def test_inferred_type_accepts_value(self, bag):
+        assert type_of(bag).accepts(bag)
+
+    @given(nested_bags())
+    def test_nested_type_nesting_at_most_two(self, bag):
+        assert type_of(bag).bag_nesting() <= 2
+
+    @given(flat_bags())
+    def test_unify_idempotent(self, bag):
+        inferred = type_of(bag)
+        assert unify(inferred, inferred) == inferred
