@@ -5,28 +5,41 @@ Paper claim: for a bag of k constants with m occurrences each,
 ``delta(delta(P(P(B))))`` holds ``2^((m+1)^k - 2) (m+1)^k m``.
 
 The benchmark sweeps (k, m), measures the interpreter, and checks the
-formulas exactly; the timed kernel is one delta-P round.
+formulas exactly; the timed kernel is one delta-P round.  Every sweep
+cell runs through :func:`~benchmarks.conftest.governed_cell` with a
+powerset budget, so a hostile parameter point would be recorded as a
+``budget-exceeded`` data point in ``results/*.status.json`` instead of
+aborting the battery.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit_table
+from benchmarks.conftest import emit_table, governed_cell
 from repro.complexity import (
     delta2_p2_occurrences, delta_p_occurrences, measure_delta2_p2,
     measure_delta_p, uniform_bag,
 )
 from repro.core.ops import bag_destroy, powerset
 
+#: Enough for every (k, m) point below; a sweep extension that blows
+#: past it degrades to a recorded budget-exceeded cell.
+CELL_BUDGET = 1 << 22
+
 
 def test_e01_delta_p_table(benchmark):
     rows = []
     for k, m in [(1, 1), (1, 2), (1, 4), (2, 1), (2, 2), (2, 3),
                  (3, 1), (3, 2)]:
-        measured = measure_delta_p(uniform_bag(k, m), 1)[0]
-        predicted = delta_p_occurrences(m, k)
-        assert measured.max_multiplicity == predicted
-        rows.append((k, m, measured.max_multiplicity, predicted,
-                     "exact"))
+        def compute(governor, k=k, m=m):
+            measured = measure_delta_p(uniform_bag(k, m), 1,
+                                       budget=CELL_BUDGET)[0]
+            predicted = delta_p_occurrences(m, k)
+            assert measured.max_multiplicity == predicted
+            return (k, m, measured.max_multiplicity, predicted,
+                    "exact")
+        outcome = governed_cell("e01_delta_p", f"k={k},m={m}", compute)
+        assert outcome.ok, outcome.error
+        rows.append(outcome.value)
     emit_table(
         "e01_delta_p", "E01a  delta(P(B)) duplicate counts "
         "(paper: m(m+1)^k/2)",
@@ -39,11 +52,17 @@ def test_e01_delta_p_table(benchmark):
 def test_e01_delta2_p2_table(benchmark):
     rows = []
     for k, m in [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)]:
-        measured = measure_delta2_p2(uniform_bag(k, m), 1)[0]
-        predicted = delta2_p2_occurrences(m, k)
-        assert measured.max_multiplicity == predicted
-        rows.append((k, m, f"{measured.max_multiplicity:,}",
-                     f"{predicted:,}", "exact"))
+        def compute(governor, k=k, m=m):
+            measured = measure_delta2_p2(uniform_bag(k, m), 1,
+                                         budget=CELL_BUDGET)[0]
+            predicted = delta2_p2_occurrences(m, k)
+            assert measured.max_multiplicity == predicted
+            return (k, m, f"{measured.max_multiplicity:,}",
+                    f"{predicted:,}", "exact")
+        outcome = governed_cell("e01_delta2_p2", f"k={k},m={m}",
+                                compute)
+        assert outcome.ok, outcome.error
+        rows.append(outcome.value)
     emit_table(
         "e01_delta2_p2", "E01b  delta^2(P^2(B)) duplicate counts "
         "(paper: 2^((m+1)^k-2) (m+1)^k m)",

@@ -1,0 +1,86 @@
+"""E19 — governed-evaluation smoke battery (robustness, not a paper
+claim).
+
+Exercises the resource-governor spine end to end under benchmark
+conditions: a healthy governed cell, a genuine powerset blow-up, a
+demonstrably diverging IFP, and a transient injected fault that the
+retry runner recovers from.  Every cell is recorded in
+``results/e19_governed.status.json`` (ok / budget-exceeded / retried),
+demonstrating that one hostile cell cannot abort the battery — the CI
+workflow runs this file on every push.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table, governed_cell
+from repro.core.bag import Bag, Tup
+from repro.core.eval import Evaluator
+from repro.core.expr import Const, Powerset, Var
+from repro.guard import FaultPlan, Limits, ResourceGovernor, RetryPolicy
+from repro.machines.ifp import Ifp
+from repro.workloads import uniform_family
+
+EXPERIMENT = "e19_governed"
+
+
+def test_e19_governed_battery(benchmark):
+    rows = []
+
+    # 1. a healthy cell: powerset within every budget
+    def healthy(governor):
+        evaluator = Evaluator(governor=governor)
+        result = evaluator.run(Powerset(Var("B")), B=uniform_family(3, 2))
+        return result.cardinality
+    outcome = governed_cell(
+        EXPERIMENT, "powerset-within-budget", healthy,
+        limits=Limits(max_steps=10_000, powerset_budget=1 << 16))
+    assert outcome.status == "ok" and outcome.value == 27
+    rows.append(("powerset-within-budget", outcome.status,
+                 outcome.attempts))
+
+    # 2. a genuine Prop 3.2 blow-up: |P(B)| = 3^20, budget 2^16
+    def blow_up(governor):
+        evaluator = Evaluator(governor=governor)
+        return evaluator.run(Powerset(Var("B")), B=uniform_family(20, 2))
+    outcome = governed_cell(
+        EXPERIMENT, "powerset-blow-up", blow_up,
+        limits=Limits(powerset_budget=1 << 16))
+    assert outcome.status == "budget-exceeded"
+    assert outcome.stats is not None  # partial measurements survive
+    rows.append(("powerset-blow-up", outcome.status, outcome.attempts))
+
+    # 3. a demonstrably diverging fixpoint (multiplicities grow forever)
+    def diverging(governor):
+        body = Var("X") + Var("X")
+        fixpoint = Ifp("X", body, Const(Bag.of(Tup("a"))))
+        return Evaluator(governor=governor).run(fixpoint)
+    outcome = governed_cell(
+        EXPERIMENT, "ifp-divergence", diverging,
+        limits=Limits(max_iterations=25))
+    assert outcome.status == "budget-exceeded"
+    assert outcome.error.iterations == 25
+    rows.append(("ifp-divergence", outcome.status, outcome.attempts))
+
+    # 4. a transient injected deadline fault: fails twice, then clears
+    fault = FaultPlan(at_step=2, kind="deadline", max_firings=2)
+
+    def flaky(governor):
+        evaluator = Evaluator(governor=governor)
+        return evaluator.run(Var("B") + Var("B"), B=uniform_family(2, 2))
+    outcome = governed_cell(
+        EXPERIMENT, "transient-fault-retried", flaky,
+        limits=Limits(max_steps=1000), faults=fault,
+        policy=RetryPolicy(attempts=3, backoff=0.0),
+        sleep=lambda _seconds: None)
+    assert outcome.status == "retried" and outcome.attempts == 3
+    rows.append(("transient-fault-retried", outcome.status,
+                 outcome.attempts))
+
+    emit_table(
+        EXPERIMENT, "E19  governed evaluation smoke battery",
+        ["cell", "status", "attempts"], rows)
+
+    governed = ResourceGovernor(Limits(max_steps=10_000))
+    bag = uniform_family(3, 2)
+    benchmark(lambda: Evaluator(
+        governor=governed.start()).run(Powerset(Var("B")), B=bag))

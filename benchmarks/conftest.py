@@ -5,16 +5,34 @@ Every benchmark regenerates one table/figure-equivalent of the paper
 timing, each experiment *prints* its rows and persists them under
 ``benchmarks/results/`` so the paper-vs-measured comparison of
 EXPERIMENTS.md can be re-derived at any time.
+
+Long experiment cells run *governed*: :func:`governed_cell` wraps one
+cell in a fresh :class:`~repro.guard.ResourceGovernor` per attempt and
+the :mod:`repro.guard.retry` runner, so a cell that exhausts its
+budget degrades into a recorded ``budget-exceeded`` data point instead
+of aborting the whole battery.  Per-experiment statuses are persisted
+as ``benchmarks/results/<experiment>.status.json`` — deterministic,
+sorted, timestamp-free — so reruns are diffable.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import pytest
 
+from repro.guard import (
+    Limits, ResourceGovernor, RetryPolicy, RunOutcome, run_with_retry,
+)
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: experiment name -> list of {"cell", "status", "attempts"} records,
+#: accumulated across one pytest run.
+_STATUS: Dict[str, List[Dict[str, object]]] = {}
 
 
 def emit_table(name: str, title: str, headers: Sequence[str],
@@ -38,3 +56,46 @@ def emit_table(name: str, title: str, headers: Sequence[str],
         handle.write(text + "\n")
     print("\n" + text)
     return text
+
+
+def record_cell_status(experiment: str, cell: str,
+                       outcome: RunOutcome) -> None:
+    """Record one cell's outcome and rewrite the experiment's status
+    file (sorted by cell label, no timestamps → diffable reruns)."""
+    cells = _STATUS.setdefault(experiment, [])
+    cells[:] = [entry for entry in cells if entry["cell"] != cell]
+    cells.append({"cell": cell, "status": outcome.status,
+                  "attempts": outcome.attempts})
+    cells.sort(key=lambda entry: str(entry["cell"]))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.status.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"experiment": experiment, "cells": cells}, handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def governed_cell(experiment: str, cell: str,
+                  fn: Callable[[Optional[ResourceGovernor]], object],
+                  limits: Optional[Limits] = None,
+                  policy: Optional[RetryPolicy] = None,
+                  faults=None,
+                  sleep: Callable[[float], None] = time.sleep
+                  ) -> RunOutcome:
+    """Run one experiment cell under a fresh governor per attempt.
+
+    ``fn(governor)`` does the cell's work; the returned
+    :class:`~repro.guard.RunOutcome` is also recorded in the
+    experiment's status file.  Governed failures never propagate —
+    the battery keeps running and the status records what happened.
+    """
+
+    def attempt(number: int) -> object:
+        governor = None
+        if limits is not None or faults is not None:
+            governor = ResourceGovernor(limits, faults=faults)
+        return fn(governor)
+
+    outcome = run_with_retry(attempt, policy, sleep=sleep)
+    record_cell_status(experiment, cell, outcome)
+    return outcome

@@ -18,6 +18,15 @@ Quickstart::
     assert is_nonempty(evaluate(query, R=R, S=S))   # |R| > |S|
 """
 
+from repro.core.errors import (
+    BudgetExceeded, Cancelled, DeadlineExceeded, GovernedError,
+    IfpDivergenceError, RecursionDepthExceeded, ReproError,
+    ResourceLimitError,
+)
+from repro.guard import (
+    CancellationToken, FaultPlan, Limits, ResourceGovernor,
+    RetryPolicy, RunOutcome, run_with_retry,
+)
 from repro.core import (
     Bag, Tup, EMPTY_BAG,
     AtomType, BagType, TupleType, Type, U, UNKNOWN,
@@ -47,5 +56,10 @@ __all__ = [
     "FragmentReport", "assert_in_balg", "fragment_report", "in_balg",
     "max_bag_nesting", "power_nesting",
     "Instance", "Schema", "encoding_size",
+    "ReproError", "ResourceLimitError", "GovernedError",
+    "BudgetExceeded", "DeadlineExceeded", "Cancelled",
+    "RecursionDepthExceeded", "IfpDivergenceError",
+    "ResourceGovernor", "Limits", "CancellationToken", "FaultPlan",
+    "RetryPolicy", "RunOutcome", "run_with_retry",
     "__version__",
 ]

@@ -27,13 +27,19 @@ Commands:
 ``:save name path``   write a binding's standard encoding to a file
 ``:load name path``   read a standard encoding from a file
 ``:env``              list bindings
+``:limits``           show the active resource limits
 ``:quit`` / EOF       leave
+
+Resource limits (``python -m repro --max-steps 100000 --max-size
+1000000 --timeout 5 ...``) apply per evaluated expression: a powerset
+blow-up or a diverging fixpoint prints a structured ``error:`` line
+and the shell stays alive.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, Optional, TextIO
+from typing import Dict, List, Optional, TextIO, Tuple
 
 from repro.core.bag import Bag
 from repro.core.errors import ReproError
@@ -41,20 +47,38 @@ from repro.core.eval import Evaluator
 from repro.core.fragments import fragment_report
 from repro.core.typecheck import TypeChecker
 from repro.core.types import type_of
+from repro.guard import Limits, ResourceGovernor
 from repro.optimizer import Optimizer
 from repro.surface import parse, to_text
 
-__all__ = ["Session", "main"]
+__all__ = ["Session", "main", "parse_limit_flags"]
 
 _PROMPT = "bag> "
 
+#: CLI flag -> (Limits field, converter).
+_LIMIT_FLAGS = {
+    "--max-steps": ("max_steps", int),
+    "--max-size": ("max_size", int),
+    "--powerset-budget": ("powerset_budget", int),
+    "--timeout": ("timeout", float),
+    "--max-depth": ("max_depth", int),
+    "--max-iterations": ("max_iterations", int),
+}
+
 
 class Session:
-    """One REPL session: named bindings plus the command dispatcher."""
+    """One REPL session: named bindings plus the command dispatcher.
 
-    def __init__(self, out: Optional[TextIO] = None):
+    ``limits`` (a :class:`~repro.guard.Limits`) governs every
+    evaluation; a fresh governor is armed per expression so deadlines
+    are per-query, matching how a query engine would meter requests.
+    """
+
+    def __init__(self, out: Optional[TextIO] = None,
+                 limits: Optional[Limits] = None):
         self.bindings: Dict[str, object] = {}
         self.out = out if out is not None else sys.stdout
+        self.limits = limits
 
     # -- helpers ----------------------------------------------------------
 
@@ -67,7 +91,12 @@ class Session:
 
     def evaluate_text(self, text: str):
         expr = parse(text)
-        return Evaluator().run(expr, self.bindings)
+        return self._evaluator().run(expr, self.bindings)
+
+    def _evaluator(self) -> Evaluator:
+        if self.limits is None or not self.limits.any_set():
+            return Evaluator()
+        return Evaluator(governor=ResourceGovernor(self.limits))
 
     # -- command handling ---------------------------------------------------
 
@@ -86,6 +115,17 @@ class Session:
     def _dispatch(self, line: str) -> bool:
         if line in (":quit", ":q", ":exit"):
             return False
+        if line == ":limits":
+            if self.limits is None or not self.limits.any_set():
+                self._print("(no limits; pass --max-steps / --max-size"
+                            " / --timeout / --max-depth /"
+                            " --max-iterations / --powerset-budget)")
+            else:
+                for name, converter in _LIMIT_FLAGS.values():
+                    value = getattr(self.limits, name)
+                    if value is not None:
+                        self._print(f"{name} = {value}")
+            return True
         if line == ":env":
             if not self.bindings:
                 self._print("(no bindings)")
@@ -151,7 +191,7 @@ class Session:
         if line.startswith(":"):
             self._print(f"unknown command {line.split()[0]!r} "
                         "(:type :fragment :optimize :explain :encode "
-                        ":save :load :env :quit)")
+                        ":save :load :env :limits :quit)")
             return True
         if "=" in line and _looks_like_binding(line):
             name, _, body = line.partition("=")
@@ -170,13 +210,63 @@ def _looks_like_binding(line: str) -> bool:
     return head.isidentifier()
 
 
+def parse_limit_flags(argv: List[str]) -> Tuple[Optional[Limits],
+                                                List[str]]:
+    """Split ``--max-steps N``-style limit flags from file arguments.
+
+    Supports both ``--flag value`` and ``--flag=value``; raises
+    :class:`~repro.core.errors.ReproError` (via SystemExit-free
+    ``ValueError`` wrapping) on malformed flags so callers can report
+    cleanly.
+    """
+    spec: Dict[str, object] = {}
+    paths: List[str] = []
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        name, equals, inline = argument.partition("=")
+        if name in _LIMIT_FLAGS:
+            field, converter = _LIMIT_FLAGS[name]
+            if equals:
+                raw = inline
+            else:
+                index += 1
+                if index >= len(argv):
+                    raise ValueError(f"{name} needs a value")
+                raw = argv[index]
+            try:
+                spec[field] = converter(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{name} expects {converter.__name__}, got {raw!r}")
+        elif argument.startswith("--"):
+            raise ValueError(
+                f"unknown option {argument!r} (limit flags: "
+                f"{' '.join(sorted(_LIMIT_FLAGS))})")
+        else:
+            paths.append(argument)
+        index += 1
+    return (Limits(**spec) if spec else None), paths
+
+
 def main(argv=None) -> int:
     """Entry point: interactive loop, or evaluate files given as
-    arguments (one expression per line, '#' comments allowed)."""
+    arguments (one expression per line, '#' comments allowed).
+
+    Limit flags (``--max-steps``, ``--max-size``, ``--timeout``,
+    ``--max-depth``, ``--max-iterations``, ``--powerset-budget``)
+    govern every evaluation; governed failures print as ``error:``
+    lines instead of killing the process.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
-    session = Session()
-    if argv:
-        for path in argv:
+    try:
+        limits, paths = parse_limit_flags(argv)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = Session(limits=limits)
+    if paths:
+        for path in paths:
             with open(path, "r", encoding="utf-8") as handle:
                 for raw in handle:
                     stripped = raw.split("#", 1)[0].strip()
@@ -191,6 +281,10 @@ def main(argv=None) -> int:
         except EOFError:
             print()
             return 0
+        except KeyboardInterrupt:
+            # ^C cancels the current line, not the session
+            print()
+            continue
         if not session.handle(line):
             return 0
 

@@ -7,7 +7,17 @@ The hierarchy mirrors the phases of query processing:
 * construction of values               -> :class:`ValueConstructionError`
 * static typing / fragment checking    -> :class:`BagTypeError` and friends
 * evaluation                           -> :class:`EvaluationError`
+* resource governance                  -> :class:`GovernedError` family
 * parsing of the surface syntax / SQL  -> :class:`ParseError`
+
+The governed family (:class:`BudgetExceeded`, :class:`DeadlineExceeded`,
+:class:`Cancelled`, :class:`RecursionDepthExceeded`,
+:class:`IfpDivergenceError`) is raised by the
+:mod:`repro.guard` resource governor.  Each instance carries the
+partial :class:`~repro.core.eval.EvalStats` gathered up to the failure
+(``.stats``) plus structured details (``.details``), so callers can
+degrade gracefully — report what was measured — instead of losing the
+whole process to an OOM or an unbounded loop.
 """
 
 from __future__ import annotations
@@ -66,6 +76,63 @@ class ResourceLimitError(EvaluationError):
     The powerset and powerbag operators can blow up exponentially
     (Propositions 3.2 and Theorem 5.5); evaluators accept explicit
     budgets and abort with this error instead of exhausting memory.
+    """
+
+
+class GovernedError(EvaluationError):
+    """Base class for failures raised by the resource governor.
+
+    ``stats`` holds the partial :class:`~repro.core.eval.EvalStats`
+    gathered before the limit fired (``None`` when the guarded
+    computation is not evaluator-driven, e.g. the pebble-game search).
+    Keyword details (the limit that fired, the observed value, whether
+    the failure was fault-injected, ...) are kept in ``details`` and
+    also exposed as attributes.
+    """
+
+    def __init__(self, message: str, stats=None, **details):
+        super().__init__(message)
+        self.stats = stats
+        self.details = dict(details)
+        for key, value in details.items():
+            setattr(self, key, value)
+
+
+class BudgetExceeded(GovernedError, ResourceLimitError):
+    """A step, size, powerset, or iteration budget was exhausted.
+
+    ``details["budget"]`` names the budget that fired (``"steps"``,
+    ``"size"``, ``"powerset"``, ``"powerbag"``, ``"iterations"``);
+    ``details["limit"]`` is the configured bound and
+    ``details["observed"]`` what the computation asked for.  Also a
+    :class:`ResourceLimitError`, so pre-governor callers keep working.
+    """
+
+
+class DeadlineExceeded(GovernedError):
+    """The wall-clock deadline passed before evaluation finished."""
+
+
+class Cancelled(GovernedError):
+    """A cooperative cancellation token was triggered mid-evaluation."""
+
+
+class RecursionDepthExceeded(GovernedError):
+    """Value or expression nesting exceeded the recursion-depth limit.
+
+    Raised either proactively (the governor's ``max_depth``) or when a
+    Python :class:`RecursionError` from a deeply nested value is
+    converted at the evaluator boundary.
+    """
+
+
+class IfpDivergenceError(BudgetExceeded):
+    """An inflationary fixpoint failed to converge within its budget.
+
+    Carries ``iterations`` (completed before giving up) and the
+    ``last_cardinality`` / ``last_distinct`` of the final iterate, so a
+    diverging Turing-complete program (Theorem 6.6) degrades into a
+    structured, inspectable failure.
     """
 
 

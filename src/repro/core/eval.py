@@ -5,12 +5,20 @@ itself (``Expr._evaluate``), and the :class:`Evaluator` supplies
 
 * the environment discipline (lexically scoped lambda bindings on top
   of the database bindings),
-* an optional **powerset budget** that aborts evaluation before an
-  exponential blow-up (Propositions 3.2 / Theorem 5.5 territory), and
+* an optional :class:`~repro.guard.ResourceGovernor` enforcing step
+  budgets, intermediate-size budgets, wall-clock deadlines, recursion
+  depth limits, and cooperative cancellation on **every node** — the
+  powerset budget of earlier versions is one slice of it
+  (Propositions 3.2 / Theorem 5.5 territory), and
 * **instrumentation**: per-operator execution counts, peak intermediate
   standard-encoding size, and peak multiplicity.  These measurements are
   what turn the complexity theorems of the paper (Thm 4.4 LOGSPACE,
   Thm 5.1 PSPACE, Thm 6.2 hierarchy) into experiments.
+
+Governed failures raise the structured
+:class:`~repro.core.errors.GovernedError` family with the partial
+:class:`EvalStats` attached, so a blow-up degrades into an inspectable
+error instead of taking the process down.
 
 The environment is a linked chain of frames so that binding a lambda
 parameter is O(1) even inside a MAP over a large bag.
@@ -23,8 +31,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.bag import Bag
 from repro.core.database import Instance, encoding_size
-from repro.core.errors import EvaluationError, UnboundVariableError
+from repro.core.errors import (
+    GovernedError, RecursionDepthExceeded, ResourceLimitError,
+    UnboundVariableError,
+)
 from repro.core.expr import Expr
+from repro.guard.governor import CancellationToken, Limits, ResourceGovernor
 
 __all__ = ["EvalStats", "Evaluator", "evaluate"]
 
@@ -85,14 +97,49 @@ class Evaluator:
     powerset_budget:
         Maximal number of subbags a single powerset/powerbag result may
         contain; ``None`` means unlimited.  Exceeding the budget raises
-        :class:`~repro.core.errors.ResourceLimitError` before anything
+        :class:`~repro.core.errors.BudgetExceeded` before anything
         is materialised.
     track_stats:
         Disable to shave the instrumentation overhead off timing runs.
+    governor:
+        A pre-built :class:`~repro.guard.ResourceGovernor` to share
+        with other layers (IFP, SQL, game search); alternatively pass
+        ``limits`` or the individual keyword limits below and a
+        private governor is built.  Without any of these the evaluator
+        runs ungoverned, with zero per-node overhead.
+    limits / max_steps / max_size / timeout / max_depth /
+    max_iterations / cancellation / faults / clock:
+        Shorthand for ``governor=ResourceGovernor(...)``.
     """
 
     def __init__(self, powerset_budget: Optional[int] = None,
-                 track_stats: bool = True):
+                 track_stats: bool = True, *,
+                 governor: Optional[ResourceGovernor] = None,
+                 limits: Optional[Limits] = None,
+                 max_steps: Optional[int] = None,
+                 max_size: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 max_depth: Optional[int] = None,
+                 max_iterations: Optional[int] = None,
+                 cancellation: Optional[CancellationToken] = None,
+                 faults=None, clock=None):
+        if governor is None:
+            wants_governor = (
+                faults is not None or cancellation is not None
+                or (limits is not None and limits.any_set())
+                or any(value is not None for value in (
+                    max_steps, max_size, timeout, max_depth,
+                    max_iterations)))
+            if wants_governor:
+                extra = {"clock": clock} if clock is not None else {}
+                governor = ResourceGovernor(
+                    limits, max_steps=max_steps, max_size=max_size,
+                    powerset_budget=powerset_budget, timeout=timeout,
+                    max_depth=max_depth, max_iterations=max_iterations,
+                    token=cancellation, faults=faults, **extra)
+        self.governor = governor
+        if powerset_budget is None and governor is not None:
+            powerset_budget = governor.powerset_budget
         self.powerset_budget = powerset_budget
         self.track_stats = track_stats
         self.stats = EvalStats()
@@ -119,7 +166,20 @@ class Evaluator:
 
     def eval(self, expr: Expr, env) -> Any:
         """Evaluate a node in an environment (internal entry point)."""
-        result = expr._evaluate(self, env)
+        governor = self.governor
+        if governor is None:
+            result = expr._evaluate(self, env)
+            if self.track_stats:
+                self.stats.record(expr, result)
+            return result
+        governor.tick(self.stats)
+        governor.enter(self.stats)
+        try:
+            result = expr._evaluate(self, env)
+        finally:
+            governor.exit()
+        if governor.max_size is not None and isinstance(result, Bag):
+            governor.check_size(encoding_size(result), self.stats)
         if self.track_stats:
             self.stats.record(expr, result)
         return result
@@ -138,19 +198,35 @@ class Evaluator:
         elif database is not None:
             bindings.update(database)
         bindings.update(named_bags)
-        missing = expr.free_vars() - set(bindings)
-        if missing:
-            raise UnboundVariableError(
-                f"expression mentions unbound bag(s): {sorted(missing)}")
+        if self.governor is not None:
+            self.governor.ensure_started()
         try:
+            missing = expr.free_vars() - set(bindings)
+            if missing:
+                raise UnboundVariableError(
+                    f"expression mentions unbound bag(s): "
+                    f"{sorted(missing)}")
             return self.eval(expr, (bindings, None))
-        except RecursionError as exc:  # pragma: no cover - defensive
-            raise EvaluationError(
-                "expression nesting too deep for the evaluator") from exc
+        except RecursionError as exc:
+            raise RecursionDepthExceeded(
+                "expression or value nesting exceeded the Python "
+                "recursion limit", stats=self.stats) from exc
+        except GovernedError as error:
+            if error.stats is None:
+                error.stats = self.stats
+            raise
+        except ResourceLimitError as error:
+            # pre-governor limits (powerset budget, dom budget) carry
+            # the partial measurements too
+            if getattr(error, "stats", None) is None:
+                error.stats = self.stats
+            raise
 
 
 def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
              powerset_budget: Optional[int] = None,
+             governor: Optional[ResourceGovernor] = None,
+             limits: Optional[Limits] = None,
              **named_bags: Bag) -> Any:
     """One-shot convenience wrapper around :class:`Evaluator`.
 
@@ -159,5 +235,6 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
     >>> evaluate(var("B") + var("B"), B=Bag.of("a"))
     {{'a'*2}}
     """
-    return Evaluator(powerset_budget=powerset_budget).run(
+    return Evaluator(powerset_budget=powerset_budget,
+                     governor=governor, limits=limits).run(
         expr, database, **named_bags)

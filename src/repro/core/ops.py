@@ -39,7 +39,7 @@ from math import comb, prod
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.core.bag import Bag, Tup
-from repro.core.errors import BagTypeError, ResourceLimitError
+from repro.core.errors import BagTypeError, BudgetExceeded
 from repro.core.types import type_of, unify
 
 __all__ = [
@@ -184,15 +184,17 @@ def powerset(bag: Bag, budget: Optional[int] = None) -> Bag:
     """``P(B)``: the bag of all subbags of B, each with multiplicity 1.
 
     ``budget`` caps the number of subbags materialised;
-    :class:`ResourceLimitError` is raised when the true cardinality
+    :class:`~repro.core.errors.BudgetExceeded` (a
+    :class:`ResourceLimitError`) is raised when the true cardinality
     exceeds it (checked *before* materialisation).
     """
     _require_bag(bag, "powerset")
     cardinality = powerset_cardinality(bag)
     if budget is not None and cardinality > budget:
-        raise ResourceLimitError(
+        raise BudgetExceeded(
             f"powerset would contain {cardinality} subbags, "
-            f"budget is {budget}")
+            f"budget is {budget}", budget="powerset", limit=budget,
+            observed=cardinality)
     return Bag.from_counts({subbag: 1 for subbag in subbags(bag)})
 
 
@@ -225,9 +227,10 @@ def powerbag(bag: Bag, budget: Optional[int] = None) -> Bag:
     _require_bag(bag, "powerbag")
     total = powerbag_total(bag)
     if budget is not None and total > budget:
-        raise ResourceLimitError(
+        raise BudgetExceeded(
             f"powerbag would contain {total} subbags (with duplicates), "
-            f"budget is {budget}")
+            f"budget is {budget}", budget="powerbag", limit=budget,
+            observed=total)
     counts = {subbag: powerbag_multiplicity(bag, subbag)
               for subbag in subbags(bag)}
     return Bag.from_counts(counts)

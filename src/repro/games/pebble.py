@@ -146,12 +146,16 @@ class GameResult:
 
 def duplicator_wins(left: CoStructure, right: CoStructure,
                     types: Sequence[Type], k: int,
-                    dom_budget: int = 1 << 16) -> GameResult:
+                    dom_budget: int = 1 << 16,
+                    governor=None) -> GameResult:
     """Decide the k-move game w.r.t. the type set ``types`` exactly.
 
     Minimax: the spoiler needs one move with no good duplicator reply;
     the duplicator needs one reply per spoiler move.  Positions are
-    memoised up to reordering of the chosen pairs.
+    memoised up to reordering of the chosen pairs.  The search space
+    is exponential in ``k`` (Theorem 5.3 territory), so an optional
+    :class:`~repro.guard.ResourceGovernor` is ticked once per explored
+    position — step budgets, deadlines, and cancellation all apply.
     """
     left_domains = {t: dom(t, left.atoms, budget=dom_budget)
                     for t in types}
@@ -171,6 +175,8 @@ def duplicator_wins(left: CoStructure, right: CoStructure,
                              for a, b in pairs))))
         if key in memo:
             return memo[key]
+        if governor is not None:
+            governor.tick()
         counter["positions"] += 1
         verdict = True
         for object_type in types:
@@ -216,7 +222,8 @@ def _has_reply(pairs, moves_left, pick, replies, spoiler_side,
 
 def winning_spoiler_line(left: CoStructure, right: CoStructure,
                          types: Sequence[Type], k: int,
-                         dom_budget: int = 1 << 16) -> Optional[list]:
+                         dom_budget: int = 1 << 16,
+                         governor=None) -> Optional[list]:
     """When the spoiler wins the k-move game, exhibit one winning line:
     a list of ``(side, object)`` picks after which *every* duplicator
     reply loses.  Returns ``None`` when the duplicator wins.
@@ -232,6 +239,8 @@ def winning_spoiler_line(left: CoStructure, right: CoStructure,
                      for t in types}
 
     def dup_wins(pairs, moves_left) -> bool:
+        if governor is not None:
+            governor.tick()
         if not partial_isomorphism(left, right, pairs):
             return False
         if moves_left == 0:

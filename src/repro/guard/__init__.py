@@ -1,0 +1,32 @@
+"""repro.guard — resource-governed evaluation.
+
+One :class:`ResourceGovernor` is threaded through every layer that can
+run away (the evaluator, the IFP engine, the game search, the SQL
+pipeline, the workload generators, the CLI); it enforces step/size/
+powerset budgets, wall-clock deadlines, recursion-depth limits, and
+cooperative cancellation, failing with the structured
+:class:`~repro.core.errors.GovernedError` family that carries partial
+:class:`~repro.core.eval.EvalStats`.  See ``docs/resource_limits.md``
+for the guard-per-theorem map.
+"""
+
+from repro.core.errors import (
+    BudgetExceeded, Cancelled, DeadlineExceeded, GovernedError,
+    IfpDivergenceError, RecursionDepthExceeded,
+)
+from repro.guard.faults import (
+    FAULT_KINDS, FaultPlan, FaultSequence, is_injected,
+)
+from repro.guard.governor import CancellationToken, Limits, ResourceGovernor
+from repro.guard.retry import (
+    RetryPolicy, RunOutcome, classify_governed_error, run_with_retry,
+)
+
+__all__ = [
+    "BudgetExceeded", "Cancelled", "DeadlineExceeded", "GovernedError",
+    "IfpDivergenceError", "RecursionDepthExceeded",
+    "FAULT_KINDS", "FaultPlan", "FaultSequence", "is_injected",
+    "CancellationToken", "Limits", "ResourceGovernor",
+    "RetryPolicy", "RunOutcome", "classify_governed_error",
+    "run_with_retry",
+]

@@ -1,0 +1,88 @@
+"""Deterministic fault injection for the resource governor.
+
+Robustness claims ("a blow-up degrades gracefully") are only testable
+if the failure can be produced *on demand, at a chosen point*.  A
+:class:`FaultPlan` attached to a
+:class:`~repro.guard.governor.ResourceGovernor` fires at exactly the
+Nth governed step and raises the same structured exception the real
+limit would — budget exhaustion, deadline expiry, or cancellation — so
+tests and benchmarks can rehearse every failure path without building
+an actual exponential input.
+
+``max_firings`` makes a fault *transient*: after firing that many
+times it goes quiet, which is how the retry runner's happy path
+("failed twice, succeeded on the third attempt") is exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.errors import (
+    BudgetExceeded, Cancelled, DeadlineExceeded, GovernedError,
+)
+
+__all__ = ["FaultPlan", "FaultSequence", "FAULT_KINDS", "is_injected"]
+
+#: The injectable failure kinds and the exception class each raises.
+FAULT_KINDS = {
+    "budget": BudgetExceeded,
+    "deadline": DeadlineExceeded,
+    "cancel": Cancelled,
+}
+
+
+@dataclass
+class FaultPlan:
+    """Fire one injected fault at the ``at_step``-th governed step.
+
+    ``kind`` is one of ``"budget"``, ``"deadline"``, ``"cancel"``.
+    ``max_firings=None`` fires every time the step matches (every
+    retry attempt restarts the governor's step counter); a finite
+    value models a transient failure that eventually clears.
+    """
+
+    at_step: int
+    kind: str = "budget"
+    message: Optional[str] = None
+    max_firings: Optional[int] = None
+    firings: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}")
+        if self.at_step < 1:
+            raise ValueError("at_step must be >= 1")
+
+    def on_tick(self, step: int, stats: Any = None) -> None:
+        """Governor hook: called with the current step count."""
+        if step != self.at_step:
+            return
+        if (self.max_firings is not None
+                and self.firings >= self.max_firings):
+            return
+        self.firings += 1
+        message = self.message or (
+            f"injected {self.kind} fault at governed step {step}")
+        raise FAULT_KINDS[self.kind](
+            message, stats=stats, injected=True, step=step,
+            firing=self.firings)
+
+
+@dataclass
+class FaultSequence:
+    """Several plans consulted in order (first match fires)."""
+
+    plans: Sequence[FaultPlan] = ()
+
+    def on_tick(self, step: int, stats: Any = None) -> None:
+        for plan in self.plans:
+            plan.on_tick(step, stats)
+
+
+def is_injected(error: GovernedError) -> bool:
+    """Was this governed failure produced by fault injection?"""
+    return bool(getattr(error, "injected", False))

@@ -1,0 +1,110 @@
+"""Retry-with-backoff for governed computations.
+
+Benchmark batteries run hundreds of experiment cells; one cell hitting
+its budget must become a recorded data point, not an aborted battery.
+:func:`run_with_retry` runs a callable, retries the failure classes
+the policy declares transient (by default only deadline expiry — step
+and size budgets are deterministic, retrying them is wasted work), and
+classifies the outcome into the stable status labels the benchmark
+harness persists: ``ok`` / ``retried`` / ``budget-exceeded`` /
+``deadline-exceeded`` / ``cancelled``.
+
+``sleep`` is injectable so backoff behaviour is testable without
+actually waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.core.errors import (
+    BudgetExceeded, Cancelled, DeadlineExceeded, GovernedError,
+)
+
+__all__ = ["RetryPolicy", "RunOutcome", "run_with_retry",
+           "classify_governed_error"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts, what to retry, and how long to back off.
+
+    ``backoff`` is the delay before the second attempt; each further
+    retry multiplies it by ``multiplier``.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.0
+    multiplier: float = 2.0
+    retry_on: Tuple[Type[GovernedError], ...] = (DeadlineExceeded,)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+
+@dataclass
+class RunOutcome:
+    """The classified result of a governed (possibly retried) run."""
+
+    status: str
+    value: Any = None
+    error: Optional[BaseException] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "retried")
+
+    @property
+    def stats(self):
+        """Partial stats carried by the governed failure, if any."""
+        return getattr(self.error, "stats", None)
+
+
+def classify_governed_error(error: GovernedError) -> str:
+    """Map a governed failure onto a stable status label."""
+    if isinstance(error, BudgetExceeded):
+        return "budget-exceeded"
+    if isinstance(error, DeadlineExceeded):
+        return "deadline-exceeded"
+    if isinstance(error, Cancelled):
+        return "cancelled"
+    return "governed-error"
+
+
+def run_with_retry(fn: Callable[[int], Any],
+                   policy: Optional[RetryPolicy] = None, *,
+                   sleep: Callable[[float], None] = time.sleep
+                   ) -> RunOutcome:
+    """Run ``fn(attempt)`` under the policy; never raises governed errors.
+
+    ``fn`` receives the 1-based attempt number (so it can build a
+    fresh governor per attempt).  Non-governed exceptions propagate —
+    they are bugs, not resource exhaustion.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    delay = policy.backoff
+    last: Optional[GovernedError] = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            value = fn(attempt)
+        except GovernedError as error:
+            last = error
+            transient = isinstance(error, policy.retry_on)
+            if transient and attempt < policy.attempts:
+                if delay > 0:
+                    sleep(delay)
+                    delay *= policy.multiplier
+                continue
+            return RunOutcome(classify_governed_error(error),
+                              error=error, attempts=attempt)
+        return RunOutcome("ok" if attempt == 1 else "retried",
+                          value=value, attempts=attempt)
+    # policy.attempts >= 1 guarantees the loop returned unless every
+    # attempt raised a transient error
+    assert last is not None
+    return RunOutcome(classify_governed_error(last), error=last,
+                      attempts=policy.attempts)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.bag import Bag, EMPTY_BAG, Tup
-from repro.core.errors import BagTypeError, EvaluationError
+from repro.core.errors import BagTypeError, EvaluationError, IfpDivergenceError
 from repro.core.expr import (
     AdditiveUnion, Attribute, Const, Dedup, Expr, Lam, Map, MaxUnion,
     Select, Subtraction, Tupling, Var, _as_expr,
@@ -59,8 +59,13 @@ class Ifp(Expr):
 
     ``param`` names the iteration variable inside ``body``; ``seed``
     provides the initial bag.  Iteration stops when a pass adds
-    nothing; ``max_iterations`` guards against genuinely diverging
-    formulas (the operator is Turing complete, after all).
+    nothing; the iteration is *governed* — the evaluator's
+    :class:`~repro.guard.ResourceGovernor` ``max_iterations`` (when
+    set) and this node's own ``max_iterations`` both bound it, because
+    the operator is Turing complete (Theorem 6.6) and genuinely
+    diverging formulas are one expression away.  Non-convergence
+    raises :class:`~repro.core.errors.IfpDivergenceError` carrying the
+    iterations completed and the size of the last iterate.
     """
 
     __slots__ = ("param", "body", "seed", "max_iterations")
@@ -85,7 +90,14 @@ class Ifp(Expr):
         current = evaluator.eval(self.seed, env)
         if not isinstance(current, Bag):
             raise BagTypeError("IFP seed must evaluate to a bag")
-        for _ in range(self.max_iterations):
+        governor = getattr(evaluator, "governor", None)
+        stats = getattr(evaluator, "stats", None)
+        limit = self.max_iterations
+        if governor is not None and governor.max_iterations is not None:
+            limit = min(limit, governor.max_iterations)
+        for completed in range(limit):
+            if governor is not None:
+                governor.check_cancelled(stats)
             extended = evaluator.bind(env, self.param, current)
             step = evaluator.eval(self.body, extended)
             if not isinstance(step, Bag):
@@ -94,9 +106,12 @@ class Ifp(Expr):
             if grown == current:
                 return current
             current = grown
-        raise EvaluationError(
-            f"IFP did not converge within {self.max_iterations} "
-            "iterations")
+        raise IfpDivergenceError(
+            f"IFP did not converge within {limit} iterations",
+            stats=stats, budget="iterations", limit=limit,
+            observed=limit, iterations=limit,
+            last_cardinality=current.cardinality,
+            last_distinct=current.distinct_count)
 
     def _infer(self, checker, tenv) -> Type:
         seed_type = checker.infer(self.seed, tenv)
@@ -289,11 +304,14 @@ class IfpRun:
 
 def simulate_via_ifp(machine: TuringMachine, word: Sequence[str],
                      max_steps: int = 50,
-                     tape_cells: Optional[int] = None) -> IfpRun:
+                     tape_cells: Optional[int] = None,
+                     governor=None) -> IfpRun:
     """Run a Turing machine entirely inside the algebra (Theorem 6.6).
 
     Builds the initial configuration bag, closes it under the step
-    formula with :class:`Ifp`, and decodes the final layer.
+    formula with :class:`Ifp`, and decodes the final layer.  An
+    optional :class:`~repro.guard.ResourceGovernor` bounds the run —
+    the simulated machine may, after all, not halt.
     """
     from repro.core.eval import Evaluator
 
@@ -302,7 +320,7 @@ def simulate_via_ifp(machine: TuringMachine, word: Sequence[str],
     seed = initial_config_bag(machine, word, cells)
     fixpoint = Ifp("X", MaxUnion(Var("X"), machine_step_expr(machine, "X")),
                    Const(seed), max_iterations=max_steps + 2)
-    configurations = Evaluator().run(fixpoint)
+    configurations = Evaluator(governor=governor).run(fixpoint)
     steps, state, tape = decode_final_configuration(configurations, cells)
     return IfpRun(
         accepted=state == machine.accept_state,

@@ -21,15 +21,18 @@ __all__ = [
 
 
 def run_sql(text: str, catalog: Catalog,
-            database: Mapping[str, Bag]) -> List[Tuple]:
+            database: Mapping[str, Bag],
+            governor=None) -> List[Tuple]:
     """Parse, compile, evaluate, and decode a query.
 
     Returns a list of plain Python tuples *with duplicates* (bag
     semantics, like a real engine's cursor); a ``COUNT(*)`` query
-    returns ``[(count,)]``.
+    returns ``[(count,)]``.  An optional
+    :class:`~repro.guard.ResourceGovernor` governs the whole pipeline
+    — compile and evaluate share one step budget and one deadline.
     """
-    compiled = compile_sql(text, catalog)
-    result = evaluate(compiled.expr, database)
+    compiled = compile_sql(text, catalog, governor=governor)
+    result = evaluate(compiled.expr, database, governor=governor)
     if compiled.columns == ("count",):
         return [(bag_as_int(result),)]
     rows = [tuple(entry.items()) for entry in result.elements()]

@@ -56,23 +56,34 @@ class CompiledQuery:
                 f"expr={self.expr!r})")
 
 
-def compile_sql(text: str, catalog: Catalog) -> CompiledQuery:
+def compile_sql(text: str, catalog: Catalog,
+                governor=None) -> CompiledQuery:
     """Parse and compile in one step."""
-    return compile_query(parse_sql(text), catalog)
+    return compile_query(parse_sql(text), catalog, governor=governor)
 
 
-def compile_query(query: Query, catalog: Catalog) -> CompiledQuery:
-    """Compile a parsed query against a catalog."""
+def compile_query(query: Query, catalog: Catalog, *,
+                  governor=None) -> CompiledQuery:
+    """Compile a parsed query against a catalog.
+
+    An optional :class:`~repro.guard.ResourceGovernor` is ticked once
+    per query node, so compilation of adversarially deep queries obeys
+    the same step budget, deadline, and cancellation discipline as
+    evaluation.
+    """
+    if governor is not None:
+        governor.tick()
     if isinstance(query, SelectQuery):
         return _compile_select(query, catalog)
     if isinstance(query, SetOpQuery):
-        return _compile_setop(query, catalog)
+        return _compile_setop(query, catalog, governor=governor)
     raise BagTypeError(f"unknown query node {query!r}")
 
 
-def _compile_setop(query: SetOpQuery, catalog: Catalog) -> CompiledQuery:
-    left = compile_query(query.left, catalog)
-    right = compile_query(query.right, catalog)
+def _compile_setop(query: SetOpQuery, catalog: Catalog, *,
+                   governor=None) -> CompiledQuery:
+    left = compile_query(query.left, catalog, governor=governor)
+    right = compile_query(query.right, catalog, governor=governor)
     if len(left.columns) != len(right.columns):
         raise BagTypeError(
             f"set operation over different arities: "

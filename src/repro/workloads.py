@@ -15,6 +15,11 @@ documented in one place:
   experiments;
 * :func:`star_graph_database` — the Fig. 1 edge bags keyed for direct
   use with the evaluator.
+
+The generators that can produce large outputs accept an optional
+:class:`~repro.guard.ResourceGovernor` and tick it once per generated
+element, so a sweep driving them with hostile parameters hits its step
+budget or deadline instead of exhausting memory.
 """
 
 from __future__ import annotations
@@ -51,15 +56,22 @@ def uniform_family(k: int, m: int) -> Bag:
 
 def random_relation(n_atoms: int, arity: int = 1,
                     seed: int = 0,
-                    density: float = 0.5) -> Bag:
+                    density: float = 0.5,
+                    governor=None) -> Bag:
     """A uniformly random *relation* (duplicate-free bag of flat
-    tuples) over the domain ``{0..n_atoms-1}``."""
+    tuples) over the domain ``{0..n_atoms-1}``.
+
+    The candidate space is ``n_atoms ** arity`` — governable, since a
+    careless sweep can make it astronomical.
+    """
     rng = random.Random(seed)
     members = []
     domain = range(n_atoms)
 
     def tuples(prefix: Tuple[int, ...]):
         if len(prefix) == arity:
+            if governor is not None:
+                governor.tick()
             if rng.random() < density:
                 members.append(Tup(*prefix))
             return
@@ -70,13 +82,18 @@ def random_relation(n_atoms: int, arity: int = 1,
     return Bag(members)
 
 
-def random_multigraph(nodes: int, edges: int, seed: int = 0) -> Bag:
+def random_multigraph(nodes: int, edges: int, seed: int = 0,
+                      governor=None) -> Bag:
     """A random directed multigraph: ``edges`` draws with replacement,
     so parallel edges (duplicates) occur — the bag-sensitive input of
     Example 4.1."""
     rng = random.Random(seed)
-    return Bag([Tup(rng.randrange(nodes), rng.randrange(nodes))
-                for _ in range(edges)])
+    members = []
+    for _ in range(edges):
+        if governor is not None:
+            governor.tick()
+        members.append(Tup(rng.randrange(nodes), rng.randrange(nodes)))
+    return Bag(members)
 
 
 #: The item and customer pools of the order-book family.
@@ -86,13 +103,19 @@ _CUSTOMERS = ("ann", "bob", "cid", "eve")
 
 def order_book(n_orders: int, seed: int = 0,
                customers: Sequence[str] = _CUSTOMERS,
-               items: Sequence[str] = _ITEMS) -> Bag:
+               items: Sequence[str] = _ITEMS,
+               governor=None) -> Bag:
     """A sales table with natural duplicates (the same customer buying
     the same item repeatedly) — the SQL/aggregates workload."""
     rng = random.Random(seed)
-    return Bag([Tup(rng.choice(list(customers)),
-                    rng.choice(list(items)))
-                for _ in range(n_orders)])
+    customers = list(customers)
+    items = list(items)
+    members = []
+    for _ in range(n_orders):
+        if governor is not None:
+            governor.tick()
+        members.append(Tup(rng.choice(customers), rng.choice(items)))
+    return Bag(members)
 
 
 def integer_bags(values: Sequence[int]) -> Bag:

@@ -125,3 +125,68 @@ class TestPersistenceCommands:
         session.handle(":save onlyname")
         session.handle(":load onlyname")
         assert out.getvalue().count("usage:") == 2
+
+
+class TestResourceLimitFlags:
+    def test_parse_limit_flags(self):
+        from repro.cli import parse_limit_flags
+        limits, paths = parse_limit_flags(
+            ["--max-steps", "100", "--timeout=2.5", "script.bag"])
+        assert limits.max_steps == 100
+        assert limits.timeout == 2.5
+        assert limits.max_size is None
+        assert paths == ["script.bag"]
+
+    def test_no_flags_means_no_limits(self):
+        from repro.cli import parse_limit_flags
+        limits, paths = parse_limit_flags(["a.bag", "b.bag"])
+        assert limits is None
+        assert paths == ["a.bag", "b.bag"]
+
+    def test_unknown_option_rejected(self):
+        from repro.cli import parse_limit_flags
+        with pytest.raises(ValueError):
+            parse_limit_flags(["--frobnicate", "1"])
+
+    def test_missing_value_rejected(self):
+        from repro.cli import parse_limit_flags
+        with pytest.raises(ValueError):
+            parse_limit_flags(["--max-steps"])
+
+    def test_bad_value_rejected(self):
+        from repro.cli import parse_limit_flags
+        with pytest.raises(ValueError):
+            parse_limit_flags(["--max-steps", "soon"])
+
+    def test_main_returns_2_on_bad_flag(self, tmp_path):
+        from repro.cli import main
+        assert main(["--frobnicate"]) == 2
+
+    def test_governed_session_reports_blow_up_and_survives(self):
+        from repro.guard import Limits
+        out = io.StringIO()
+        session = Session(out=out, limits=Limits(powerset_budget=8))
+        session.handle("P({{'a','b','c','d'}})")
+        assert "error:" in out.getvalue()
+        session.handle("{{'a'}} (+) {{'a'}}")
+        assert "'a'*2" in out.getvalue()
+
+    def test_limits_command(self):
+        from repro.guard import Limits
+        out = io.StringIO()
+        session = Session(out=out, limits=Limits(max_steps=7))
+        session.handle(":limits")
+        assert "max_steps = 7" in out.getvalue()
+        bare, bare_out = _session()
+        bare.handle(":limits")
+        assert "(no limits" in bare_out.getvalue()
+
+    def test_governed_script_run(self, tmp_path):
+        from repro.cli import main
+        script = tmp_path / "hostile.bag"
+        script.write_text(
+            "B = {{'a','b','c','d','e'}}\n"
+            "P(B)          # blows the powerset budget\n"
+            "eps(B)        # still works afterwards\n",
+            encoding="utf-8")
+        assert main(["--powerset-budget", "8", str(script)]) == 0

@@ -15,10 +15,12 @@ from hypothesis import strategies as st
 
 from repro.complexity.polynomials import analyze, single_constant_input
 from repro.core.bag import Bag, Tup
-from repro.core.eval import evaluate
+from repro.core.errors import ReproError
+from repro.core.eval import Evaluator, evaluate
 from repro.core.expr import Dedup, Subtraction
 from repro.core.typecheck import infer_type
 from repro.core.types import flat_bag_type
+from repro.guard import Limits, ResourceGovernor
 from repro.optimizer import Optimizer, optimize
 from repro.relational import supports_agree
 from repro.surface import parse, to_text
@@ -110,3 +112,37 @@ class TestGenericityFuzzed:
         direct = apply_renaming(evaluate(expr, B=bag), mapping)
         renamed = evaluate(expr, B=apply_renaming(bag, mapping))
         assert direct == renamed
+
+
+class TestGovernedEvaluationFuzzed:
+    """The governor's contract, fuzzed: under arbitrary (tight or
+    generous) limits, governed evaluation either succeeds with the
+    exact ungoverned result or fails *inside* the ``ReproError``
+    hierarchy — never with a bare RecursionError/MemoryError — and the
+    recorded intermediates never exceed the declared size budget."""
+
+    @given(balg1_exprs(include_order=True), input_bags(),
+           st.integers(1, 2_000), st.integers(1, 20_000))
+    @settings(**FUZZ_SETTINGS)
+    def test_failures_stay_structured(self, expr, bag, max_steps,
+                                      max_size):
+        evaluator = Evaluator(governor=ResourceGovernor(
+            Limits(max_steps=max_steps, max_size=max_size,
+                   powerset_budget=1 << 16, max_depth=200)))
+        try:
+            result = evaluator.run(expr, B=bag)
+        except ReproError as error:
+            assert getattr(error, "stats", None) is not None
+        else:
+            assert result == evaluate(expr, B=bag)
+        # size-budget invariant: nothing larger than max_size was ever
+        # recorded, success or failure
+        assert evaluator.stats.peak_encoding_size <= max_size
+
+    @given(balg1_exprs(include_order=True), input_bags())
+    @settings(**FUZZ_SETTINGS)
+    def test_generous_limits_are_transparent(self, expr, bag):
+        governed = Evaluator(governor=ResourceGovernor(
+            Limits(max_steps=1 << 30, max_size=1 << 30,
+                   timeout=3600.0))).run(expr, B=bag)
+        assert governed == evaluate(expr, B=bag)

@@ -1,0 +1,537 @@
+"""Tests for the resource-governor spine (repro.guard).
+
+The acceptance scenario: a demonstrably diverging IFP program, a
+powerset blow-up, and a deep-nesting query must all terminate within
+their configured budgets, raise structured ``ReproError`` subclasses
+carrying partial ``EvalStats``, and leave the process alive.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import (
+    BudgetExceeded, Cancelled, DeadlineExceeded, EvaluationError,
+    GovernedError, IfpDivergenceError, RecursionDepthExceeded,
+    ReproError, ResourceLimitError,
+)
+from repro.core.eval import EvalStats, Evaluator, evaluate
+from repro.core.expr import (
+    Bagging, Cartesian, Const, Powerset, Var,
+)
+from repro.guard import (
+    CancellationToken, FaultPlan, FaultSequence, Limits,
+    ResourceGovernor, RetryPolicy, RunOutcome, is_injected,
+    run_with_retry,
+)
+from repro.machines.ifp import Ifp
+from repro.workloads import uniform_family
+
+
+class FakeClock:
+    """A deterministic clock advancing a fixed amount per reading."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def tuple_family(k: int, m: int) -> Bag:
+    """k distinct unary tuples, m occurrences each (Cartesian-ready)."""
+    return Bag.from_counts({Tup(f"c{i}"): m for i in range(k)})
+
+
+def big_product(depth: int = 4):
+    """B x B x ... — encoding size grows geometrically with depth."""
+    expr = Var("B")
+    for _ in range(depth):
+        expr = Cartesian(expr, Var("B"))
+    return expr
+
+
+class TestExceptionFamily:
+    def test_hierarchy(self):
+        assert issubclass(GovernedError, EvaluationError)
+        assert issubclass(GovernedError, ReproError)
+        assert issubclass(BudgetExceeded, GovernedError)
+        assert issubclass(BudgetExceeded, ResourceLimitError)
+        assert issubclass(DeadlineExceeded, GovernedError)
+        assert issubclass(Cancelled, GovernedError)
+        assert issubclass(RecursionDepthExceeded, GovernedError)
+        assert issubclass(IfpDivergenceError, BudgetExceeded)
+
+    def test_details_become_attributes(self):
+        error = BudgetExceeded("boom", stats=EvalStats(),
+                               budget="steps", limit=7)
+        assert error.budget == "steps"
+        assert error.limit == 7
+        assert error.details == {"budget": "steps", "limit": 7}
+        assert isinstance(error.stats, EvalStats)
+
+
+class TestStepBudget:
+    def test_step_budget_fires_with_partial_stats(self):
+        evaluator = Evaluator(max_steps=5)
+        with pytest.raises(BudgetExceeded) as info:
+            evaluator.run(big_product(6), B=tuple_family(2, 1))
+        error = info.value
+        assert error.budget == "steps"
+        assert error.limit == 5
+        assert error.stats is evaluator.stats
+        assert error.stats.nodes_evaluated <= 5
+
+    def test_generous_budget_does_not_interfere(self):
+        governed = Evaluator(max_steps=10_000).run(
+            big_product(2), B=tuple_family(2, 1))
+        plain = Evaluator().run(big_product(2), B=tuple_family(2, 1))
+        assert governed == plain
+
+
+class TestSizeBudget:
+    def test_cartesian_blow_up_respects_size_budget(self):
+        evaluator = Evaluator(max_size=500)
+        with pytest.raises(BudgetExceeded) as info:
+            evaluator.run(big_product(6), B=tuple_family(3, 2))
+        error = info.value
+        assert error.budget == "size"
+        assert error.observed > 500
+        # every *recorded* intermediate obeyed the budget
+        assert error.stats.peak_encoding_size <= 500
+
+    def test_within_budget_result_is_exact(self):
+        result = Evaluator(max_size=100_000).run(
+            big_product(2), B=tuple_family(2, 2))
+        assert result == Evaluator().run(big_product(2),
+                                         B=tuple_family(2, 2))
+
+
+class TestPowersetBlowUp:
+    def test_powerset_budget_is_structured_and_carries_stats(self):
+        evaluator = Evaluator(powerset_budget=100)
+        with pytest.raises(BudgetExceeded) as info:
+            evaluator.run(Powerset(Var("B")), B=uniform_family(10, 2))
+        error = info.value
+        assert error.budget == "powerset"
+        assert error.observed == 3 ** 10
+        assert error.stats is evaluator.stats
+        # the operand was evaluated before the budget check fired
+        assert error.stats.nodes_evaluated >= 1
+
+    def test_governor_supplies_powerset_budget(self):
+        governor = ResourceGovernor(Limits(powerset_budget=100))
+        with pytest.raises(BudgetExceeded):
+            Evaluator(governor=governor).run(Powerset(Var("B")),
+                                             B=uniform_family(10, 2))
+
+    def test_budget_exceeded_still_a_resource_limit_error(self):
+        with pytest.raises(ResourceLimitError):
+            evaluate(Powerset(Var("B")), B=uniform_family(10, 2),
+                     powerset_budget=100)
+
+
+class TestDeadline:
+    def test_deadline_expires_deterministically(self):
+        evaluator = Evaluator(timeout=5.0, clock=FakeClock(step=1.0))
+        with pytest.raises(DeadlineExceeded) as info:
+            evaluator.run(big_product(6), B=tuple_family(2, 2))
+        assert info.value.timeout == 5.0
+        assert info.value.stats is evaluator.stats
+
+    def test_no_deadline_within_time(self):
+        clock = FakeClock(step=0.001)
+        result = Evaluator(timeout=60.0, clock=clock).run(
+            Var("B") + Var("B"), B=uniform_family(2, 1))
+        assert result.cardinality == 4
+
+    def test_remaining_time(self):
+        clock = FakeClock(step=1.0)
+        governor = ResourceGovernor(timeout=10.0, clock=clock)
+        governor.start()
+        assert governor.remaining_time() < 10.0
+        assert governor.elapsed() > 0.0
+
+
+class TestCancellation:
+    def test_pre_cancelled_token(self):
+        token = CancellationToken()
+        token.cancel("user hit ^C")
+        evaluator = Evaluator(cancellation=token)
+        with pytest.raises(Cancelled) as info:
+            evaluator.run(Var("B"), B=uniform_family(2, 1))
+        assert "user hit ^C" in str(info.value)
+        assert info.value.stats is evaluator.stats
+
+    def test_token_cancel_mid_run_via_faults(self):
+        with pytest.raises(Cancelled):
+            Evaluator(faults=FaultPlan(at_step=3, kind="cancel")).run(
+                big_product(4), B=tuple_family(2, 1))
+
+
+class TestRecursionDepth:
+    def test_proactive_depth_limit(self):
+        expr = Var("B")
+        for _ in range(100):
+            expr = Bagging(expr)
+        evaluator = Evaluator(max_depth=50)
+        with pytest.raises(RecursionDepthExceeded) as info:
+            evaluator.run(expr, B=uniform_family(1, 1))
+        assert info.value.limit == 50
+        assert info.value.stats is evaluator.stats
+
+    def test_deep_expression_recursion_error_converted(self):
+        expr = Var("B")
+        for _ in range(sys.getrecursionlimit() * 2):
+            expr = Bagging(expr)
+        evaluator = Evaluator()
+        with pytest.raises(RecursionDepthExceeded) as info:
+            evaluator.run(expr, B=uniform_family(1, 1))
+        assert info.value.stats is evaluator.stats
+
+    def test_deep_nested_bag_value_converted(self):
+        # regression: a deeply nested *value* (not expression) used to
+        # escape as a bare RecursionError from the instrumentation
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(limit * 40)
+            deep = Bag.of("a")
+            for _ in range(limit * 2):
+                deep = Bag.of(deep)
+        finally:
+            sys.setrecursionlimit(limit)
+        evaluator = Evaluator()
+        with pytest.raises(RecursionDepthExceeded) as info:
+            evaluator.run(Const(deep))
+        assert isinstance(info.value, ReproError)
+        assert info.value.stats is evaluator.stats
+        # the process is alive and the evaluator still works
+        assert evaluator.run(Const(Bag.of("a"))) == Bag.of("a")
+
+
+class TestGovernedIfp:
+    def diverging_ifp(self, max_iterations: int = 10_000) -> Ifp:
+        return Ifp("X", Var("X") + Var("X"),
+                   Const(Bag.of(Tup("a"))),
+                   max_iterations=max_iterations)
+
+    def test_divergence_is_structured(self):
+        evaluator = Evaluator()
+        with pytest.raises(IfpDivergenceError) as info:
+            evaluator.run(self.diverging_ifp(max_iterations=20))
+        error = info.value
+        assert error.iterations == 20
+        assert error.last_cardinality == 2 ** 20
+        assert error.last_distinct == 1
+        assert error.stats is evaluator.stats
+        assert error.stats.nodes_evaluated > 20
+
+    def test_governor_caps_node_iterations(self):
+        governor = ResourceGovernor(Limits(max_iterations=7))
+        with pytest.raises(IfpDivergenceError) as info:
+            Evaluator(governor=governor).run(self.diverging_ifp())
+        assert info.value.iterations == 7
+
+    def test_node_cap_tighter_than_governor(self):
+        governor = ResourceGovernor(Limits(max_iterations=500))
+        with pytest.raises(IfpDivergenceError) as info:
+            Evaluator(governor=governor).run(
+                self.diverging_ifp(max_iterations=3))
+        assert info.value.iterations == 3
+
+    def test_cancellation_stops_iteration(self):
+        token = CancellationToken()
+        governor = ResourceGovernor(token=token)
+        evaluator = Evaluator(governor=governor)
+        # cancel after the seed evaluates: the fault-free way is a
+        # token flipped before the run even starts the loop
+        token.cancel("shutdown")
+        with pytest.raises(Cancelled):
+            evaluator.run(self.diverging_ifp())
+
+    def test_converging_ifp_unaffected(self):
+        from repro.machines.ifp import transitive_closure_expr
+        graph = Bag.of(Tup(1, 2), Tup(2, 3))
+        closure = Evaluator(max_steps=100_000).run(
+            transitive_closure_expr(Const(graph)))
+        assert Tup(1, 3) in closure
+
+
+class TestFaultInjection:
+    def test_budget_fault_at_nth_operator(self):
+        evaluator = Evaluator(faults=FaultPlan(at_step=4, kind="budget"))
+        with pytest.raises(BudgetExceeded) as info:
+            evaluator.run(big_product(4), B=tuple_family(2, 1))
+        assert is_injected(info.value)
+        assert info.value.step == 4
+        assert info.value.stats is evaluator.stats
+
+    def test_deadline_fault(self):
+        with pytest.raises(DeadlineExceeded) as info:
+            Evaluator(faults=FaultPlan(at_step=1, kind="deadline")).run(
+                Var("B"), B=uniform_family(1, 1))
+        assert is_injected(info.value)
+
+    def test_cancel_fault(self):
+        with pytest.raises(Cancelled):
+            Evaluator(faults=FaultPlan(at_step=2, kind="cancel")).run(
+                big_product(2), B=tuple_family(1, 1))
+
+    def test_fault_is_deterministic(self):
+        plan = FaultPlan(at_step=3, kind="budget")
+        for _ in range(2):
+            evaluator = Evaluator(faults=plan)
+            with pytest.raises(BudgetExceeded):
+                evaluator.run(big_product(4), B=tuple_family(2, 1))
+            assert evaluator.governor.steps == 3
+
+    def test_transient_fault_clears(self):
+        plan = FaultPlan(at_step=1, kind="deadline", max_firings=2)
+        governor = ResourceGovernor(faults=plan)
+        for _ in range(2):
+            governor.start()
+            with pytest.raises(DeadlineExceeded):
+                governor.tick()
+        governor.start()
+        governor.tick()  # third run: the fault has gone quiet
+
+    def test_fault_sequence(self):
+        faults = FaultSequence([
+            FaultPlan(at_step=5, kind="budget"),
+            FaultPlan(at_step=2, kind="cancel"),
+        ])
+        with pytest.raises(Cancelled):
+            Evaluator(faults=faults).run(big_product(4),
+                                         B=uniform_family(2, 1))
+
+    def test_bad_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(at_step=1, kind="meteor")
+        with pytest.raises(ValueError):
+            FaultPlan(at_step=0)
+
+
+class TestRetryRunner:
+    def test_ok_first_try(self):
+        outcome = run_with_retry(lambda attempt: 42)
+        assert outcome.status == "ok"
+        assert outcome.ok
+        assert outcome.value == 42
+        assert outcome.attempts == 1
+
+    def test_transient_then_success(self):
+        plan = FaultPlan(at_step=1, kind="deadline", max_firings=2)
+
+        def attempt(number: int):
+            governor = ResourceGovernor(faults=plan)
+            governor.tick()
+            return "done"
+
+        sleeps = []
+        outcome = run_with_retry(
+            attempt, RetryPolicy(attempts=3, backoff=0.5),
+            sleep=sleeps.append)
+        assert outcome.status == "retried"
+        assert outcome.ok
+        assert outcome.value == "done"
+        assert outcome.attempts == 3
+        assert sleeps == [0.5, 1.0]  # exponential backoff
+
+    def test_budget_not_retried(self):
+        calls = []
+
+        def attempt(number: int):
+            calls.append(number)
+            raise BudgetExceeded("no", budget="steps", limit=1)
+
+        outcome = run_with_retry(attempt, RetryPolicy(attempts=5))
+        assert outcome.status == "budget-exceeded"
+        assert not outcome.ok
+        assert calls == [1]
+        assert outcome.error.budget == "steps"
+
+    def test_exhausted_retries(self):
+        def attempt(number: int):
+            raise DeadlineExceeded("slow", timeout=1.0)
+
+        outcome = run_with_retry(attempt, RetryPolicy(attempts=3))
+        assert outcome.status == "deadline-exceeded"
+        assert outcome.attempts == 3
+
+    def test_cancelled_classified(self):
+        def attempt(number: int):
+            raise Cancelled("stop")
+
+        outcome = run_with_retry(attempt)
+        assert outcome.status == "cancelled"
+
+    def test_non_governed_errors_propagate(self):
+        def attempt(number: int):
+            raise KeyError("bug")
+
+        with pytest.raises(KeyError):
+            run_with_retry(attempt)
+
+    def test_outcome_stats_passthrough(self):
+        stats = EvalStats()
+
+        def attempt(number: int):
+            raise BudgetExceeded("no", stats=stats, budget="size",
+                                 limit=1)
+
+        assert run_with_retry(attempt).stats is stats
+
+
+class TestGovernedGameSearch:
+    def test_step_budget_bounds_the_search(self):
+        from repro.games.pebble import duplicator_wins
+        from repro.games.star_graphs import build_star_graphs
+        from repro.core.types import U
+
+        pair = build_star_graphs(4)
+        governor = ResourceGovernor(Limits(max_steps=10))
+        with pytest.raises(BudgetExceeded):
+            duplicator_wins(pair.balanced, pair.unbalanced, [U], 3,
+                            governor=governor)
+
+    def test_generous_budget_same_verdict(self):
+        from repro.games.pebble import duplicator_wins
+        from repro.games.star_graphs import build_star_graphs
+        from repro.core.types import U
+
+        pair = build_star_graphs(4)
+        plain = duplicator_wins(pair.balanced, pair.unbalanced, [U], 1)
+        governed = duplicator_wins(
+            pair.balanced, pair.unbalanced, [U], 1,
+            governor=ResourceGovernor(Limits(max_steps=1 << 20)))
+        assert governed.duplicator_wins == plain.duplicator_wins
+
+
+class TestGovernedSql:
+    CATALOG = None
+
+    def setup_method(self):
+        from repro.sql import Catalog
+        self.catalog = Catalog({"orders": ("customer", "item")})
+        from repro.workloads import order_book
+        self.database = {"orders": order_book(30, seed=1)}
+
+    def test_governed_pipeline_matches_ungoverned(self):
+        from repro.sql import run_sql
+        query = ("SELECT o1.customer FROM orders o1, orders o2 "
+                 "WHERE o1.customer = o2.customer")
+        plain = run_sql(query, self.catalog, self.database)
+        governor = ResourceGovernor(Limits(max_steps=1 << 20))
+        governed = run_sql(query, self.catalog, self.database,
+                           governor=governor)
+        assert governed == plain
+        assert governor.steps > 0
+
+    def test_step_budget_stops_hostile_join(self):
+        from repro.sql import run_sql
+        query = ("SELECT o1.customer FROM orders o1, orders o2, orders o3")
+        governor = ResourceGovernor(Limits(max_steps=5))
+        with pytest.raises(BudgetExceeded):
+            run_sql(query, self.catalog, self.database,
+                    governor=governor)
+
+    def test_size_budget_stops_hostile_join(self):
+        from repro.sql import run_sql
+        query = ("SELECT o1.customer FROM orders o1, orders o2, orders o3")
+        governor = ResourceGovernor(Limits(max_size=1000))
+        with pytest.raises(BudgetExceeded) as info:
+            run_sql(query, self.catalog, self.database,
+                    governor=governor)
+        assert info.value.budget == "size"
+
+
+class TestGovernedWorkloads:
+    def test_random_relation_governed(self):
+        from repro.workloads import random_relation
+        governor = ResourceGovernor(Limits(max_steps=10))
+        with pytest.raises(BudgetExceeded):
+            random_relation(10, arity=3, governor=governor)
+
+    def test_random_multigraph_governed(self):
+        from repro.workloads import random_multigraph
+        governor = ResourceGovernor(Limits(max_steps=5))
+        with pytest.raises(BudgetExceeded):
+            random_multigraph(4, 100, governor=governor)
+
+    def test_order_book_governed_same_output(self):
+        from repro.workloads import order_book
+        plain = order_book(20, seed=3)
+        governed = order_book(
+            20, seed=3,
+            governor=ResourceGovernor(Limits(max_steps=1000)))
+        assert governed == plain
+
+
+class TestGovernorSharing:
+    def test_one_governor_spans_layers(self):
+        """A single step budget covers evaluator + IFP together."""
+        governor = ResourceGovernor(Limits(max_steps=50))
+        evaluator = Evaluator(governor=governor)
+        with pytest.raises(BudgetExceeded):
+            evaluator.run(Ifp("X", Var("X") + Var("X"),
+                              Const(Bag.of(Tup("a")))))
+        assert governor.steps == 51
+
+    def test_start_resets_counters(self):
+        governor = ResourceGovernor(Limits(max_steps=3))
+        for _ in range(3):
+            governor.tick()
+        governor.start()
+        governor.tick()  # fresh budget
+        assert governor.steps == 1
+
+    def test_limits_round_trip(self):
+        limits = Limits(max_steps=1, max_size=2, powerset_budget=3,
+                        timeout=4.0, max_depth=5, max_iterations=6)
+        assert ResourceGovernor(limits).limits() == limits
+        assert limits.any_set()
+        assert not Limits().any_set()
+
+
+class TestAcceptanceScenario:
+    """The ISSUE acceptance criteria, end to end in one process."""
+
+    def test_three_disasters_one_process(self):
+        survivors = []
+
+        # 1. diverging IFP
+        try:
+            evaluate(Ifp("X", Var("X") + Var("X"),
+                         Const(Bag.of(Tup("a"))), max_iterations=30))
+        except IfpDivergenceError as error:
+            survivors.append(("ifp", error.stats))
+
+        # 2. powerset blow-up
+        try:
+            evaluate(Powerset(Var("B")), B=uniform_family(14, 2),
+                     limits=Limits(powerset_budget=1 << 10))
+        except BudgetExceeded as error:
+            survivors.append(("powerset", error.stats))
+
+        # 3. deep-nesting query
+        expr = Var("B")
+        for _ in range(200):
+            expr = Bagging(expr)
+        try:
+            evaluate(expr, B=uniform_family(1, 1),
+                     limits=Limits(max_depth=64))
+        except RecursionDepthExceeded as error:
+            survivors.append(("deep", error.stats))
+
+        assert [name for name, _ in survivors] == [
+            "ifp", "powerset", "deep"]
+        for _, stats in survivors:
+            assert isinstance(stats, EvalStats)
+        # the process is alive and well
+        assert evaluate(Var("B") + Var("B"),
+                        B=Bag.of("a")).cardinality == 2
