@@ -1,0 +1,175 @@
+"""E20 — physical engine speedup over the tree walker (systems, not a
+paper claim).
+
+The headline workload is a difference/dedup-heavy BALG^1 chain — the
+tractable fragment of Thm 4.4 — built so shared subtrees appear twice
+per level:
+
+    X_{i+1} = eps((X_i - Y) (+) (Y - X_i))
+
+The tree walker re-evaluates each ``X_i`` once per syntactic
+occurrence (2^depth leaf visits), while the engine's
+common-subexpression sharing materialises each distinct subplan once,
+so the gap widens with depth.  Two satellite rows measure a
+dedup-after-map chain and a hash-join vs nested-loop-with-filter
+query.  Every cell runs governed; the acceptance assertions are:
+
+* bag-equal results at every size;
+* >= 5x speedup at the largest governed size;
+* a repeated query hits the plan cache and skips lowering
+  (engine stats counters).
+
+Statuses persist to ``results/e20_engine.status.json`` (the CI
+engine-parity job uploads it); the table goes to
+``results/e20_engine.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit_table, governed_cell
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Cartesian, Dedup, Lam, Map, Select,
+    Subtraction, Tupling, Var, var,
+)
+from repro.core.eval import evaluate as tree_evaluate
+from repro.engine import EngineStats, PlanCache, evaluate
+from repro.guard import Limits
+from repro.workloads import random_multigraph, random_relation
+
+EXPERIMENT = "e20_engine"
+
+#: (label, |bag|, chain depth) — the last row is the acceptance size.
+SIZES = [("small", 400, 4), ("medium", 1500, 5), ("large", 4000, 6)]
+
+SPEEDUP_FLOOR = 5.0
+
+LIMITS = Limits(max_steps=5_000_000, timeout=120.0)
+
+
+def sym_diff_chain(depth: int):
+    """eps((X - Y) (+) (Y - X)) iterated: every level mentions the
+    previous level twice."""
+    x, y = var("X"), var("Y")
+    for _ in range(depth):
+        x = Dedup(AdditiveUnion(Subtraction(x, y), Subtraction(y, x)))
+    return x
+
+
+def dedup_map_chain(depth: int):
+    """eps(MAP_swap(...)) iterated — streaming kernels end to end."""
+    x = var("X")
+    swap = Lam("t", Tupling(Attribute(Var("t"), 2),
+                            Attribute(Var("t"), 1)))
+    for _ in range(depth):
+        x = Dedup(Map(swap, AdditiveUnion(x, x)))
+    return x
+
+
+def join_query():
+    """sigma_{a2=a3}(L x R): the engine fuses this into a hash join."""
+    return Select(Lam("t", Attribute(Var("t"), 2)),
+                  Lam("t", Attribute(Var("t"), 3)),
+                  Cartesian(var("L"), var("R")))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def test_e20_engine_speedup(benchmark):
+    rows = []
+
+    # -- headline: symmetric-difference chain, three governed sizes ---
+    final_speedup = None
+    for label, size, depth in SIZES:
+        X = random_multigraph(12, size, seed=1)
+        Y = random_multigraph(12, size, seed=2)
+        expr = sym_diff_chain(depth)
+
+        def tree_cell(governor, expr=expr, X=X, Y=Y):
+            return _timed(lambda: tree_evaluate(
+                expr, governor=governor, X=X, Y=Y))
+
+        def engine_cell(governor, expr=expr, X=X, Y=Y):
+            return _timed(lambda: evaluate(
+                expr, governor=governor, cache=None, X=X, Y=Y))
+
+        tree_outcome = governed_cell(
+            EXPERIMENT, f"tree-{label}", tree_cell, limits=LIMITS)
+        engine_outcome = governed_cell(
+            EXPERIMENT, f"engine-{label}", engine_cell, limits=LIMITS)
+        assert tree_outcome.status == "ok"
+        assert engine_outcome.status == "ok"
+        reference, tree_seconds = tree_outcome.value
+        result, engine_seconds = engine_outcome.value
+        assert result == reference  # bag-equal at every size
+        speedup = tree_seconds / engine_seconds
+        final_speedup = speedup
+        rows.append((f"sym-diff {label} (n={size}, d={depth})",
+                     f"{tree_seconds * 1e3:.1f}",
+                     f"{engine_seconds * 1e3:.1f}",
+                     f"{speedup:.1f}x"))
+
+    # acceptance: >= 5x at the largest governed size
+    assert final_speedup >= SPEEDUP_FLOOR, final_speedup
+
+    # -- satellite: dedup-after-map chain -----------------------------
+    X = random_relation(20, arity=2, seed=3)
+    expr = dedup_map_chain(5)
+    reference, tree_seconds = _timed(
+        lambda: tree_evaluate(expr, X=X))
+    result, engine_seconds = _timed(
+        lambda: evaluate(expr, cache=None, X=X))
+    assert result == reference
+    rows.append((f"dedup-map chain (n={X.cardinality}, d=5)",
+                 f"{tree_seconds * 1e3:.1f}",
+                 f"{engine_seconds * 1e3:.1f}",
+                 f"{tree_seconds / engine_seconds:.1f}x"))
+
+    # -- satellite: hash join vs filtered nested loop -----------------
+    # random_relation's first argument is the *domain* size: 24 atoms
+    # at density 0.5 gives ~290 tuples per side, so the tree walker's
+    # materialised product stays affordable (~85k rows)
+    L = random_relation(24, arity=2, seed=4)
+    R = random_relation(24, arity=2, seed=5)
+    expr = join_query()
+    reference, tree_seconds = _timed(
+        lambda: tree_evaluate(expr, L=L, R=R))
+    result, engine_seconds = _timed(
+        lambda: evaluate(expr, cache=None, L=L, R=R))
+    assert result == reference
+    rows.append((f"hash join ({L.cardinality} x {R.cardinality})",
+                 f"{tree_seconds * 1e3:.1f}",
+                 f"{engine_seconds * 1e3:.1f}",
+                 f"{tree_seconds / engine_seconds:.1f}x"))
+
+    # -- plan cache: the repeated query skips lowering ----------------
+    cache = PlanCache(capacity=8)
+    stats = EngineStats()
+    expr = sym_diff_chain(3)
+    X = random_multigraph(10, 200, seed=6)
+    Y = random_multigraph(10, 200, seed=7)
+    first = evaluate(expr, cache=cache, stats=stats, X=X, Y=Y)
+    repeat = evaluate(expr, cache=cache, stats=stats, X=X, Y=Y)
+    assert repeat == first
+    assert stats.lowerings == 1      # second run skipped lowering
+    assert stats.cache_hits == 1
+    assert stats.cache_misses == 1
+    rows.append(("plan-cache repeat", "-", "-",
+                 f"hit rate {cache.stats.hit_rate:.0%}"))
+
+    emit_table(
+        EXPERIMENT,
+        "E20  physical engine vs tree walker (ms per evaluation)",
+        ["cell", "tree ms", "engine ms", "speedup"], rows)
+
+    # timing fixture: the medium headline cell on the engine
+    label, size, depth = SIZES[1]
+    X = random_multigraph(12, size, seed=1)
+    Y = random_multigraph(12, size, seed=2)
+    expr = sym_diff_chain(depth)
+    benchmark(lambda: evaluate(expr, cache=None, X=X, Y=Y))

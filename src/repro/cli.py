@@ -22,8 +22,11 @@ Commands:
 ``:type expr``        infer the type
 ``:fragment expr``    fragment report (nesting, power nesting)
 ``:optimize expr``    show the rewritten expression
-``:explain expr``     annotated plan tree (types + estimates)
+``:explain expr``     logical plan (types + estimates) and the
+                      physical plan (kernel per node, estimated vs
+                      actual cardinalities)
 ``:encode expr``      print the Section 2 standard encoding
+``:engine [name]``    show or set the evaluator (physical | tree)
 ``:save name path``   write a binding's standard encoding to a file
 ``:load name path``   read a standard encoding from a file
 ``:env``              list bindings
@@ -75,10 +78,15 @@ class Session:
     """
 
     def __init__(self, out: Optional[TextIO] = None,
-                 limits: Optional[Limits] = None):
+                 limits: Optional[Limits] = None,
+                 engine: str = "physical"):
+        if engine not in ("physical", "tree"):
+            raise ValueError(f"unknown engine {engine!r} "
+                             "(choices: physical, tree)")
         self.bindings: Dict[str, object] = {}
         self.out = out if out is not None else sys.stdout
         self.limits = limits
+        self.engine = engine
 
     # -- helpers ----------------------------------------------------------
 
@@ -91,12 +99,22 @@ class Session:
 
     def evaluate_text(self, text: str):
         expr = parse(text)
+        if self.engine == "physical":
+            from repro import engine as physical_engine
+            return physical_engine.evaluate(
+                expr, self.bindings, governor=self._governor())
         return self._evaluator().run(expr, self.bindings)
 
-    def _evaluator(self) -> Evaluator:
+    def _governor(self) -> Optional[ResourceGovernor]:
         if self.limits is None or not self.limits.any_set():
+            return None
+        return ResourceGovernor(self.limits)
+
+    def _evaluator(self) -> Evaluator:
+        governor = self._governor()
+        if governor is None:
             return Evaluator()
-        return Evaluator(governor=ResourceGovernor(self.limits))
+        return Evaluator(governor=governor)
 
     # -- command handling ---------------------------------------------------
 
@@ -126,6 +144,17 @@ class Session:
                     if value is not None:
                         self._print(f"{name} = {value}")
             return True
+        if line == ":engine" or line.startswith(":engine "):
+            choice = line[len(":engine"):].strip()
+            if not choice:
+                self._print(f"engine = {self.engine}")
+            elif choice in ("physical", "tree"):
+                self.engine = choice
+                self._print(f"engine = {self.engine}")
+            else:
+                self._print(f"error: unknown engine {choice!r} "
+                            "(choices: physical, tree)")
+            return True
         if line == ":env":
             if not self.bindings:
                 self._print("(no bindings)")
@@ -150,12 +179,17 @@ class Session:
             self._print(to_text(optimized))
             return True
         if line.startswith(":explain "):
+            from repro.engine import explain_physical
             from repro.optimizer import explain, stats_of
             expr = parse(line[len(":explain "):])
             statistics = {name: stats_of(value)
                           for name, value in self.bindings.items()
                           if isinstance(value, Bag)}
+            self._print("-- logical --")
             self._print(explain(expr, self._schema(), statistics))
+            self._print("-- physical --")
+            self._print(explain_physical(
+                expr, self.bindings, governor=self._governor()))
             return True
         if line.startswith(":encode "):
             from repro.core.encoding import standard_encoding
@@ -191,7 +225,7 @@ class Session:
         if line.startswith(":"):
             self._print(f"unknown command {line.split()[0]!r} "
                         "(:type :fragment :optimize :explain :encode "
-                        ":save :load :env :limits :quit)")
+                        ":engine :save :load :env :limits :quit)")
             return True
         if "=" in line and _looks_like_binding(line):
             name, _, body = line.partition("=")
@@ -249,6 +283,34 @@ def parse_limit_flags(argv: List[str]) -> Tuple[Optional[Limits],
     return (Limits(**spec) if spec else None), paths
 
 
+def _parse_engine_flag(argv: List[str]) -> Tuple[str, List[str]]:
+    """Strip ``--engine NAME`` / ``--engine=NAME`` from the argument
+    list before the limit flags are parsed (so
+    :func:`parse_limit_flags` keeps its strict unknown-flag check)."""
+    engine = "physical"
+    rest: List[str] = []
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        name, equals, inline = argument.partition("=")
+        if name == "--engine":
+            if equals:
+                engine = inline
+            else:
+                index += 1
+                if index >= len(argv):
+                    raise ValueError("--engine needs a value")
+                engine = argv[index]
+            if engine not in ("physical", "tree"):
+                raise ValueError(
+                    f"--engine expects 'physical' or 'tree', "
+                    f"got {engine!r}")
+        else:
+            rest.append(argument)
+        index += 1
+    return engine, rest
+
+
 def main(argv=None) -> int:
     """Entry point: interactive loop, or evaluate files given as
     arguments (one expression per line, '#' comments allowed).
@@ -256,15 +318,17 @@ def main(argv=None) -> int:
     Limit flags (``--max-steps``, ``--max-size``, ``--timeout``,
     ``--max-depth``, ``--max-iterations``, ``--powerset-budget``)
     govern every evaluation; governed failures print as ``error:``
-    lines instead of killing the process.
+    lines instead of killing the process.  ``--engine physical|tree``
+    picks the evaluator (default: the physical kernel engine).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
+        engine, argv = _parse_engine_flag(argv)
         limits, paths = parse_limit_flags(argv)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    session = Session(limits=limits)
+    session = Session(limits=limits, engine=engine)
     if paths:
         for path in paths:
             with open(path, "r", encoding="utf-8") as handle:

@@ -227,14 +227,29 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
              powerset_budget: Optional[int] = None,
              governor: Optional[ResourceGovernor] = None,
              limits: Optional[Limits] = None,
+             engine: str = "tree",
              **named_bags: Bag) -> Any:
     """One-shot convenience wrapper around :class:`Evaluator`.
+
+    ``engine`` selects the evaluation strategy: ``"tree"`` (default)
+    is this module's instrumented tree walker — the semantics oracle —
+    while ``"physical"`` dispatches to the pipelined kernel engine of
+    :mod:`repro.engine` (same results, bag-equal by the differential
+    fuzz suite; governed limits apply either way).
 
     >>> from repro.core.expr import var
     >>> from repro.core.bag import Bag
     >>> evaluate(var("B") + var("B"), B=Bag.of("a"))
     {{'a'*2}}
+    >>> evaluate(var("B") + var("B"), B=Bag.of("a"), engine="physical")
+    {{'a'*2}}
     """
+    if engine != "tree":
+        from repro import engine as physical_engine
+        return physical_engine.evaluate(
+            expr, database, engine=engine, governor=governor,
+            limits=limits, powerset_budget=powerset_budget,
+            **named_bags)
     return Evaluator(powerset_budget=powerset_budget,
                      governor=governor, limits=limits).run(
         expr, database, **named_bags)

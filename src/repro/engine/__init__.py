@@ -1,0 +1,205 @@
+"""``repro.engine`` — the physical execution engine.
+
+The tree walker in :mod:`repro.core.eval` is the semantics oracle:
+small, obviously faithful to the paper, and instrumented.  This package
+is the *production* path: expressions are lowered to physical plans of
+pipelined operator kernels over ``(value, multiplicity)`` streams
+(:mod:`repro.engine.physical`, :mod:`repro.engine.kernels`), with a
+cost-based lowering pass (:mod:`repro.engine.lower`) and a bounded LRU
+plan cache plus per-run common-subexpression sharing
+(:mod:`repro.engine.cache`).
+
+The paper's tractability results license the design: BALG¹ sits inside
+LOGSPACE (Thm 4.4) and BALG avoids the powerbag's ``2^n`` blow-up
+(Prop 3.2 vs Thm 5.5), so the hash-kernel evaluation here is
+polynomial on exactly the fragments the paper calls tractable, and the
+powerset kernels keep the same pre-materialisation budget checks the
+oracle has.  Bench E20 measures the speedup; the differential fuzz
+suite asserts bag-equality against the oracle.
+
+Usage::
+
+    from repro.engine import evaluate
+    result = evaluate(expr, database)            # physical engine
+    result = evaluate(expr, database, engine="tree")   # the oracle
+
+or through the stable front door, ``repro.core.eval.evaluate(...,
+engine="physical")``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.bag import Bag
+from repro.core.database import Instance
+from repro.core.errors import (
+    GovernedError, RecursionDepthExceeded, ResourceLimitError,
+    UnboundVariableError,
+)
+from repro.core.eval import Evaluator
+from repro.core.expr import Expr
+from repro.engine.cache import CacheStats, PlanCache, canonical_key
+from repro.engine.kernels import Rows, collect
+from repro.engine.lower import Lowering, PhysicalPlan, lower
+from repro.engine.physical import (
+    EngineStats, ExecContext, PhysicalNode, render_plan,
+)
+from repro.guard.governor import Limits, ResourceGovernor
+from repro.optimizer.cardinality import BagStats, stats_of
+
+__all__ = [
+    "EngineStats", "ExecContext", "PhysicalNode", "PhysicalPlan",
+    "PlanCache", "CacheStats", "Lowering", "lower", "canonical_key",
+    "Rows", "collect", "render_plan",
+    "evaluate", "plan_for", "explain_physical", "default_cache",
+]
+
+#: Process-wide default plan cache (the CLI and SQL layers share it).
+_DEFAULT_CACHE = PlanCache(capacity=256)
+
+
+def default_cache() -> PlanCache:
+    """The process-wide plan cache shared by the front ends."""
+    return _DEFAULT_CACHE
+
+
+def _bindings_of(database: Optional[Mapping[str, Any]],
+                 named_bags: Mapping[str, Any]) -> dict:
+    bindings: dict = {}
+    if isinstance(database, Instance):
+        bindings.update(database.bags())
+    elif database is not None:
+        bindings.update(database)
+    bindings.update(named_bags)
+    return bindings
+
+
+def _statistics_of(bindings: Mapping[str, Any]) -> dict:
+    """Exact per-relation statistics — O(1) per bag, the two counters
+    are maintained by :class:`~repro.core.bag.Bag` itself."""
+    return {name: stats_of(value) for name, value in bindings.items()
+            if isinstance(value, Bag)}
+
+
+def _arities_of(bindings: Mapping[str, Any]) -> dict:
+    """Tuple arities of the bound relations (join fusion needs the
+    split point of a product's attribute positions)."""
+    arities: dict = {}
+    for name, value in bindings.items():
+        if isinstance(value, Bag) and not value.is_empty():
+            element = value.an_element()
+            if hasattr(element, "arity"):
+                arities[name] = element.arity
+    return arities
+
+
+def plan_for(expr: Expr, bindings: Mapping[str, Any],
+             cache: Optional[PlanCache] = None,
+             stats: Optional[EngineStats] = None,
+             selectivity: float = 0.5) -> PhysicalPlan:
+    """Fetch or build the physical plan for an expression.
+
+    A cache hit skips lowering entirely (asserted by bench E20's
+    stats-counter check); a miss lowers with exact statistics drawn
+    from the bindings and stores the plan.
+    """
+    arities = _arities_of(bindings)
+    if cache is None:
+        plan = lower(expr, _statistics_of(bindings),
+                     selectivity=selectivity, arities=arities)
+        if stats is not None:
+            stats.lowerings += 1
+        return plan
+    key = PlanCache.key_for(expr, arities)
+    plan = cache.get(key)
+    if plan is not None:
+        if stats is not None:
+            stats.cache_hits += 1
+        return plan
+    plan = lower(expr, _statistics_of(bindings),
+                 selectivity=selectivity, arities=arities)
+    cache.put(key, plan)
+    if stats is not None:
+        stats.cache_misses += 1
+        stats.lowerings += 1
+    return plan
+
+
+def evaluate(expr: Expr,
+             database: Optional[Mapping[str, Any]] = None,
+             *,
+             engine: str = "physical",
+             governor: Optional[ResourceGovernor] = None,
+             limits: Optional[Limits] = None,
+             powerset_budget: Optional[int] = None,
+             cache: Optional[PlanCache] = _DEFAULT_CACHE,
+             stats: Optional[EngineStats] = None,
+             **named_bags: Bag) -> Any:
+    """Evaluate an expression with the physical engine.
+
+    ``engine="tree"`` falls through to the oracle evaluator, so callers
+    can switch per query.  ``cache=None`` disables plan caching; the
+    default is the process-wide cache.  Governed limits apply to the
+    whole run: lowering is free, but every kernel ticks the shared
+    governor, every materialisation honours the size budget, and
+    powerset expansion pre-checks its budget.
+    """
+    if engine == "tree":
+        return Evaluator(powerset_budget=powerset_budget,
+                         governor=governor, limits=limits).run(
+            expr, database, **named_bags)
+    if engine != "physical":
+        raise ValueError(f"unknown engine {engine!r} "
+                         "(choices: 'physical', 'tree')")
+    bindings = _bindings_of(database, named_bags)
+    missing = expr.free_vars() - set(bindings)
+    if missing:
+        raise UnboundVariableError(
+            f"expression mentions unbound bag(s): {sorted(missing)}")
+    evaluator = Evaluator(powerset_budget=powerset_budget,
+                          governor=governor, limits=limits,
+                          track_stats=False)
+    if evaluator.governor is not None:
+        evaluator.governor.ensure_started()
+    plan = plan_for(expr, bindings, cache=cache, stats=stats)
+    ctx = ExecContext(bindings, evaluator, stats=stats)
+    try:
+        return plan.execute(ctx)
+    except RecursionError as exc:
+        raise RecursionDepthExceeded(
+            "expression or value nesting exceeded the Python "
+            "recursion limit", stats=evaluator.stats) from exc
+    except GovernedError as error:
+        if error.stats is None:
+            error.stats = evaluator.stats
+        raise
+    except ResourceLimitError as error:
+        if getattr(error, "stats", None) is None:
+            error.stats = evaluator.stats
+        raise
+
+
+def explain_physical(expr: Expr,
+                     database: Optional[Mapping[str, Any]] = None,
+                     *, execute: bool = True,
+                     cache: Optional[PlanCache] = None,
+                     governor: Optional[ResourceGovernor] = None,
+                     limits: Optional[Limits] = None,
+                     **named_bags: Bag) -> str:
+    """Render the physical plan, optionally with actual cardinalities.
+
+    With ``execute=True`` (and all free variables bound) the plan runs
+    once so every node reports ``actual rows`` next to its estimate —
+    the CLI's ``:explain`` uses exactly this.
+    """
+    bindings = _bindings_of(database, named_bags)
+    stats = EngineStats()
+    plan = plan_for(expr, bindings, cache=cache, stats=stats)
+    if execute and not (expr.free_vars() - set(bindings)):
+        evaluator = Evaluator(governor=governor, limits=limits,
+                              track_stats=False)
+        if evaluator.governor is not None:
+            evaluator.governor.ensure_started()
+        plan.execute(ExecContext(bindings, evaluator, stats=stats))
+    return plan.render()

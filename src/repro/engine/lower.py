@@ -1,0 +1,365 @@
+"""Lowering: logical ``core.expr`` trees to physical plans.
+
+The pass walks the *dataflow* children of an expression (lambda bodies
+are per-member object computations, evaluated by compiled closures or
+the tree walker — they are not plan steps) and chooses a kernel per
+node:
+
+* union-family operators map to their hash kernels; intersection
+  operands are reordered so the estimated-smaller side becomes the
+  probe dict (``n`` is commutative; ``-`` is not and keeps its order);
+* ``sigma_{alpha_i = alpha_j}(B x B')`` with the equality crossing the
+  product fuses into a :class:`~repro.engine.physical.HashJoin`, with
+  the build side picked by :mod:`repro.optimizer.cardinality`
+  estimates; tiny products stay nested-loop (a hash table would cost
+  more than it saves);
+* ``e (+) e`` over a shared subexpression collapses into a
+  :class:`~repro.engine.physical.MultiplicityScale`;
+* bag-typed subexpressions occurring more than once become
+  :class:`~repro.engine.physical.SharedScan` nodes, materialised once
+  per run (the common-subexpression memo);
+* MAP/selection lambdas built from projections, constants, tupling,
+  and bagging compile to plain Python closures; anything else falls
+  back to evaluator-backed application;
+* operators the pass does not know (IFP, machine encodings, anything
+  object-typed) lower to :class:`~repro.engine.physical.OracleEval`,
+  keeping the engine total over the whole language.
+
+Estimates come from :func:`repro.optimizer.cardinality.estimate` when
+per-relation statistics are available; without statistics every choice
+falls back to a safe default (hash kernels, syntactic operand order).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.bag import Bag
+from repro.core.errors import BagTypeError
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Bagging, Cartesian, Const, Dedup, Expr,
+    Intersection, Lam, Map, MaxUnion, Powerbag, Powerset, Select,
+    Subtraction, Tupling, Var, _compare,
+)
+from repro.core.nest import Nest, Unnest
+from repro.core.ops import attribute as ops_attribute
+from repro.core.expr import BagDestroy
+from repro.engine.physical import (
+    ConstSource, FlattenBags, HashDedup, HashDifference, HashIntersect,
+    HashJoin, HashMaxUnion, HashUnion, MultiplicityScale, NestBuild,
+    NestedLoopProduct, OracleEval, PhysicalNode, PowersetExpand,
+    ScanBag, SharedScan, StreamingMap, StreamingSelect, UnnestExpand,
+)
+from repro.optimizer.cardinality import BagStats, estimate
+
+__all__ = ["PhysicalPlan", "Lowering", "lower", "compile_object_lambda"]
+
+#: Estimated product cardinality below which a nested-loop product is
+#: kept even when an equality predicate could fuse into a hash join.
+HASH_JOIN_THRESHOLD = 16.0
+
+
+class PhysicalPlan:
+    """A lowered plan: the root physical node plus provenance."""
+
+    __slots__ = ("root", "expr", "statistics_used")
+
+    def __init__(self, root: PhysicalNode, expr: Expr,
+                 statistics_used: bool):
+        self.root = root
+        self.expr = expr
+        self.statistics_used = statistics_used
+
+    def execute(self, ctx) -> Any:
+        return self.root.execute(ctx)
+
+    def render(self) -> str:
+        from repro.engine.physical import render_plan
+        return render_plan(self.root)
+
+    def __repr__(self) -> str:
+        return f"PhysicalPlan({type(self.root).__name__})"
+
+
+class Lowering:
+    """One lowering run over one expression."""
+
+    def __init__(self, statistics: Optional[Mapping[str, BagStats]]
+                 = None, selectivity: float = 0.5,
+                 arities: Optional[Mapping[str, int]] = None):
+        self.statistics = dict(statistics) if statistics else None
+        self.selectivity = selectivity
+        self.arities = dict(arities) if arities else {}
+        self._shared: Dict[Expr, SharedScan] = {}
+        self._share_counts: Dict[Expr, int] = {}
+
+    # -- estimates ------------------------------------------------------
+
+    def _estimate(self, expr: Expr) -> Optional[BagStats]:
+        if self.statistics is None:
+            return None
+        try:
+            return estimate(expr, self.statistics,
+                            selectivity=self.selectivity)
+        except BagTypeError:
+            return None
+
+    @staticmethod
+    def _card(stats: Optional[BagStats]) -> Optional[float]:
+        return None if stats is None else stats.cardinality
+
+    # -- entry ----------------------------------------------------------
+
+    def lower(self, expr: Expr) -> PhysicalPlan:
+        self._count_occurrences(expr)
+        root = self._lower(expr, shared_ok=False)
+        return PhysicalPlan(root, expr, self.statistics is not None)
+
+    def _count_occurrences(self, expr: Expr) -> None:
+        """Count structural occurrences of dataflow subexpressions, to
+        decide which ones deserve a shared materialisation."""
+        stack: List[Expr] = [expr]
+        while stack:
+            node = stack.pop()
+            self._share_counts[node] = self._share_counts.get(node, 0) + 1
+            stack.extend(self._dataflow_children(node))
+
+    @staticmethod
+    def _dataflow_children(node: Expr) -> Tuple[Expr, ...]:
+        bodies = tuple(lam.body for lam in node.lambdas())
+        return tuple(child for child in node.children()
+                     if all(child is not body for body in bodies))
+
+    def _is_shared(self, expr: Expr) -> bool:
+        """Worth sharing: occurs more than once and is not a leaf."""
+        return (self._share_counts.get(expr, 0) > 1
+                and not isinstance(expr, (Var, Const)))
+
+    # -- recursive lowering ---------------------------------------------
+
+    def _lower(self, expr: Expr, shared_ok: bool = True) -> PhysicalNode:
+        if shared_ok and self._is_shared(expr):
+            node = self._shared.get(expr)
+            if node is None:
+                node = SharedScan(self._lower_node(expr),
+                                  self._estimate(expr))
+                self._shared[expr] = node
+            return node
+        return self._lower_node(expr)
+
+    def _lower_node(self, expr: Expr) -> PhysicalNode:
+        estimated = self._estimate(expr)
+
+        if isinstance(expr, Var):
+            return ScanBag(expr.name, estimated)
+        if isinstance(expr, Const):
+            if isinstance(expr.value, Bag):
+                return ConstSource(expr.value, estimated)
+            return OracleEval(expr, estimated)
+
+        if isinstance(expr, AdditiveUnion):
+            if expr.left == expr.right:
+                return MultiplicityScale(self._lower(expr.left), 2,
+                                         estimated)
+            return HashUnion(self._lower(expr.left),
+                             self._lower(expr.right), estimated)
+        if isinstance(expr, Subtraction):
+            return HashDifference(self._lower(expr.left),
+                                  self._lower(expr.right), estimated)
+        if isinstance(expr, MaxUnion):
+            return HashMaxUnion(self._lower(expr.left),
+                                self._lower(expr.right), estimated)
+        if isinstance(expr, Intersection):
+            left, right = expr.left, expr.right
+            lcard = self._card(self._estimate(left))
+            rcard = self._card(self._estimate(right))
+            if (lcard is not None and rcard is not None
+                    and rcard < lcard):
+                left, right = right, left  # smaller side probes
+            return HashIntersect(self._lower(left), self._lower(right),
+                                 estimated)
+
+        if isinstance(expr, Dedup):
+            return HashDedup(self._lower(expr.operand), estimated)
+        if isinstance(expr, BagDestroy):
+            return FlattenBags(self._lower(expr.operand), estimated)
+        if isinstance(expr, Powerset):
+            return PowersetExpand(self._lower(expr.operand), False,
+                                  estimated)
+        if isinstance(expr, Powerbag):
+            return PowersetExpand(self._lower(expr.operand), True,
+                                  estimated)
+        if isinstance(expr, Nest):
+            return NestBuild(self._lower(expr.operand), expr.indices,
+                             estimated)
+        if isinstance(expr, Unnest):
+            return UnnestExpand(self._lower(expr.operand), expr.index,
+                                estimated)
+
+        if isinstance(expr, Map):
+            fn = compile_object_lambda(expr.lam)
+            return StreamingMap(self._lower(expr.operand), expr.lam,
+                                fn, estimated)
+        if isinstance(expr, Select):
+            return self._lower_select(expr, estimated)
+        if isinstance(expr, Cartesian):
+            return self._lower_product(expr, estimated)
+
+        # Extension operators (Ifp, encodings, ...) and object-typed
+        # expressions: the tree walker is the oracle.
+        return OracleEval(expr, estimated)
+
+    # -- selection / join -----------------------------------------------
+
+    def _lower_select(self, expr: Select,
+                      estimated: Optional[BagStats]) -> PhysicalNode:
+        if expr.op == "eq" and isinstance(expr.operand, Cartesian):
+            join = self._try_fuse_join(expr, expr.operand, estimated)
+            if join is not None:
+                return join
+        compiled = compile_predicate(expr)
+        if compiled is not None:
+            return StreamingSelect(self._lower(expr.operand),
+                                   lambda ctx: compiled, True,
+                                   estimated)
+
+        def make(ctx, select=expr):
+            def predicate(value):
+                lhs = ctx.apply_lambda(select.left, value)
+                rhs = ctx.apply_lambda(select.right, value)
+                return _compare(select.op, lhs, rhs)
+            return predicate
+
+        return StreamingSelect(self._lower(expr.operand), make, False,
+                               estimated)
+
+    def _try_fuse_join(self, select: Select, product: Cartesian,
+                       estimated: Optional[BagStats]
+                       ) -> Optional[PhysicalNode]:
+        """Fuse ``sigma_{alpha_i = alpha_j}`` over a product into a
+        hash join when the equality crosses the product boundary."""
+        indices = _attr_eq_indices(select)
+        if indices is None:
+            return None
+        left_arity = self._operand_arity(product.left)
+        if left_arity is None:
+            return None
+        i, j = sorted(indices)
+        if not (i <= left_arity < j):
+            return None  # both attributes on one side: plain filter
+        left_stats = self._estimate(product.left)
+        right_stats = self._estimate(product.right)
+        lcard = self._card(left_stats)
+        rcard = self._card(right_stats)
+        if (lcard is not None and rcard is not None
+                and lcard * rcard < HASH_JOIN_THRESHOLD):
+            return None  # tiny product: nested loop wins
+        build_right = True
+        if lcard is not None and rcard is not None and lcard < rcard:
+            build_right = False
+        return HashJoin(self._lower(product.left),
+                        self._lower(product.right),
+                        (i,), (j - left_arity,), build_right,
+                        estimated)
+
+    def _operand_arity(self, operand: Expr) -> Optional[int]:
+        """Arity of a product operand's tuples, from statistics-free
+        structural evidence (Const bags / nested products) only."""
+        if isinstance(operand, Const) and isinstance(operand.value, Bag):
+            bag = operand.value
+            if bag.is_empty():
+                return None
+            element = bag.an_element()
+            return element.arity if hasattr(element, "arity") else None
+        if isinstance(operand, Cartesian):
+            left = self._operand_arity(operand.left)
+            right = self._operand_arity(operand.right)
+            if left is None or right is None:
+                return None
+            return left + right
+        if isinstance(operand, Var):
+            return self.arities.get(operand.name)
+        return None
+
+    def _lower_product(self, expr: Cartesian,
+                       estimated: Optional[BagStats]) -> PhysicalNode:
+        # Products are not commutative (the tuples concatenate), so the
+        # right side always builds and the left side always streams.
+        return NestedLoopProduct(self._lower(expr.left),
+                                 self._lower(expr.right), estimated)
+
+
+# ----------------------------------------------------------------------
+# Lambda compilation
+# ----------------------------------------------------------------------
+
+def compile_object_lambda(lam: Lam) -> Optional[Callable[[Any], Any]]:
+    """Compile a lambda body made of projections, constants, tupling,
+    and bagging into a plain closure; ``None`` when the body mentions
+    anything else (the evaluator applies it instead)."""
+    return _compile_body(lam.body, lam.param)
+
+
+def _compile_body(body: Expr, param: str
+                  ) -> Optional[Callable[[Any], Any]]:
+    if isinstance(body, Var):
+        if body.name == param:
+            return lambda value: value
+        return None  # free variable: needs the environment
+    if isinstance(body, Const):
+        constant = body.value
+        return lambda value: constant
+    if isinstance(body, Attribute):
+        inner = _compile_body(body.operand, param)
+        if inner is None:
+            return None
+        index = body.index
+        return lambda value: ops_attribute(inner(value), index)
+    if isinstance(body, Tupling):
+        parts = [_compile_body(part, param) for part in body.parts]
+        if any(part is None for part in parts):
+            return None
+        from repro.core.bag import Tup
+        return lambda value: Tup(*(part(value) for part in parts))
+    if isinstance(body, Bagging):
+        inner = _compile_body(body.item, param)
+        if inner is None:
+            return None
+        return lambda value: Bag.of(inner(value))
+    return None
+
+
+def compile_predicate(select: Select
+                      ) -> Optional[Callable[[Any], bool]]:
+    """Compile both selection lambdas; ``None`` if either resists."""
+    lhs = _compile_body(select.left.body, select.left.param)
+    rhs = _compile_body(select.right.body, select.right.param)
+    if lhs is None or rhs is None:
+        return None
+    op = select.op
+    if op == "eq":
+        return lambda value: lhs(value) == rhs(value)
+    if op == "ne":
+        return lambda value: lhs(value) != rhs(value)
+    return lambda value: _compare(op, lhs(value), rhs(value))
+
+
+def _attr_eq_indices(select: Select) -> Optional[Tuple[int, int]]:
+    """``(i, j)`` when the selection is ``alpha_i(t) = alpha_j(t)``."""
+    left, right = select.left.body, select.right.body
+    if (isinstance(left, Attribute) and isinstance(right, Attribute)
+            and isinstance(left.operand, Var)
+            and isinstance(right.operand, Var)
+            and left.operand.name == select.left.param
+            and right.operand.name == select.right.param):
+        return left.index, right.index
+    return None
+
+
+def lower(expr: Expr,
+          statistics: Optional[Mapping[str, BagStats]] = None,
+          selectivity: float = 0.5,
+          arities: Optional[Mapping[str, int]] = None) -> PhysicalPlan:
+    """One-shot lowering convenience wrapper."""
+    return Lowering(statistics, selectivity=selectivity,
+                    arities=arities).lower(expr)

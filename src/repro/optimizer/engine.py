@@ -128,12 +128,17 @@ def optimize(expr: Expr,
     return Optimizer(schema=schema).optimize(expr)
 
 
-#: Worst-case growth weights for the cost heuristic.
+#: Worst-case growth weights for the cost heuristic.  ``Unnest`` and
+#: ``BagDestroy`` multiply cardinalities by nested-bag sizes (the
+#: multiplicity blow-up the engine's scale kernels model), so they
+#: weigh like small products; ``Nest`` only groups.
 _NODE_WEIGHTS = {
     "Powerset": 100,
     "Powerbag": 200,
     "Cartesian": 10,
+    "Unnest": 8,
     "BagDestroy": 5,
+    "Nest": 3,
     "Map": 2,
     "Select": 1,
     "Dedup": 1,

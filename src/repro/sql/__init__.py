@@ -22,7 +22,7 @@ __all__ = [
 
 def run_sql(text: str, catalog: Catalog,
             database: Mapping[str, Bag],
-            governor=None) -> List[Tuple]:
+            governor=None, engine: str = "physical") -> List[Tuple]:
     """Parse, compile, evaluate, and decode a query.
 
     Returns a list of plain Python tuples *with duplicates* (bag
@@ -30,9 +30,15 @@ def run_sql(text: str, catalog: Catalog,
     returns ``[(count,)]``.  An optional
     :class:`~repro.guard.ResourceGovernor` governs the whole pipeline
     — compile and evaluate share one step budget and one deadline.
+
+    ``engine`` picks the evaluator: ``"physical"`` (default) runs the
+    compiled plan on the kernel engine of :mod:`repro.engine` — its
+    hash joins and plan cache are exactly what join-shaped SQL wants —
+    while ``"tree"`` keeps the instrumented oracle interpreter.
     """
     compiled = compile_sql(text, catalog, governor=governor)
-    result = evaluate(compiled.expr, database, governor=governor)
+    result = evaluate(compiled.expr, database, governor=governor,
+                      engine=engine)
     if compiled.columns == ("count",):
         return [(bag_as_int(result),)]
     rows = [tuple(entry.items()) for entry in result.elements()]

@@ -85,6 +85,72 @@ class TestCommands:
         assert text.count("error:") == 3
 
 
+class TestEngineSelection:
+    def test_engine_command_shows_and_switches(self):
+        session, out = _session()
+        session.handle(":engine")
+        assert "engine = physical" in out.getvalue()
+        session.handle(":engine tree")
+        assert session.engine == "tree"
+        session.handle(":engine physical")
+        assert session.engine == "physical"
+
+    def test_engine_command_rejects_unknown(self):
+        session, out = _session()
+        session.handle(":engine quantum")
+        assert "unknown engine" in out.getvalue()
+        assert session.engine == "physical"
+
+    def test_both_engines_agree_in_session(self):
+        physical, phys_out = _session()
+        physical.handle("B = {{['a','b'], ['a','b'], ['b','a']}}")
+        physical.handle("eps(B) - B")
+        tree = Session(out=io.StringIO(), engine="tree")
+        tree.handle("B = {{['a','b'], ['a','b'], ['b','a']}}")
+        tree.handle("eps(B) - B")
+        assert phys_out.getvalue() == tree.out.getvalue()
+
+    def test_session_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            Session(engine="quantum")
+
+    def test_explain_shows_both_plans(self):
+        session, out = _session()
+        session.handle("B = {{['a','b'], ['a','b'], ['b','a']}}")
+        session.handle(":explain eps(B) - B")
+        text = out.getvalue()
+        assert "-- logical --" in text
+        assert "-- physical --" in text
+        assert "kernel=monus" in text
+        assert "actual rows" in text
+
+    def test_parse_engine_flag(self):
+        from repro.cli import _parse_engine_flag
+        engine, rest = _parse_engine_flag(
+            ["--engine", "tree", "--max-steps", "5", "f.bag"])
+        assert engine == "tree"
+        assert rest == ["--max-steps", "5", "f.bag"]
+        engine, rest = _parse_engine_flag(["--engine=physical"])
+        assert engine == "physical"
+        assert rest == []
+
+    def test_parse_engine_flag_rejects_bad_values(self):
+        from repro.cli import _parse_engine_flag
+        with pytest.raises(ValueError):
+            _parse_engine_flag(["--engine"])
+        with pytest.raises(ValueError):
+            _parse_engine_flag(["--engine", "quantum"])
+
+    def test_main_accepts_engine_flag(self, tmp_path):
+        from repro.cli import main
+        script = tmp_path / "session.bag"
+        script.write_text("B = {{['a'], ['a']}}\neps(B)\n",
+                          encoding="utf-8")
+        assert main(["--engine", "tree", str(script)]) == 0
+        assert main(["--engine=physical", str(script)]) == 0
+        assert main(["--engine", "quantum", str(script)]) == 2
+
+
 class TestFileMode:
     def test_script_execution(self, tmp_path):
         script = tmp_path / "session.bag"
