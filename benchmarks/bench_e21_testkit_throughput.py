@@ -1,0 +1,98 @@
+"""E21 — conformance testkit throughput (systems, not a paper claim).
+
+How expensive is a conformance case?  The differential harness runs
+every generated case through up to six backends; this bench measures
+cases/sec per backend over a fixed deterministic stream (seed 0, the
+same stream the CI `conformance` job fuzzes), plus the full matrix
+with the metamorphic catalogue on top.  The numbers size the CI case
+budget: 300 cases must fit comfortably in a CI minute.
+
+Acceptance asserted here:
+
+* zero mismatches across the stream on every backend combination
+  (this is the `repro fuzz` acceptance run in miniature);
+* the full matrix clears a conservative throughput floor.
+
+Statuses persist to ``results/e21_testkit.status.json``; the table
+goes to ``results/e21_testkit.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit_table, governed_cell
+from repro.testkit import Harness, RunSummary, generate_case
+from repro.testkit.differential import DEFAULT_LIMITS
+
+EXPERIMENT = "e21_testkit"
+
+CASES = 120
+SEED = 0
+
+#: cell label -> (backends, metamorphic laws on?).
+CELLS = [
+    ("oracle", ("oracle",), False),
+    ("engine-cold", ("oracle", "engine"), False),
+    ("engine-warm", ("oracle", "engine-warm"), False),
+    ("optimized", ("oracle", "optimized"), False),
+    ("surface", ("oracle", "surface"), False),
+    ("sql", ("oracle", "sql"), False),
+    ("full-matrix+laws", None, True),  # None -> all six backends
+]
+
+#: the full matrix must beat this (cases/sec); generous so slow CI
+#: machines pass while a quadratic regression in the harness fails.
+FLOOR_CPS = 5.0
+
+
+def _run_stream(backends, metamorphic: bool) -> RunSummary:
+    kwargs = {"limits": DEFAULT_LIMITS, "metamorphic": metamorphic}
+    if backends is not None:
+        kwargs["backends"] = backends
+    harness = Harness(**kwargs)
+    summary = RunSummary()
+    for index in range(CASES):
+        summary.absorb(harness.run_case(
+            generate_case(SEED, index, fragment="mixed")))
+    return summary
+
+
+def test_e21_testkit_throughput(benchmark):
+    rows = []
+    full_cps = None
+    for label, backends, metamorphic in CELLS:
+        started = time.perf_counter()
+        holder = {}
+
+        def cell(governor, backends=backends,
+                 metamorphic=metamorphic):
+            holder["summary"] = _run_stream(backends, metamorphic)
+            return holder["summary"]
+
+        outcome = governed_cell(EXPERIMENT, label, cell)
+        elapsed = time.perf_counter() - started
+        summary = holder.get("summary")
+        assert outcome.ok and summary is not None, label
+        assert not summary.mismatches, (
+            label, [m.describe() for m in summary.mismatches])
+        cps = CASES / elapsed if elapsed > 0 else float("inf")
+        if label == "full-matrix+laws":
+            full_cps = cps
+        governed = sum(summary.governed.values())
+        unsupported = sum(summary.unsupported.values())
+        rows.append((label, CASES, f"{elapsed:.2f}", f"{cps:.1f}",
+                     governed, unsupported, summary.laws_checked))
+
+    assert full_cps is not None and full_cps >= FLOOR_CPS, full_cps
+    emit_table(
+        "e21_testkit",
+        f"E21  conformance throughput ({CASES} cases, seed {SEED}, "
+        "mixed fragments)",
+        ["backend set", "cases", "seconds", "cases/sec", "governed",
+         "unsupported", "law checks"],
+        rows)
+    # timing row for regression tracking: one full-matrix case
+    harness = Harness()
+    case = generate_case(SEED, 7, fragment="mixed")
+    benchmark(lambda: harness.run_case(case))

@@ -322,6 +322,10 @@ def main(argv=None) -> int:
     picks the evaluator (default: the physical kernel engine).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fuzz":
+        # the conformance fuzz loop: ``python -m repro fuzz ...``
+        from repro.testkit.cli import main as fuzz_main
+        return fuzz_main(argv[1:])
     try:
         engine, argv = _parse_engine_flag(argv)
         limits, paths = parse_limit_flags(argv)

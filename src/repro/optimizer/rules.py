@@ -39,6 +39,7 @@ from repro.core.expr import (
     Intersection, Lam, Map, MaxUnion, Powerset, Select, Subtraction,
     Tupling, Var,
 )
+from repro.core.nest import Nest, Unnest
 
 __all__ = ["RewriteRule", "substitute", "DEFAULT_RULES",
            "fold_constants", "drop_neutral_elements",
@@ -89,6 +90,12 @@ def substitute(expr: Expr, name: str, replacement: Expr) -> Expr:
         return Dedup(substitute(expr.operand, name, replacement))
     if isinstance(expr, Powerset):
         return Powerset(substitute(expr.operand, name, replacement))
+    if isinstance(expr, Nest):
+        return Nest(substitute(expr.operand, name, replacement),
+                    *expr.indices)
+    if isinstance(expr, Unnest):
+        return Unnest(substitute(expr.operand, name, replacement),
+                      expr.index)
     # Fallback: nodes without variables inside (Bagging etc.) rebuild
     # generically via their children when they expose a single operand.
     if hasattr(expr, "operand"):

@@ -1,0 +1,167 @@
+"""Persisted regression corpus: failing cases as replayable JSON.
+
+A fuzz mismatch is only worth anything if it survives the process that
+found it.  Every failing case is minimized (``generate.shrink_case``)
+and written to ``tests/corpus/`` as a small JSON document:
+
+* the expression in *surface syntax* (human-readable, diff-able, and
+  parsed back with :func:`repro.surface.parse`);
+* the schema as ``parse_type`` strings;
+* the database as tagged JSON values (canonically sorted, so the file
+  is deterministic for a given case).
+
+``tests/test_corpus.py`` globs the directory and replays every case
+through the differential harness as ordinary tier-1 pytest tests, so a
+once-found bug can never quietly return.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.bag import Bag, Tup, canonical_key
+from repro.core.errors import ReproError
+from repro.core.types import Type, parse_type
+from repro.surface import parse, to_text
+from repro.testkit.generate import Case
+
+__all__ = [
+    "case_to_json", "case_from_json", "save_case", "load_corpus",
+    "value_to_json", "value_from_json", "corpus_paths",
+]
+
+_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# Value (de)serialization: tagged JSON
+# ----------------------------------------------------------------------
+
+def value_to_json(value: Any) -> Any:
+    """``["atom", v] | ["tup", [...]] | ["bag", [[elem, count], ...]]``
+    with bag entries canonically sorted for deterministic files."""
+    if isinstance(value, Bag):
+        entries = sorted(value.items(),
+                         key=lambda item: canonical_key(item[0]))
+        return ["bag", [[value_to_json(element), count]
+                        for element, count in entries]]
+    if isinstance(value, Tup):
+        return ["tup", [value_to_json(item) for item in value.items()]]
+    if isinstance(value, (str, int)) and not isinstance(value, bool):
+        return ["atom", value]
+    raise ReproError(
+        f"value {value!r} has no corpus JSON form "
+        "(atoms must be str or int)")
+
+
+def value_from_json(data: Any) -> Any:
+    if (not isinstance(data, list) or len(data) != 2
+            or data[0] not in ("atom", "tup", "bag")):
+        raise ReproError(f"malformed corpus value: {data!r}")
+    tag, payload = data
+    if tag == "atom":
+        if not isinstance(payload, (str, int)) \
+                or isinstance(payload, bool):
+            raise ReproError(f"malformed corpus atom: {payload!r}")
+        return payload
+    if tag == "tup":
+        return Tup(*(value_from_json(item) for item in payload))
+    return Bag.from_counts({value_from_json(element): count
+                            for element, count in payload})
+
+
+# ----------------------------------------------------------------------
+# Case (de)serialization
+# ----------------------------------------------------------------------
+
+def case_to_json(case: Case,
+                 meta: Optional[Mapping[str, Any]] = None) -> Dict:
+    document: Dict[str, Any] = {
+        "format": _FORMAT,
+        "fragment": case.fragment,
+        "expr": to_text(case.expr),
+        "schema": {name: repr(typ)
+                   for name, typ in sorted(case.schema.items())},
+        "database": {name: value_to_json(bag)
+                     for name, bag in sorted(case.database.items())},
+    }
+    if case.seed is not None:
+        document["seed"] = case.seed
+    if case.index is not None:
+        document["index"] = case.index
+    if meta:
+        document["meta"] = dict(meta)
+    return document
+
+
+def case_from_json(document: Mapping[str, Any]) -> Case:
+    if document.get("format") != _FORMAT:
+        raise ReproError(
+            f"unsupported corpus format {document.get('format')!r}")
+    schema: Dict[str, Type] = {
+        name: parse_type(text)
+        for name, text in document.get("schema", {}).items()}
+    database: Dict[str, Bag] = {}
+    for name, data in document.get("database", {}).items():
+        value = value_from_json(data)
+        if not isinstance(value, Bag):
+            raise ReproError(
+                f"database entry {name!r} is not a bag")
+        database[name] = value
+    return Case(schema=schema, database=database,
+                expr=parse(document["expr"]),
+                fragment=document.get("fragment", "balg2"),
+                seed=document.get("seed"),
+                index=document.get("index"))
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+
+def _slug(case: Case, meta: Optional[Mapping[str, Any]]) -> str:
+    if meta and meta.get("name"):
+        base = str(meta["name"])
+    elif case.seed is not None:
+        base = f"{case.fragment}_seed{case.seed}_case{case.index}"
+    else:
+        base = f"{case.fragment}_adhoc_{abs(hash(case.expr)) % 10**8}"
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", base)
+
+
+def save_case(case: Case, directory: str,
+              meta: Optional[Mapping[str, Any]] = None) -> str:
+    """Write one case (plus free-form ``meta`` — the mismatch kind,
+    backend, detail...) as ``<directory>/<slug>.json``; returns the
+    path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, _slug(case, meta) + ".json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case_to_json(case, meta), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def corpus_paths(directory: str) -> List[str]:
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory) if name.endswith(".json"))
+
+
+def load_corpus(directory: str
+                ) -> List[Tuple[str, Case, Dict[str, Any]]]:
+    """Every ``*.json`` case in a directory as
+    ``(path, case, meta)`` triples, sorted by file name."""
+    out = []
+    for path in corpus_paths(directory):
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        out.append((path, case_from_json(document),
+                    dict(document.get("meta", {}))))
+    return out

@@ -1,0 +1,280 @@
+"""Metamorphic identities: Section 3's algebraic laws as test oracles.
+
+Differential testing only detects *disagreement*; if the tree-walker
+oracle itself were wrong the backends could agree on the wrong bag.
+The laws here are independent ground truth: each takes the generated
+expression ``e`` and checks an identity the paper proves must hold for
+*every* bag, so a violation indicts the evaluator no matter how many
+backends agree with it.
+
+The catalogue (paper references in each law's ``ref``):
+
+* ``dedup-idempotent``     — ``eps(eps(e)) = eps(e)`` (Section 2).
+* ``delta-beta``           — ``delta(MAP_beta(e)) = e``: flattening
+  the bag of singletons restores the bag (Section 2's constructors).
+* ``monus-self``           — ``e - e = {{}}`` (monus semantics, §2).
+* ``union-monus``          — ``(e (+) e) - e = e``: additive union
+  then monus cancels exactly (Section 2).
+* ``max-via-monus``        — ``e1 u e2 = e1 (+) (e2 - e1)``:
+  ``max(m, n) = m + (n ∸ m)`` pointwise (Section 2).
+* ``inter-via-monus``      — ``e1 n e2 = e1 - (e1 - e2)``:
+  ``min(m, n) = m ∸ (m ∸ n)`` pointwise (Section 2).
+* ``derived-dedup``        — Proposition 3.1: ``eps`` written with
+  powerset instead of the eps operator.
+* ``derived-subtraction``  — Section 3: monus from powerset +
+  selection.
+* ``derived-additive-union`` — Section 3: ``(+)`` from maximal union
+  via disjoint tagging.
+* ``count-consistency``    — Section 3's COUNT aggregate equals the
+  bag's cardinality.
+* ``sum-consistency``      — Section 3's SUM (``delta``) equals the
+  multiplicity-weighted flattening.
+* ``avg-consistency``      — Section 3's AVG on integers-as-bags
+  built from the case's cardinality.
+
+Powerset-based laws are size-gated: the identities require expanding
+``P(e)``, so they only run when the observed value is small; a
+governed failure during a law marks it ``skipped``, never ``failed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.bag import Bag
+from repro.core.derived import (
+    average_expr, bag_as_int, count_expr, derived_additive_union,
+    derived_dedup, derived_subtraction, int_as_bag, sum_expr,
+)
+from repro.core.errors import (
+    GovernedError, ReproError, ResourceLimitError,
+)
+from repro.core.expr import (
+    AdditiveUnion, BagDestroy, Bagging, Const, Dedup, Expr,
+    Intersection, Lam, Map, MaxUnion, Subtraction, Var,
+)
+from repro.core.types import BagType, TupleType, Type, UNKNOWN
+
+__all__ = ["LAWS", "LawResult", "check_laws"]
+
+#: Laws that expand a powerset only run below these observed sizes.
+_POWERSET_CARD_GATE = 6
+_POWERSET_DISTINCT_GATE = 5
+
+
+@dataclass
+class LawResult:
+    """Outcome of one metamorphic law on one case."""
+
+    name: str
+    ref: str
+    status: str  # "ok" | "failed" | "skipped"
+    detail: str = ""
+
+
+class _Skip(Exception):
+    """Raised by a law when its applicability gate rejects the case."""
+
+
+def _concrete(typ: Type) -> bool:
+    """No UNKNOWN component — the derived-operator constructions are
+    type-directed and need the element type fully known."""
+    if typ is UNKNOWN:
+        return False
+    if isinstance(typ, BagType):
+        return _concrete(typ.element)
+    if isinstance(typ, TupleType):
+        return all(_concrete(attr) for attr in typ.attributes)
+    return True
+
+
+def _gate_powerset(value: Bag) -> None:
+    if (value.cardinality > _POWERSET_CARD_GATE
+            or value.distinct_count > _POWERSET_DISTINCT_GATE):
+        raise _Skip("powerset law gated by result size")
+
+
+# -- the laws ----------------------------------------------------------
+# each: fn(expr, result_type, value, evaluate) -> Optional[str]
+
+
+def _law_dedup_idempotent(expr, typ, value, evaluate):
+    lhs = evaluate(Dedup(Dedup(expr)))
+    rhs = evaluate(Dedup(expr))
+    if lhs != rhs:
+        return f"eps(eps(e)) = {lhs!r} but eps(e) = {rhs!r}"
+    return None
+
+
+def _law_delta_beta(expr, typ, value, evaluate):
+    rebuilt = evaluate(
+        BagDestroy(Map(Lam("w0", Bagging(Var("w0"))), expr)))
+    if rebuilt != value:
+        return f"delta(MAP_beta(e)) = {rebuilt!r} != e = {value!r}"
+    return None
+
+
+def _law_monus_self(expr, typ, value, evaluate):
+    diff = evaluate(Subtraction(expr, expr))
+    if not (isinstance(diff, Bag) and diff.is_empty()):
+        return f"e - e = {diff!r}, expected the empty bag"
+    return None
+
+
+def _law_union_monus(expr, typ, value, evaluate):
+    back = evaluate(Subtraction(AdditiveUnion(expr, expr), expr))
+    if back != value:
+        return f"(e (+) e) - e = {back!r} != e = {value!r}"
+    return None
+
+
+def _law_max_via_monus(expr, typ, value, evaluate):
+    other = Dedup(expr)
+    lhs = evaluate(MaxUnion(expr, other))
+    rhs = evaluate(AdditiveUnion(expr, Subtraction(other, expr)))
+    if lhs != rhs:
+        return f"e u eps(e) = {lhs!r} but e (+) (eps(e) - e) = {rhs!r}"
+    return None
+
+
+def _law_inter_via_monus(expr, typ, value, evaluate):
+    other = Dedup(expr)
+    lhs = evaluate(Intersection(expr, other))
+    rhs = evaluate(Subtraction(expr, Subtraction(expr, other)))
+    if lhs != rhs:
+        return f"e n eps(e) = {lhs!r} but e - (e - eps(e)) = {rhs!r}"
+    return None
+
+
+def _law_derived_dedup(expr, typ, value, evaluate):
+    if not _concrete(typ.element):
+        raise _Skip("element type not fully known")
+    _gate_powerset(value)
+    derived = evaluate(derived_dedup(expr, typ.element))
+    native = evaluate(Dedup(expr))
+    if derived != native:
+        return (f"Prop 3.1 dedup = {derived!r} but native eps = "
+                f"{native!r}")
+    return None
+
+
+def _law_derived_subtraction(expr, typ, value, evaluate):
+    _gate_powerset(value)
+    other = Dedup(expr)
+    derived = evaluate(derived_subtraction(expr, other))
+    native = evaluate(Subtraction(expr, other))
+    if derived != native:
+        return (f"Section 3 subtraction = {derived!r} but native "
+                f"monus = {native!r}")
+    return None
+
+
+def _law_derived_additive_union(expr, typ, value, evaluate):
+    element = typ.element
+    if not isinstance(element, TupleType) or not element.attributes:
+        raise _Skip("element is not a tuple")
+    if not _concrete(element):
+        raise _Skip("element type not fully known")
+    derived = evaluate(
+        derived_additive_union(expr, expr, element.arity))
+    native = evaluate(AdditiveUnion(expr, expr))
+    if derived != native:
+        return (f"tagging identity = {derived!r} but native (+) = "
+                f"{native!r}")
+    return None
+
+
+def _law_count_consistency(expr, typ, value, evaluate):
+    counted = evaluate(count_expr(expr))
+    observed = bag_as_int(counted)
+    if observed != value.cardinality:
+        return (f"COUNT(e) = {observed} but cardinality is "
+                f"{value.cardinality}")
+    return None
+
+
+def _law_sum_consistency(expr, typ, value, evaluate):
+    if not isinstance(typ.element, BagType):
+        raise _Skip("element is not a bag")
+    flattened = evaluate(sum_expr(expr))
+    counts: dict = {}
+    for inner, outer_count in value.items():
+        if not isinstance(inner, Bag):
+            raise _Skip("observed elements are not bags")
+        for member, inner_count in inner.items():
+            counts[member] = (counts.get(member, 0)
+                              + outer_count * inner_count)
+    expected = Bag.from_counts(counts)
+    if flattened != expected:
+        return f"SUM(e) = {flattened!r}, expected {expected!r}"
+    return None
+
+
+def _law_avg_consistency(expr, typ, value, evaluate):
+    if value.cardinality > 5:
+        raise _Skip("avg law gated by result size")
+    low = value.cardinality + 1
+    high = low + 2
+    operand = Const(Bag([int_as_bag(low), int_as_bag(high)]))
+    averaged = evaluate(average_expr(operand))
+    observed = bag_as_int(averaged)
+    if observed != low + 1:
+        return (f"AVG of {{{low}, {high}}} = {observed}, expected "
+                f"{low + 1}")
+    return None
+
+
+#: name -> (paper reference, law function).
+LAWS: Sequence[Tuple[str, str, Callable]] = (
+    ("dedup-idempotent", "Section 2", _law_dedup_idempotent),
+    ("delta-beta", "Section 2", _law_delta_beta),
+    ("monus-self", "Section 2", _law_monus_self),
+    ("union-monus", "Section 2", _law_union_monus),
+    ("max-via-monus", "Section 2", _law_max_via_monus),
+    ("inter-via-monus", "Section 2", _law_inter_via_monus),
+    ("derived-dedup", "Proposition 3.1", _law_derived_dedup),
+    ("derived-subtraction", "Section 3", _law_derived_subtraction),
+    ("derived-additive-union", "Section 3",
+     _law_derived_additive_union),
+    ("count-consistency", "Section 3", _law_count_consistency),
+    ("sum-consistency", "Section 3", _law_sum_consistency),
+    ("avg-consistency", "Section 3", _law_avg_consistency),
+)
+
+
+def check_laws(case: Any, result_type: Type, value: Bag,
+               evaluate: Callable[[Expr], Any],
+               laws: Optional[Sequence[Tuple[str, str, Callable]]]
+               = None) -> List[LawResult]:
+    """Apply every applicable law to one case.
+
+    ``evaluate`` runs an expression against the case's database under
+    the harness limits; governed failures inside a law mark it
+    ``skipped`` (the identity was too expensive to check), any other
+    :class:`ReproError` or an unequal value marks it ``failed``.
+    """
+    if not isinstance(result_type, BagType):  # pragma: no cover
+        return []
+    results: List[LawResult] = []
+    for name, ref, law in (laws if laws is not None else LAWS):
+        try:
+            detail = law(case.expr, result_type, value, evaluate)
+        except _Skip as skip:
+            results.append(LawResult(name, ref, "skipped", str(skip)))
+            continue
+        except (GovernedError, ResourceLimitError) as error:
+            results.append(LawResult(
+                name, ref, "skipped",
+                f"governed: {type(error).__name__}"))
+            continue
+        except ReproError as error:
+            results.append(LawResult(
+                name, ref, "failed",
+                f"law raised {type(error).__name__}: {error}"))
+            continue
+        if detail is None:
+            results.append(LawResult(name, ref, "ok"))
+        else:
+            results.append(LawResult(name, ref, "failed", detail))
+    return results

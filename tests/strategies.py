@@ -1,59 +1,31 @@
-"""Hypothesis strategies generating random *well-typed* BALG^1
-expressions.
+"""Hypothesis strategies generating random *well-typed* BALG
+expressions — thin wrappers over :mod:`repro.testkit.generate`.
 
-Used to fuzz independent components against each other:
+The grammar lives in the testkit (seeded ``random.Random``, no
+Hypothesis dependency) so that the differential fuzz CLI, the corpus
+replay, and these property tests all draw from one generator.  The
+strategies here adapt it to Hypothesis by drawing a deterministic
+``Random`` (``st.randoms(use_true_random=False)``), which keeps runs
+reproducible under Hypothesis's database while the testkit keeps
+byte-for-byte replay from a ``(seed, index)`` pair.
 
-* evaluator vs. the symbolic counting analysis (Prop 4.1's claim);
-* evaluator vs. the optimizer (rewrite soundness);
-* parser/printer round trips;
-* bag semantics vs. set semantics supports (Prop 4.2).
-
-The generator produces expressions over a single bag variable ``B`` of
-type ``{{U^input_arity}}`` using the BALG^1 operator set.  Flags carve
-out the fragments the paper's propositions quantify over:
-``include_dedup`` / ``include_subtraction`` for Props 4.1/4.2, and
-``allow_input_atom`` to control whether the distinguished constant
-``a`` may appear inside the expression (the counting-lemma claim and
-the genericity law both hypothesise it does not).
+``balg1_exprs``/``input_bags`` keep the historical BALG^1 surface the
+existing properties quantify over (single relation ``B``, flat tuples,
+flags carving out Props 4.1/4.2 and the genericity law);
+``testkit_cases`` adds the nested, multi-relation BALG^1/2/3 coverage.
 """
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
-from repro.core.bag import Bag, Tup
-from repro.core.expr import (
-    AdditiveUnion, Attribute, Cartesian, Const, Dedup, Expr,
-    Intersection, Lam, Map, MaxUnion, Select, Subtraction, Tupling,
-    Var,
+from repro.testkit.generate import (
+    ATOMS, EXPR_ATOMS, INPUT_NAME, Case, CaseGenerator, balg1_expr,
+    flat_input_bag,
 )
 
-#: Constants used inside generated expressions.  The distinguished
-#: input atom "a" is excluded (the counting-lemma hypothesis).
-EXPR_ATOMS = ("b", "c")
-
-INPUT_NAME = "B"
-
-
-def _constant_bag(arity: int, draw) -> Bag:
-    count = draw(st.integers(1, 3))
-    tuples = [Tup(*(draw(st.sampled_from(EXPR_ATOMS))
-                    for _ in range(arity)))
-              for _ in range(count)]
-    return Bag(tuples)
-
-
-@st.composite
-def _tuple_lambda(draw, in_arity: int, out_arity: int) -> Lam:
-    """A restricted MAP lambda: projections and constants only."""
-    parts = []
-    for _ in range(out_arity):
-        if draw(st.booleans()):
-            parts.append(Attribute(Var("·g"),
-                                   draw(st.integers(1, in_arity))))
-        else:
-            parts.append(Const(draw(st.sampled_from(EXPR_ATOMS))))
-    return Lam("·g", Tupling(*parts))
+__all__ = ["EXPR_ATOMS", "INPUT_NAME", "balg1_exprs", "input_bags",
+           "testkit_cases"]
 
 
 @st.composite
@@ -65,79 +37,30 @@ def balg1_exprs(draw, arity: int = 2, input_arity: int = 2,
                 allow_input_atom: bool = True):
     """A random BALG^1 expression of result type ``{{U^arity}}`` over
     the input variable ``B`` of type ``{{U^input_arity}}``."""
-    expr, _ = draw(_expr(arity, input_arity, max_depth, include_dedup,
-                         include_subtraction, include_order,
-                         allow_input_atom))
-    return expr
-
-
-@st.composite
-def _expr(draw, arity: int, input_arity: int, depth: int, dedup: bool,
-          minus: bool, order: bool, input_atom: bool):
-    """Returns (expression, result_arity)."""
-    if depth <= 0 or draw(st.integers(0, 3)) == 0:
-        # leaves: the input (when arities match) or a constant bag
-        if arity == input_arity and draw(st.booleans()):
-            return Var(INPUT_NAME), arity
-        return Const(_constant_bag(arity, draw)), arity
-
-    choices = ["union", "max", "inter", "map", "select"]
-    if minus:
-        choices.append("minus")
-    if dedup:
-        choices.append("dedup")
-    if arity >= 2:
-        choices.append("product")
-    kind = draw(st.sampled_from(choices))
-
-    if kind == "product":
-        left_arity = draw(st.integers(1, arity - 1))
-        left, _ = draw(_expr(left_arity, input_arity, depth - 1, dedup,
-                             minus, order, input_atom))
-        right, _ = draw(_expr(arity - left_arity, input_arity,
-                              depth - 1, dedup, minus, order,
-                              input_atom))
-        return Cartesian(left, right), arity
-    if kind in ("union", "max", "inter", "minus"):
-        left, _ = draw(_expr(arity, input_arity, depth - 1, dedup,
-                             minus, order, input_atom))
-        right, _ = draw(_expr(arity, input_arity, depth - 1, dedup,
-                              minus, order, input_atom))
-        node = {"union": AdditiveUnion, "max": MaxUnion,
-                "inter": Intersection, "minus": Subtraction}[kind]
-        return node(left, right), arity
-    if kind == "dedup":
-        inner, _ = draw(_expr(arity, input_arity, depth - 1, dedup,
-                              minus, order, input_atom))
-        return Dedup(inner), arity
-    if kind == "map":
-        in_arity = draw(st.integers(1, 3))
-        inner, _ = draw(_expr(in_arity, input_arity, depth - 1, dedup,
-                              minus, order, input_atom))
-        lam = draw(_tuple_lambda(in_arity, arity))
-        return Map(lam, inner), arity
-    # select
-    inner, _ = draw(_expr(arity, input_arity, depth - 1, dedup, minus,
-                          order, input_atom))
-    index = draw(st.integers(1, arity))
-    comparator = draw(st.sampled_from(
-        ("eq", "ne", "le", "lt") if order else ("eq", "ne")))
-    if draw(st.booleans()):
-        other = draw(st.integers(1, arity))
-        right_body = Attribute(Var("·s"), other)
-    else:
-        alphabet = EXPR_ATOMS + (("a",) if input_atom else ())
-        right_body = Const(draw(st.sampled_from(alphabet)))
-    return Select(Lam("·s", Attribute(Var("·s"), index)),
-                  Lam("·s", right_body), inner,
-                  op=comparator), arity
+    rng = draw(st.randoms(use_true_random=False))
+    return balg1_expr(rng, arity=arity, input_arity=input_arity,
+                      max_depth=max_depth,
+                      include_dedup=include_dedup,
+                      include_subtraction=include_subtraction,
+                      include_order=include_order,
+                      allow_input_atom=allow_input_atom)
 
 
 @st.composite
 def input_bags(draw, arity: int = 2, max_size: int = 6):
     """Random flat inputs for the generated expressions, over an
     alphabet that overlaps the expression constants."""
-    atoms = ("a", "b", "c")
-    tuples = [Tup(*(draw(st.sampled_from(atoms)) for _ in range(arity)))
-              for _ in range(draw(st.integers(0, max_size)))]
-    return Bag(tuples)
+    rng = draw(st.randoms(use_true_random=False))
+    return flat_input_bag(rng, arity=arity, max_size=max_size)
+
+
+@st.composite
+def testkit_cases(draw, fragment: str = "mixed",
+                  size: int = 12) -> Case:
+    """A full nested, multi-relation differential case (schema +
+    database + expression) from the testkit generator."""
+    rng = draw(st.randoms(use_true_random=False))
+    if fragment == "mixed":
+        fragment = rng.choice(("balg1", "balg2", "balg3"))
+    generator = CaseGenerator(rng, fragment=fragment, size=size)
+    return generator.case()

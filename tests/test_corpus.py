@@ -1,0 +1,42 @@
+"""Replay the persisted regression corpus as tier-1 tests.
+
+Every ``tests/corpus/*.json`` document is a minimized repro of a
+once-observed mismatch (or a hand-seeded sentinel for a fixed bug).
+Each replays through the full differential matrix; a regression in any
+backend turns the corresponding case red here, under plain pytest,
+with no fuzzing involved.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testkit import Harness, load_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+_LOADED = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert _LOADED, f"no corpus cases found under {CORPUS_DIR}"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+@pytest.mark.parametrize(
+    "path,case,meta", _LOADED,
+    ids=[os.path.splitext(os.path.basename(path))[0]
+         for path, _, _ in _LOADED])
+def test_corpus_case_replays_green(path, case, meta, harness):
+    report = harness.run_case(case)
+    details = "; ".join(m.describe() for m in report.mismatches)
+    assert report.ok, (
+        f"corpus case {os.path.basename(path)} regressed "
+        f"(original finding: {meta.get('kind')}/{meta.get('backend')}"
+        f"): {details}")

@@ -24,10 +24,13 @@ from repro.guard import Limits, ResourceGovernor
 from repro.optimizer import Optimizer, optimize
 from repro.relational import supports_agree
 from repro.surface import parse, to_text
+from repro.testkit import Harness
 from tests.strategies import balg1_exprs, input_bags
+from tests.strategies import testkit_cases as _cases
 
 SCHEMA = {"B": flat_bag_type(2)}
 FUZZ_SETTINGS = dict(max_examples=120, deadline=None)
+_HARNESS = Harness()
 
 
 class TestEvaluatorVsAnalysis:
@@ -146,3 +149,25 @@ class TestGovernedEvaluationFuzzed:
             Limits(max_steps=1 << 30, max_size=1 << 30,
                    timeout=3600.0))).run(expr, B=bag)
         assert governed == evaluate(expr, B=bag)
+
+
+class TestNestedDifferentialFuzzed:
+    """The testkit's nested multi-relation cases, driven from
+    Hypothesis: the full differential matrix (oracle, cold and warm
+    engine, optimizer, printer round trip, SQL where expressible) plus
+    the metamorphic law catalogue must agree on every generated case."""
+
+    @given(_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_differential_matrix_agrees(self, case):
+        report = _HARNESS.run_case(case)
+        details = "; ".join(m.describe() for m in report.mismatches)
+        assert report.ok, details
+
+    @given(_cases(fragment="balg3", size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_nested_fragments_stay_in_bounds(self, case):
+        from repro.core.fragments import max_bag_nesting
+        assert max_bag_nesting(case.expr, case.schema) <= 3
+        assert infer_type(case.expr, case.schema).accepts(
+            Evaluator().run(case.expr, case.database))

@@ -535,3 +535,62 @@ class TestAcceptanceScenario:
         # the process is alive and well
         assert evaluate(Var("B") + Var("B"),
                         B=Bag.of("a")).cardinality == 2
+
+
+class TestFaultsInsideHarness:
+    """The differential harness threads injected faults into every
+    backend's governor; the retry runner must compose with that —
+    transient faults clear across attempts, persistent ones classify."""
+
+    def _case(self):
+        from repro.testkit import generate_case
+        return generate_case(0, 0)
+
+    def test_harness_outcomes_carry_injection_marker(self):
+        from repro.testkit import Harness
+        harness = Harness(
+            backends=("oracle", "engine"), metamorphic=False,
+            faults=FaultSequence([FaultPlan(at_step=2, kind="cancel")]))
+        report = harness.run_case(self._case())
+        assert report.ok  # governed asymmetry is not a mismatch
+        for outcome in report.outcomes.values():
+            assert outcome.status == "governed"
+            assert is_injected(outcome.error)
+
+    def test_transient_fault_recovers_under_retry(self):
+        from repro.testkit import Harness
+        # fires on the first two attempts, then goes quiet
+        plan = FaultPlan(at_step=2, kind="deadline", max_firings=2)
+        harness = Harness(backends=("oracle",), metamorphic=False,
+                          faults=plan)
+        case = self._case()
+
+        def attempt(number: int):
+            outcome = harness.run_case(case).outcomes["oracle"]
+            if outcome.status == "governed":
+                raise outcome.error
+            assert outcome.status == "ok"
+            return outcome.value
+
+        result = run_with_retry(attempt, RetryPolicy(attempts=3))
+        assert result.status == "retried"
+        assert result.attempts == 3
+        assert isinstance(result.value, Bag)
+
+    def test_persistent_fault_classifies_not_raises(self):
+        from repro.testkit import Harness
+        harness = Harness(
+            backends=("oracle",), metamorphic=False,
+            faults=FaultPlan(at_step=1, kind="budget"))
+        case = self._case()
+
+        def attempt(number: int):
+            outcome = harness.run_case(case).outcomes["oracle"]
+            if outcome.status == "governed":
+                raise outcome.error
+            return outcome.value
+
+        result = run_with_retry(attempt, RetryPolicy(attempts=3))
+        assert result.status == "budget-exceeded"
+        assert result.attempts == 1  # budgets are not transient
+        assert is_injected(result.error)
