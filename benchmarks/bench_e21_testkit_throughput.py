@@ -1,7 +1,7 @@
 """E21 — conformance testkit throughput (systems, not a paper claim).
 
 How expensive is a conformance case?  The differential harness runs
-every generated case through up to six backends; this bench measures
+every generated case through up to seven backends; this bench measures
 cases/sec per backend over a fixed deterministic stream (seed 0, the
 same stream the CI `conformance` job fuzzes), plus the full matrix
 with the metamorphic catalogue on top.  The numbers size the CI case
@@ -38,7 +38,8 @@ CELLS = [
     ("optimized", ("oracle", "optimized"), False),
     ("surface", ("oracle", "surface"), False),
     ("sql", ("oracle", "sql"), False),
-    ("full-matrix+laws", None, True),  # None -> all six backends
+    ("engine-parallel", ("oracle", "engine-parallel"), False),
+    ("full-matrix+laws", None, True),  # None -> all seven backends
 ]
 
 #: the full matrix must beat this (cases/sec); generous so slow CI

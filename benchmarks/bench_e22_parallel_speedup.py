@@ -1,0 +1,269 @@
+"""E22 — morsel-driven parallel scaling (systems, not a paper claim).
+
+Two workloads sweep the worker counts 1/2/4/8 on the ``process``
+backend (the ``thread`` backend shares the GIL, so pure-Python kernels
+cannot scale there — see docs/parallel.md):
+
+* **dedup-heavy** — a symmetric-difference/dedup chain whose whole
+  body compiles into one shard-local program, so each morsel runs the
+  entire chain on its hash shard with zero cross-worker traffic;
+* **join-heavy** — ``eps(sigma_{a2=a3}(L x R))``: both sides are
+  hash-partitioned on the join key, each worker builds and probes its
+  own shard-local table.
+
+Every cell asserts **bag-equality against the serial physical
+engine** before its timing is recorded — scaling numbers for wrong
+answers are worthless.  A third battery drives the governed edges:
+step budgets, near-zero deadlines, pre-cancelled tokens, and a
+powerset budget blowing up inside a barrier leaf must surface the
+*same* GovernedError types as the serial engine, with all workers
+torn down.
+
+Acceptance (the ISSUE's bar): >= 2x speedup at 4 workers on at least
+one workload.  The assertion is gated on ``os.cpu_count() >= 4`` and
+on ``E22_SMOKE`` being unset: a 1-2 core container (or the CI smoke
+job) still runs every equality and governance check, but cannot
+honestly fail a hardware-bound scaling target.
+
+Results persist to ``results/e22_parallel.txt`` (human table),
+``results/e22_parallel.json`` (machine-readable, consumed by
+``benchmarks/collect.py``), and ``results/e22_parallel.status.json``
+(governed-cell statuses).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import (
+    RESULTS_DIR, emit_table, governed_cell, record_cell_status,
+)
+from repro.core.bag import Bag, Tup
+from repro.core.errors import (
+    BudgetExceeded, Cancelled, DeadlineExceeded,
+)
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Cartesian, Dedup, Lam, Powerset, Select,
+    Subtraction, Var, var,
+)
+from repro.engine import evaluate
+from repro.guard import (
+    CancellationToken, Limits, ResourceGovernor, RetryPolicy,
+)
+
+EXPERIMENT = "e22_parallel"
+
+SMOKE = bool(os.environ.get("E22_SMOKE"))
+
+WORKER_SWEEP = (1, 2, 4, 8)
+
+SPEEDUP_FLOOR = 2.0        # at 4 workers, on at least one workload
+SPEEDUP_WORKERS = 4
+
+#: (atoms, copies) per workload — the smoke tier keeps CI fast while
+#: still exercising every shard/merge/governance path.
+DEDUP_SIZE = (400, 6) if SMOKE else (6000, 8)
+JOIN_SIZE = 250 if SMOKE else 1400
+
+LIMITS = Limits(max_steps=500_000_000, timeout=300.0)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+def _dedup_db():
+    atoms, copies = DEDUP_SIZE
+    X = Bag.from_counts({Tup(i % atoms, (i * 7) % atoms): (i % copies) + 1
+                         for i in range(atoms * 2)})
+    Y = Bag.from_counts({Tup(i % atoms, (i * 5) % atoms): (i % 3) + 1
+                         for i in range(atoms)})
+    return {"X": X, "Y": Y}
+
+
+def dedup_chain(depth: int = 3):
+    """eps((X - Y) (+) (Y - X)) iterated: one shard-local program."""
+    x, y = var("X"), var("Y")
+    for _ in range(depth):
+        x = Dedup(AdditiveUnion(Subtraction(x, y), Subtraction(y, x)))
+    return x
+
+
+def _join_db():
+    n = JOIN_SIZE
+    L = Bag.from_counts({Tup(i % n, (i * 3) % 97): (i % 2) + 1
+                         for i in range(n * 2)})
+    R = Bag.from_counts({Tup((i * 3) % 97, i % n): (i % 3) + 1
+                         for i in range(n * 2)})
+    return {"L": L, "R": R}
+
+
+def join_query():
+    """eps(sigma_{a2=a3}(L x R)): hash-partitioned on the join key."""
+    return Dedup(Select(Lam("t", Attribute(Var("t"), 2)),
+                        Lam("t", Attribute(Var("t"), 3)),
+                        Cartesian(var("L"), var("R"))))
+
+
+WORKLOADS = [
+    ("dedup-heavy", dedup_chain(), _dedup_db),
+    ("join-heavy", join_query(), _join_db),
+]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# The experiment
+# ----------------------------------------------------------------------
+
+
+def test_e22_parallel_speedup(benchmark):
+    rows = []
+    ledger = {"experiment": EXPERIMENT, "smoke": SMOKE,
+              "cpu_count": os.cpu_count(), "workloads": []}
+    best_speedup_at_target = 0.0
+
+    for label, expr, make_db in WORKLOADS:
+        db = make_db()
+
+        def serial_cell(governor, expr=expr, db=db):
+            return _timed(lambda: evaluate(expr, db, cache=None,
+                                           governor=governor))
+
+        outcome = governed_cell(EXPERIMENT, f"{label}-serial",
+                                serial_cell, limits=LIMITS)
+        assert outcome.status == "ok", outcome.status
+        reference, serial_seconds = outcome.value
+
+        entry = {"workload": label, "serial_seconds": serial_seconds,
+                 "cells": []}
+        for workers in WORKER_SWEEP:
+
+            def parallel_cell(governor, expr=expr, db=db,
+                              workers=workers):
+                return _timed(lambda: evaluate(
+                    expr, db, cache=None, governor=governor,
+                    engine="parallel", workers=workers,
+                    parallel_backend="process",
+                    parallel_threshold=0.0))
+
+            outcome = governed_cell(EXPERIMENT, f"{label}-w{workers}",
+                                    parallel_cell, limits=LIMITS)
+            assert outcome.status == "ok", outcome.status
+            result, seconds = outcome.value
+            # bag-equality on EVERY cell, before any timing is kept
+            assert result == reference, (label, workers)
+            speedup = serial_seconds / seconds
+            if workers == SPEEDUP_WORKERS:
+                best_speedup_at_target = max(best_speedup_at_target,
+                                             speedup)
+            entry["cells"].append({"workers": workers,
+                                   "seconds": seconds,
+                                   "speedup": speedup})
+            rows.append((label, workers,
+                         f"{serial_seconds * 1e3:.1f}",
+                         f"{seconds * 1e3:.1f}",
+                         f"{speedup:.2f}x"))
+        ledger["workloads"].append(entry)
+
+    # -- governed edges: same error family as serial, all backends ----
+    governed = _governed_edges()
+    ledger["governed"] = governed
+    for cell, status in sorted(governed.items()):
+        rows.append((f"governed:{cell}", "-", "-", "-", status))
+
+    emit_table(
+        EXPERIMENT,
+        "E22  morsel-driven scaling, process backend "
+        f"({'smoke' if SMOKE else 'full'} tier, "
+        f"{os.cpu_count()} cpu)",
+        ["workload", "workers", "serial ms", "parallel ms", "speedup"],
+        rows)
+
+    ledger["speedup_at_4_workers"] = best_speedup_at_target
+    with open(os.path.join(RESULTS_DIR, f"{EXPERIMENT}.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(ledger, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # acceptance: >= 2x at 4 workers — only meaningful with >= 4 cores
+    if not SMOKE and (os.cpu_count() or 1) >= 4:
+        assert best_speedup_at_target >= SPEEDUP_FLOOR, (
+            f"best speedup at {SPEEDUP_WORKERS} workers was "
+            f"{best_speedup_at_target:.2f}x < {SPEEDUP_FLOOR}x")
+
+    # timing fixture: the dedup workload at 2 workers
+    db = _dedup_db()
+    expr = dedup_chain()
+    benchmark(lambda: evaluate(expr, db, cache=None, engine="parallel",
+                               workers=2, parallel_backend="process",
+                               parallel_threshold=0.0))
+
+
+def _governed_edges():
+    """Drive every governance path through the exchange on both
+    backends and record exact error types; workers must all terminate
+    (the pool context-managers join them) and the surfaced error must
+    be the same GovernedError subclass the serial engine raises."""
+    expr = dedup_chain(2)
+    db = _dedup_db()
+    statuses = {}
+    once = RetryPolicy(attempts=1)
+
+    for backend in ("thread", "process"):
+        for cell, limits, expected in (
+                ("steps", Limits(max_steps=5), BudgetExceeded),
+                ("deadline", Limits(timeout=1e-9), DeadlineExceeded)):
+
+            def edge(governor, limits=limits, backend=backend):
+                return evaluate(expr, db, cache=None, limits=limits,
+                                engine="parallel", workers=2,
+                                parallel_backend=backend,
+                                parallel_threshold=0.0)
+
+            outcome = governed_cell(EXPERIMENT,
+                                    f"edge-{cell}-{backend}", edge,
+                                    policy=once)
+            assert isinstance(outcome.error, expected), outcome.error
+            statuses[f"{cell}-{backend}"] = outcome.status
+
+    # pre-cancelled token: no worker may produce a result
+    def cancelled_edge(governor):
+        token = CancellationToken()
+        token.cancel("benchmark abort")
+        return evaluate(expr, db, cache=None, engine="parallel",
+                        workers=2, parallel_threshold=0.0,
+                        governor=ResourceGovernor(
+                            Limits(max_steps=10**9), token=token))
+
+    outcome = governed_cell(EXPERIMENT, "edge-cancelled",
+                            cancelled_edge, policy=once)
+    assert isinstance(outcome.error, Cancelled), outcome.error
+    statuses["cancelled"] = outcome.status
+
+    # powerset budget inside a barrier leaf: the blow-up happens in a
+    # worker's oracle-evaluated leaf and must surface as the same
+    # BudgetExceeded(budget="powerset") the serial engine raises
+    atoms = Bag.from_counts({Tup(i): 1 for i in range(40)})
+    powerset_expr = Dedup(AdditiveUnion(Powerset(var("T")),
+                                        Powerset(var("T"))))
+
+    def powerset_edge(governor):
+        return evaluate(powerset_expr, {"T": atoms}, cache=None,
+                        engine="parallel", workers=2,
+                        parallel_threshold=0.0, powerset_budget=64)
+
+    outcome = governed_cell(EXPERIMENT, "edge-powerset",
+                            powerset_edge, policy=once)
+    assert isinstance(outcome.error, BudgetExceeded), outcome.error
+    assert outcome.error.details.get("budget") == "powerset"
+    statuses["powerset"] = outcome.status
+    return statuses

@@ -1,0 +1,154 @@
+"""Consolidate the scattered benchmark outputs into one perf ledger.
+
+The experiment batteries each persist a human table
+(``results/<e>.txt``), a governed-status file
+(``results/<e>.status.json``) and — from E22 on — a machine-readable
+JSON.  This script distils the headline numbers of the *performance*
+experiments into ``results/BENCH_TRAJECTORY.json``: one deterministic,
+sorted, timestamp-free document per repository state, so successive
+PRs accumulate a machine-readable perf trajectory instead of diffing
+ASCII tables.
+
+Collected headlines:
+
+* **e20_engine** — final sym-diff speedup of the physical engine over
+  the tree walker (the ``>= 5x`` acceptance number);
+* **e21_testkit** — full-matrix differential throughput in cases/sec;
+* **e22_parallel** — per-workload scaling cells, the best speedup at
+  4 workers, and the governed-edge statuses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/collect.py        # rewrite ledger
+    PYTHONPATH=src python benchmarks/collect.py --check  # verify fresh
+
+``--check`` exits non-zero when the persisted ledger disagrees with
+what the current result files produce (CI guards against stale
+ledgers this way).  Missing experiments are recorded as ``null`` —
+the ledger never fails just because a battery has not been run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+from typing import Any, Dict, Optional
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+LEDGER = os.path.join(RESULTS_DIR, "BENCH_TRAJECTORY.json")
+
+
+def _read(name: str) -> Optional[str]:
+    path = os.path.join(RESULTS_DIR, name)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _statuses(experiment: str) -> Optional[Dict[str, str]]:
+    text = _read(f"{experiment}.status.json")
+    if text is None:
+        return None
+    document = json.loads(text)
+    return {str(cell["cell"]): str(cell["status"])
+            for cell in document.get("cells", [])}
+
+
+def collect_e20() -> Optional[Dict[str, Any]]:
+    """Headline: the last (largest) sym-diff row's speedup column."""
+    text = _read("e20_engine.txt")
+    if text is None:
+        return None
+    speedups = re.findall(
+        r"^sym-diff\s+(\w+)\s+\(n=(\d+).*?([\d.]+)x\s*$",
+        text, re.MULTILINE)
+    if not speedups:
+        return None
+    label, size, speedup = speedups[-1]
+    return {"headline": "sym-diff chain, engine vs tree walker",
+            "cell": f"sym-diff {label} (n={size})",
+            "speedup": float(speedup),
+            "statuses": _statuses("e20_engine")}
+
+
+def collect_e21() -> Optional[Dict[str, Any]]:
+    """Headline: the full seven-way matrix's cases/sec."""
+    text = _read("e21_testkit.txt")
+    if text is None:
+        return None
+    match = re.search(
+        r"^full-matrix\+laws\s+(\d+)\s+[\d.]+\s+([\d.]+)",
+        text, re.MULTILINE)
+    if match is None:
+        return None
+    return {"headline": "differential matrix throughput",
+            "cases": int(match.group(1)),
+            "cases_per_sec": float(match.group(2)),
+            "statuses": _statuses("e21_testkit")}
+
+
+def collect_e22() -> Optional[Dict[str, Any]]:
+    """Headline: scaling cells plus governed-edge statuses."""
+    text = _read("e22_parallel.json")
+    if text is None:
+        return None
+    document = json.loads(text)
+    workloads = {
+        entry["workload"]: {
+            "serial_seconds": round(entry["serial_seconds"], 4),
+            "cells": [{"workers": cell["workers"],
+                       "seconds": round(cell["seconds"], 4),
+                       "speedup": round(cell["speedup"], 3)}
+                      for cell in entry["cells"]],
+        }
+        for entry in document.get("workloads", [])
+    }
+    return {"headline": "morsel-driven scaling, process backend",
+            "smoke": document.get("smoke"),
+            "cpu_count": document.get("cpu_count"),
+            "speedup_at_4_workers": round(
+                document.get("speedup_at_4_workers", 0.0), 3),
+            "workloads": workloads,
+            "governed": document.get("governed"),
+            "statuses": _statuses("e22_parallel")}
+
+
+def build_ledger() -> Dict[str, Any]:
+    return {
+        "comment": ("per-PR perf trajectory; regenerate with "
+                    "PYTHONPATH=src python benchmarks/collect.py"),
+        "experiments": {
+            "e20_engine": collect_e20(),
+            "e21_testkit": collect_e21(),
+            "e22_parallel": collect_e22(),
+        },
+    }
+
+
+def main(argv) -> int:
+    ledger = build_ledger()
+    rendered = json.dumps(ledger, indent=2, sort_keys=True) + "\n"
+    if "--check" in argv:
+        current = _read("BENCH_TRAJECTORY.json")
+        if current != rendered:
+            sys.stderr.write(
+                "BENCH_TRAJECTORY.json is stale; regenerate with "
+                "PYTHONPATH=src python benchmarks/collect.py\n")
+            return 1
+        print("BENCH_TRAJECTORY.json is fresh")
+        return 0
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(LEDGER, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    print(f"wrote {LEDGER}")
+    for name, entry in sorted(ledger["experiments"].items()):
+        status = "missing" if entry is None else entry["headline"]
+        print(f"  {name}: {status}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

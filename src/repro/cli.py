@@ -26,7 +26,8 @@ Commands:
                       physical plan (kernel per node, estimated vs
                       actual cardinalities)
 ``:encode expr``      print the Section 2 standard encoding
-``:engine [name]``    show or set the evaluator (physical | tree)
+``:engine [name]``    show or set the evaluator
+                      (physical | parallel | tree)
 ``:save name path``   write a binding's standard encoding to a file
 ``:load name path``   read a standard encoding from a file
 ``:env``              list bindings
@@ -79,14 +80,18 @@ class Session:
 
     def __init__(self, out: Optional[TextIO] = None,
                  limits: Optional[Limits] = None,
-                 engine: str = "physical"):
-        if engine not in ("physical", "tree"):
+                 engine: str = "physical",
+                 workers: Optional[int] = None,
+                 parallel_backend: str = "thread"):
+        if engine not in ("physical", "parallel", "tree"):
             raise ValueError(f"unknown engine {engine!r} "
-                             "(choices: physical, tree)")
+                             "(choices: physical, parallel, tree)")
         self.bindings: Dict[str, object] = {}
         self.out = out if out is not None else sys.stdout
         self.limits = limits
         self.engine = engine
+        self.workers = workers
+        self.parallel_backend = parallel_backend
 
     # -- helpers ----------------------------------------------------------
 
@@ -99,10 +104,15 @@ class Session:
 
     def evaluate_text(self, text: str):
         expr = parse(text)
-        if self.engine == "physical":
+        if self.engine in ("physical", "parallel"):
             from repro import engine as physical_engine
+            extra = {}
+            if self.engine == "parallel":
+                extra = {"workers": self.workers,
+                         "parallel_backend": self.parallel_backend}
             return physical_engine.evaluate(
-                expr, self.bindings, governor=self._governor())
+                expr, self.bindings, governor=self._governor(),
+                engine=self.engine, **extra)
         return self._evaluator().run(expr, self.bindings)
 
     def _governor(self) -> Optional[ResourceGovernor]:
@@ -148,12 +158,12 @@ class Session:
             choice = line[len(":engine"):].strip()
             if not choice:
                 self._print(f"engine = {self.engine}")
-            elif choice in ("physical", "tree"):
+            elif choice in ("physical", "parallel", "tree"):
                 self.engine = choice
                 self._print(f"engine = {self.engine}")
             else:
                 self._print(f"error: unknown engine {choice!r} "
-                            "(choices: physical, tree)")
+                            "(choices: physical, parallel, tree)")
             return True
         if line == ":env":
             if not self.bindings:
@@ -190,6 +200,13 @@ class Session:
             self._print("-- physical --")
             self._print(explain_physical(
                 expr, self.bindings, governor=self._governor()))
+            if self.engine == "parallel":
+                # the dual output: same expression, partitioned plan
+                self._print("-- parallel --")
+                self._print(explain_physical(
+                    expr, self.bindings, governor=self._governor(),
+                    engine="parallel", workers=self.workers,
+                    parallel_backend=self.parallel_backend))
             return True
         if line.startswith(":encode "):
             from repro.core.encoding import standard_encoding
@@ -283,32 +300,54 @@ def parse_limit_flags(argv: List[str]) -> Tuple[Optional[Limits],
     return (Limits(**spec) if spec else None), paths
 
 
-def _parse_engine_flag(argv: List[str]) -> Tuple[str, List[str]]:
-    """Strip ``--engine NAME`` / ``--engine=NAME`` from the argument
-    list before the limit flags are parsed (so
+def _parse_engine_flag(argv: List[str]
+                       ) -> Tuple[str, Optional[int], str, List[str]]:
+    """Strip ``--engine NAME`` / ``--workers N`` /
+    ``--parallel-backend NAME`` (and their ``=`` forms) from the
+    argument list before the limit flags are parsed (so
     :func:`parse_limit_flags` keeps its strict unknown-flag check)."""
     engine = "physical"
+    workers: Optional[int] = None
+    backend = "thread"
     rest: List[str] = []
     index = 0
+
+    def value_of(name: str, equals: str, inline: str) -> str:
+        nonlocal index
+        if equals:
+            return inline
+        index += 1
+        if index >= len(argv):
+            raise ValueError(f"{name} needs a value")
+        return argv[index]
+
     while index < len(argv):
         argument = argv[index]
         name, equals, inline = argument.partition("=")
         if name == "--engine":
-            if equals:
-                engine = inline
-            else:
-                index += 1
-                if index >= len(argv):
-                    raise ValueError("--engine needs a value")
-                engine = argv[index]
-            if engine not in ("physical", "tree"):
+            engine = value_of(name, equals, inline)
+            if engine not in ("physical", "parallel", "tree"):
                 raise ValueError(
-                    f"--engine expects 'physical' or 'tree', "
-                    f"got {engine!r}")
+                    f"--engine expects 'physical', 'parallel', or "
+                    f"'tree', got {engine!r}")
+        elif name == "--workers":
+            raw = value_of(name, equals, inline)
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(f"--workers expects int, got {raw!r}")
+            if workers < 1:
+                raise ValueError("--workers must be >= 1")
+        elif name == "--parallel-backend":
+            backend = value_of(name, equals, inline)
+            if backend not in ("thread", "process"):
+                raise ValueError(
+                    f"--parallel-backend expects 'thread' or "
+                    f"'process', got {backend!r}")
         else:
             rest.append(argument)
         index += 1
-    return engine, rest
+    return engine, workers, backend, rest
 
 
 def main(argv=None) -> int:
@@ -318,8 +357,10 @@ def main(argv=None) -> int:
     Limit flags (``--max-steps``, ``--max-size``, ``--timeout``,
     ``--max-depth``, ``--max-iterations``, ``--powerset-budget``)
     govern every evaluation; governed failures print as ``error:``
-    lines instead of killing the process.  ``--engine physical|tree``
-    picks the evaluator (default: the physical kernel engine).
+    lines instead of killing the process.  ``--engine
+    physical|parallel|tree`` picks the evaluator (default: the
+    physical kernel engine); ``--workers N`` and ``--parallel-backend
+    thread|process`` configure the parallel engine.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fuzz":
@@ -327,12 +368,13 @@ def main(argv=None) -> int:
         from repro.testkit.cli import main as fuzz_main
         return fuzz_main(argv[1:])
     try:
-        engine, argv = _parse_engine_flag(argv)
+        engine, workers, backend, argv = _parse_engine_flag(argv)
         limits, paths = parse_limit_flags(argv)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    session = Session(limits=limits, engine=engine)
+    session = Session(limits=limits, engine=engine, workers=workers,
+                      parallel_backend=backend)
     if paths:
         for path in paths:
             with open(path, "r", encoding="utf-8") as handle:

@@ -228,14 +228,18 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
              governor: Optional[ResourceGovernor] = None,
              limits: Optional[Limits] = None,
              engine: str = "tree",
+             workers: Optional[int] = None,
+             parallel_backend: str = "thread",
              **named_bags: Bag) -> Any:
     """One-shot convenience wrapper around :class:`Evaluator`.
 
     ``engine`` selects the evaluation strategy: ``"tree"`` (default)
     is this module's instrumented tree walker — the semantics oracle —
     while ``"physical"`` dispatches to the pipelined kernel engine of
-    :mod:`repro.engine` (same results, bag-equal by the differential
-    fuzz suite; governed limits apply either way).
+    :mod:`repro.engine` and ``"parallel"`` to its morsel-driven
+    executor (``workers`` threads, or processes with
+    ``parallel_backend="process"``).  Same results, bag-equal by the
+    differential fuzz suite; governed limits apply either way.
 
     >>> from repro.core.expr import var
     >>> from repro.core.bag import Bag
@@ -246,10 +250,14 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
     """
     if engine != "tree":
         from repro import engine as physical_engine
+        extra = {}
+        if engine == "parallel":
+            extra = {"workers": workers,
+                     "parallel_backend": parallel_backend}
         return physical_engine.evaluate(
             expr, database, engine=engine, governor=governor,
             limits=limits, powerset_budget=powerset_budget,
-            **named_bags)
+            **extra, **named_bags)
     return Evaluator(powerset_budget=powerset_budget,
                      governor=governor, limits=limits).run(
         expr, database, **named_bags)

@@ -97,28 +97,37 @@ def _arities_of(bindings: Mapping[str, Any]) -> dict:
 def plan_for(expr: Expr, bindings: Mapping[str, Any],
              cache: Optional[PlanCache] = None,
              stats: Optional[EngineStats] = None,
-             selectivity: float = 0.5) -> PhysicalPlan:
+             selectivity: float = 0.5,
+             policy=None) -> PhysicalPlan:
     """Fetch or build the physical plan for an expression.
 
     A cache hit skips lowering entirely (asserted by bench E20's
     stats-counter check); a miss lowers with exact statistics drawn
-    from the bindings and stores the plan.
+    from the bindings and stores the plan.  ``policy`` (a
+    :class:`~repro.engine.parallel.ParallelPolicy`) turns on the
+    parallelism pass; parallel plans live under a tagged cache key so
+    they never shadow serial plans for the same expression.
     """
     arities = _arities_of(bindings)
+    tag = None
+    if policy is not None:
+        tag = ("parallel", policy.threshold)
     if cache is None:
         plan = lower(expr, _statistics_of(bindings),
-                     selectivity=selectivity, arities=arities)
+                     selectivity=selectivity, arities=arities,
+                     parallel=policy)
         if stats is not None:
             stats.lowerings += 1
         return plan
-    key = PlanCache.key_for(expr, arities)
+    key = PlanCache.key_for(expr, arities, tag)
     plan = cache.get(key)
     if plan is not None:
         if stats is not None:
             stats.cache_hits += 1
         return plan
     plan = lower(expr, _statistics_of(bindings),
-                 selectivity=selectivity, arities=arities)
+                 selectivity=selectivity, arities=arities,
+                 parallel=policy)
     cache.put(key, plan)
     if stats is not None:
         stats.cache_misses += 1
@@ -135,23 +144,42 @@ def evaluate(expr: Expr,
              powerset_budget: Optional[int] = None,
              cache: Optional[PlanCache] = _DEFAULT_CACHE,
              stats: Optional[EngineStats] = None,
+             workers: Optional[int] = None,
+             parallel_backend: str = "thread",
+             parallel_threshold: Optional[float] = None,
              **named_bags: Bag) -> Any:
     """Evaluate an expression with the physical engine.
 
     ``engine="tree"`` falls through to the oracle evaluator, so callers
-    can switch per query.  ``cache=None`` disables plan caching; the
-    default is the process-wide cache.  Governed limits apply to the
-    whole run: lowering is free, but every kernel ticks the shared
-    governor, every materialisation honours the size budget, and
-    powerset expansion pre-checks its budget.
+    can switch per query.  ``engine="parallel"`` runs the same kernels
+    morsel-parallel on ``workers`` threads (or processes with
+    ``parallel_backend="process"``); ``parallel_threshold`` overrides
+    the minimum estimated cardinality below which the lowering pass
+    refuses to insert exchanges (0 forces them everywhere).
+    ``cache=None`` disables plan caching; the default is the
+    process-wide cache.  Governed limits apply to the whole run:
+    lowering is free, but every kernel ticks the shared governor,
+    every materialisation honours the size budget, and powerset
+    expansion pre-checks its budget.
     """
     if engine == "tree":
         return Evaluator(powerset_budget=powerset_budget,
                          governor=governor, limits=limits).run(
             expr, database, **named_bags)
-    if engine != "physical":
+    if engine not in ("physical", "parallel"):
         raise ValueError(f"unknown engine {engine!r} "
-                         "(choices: 'physical', 'tree')")
+                         "(choices: 'physical', 'parallel', 'tree')")
+    policy = None
+    parallel_config = None
+    if engine == "parallel":
+        from repro.engine.parallel import ParallelConfig, ParallelPolicy
+        if parallel_threshold is not None:
+            policy = ParallelPolicy(threshold=parallel_threshold)
+        else:
+            policy = ParallelPolicy()
+        parallel_config = ParallelConfig(
+            workers=workers if workers is not None else 2,
+            backend=parallel_backend)
     bindings = _bindings_of(database, named_bags)
     missing = expr.free_vars() - set(bindings)
     if missing:
@@ -162,8 +190,10 @@ def evaluate(expr: Expr,
                           track_stats=False)
     if evaluator.governor is not None:
         evaluator.governor.ensure_started()
-    plan = plan_for(expr, bindings, cache=cache, stats=stats)
-    ctx = ExecContext(bindings, evaluator, stats=stats)
+    plan = plan_for(expr, bindings, cache=cache, stats=stats,
+                    policy=policy)
+    ctx = ExecContext(bindings, evaluator, stats=stats,
+                      parallel=parallel_config)
     try:
         return plan.execute(ctx)
     except RecursionError as exc:
@@ -186,20 +216,51 @@ def explain_physical(expr: Expr,
                      cache: Optional[PlanCache] = None,
                      governor: Optional[ResourceGovernor] = None,
                      limits: Optional[Limits] = None,
+                     engine: str = "physical",
+                     workers: Optional[int] = None,
+                     parallel_backend: str = "thread",
+                     parallel_threshold: Optional[float] = None,
                      **named_bags: Bag) -> str:
     """Render the physical plan, optionally with actual cardinalities.
 
     With ``execute=True`` (and all free variables bound) the plan runs
     once so every node reports ``actual rows`` next to its estimate —
-    the CLI's ``:explain`` uses exactly this.
+    the CLI's ``:explain`` uses exactly this.  Under
+    ``engine="parallel"`` the plan shows the Gather/Exchange/Partition
+    structure and a footer reports the exchange counters (partitions,
+    morsels, gather barriers, per-worker steps) plus the plan-cache
+    totals for the cache that served the plan.
     """
     bindings = _bindings_of(database, named_bags)
     stats = EngineStats()
-    plan = plan_for(expr, bindings, cache=cache, stats=stats)
+    policy = None
+    parallel_config = None
+    if engine == "parallel":
+        from repro.engine.parallel import ParallelConfig, ParallelPolicy
+        policy = (ParallelPolicy(threshold=parallel_threshold)
+                  if parallel_threshold is not None else ParallelPolicy())
+        parallel_config = ParallelConfig(
+            workers=workers if workers is not None else 2,
+            backend=parallel_backend)
+    plan = plan_for(expr, bindings, cache=cache, stats=stats,
+                    policy=policy)
     if execute and not (expr.free_vars() - set(bindings)):
         evaluator = Evaluator(governor=governor, limits=limits,
                               track_stats=False)
         if evaluator.governor is not None:
             evaluator.governor.ensure_started()
-        plan.execute(ExecContext(bindings, evaluator, stats=stats))
-    return plan.render()
+        plan.execute(ExecContext(bindings, evaluator, stats=stats,
+                                 parallel=parallel_config))
+    rendered = plan.render()
+    if engine != "parallel":
+        return rendered
+    lines = [rendered, "-- exchange --",
+             f"partitions created   {stats.partitions_created}",
+             f"morsels executed     {stats.morsels_executed}",
+             f"gather barriers      {stats.gather_barriers}",
+             f"per-worker steps     {stats.worker_steps}"]
+    if cache is not None:
+        lines.append(f"plan cache           hits={cache.stats.hits} "
+                     f"misses={cache.stats.misses} "
+                     f"evictions={cache.stats.evictions}")
+    return "\n".join(lines)

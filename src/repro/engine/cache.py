@@ -105,12 +105,19 @@ class PlanCache:
 
     @staticmethod
     def key_for(expr: Expr,
-                arities: Optional[Mapping[str, int]] = None) -> Hashable:
-        """Cache key: canonical expression key + arity signature."""
+                arities: Optional[Mapping[str, int]] = None,
+                tag: Hashable = None) -> Hashable:
+        """Cache key: canonical expression key + arity signature.
+
+        ``tag`` distinguishes plans built under different lowering
+        policies (the parallelism pass bakes Exchange nodes into the
+        plan, so a serial and a parallel plan for the same expression
+        must not share a slot).
+        """
         signature: Tuple = ()
         if arities:
             signature = tuple(sorted(arities.items()))
-        return (canonical_key(expr), signature)
+        return (canonical_key(expr), signature, tag)
 
     def get(self, key: Hashable) -> Optional[PhysicalPlan]:
         plan = self._plans.get(key)

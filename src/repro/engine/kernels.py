@@ -48,13 +48,18 @@ Rows = Iterable[Tuple[Any, int]]
 
 
 def collect(rows: Rows, tick: Optional[Callable[[], None]] = None,
-            every: int = 128) -> Dict[Any, int]:
+            every: int = 128,
+            get_every: Optional[Callable[[], int]] = None
+            ) -> Dict[Any, int]:
     """Materialise a multiplicity stream into a ``value -> count``
     dict, summing repeated values.
 
     ``tick`` (typically ``ResourceGovernor.tick``) is invoked every
     ``every`` materialised rows so step budgets, deadlines, and
     cancellation apply to hash builds without a per-row penalty.
+    ``get_every`` re-reads the interval after each tick, so an
+    adaptive context (near-deadline halving) takes effect inside a
+    long-running build instead of only at the next one.
     """
     counts: Dict[Any, int] = {}
     get = counts.get
@@ -69,6 +74,8 @@ def collect(rows: Rows, tick: Optional[Callable[[], None]] = None,
         if pending >= every:
             pending = 0
             tick()
+            if get_every is not None:
+                every = get_every()
     return counts
 
 

@@ -86,10 +86,14 @@ class Lowering:
 
     def __init__(self, statistics: Optional[Mapping[str, BagStats]]
                  = None, selectivity: float = 0.5,
-                 arities: Optional[Mapping[str, int]] = None):
+                 arities: Optional[Mapping[str, int]] = None,
+                 parallel=None):
         self.statistics = dict(statistics) if statistics else None
         self.selectivity = selectivity
         self.arities = dict(arities) if arities else {}
+        #: Optional ParallelPolicy: when set, the parallelism pass
+        #: wraps eligible subtrees in Gather/Exchange/Partition nodes.
+        self.parallel = parallel
         self._shared: Dict[Expr, SharedScan] = {}
         self._share_counts: Dict[Expr, int] = {}
 
@@ -150,6 +154,11 @@ class Lowering:
     def _lower_node(self, expr: Expr) -> PhysicalNode:
         estimated = self._estimate(expr)
 
+        if self.parallel is not None:
+            exchanged = self._try_parallel(expr, estimated)
+            if exchanged is not None:
+                return exchanged
+
         if isinstance(expr, Var):
             return ScanBag(expr.name, estimated)
         if isinstance(expr, Const):
@@ -209,6 +218,52 @@ class Lowering:
         # expressions: the tree walker is the oracle.
         return OracleEval(expr, estimated)
 
+    # -- parallelism pass ------------------------------------------------
+
+    def _try_parallel(self, expr: Expr,
+                      estimated: Optional[BagStats]
+                      ) -> Optional[PhysicalNode]:
+        """Wrap a partition-compatible subtree in
+        Gather -> Exchange -> Partition* nodes.
+
+        Refusal conditions (documented in ``docs/parallel.md``):
+
+        1. the root operator is not partition-compatible (the segment
+           compiler returns ``None``, and the pass recurses into the
+           children via normal lowering);
+        2. cardinality estimates are unavailable for some leaf while
+           the policy threshold is positive — without statistics the
+           pass cannot justify the fan-out cost;
+        3. the estimated total leaf input cardinality is below the
+           policy threshold (too small to amortise sharding).
+        """
+        from repro.engine.parallel.partition import (
+            compile_parallel_segment,
+        )
+        segment = compile_parallel_segment(expr, self._operand_arity)
+        if segment is None:
+            return None
+        threshold = self.parallel.threshold
+        if threshold > 0:
+            total = 0.0
+            for leaf in segment.leaves:
+                card = self._card(self._estimate(leaf.expr))
+                if card is None:
+                    return None
+                total += card
+            if total < threshold:
+                return None
+        from repro.engine.parallel.exchange import (
+            Exchange, Gather, Partition,
+        )
+        partitions = [
+            Partition(self._lower(leaf.expr), leaf.key,
+                      self._estimate(leaf.expr))
+            for leaf in segment.leaves
+        ]
+        exchange = Exchange(partitions, segment.program, estimated)
+        return Gather(exchange, estimated)
+
     # -- selection / join -----------------------------------------------
 
     def _lower_select(self, expr: Select,
@@ -264,7 +319,12 @@ class Lowering:
 
     def _operand_arity(self, operand: Expr) -> Optional[int]:
         """Arity of a product operand's tuples, from statistics-free
-        structural evidence (Const bags / nested products) only."""
+        structural evidence only.
+
+        Dedup, selection, and the union family preserve element shape,
+        so the pass sees through them — a join whose side is, say,
+        ``eps(R)`` or ``R (+) S`` still fuses (and still partitions).
+        """
         if isinstance(operand, Const) and isinstance(operand.value, Bag):
             bag = operand.value
             if bag.is_empty():
@@ -279,6 +339,14 @@ class Lowering:
             return left + right
         if isinstance(operand, Var):
             return self.arities.get(operand.name)
+        if isinstance(operand, (Dedup, Select)):
+            return self._operand_arity(operand.operand)
+        if isinstance(operand, (AdditiveUnion, Subtraction, MaxUnion,
+                                Intersection)):
+            left = self._operand_arity(operand.left)
+            if left is not None:
+                return left
+            return self._operand_arity(operand.right)
         return None
 
     def _lower_product(self, expr: Cartesian,
@@ -359,7 +427,8 @@ def _attr_eq_indices(select: Select) -> Optional[Tuple[int, int]]:
 def lower(expr: Expr,
           statistics: Optional[Mapping[str, BagStats]] = None,
           selectivity: float = 0.5,
-          arities: Optional[Mapping[str, int]] = None) -> PhysicalPlan:
+          arities: Optional[Mapping[str, int]] = None,
+          parallel=None) -> PhysicalPlan:
     """One-shot lowering convenience wrapper."""
     return Lowering(statistics, selectivity=selectivity,
-                    arities=arities).lower(expr)
+                    arities=arities, parallel=parallel).lower(expr)

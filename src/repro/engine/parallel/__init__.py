@@ -1,0 +1,39 @@
+"""Morsel-driven parallel execution for the physical engine.
+
+Three layers (see ``docs/parallel.md`` for the full story):
+
+* :mod:`~repro.engine.parallel.partition` — hash partitioning of
+  multiplicity streams, the partition-compatibility table, and the
+  closure-free *segment programs* shipped to workers;
+* :mod:`~repro.engine.parallel.exchange` — the
+  Partition/Exchange/Gather physical nodes and the thread/process
+  worker pools with ordered merge and fail-fast errors;
+* :mod:`~repro.engine.parallel.governor` — budget splitting so a
+  parallel run honours the same :class:`~repro.guard.Limits` as a
+  serial one (shared step pool, inherited deadline, linked
+  cancellation, per-worker stats merge).
+
+Entry points: ``repro.engine.evaluate(..., engine="parallel",
+workers=N)``, ``run_sql(..., engine="parallel")``, the CLI's
+``--engine parallel --workers N`` / ``:engine parallel``.
+"""
+
+from repro.engine.parallel.exchange import (
+    Exchange, Gather, ParallelConfig, Partition,
+)
+from repro.engine.parallel.governor import (
+    SharedBudget, WorkerGovernor, merge_worker_steps, presplit_limits,
+)
+from repro.engine.parallel.partition import (
+    PARTITION_COMPAT, LeafSpec, ParallelPolicy, ParallelSegment,
+    compile_parallel_segment, execute_program, merge_counts,
+    split_counts,
+)
+
+__all__ = [
+    "PARTITION_COMPAT", "ParallelPolicy", "ParallelSegment", "LeafSpec",
+    "ParallelConfig", "Partition", "Exchange", "Gather",
+    "SharedBudget", "WorkerGovernor", "presplit_limits",
+    "merge_worker_steps", "compile_parallel_segment", "execute_program",
+    "split_counts", "merge_counts",
+]

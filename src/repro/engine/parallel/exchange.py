@@ -1,0 +1,372 @@
+"""Morsel-driven exchange: worker pools over hash-partitioned shards.
+
+The parallelism pass (:mod:`repro.engine.lower`) rewrites an eligible
+subtree into::
+
+    Gather
+      Exchange  <segment program>
+        Partition key=(i,)   <leaf plan>
+        Partition key=(j,)   <leaf plan>
+
+:class:`Partition` materialises one leaf serially (the leaf plan is an
+arbitrary physical plan — it may itself contain joins, oracles, or
+powersets) and declares the partition key its slot must be sharded on.
+:class:`Exchange` splits every input into ``workers x morsel_factor``
+shards, runs the segment program shard-by-shard on a
+``concurrent.futures`` pool, and sum-merges the shard results *in
+shard order* — the merge is deterministic regardless of completion
+order.  :class:`Gather` is the explicit barrier marker above the
+exchange (it is where value-disjointness ends and serial execution
+resumes).
+
+Morsels: over-partitioning by ``morsel_factor`` (default 4) gives the
+pool more tasks than workers, so a skewed shard does not leave the
+other workers idle — the classic morsel-driven load-balancing shape.
+
+Error handling is fail-fast: the first worker failure cancels the
+shared fail-fast token (thread backend), so sibling workers stop at
+their next governor tick; queued morsels are cancelled outright.  A
+governed failure in any worker surfaces as the same
+:class:`~repro.core.errors.GovernedError` subclass a serial run would
+raise.  Non-``Cancelled`` errors win over the secondary ``Cancelled``
+errors they provoke.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import Cancelled
+from repro.engine.parallel.governor import (
+    SharedBudget, WorkerGovernor, merge_worker_steps, presplit_limits,
+)
+from repro.engine.parallel.partition import (
+    counts_size, execute_program, merge_counts, split_counts,
+)
+from repro.engine.physical import EngineStats, PhysicalNode
+from repro.guard import Limits, ResourceGovernor
+
+__all__ = ["ParallelConfig", "Partition", "Exchange", "Gather"]
+
+#: Default shards-per-worker over-partitioning factor.
+MORSEL_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Run-time parallel execution settings (plan-independent).
+
+    ``backend`` is ``"thread"`` (default: shared-memory shards, a
+    work-stealing shared step budget, cross-worker cancellation within
+    one morsel) or ``"process"`` (true multi-core for the pure-Python
+    kernels; budgets are pre-split per task and cancellation stops at
+    morsel granularity — see ``docs/parallel.md``).
+    """
+
+    workers: int = 2
+    backend: str = "thread"
+    morsel_factor: int = MORSEL_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(f"unknown parallel backend "
+                             f"{self.backend!r} (thread | process)")
+
+    @property
+    def num_shards(self) -> int:
+        return self.workers * self.morsel_factor
+
+
+class Partition(PhysicalNode):
+    """Declares the partition key for one exchange input slot.
+
+    Execution is a serial passthrough — the actual sharding happens in
+    the parent :class:`Exchange`, which needs the materialised dict
+    anyway.  The node exists so ``:explain`` shows where the plan
+    partitions and on what key.
+    """
+
+    __slots__ = ("child", "key")
+    kernel = "partition"
+
+    def __init__(self, child: PhysicalNode,
+                 key: Optional[Tuple[int, ...]] = None, estimated=None):
+        super().__init__(estimated)
+        self.child = child
+        self.key = key
+
+    def children(self):
+        return (self.child,)
+
+    def _rows(self, ctx):
+        return self.child.rows(ctx)
+
+    def label(self):
+        shown = "value" if self.key is None else list(self.key)
+        return super().label() + f"  key={shown}"
+
+
+class Exchange(PhysicalNode):
+    """Run a shard-local segment program on a worker pool.
+
+    ``partitions`` feed the program's input slots in order;
+    ``program`` is the closure-free step list of
+    :func:`repro.engine.parallel.partition.execute_program`.  Without a
+    :class:`ParallelConfig` on the context (``ctx.parallel is None``)
+    the program runs inline on a single unsplit shard — byte-identical
+    to the parallel result, which keeps cached parallel plans usable
+    from serial entry points.
+    """
+
+    __slots__ = ("partitions", "program")
+    kernel = "exchange"
+
+    def __init__(self, partitions: Sequence[Partition],
+                 program: Tuple[Tuple, ...], estimated=None):
+        super().__init__(estimated)
+        self.partitions = tuple(partitions)
+        self.program = program
+
+    def children(self):
+        return self.partitions
+
+    def label(self):
+        steps = ",".join(step[0] for step in self.program)
+        return super().label() + f"  program=[{steps}]"
+
+    # -- execution --------------------------------------------------------
+
+    def _rows(self, ctx):
+        inputs = [ctx.collect(part) for part in self.partitions]
+        config = getattr(ctx, "parallel", None)
+        if config is None:
+            merged = execute_program(
+                self.program, inputs, tick=self._serial_tick(ctx),
+                every=ctx.tick_interval, stats=ctx.stats,
+                check_size=self._size_check(ctx))
+        else:
+            merged = self._run_sharded(ctx, config, inputs)
+        yield from merged.items()
+
+    @staticmethod
+    def _serial_tick(ctx):
+        return None if ctx.governor is None else ctx.tick
+
+    @staticmethod
+    def _size_check(ctx):
+        governor = ctx.governor
+        if governor is None or governor.max_size is None:
+            return None
+        evaluator_stats = ctx.evaluator.stats
+
+        def check(size: int) -> None:
+            governor.check_size(size, evaluator_stats)
+
+        return check
+
+    def _run_sharded(self, ctx, config: ParallelConfig,
+                     inputs: List[Dict[Any, int]]) -> Dict[Any, int]:
+        num_shards = config.num_shards
+        sharded = [split_counts(counts, num_shards, part.key)
+                   for counts, part in zip(inputs, self.partitions)]
+        ctx.stats.partitions_created += len(inputs)
+        tasks = [(index, [shards[index] for shards in sharded])
+                 for index in range(num_shards)
+                 if any(shards[index] for shards in sharded)]
+        if not tasks:
+            return {}
+        if config.backend == "process":
+            outcomes = _run_process_pool(ctx, config, self.program, tasks)
+        else:
+            outcomes = _run_thread_pool(ctx, config, self.program, tasks)
+        ctx.stats.morsels_executed += len(tasks)
+        # ordered merge: shard index order, not completion order
+        outcomes.sort(key=lambda outcome: outcome[0])
+        merged = merge_counts([counts for _, counts, _, _ in outcomes])
+        worker_steps = [steps for _, _, steps, _ in outcomes]
+        if ctx.governor is not None:
+            merge_worker_steps(ctx.governor, worker_steps)
+            ctx.governor.check_size(counts_size(merged),
+                                    ctx.evaluator.stats)
+        ctx.stats.worker_steps.extend(worker_steps)
+        for _, _, _, stats in outcomes:
+            ctx.stats.merge_from(stats)
+        return merged
+
+
+class Gather(PhysicalNode):
+    """The barrier above an exchange: counts the gather and resumes
+    serial, value-order-free streaming."""
+
+    __slots__ = ("child",)
+    kernel = "gather"
+
+    def __init__(self, child: Exchange, estimated=None):
+        super().__init__(estimated)
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def _rows(self, ctx):
+        ctx.stats.gather_barriers += 1
+        return self.child.rows(ctx)
+
+
+# ----------------------------------------------------------------------
+# Thread backend
+# ----------------------------------------------------------------------
+
+def _run_thread_pool(ctx, config: ParallelConfig, program,
+                     tasks: List[Tuple[int, List[Dict[Any, int]]]]
+                     ) -> List[Tuple[int, Dict[Any, int], int,
+                                     EngineStats]]:
+    parent = ctx.governor
+    shared: Optional[SharedBudget] = None
+    if parent is not None:
+        parent.ensure_started()
+        remaining = None
+        if parent.max_steps is not None:
+            remaining = max(0, parent.max_steps - parent.steps)
+        shared = SharedBudget(remaining)
+
+    def run_task(index: int, inputs: List[Dict[Any, int]]):
+        stats = EngineStats()
+        if parent is None:
+            counts = execute_program(program, inputs,
+                                     every=ctx.tick_interval,
+                                     stats=stats)
+            return index, counts, 0, stats
+        worker = WorkerGovernor(parent, shared)
+        try:
+            counts = execute_program(
+                program, inputs, tick=worker.tick,
+                every=ctx.tick_interval, stats=stats,
+                check_size=worker.check_size)
+            return index, counts, worker.steps, stats
+        finally:
+            worker.close()
+
+    outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
+    first_error: Optional[BaseException] = None
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=config.workers) as pool:
+        futures = [pool.submit(run_task, index, inputs)
+                   for index, inputs in tasks]
+        for future in concurrent.futures.as_completed(futures):
+            error = future.exception()
+            if error is None:
+                outcomes.append(future.result())
+                continue
+            first_error = _prefer(first_error, error)
+            if parent is not None:
+                # fail fast: siblings observe the token at their
+                # next governor tick and stop mid-morsel
+                parent.token.cancel("parallel worker failed: "
+                                    f"{type(error).__name__}")
+            for pending in futures:
+                pending.cancel()
+    if first_error is not None:
+        _uncancel(ctx, first_error)
+        raise first_error
+    return outcomes
+
+
+def _prefer(current: Optional[BaseException],
+            candidate: BaseException) -> BaseException:
+    """Keep the most informative error: the first non-``Cancelled``
+    failure beats the secondary cancellations it caused."""
+    if current is None:
+        return candidate
+    if isinstance(current, Cancelled) and not isinstance(candidate,
+                                                        Cancelled):
+        return candidate
+    return current
+
+
+def _uncancel(ctx, error: BaseException) -> None:
+    """Reset a fail-fast cancellation so the error propagating out of
+    the exchange is the worker's own failure, not a sticky token that
+    would poison unrelated later evaluations on the same governor."""
+    governor = ctx.governor
+    if governor is None:
+        return
+    token = governor.token
+    if (token.cancelled and token.reason
+            and token.reason.startswith("parallel worker failed")
+            and not isinstance(error, Cancelled)):
+        token._cancelled = False
+        token.reason = None
+
+
+# ----------------------------------------------------------------------
+# Process backend
+# ----------------------------------------------------------------------
+
+def _process_task(payload):
+    """Top-level worker entry (must be picklable by reference).
+
+    Budgets arrive pre-split (:func:`presplit_limits`); the governor is
+    armed in the child, with the remaining wall-clock as its timeout,
+    so absolute deadlines carry across the process boundary.
+    """
+    index, program, inputs, limits_spec, every = payload
+    stats = EngineStats()
+    if limits_spec is None:
+        counts = execute_program(program, inputs, every=every,
+                                 stats=stats)
+        return index, counts, 0, stats
+    governor = ResourceGovernor(Limits(**limits_spec))
+    governor.start()
+    counts = execute_program(program, inputs, tick=governor.tick,
+                             every=every, stats=stats,
+                             check_size=governor.check_size)
+    return index, counts, governor.steps, stats
+
+
+def _process_context():
+    """Prefer fork: shard dicts ship without re-hashing surprises and
+    the pool starts fast; fall back to the platform default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_process_pool(ctx, config: ParallelConfig, program,
+                      tasks: List[Tuple[int, List[Dict[Any, int]]]]
+                      ) -> List[Tuple[int, Dict[Any, int], int,
+                                      EngineStats]]:
+    parent = ctx.governor
+    limits_spec = None
+    if parent is not None:
+        limits = presplit_limits(parent, len(tasks))
+        limits_spec = {
+            "max_steps": limits.max_steps, "max_size": limits.max_size,
+            "powerset_budget": limits.powerset_budget,
+            "timeout": limits.timeout, "max_depth": limits.max_depth,
+        }
+    payloads = [(index, program, inputs, limits_spec,
+                 ctx.tick_interval) for index, inputs in tasks]
+    outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
+    first_error: Optional[BaseException] = None
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=config.workers,
+            mp_context=_process_context()) as pool:
+        futures = [pool.submit(_process_task, payload)
+                   for payload in payloads]
+        for future in concurrent.futures.as_completed(futures):
+            error = future.exception()
+            if error is None:
+                outcomes.append(future.result())
+                continue
+            first_error = _prefer(first_error, error)
+            for pending in futures:
+                pending.cancel()
+    if first_error is not None:
+        raise first_error
+    return outcomes

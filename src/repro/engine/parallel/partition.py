@@ -1,0 +1,491 @@
+"""Hash partitioning and shard-local segment programs.
+
+The bag operators of the paper distribute over a *hash partition of
+the value space*: for any deterministic shard function ``s(v)``, all
+copies of a value ``v`` — in every operand — land in the same shard,
+so monus, min-intersection, max-union, dedup, scaling, and selection
+compute their exact per-value multiplicities shard-locally, and the
+gather step is a plain count merge.  (This is the semiring view of
+multiplicities made operational: each shard carries a sub-semimodule
+of the bag, and the partition-compatible operators are module
+homomorphisms.)  Two operators consume the *choice* of shard function
+instead of merely preserving it:
+
+* hash join — both sides must be partitioned by their join key;
+* nest — the input must be partitioned by the group key (the
+  complement of the nested attributes).
+
+Everything else (powerset, powerbag, flatten, unnest, oracle
+fallbacks) forces a gather barrier: those subtrees are materialised
+once, serially, and become partitioned *inputs* of the segment.
+
+A *segment* is the unit shipped to workers: a closure-free program of
+kernel steps over input slots (:func:`execute_program`).  Keeping the
+program declarative — attribute indices and constants, never compiled
+closures — is what makes the process backend possible: a program plus
+its shard inputs pickles, a closure does not.
+
+:data:`PARTITION_COMPAT` is the compatibility table the docs and the
+lowering pass share; :func:`compile_parallel_segment` turns a logical
+expression into a program plus leaf partition specs, or ``None`` when
+the root operator is not partition-compatible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple,
+)
+
+from repro.core.bag import Tup
+from repro.core.database import encoding_size
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Cartesian, Const, Dedup, Expr,
+    Intersection, Lam, Map, MaxUnion, Select, Subtraction, Tupling,
+    Var, _compare,
+)
+from repro.core.nest import Nest
+from repro.engine import kernels
+
+__all__ = [
+    "PARTITION_COMPAT", "ParallelPolicy", "ParallelSegment", "LeafSpec",
+    "shard_of", "split_counts", "merge_counts", "counts_size",
+    "execute_program", "compile_parallel_segment",
+]
+
+#: Kernel name -> how it behaves under a hash partition of the value
+#: space.  ``local`` runs shard-local under any value partition;
+#: ``key-local`` runs shard-local only when the inputs are partitioned
+#: on the operator's key (join key / group key); ``root-local`` runs
+#: shard-local but destroys value-disjointness, so it is admitted only
+#: as the last step before the gather; ``barrier`` forces a gather —
+#: the subtree is materialised serially and partitioned as an input.
+PARTITION_COMPAT: Dict[str, str] = {
+    "scan": "local",
+    "const": "local",
+    "additive-union": "local",
+    "monus": "local",
+    "min-intersect": "local",
+    "max-union": "local",
+    "dedup": "local",
+    "scale": "local",
+    "select": "local",
+    "map": "root-local",
+    "hash-join": "key-local",
+    "nest-build": "key-local",
+    "flatten": "barrier",
+    "unnest": "barrier",
+    "powerset": "barrier",
+    "powerbag": "barrier",
+    "nested-loop-product": "barrier",
+    "oracle": "barrier",
+    "shared": "barrier",
+}
+
+
+@dataclass(frozen=True)
+class ParallelPolicy:
+    """Plan-time knobs of the parallelism pass.
+
+    ``threshold`` is the minimum *estimated total input cardinality*
+    (summed over the segment's leaves) below which the pass refuses to
+    insert an exchange — fanning out a few hundred rows costs more
+    than it saves.  A threshold of ``0`` forces exchanges wherever a
+    segment compiles (the differential harness uses this to fuzz the
+    partition machinery on tiny bags).
+    """
+
+    threshold: float = 1024.0
+
+
+@dataclass
+class LeafSpec:
+    """One segment input: the subtree feeding the slot plus the
+    partition key (attribute indices; ``None`` = whole-value hash)."""
+
+    expr: Expr
+    key: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class ParallelSegment:
+    """A compiled segment: the step program plus its input leaves."""
+
+    program: Tuple[Tuple, ...]
+    leaves: List[LeafSpec]
+
+
+# ----------------------------------------------------------------------
+# Shard arithmetic
+# ----------------------------------------------------------------------
+
+def _key_projector(indices: Optional[Sequence[int]]
+                   ) -> Callable[[Any], Any]:
+    if not indices:
+        return lambda value: value
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda value: value.attribute(index)
+    fixed = tuple(indices)
+    return lambda value: tuple(value.attribute(i) for i in fixed)
+
+
+def shard_of(value: Any, num_shards: int,
+             key: Optional[Sequence[int]] = None) -> int:
+    """The shard a value belongs to under a key projection."""
+    return hash(_key_projector(key)(value)) % num_shards
+
+
+def split_counts(counts: Dict[Any, int], num_shards: int,
+                 key: Optional[Sequence[int]] = None
+                 ) -> List[Dict[Any, int]]:
+    """Split a count dict into ``num_shards`` disjoint shard dicts.
+
+    The shard of a value is a pure function of the value (optionally
+    through a key projection), so every copy of a value — across all
+    co-partitioned operands — lands in the same shard.
+    """
+    shards: List[Dict[Any, int]] = [{} for _ in range(num_shards)]
+    if num_shards == 1:
+        shards[0].update(counts)
+        return shards
+    project = _key_projector(key)
+    for value, count in counts.items():
+        shards[hash(project(value)) % num_shards][value] = count
+    return shards
+
+
+def merge_counts(shards: Sequence[Dict[Any, int]]) -> Dict[Any, int]:
+    """Sum-merge shard results in shard order (the ordered gather)."""
+    merged: Dict[Any, int] = {}
+    get = merged.get
+    for shard in shards:
+        for value, count in shard.items():
+            merged[value] = get(value, 0) + count
+    return merged
+
+
+def counts_size(counts: Dict[Any, int]) -> int:
+    """Standard-encoding size of a materialised count dict (the same
+    measure :meth:`ExecContext.check_size` applies)."""
+    return 1 + sum(count * encoding_size(value)
+                   for value, count in counts.items())
+
+
+# ----------------------------------------------------------------------
+# Segment programs
+# ----------------------------------------------------------------------
+
+def _predicate_for(op: str, index: int, rhs: Tuple) -> Callable[[Any], bool]:
+    if rhs[0] == "attr":
+        other = rhs[1]
+        if op == "eq":
+            return lambda t: t.attribute(index) == t.attribute(other)
+        return lambda t: _compare(op, t.attribute(index),
+                                  t.attribute(other))
+    constant = rhs[1]
+    if op == "eq":
+        return lambda t: t.attribute(index) == constant
+    return lambda t: _compare(op, t.attribute(index), constant)
+
+
+def _mapper_for(spec: Tuple) -> Callable[[Any], Any]:
+    kind, payload = spec
+    if kind == "val":
+        part_kind, part = payload
+        if part_kind == "attr":
+            return lambda t: t.attribute(part)
+        return lambda t: part
+    parts = payload
+
+    def build(t, parts=parts):
+        return Tup(*(t.attribute(p) if k == "attr" else p
+                     for k, p in parts))
+
+    return build
+
+
+def execute_program(program: Sequence[Tuple],
+                    inputs: Sequence[Dict[Any, int]],
+                    tick: Optional[Callable[[], None]] = None,
+                    every: int = 128,
+                    check_size: Optional[Callable[[int], None]] = None,
+                    stats=None) -> Dict[Any, int]:
+    """Run a segment program over one shard's input dicts.
+
+    Slots ``0..len(inputs)-1`` are the inputs; step ``k`` of the
+    program produces slot ``len(inputs)+k``; the last step's dict is
+    the shard's result.  ``tick`` is the worker governor's tick (step
+    budget / deadline / cancellation), ``check_size`` its
+    intermediate-size check, ``stats`` an optional
+    :class:`~repro.engine.physical.EngineStats` fed per step.
+    """
+    slots: List[Dict[Any, int]] = list(inputs)
+    for step in program:
+        op = step[0]
+        if op == "union":
+            rows = kernels.k_additive_union(slots[step[1]].items(),
+                                            slots[step[2]].items())
+        elif op == "monus":
+            rows = kernels.k_monus(slots[step[1]], slots[step[2]])
+        elif op == "intersect":
+            rows = kernels.k_min_intersect(slots[step[1]], slots[step[2]])
+        elif op == "max":
+            rows = kernels.k_max_union(slots[step[1]], slots[step[2]])
+        elif op == "dedup":
+            rows = kernels.k_dedup(slots[step[1]].items())
+        elif op == "scale":
+            rows = kernels.k_scale(slots[step[1]].items(), step[2])
+        elif op == "select":
+            rows = kernels.k_select(
+                slots[step[1]].items(),
+                _predicate_for(step[2], step[3], step[4]))
+        elif op == "map":
+            rows = kernels.k_map(slots[step[1]].items(),
+                                 _mapper_for(step[2]))
+        elif op == "join":
+            probe = slots[step[1]].items()
+            rows = kernels.k_hash_join(
+                probe, slots[step[2]],
+                _key_projector((step[3],)), _key_projector((step[4],)),
+                probe_is_left=True)
+        elif op == "nest":
+            rows = kernels.k_nest(slots[step[1]], step[2])
+        else:  # pragma: no cover - compiler emits known ops only
+            raise ValueError(f"unknown segment op {op!r}")
+        result = kernels.collect(rows, tick=tick, every=every)
+        if check_size is not None:
+            check_size(counts_size(result))
+        if stats is not None:
+            stats.record_kernel(f"p-{op}")
+            stats.rows_emitted += len(result)
+        slots.append(result)
+    return slots[-1]
+
+
+# ----------------------------------------------------------------------
+# Segment compilation (logical expression -> program + leaves)
+# ----------------------------------------------------------------------
+
+_VP_BINARY = {AdditiveUnion: "union", Subtraction: "monus",
+              Intersection: "intersect", MaxUnion: "max"}
+
+
+def _select_spec(select: Select) -> Optional[Tuple[str, int, Tuple]]:
+    """``(op, i, rhs)`` for declarative selections
+    ``sigma[t: alpha_i(t) op (alpha_j(t) | const)]``; ``None`` when
+    either lambda resists (the evaluator would be needed)."""
+    left = select.left.body
+    if not (isinstance(left, Attribute)
+            and isinstance(left.operand, Var)
+            and left.operand.name == select.left.param):
+        return None
+    right = select.right.body
+    if (isinstance(right, Attribute)
+            and isinstance(right.operand, Var)
+            and right.operand.name == select.right.param):
+        return (select.op, left.index, ("attr", right.index))
+    if isinstance(right, Const):
+        value = right.value
+        if isinstance(value, (str, int, float, bool)):
+            return (select.op, left.index, ("const", value))
+    return None
+
+
+def _map_spec(lam: Lam) -> Optional[Tuple]:
+    """Declarative MAP bodies: a projection, a constant, or a tupling
+    of projections/constants."""
+
+    def part_of(body: Expr) -> Optional[Tuple]:
+        if (isinstance(body, Attribute) and isinstance(body.operand, Var)
+                and body.operand.name == lam.param):
+            return ("attr", body.index)
+        if isinstance(body, Const) and isinstance(
+                body.value, (str, int, float, bool)):
+            return ("const", body.value)
+        return None
+
+    body = lam.body
+    if isinstance(body, Tupling) and body.parts:
+        parts = tuple(part_of(part) for part in body.parts)
+        if any(part is None for part in parts):
+            return None
+        return ("tup", parts)
+    single = part_of(body)
+    if single is None:
+        return None
+    return ("val", single)
+
+
+class _SegmentCompiler:
+    """One compilation attempt over one expression root.
+
+    ``arity_of`` resolves the tuple arity of a subexpression (needed
+    to split join attribute positions and to complement nest indices);
+    it may return ``None``, which makes the key operators refuse.
+    """
+
+    def __init__(self, arity_of: Callable[[Expr], Optional[int]]):
+        self.arity_of = arity_of
+        self.steps: List[Tuple] = []
+        self.leaves: List[LeafSpec] = []
+
+    # -- leaves -----------------------------------------------------------
+
+    def _leaf(self, expr: Expr) -> int:
+        self.leaves.append(LeafSpec(expr))
+        return len(self.leaves) - 1
+
+    # -- value-preserving trees ------------------------------------------
+
+    def _vp(self, expr: Expr) -> int:
+        """Compile a value-preserving subtree; anything else becomes a
+        leaf slot (materialised serially, partitioned as input)."""
+        cls = type(expr)
+        if cls in _VP_BINARY:
+            if cls is AdditiveUnion and expr.left == expr.right:
+                inner = self._vp(expr.left)
+                return self._push(("scale", inner, 2))
+            left = self._vp(expr.left)
+            right = self._vp(expr.right)
+            return self._push((_VP_BINARY[cls], left, right))
+        if isinstance(expr, Dedup):
+            return self._push(("dedup", self._vp(expr.operand)))
+        if isinstance(expr, Select):
+            spec = _select_spec(expr)
+            if spec is not None and self._join_shape(expr) is None:
+                inner = self._vp(expr.operand)
+                return self._push(("select", inner, *spec))
+        return self._leaf(expr)
+
+    def _push(self, step: Tuple) -> int:
+        self.steps.append(step)
+        return -len(self.steps)  # negative = step slot, resolved later
+
+    # -- key operators ----------------------------------------------------
+
+    def _join_shape(self, expr: Expr):
+        """``(left, right, i, j_local)`` when the selection is an
+        attribute equality crossing a product boundary."""
+        if not (isinstance(expr, Select) and expr.op == "eq"
+                and isinstance(expr.operand, Cartesian)):
+            return None
+        spec = _select_spec(expr)
+        if spec is None or spec[2][0] != "attr":
+            return None
+        product = expr.operand
+        left_arity = self.arity_of(product.left)
+        if left_arity is None:
+            return None
+        i, j = sorted((spec[1], spec[2][1]))
+        if not (i <= left_arity < j):
+            return None
+        return (product.left, product.right, i, j - left_arity)
+
+    def _key_side(self, expr: Expr, key: Tuple[int, ...]) -> int:
+        """Compile one side of a key operator: a value-preserving tree
+        whose leaves are partitioned by the operator's key."""
+        first_leaf = len(self.leaves)
+        slot = self._vp(expr)
+        for leaf in self.leaves[first_leaf:]:
+            leaf.key = key
+        return slot
+
+    # -- entry ------------------------------------------------------------
+
+    def compile(self, expr: Expr) -> Optional[ParallelSegment]:
+        map_spec = None
+        if isinstance(expr, Map):
+            map_spec = _map_spec(expr.lam)
+            if map_spec is None:
+                return None  # the pass retries on the operand
+            expr = expr.operand
+        root = self._core(expr)
+        if root is None or not self.steps:
+            return None
+        if map_spec is not None:
+            root = self._push(("map", root, map_spec))
+        program = self._resolve(root)
+        if program is None:
+            return None
+        return ParallelSegment(program, self.leaves)
+
+    def _core(self, expr: Expr) -> Optional[int]:
+        """The segment spine: unary value-preserving operators above at
+        most one key operator (join or nest), else a pure VP tree."""
+        if isinstance(expr, Dedup):
+            inner = self._core(expr.operand)
+            if inner is None:
+                return None
+            return self._push(("dedup", inner))
+        join = self._join_shape(expr) if isinstance(expr, Select) else None
+        if join is not None:
+            left, right, i, j = join
+            a = self._key_side(left, (i,))
+            b = self._key_side(right, (j,))
+            return self._push(("join", a, b, i, j))
+        if isinstance(expr, Select):
+            spec = _select_spec(expr)
+            if spec is None:
+                return None
+            inner = self._core(expr.operand)
+            if inner is None:
+                return None
+            return self._push(("select", inner, *spec))
+        if isinstance(expr, Nest):
+            arity = self.arity_of(expr.operand)
+            if arity is None:
+                return None
+            indices = expr.indices
+            if max(indices) > arity or min(indices) < 1:
+                return None
+            rest = tuple(i for i in range(1, arity + 1)
+                         if i not in indices)
+            if not rest:
+                return None  # grouping by the empty key: one global group
+            slot = self._key_side(expr.operand, rest)
+            return self._push(("nest", slot, indices))
+        return self._vp(expr)
+
+    def _resolve(self, root: int) -> Optional[Tuple[Tuple, ...]]:
+        """Rewrite negative step references into absolute slot ids
+        (leaves occupy ``0..L-1``, step k produces ``L+k``)."""
+        base = len(self.leaves)
+
+        def fix(ref: int) -> int:
+            return ref if ref >= 0 else base + (-ref - 1)
+
+        resolved = []
+        for step in self.steps:
+            op = step[0]
+            if op in ("union", "monus", "intersect", "max"):
+                resolved.append((op, fix(step[1]), fix(step[2])))
+            elif op in ("dedup",):
+                resolved.append((op, fix(step[1])))
+            elif op in ("scale", "map", "nest"):
+                resolved.append((op, fix(step[1]), step[2]))
+            elif op == "select":
+                resolved.append((op, fix(step[1]), *step[2:]))
+            elif op == "join":
+                resolved.append((op, fix(step[1]), fix(step[2]),
+                                 step[3], step[4]))
+            else:  # pragma: no cover
+                return None
+        if fix(root) != base + len(resolved) - 1:
+            return None  # the root must be the last step
+        return tuple(resolved)
+
+
+def compile_parallel_segment(expr: Expr,
+                             arity_of: Callable[[Expr], Optional[int]]
+                             ) -> Optional[ParallelSegment]:
+    """Compile an expression into a shard-local segment, or ``None``
+    when the root is not partition-compatible (the lowering pass then
+    recurses and retries on the children)."""
+    segment = _SegmentCompiler(arity_of).compile(expr)
+    if segment is None or not segment.program or not segment.leaves:
+        return None
+    # A segment that is a bare passthrough of one leaf parallelises
+    # nothing; require at least one real kernel step over the fan-out.
+    return segment

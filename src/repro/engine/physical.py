@@ -67,9 +67,58 @@ class EngineStats:
     shared_reused: int = 0
     #: Subtrees delegated to the tree-walking oracle.
     oracle_fallbacks: int = 0
+    #: Parallel exchange counters: input slots partitioned, morsels
+    #: dispatched to workers, gather barriers crossed, and the
+    #: governed step count of each executed morsel (in merge order).
+    partitions_created: int = 0
+    morsels_executed: int = 0
+    gather_barriers: int = 0
+    worker_steps: List[int] = field(default_factory=list)
 
     def record_kernel(self, name: str) -> None:
         self.kernel_counts[name] = self.kernel_counts.get(name, 0) + 1
+
+    def merge_from(self, other: "EngineStats") -> None:
+        """Fold another stats object into this one, in place."""
+        for name, count in other.kernel_counts.items():
+            self.kernel_counts[name] = (
+                self.kernel_counts.get(name, 0) + count)
+        self.rows_emitted += other.rows_emitted
+        self.lowerings += other.lowerings
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.shared_materialized += other.shared_materialized
+        self.shared_reused += other.shared_reused
+        self.oracle_fallbacks += other.oracle_fallbacks
+        self.partitions_created += other.partitions_created
+        self.morsels_executed += other.morsels_executed
+        self.gather_barriers += other.gather_barriers
+        self.worker_steps.extend(other.worker_steps)
+
+    def merged_with(self, other: "EngineStats") -> "EngineStats":
+        """A new stats object combining both operands.
+
+        The merge is associative (every field is a sum, a pointwise
+        dict sum, or list concatenation), so folding per-worker stats
+        in any grouping yields the same totals —
+        ``tests/test_parallel.py`` pins this down.
+        """
+        merged = EngineStats(
+            kernel_counts=dict(self.kernel_counts),
+            rows_emitted=self.rows_emitted,
+            lowerings=self.lowerings,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            shared_materialized=self.shared_materialized,
+            shared_reused=self.shared_reused,
+            oracle_fallbacks=self.oracle_fallbacks,
+            partitions_created=self.partitions_created,
+            morsels_executed=self.morsels_executed,
+            gather_barriers=self.gather_barriers,
+            worker_steps=list(self.worker_steps),
+        )
+        merged.merge_from(other)
+        return merged
 
 
 class ExecContext:
@@ -84,17 +133,23 @@ class ExecContext:
     """
 
     __slots__ = ("bindings", "evaluator", "governor", "stats", "memo",
-                 "powerset_budget", "_env")
+                 "powerset_budget", "parallel", "_env",
+                 "_tick_interval", "_last_tick_at")
 
     def __init__(self, bindings: Mapping[str, Any], evaluator,
-                 stats: Optional[EngineStats] = None):
+                 stats: Optional[EngineStats] = None, parallel=None):
         self.bindings = dict(bindings)
         self.evaluator = evaluator
         self.governor = evaluator.governor
         self.stats = stats if stats is not None else EngineStats()
         self.memo: Dict[int, Dict[Any, int]] = {}
         self.powerset_budget = evaluator.powerset_budget
+        #: Optional ParallelConfig: set only under ``engine=parallel``;
+        #: Exchange nodes fall back to inline execution without it.
+        self.parallel = parallel
         self._env = (self.bindings, None)
+        self._tick_interval = _TICK_EVERY
+        self._last_tick_at: Optional[float] = None
 
     def lookup(self, name: str) -> Any:
         if name not in self.bindings:
@@ -112,9 +167,29 @@ class ExecContext:
         self.stats.oracle_fallbacks += 1
         return self.evaluator.eval(expr, self._env)
 
+    @property
+    def tick_interval(self) -> int:
+        """Rows between governor ticks; adapts downward near deadlines."""
+        return self._tick_interval
+
     def tick(self) -> None:
-        if self.governor is not None:
-            self.governor.tick(self.evaluator.stats)
+        governor = self.governor
+        if governor is None:
+            return
+        governor.tick(self.evaluator.stats)
+        # Adaptive granularity: a fixed 128-row interval lets one huge
+        # morsel overshoot a deadline by a whole inter-tick gap.  When
+        # a single gap consumed >10% of the deadline, halve the
+        # interval (floor 1) so the overshoot bound shrinks
+        # geometrically as the clock runs down.
+        timeout = governor.timeout
+        if timeout is not None:
+            now = governor.clock()
+            last = self._last_tick_at
+            self._last_tick_at = now
+            if (last is not None and now - last > 0.1 * timeout
+                    and self._tick_interval > 1):
+                self._tick_interval = max(1, self._tick_interval // 2)
 
     def check_size(self, counts: Dict[Any, int]) -> None:
         """Enforce the size budget on a materialised intermediate."""
@@ -127,8 +202,13 @@ class ExecContext:
 
     def collect(self, node: "PhysicalNode") -> Dict[Any, int]:
         """Materialise a child node under governance."""
-        tick = None if self.governor is None else self.tick
-        counts = kernels.collect(node.rows(self), tick=tick)
+        if self.governor is None:
+            counts = kernels.collect(node.rows(self))
+        else:
+            counts = kernels.collect(
+                node.rows(self), tick=self.tick,
+                every=self._tick_interval,
+                get_every=lambda: self._tick_interval)
         self.check_size(counts)
         return counts
 
@@ -167,7 +247,7 @@ class PhysicalNode:
             emitted += 1
             if governed:
                 pending += 1
-                if pending >= _TICK_EVERY:
+                if pending >= ctx.tick_interval:
                     pending = 0
                     ctx.tick()
             yield pair

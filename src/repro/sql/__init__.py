@@ -22,7 +22,8 @@ __all__ = [
 
 def run_sql(text: str, catalog: Catalog,
             database: Mapping[str, Bag],
-            governor=None, engine: str = "physical") -> List[Tuple]:
+            governor=None, engine: str = "physical",
+            workers=None) -> List[Tuple]:
     """Parse, compile, evaluate, and decode a query.
 
     Returns a list of plain Python tuples *with duplicates* (bag
@@ -34,11 +35,13 @@ def run_sql(text: str, catalog: Catalog,
     ``engine`` picks the evaluator: ``"physical"`` (default) runs the
     compiled plan on the kernel engine of :mod:`repro.engine` — its
     hash joins and plan cache are exactly what join-shaped SQL wants —
-    while ``"tree"`` keeps the instrumented oracle interpreter.
+    ``"parallel"`` adds the morsel-driven exchange on ``workers``
+    threads, while ``"tree"`` keeps the instrumented oracle
+    interpreter.
     """
     compiled = compile_sql(text, catalog, governor=governor)
     result = evaluate(compiled.expr, database, governor=governor,
-                      engine=engine)
+                      engine=engine, workers=workers)
     if compiled.columns == ("count",):
         return [(bag_as_int(result),)]
     rows = [tuple(entry.items()) for entry in result.elements()]

@@ -1,6 +1,6 @@
 """The N-way differential harness.
 
-Every case runs through up to six independently written evaluation
+Every case runs through up to seven independently written evaluation
 paths:
 
 ======================  ================================================
@@ -11,6 +11,10 @@ backend                 what it exercises
 ``engine-warm``         the engine through a shared plan cache, twice —
                         the second run must hit the cache, so canonical
                         keys and plan/data separation are on trial
+``engine-parallel``     the morsel-driven parallel executor (2 workers,
+                        threshold 0 so exchanges fire on tiny bags) —
+                        hash partitioning, segment programs, budget
+                        splitting, and the ordered gather on trial
 ``optimized``           the rewritten expression (rule soundness)
 ``surface``             ``parse(to_text(e))`` — printer/parser round
                         trip, then the oracle on the reparse
@@ -58,8 +62,8 @@ __all__ = [
 ]
 
 #: Backend execution order; the first ``ok`` outcome is the reference.
-DEFAULT_BACKENDS = ("oracle", "engine", "engine-warm", "optimized",
-                    "surface", "sql")
+DEFAULT_BACKENDS = ("oracle", "engine", "engine-warm", "engine-parallel",
+                    "optimized", "surface", "sql")
 
 #: Generous but finite: big enough that ordinary cases complete, small
 #: enough that a powerset blow-up degrades into a governed error in
@@ -224,6 +228,14 @@ class Harness:
                 value = engine_evaluate(case.expr, case.database,
                                         cache=self.cache,
                                         governor=self.governor())
+            elif backend == "engine-parallel":
+                # threshold 0 forces exchanges wherever a segment
+                # compiles, so even tiny fuzz bags exercise the
+                # partition machinery
+                value = engine_evaluate(
+                    case.expr, case.database, cache=None,
+                    governor=self.governor(), engine="parallel",
+                    workers=2, parallel_threshold=0.0)
             elif backend == "optimized":
                 rewritten = Optimizer(schema=case.schema).optimize(
                     case.expr)

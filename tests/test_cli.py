@@ -126,13 +126,26 @@ class TestEngineSelection:
 
     def test_parse_engine_flag(self):
         from repro.cli import _parse_engine_flag
-        engine, rest = _parse_engine_flag(
+        engine, workers, backend, rest = _parse_engine_flag(
             ["--engine", "tree", "--max-steps", "5", "f.bag"])
         assert engine == "tree"
+        assert workers is None
+        assert backend == "thread"
         assert rest == ["--max-steps", "5", "f.bag"]
-        engine, rest = _parse_engine_flag(["--engine=physical"])
+        engine, workers, backend, rest = _parse_engine_flag(
+            ["--engine=physical"])
         assert engine == "physical"
         assert rest == []
+
+    def test_parse_engine_flag_parallel(self):
+        from repro.cli import _parse_engine_flag
+        engine, workers, backend, rest = _parse_engine_flag(
+            ["--engine", "parallel", "--workers", "4",
+             "--parallel-backend=process", "f.bag"])
+        assert engine == "parallel"
+        assert workers == 4
+        assert backend == "process"
+        assert rest == ["f.bag"]
 
     def test_parse_engine_flag_rejects_bad_values(self):
         from repro.cli import _parse_engine_flag
@@ -140,6 +153,12 @@ class TestEngineSelection:
             _parse_engine_flag(["--engine"])
         with pytest.raises(ValueError):
             _parse_engine_flag(["--engine", "quantum"])
+        with pytest.raises(ValueError):
+            _parse_engine_flag(["--workers", "zero"])
+        with pytest.raises(ValueError):
+            _parse_engine_flag(["--workers", "0"])
+        with pytest.raises(ValueError):
+            _parse_engine_flag(["--parallel-backend", "fiber"])
 
     def test_main_accepts_engine_flag(self, tmp_path):
         from repro.cli import main

@@ -29,6 +29,15 @@ def harness():
     return Harness()
 
 
+@pytest.fixture(scope="module")
+def parallel_harness():
+    """The ``--backends engine-parallel`` replay: oracle vs the
+    morsel-driven executor only, with exchanges forced on every
+    compilable segment (threshold 0 inside the backend)."""
+    return Harness(backends=("oracle", "engine-parallel"),
+                   metamorphic=False)
+
+
 @pytest.mark.parametrize(
     "path,case,meta", _LOADED,
     ids=[os.path.splitext(os.path.basename(path))[0]
@@ -40,3 +49,16 @@ def test_corpus_case_replays_green(path, case, meta, harness):
         f"corpus case {os.path.basename(path)} regressed "
         f"(original finding: {meta.get('kind')}/{meta.get('backend')}"
         f"): {details}")
+
+
+@pytest.mark.parametrize(
+    "path,case,meta", _LOADED,
+    ids=["parallel-" + os.path.splitext(os.path.basename(path))[0]
+         for path, _, _ in _LOADED])
+def test_corpus_case_replays_green_parallel(path, case, meta,
+                                            parallel_harness):
+    report = parallel_harness.run_case(case)
+    details = "; ".join(m.describe() for m in report.mismatches)
+    assert report.ok, (
+        f"corpus case {os.path.basename(path)} regressed under the "
+        f"parallel engine: {details}")

@@ -468,3 +468,94 @@ class TestPlanCacheKeys:
         assert evaluate(expr, R=one, cache=cache) == one
         assert evaluate(expr, R=two, cache=cache) == two
         assert cache.stats.hits >= 1
+
+
+class TestAdaptiveTickInterval:
+    """The governor tick interval must shrink when single inter-tick
+    gaps consume a large fraction of the deadline (satellite of the
+    morsel-driven executor: bounds deadline overshoot to the work done
+    between two consecutive ticks)."""
+
+    @staticmethod
+    def _context(timeout):
+        from repro.core.eval import Evaluator
+        from repro.engine.physical import ExecContext
+        from repro.guard import Limits, ResourceGovernor
+
+        clock = {"now": 0.0}
+        governor = ResourceGovernor(Limits(timeout=timeout),
+                                    clock=lambda: clock["now"])
+        governor.start()
+        evaluator = Evaluator(governor=governor, track_stats=False)
+        return ExecContext({}, evaluator), clock
+
+    def test_interval_halves_on_slow_gaps(self):
+        ctx, clock = self._context(timeout=100.0)
+        assert ctx.tick_interval == 128
+        ctx.tick()  # first tick only records a timestamp
+        assert ctx.tick_interval == 128
+        for expected in (64, 32, 16, 8, 4, 2, 1):
+            clock["now"] += 11.0  # gap > 10% of the 100s deadline
+            ctx.tick()
+            assert ctx.tick_interval == expected
+        clock["now"] += 11.0
+        ctx.tick()
+        assert ctx.tick_interval == 1  # floor: never reaches zero
+
+    def test_fast_gaps_keep_interval(self):
+        ctx, clock = self._context(timeout=100.0)
+        for _ in range(10):
+            clock["now"] += 9.0  # gap < 10% of the deadline
+            ctx.tick()
+        assert ctx.tick_interval == 128
+
+    def test_ungoverned_context_never_adapts(self):
+        from repro.core.eval import Evaluator
+        from repro.engine.physical import ExecContext
+
+        ctx = ExecContext({}, Evaluator(track_stats=False))
+        for _ in range(5):
+            ctx.tick()
+        assert ctx.tick_interval == 128
+
+    def test_timeout_free_governor_never_adapts(self):
+        from repro.core.eval import Evaluator
+        from repro.engine.physical import ExecContext
+        from repro.guard import Limits, ResourceGovernor
+
+        governor = ResourceGovernor(Limits(max_steps=10**6))
+        governor.start()
+        ctx = ExecContext({}, Evaluator(governor=governor,
+                                        track_stats=False))
+        for _ in range(5):
+            ctx.tick()
+        assert ctx.tick_interval == 128
+
+    def test_overshoot_bounded_after_adaptation(self):
+        """Once adapted to interval 1, a deadline breach is noticed on
+        the very next row rather than up to 127 rows later."""
+        from repro.core.errors import DeadlineExceeded
+        from repro.engine import kernels
+
+        ctx, clock = self._context(timeout=100.0)
+        ctx.tick()
+        for _ in range(7):
+            clock["now"] += 11.0
+            ctx.tick()
+        assert ctx.tick_interval == 1
+
+        consumed = {"rows": 0}
+
+        def rows():
+            for i in range(10_000):
+                consumed["rows"] += 1
+                clock["now"] += 2.0  # deadline (t=100) passes mid-stream
+                yield (Tup(i), 1)
+
+        with pytest.raises(DeadlineExceeded):
+            kernels.collect(rows(), tick=ctx.tick,
+                            every=ctx.tick_interval,
+                            get_every=lambda: ctx.tick_interval)
+        # t was ~77 entering the stream; the deadline passes ~12 rows
+        # in and must be seen within one row of interval-1 ticking.
+        assert consumed["rows"] <= 14
