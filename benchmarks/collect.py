@@ -15,7 +15,10 @@ Collected headlines:
   the tree walker (the ``>= 5x`` acceptance number);
 * **e21_testkit** — full-matrix differential throughput in cases/sec;
 * **e22_parallel** — per-workload scaling cells, the best speedup at
-  4 workers, and the governed-edge statuses.
+  4 workers, and the governed-edge statuses;
+* **e23_planner** — staged-planner compile overhead (worst mean
+  compile across workloads and opt levels) and the opt0-vs-opt2
+  end-to-end plan-quality speedups.
 
 Usage::
 
@@ -116,6 +119,31 @@ def collect_e22() -> Optional[Dict[str, Any]]:
             "statuses": _statuses("e22_parallel")}
 
 
+def collect_e23() -> Optional[Dict[str, Any]]:
+    """Headline: compile overhead + opt0-vs-opt2 quality speedups."""
+    text = _read("e23_planner.json")
+    if text is None:
+        return None
+    document = json.loads(text)
+    quality = {
+        entry["workload"]: {
+            "opt0_seconds": round(entry["opt0_seconds"], 4),
+            "opt2_seconds": round(entry["opt2_seconds"], 4),
+            "speedup": round(entry["speedup"], 3),
+        }
+        for entry in document.get("quality", [])
+    }
+    return {"headline": "staged planner compile overhead + "
+                        "opt0-vs-opt2 quality",
+            "smoke": document.get("smoke"),
+            "worst_mean_compile_seconds": round(
+                document.get("worst_mean_compile_seconds", 0.0), 6),
+            "best_speedup": round(
+                document.get("best_speedup", 0.0), 3),
+            "quality": quality,
+            "statuses": _statuses("e23_planner")}
+
+
 def build_ledger() -> Dict[str, Any]:
     return {
         "comment": ("per-PR perf trajectory; regenerate with "
@@ -124,6 +152,7 @@ def build_ledger() -> Dict[str, Any]:
             "e20_engine": collect_e20(),
             "e21_testkit": collect_e21(),
             "e22_parallel": collect_e22(),
+            "e23_planner": collect_e23(),
         },
     }
 

@@ -22,12 +22,18 @@ Commands:
 ``:type expr``        infer the type
 ``:fragment expr``    fragment report (nesting, power nesting)
 ``:optimize expr``    show the rewritten expression
-``:explain expr``     logical plan (types + estimates) and the
-                      physical plan (kernel per node, estimated vs
-                      actual cardinalities)
+``:explain expr``     logical plan (types + estimates), the planner's
+                      per-stage report (tree after normalize /
+                      rewrite / lower with rule-firing counts), and
+                      the physical plan (kernel per node, estimated
+                      vs actual cardinalities)
 ``:encode expr``      print the Section 2 standard encoding
 ``:engine [name]``    show or set the evaluator
                       (physical | parallel | tree)
+``:passes``           list the planner's passes and their on/off state
+``:passes level N``   set the optimization level (0 | 1 | 2)
+``:passes on NAME``   force one pass on (``off`` to force it off,
+                      ``reset`` to clear all toggles)
 ``:save name path``   write a binding's standard encoding to a file
 ``:load name path``   read a standard encoding from a file
 ``:env``              list bindings
@@ -52,7 +58,6 @@ from repro.core.fragments import fragment_report
 from repro.core.typecheck import TypeChecker
 from repro.core.types import type_of
 from repro.guard import Limits, ResourceGovernor
-from repro.optimizer import Optimizer
 from repro.surface import parse, to_text
 
 __all__ = ["Session", "main", "parse_limit_flags"]
@@ -82,16 +87,25 @@ class Session:
                  limits: Optional[Limits] = None,
                  engine: str = "physical",
                  workers: Optional[int] = None,
-                 parallel_backend: str = "thread"):
+                 parallel_backend: str = "thread",
+                 opt_level: Optional[int] = None):
         if engine not in ("physical", "parallel", "tree"):
             raise ValueError(f"unknown engine {engine!r} "
                              "(choices: physical, parallel, tree)")
+        if opt_level is not None and opt_level not in (0, 1, 2):
+            raise ValueError(f"--opt-level expects 0, 1, or 2, "
+                             f"got {opt_level!r}")
         self.bindings: Dict[str, object] = {}
         self.out = out if out is not None else sys.stdout
         self.limits = limits
         self.engine = engine
         self.workers = workers
         self.parallel_backend = parallel_backend
+        #: ``None`` keeps the engine's default level (tree: 0,
+        #: physical/parallel: 1); ``:passes level N`` overrides it.
+        self.opt_level = opt_level
+        #: Per-pass overrides from ``:passes on/off NAME``.
+        self.pass_toggles: Dict[str, bool] = {}
 
     # -- helpers ----------------------------------------------------------
 
@@ -102,18 +116,38 @@ class Session:
         return {name: type_of(value)
                 for name, value in self.bindings.items()}
 
+    def _default_level(self) -> int:
+        """The opt level the current engine defaults to: the oracle
+        walker evaluates queries as written."""
+        return 0 if self.engine == "tree" else 1
+
+    def _pass_config(self):
+        """The session's :class:`~repro.planner.PassConfig`, or
+        ``None`` when the user has not customised anything (the entry
+        points then apply their own defaults)."""
+        if self.opt_level is None and not self.pass_toggles:
+            return None
+        from repro.planner import PassConfig
+        level = (self.opt_level if self.opt_level is not None
+                 else self._default_level())
+        return PassConfig.for_level(
+            level,
+            disabled=tuple(name for name, on in
+                           self.pass_toggles.items() if not on),
+            enabled=tuple(name for name, on in
+                          self.pass_toggles.items() if on))
+
     def evaluate_text(self, text: str):
+        from repro.core.eval import evaluate
         expr = parse(text)
-        if self.engine in ("physical", "parallel"):
-            from repro import engine as physical_engine
-            extra = {}
-            if self.engine == "parallel":
-                extra = {"workers": self.workers,
-                         "parallel_backend": self.parallel_backend}
-            return physical_engine.evaluate(
-                expr, self.bindings, governor=self._governor(),
-                engine=self.engine, **extra)
-        return self._evaluator().run(expr, self.bindings)
+        extra = {}
+        if self.engine == "parallel":
+            extra = {"workers": self.workers,
+                     "parallel_backend": self.parallel_backend}
+        return evaluate(expr, self.bindings,
+                        governor=self._governor(),
+                        engine=self.engine,
+                        config=self._pass_config(), **extra)
 
     def _governor(self) -> Optional[ResourceGovernor]:
         if self.limits is None or not self.limits.any_set():
@@ -165,6 +199,8 @@ class Session:
                 self._print(f"error: unknown engine {choice!r} "
                             "(choices: physical, parallel, tree)")
             return True
+        if line == ":passes" or line.startswith(":passes "):
+            return self._handle_passes(line[len(":passes"):].strip())
         if line == ":env":
             if not self.bindings:
                 self._print("(no bindings)")
@@ -184,9 +220,14 @@ class Session:
                         f"operators {sorted(report.operators)})")
             return True
         if line.startswith(":optimize "):
+            from repro import planner
             expr = parse(line[len(":optimize "):])
-            optimized = Optimizer(schema=self._schema()).optimize(expr)
-            self._print(to_text(optimized))
+            config = self._pass_config() or planner.PassConfig.for_level(2)
+            compiled = planner.compile(
+                expr, planner.PlanContext(engine="tree",
+                                          schema=self._schema(),
+                                          config=config))
+            self._print(to_text(compiled.logical))
             return True
         if line.startswith(":explain "):
             from repro.engine import explain_physical
@@ -197,9 +238,12 @@ class Session:
                           if isinstance(value, Bag)}
             self._print("-- logical --")
             self._print(explain(expr, self._schema(), statistics))
+            self._print("-- stages --")
+            self._print(self._explain_stages(expr))
             self._print("-- physical --")
             self._print(explain_physical(
-                expr, self.bindings, governor=self._governor()))
+                expr, self.bindings, governor=self._governor(),
+                config=self._pass_config()))
             if self.engine == "parallel":
                 # the dual output: same expression, partitioned plan
                 self._print("-- parallel --")
@@ -242,7 +286,8 @@ class Session:
         if line.startswith(":"):
             self._print(f"unknown command {line.split()[0]!r} "
                         "(:type :fragment :optimize :explain :encode "
-                        ":engine :save :load :env :limits :quit)")
+                        ":engine :passes :save :load :env :limits "
+                        ":quit)")
             return True
         if "=" in line and _looks_like_binding(line):
             name, _, body = line.partition("=")
@@ -252,6 +297,73 @@ class Session:
             return True
         self._print(repr(self.evaluate_text(line)))
         return True
+
+
+    # -- planner passes -----------------------------------------------------
+
+    def _handle_passes(self, args: str) -> bool:
+        """``:passes`` — inspect or toggle the planner's passes."""
+        from repro.planner import (
+            OPT_LEVELS, PassConfig, toggleable_passes,
+        )
+        if not args:
+            from repro.planner import rule_named
+            from repro.planner.rewrites import product_pushdown_rule
+            config = self._pass_config() or PassConfig.for_level(
+                self._default_level())
+            level = config.opt_level
+            self._print(f"opt-level {level}: {OPT_LEVELS[level]}")
+            for name in toggleable_passes():
+                if name in ("normalize", "rewrite", "cost-lowering"):
+                    state = "on" if config.stage_active(name) else "off"
+                    self._print(f"  [stage] {name:<22} {state}")
+                    continue
+                try:
+                    rule = rule_named(name)
+                except KeyError:
+                    rule = product_pushdown_rule(lambda _: None)
+                state = "on" if config.rule_active(rule) else "off"
+                suffix = " (needs schema)" if rule.requires_schema \
+                    else ""
+                self._print(f"  [rule]  {name:<22} {state}{suffix}")
+            return True
+        parts = args.split()
+        if parts[0] == "level" and len(parts) == 2:
+            if parts[1] not in ("0", "1", "2"):
+                self._print("error: :passes level expects 0, 1, or 2")
+                return True
+            self.opt_level = int(parts[1])
+            self._print(f"opt-level = {self.opt_level}")
+            return True
+        if parts[0] == "reset":
+            self.pass_toggles.clear()
+            self.opt_level = None
+            self._print("passes reset to engine defaults")
+            return True
+        if parts[0] in ("on", "off") and len(parts) == 2:
+            name = parts[1]
+            if name not in toggleable_passes():
+                self._print(f"error: unknown pass {name!r} "
+                            "(:passes lists them)")
+                return True
+            self.pass_toggles[name] = parts[0] == "on"
+            self._print(f"{name} = {parts[0]}")
+            return True
+        self._print("usage: :passes [level N | on NAME | off NAME | "
+                    "reset]")
+        return True
+
+    def _explain_stages(self, expr) -> str:
+        """The planner's per-stage report for one expression."""
+        from repro import planner
+        config = self._pass_config() or planner.PassConfig.for_level(
+            self._default_level())
+        context = planner.PlanContext.for_bindings(
+            self.bindings, engine=self.engine,
+            schema=self._schema(), governor=self._governor(),
+            config=config)
+        compiled = planner.compile(expr, context, trees=True)
+        return compiled.report.render()
 
 
 def _looks_like_binding(line: str) -> bool:
@@ -300,15 +412,18 @@ def parse_limit_flags(argv: List[str]) -> Tuple[Optional[Limits],
     return (Limits(**spec) if spec else None), paths
 
 
-def _parse_engine_flag(argv: List[str]
-                       ) -> Tuple[str, Optional[int], str, List[str]]:
+def _parse_engine_flag(
+        argv: List[str]
+) -> Tuple[str, Optional[int], str, Optional[int], List[str]]:
     """Strip ``--engine NAME`` / ``--workers N`` /
-    ``--parallel-backend NAME`` (and their ``=`` forms) from the
-    argument list before the limit flags are parsed (so
-    :func:`parse_limit_flags` keeps its strict unknown-flag check)."""
+    ``--parallel-backend NAME`` / ``--opt-level N`` (and their ``=``
+    forms) from the argument list before the limit flags are parsed
+    (so :func:`parse_limit_flags` keeps its strict unknown-flag
+    check)."""
     engine = "physical"
     workers: Optional[int] = None
     backend = "thread"
+    opt_level: Optional[int] = None
     rest: List[str] = []
     index = 0
 
@@ -344,10 +459,16 @@ def _parse_engine_flag(argv: List[str]
                 raise ValueError(
                     f"--parallel-backend expects 'thread' or "
                     f"'process', got {backend!r}")
+        elif name == "--opt-level":
+            raw = value_of(name, equals, inline)
+            if raw not in ("0", "1", "2"):
+                raise ValueError(
+                    f"--opt-level expects 0, 1, or 2, got {raw!r}")
+            opt_level = int(raw)
         else:
             rest.append(argument)
         index += 1
-    return engine, workers, backend, rest
+    return engine, workers, backend, opt_level, rest
 
 
 def main(argv=None) -> int:
@@ -360,7 +481,9 @@ def main(argv=None) -> int:
     lines instead of killing the process.  ``--engine
     physical|parallel|tree`` picks the evaluator (default: the
     physical kernel engine); ``--workers N`` and ``--parallel-backend
-    thread|process`` configure the parallel engine.
+    thread|process`` configure the parallel engine; ``--opt-level
+    0|1|2`` picks the planner's pass set (0 disables every rewrite
+    and lowers naively; 2 adds the full algebraic fixpoint).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fuzz":
@@ -368,13 +491,14 @@ def main(argv=None) -> int:
         from repro.testkit.cli import main as fuzz_main
         return fuzz_main(argv[1:])
     try:
-        engine, workers, backend, argv = _parse_engine_flag(argv)
+        engine, workers, backend, opt_level, argv = \
+            _parse_engine_flag(argv)
         limits, paths = parse_limit_flags(argv)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     session = Session(limits=limits, engine=engine, workers=workers,
-                      parallel_backend=backend)
+                      parallel_backend=backend, opt_level=opt_level)
     if paths:
         for path in paths:
             with open(path, "r", encoding="utf-8") as handle:

@@ -230,6 +230,8 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
              engine: str = "tree",
              workers: Optional[int] = None,
              parallel_backend: str = "thread",
+             opt_level: Optional[int] = None,
+             config=None,
              **named_bags: Bag) -> Any:
     """One-shot convenience wrapper around :class:`Evaluator`.
 
@@ -240,6 +242,12 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
     executor (``workers`` threads, or processes with
     ``parallel_backend="process"``).  Same results, bag-equal by the
     differential fuzz suite; governed limits apply either way.
+
+    Every path routes through the staged planner
+    (:func:`repro.planner.compile`).  ``opt_level`` (or a full
+    :class:`~repro.planner.PassConfig`) picks the passes; the tree
+    walker defaults to level 0 — the oracle evaluates the query *as
+    written* — while the physical engines default to level 1.
 
     >>> from repro.core.expr import var
     >>> from repro.core.bag import Bag
@@ -257,7 +265,24 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
         return physical_engine.evaluate(
             expr, database, engine=engine, governor=governor,
             limits=limits, powerset_budget=powerset_budget,
+            opt_level=opt_level, config=config,
             **extra, **named_bags)
-    return Evaluator(powerset_budget=powerset_budget,
-                     governor=governor, limits=limits).run(
-        expr, database, **named_bags)
+    # the oracle path: compile at opt level 0 by default, so the tree
+    # walker evaluates exactly the query the caller wrote
+    from repro.planner import PassConfig, PlanContext
+    from repro.planner import compile as planner_compile
+    evaluator = Evaluator(powerset_budget=powerset_budget,
+                          governor=governor, limits=limits)
+    if config is None:
+        config = PassConfig.for_level(0 if opt_level is None
+                                      else opt_level)
+    try:
+        compiled = planner_compile(
+            expr, PlanContext(engine="tree",
+                              governor=evaluator.governor,
+                              config=config))
+    except GovernedError as error:
+        if error.stats is None:
+            error.stats = evaluator.stats
+        raise
+    return evaluator.run(compiled.logical, database, **named_bags)

@@ -2,12 +2,15 @@
 
 The tree walker in :mod:`repro.core.eval` is the semantics oracle:
 small, obviously faithful to the paper, and instrumented.  This package
-is the *production* path: expressions are lowered to physical plans of
-pipelined operator kernels over ``(value, multiplicity)`` streams
+is the *production* path: expressions are compiled by the staged
+planner (:func:`repro.planner.compile` — normalize, rewrite, cost-based
+lowering, optional parallelize) into physical plans of pipelined
+operator kernels over ``(value, multiplicity)`` streams
 (:mod:`repro.engine.physical`, :mod:`repro.engine.kernels`), with a
-cost-based lowering pass (:mod:`repro.engine.lower`) and a bounded LRU
-plan cache plus per-run common-subexpression sharing
-(:mod:`repro.engine.cache`).
+bounded LRU plan cache plus per-run common-subexpression sharing
+(:mod:`repro.engine.cache`).  Plan-cache keys include the planner's
+pass configuration, so plans compiled at different opt levels (or with
+different pass toggles) never collide.
 
 The paper's tractability results license the design: BALG¹ sits inside
 LOGSPACE (Thm 4.4) and BALG avoids the powerbag's ``2^n`` blow-up
@@ -22,6 +25,7 @@ Usage::
     from repro.engine import evaluate
     result = evaluate(expr, database)            # physical engine
     result = evaluate(expr, database, engine="tree")   # the oracle
+    result = evaluate(expr, database, opt_level=0)     # naive plans
 
 or through the stable front door, ``repro.core.eval.evaluate(...,
 engine="physical")``.
@@ -46,7 +50,8 @@ from repro.engine.physical import (
     EngineStats, ExecContext, PhysicalNode, render_plan,
 )
 from repro.guard.governor import Limits, ResourceGovernor
-from repro.optimizer.cardinality import BagStats, stats_of
+from repro.planner import PassConfig, PlanContext
+from repro.planner import compile as planner_compile
 
 __all__ = [
     "EngineStats", "ExecContext", "PhysicalNode", "PhysicalPlan",
@@ -75,64 +80,43 @@ def _bindings_of(database: Optional[Mapping[str, Any]],
     return bindings
 
 
-def _statistics_of(bindings: Mapping[str, Any]) -> dict:
-    """Exact per-relation statistics — O(1) per bag, the two counters
-    are maintained by :class:`~repro.core.bag.Bag` itself."""
-    return {name: stats_of(value) for name, value in bindings.items()
-            if isinstance(value, Bag)}
-
-
-def _arities_of(bindings: Mapping[str, Any]) -> dict:
-    """Tuple arities of the bound relations (join fusion needs the
-    split point of a product's attribute positions)."""
-    arities: dict = {}
-    for name, value in bindings.items():
-        if isinstance(value, Bag) and not value.is_empty():
-            element = value.an_element()
-            if hasattr(element, "arity"):
-                arities[name] = element.arity
-    return arities
+def _config_for(opt_level: Optional[int],
+                config: Optional[PassConfig],
+                selectivity: float = 0.5) -> PassConfig:
+    """Resolve the pass configuration for a physical-path call: an
+    explicit config wins, then an explicit level; the default is
+    opt level 1 (normalize + cost-based lowering)."""
+    if config is not None:
+        return config
+    level = 1 if opt_level is None else opt_level
+    return PassConfig.for_level(level, selectivity=selectivity)
 
 
 def plan_for(expr: Expr, bindings: Mapping[str, Any],
              cache: Optional[PlanCache] = None,
              stats: Optional[EngineStats] = None,
              selectivity: float = 0.5,
-             policy=None) -> PhysicalPlan:
+             policy=None,
+             opt_level: Optional[int] = None,
+             config: Optional[PassConfig] = None) -> PhysicalPlan:
     """Fetch or build the physical plan for an expression.
 
-    A cache hit skips lowering entirely (asserted by bench E20's
-    stats-counter check); a miss lowers with exact statistics drawn
-    from the bindings and stores the plan.  ``policy`` (a
+    A thin shim over :func:`repro.planner.compile`: a cache hit skips
+    the whole pipeline (asserted by bench E20's stats-counter check);
+    a miss compiles with exact statistics drawn from the bindings and
+    stores the plan.  ``policy`` (a
     :class:`~repro.engine.parallel.ParallelPolicy`) turns on the
     parallelism pass; parallel plans live under a tagged cache key so
-    they never shadow serial plans for the same expression.
+    they never shadow serial plans, and the pass configuration is part
+    of every key so opt levels never collide either.
     """
-    arities = _arities_of(bindings)
-    tag = None
-    if policy is not None:
-        tag = ("parallel", policy.threshold)
-    if cache is None:
-        plan = lower(expr, _statistics_of(bindings),
-                     selectivity=selectivity, arities=arities,
-                     parallel=policy)
-        if stats is not None:
-            stats.lowerings += 1
-        return plan
-    key = PlanCache.key_for(expr, arities, tag)
-    plan = cache.get(key)
-    if plan is not None:
-        if stats is not None:
-            stats.cache_hits += 1
-        return plan
-    plan = lower(expr, _statistics_of(bindings),
-                 selectivity=selectivity, arities=arities,
-                 parallel=policy)
-    cache.put(key, plan)
-    if stats is not None:
-        stats.cache_misses += 1
-        stats.lowerings += 1
-    return plan
+    resolved = _config_for(opt_level, config, selectivity)
+    ctx = PlanContext.for_bindings(
+        bindings,
+        engine="parallel" if policy is not None else "physical",
+        cache=cache, engine_stats=stats, parallel=policy,
+        config=resolved)
+    return planner_compile(expr, ctx).physical
 
 
 def evaluate(expr: Expr,
@@ -147,6 +131,8 @@ def evaluate(expr: Expr,
              workers: Optional[int] = None,
              parallel_backend: str = "thread",
              parallel_threshold: Optional[float] = None,
+             opt_level: Optional[int] = None,
+             config: Optional[PassConfig] = None,
              **named_bags: Bag) -> Any:
     """Evaluate an expression with the physical engine.
 
@@ -156,16 +142,23 @@ def evaluate(expr: Expr,
     ``parallel_backend="process"``); ``parallel_threshold`` overrides
     the minimum estimated cardinality below which the lowering pass
     refuses to insert exchanges (0 forces them everywhere).
+    ``opt_level`` (0/1/2) or a full
+    :class:`~repro.planner.PassConfig` picks the planner passes —
+    level 0 disables every rewrite and lowers naively, level 2 adds
+    the full algebraic rewrite fixpoint to the default.
     ``cache=None`` disables plan caching; the default is the
     process-wide cache.  Governed limits apply to the whole run:
-    lowering is free, but every kernel ticks the shared governor,
-    every materialisation honours the size budget, and powerset
-    expansion pre-checks its budget.
+    compilation ticks the shared governor per rewrite pass, every
+    kernel ticks it per row batch, every materialisation honours the
+    size budget, and powerset expansion pre-checks its budget.
     """
     if engine == "tree":
-        return Evaluator(powerset_budget=powerset_budget,
-                         governor=governor, limits=limits).run(
-            expr, database, **named_bags)
+        from repro.core.eval import evaluate as tree_evaluate
+        return tree_evaluate(expr, database,
+                             powerset_budget=powerset_budget,
+                             governor=governor, limits=limits,
+                             opt_level=opt_level, config=config,
+                             **named_bags)
     if engine not in ("physical", "parallel"):
         raise ValueError(f"unknown engine {engine!r} "
                          "(choices: 'physical', 'parallel', 'tree')")
@@ -190,12 +183,15 @@ def evaluate(expr: Expr,
                           track_stats=False)
     if evaluator.governor is not None:
         evaluator.governor.ensure_started()
-    plan = plan_for(expr, bindings, cache=cache, stats=stats,
-                    policy=policy)
-    ctx = ExecContext(bindings, evaluator, stats=stats,
-                      parallel=parallel_config)
+    ctx = PlanContext.for_bindings(
+        bindings, engine=engine, governor=evaluator.governor,
+        cache=cache, engine_stats=stats, parallel=policy,
+        config=_config_for(opt_level, config))
+    exec_ctx = ExecContext(bindings, evaluator, stats=stats,
+                           parallel=parallel_config)
     try:
-        return plan.execute(ctx)
+        plan = planner_compile(expr, ctx).physical
+        return plan.execute(exec_ctx)
     except RecursionError as exc:
         raise RecursionDepthExceeded(
             "expression or value nesting exceeded the Python "
@@ -220,6 +216,8 @@ def explain_physical(expr: Expr,
                      workers: Optional[int] = None,
                      parallel_backend: str = "thread",
                      parallel_threshold: Optional[float] = None,
+                     opt_level: Optional[int] = None,
+                     config: Optional[PassConfig] = None,
                      **named_bags: Bag) -> str:
     """Render the physical plan, optionally with actual cardinalities.
 
@@ -243,7 +241,7 @@ def explain_physical(expr: Expr,
             workers=workers if workers is not None else 2,
             backend=parallel_backend)
     plan = plan_for(expr, bindings, cache=cache, stats=stats,
-                    policy=policy)
+                    policy=policy, opt_level=opt_level, config=config)
     if execute and not (expr.free_vars() - set(bindings)):
         evaluator = Evaluator(governor=governor, limits=limits,
                               track_stats=False)

@@ -10,9 +10,9 @@ node:
   probe dict (``n`` is commutative; ``-`` is not and keeps its order);
 * ``sigma_{alpha_i = alpha_j}(B x B')`` with the equality crossing the
   product fuses into a :class:`~repro.engine.physical.HashJoin`, with
-  the build side picked by :mod:`repro.optimizer.cardinality`
-  estimates; tiny products stay nested-loop (a hash table would cost
-  more than it saves);
+  the build side picked by :mod:`repro.planner.stats` estimates; tiny
+  products stay nested-loop (a hash table would cost more than it
+  saves);
 * ``e (+) e`` over a shared subexpression collapses into a
   :class:`~repro.engine.physical.MultiplicityScale`;
 * bag-typed subexpressions occurring more than once become
@@ -25,9 +25,12 @@ node:
   object-typed) lower to :class:`~repro.engine.physical.OracleEval`,
   keeping the engine total over the whole language.
 
-Estimates come from :func:`repro.optimizer.cardinality.estimate` when
+Estimates come from :func:`repro.planner.stats.estimate` when
 per-relation statistics are available; without statistics every choice
 falls back to a safe default (hash kernels, syntactic operand order).
+The whole pass runs as the ``lower`` stage of
+:func:`repro.planner.compile`; ``cost_based=False`` is the planner's
+opt-level-0 mode (purely syntax-directed kernel choice).
 """
 
 from __future__ import annotations
@@ -50,7 +53,7 @@ from repro.engine.physical import (
     NestedLoopProduct, OracleEval, PhysicalNode, PowersetExpand,
     ScanBag, SharedScan, StreamingMap, StreamingSelect, UnnestExpand,
 )
-from repro.optimizer.cardinality import BagStats, estimate
+from repro.planner.stats import BagStats, estimate
 
 __all__ = ["PhysicalPlan", "Lowering", "lower", "compile_object_lambda"]
 
@@ -87,13 +90,19 @@ class Lowering:
     def __init__(self, statistics: Optional[Mapping[str, BagStats]]
                  = None, selectivity: float = 0.5,
                  arities: Optional[Mapping[str, int]] = None,
-                 parallel=None):
+                 parallel=None, cost_based: bool = True):
         self.statistics = dict(statistics) if statistics else None
         self.selectivity = selectivity
         self.arities = dict(arities) if arities else {}
         #: Optional ParallelPolicy: when set, the parallelism pass
         #: wraps eligible subtrees in Gather/Exchange/Partition nodes.
         self.parallel = parallel
+        #: ``False`` is the planner's opt-level-0 mode: a purely
+        #: syntax-directed kernel choice — no join fusion, no operand
+        #: reordering, no multiplicity-scale collapse, no shared-scan
+        #: CSE.  The differential ``engine-opt0`` backend pins that
+        #: this naive plan is still bag-equal to the optimized one.
+        self.cost_based = cost_based
         self._shared: Dict[Expr, SharedScan] = {}
         self._share_counts: Dict[Expr, int] = {}
 
@@ -136,7 +145,8 @@ class Lowering:
 
     def _is_shared(self, expr: Expr) -> bool:
         """Worth sharing: occurs more than once and is not a leaf."""
-        return (self._share_counts.get(expr, 0) > 1
+        return (self.cost_based
+                and self._share_counts.get(expr, 0) > 1
                 and not isinstance(expr, (Var, Const)))
 
     # -- recursive lowering ---------------------------------------------
@@ -167,7 +177,7 @@ class Lowering:
             return OracleEval(expr, estimated)
 
         if isinstance(expr, AdditiveUnion):
-            if expr.left == expr.right:
+            if self.cost_based and expr.left == expr.right:
                 return MultiplicityScale(self._lower(expr.left), 2,
                                          estimated)
             return HashUnion(self._lower(expr.left),
@@ -180,11 +190,12 @@ class Lowering:
                                 self._lower(expr.right), estimated)
         if isinstance(expr, Intersection):
             left, right = expr.left, expr.right
-            lcard = self._card(self._estimate(left))
-            rcard = self._card(self._estimate(right))
-            if (lcard is not None and rcard is not None
-                    and rcard < lcard):
-                left, right = right, left  # smaller side probes
+            if self.cost_based:
+                lcard = self._card(self._estimate(left))
+                rcard = self._card(self._estimate(right))
+                if (lcard is not None and rcard is not None
+                        and rcard < lcard):
+                    left, right = right, left  # smaller side probes
             return HashIntersect(self._lower(left), self._lower(right),
                                  estimated)
 
@@ -268,7 +279,8 @@ class Lowering:
 
     def _lower_select(self, expr: Select,
                       estimated: Optional[BagStats]) -> PhysicalNode:
-        if expr.op == "eq" and isinstance(expr.operand, Cartesian):
+        if (self.cost_based and expr.op == "eq"
+                and isinstance(expr.operand, Cartesian)):
             join = self._try_fuse_join(expr, expr.operand, estimated)
             if join is not None:
                 return join
@@ -428,7 +440,8 @@ def lower(expr: Expr,
           statistics: Optional[Mapping[str, BagStats]] = None,
           selectivity: float = 0.5,
           arities: Optional[Mapping[str, int]] = None,
-          parallel=None) -> PhysicalPlan:
+          parallel=None, cost_based: bool = True) -> PhysicalPlan:
     """One-shot lowering convenience wrapper."""
     return Lowering(statistics, selectivity=selectivity,
-                    arities=arities, parallel=parallel).lower(expr)
+                    arities=arities, parallel=parallel,
+                    cost_based=cost_based).lower(expr)

@@ -33,7 +33,7 @@ from repro.core.bag import Bag
 from repro.core.database import encoding_size
 from repro.core.errors import UnboundVariableError
 from repro.engine import kernels
-from repro.optimizer.cardinality import BagStats
+from repro.planner.stats import BagStats
 
 __all__ = [
     "EngineStats", "ExecContext", "PhysicalNode",

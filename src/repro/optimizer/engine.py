@@ -1,33 +1,27 @@
-"""The rewrite engine: bottom-up rule application to a fixpoint.
+"""Compatibility shim — the rewrite engine is now the planner's
+fixpoint pass manager (:mod:`repro.planner.manager`).
 
-The engine is deliberately a plain term rewriter — the point of the
-Section 3 discussion is that the classical selection-pushdown style of
-optimization survives the move to bags (unlike conjunctive-query
-minimization, which [CV93] shows does not), so the machinery mirrors a
-textbook relational optimizer:
-
-* rules run bottom-up over the AST;
-* a pass that changed anything schedules another pass, up to a cap;
-* when a schema is provided, the type checker supplies operand arities
-  and the product-pushdown rule joins the set;
-* :func:`estimated_cost` gives the cost model used by the ablation
-  benchmark (number of operators weighted by their worst-case growth).
+:class:`Optimizer` keeps the legacy surface (``schema`` /
+``extra_rules`` / ``max_passes`` / ``rewrites_applied``) but delegates
+the actual bottom-up fixpoint to
+:class:`~repro.planner.manager.FixpointRewriter` over the planner's
+named rule registry.  ``estimated_cost`` re-exports the shared cost
+model from :mod:`repro.planner.stats`.  New code should drive
+:func:`repro.planner.compile` directly.
 """
 
 from __future__ import annotations
 
 from typing import List, Mapping, Optional
 
-from repro.core.expr import (
-    AdditiveUnion, Attribute, Bagging, BagDestroy, Cartesian, Const,
-    Dedup, Expr, Intersection, Lam, Map, MaxUnion, Powerbag, Powerset,
-    Select, Subtraction, Tupling, Var,
-)
+from repro.core.expr import Expr
 from repro.core.typecheck import TypeChecker
 from repro.core.types import BagType, TupleType, Type
-from repro.optimizer.rules import (
-    DEFAULT_RULES, RewriteRule, make_push_selection_into_product,
+from repro.planner.manager import FixpointRewriter
+from repro.planner.rewrites import (
+    ALL_RULES, RewriteRule, Rule, product_pushdown_rule,
 )
+from repro.planner.stats import estimated_cost
 
 __all__ = ["Optimizer", "optimize", "estimated_cost"]
 
@@ -52,12 +46,20 @@ class Optimizer:
                  max_passes: int = 50):
         self._schema = dict(schema.items()) if schema else None
         self._max_passes = max_passes
-        self.rules: List[RewriteRule] = list(DEFAULT_RULES)
+        self.rules: List[RewriteRule] = [rule.fn for rule in ALL_RULES]
+        self._named: List[Rule] = list(ALL_RULES)
         if self._schema is not None:
-            self.rules.append(
-                make_push_selection_into_product(self._left_arity))
+            pushdown = product_pushdown_rule(self._left_arity)
+            self.rules.append(pushdown.fn)
+            self._named.append(pushdown)
         if extra_rules:
-            self.rules.extend(extra_rules)
+            for index, fn in enumerate(extra_rules):
+                self.rules.append(fn)
+                self._named.append(Rule(
+                    name=getattr(fn, "__name__", f"extra-{index}"),
+                    fn=fn, stage="rewrite",
+                    side_condition="caller-supplied rule; soundness "
+                                   "is the caller's obligation"))
         self.rewrites_applied = 0
 
     def _left_arity(self, operand: Expr) -> Optional[int]:
@@ -75,83 +77,14 @@ class Optimizer:
 
     def optimize(self, expr: Expr) -> Expr:
         """Rewrite to a fixpoint of the rule set."""
-        current = expr
-        for _ in range(self._max_passes):
-            rewritten = self._pass(current)
-            if rewritten == current:
-                return current
-            current = rewritten
-        return current
-
-    def _pass(self, expr: Expr) -> Expr:
-        """One bottom-up pass: children first, then this node."""
-        rebuilt = self._rebuild(expr)
-        for rule in self.rules:
-            replacement = rule(rebuilt)
-            if replacement is not None and replacement != rebuilt:
-                self.rewrites_applied += 1
-                return replacement
-        return rebuilt
-
-    def _rebuild(self, expr: Expr) -> Expr:
-        if isinstance(expr, (Var, Const)):
-            return expr
-        if isinstance(expr, (AdditiveUnion, Subtraction, MaxUnion,
-                             Intersection)):
-            return type(expr)(self._pass(expr.left),
-                              self._pass(expr.right))
-        if isinstance(expr, Cartesian):
-            return Cartesian(self._pass(expr.left),
-                             self._pass(expr.right))
-        if isinstance(expr, Tupling):
-            return Tupling(*(self._pass(part) for part in expr.parts))
-        if isinstance(expr, Bagging):
-            return Bagging(self._pass(expr.item))
-        if isinstance(expr, Attribute):
-            return Attribute(self._pass(expr.operand), expr.index)
-        if isinstance(expr, (Powerset, Powerbag, BagDestroy, Dedup)):
-            return type(expr)(self._pass(expr.operand))
-        if isinstance(expr, Map):
-            return Map(Lam(expr.lam.param, self._pass(expr.lam.body)),
-                       self._pass(expr.operand))
-        if isinstance(expr, Select):
-            return Select(
-                Lam(expr.left.param, self._pass(expr.left.body)),
-                Lam(expr.right.param, self._pass(expr.right.body)),
-                self._pass(expr.operand), op=expr.op)
-        return expr  # extension nodes (e.g. Ifp) pass through untouched
+        rewriter = FixpointRewriter(self._named,
+                                    max_passes=self._max_passes)
+        result = rewriter.rewrite(expr)
+        self.rewrites_applied += rewriter.rewrites_applied
+        return result
 
 
 def optimize(expr: Expr,
              schema: Optional[Mapping[str, Type]] = None) -> Expr:
     """One-shot convenience wrapper."""
     return Optimizer(schema=schema).optimize(expr)
-
-
-#: Worst-case growth weights for the cost heuristic.  ``Unnest`` and
-#: ``BagDestroy`` multiply cardinalities by nested-bag sizes (the
-#: multiplicity blow-up the engine's scale kernels model), so they
-#: weigh like small products; ``Nest`` only groups.
-_NODE_WEIGHTS = {
-    "Powerset": 100,
-    "Powerbag": 200,
-    "Cartesian": 10,
-    "Unnest": 8,
-    "BagDestroy": 5,
-    "Nest": 3,
-    "Map": 2,
-    "Select": 1,
-    "Dedup": 1,
-    "AdditiveUnion": 1,
-    "Subtraction": 1,
-    "MaxUnion": 1,
-    "Intersection": 1,
-}
-
-
-def estimated_cost(expr: Expr) -> int:
-    """A static cost heuristic: operator count weighted by worst-case
-    output growth.  Used to confirm that rewrites do not increase the
-    estimate (and by how much they shrink it)."""
-    return sum(_NODE_WEIGHTS.get(type(node).__name__, 1)
-               for node in expr.walk())

@@ -1,338 +1,35 @@
-"""Algebraic rewrite rules for bag queries (Section 3's optimization
-discussion).
+"""Compatibility shim — the rewrite rules now live in
+:mod:`repro.planner.rewrites`.
 
-The paper notes that the operators satisfy the classical algebraic
-properties (associativity, commutativity of the unions and the
-intersection) "which can be used to define rewriting rules, to optimize
-queries over bags, in the same spirit as optimization of queries over
-sets, by pushing down selections for instance".  This module implements
-that rule set, each rule sound under *bag* semantics:
-
-* constant folding of the binary operators;
-* neutral/absorbing elements (``B (+) {{}} = B``, ``B n {{}} = {{}}``,
-  ``B - B = {{}}`` ...);
-* idempotence of maximal union and intersection on *identical*
-  subexpressions (sound because expressions are pure);
-* duplicate-elimination simplifications (``eps . eps = eps``,
-  ``eps(P(B)) = P(B)`` since powersets are duplicate-free);
-* MAP fusion (``MAP_f . MAP_g = MAP_{f o g}`` — multiplicity-correct
-  because MAP is additive);
-* selection pushdown through Cartesian product and through the unions.
-
-Note the paper's warning ([CV93]) that *conjunctive-query* optimizations
-do not carry over to bags; the rules here are the equivalences that do.
-
-Every rule is a function ``Expr -> Optional[Expr]`` returning the
-rewritten node or ``None``.  The engine (:mod:`repro.optimizer.engine`)
-applies them bottom-up to a fixpoint, and the test-suite checks every
-rule preserves semantics on random inputs.
+The planner's :class:`~repro.planner.rewrites.Rule` objects carry the
+name, pipeline stage, and bag-semantics side condition of each
+rewrite; this module re-exports the bare rule *functions* plus the
+legacy ``DEFAULT_RULES`` list for callers written against the pre-
+planner surface.  New code should import from ``repro.planner``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import List
 
-from repro.core import ops
-from repro.core.bag import Bag, EMPTY_BAG
-from repro.core.expr import (
-    AdditiveUnion, Attribute, Cartesian, Const, Dedup, Expr,
-    Intersection, Lam, Map, MaxUnion, Powerset, Select, Subtraction,
-    Tupling, Var,
+from repro.planner.rewrites import (
+    RewriteRule, cancel_attribute_of_tupling, collapse_dedup,
+    drop_neutral_elements, fold_constants, fuse_maps,
+    idempotent_extremes, make_push_selection_into_product,
+    push_selection_into_product, push_selection_into_union,
+    push_selection_through_map, self_subtraction, substitute,
 )
-from repro.core.nest import Nest, Unnest
 
 __all__ = ["RewriteRule", "substitute", "DEFAULT_RULES",
            "fold_constants", "drop_neutral_elements",
-           "idempotent_extremes", "self_subtraction", "cancel_attribute_of_tupling",
+           "idempotent_extremes", "self_subtraction",
+           "cancel_attribute_of_tupling",
            "collapse_dedup", "fuse_maps", "push_selection_through_map",
            "push_selection_into_union",
            "push_selection_into_product"]
 
-RewriteRule = Callable[[Expr], Optional[Expr]]
-
-
-def substitute(expr: Expr, name: str, replacement: Expr) -> Expr:
-    """Capture-avoiding substitution of ``replacement`` for the free
-    variable ``name``."""
-    if isinstance(expr, Var):
-        return replacement if expr.name == name else expr
-    if isinstance(expr, Const):
-        return expr
-    if isinstance(expr, (AdditiveUnion, Subtraction, MaxUnion,
-                         Intersection)):
-        return type(expr)(substitute(expr.left, name, replacement),
-                          substitute(expr.right, name, replacement))
-    if isinstance(expr, Cartesian):
-        return Cartesian(substitute(expr.left, name, replacement),
-                         substitute(expr.right, name, replacement))
-    if isinstance(expr, Tupling):
-        return Tupling(*(substitute(part, name, replacement)
-                         for part in expr.parts))
-    if isinstance(expr, Attribute):
-        return Attribute(substitute(expr.operand, name, replacement),
-                         expr.index)
-    if isinstance(expr, Map):
-        body = (expr.lam.body if expr.lam.param == name
-                else substitute(expr.lam.body, name, replacement))
-        return Map(Lam(expr.lam.param, body),
-                   substitute(expr.operand, name, replacement))
-    if isinstance(expr, Select):
-        left_body = (expr.left.body if expr.left.param == name
-                     else substitute(expr.left.body, name, replacement))
-        right_body = (expr.right.body if expr.right.param == name
-                      else substitute(expr.right.body, name,
-                                      replacement))
-        return Select(Lam(expr.left.param, left_body),
-                      Lam(expr.right.param, right_body),
-                      substitute(expr.operand, name, replacement),
-                      op=expr.op)
-    if isinstance(expr, Dedup):
-        return Dedup(substitute(expr.operand, name, replacement))
-    if isinstance(expr, Powerset):
-        return Powerset(substitute(expr.operand, name, replacement))
-    if isinstance(expr, Nest):
-        return Nest(substitute(expr.operand, name, replacement),
-                    *expr.indices)
-    if isinstance(expr, Unnest):
-        return Unnest(substitute(expr.operand, name, replacement),
-                      expr.index)
-    # Fallback: nodes without variables inside (Bagging etc.) rebuild
-    # generically via their children when they expose a single operand.
-    if hasattr(expr, "operand"):
-        rebuilt = type(expr)(substitute(expr.operand, name, replacement))
-        return rebuilt
-    if hasattr(expr, "item"):
-        return type(expr)(substitute(expr.item, name, replacement))
-    return expr
-
-
-# ----------------------------------------------------------------------
-# Rules
-# ----------------------------------------------------------------------
-
-_BINARY_OPS = {
-    AdditiveUnion: ops.additive_union,
-    Subtraction: ops.subtraction,
-    MaxUnion: ops.max_union,
-    Intersection: ops.intersection,
-    Cartesian: ops.cartesian,
-}
-
-
-def fold_constants(expr: Expr) -> Optional[Expr]:
-    """Evaluate binary operators whose operands are both literals."""
-    operator = _BINARY_OPS.get(type(expr))
-    if operator is None:
-        return None
-    left, right = expr.left, expr.right
-    if (isinstance(left, Const) and isinstance(right, Const)
-            and isinstance(left.value, Bag)
-            and isinstance(right.value, Bag)):
-        return Const(operator(left.value, right.value))
-    return None
-
-
-def _is_empty_const(expr: Expr) -> bool:
-    return (isinstance(expr, Const) and isinstance(expr.value, Bag)
-            and expr.value.is_empty())
-
-
-def drop_neutral_elements(expr: Expr) -> Optional[Expr]:
-    """``B (+) {{}} = B``, ``B u {{}} = B``, ``B - {{}} = B``,
-    ``{{}} - B = {{}}``, ``B n {{}} = {{}}``."""
-    if isinstance(expr, (AdditiveUnion, MaxUnion)):
-        if _is_empty_const(expr.left):
-            return expr.right
-        if _is_empty_const(expr.right):
-            return expr.left
-    if isinstance(expr, Subtraction):
-        if _is_empty_const(expr.right):
-            return expr.left
-        if _is_empty_const(expr.left):
-            return Const(EMPTY_BAG)
-    if isinstance(expr, Intersection):
-        if _is_empty_const(expr.left) or _is_empty_const(expr.right):
-            return Const(EMPTY_BAG)
-    return None
-
-
-def idempotent_extremes(expr: Expr) -> Optional[Expr]:
-    """``B u B = B`` and ``B n B = B`` for syntactically identical
-    (hence semantically identical — expressions are pure) operands."""
-    if isinstance(expr, (MaxUnion, Intersection)):
-        if expr.left == expr.right:
-            return expr.left
-    return None
-
-
-def self_subtraction(expr: Expr) -> Optional[Expr]:
-    """``B - B = {{}}``."""
-    if isinstance(expr, Subtraction) and expr.left == expr.right:
-        return Const(EMPTY_BAG)
-    return None
-
-
-def collapse_dedup(expr: Expr) -> Optional[Expr]:
-    """``eps(eps(B)) = eps(B)`` and ``eps(P(B)) = P(B)`` (a powerset is
-    already duplicate-free)."""
-    if isinstance(expr, Dedup):
-        if isinstance(expr.operand, Dedup):
-            return expr.operand
-        if isinstance(expr.operand, Powerset):
-            return expr.operand
-    return None
-
-
-def fuse_maps(expr: Expr) -> Optional[Expr]:
-    """``MAP_f(MAP_g(B)) = MAP_{f o g}(B)``.
-
-    Correct under bag semantics because MAP adds the multiplicities of
-    colliding images, and function composition collides exactly the
-    same members.
-    """
-    if not isinstance(expr, Map) or not isinstance(expr.operand, Map):
-        return None
-    outer, inner = expr.lam, expr.operand.lam
-    composed = substitute(outer.body, outer.param, inner.body)
-    return Map(Lam(inner.param, composed), expr.operand.operand)
-
-
-def cancel_attribute_of_tupling(expr: Expr) -> Optional[Expr]:
-    """``alpha_i(tau(o1, ..., ok)) = o_i`` — the beta-reduction that
-    MAP fusion leaves behind."""
-    if isinstance(expr, Attribute) and isinstance(expr.operand, Tupling):
-        if 1 <= expr.index <= len(expr.operand.parts):
-            return expr.operand.parts[expr.index - 1]
-    return None
-
-
-def push_selection_through_map(expr: Expr) -> Optional[Expr]:
-    """``sigma_{phi=phi'}(MAP_f(B)) = MAP_f(sigma_{phi.f = phi'.f}(B))``.
-
-    Sound for any comparator: a member o of B contributes to the
-    selected result iff its image f(o) passes the test, i.e. iff o
-    passes the composed test; MAP's additive collision handling is
-    unaffected because exactly the same members survive.  Running the
-    selection first shrinks the bag MAP traverses.
-    """
-    if not isinstance(expr, Select) or not isinstance(expr.operand,
-                                                      Map):
-        return None
-    mapped = expr.operand
-    # capture guard: the selection lambdas must not freely mention the
-    # MAP parameter's name (it would be captured by the new binder)
-    for lam in (expr.left, expr.right):
-        if mapped.lam.param in (lam.body.free_vars() - {lam.param}):
-            return None
-    composed_left = Lam(mapped.lam.param, substitute(
-        expr.left.body, expr.left.param, mapped.lam.body))
-    composed_right = Lam(mapped.lam.param, substitute(
-        expr.right.body, expr.right.param, mapped.lam.body))
-    pushed = Select(composed_left, composed_right, mapped.operand,
-                    op=expr.op)
-    return Map(mapped.lam, pushed)
-
-
-def push_selection_into_union(expr: Expr) -> Optional[Expr]:
-    """``sigma(A (+) B) = sigma(A) (+) sigma(B)`` (same for u, n, -):
-    selections commute with all four multiplicity-wise operators."""
-    if not isinstance(expr, Select):
-        return None
-    operand = expr.operand
-    if isinstance(operand, (AdditiveUnion, MaxUnion, Intersection,
-                            Subtraction)):
-        return type(operand)(
-            Select(expr.left, expr.right, operand.left, op=expr.op),
-            Select(expr.left, expr.right, operand.right, op=expr.op))
-    return None
-
-
-def _attribute_indices(body: Expr, param: str) -> Optional[Set[int]]:
-    """The set of attribute indices a restricted lambda body projects
-    from its parameter; None when the body is not of the restricted
-    shape ``Attribute(Var(param), i)`` / constants / tupling thereof."""
-    if isinstance(body, Const):
-        return set()
-    if isinstance(body, Attribute) and isinstance(body.operand, Var) \
-            and body.operand.name == param:
-        return {body.index}
-    if isinstance(body, Tupling):
-        indices: Set[int] = set()
-        for part in body.parts:
-            inner = _attribute_indices(part, param)
-            if inner is None:
-                return None
-            indices |= inner
-        return indices
-    return None
-
-
-def _shift_attributes(body: Expr, param: str, offset: int) -> Expr:
-    """Reindex the attribute projections of a restricted lambda body."""
-    if isinstance(body, Const):
-        return body
-    if isinstance(body, Attribute):
-        return Attribute(body.operand, body.index + offset)
-    if isinstance(body, Tupling):
-        return Tupling(*(_shift_attributes(part, param, offset)
-                         for part in body.parts))
-    raise AssertionError("unreachable: shape checked beforehand")
-
-
-def make_push_selection_into_product(
-        left_arity_of: Callable[[Expr], Optional[int]]) -> RewriteRule:
-    """Build the selection-pushdown-through-product rule.
-
-    The rule needs the arity of the product's left operand to decide
-    which side a selection touches; ``left_arity_of`` supplies it (the
-    engine wires this to the type checker).
-    """
-
-    def rule(expr: Expr) -> Optional[Expr]:
-        if not isinstance(expr, Select) or not isinstance(expr.operand,
-                                                          Cartesian):
-            return None
-        product = expr.operand
-        arity = left_arity_of(product.left)
-        if arity is None:
-            return None
-        left_idx = _attribute_indices(expr.left.body, expr.left.param)
-        right_idx = _attribute_indices(expr.right.body, expr.right.param)
-        if left_idx is None or right_idx is None:
-            return None
-        touched = left_idx | right_idx
-        if touched and max(touched) <= arity:
-            pushed = Select(expr.left, expr.right, product.left,
-                            op=expr.op)
-            return Cartesian(pushed, product.right)
-        if touched and min(touched) > arity:
-            shifted_left = Lam(expr.left.param, _shift_attributes(
-                expr.left.body, expr.left.param, -arity))
-            shifted_right = Lam(expr.right.param, _shift_attributes(
-                expr.right.body, expr.right.param, -arity))
-            pushed = Select(shifted_left, shifted_right, product.right,
-                            op=expr.op)
-            return Cartesian(product.left, pushed)
-        return None
-
-    return rule
-
-
-def push_selection_into_product(expr: Expr) -> Optional[Expr]:
-    """Schema-free variant of the product pushdown: only fires when the
-    left operand's arity is syntactically evident (a bag literal)."""
-
-    def literal_arity(operand: Expr) -> Optional[int]:
-        if isinstance(operand, Const) and isinstance(operand.value, Bag) \
-                and not operand.value.is_empty():
-            element = operand.value.an_element()
-            return element.arity if hasattr(element, "arity") else None
-        return None
-
-    return make_push_selection_into_product(literal_arity)(expr)
-
-
-#: The default rule set, ordered cheap-first.
+#: The legacy default rule set, ordered cheap-first (the planner runs
+#: the same functions, split into its normalize and rewrite stages).
 DEFAULT_RULES: List[RewriteRule] = [
     fold_constants,
     drop_neutral_elements,

@@ -1,0 +1,234 @@
+"""Per-query compilation state: pass configuration and plan context.
+
+:class:`PassConfig` is the *what*: which optimization level the
+pipeline runs at and which named passes are individually toggled.  It
+is frozen and hashable because it is part of the plan-cache key — an
+opt-0 plan and an opt-2 plan for the same expression must never share
+a cache slot (``tests/test_planner.py`` pins this).
+
+:class:`PlanContext` is the *with what*: the type environment, catalog
+statistics, arity signature, governor handle, plan cache, and target
+engine for one compilation.  Every entry point (``core.eval``,
+``run_sql``, the REPL, the CLI, the testkit backends) builds one of
+these and hands it to :func:`repro.planner.compile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.core.bag import Bag
+from repro.planner.manager import DEFAULT_MAX_PASSES
+from repro.planner.rewrites import (
+    ALL_RULES, NORMALIZE_RULES, REWRITE_RULES, Rule,
+)
+from repro.planner.stats import DEFAULT_SELECTIVITY, BagStats, stats_of
+
+__all__ = ["PassConfig", "PlanContext", "STAGE_NAMES", "OPT_LEVELS",
+           "toggleable_passes"]
+
+#: The named stages of the pipeline, in order.
+STAGE_NAMES = ("typecheck", "normalize", "rewrite", "lower",
+               "parallelize")
+
+#: opt level -> one-line meaning (the CLI prints this).
+OPT_LEVELS = {
+    0: "all rewrites disabled; naive lowering (no fusion, no "
+       "reordering, no sharing)",
+    1: "normalize + cost-based lowering (the default)",
+    2: "level 1 plus the algebraic rewrite fixpoint",
+}
+
+#: Stage-level toggle names plus every statically-registered rule name.
+def toggleable_passes() -> Tuple[str, ...]:
+    names = ["normalize", "rewrite", "cost-lowering"]
+    names.extend(rule.name for rule in ALL_RULES)
+    names.append("push-select-product")
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Which passes run, at which level, with which toggles.
+
+    ``disabled`` / ``enabled`` hold pass names (stage names or
+    individual rule names); an explicit toggle wins over the level
+    default, and ``disabled`` wins over ``enabled``.
+    """
+
+    opt_level: int = 1
+    disabled: Tuple[str, ...] = ()
+    enabled: Tuple[str, ...] = ()
+    max_rewrite_passes: int = DEFAULT_MAX_PASSES
+    selectivity: float = DEFAULT_SELECTIVITY
+
+    def __post_init__(self):
+        if self.opt_level not in OPT_LEVELS:
+            raise ValueError(
+                f"opt level must be one of {sorted(OPT_LEVELS)}, "
+                f"got {self.opt_level!r}")
+        # normalized, deduplicated, sorted tuples keep the config
+        # hashable and make equal toggles produce equal cache tags
+        object.__setattr__(self, "disabled",
+                           tuple(sorted(set(self.disabled))))
+        object.__setattr__(self, "enabled",
+                           tuple(sorted(set(self.enabled))))
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def for_level(cls, opt_level: int, *,
+                  disabled: Tuple[str, ...] = (),
+                  enabled: Tuple[str, ...] = (),
+                  max_rewrite_passes: int = DEFAULT_MAX_PASSES,
+                  selectivity: float = DEFAULT_SELECTIVITY
+                  ) -> "PassConfig":
+        return cls(opt_level=opt_level, disabled=disabled,
+                   enabled=enabled,
+                   max_rewrite_passes=max_rewrite_passes,
+                   selectivity=selectivity)
+
+    def with_toggle(self, name: str, on: bool) -> "PassConfig":
+        """A new config with one pass forced on or off."""
+        disabled = set(self.disabled) - {name}
+        enabled = set(self.enabled) - {name}
+        (enabled if on else disabled).add(name)
+        return replace(self, disabled=tuple(disabled),
+                       enabled=tuple(enabled))
+
+    # -- queries ---------------------------------------------------------
+
+    def _active(self, name: str, default_on: bool) -> bool:
+        if name in self.disabled:
+            return False
+        if name in self.enabled:
+            return True
+        return default_on
+
+    def stage_active(self, stage: str) -> bool:
+        """Is a whole stage active at this level?"""
+        if stage == "normalize":
+            return self._active("normalize", self.opt_level >= 1)
+        if stage == "rewrite":
+            return self._active("rewrite", self.opt_level >= 2)
+        if stage == "cost-lowering":
+            return self._active("cost-lowering", self.opt_level >= 1)
+        return True
+
+    def rule_active(self, rule: Rule) -> bool:
+        """Is one named rule active, given its stage and the toggles?"""
+        if not self.stage_active(rule.stage):
+            return False
+        return self._active(rule.name, True)
+
+    def active_normalize_rules(self) -> Tuple[Rule, ...]:
+        return tuple(rule for rule in NORMALIZE_RULES
+                     if self.rule_active(rule))
+
+    def active_rewrite_rules(self) -> Tuple[Rule, ...]:
+        return tuple(rule for rule in REWRITE_RULES
+                     if self.rule_active(rule))
+
+    @property
+    def cost_based_lowering(self) -> bool:
+        return self.stage_active("cost-lowering")
+
+    def cache_tag(self) -> Hashable:
+        """The pass-configuration component of the plan-cache key.
+
+        Everything that can change the *shape* of the produced plan is
+        in here; two configs that lower identically share a tag only
+        when they are equal, so opt-0 and opt-2 plans can never
+        collide.
+        """
+        return ("passes", self.opt_level, self.disabled, self.enabled,
+                self.selectivity)
+
+    def describe(self) -> str:
+        parts = [f"opt-level {self.opt_level}"]
+        if self.disabled:
+            parts.append("disabled: " + ", ".join(self.disabled))
+        if self.enabled:
+            parts.append("enabled: " + ", ".join(self.enabled))
+        return "; ".join(parts)
+
+
+class PlanContext:
+    """Everything one compilation needs, bundled.
+
+    Parameters
+    ----------
+    engine:
+        ``"tree"`` (the oracle walker — the pipeline stops after the
+        logical stages), ``"physical"``, or ``"parallel"``.
+    schema:
+        Optional ``name -> Type`` mapping; enables the typecheck stage
+        and the schema-driven product pushdown rule.
+    statistics / arities:
+        Catalog statistics for cost-based lowering; usually derived
+        from concrete bindings via :meth:`for_bindings`.
+    governor:
+        Optional :class:`~repro.guard.ResourceGovernor`; compilation
+        ticks it, so rewriting shares the run's budgets.
+    cache:
+        Optional :class:`~repro.engine.cache.PlanCache`; keys include
+        :meth:`PassConfig.cache_tag`.
+    engine_stats:
+        Optional :class:`~repro.engine.physical.EngineStats` to count
+        cache hits / misses / lowerings into.
+    parallel:
+        Optional ``ParallelPolicy`` driving the parallelize pass
+        (set when ``engine == "parallel"``).
+    """
+
+    __slots__ = ("engine", "schema", "statistics", "arities",
+                 "governor", "cache", "engine_stats", "parallel",
+                 "config")
+
+    def __init__(self, *, engine: str = "physical",
+                 schema: Optional[Mapping[str, Any]] = None,
+                 statistics: Optional[Mapping[str, BagStats]] = None,
+                 arities: Optional[Mapping[str, int]] = None,
+                 governor=None, cache=None, engine_stats=None,
+                 parallel=None,
+                 config: Optional[PassConfig] = None):
+        if engine not in ("tree", "physical", "parallel"):
+            raise ValueError(f"unknown engine {engine!r} "
+                             "(choices: 'tree', 'physical', "
+                             "'parallel')")
+        self.engine = engine
+        self.schema = dict(schema) if schema is not None else None
+        self.statistics = (dict(statistics) if statistics is not None
+                           else None)
+        self.arities = dict(arities) if arities else {}
+        self.governor = governor
+        self.cache = cache
+        self.engine_stats = engine_stats
+        self.parallel = parallel
+        self.config = config if config is not None else PassConfig()
+
+    @classmethod
+    def for_bindings(cls, bindings: Mapping[str, Any], *,
+                     engine: str = "physical",
+                     schema: Optional[Mapping[str, Any]] = None,
+                     governor=None, cache=None, engine_stats=None,
+                     parallel=None,
+                     config: Optional[PassConfig] = None
+                     ) -> "PlanContext":
+        """Derive statistics and arities from concrete bindings —
+        O(1) per bag, the counters live on :class:`Bag` itself."""
+        statistics: Dict[str, BagStats] = {}
+        arities: Dict[str, int] = {}
+        for name, value in bindings.items():
+            if not isinstance(value, Bag):
+                continue
+            statistics[name] = stats_of(value)
+            if not value.is_empty():
+                element = value.an_element()
+                if hasattr(element, "arity"):
+                    arities[name] = element.arity
+        return cls(engine=engine, schema=schema, statistics=statistics,
+                   arities=arities, governor=governor, cache=cache,
+                   engine_stats=engine_stats, parallel=parallel,
+                   config=config)

@@ -1,0 +1,152 @@
+"""The fixpoint pass manager: bounded, governed rule application.
+
+One :class:`FixpointRewriter` drives one stage of the pipeline (the
+``normalize`` and ``rewrite`` stages are both rule-fixpoint stages —
+they differ only in which rules are active).  The discipline:
+
+* rules run bottom-up over the AST, first match per node wins;
+* a pass that changed anything schedules another pass, up to
+  ``max_passes`` — the fixpoint is **bounded**, so a non-terminating
+  rule set (two rules undoing each other, a rule that grows its own
+  redex) is cut off cleanly: the rewriter returns the last tree with
+  ``converged=False`` instead of spinning;
+* every full pass ticks the compilation governor, so an adversarial
+  expression or rule set also falls under the step budget, deadline,
+  and cancellation discipline that execution already obeys
+  (``tests/test_planner.py`` pins both cut-off modes with a
+  deliberately oscillating rule pair);
+* per-rule firing counts accumulate into the ``firings`` mapping the
+  :class:`~repro.planner.report.PlanReport` exposes to ``:explain``.
+
+Extension nodes the rebuild does not know (IFP, machine encodings)
+pass through untouched, exactly as the legacy optimizer treated them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Bagging, BagDestroy, Cartesian, Const,
+    Dedup, Expr, Intersection, Lam, Map, MaxUnion, Powerbag, Powerset,
+    Select, Subtraction, Tupling, Var,
+)
+from repro.core.nest import Nest, Unnest
+from repro.planner.rewrites import Rule
+
+__all__ = ["FixpointRewriter", "DEFAULT_MAX_PASSES"]
+
+#: Safety cap on full bottom-up passes per stage.
+DEFAULT_MAX_PASSES = 50
+
+
+class FixpointRewriter:
+    """Applies a rule set bottom-up until no rule fires (or the bound
+    or the governor cuts the iteration off).
+
+    Parameters
+    ----------
+    rules:
+        The active :class:`~repro.planner.rewrites.Rule` objects, in
+        priority order (first match per node wins).
+    max_passes:
+        Bound on full bottom-up passes; reaching it without a fixpoint
+        sets :attr:`converged` to ``False`` — never an exception, the
+        partially-rewritten tree is still semantically equal.
+    governor:
+        Optional :class:`~repro.guard.ResourceGovernor`; ticked once
+        per full pass so compilation shares the run's budgets.
+    firings:
+        Optional mapping to accumulate per-rule firing counts into
+        (the pipeline passes one per stage record).
+    """
+
+    def __init__(self, rules: Sequence[Rule],
+                 max_passes: int = DEFAULT_MAX_PASSES,
+                 governor=None,
+                 firings: Optional[Dict[str, int]] = None):
+        self.rules = tuple(rules)
+        self.max_passes = max_passes
+        self.governor = governor
+        self.firings: Dict[str, int] = (firings if firings is not None
+                                        else {})
+        self.converged = True
+        self.passes_run = 0
+
+    @property
+    def rewrites_applied(self) -> int:
+        return sum(self.firings.values())
+
+    def rewrite(self, expr: Expr) -> Expr:
+        """Rewrite to a (bounded) fixpoint of the rule set."""
+        if not self.rules:
+            return expr
+        current = expr
+        for iteration in range(self.max_passes):
+            if self.governor is not None:
+                self.governor.tick()
+            self.passes_run = iteration + 1
+            rewritten = self._pass(current)
+            if rewritten == current:
+                self.converged = True
+                return current
+            current = rewritten
+        self.converged = False
+        return current
+
+    # -- one bottom-up pass ----------------------------------------------
+
+    def _pass(self, expr: Expr) -> Expr:
+        """One bottom-up pass: children first, then this node."""
+        rebuilt = self._rebuild(expr)
+        for rule in self.rules:
+            replacement = rule.fn(rebuilt)
+            if replacement is not None and replacement != rebuilt:
+                self.firings[rule.name] = (
+                    self.firings.get(rule.name, 0) + 1)
+                return replacement
+        return rebuilt
+
+    def _rebuild(self, expr: Expr) -> Expr:
+        if isinstance(expr, (Var, Const)):
+            return expr
+        if isinstance(expr, (AdditiveUnion, Subtraction, MaxUnion,
+                             Intersection)):
+            return type(expr)(self._pass(expr.left),
+                              self._pass(expr.right))
+        if isinstance(expr, Cartesian):
+            return Cartesian(self._pass(expr.left),
+                             self._pass(expr.right))
+        if isinstance(expr, Tupling):
+            return Tupling(*(self._pass(part) for part in expr.parts))
+        if isinstance(expr, Bagging):
+            return Bagging(self._pass(expr.item))
+        if isinstance(expr, Attribute):
+            return Attribute(self._pass(expr.operand), expr.index)
+        if isinstance(expr, (Powerset, Powerbag, BagDestroy, Dedup)):
+            return type(expr)(self._pass(expr.operand))
+        if isinstance(expr, Map):
+            return Map(Lam(expr.lam.param, self._pass(expr.lam.body)),
+                       self._pass(expr.operand))
+        if isinstance(expr, Select):
+            return Select(
+                Lam(expr.left.param, self._pass(expr.left.body)),
+                Lam(expr.right.param, self._pass(expr.right.body)),
+                self._pass(expr.operand), op=expr.op)
+        if isinstance(expr, Nest):
+            return Nest(self._pass(expr.operand), *expr.indices)
+        if isinstance(expr, Unnest):
+            return Unnest(self._pass(expr.operand), expr.index)
+        return expr  # extension nodes (e.g. Ifp) pass through untouched
+
+
+def run_fixpoint(rules: Sequence[Rule], expr: Expr, *,
+                 max_passes: int = DEFAULT_MAX_PASSES,
+                 governor=None,
+                 firings: Optional[Dict[str, int]] = None
+                 ) -> Tuple[Expr, bool]:
+    """One-shot helper: rewritten tree plus the convergence flag."""
+    rewriter = FixpointRewriter(rules, max_passes=max_passes,
+                                governor=governor, firings=firings)
+    result = rewriter.rewrite(expr)
+    return result, rewriter.converged

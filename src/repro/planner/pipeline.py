@@ -1,0 +1,222 @@
+"""The staged compilation pipeline — the one front door.
+
+``compile()`` runs ``typecheck -> normalize -> rewrite -> lower ->
+parallelize`` over a logical expression, driven by the
+:class:`~repro.planner.context.PassConfig` and recording a
+:class:`~repro.planner.report.PlanReport` along the way.  Every
+execution entry point in the repo (``core.eval.evaluate``,
+``repro.engine.evaluate``, ``run_sql``, the REPL, the CLI, the testkit
+backends) routes through here; ``repro.optimizer`` is a compatibility
+shim over the same stages.
+
+The plan cache is consulted *before* any stage runs: a hit skips
+normalization, rewriting, and lowering in one step.  Cache keys
+combine the canonical expression key, the relation arity signature,
+and :meth:`PassConfig.cache_tag` — so an opt-0 plan can never be
+served to an opt-2 caller (or vice versa), and parallel plans never
+shadow serial ones.
+
+The engine modules are imported lazily inside the lowering stage:
+``repro.engine.lower`` itself consumes :mod:`repro.planner.stats`, and
+keeping the dependency one-directional at import time avoids a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.expr import Expr
+from repro.planner.context import PassConfig, PlanContext
+from repro.planner.manager import FixpointRewriter
+from repro.planner.report import PlanReport, StageRecord, _StageTimer
+from repro.planner.rewrites import Rule, product_pushdown_rule
+from repro.planner.stats import estimated_cost
+
+__all__ = ["CompiledPlan", "compile"]
+
+
+@dataclass
+class CompiledPlan:
+    """The pipeline's product: logical tree, physical plan, provenance.
+
+    ``physical`` is ``None`` for ``engine="tree"`` — the oracle walks
+    the (possibly rewritten) logical tree directly.  ``cache_hit``
+    marks plans served whole from the plan cache (no stage ran).
+    """
+
+    source: Expr
+    logical: Expr
+    physical: Optional[Any]          # engine.lower.PhysicalPlan
+    engine: str
+    config: PassConfig
+    report: PlanReport
+    cache_hit: bool = False
+
+
+def _combined_tag(config: PassConfig, policy) -> Any:
+    """Cache tag: pass configuration plus the parallel policy."""
+    parallel = None
+    if policy is not None:
+        parallel = ("parallel", policy.threshold)
+    return (config.cache_tag(), parallel)
+
+
+def _left_arity_fn(schema: Mapping[str, Any]
+                   ) -> Callable[[Expr], Optional[int]]:
+    """Operand-arity oracle for the product-pushdown rule, via type
+    inference against the schema (the legacy optimizer's discipline)."""
+    from repro.core.typecheck import TypeChecker
+    from repro.core.types import BagType, TupleType
+
+    def left_arity(operand: Expr) -> Optional[int]:
+        try:
+            inferred = TypeChecker().check(operand, schema)
+        except Exception:
+            return None
+        if isinstance(inferred, BagType) and isinstance(
+                inferred.element, TupleType):
+            return inferred.element.arity
+        return None
+
+    return left_arity
+
+
+def compile(expr: Expr, context: Optional[PlanContext] = None, *,
+            trees: bool = False,
+            extra_rules=()) -> CompiledPlan:
+    """Run the staged pipeline over one expression.
+
+    Parameters
+    ----------
+    context:
+        The :class:`PlanContext`; a default (physical engine, opt
+        level 1, no cache, no statistics) is built when omitted.
+    trees:
+        Collect the rendered tree after each stage into the report
+        (the ``:explain stages`` view wants them; the hot path does
+        not pay for rendering).
+    extra_rules:
+        Additional :class:`Rule` objects appended to the rewrite
+        stage (the legacy ``Optimizer(extra_rules=...)`` surface).
+    """
+    ctx = context if context is not None else PlanContext()
+    config = ctx.config
+    governor = ctx.governor
+    if governor is not None:
+        governor.ensure_started()
+    report = PlanReport(config.describe())
+
+    # -- plan cache: a hit skips every stage ---------------------------
+    key = None
+    if ctx.engine != "tree" and ctx.cache is not None:
+        from repro.engine.cache import PlanCache
+        key = PlanCache.key_for(expr, ctx.arities,
+                                _combined_tag(config, ctx.parallel))
+        plan = ctx.cache.get(key)
+        if plan is not None:
+            if ctx.engine_stats is not None:
+                ctx.engine_stats.cache_hits += 1
+            report.add(StageRecord(
+                "lower", tree=plan.render() if trees else "",
+                note="plan cache hit"))
+            return CompiledPlan(source=expr, logical=plan.expr,
+                                physical=plan, engine=ctx.engine,
+                                config=config, report=report,
+                                cache_hit=True)
+
+    # -- typecheck -----------------------------------------------------
+    if ctx.schema is not None:
+        record = StageRecord("typecheck", tree="")
+        with _StageTimer(record):
+            from repro.core.typecheck import TypeChecker
+            inferred = TypeChecker().check(expr, ctx.schema)
+            record.tree = str(inferred) if trees else ""
+        report.add(record)
+
+    # -- normalize -----------------------------------------------------
+    logical = expr
+    logical = _fixpoint_stage("normalize",
+                              config.active_normalize_rules(),
+                              logical, config, governor, report, trees)
+
+    # -- logical rewrite ----------------------------------------------
+    rewrite_rules = list(config.active_rewrite_rules())
+    if ctx.schema is not None and config.stage_active("rewrite"):
+        pushdown = product_pushdown_rule(_left_arity_fn(ctx.schema))
+        if config.rule_active(pushdown):
+            rewrite_rules.append(pushdown)
+    for rule in extra_rules:
+        if isinstance(rule, Rule):
+            if config.rule_active(rule):
+                rewrite_rules.append(rule)
+        else:  # bare callable (legacy RewriteRule surface)
+            rewrite_rules.append(Rule(
+                name=getattr(rule, "__name__", "extra"),
+                fn=rule, stage="rewrite",
+                side_condition="caller-supplied rule; soundness is the "
+                               "caller's obligation"))
+    logical = _fixpoint_stage("rewrite", tuple(rewrite_rules), logical,
+                              config, governor, report, trees)
+
+    # -- lower (+ parallelize) ----------------------------------------
+    if ctx.engine == "tree":
+        report.add(StageRecord("lower", tree="",
+                               note="skipped (engine=tree)"))
+        return CompiledPlan(source=expr, logical=logical, physical=None,
+                            engine="tree", config=config, report=report)
+
+    record = StageRecord("lower", tree="")
+    with _StageTimer(record):
+        from repro.engine.lower import lower
+        plan = lower(logical, ctx.statistics,
+                     selectivity=config.selectivity,
+                     arities=ctx.arities, parallel=ctx.parallel,
+                     cost_based=config.cost_based_lowering)
+        if not config.cost_based_lowering:
+            record.note = "naive (cost-based lowering disabled)"
+        if trees:
+            record.tree = plan.render()
+    report.add(record)
+    if ctx.parallel is not None:
+        from repro.engine.parallel.exchange import Gather
+        inserted = isinstance(plan.root, Gather)
+        report.add(StageRecord(
+            "parallelize", tree="",
+            note=(f"threshold={ctx.parallel.threshold}; "
+                  + ("exchanges inserted" if inserted
+                     else "below threshold, serial plan kept"))))
+
+    if key is not None:
+        ctx.cache.put(key, plan)
+        if ctx.engine_stats is not None:
+            ctx.engine_stats.cache_misses += 1
+    if ctx.engine_stats is not None:
+        ctx.engine_stats.lowerings += 1
+    return CompiledPlan(source=expr, logical=logical, physical=plan,
+                        engine=ctx.engine, config=config, report=report)
+
+
+def _fixpoint_stage(name: str, rules, expr: Expr, config: PassConfig,
+                    governor, report: PlanReport,
+                    trees: bool) -> Expr:
+    """Run one rule-fixpoint stage and record what it did."""
+    record = StageRecord(name, tree="")
+    with _StageTimer(record):
+        if not rules:
+            record.note = ("skipped (no active rules at "
+                           f"opt-level {config.opt_level})")
+            result = expr
+        else:
+            rewriter = FixpointRewriter(
+                rules, max_passes=config.max_rewrite_passes,
+                governor=governor, firings=record.firings)
+            result = rewriter.rewrite(expr)
+            record.converged = rewriter.converged
+            record.cost = estimated_cost(result)
+        if trees:
+            record.tree = repr(result)
+            if record.cost is None:
+                record.cost = estimated_cost(result)
+    report.add(record)
+    return result

@@ -23,7 +23,7 @@ __all__ = [
 def run_sql(text: str, catalog: Catalog,
             database: Mapping[str, Bag],
             governor=None, engine: str = "physical",
-            workers=None) -> List[Tuple]:
+            workers=None, opt_level=None, config=None) -> List[Tuple]:
     """Parse, compile, evaluate, and decode a query.
 
     Returns a list of plain Python tuples *with duplicates* (bag
@@ -37,11 +37,14 @@ def run_sql(text: str, catalog: Catalog,
     hash joins and plan cache are exactly what join-shaped SQL wants —
     ``"parallel"`` adds the morsel-driven exchange on ``workers``
     threads, while ``"tree"`` keeps the instrumented oracle
-    interpreter.
+    interpreter.  All of them compile through the staged planner
+    (:func:`repro.planner.compile`); ``opt_level`` (0/1/2) or a full
+    :class:`~repro.planner.PassConfig` picks its passes.
     """
     compiled = compile_sql(text, catalog, governor=governor)
     result = evaluate(compiled.expr, database, governor=governor,
-                      engine=engine, workers=workers)
+                      engine=engine, workers=workers,
+                      opt_level=opt_level, config=config)
     if compiled.columns == ("count",):
         return [(bag_as_int(result),)]
     rows = [tuple(entry.items()) for entry in result.elements()]

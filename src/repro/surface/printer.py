@@ -73,7 +73,7 @@ def _render(expr: Expr) -> str:
                                            expr.right.body)
         if left_param != right_param:
             # normalise both sides to the left parameter name
-            from repro.optimizer.rules import substitute
+            from repro.planner.rewrites import substitute
             right_body = substitute(right_body, right_param,
                                     Var(left_param))
         return (f"sigma[{left_param}: {_render(left_body)} "
@@ -100,7 +100,7 @@ def _renamed(param: str, body: Expr):
     safe = param.replace("·", "v_")
     if safe == param:
         return param, body
-    from repro.optimizer.rules import substitute
+    from repro.planner.rewrites import substitute
     return safe, substitute(body, param, Var(safe))
 
 

@@ -54,7 +54,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backends",
                         default=",".join(DEFAULT_BACKENDS),
                         help="comma-separated backend list (default: "
-                             + ",".join(DEFAULT_BACKENDS) + ")")
+                             + ",".join(DEFAULT_BACKENDS)
+                             + "; also available: engine-opt2)")
     parser.add_argument("--corpus", default="tests/corpus",
                         help="directory for minimized failing cases "
                              "(default: tests/corpus)")

@@ -1,6 +1,6 @@
 """The N-way differential harness.
 
-Every case runs through up to seven independently written evaluation
+Every case runs through up to eight independently written evaluation
 paths:
 
 ======================  ================================================
@@ -15,12 +15,24 @@ backend                 what it exercises
                         threshold 0 so exchanges fire on tiny bags) —
                         hash partitioning, segment programs, budget
                         splitting, and the ordered gather on trial
-``optimized``           the rewritten expression (rule soundness)
+``engine-opt0``         the planner pipeline with every rewrite
+                        disabled and naive lowering (no join fusion,
+                        no reordering, no sharing) — the purely
+                        syntax-directed plan on trial against the
+                        optimized ones
+``optimized``           the planner's full rewrite fixpoint (opt
+                        level 2), then the oracle on the rewritten
+                        tree (rule soundness)
 ``surface``             ``parse(to_text(e))`` — printer/parser round
                         trip, then the oracle on the reparse
 ``sql``                 where the expression matches a SQL-able shape,
                         the mini-SQL pipeline end to end
 ======================  ================================================
+
+``engine-opt2`` (the physical engine at opt level 2) is also
+recognized — CI's conformance leg fuzzes ``oracle`` vs ``engine-opt0``
+vs ``engine-opt2`` — but is not in :data:`DEFAULT_BACKENDS`, since
+``optimized`` already covers rewrite soundness there.
 
 All backends run under the same :class:`~repro.guard.Limits`.  A
 *governed* failure (any :class:`~repro.core.errors.GovernedError` or
@@ -50,20 +62,25 @@ from repro.core.types import TupleType, Type
 from repro.engine import PlanCache
 from repro.engine import evaluate as engine_evaluate
 from repro.guard import Limits, ResourceGovernor
-from repro.optimizer import Optimizer
+from repro.planner import PassConfig, PlanContext
+from repro.planner import compile as planner_compile
 from repro.sql import Catalog, run_sql
 from repro.surface import parse, to_text
 from repro.testkit.generate import Case
 from repro.testkit.metamorphic import LawResult, check_laws
 
 __all__ = [
-    "DEFAULT_BACKENDS", "DEFAULT_LIMITS", "BackendOutcome",
+    "DEFAULT_BACKENDS", "EXTRA_BACKENDS", "DEFAULT_LIMITS",
+    "BackendOutcome",
     "CaseReport", "Harness", "Mismatch", "RunSummary", "sql_view",
 ]
 
 #: Backend execution order; the first ``ok`` outcome is the reference.
 DEFAULT_BACKENDS = ("oracle", "engine", "engine-warm", "engine-parallel",
-                    "optimized", "surface", "sql")
+                    "engine-opt0", "optimized", "surface", "sql")
+
+#: Valid but non-default backends (CI's opt0-vs-opt2 fuzz leg).
+EXTRA_BACKENDS = ("engine-opt2",)
 
 #: Generous but finite: big enough that ordinary cases complete, small
 #: enough that a powerset blow-up degrades into a governed error in
@@ -178,10 +195,12 @@ class Harness:
                  metamorphic: bool = True,
                  cache_capacity: int = 128,
                  faults=None):
-        unknown = set(backends) - set(DEFAULT_BACKENDS)
+        known = set(DEFAULT_BACKENDS) | set(EXTRA_BACKENDS)
+        unknown = set(backends) - known
         if unknown:
             raise ValueError(f"unknown backends: {sorted(unknown)} "
-                             f"(choices: {DEFAULT_BACKENDS})")
+                             f"(choices: "
+                             f"{DEFAULT_BACKENDS + EXTRA_BACKENDS})")
         self.backends = tuple(backends)
         self.limits = limits if limits is not None else DEFAULT_LIMITS
         self.metamorphic = metamorphic
@@ -236,9 +255,21 @@ class Harness:
                     case.expr, case.database, cache=None,
                     governor=self.governor(), engine="parallel",
                     workers=2, parallel_threshold=0.0)
+            elif backend == "engine-opt0":
+                value = engine_evaluate(
+                    case.expr, case.database, cache=None,
+                    governor=self.governor(), opt_level=0)
+            elif backend == "engine-opt2":
+                value = engine_evaluate(
+                    case.expr, case.database, cache=None,
+                    governor=self.governor(), opt_level=2)
             elif backend == "optimized":
-                rewritten = Optimizer(schema=case.schema).optimize(
-                    case.expr)
+                rewritten = planner_compile(
+                    case.expr,
+                    PlanContext(engine="tree", schema=case.schema,
+                                governor=self.governor(),
+                                config=PassConfig.for_level(2))
+                ).logical
                 value = self._oracle(rewritten, case)
             elif backend == "surface":
                 reparsed = parse(to_text(case.expr))

@@ -126,20 +126,22 @@ class TestEngineSelection:
 
     def test_parse_engine_flag(self):
         from repro.cli import _parse_engine_flag
-        engine, workers, backend, rest = _parse_engine_flag(
+        engine, workers, backend, opt_level, rest = _parse_engine_flag(
             ["--engine", "tree", "--max-steps", "5", "f.bag"])
+        assert opt_level is None
         assert engine == "tree"
         assert workers is None
         assert backend == "thread"
         assert rest == ["--max-steps", "5", "f.bag"]
-        engine, workers, backend, rest = _parse_engine_flag(
-            ["--engine=physical"])
+        engine, workers, backend, opt_level, rest = _parse_engine_flag(
+            ["--engine=physical", "--opt-level=2"])
+        assert opt_level == 2
         assert engine == "physical"
         assert rest == []
 
     def test_parse_engine_flag_parallel(self):
         from repro.cli import _parse_engine_flag
-        engine, workers, backend, rest = _parse_engine_flag(
+        engine, workers, backend, opt_level, rest = _parse_engine_flag(
             ["--engine", "parallel", "--workers", "4",
              "--parallel-backend=process", "f.bag"])
         assert engine == "parallel"
