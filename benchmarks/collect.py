@@ -18,7 +18,10 @@ Collected headlines:
   4 workers, and the governed-edge statuses;
 * **e23_planner** — staged-planner compile overhead (worst mean
   compile across workloads and opt levels) and the opt0-vs-opt2
-  end-to-end plan-quality speedups.
+  end-to-end plan-quality speedups;
+* **e24_resilience** — fault-tolerant parallel execution under
+  injected worker-crash chaos: completion/retry/demotion counts per
+  fault probability and the zero-fault latency overhead.
 
 Usage::
 
@@ -144,6 +147,38 @@ def collect_e23() -> Optional[Dict[str, Any]]:
             "statuses": _statuses("e23_planner")}
 
 
+def collect_e24() -> Optional[Dict[str, Any]]:
+    """Headline: chaos-survival cells + zero-fault overhead."""
+    text = _read("e24_resilience.json")
+    if text is None:
+        return None
+    document = json.loads(text)
+    workloads = {
+        entry["workload"]: {
+            "baseline_seconds": round(entry["baseline_seconds"], 4),
+            "zero_fault_overhead": round(
+                entry.get("zero_fault_overhead", 0.0), 4),
+            "cells": [{"probability": cell["probability"],
+                       "completed": cell["completed"],
+                       "runs": cell["runs"],
+                       "retries": cell["retries"],
+                       "demotions": cell["demotions"],
+                       "seconds": round(cell["seconds"], 4),
+                       "status": cell["status"]}
+                      for cell in entry["cells"]],
+        }
+        for entry in document.get("workloads", [])
+    }
+    return {"headline": "fault-tolerant parallel execution under "
+                        "worker-crash chaos, thread backend",
+            "smoke": document.get("smoke"),
+            "cpu_count": document.get("cpu_count"),
+            "workers": document.get("workers"),
+            "repeats": document.get("repeats"),
+            "workloads": workloads,
+            "statuses": _statuses("e24_resilience")}
+
+
 def build_ledger() -> Dict[str, Any]:
     return {
         "comment": ("per-PR perf trajectory; regenerate with "
@@ -153,6 +188,7 @@ def build_ledger() -> Dict[str, Any]:
             "e21_testkit": collect_e21(),
             "e22_parallel": collect_e22(),
             "e23_planner": collect_e23(),
+            "e24_resilience": collect_e24(),
         },
     }
 

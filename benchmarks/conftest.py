@@ -80,7 +80,9 @@ def governed_cell(experiment: str, cell: str,
                   limits: Optional[Limits] = None,
                   policy: Optional[RetryPolicy] = None,
                   faults=None,
-                  sleep: Callable[[float], None] = time.sleep
+                  sleep: Callable[[float], None] = time.sleep,
+                  classify: Optional[Callable[[object],
+                                              Optional[str]]] = None
                   ) -> RunOutcome:
     """Run one experiment cell under a fresh governor per attempt.
 
@@ -88,6 +90,11 @@ def governed_cell(experiment: str, cell: str,
     :class:`~repro.guard.RunOutcome` is also recorded in the
     experiment's status file.  Governed failures never propagate —
     the battery keeps running and the status records what happened.
+    Worker-loss failures (crashed process workers, broken pools)
+    persist as ``worker-lost``.  ``classify(value)`` inspects a
+    *successful* cell's result and may return ``"degraded"`` to
+    relabel it — e.g. when the resilience ladder demoted a parallel
+    run to serial but still produced the value.
     """
 
     def attempt(number: int) -> object:
@@ -97,5 +104,8 @@ def governed_cell(experiment: str, cell: str,
         return fn(governor)
 
     outcome = run_with_retry(attempt, policy, sleep=sleep)
+    if classify is not None and outcome.ok:
+        if classify(outcome.value) == "degraded":
+            outcome.mark_degraded()
     record_cell_status(experiment, cell, outcome)
     return outcome

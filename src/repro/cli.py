@@ -30,6 +30,8 @@ Commands:
 ``:encode expr``      print the Section 2 standard encoding
 ``:engine [name]``    show or set the evaluator
                       (physical | parallel | tree)
+``:resilience [on|off]``  show or toggle fault-tolerant parallel
+                      execution (morsel retry + degradation ladder)
 ``:passes``           list the planner's passes and their on/off state
 ``:passes level N``   set the optimization level (0 | 1 | 2)
 ``:passes on NAME``   force one pass on (``off`` to force it off,
@@ -88,7 +90,8 @@ class Session:
                  engine: str = "physical",
                  workers: Optional[int] = None,
                  parallel_backend: str = "thread",
-                 opt_level: Optional[int] = None):
+                 opt_level: Optional[int] = None,
+                 resilience: bool = False):
         if engine not in ("physical", "parallel", "tree"):
             raise ValueError(f"unknown engine {engine!r} "
                              "(choices: physical, parallel, tree)")
@@ -101,6 +104,10 @@ class Session:
         self.engine = engine
         self.workers = workers
         self.parallel_backend = parallel_backend
+        #: Fault-tolerant parallel execution (``--resilience`` /
+        #: ``:resilience on``): morsel retry, pool respawn, and the
+        #: degradation ladder; only consulted under engine=parallel.
+        self.resilience = resilience
         #: ``None`` keeps the engine's default level (tree: 0,
         #: physical/parallel: 1); ``:passes level N`` overrides it.
         self.opt_level = opt_level
@@ -143,7 +150,8 @@ class Session:
         extra = {}
         if self.engine == "parallel":
             extra = {"workers": self.workers,
-                     "parallel_backend": self.parallel_backend}
+                     "parallel_backend": self.parallel_backend,
+                     "resilience": self.resilience}
         return evaluate(expr, self.bindings,
                         governor=self._governor(),
                         engine=self.engine,
@@ -199,6 +207,21 @@ class Session:
                 self._print(f"error: unknown engine {choice!r} "
                             "(choices: physical, parallel, tree)")
             return True
+        if line == ":resilience" or line.startswith(":resilience "):
+            choice = line[len(":resilience"):].strip()
+            if not choice:
+                self._print("resilience = "
+                            + ("on" if self.resilience else "off"))
+            elif choice in ("on", "off"):
+                self.resilience = choice == "on"
+                self._print(f"resilience = {choice}")
+                if self.engine != "parallel":
+                    self._print("(note: resilience applies under "
+                                ":engine parallel)")
+            else:
+                self._print(f"error: :resilience expects 'on' or "
+                            f"'off', got {choice!r}")
+            return True
         if line == ":passes" or line.startswith(":passes "):
             return self._handle_passes(line[len(":passes"):].strip())
         if line == ":env":
@@ -250,7 +273,8 @@ class Session:
                 self._print(explain_physical(
                     expr, self.bindings, governor=self._governor(),
                     engine="parallel", workers=self.workers,
-                    parallel_backend=self.parallel_backend))
+                    parallel_backend=self.parallel_backend,
+                    resilience=self.resilience))
             return True
         if line.startswith(":encode "):
             from repro.core.encoding import standard_encoding
@@ -286,8 +310,8 @@ class Session:
         if line.startswith(":"):
             self._print(f"unknown command {line.split()[0]!r} "
                         "(:type :fragment :optimize :explain :encode "
-                        ":engine :passes :save :load :env :limits "
-                        ":quit)")
+                        ":engine :resilience :passes :save :load :env "
+                        ":limits :quit)")
             return True
         if "=" in line and _looks_like_binding(line):
             name, _, body = line.partition("=")
@@ -414,16 +438,17 @@ def parse_limit_flags(argv: List[str]) -> Tuple[Optional[Limits],
 
 def _parse_engine_flag(
         argv: List[str]
-) -> Tuple[str, Optional[int], str, Optional[int], List[str]]:
+) -> Tuple[str, Optional[int], str, Optional[int], bool, List[str]]:
     """Strip ``--engine NAME`` / ``--workers N`` /
-    ``--parallel-backend NAME`` / ``--opt-level N`` (and their ``=``
-    forms) from the argument list before the limit flags are parsed
-    (so :func:`parse_limit_flags` keeps its strict unknown-flag
-    check)."""
+    ``--parallel-backend NAME`` / ``--opt-level N`` / ``--resilience``
+    (and their ``=`` forms) from the argument list before the limit
+    flags are parsed (so :func:`parse_limit_flags` keeps its strict
+    unknown-flag check)."""
     engine = "physical"
     workers: Optional[int] = None
     backend = "thread"
     opt_level: Optional[int] = None
+    resilience = False
     rest: List[str] = []
     index = 0
 
@@ -465,10 +490,14 @@ def _parse_engine_flag(
                 raise ValueError(
                     f"--opt-level expects 0, 1, or 2, got {raw!r}")
             opt_level = int(raw)
+        elif name == "--resilience":
+            if equals:
+                raise ValueError("--resilience takes no value")
+            resilience = True
         else:
             rest.append(argument)
         index += 1
-    return engine, workers, backend, opt_level, rest
+    return engine, workers, backend, opt_level, resilience, rest
 
 
 def main(argv=None) -> int:
@@ -483,7 +512,9 @@ def main(argv=None) -> int:
     physical kernel engine); ``--workers N`` and ``--parallel-backend
     thread|process`` configure the parallel engine; ``--opt-level
     0|1|2`` picks the planner's pass set (0 disables every rewrite
-    and lowers naively; 2 adds the full algebraic fixpoint).
+    and lowers naively; 2 adds the full algebraic fixpoint);
+    ``--resilience`` turns on fault-tolerant parallel execution
+    (morsel retry, pool respawn, degradation ladder).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fuzz":
@@ -491,14 +522,15 @@ def main(argv=None) -> int:
         from repro.testkit.cli import main as fuzz_main
         return fuzz_main(argv[1:])
     try:
-        engine, workers, backend, opt_level, argv = \
+        engine, workers, backend, opt_level, resilience, argv = \
             _parse_engine_flag(argv)
         limits, paths = parse_limit_flags(argv)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     session = Session(limits=limits, engine=engine, workers=workers,
-                      parallel_backend=backend, opt_level=opt_level)
+                      parallel_backend=backend, opt_level=opt_level,
+                      resilience=resilience)
     if paths:
         for path in paths:
             with open(path, "r", encoding="utf-8") as handle:

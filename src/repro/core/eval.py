@@ -232,6 +232,7 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
              parallel_backend: str = "thread",
              opt_level: Optional[int] = None,
              config=None,
+             resilience=None,
              **named_bags: Bag) -> Any:
     """One-shot convenience wrapper around :class:`Evaluator`.
 
@@ -261,7 +262,8 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
         extra = {}
         if engine == "parallel":
             extra = {"workers": workers,
-                     "parallel_backend": parallel_backend}
+                     "parallel_backend": parallel_backend,
+                     "resilience": resilience}
         return physical_engine.evaluate(
             expr, database, engine=engine, governor=governor,
             limits=limits, powerset_budget=powerset_budget,

@@ -49,6 +49,9 @@ from repro.engine.lower import Lowering, PhysicalPlan, lower
 from repro.engine.physical import (
     EngineStats, ExecContext, PhysicalNode, render_plan,
 )
+from repro.engine.resilience import (
+    ResilienceConfig, is_transient_fault, resolve_resilience,
+)
 from repro.guard.governor import Limits, ResourceGovernor
 from repro.planner import PassConfig, PlanContext
 from repro.planner import compile as planner_compile
@@ -56,7 +59,7 @@ from repro.planner import compile as planner_compile
 __all__ = [
     "EngineStats", "ExecContext", "PhysicalNode", "PhysicalPlan",
     "PlanCache", "CacheStats", "Lowering", "lower", "canonical_key",
-    "Rows", "collect", "render_plan",
+    "Rows", "collect", "render_plan", "ResilienceConfig",
     "evaluate", "plan_for", "explain_physical", "default_cache",
 ]
 
@@ -133,6 +136,7 @@ def evaluate(expr: Expr,
              parallel_threshold: Optional[float] = None,
              opt_level: Optional[int] = None,
              config: Optional[PassConfig] = None,
+             resilience=None,
              **named_bags: Bag) -> Any:
     """Evaluate an expression with the physical engine.
 
@@ -151,6 +155,15 @@ def evaluate(expr: Expr,
     compilation ticks the shared governor per rewrite pass, every
     kernel ticks it per row batch, every materialisation honours the
     size budget, and powerset expansion pre-checks its budget.
+
+    ``resilience`` (``True`` or a :class:`~repro.engine.resilience.
+    ResilienceConfig`; parallel engine only) opts into fault-tolerant
+    execution: per-morsel retry, process-pool respawn, and the
+    process → thread → serial degradation ladder, with every demotion
+    recorded in the run's :class:`EngineStats`.  With
+    ``ResilienceConfig(replan=True)`` a run whose ladder is exhausted
+    is recompiled once at opt level 1 and executed serially — the
+    final rung.  The default (``None``) keeps the fail-fast contract.
     """
     if engine == "tree":
         from repro.core.eval import evaluate as tree_evaluate
@@ -164,6 +177,7 @@ def evaluate(expr: Expr,
                          "(choices: 'physical', 'parallel', 'tree')")
     policy = None
     parallel_config = None
+    resilience_config = resolve_resilience(resilience)
     if engine == "parallel":
         from repro.engine.parallel import ParallelConfig, ParallelPolicy
         if parallel_threshold is not None:
@@ -172,7 +186,8 @@ def evaluate(expr: Expr,
             policy = ParallelPolicy()
         parallel_config = ParallelConfig(
             workers=workers if workers is not None else 2,
-            backend=parallel_backend)
+            backend=parallel_backend,
+            resilience=resilience_config)
     bindings = _bindings_of(database, named_bags)
     missing = expr.free_vars() - set(bindings)
     if missing:
@@ -183,15 +198,42 @@ def evaluate(expr: Expr,
                           track_stats=False)
     if evaluator.governor is not None:
         evaluator.governor.ensure_started()
+    resolved_config = _config_for(opt_level, config)
     ctx = PlanContext.for_bindings(
         bindings, engine=engine, governor=evaluator.governor,
         cache=cache, engine_stats=stats, parallel=policy,
-        config=_config_for(opt_level, config))
+        config=resolved_config)
     exec_ctx = ExecContext(bindings, evaluator, stats=stats,
                            parallel=parallel_config)
     try:
         plan = planner_compile(expr, ctx).physical
-        return plan.execute(exec_ctx)
+        try:
+            return plan.execute(exec_ctx)
+        except Exception as error:
+            if not (engine == "parallel"
+                    and resilience_config is not None
+                    and resilience_config.replan
+                    and is_transient_fault(error)):
+                raise
+            # the final ladder rung: the parallel run died even after
+            # retries/respawns/demotions — recompile serially at a
+            # lower opt level (a fresh PassConfig means a fresh
+            # cache key; no collision with the parallel plan) and
+            # record the demotion so the degraded answer is visible
+            exec_ctx.stats.demotions.append(
+                "parallel->replan: serial opt-1 after "
+                f"{type(error).__name__}")
+            replan_config = PassConfig.for_level(
+                min(1, resolved_config.opt_level),
+                selectivity=resolved_config.selectivity)
+            serial_ctx = PlanContext.for_bindings(
+                bindings, engine="physical",
+                governor=evaluator.governor, cache=cache,
+                engine_stats=stats, config=replan_config)
+            serial_plan = planner_compile(expr, serial_ctx).physical
+            return serial_plan.execute(
+                ExecContext(bindings, evaluator,
+                            stats=exec_ctx.stats))
     except RecursionError as exc:
         raise RecursionDepthExceeded(
             "expression or value nesting exceeded the Python "
@@ -218,6 +260,7 @@ def explain_physical(expr: Expr,
                      parallel_threshold: Optional[float] = None,
                      opt_level: Optional[int] = None,
                      config: Optional[PassConfig] = None,
+                     resilience=None,
                      **named_bags: Bag) -> str:
     """Render the physical plan, optionally with actual cardinalities.
 
@@ -233,13 +276,15 @@ def explain_physical(expr: Expr,
     stats = EngineStats()
     policy = None
     parallel_config = None
+    resilience_config = resolve_resilience(resilience)
     if engine == "parallel":
         from repro.engine.parallel import ParallelConfig, ParallelPolicy
         policy = (ParallelPolicy(threshold=parallel_threshold)
                   if parallel_threshold is not None else ParallelPolicy())
         parallel_config = ParallelConfig(
             workers=workers if workers is not None else 2,
-            backend=parallel_backend)
+            backend=parallel_backend,
+            resilience=resilience_config)
     plan = plan_for(expr, bindings, cache=cache, stats=stats,
                     policy=policy, opt_level=opt_level, config=config)
     if execute and not (expr.free_vars() - set(bindings)):
@@ -257,6 +302,13 @@ def explain_physical(expr: Expr,
              f"morsels executed     {stats.morsels_executed}",
              f"gather barriers      {stats.gather_barriers}",
              f"per-worker steps     {stats.worker_steps}"]
+    if resilience_config is not None:
+        demotions = ("; ".join(stats.demotions) if stats.demotions
+                     else "none")
+        lines += ["-- resilience --",
+                  f"morsel retries       {stats.morsel_retries}",
+                  f"pool respawns        {stats.pool_respawns}",
+                  f"demotions            {demotions}"]
     if cache is not None:
         lines.append(f"plan cache           hits={cache.stats.hits} "
                      f"misses={cache.stats.misses} "

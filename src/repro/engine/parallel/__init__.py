@@ -13,6 +13,12 @@ Three layers (see ``docs/parallel.md`` for the full story):
   serial one (shared step pool, inherited deadline, linked
   cancellation, per-worker stats merge).
 
+Fault tolerance is opt-in via
+:class:`~repro.engine.resilience.ResilienceConfig` (per-morsel retry,
+process-pool respawn, the process → thread → serial degradation
+ladder); see ``docs/parallel.md``'s "Failure semantics & degradation
+ladder".
+
 Entry points: ``repro.engine.evaluate(..., engine="parallel",
 workers=N)``, ``run_sql(..., engine="parallel")``, the CLI's
 ``--engine parallel --workers N`` / ``:engine parallel``.
@@ -23,17 +29,20 @@ from repro.engine.parallel.exchange import (
 )
 from repro.engine.parallel.governor import (
     SharedBudget, WorkerGovernor, merge_worker_steps, presplit_limits,
+    presplit_spec,
 )
 from repro.engine.parallel.partition import (
     PARTITION_COMPAT, LeafSpec, ParallelPolicy, ParallelSegment,
     compile_parallel_segment, execute_program, merge_counts,
     split_counts,
 )
+from repro.engine.resilience import LADDER, ResilienceConfig
 
 __all__ = [
     "PARTITION_COMPAT", "ParallelPolicy", "ParallelSegment", "LeafSpec",
     "ParallelConfig", "Partition", "Exchange", "Gather",
     "SharedBudget", "WorkerGovernor", "presplit_limits",
-    "merge_worker_steps", "compile_parallel_segment", "execute_program",
-    "split_counts", "merge_counts",
+    "presplit_spec", "merge_worker_steps", "compile_parallel_segment",
+    "execute_program", "split_counts", "merge_counts",
+    "ResilienceConfig", "LADDER",
 ]

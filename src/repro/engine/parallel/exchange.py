@@ -23,31 +23,48 @@ Morsels: over-partitioning by ``morsel_factor`` (default 4) gives the
 pool more tasks than workers, so a skewed shard does not leave the
 other workers idle — the classic morsel-driven load-balancing shape.
 
-Error handling is fail-fast: the first worker failure cancels the
-shared fail-fast token (thread backend), so sibling workers stop at
-their next governor tick; queued morsels are cancelled outright.  A
-governed failure in any worker surfaces as the same
+Error handling is fail-fast by default: the first worker failure
+cancels the shared fail-fast token (thread backend), so sibling
+workers stop at their next governor tick; queued morsels are cancelled
+outright.  A governed failure in any worker surfaces as the same
 :class:`~repro.core.errors.GovernedError` subclass a serial run would
 raise.  Non-``Cancelled`` errors win over the secondary ``Cancelled``
 errors they provoke.
+
+With a :class:`~repro.engine.resilience.ResilienceConfig` attached to
+the :class:`ParallelConfig`, *transient* failures stop being fatal:
+crashed morsels are retried from their immutable input shards,
+a broken process pool is respawned once (rescheduling only the
+unfinished shards), and when recovery is exhausted the exchange
+descends the degradation ladder — process → thread → serial — with
+every demotion recorded in :class:`~repro.engine.physical.EngineStats`.
+Governed errors keep the fail-fast contract either way: budgets are
+deterministic verdicts, not infrastructure noise.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import Cancelled
 from repro.engine.parallel.governor import (
-    SharedBudget, WorkerGovernor, merge_worker_steps, presplit_limits,
+    SharedBudget, WorkerGovernor, merge_worker_steps, presplit_spec,
 )
 from repro.engine.parallel.partition import (
     counts_size, execute_program, merge_counts, split_counts,
 )
 from repro.engine.physical import EngineStats, PhysicalNode
+from repro.engine.resilience import (
+    ResilienceConfig, is_transient_fault, next_rung,
+)
 from repro.guard import Limits, ResourceGovernor
+from repro.guard.retry import classify_governed_error
 
 __all__ = ["ParallelConfig", "Partition", "Exchange", "Gather"]
 
@@ -64,11 +81,17 @@ class ParallelConfig:
     one morsel) or ``"process"`` (true multi-core for the pure-Python
     kernels; budgets are pre-split per task and cancellation stops at
     morsel granularity — see ``docs/parallel.md``).
+
+    ``resilience`` (a :class:`~repro.engine.resilience.
+    ResilienceConfig`, or ``None``) opts the exchange into per-morsel
+    retry, pool respawn, and the degradation ladder; ``None`` keeps
+    the original fail-fast scheduler.
     """
 
     workers: int = 2
     backend: str = "thread"
     morsel_factor: int = MORSEL_FACTOR
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -180,7 +203,10 @@ class Exchange(PhysicalNode):
                  if any(shards[index] for shards in sharded)]
         if not tasks:
             return {}
-        if config.backend == "process":
+        if config.resilience is not None:
+            outcomes = _run_resilient(ctx, config, self.program, tasks,
+                                      config.resilience)
+        elif config.backend == "process":
             outcomes = _run_process_pool(ctx, config, self.program, tasks)
         else:
             outcomes = _run_thread_pool(ctx, config, self.program, tasks)
@@ -259,6 +285,10 @@ def _run_thread_pool(ctx, config: ParallelConfig, program,
         futures = [pool.submit(run_task, index, inputs)
                    for index, inputs in tasks]
         for future in concurrent.futures.as_completed(futures):
+            if future.cancelled():
+                # a queued morsel we cancelled after the first
+                # failure; .exception() would raise CancelledError
+                continue
             error = future.exception()
             if error is None:
                 outcomes.append(future.result())
@@ -311,21 +341,27 @@ def _uncancel(ctx, error: BaseException) -> None:
 def _process_task(payload):
     """Top-level worker entry (must be picklable by reference).
 
-    Budgets arrive pre-split (:func:`presplit_limits`); the governor is
-    armed in the child, with the remaining wall-clock as its timeout,
-    so absolute deadlines carry across the process boundary.
+    Budgets arrive pre-split (:func:`~repro.engine.parallel.governor.
+    presplit_spec`); the governor is armed in the child, with the
+    remaining wall-clock as its timeout, so absolute deadlines carry
+    across the process boundary.  ``chaos``/``attempt`` ride in the
+    payload so injected faults fire *inside* the worker — a
+    ``worker-crash`` genuinely kills this process.
     """
-    index, program, inputs, limits_spec, every = payload
+    index, program, inputs, limits_spec, every, chaos, attempt = payload
+    fault = _chaos_hook(chaos, index, attempt, len(program),
+                        in_process_worker=True)
     stats = EngineStats()
     if limits_spec is None:
         counts = execute_program(program, inputs, every=every,
-                                 stats=stats)
+                                 stats=stats, fault=fault)
         return index, counts, 0, stats
     governor = ResourceGovernor(Limits(**limits_spec))
     governor.start()
     counts = execute_program(program, inputs, tick=governor.tick,
                              every=every, stats=stats,
-                             check_size=governor.check_size)
+                             check_size=governor.check_size,
+                             fault=fault)
     return index, counts, governor.steps, stats
 
 
@@ -341,17 +377,9 @@ def _run_process_pool(ctx, config: ParallelConfig, program,
                       tasks: List[Tuple[int, List[Dict[Any, int]]]]
                       ) -> List[Tuple[int, Dict[Any, int], int,
                                       EngineStats]]:
-    parent = ctx.governor
-    limits_spec = None
-    if parent is not None:
-        limits = presplit_limits(parent, len(tasks))
-        limits_spec = {
-            "max_steps": limits.max_steps, "max_size": limits.max_size,
-            "powerset_budget": limits.powerset_budget,
-            "timeout": limits.timeout, "max_depth": limits.max_depth,
-        }
+    limits_spec = presplit_spec(ctx.governor, len(tasks))
     payloads = [(index, program, inputs, limits_spec,
-                 ctx.tick_interval) for index, inputs in tasks]
+                 ctx.tick_interval, None, 1) for index, inputs in tasks]
     outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
     first_error: Optional[BaseException] = None
     with concurrent.futures.ProcessPoolExecutor(
@@ -360,6 +388,8 @@ def _run_process_pool(ctx, config: ParallelConfig, program,
         futures = [pool.submit(_process_task, payload)
                    for payload in payloads]
         for future in concurrent.futures.as_completed(futures):
+            if future.cancelled():
+                continue
             error = future.exception()
             if error is None:
                 outcomes.append(future.result())
@@ -369,4 +399,323 @@ def _run_process_pool(ctx, config: ParallelConfig, program,
                 pending.cancel()
     if first_error is not None:
         raise first_error
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Resilient scheduling: retry, respawn, degradation ladder
+# ----------------------------------------------------------------------
+
+class _LadderFault(Exception):
+    """Internal: a rung of the ladder gave up on some shards.
+
+    Carries the outcomes the rung *did* finish (their results are
+    kept — shards are value-disjoint, so partial progress composes)
+    and the unfinished tasks for the next rung.
+    """
+
+    def __init__(self, error: BaseException, outcomes, remaining,
+                 reason: str):
+        super().__init__(reason)
+        self.error = error
+        self.outcomes = outcomes
+        self.remaining = remaining
+        self.reason = reason
+
+
+def _chaos_hook(chaos, shard: int, attempt: int, num_steps: int, *,
+                in_process_worker: bool):
+    """Bind one (shard, attempt) execution to its chaos decision.
+
+    Returns ``None`` (no fault this attempt) or a per-step callable
+    for :func:`execute_program`'s ``fault`` hook that detonates at the
+    seeded step index."""
+    if chaos is None:
+        return None
+    target = chaos.fire_at(shard, attempt, num_steps)
+    if target is None:
+        return None
+
+    def fault(step_index: int) -> None:
+        if step_index == target:
+            chaos.fire(shard, attempt,
+                       in_process_worker=in_process_worker)
+
+    return fault
+
+
+def _fault_reason(error: BaseException, attempts: int) -> str:
+    return (f"{classify_governed_error(error)} "
+            f"({type(error).__name__}) after {attempts} attempt(s)")
+
+
+def _run_resilient(ctx, config: ParallelConfig, program,
+                   tasks: List[Tuple[int, List[Dict[Any, int]]]],
+                   res: ResilienceConfig
+                   ) -> List[Tuple[int, Dict[Any, int], int,
+                                   EngineStats]]:
+    """Run the shard tasks with retry/respawn, descending the
+    degradation ladder on repeated transient failure.
+
+    Completed shard outcomes survive a demotion — only the unfinished
+    tasks are re-run on the lower rung.  Governed errors (and genuine
+    bugs) are *not* caught here: they propagate fail-fast exactly as
+    the non-resilient scheduler would raise them.
+    """
+    rng = random.Random(res.seed)
+    mode = config.backend
+    remaining = list(tasks)
+    outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
+    demotions = 0
+    while True:
+        try:
+            if mode == "serial":
+                chunk = _run_serial_inline(ctx, program, remaining)
+            elif mode == "process":
+                chunk = _run_process_pool_resilient(
+                    ctx, config, program, remaining, res, rng)
+            else:
+                chunk = _run_thread_pool_resilient(
+                    ctx, config, program, remaining, res, rng)
+            outcomes.extend(chunk)
+            return outcomes
+        except _LadderFault as fault:
+            outcomes.extend(fault.outcomes)
+            rung = next_rung(mode)
+            if rung is None or demotions >= res.max_demotions:
+                raise fault.error
+            demotions += 1
+            ctx.stats.demotions.append(f"{mode}->{rung}: "
+                                       f"{fault.reason}")
+            mode = rung
+            remaining = fault.remaining
+
+
+def _run_serial_inline(ctx, program,
+                       tasks: List[Tuple[int, List[Dict[Any, int]]]]
+                       ) -> List[Tuple[int, Dict[Any, int], int,
+                                       EngineStats]]:
+    """The ladder floor: run the remaining shards inline under the
+    parent governor.  No workers → no worker loss; chaos plans target
+    workers, so they never fire here and termination is guaranteed
+    (governed verdicts aside)."""
+    tick = None if ctx.governor is None else ctx.tick
+    check = Exchange._size_check(ctx)
+    outcomes = []
+    for index, inputs in tasks:
+        stats = EngineStats()
+        counts = execute_program(program, inputs, tick=tick,
+                                 every=ctx.tick_interval, stats=stats,
+                                 check_size=check)
+        # steps were ticked straight into the parent governor
+        outcomes.append((index, counts, 0, stats))
+    return outcomes
+
+
+def _run_thread_pool_resilient(
+        ctx, config: ParallelConfig, program,
+        tasks: List[Tuple[int, List[Dict[Any, int]]]],
+        res: ResilienceConfig, rng: random.Random
+) -> List[Tuple[int, Dict[Any, int], int, EngineStats]]:
+    """The thread rung: fail-fast semantics for governed errors, plus
+    per-morsel retry for transient faults.
+
+    Each morsel gets ``res.retry.attempts`` tries (with seeded
+    backoff/jitter); resubmission lands on whichever worker is free —
+    "a new worker" in the thread sense.  When one morsel exhausts its
+    retries the rung stops retrying, drains in-flight work (keeping
+    every completed result), and raises :class:`_LadderFault` with
+    the unfinished tasks.
+    """
+    parent = ctx.governor
+    shared: Optional[SharedBudget] = None
+    if parent is not None:
+        parent.ensure_started()
+        remaining_steps = None
+        if parent.max_steps is not None:
+            remaining_steps = max(0, parent.max_steps - parent.steps)
+        shared = SharedBudget(remaining_steps)
+    chaos = res.chaos
+
+    def run_task(index: int, inputs: List[Dict[Any, int]],
+                 attempt: int):
+        fault = _chaos_hook(chaos, index, attempt, len(program),
+                            in_process_worker=False)
+        stats = EngineStats()
+        if parent is None:
+            counts = execute_program(program, inputs,
+                                     every=ctx.tick_interval,
+                                     stats=stats, fault=fault)
+            return index, counts, 0, stats
+        worker = WorkerGovernor(parent, shared)
+        try:
+            counts = execute_program(
+                program, inputs, tick=worker.tick,
+                every=ctx.tick_interval, stats=stats,
+                check_size=worker.check_size, fault=fault)
+            return index, counts, worker.steps, stats
+        finally:
+            worker.close()
+
+    inputs_of = dict(tasks)
+    outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
+    unfinished = {index for index, _ in tasks}
+    first_error: Optional[BaseException] = None
+    exhausted: Optional[BaseException] = None
+    exhausted_attempts = 0
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=config.workers) as pool:
+        pending = {pool.submit(run_task, index, inputs, 1):
+                   (index, 1) for index, inputs in tasks}
+        while pending:
+            done, _ = concurrent.futures.wait(
+                pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, attempt = pending.pop(future)
+                if future.cancelled():
+                    continue
+                error = future.exception()
+                if error is None:
+                    outcomes.append(future.result())
+                    unfinished.discard(index)
+                    continue
+                if is_transient_fault(error):
+                    if (first_error is None and exhausted is None
+                            and attempt < res.retry.attempts):
+                        delay = res.retry.delay_for(attempt, rng)
+                        if delay > 0:
+                            time.sleep(delay)
+                        ctx.stats.morsel_retries += 1
+                        handle = pool.submit(run_task, index,
+                                             inputs_of[index],
+                                             attempt + 1)
+                        pending[handle] = (index, attempt + 1)
+                    elif exhausted is None and first_error is None:
+                        # retries dry: stop feeding this rung, keep
+                        # draining so in-flight results are not lost
+                        exhausted = error
+                        exhausted_attempts = attempt
+                        for other in pending:
+                            other.cancel()
+                    continue
+                # governed error or genuine bug: original fail-fast
+                first_error = _prefer(first_error, error)
+                if parent is not None:
+                    parent.token.cancel("parallel worker failed: "
+                                        f"{type(error).__name__}")
+                for other in pending:
+                    other.cancel()
+    if first_error is not None:
+        _uncancel(ctx, first_error)
+        raise first_error
+    if exhausted is not None:
+        left = [(index, inputs_of[index])
+                for index in sorted(unfinished)]
+        raise _LadderFault(exhausted, outcomes, left,
+                           _fault_reason(exhausted,
+                                         exhausted_attempts))
+    return outcomes
+
+
+def _run_process_pool_resilient(
+        ctx, config: ParallelConfig, program,
+        tasks: List[Tuple[int, List[Dict[Any, int]]]],
+        res: ResilienceConfig, rng: random.Random
+) -> List[Tuple[int, Dict[Any, int], int, EngineStats]]:
+    """The process rung: per-morsel retry plus worker-loss recovery.
+
+    A :class:`WorkerCrash` pickled back from a child retries just that
+    morsel in the still-healthy pool.  A dead child condemns the whole
+    ``ProcessPoolExecutor`` (``BrokenExecutor``): the pool is rebuilt
+    once (``res.respawn_pool``) and only the unfinished shards are
+    resubmitted — completed results are kept, and the pre-split limits
+    are reused verbatim so a retried shard runs under exactly the
+    budget its first attempt had.
+    """
+    limits_spec = presplit_spec(ctx.governor, len(tasks))
+    chaos = res.chaos
+    inputs_of = dict(tasks)
+    attempts = {index: 1 for index, _ in tasks}
+    unfinished = {index for index, _ in tasks}
+    outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
+    respawns_left = 1 if res.respawn_pool else 0
+
+    def payload_for(index: int):
+        return (index, program, inputs_of[index], limits_spec,
+                ctx.tick_interval, chaos, attempts[index])
+
+    while unfinished:
+        broken: Optional[BaseException] = None
+        first_error: Optional[BaseException] = None
+        exhausted: Optional[BaseException] = None
+        exhausted_attempts = 0
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=config.workers,
+                mp_context=_process_context()) as pool:
+            pending = {pool.submit(_process_task, payload_for(index)):
+                       index for index in sorted(unfinished)}
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    if future.cancelled():
+                        continue
+                    error = future.exception()
+                    if error is None:
+                        outcomes.append(future.result())
+                        unfinished.discard(index)
+                        continue
+                    if isinstance(error, BrokenExecutor):
+                        # the pool is condemned: every sibling future
+                        # fails the same way; stop consuming them
+                        broken = error
+                        break
+                    if is_transient_fault(error):
+                        attempt = attempts[index]
+                        if (first_error is None and exhausted is None
+                                and attempt < res.retry.attempts):
+                            delay = res.retry.delay_for(attempt, rng)
+                            if delay > 0:
+                                time.sleep(delay)
+                            attempts[index] = attempt + 1
+                            ctx.stats.morsel_retries += 1
+                            handle = pool.submit(_process_task,
+                                                 payload_for(index))
+                            pending[handle] = index
+                        elif exhausted is None and first_error is None:
+                            exhausted = error
+                            exhausted_attempts = attempt
+                            for other in pending:
+                                other.cancel()
+                        continue
+                    # governed error or genuine bug: fail fast
+                    first_error = _prefer(first_error, error)
+                    for other in pending:
+                        other.cancel()
+                if broken is not None:
+                    break
+        if first_error is not None:
+            raise first_error
+        if broken is not None:
+            if respawns_left > 0:
+                respawns_left -= 1
+                ctx.stats.pool_respawns += 1
+                # the crashing shard is indistinguishable from its
+                # cancelled siblings, so every unfinished shard's
+                # attempt advances — chaos re-rolls for all of them
+                for index in unfinished:
+                    attempts[index] = attempts[index] + 1
+                continue
+            left = [(index, inputs_of[index])
+                    for index in sorted(unfinished)]
+            raise _LadderFault(broken, outcomes, left,
+                               "worker-lost (pool broke after "
+                               "respawn)")
+        if exhausted is not None:
+            left = [(index, inputs_of[index])
+                    for index in sorted(unfinished)]
+            raise _LadderFault(exhausted, outcomes, left,
+                               _fault_reason(exhausted,
+                                             exhausted_attempts))
     return outcomes

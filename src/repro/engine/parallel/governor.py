@@ -42,7 +42,7 @@ from repro.guard import CancellationToken, Limits, ResourceGovernor
 
 __all__ = [
     "SLICE", "SharedBudget", "LinkedToken", "WorkerGovernor",
-    "presplit_limits", "merge_worker_steps",
+    "presplit_limits", "presplit_spec", "merge_worker_steps",
 ]
 
 #: Steps a worker draws from the shared budget at a time.  Small
@@ -181,6 +181,23 @@ def presplit_limits(parent: ResourceGovernor, tasks: int) -> Limits:
     return Limits(max_steps=max_steps, max_size=parent.max_size,
                   powerset_budget=parent.powerset_budget,
                   timeout=timeout, max_depth=parent.max_depth)
+
+
+def presplit_spec(parent: Optional[ResourceGovernor],
+                  tasks: int) -> Optional[dict]:
+    """:func:`presplit_limits` as a picklable keyword dict — the form
+    shipped inside process-pool task payloads.  Computed *once* per
+    exchange and reused verbatim when a morsel is retried or a pool is
+    respawned: a retry runs under exactly the limits its first attempt
+    had, so accounting stays deterministic across recovery paths."""
+    if parent is None:
+        return None
+    limits = presplit_limits(parent, tasks)
+    return {
+        "max_steps": limits.max_steps, "max_size": limits.max_size,
+        "powerset_budget": limits.powerset_budget,
+        "timeout": limits.timeout, "max_depth": limits.max_depth,
+    }
 
 
 def merge_worker_steps(parent: ResourceGovernor,

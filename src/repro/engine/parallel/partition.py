@@ -211,7 +211,9 @@ def execute_program(program: Sequence[Tuple],
                     tick: Optional[Callable[[], None]] = None,
                     every: int = 128,
                     check_size: Optional[Callable[[int], None]] = None,
-                    stats=None) -> Dict[Any, int]:
+                    stats=None,
+                    fault: Optional[Callable[[int], None]] = None
+                    ) -> Dict[Any, int]:
     """Run a segment program over one shard's input dicts.
 
     Slots ``0..len(inputs)-1`` are the inputs; step ``k`` of the
@@ -220,9 +222,17 @@ def execute_program(program: Sequence[Tuple],
     budget / deadline / cancellation), ``check_size`` its
     intermediate-size check, ``stats`` an optional
     :class:`~repro.engine.physical.EngineStats` fed per step.
+
+    ``fault`` is the chaos hook: called with the 0-based program-step
+    index *before* the step runs, it may raise to simulate a worker
+    dying mid-segment.  Because the input dicts are never mutated —
+    every step appends a fresh slot — a retry from the same inputs is
+    idempotent no matter where a previous attempt died.
     """
     slots: List[Dict[Any, int]] = list(inputs)
-    for step in program:
+    for position, step in enumerate(program):
+        if fault is not None:
+            fault(position)
         op = step[0]
         if op == "union":
             rows = kernels.k_additive_union(slots[step[1]].items(),

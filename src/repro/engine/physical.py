@@ -74,6 +74,14 @@ class EngineStats:
     morsels_executed: int = 0
     gather_barriers: int = 0
     worker_steps: List[int] = field(default_factory=list)
+    #: Resilience counters: morsels resubmitted after a transient
+    #: fault, process pools respawned after worker loss, and one
+    #: human-readable record per degradation-ladder demotion
+    #: (``"process->thread: ..."``) — ``:explain`` prints these so a
+    #: degraded answer is never silent.
+    morsel_retries: int = 0
+    pool_respawns: int = 0
+    demotions: List[str] = field(default_factory=list)
 
     def record_kernel(self, name: str) -> None:
         self.kernel_counts[name] = self.kernel_counts.get(name, 0) + 1
@@ -94,6 +102,9 @@ class EngineStats:
         self.morsels_executed += other.morsels_executed
         self.gather_barriers += other.gather_barriers
         self.worker_steps.extend(other.worker_steps)
+        self.morsel_retries += other.morsel_retries
+        self.pool_respawns += other.pool_respawns
+        self.demotions.extend(other.demotions)
 
     def merged_with(self, other: "EngineStats") -> "EngineStats":
         """A new stats object combining both operands.
@@ -116,6 +127,9 @@ class EngineStats:
             morsels_executed=self.morsels_executed,
             gather_barriers=self.gather_barriers,
             worker_steps=list(self.worker_steps),
+            morsel_retries=self.morsel_retries,
+            pool_respawns=self.pool_respawns,
+            demotions=list(self.demotions),
         )
         merged.merge_from(other)
         return merged

@@ -15,17 +15,20 @@ from repro.core.errors import (
     IfpDivergenceError, RecursionDepthExceeded,
 )
 from repro.guard.faults import (
-    FAULT_KINDS, FaultPlan, FaultSequence, is_injected,
+    CHAOS_KINDS, FAULT_KINDS, ChaosPlan, FaultPlan, FaultSequence,
+    WorkerCrash, is_injected,
 )
 from repro.guard.governor import CancellationToken, Limits, ResourceGovernor
 from repro.guard.retry import (
-    RetryPolicy, RunOutcome, classify_governed_error, run_with_retry,
+    WORKER_LOSS_ERRORS, RetryPolicy, RunOutcome,
+    classify_governed_error, run_with_retry,
 )
 
 __all__ = [
     "BudgetExceeded", "Cancelled", "DeadlineExceeded", "GovernedError",
     "IfpDivergenceError", "RecursionDepthExceeded",
     "FAULT_KINDS", "FaultPlan", "FaultSequence", "is_injected",
+    "CHAOS_KINDS", "ChaosPlan", "WorkerCrash", "WORKER_LOSS_ERRORS",
     "CancellationToken", "Limits", "ResourceGovernor",
     "RetryPolicy", "RunOutcome", "classify_governed_error",
     "run_with_retry",

@@ -12,18 +12,32 @@ an actual exponential input.
 ``max_firings`` makes a fault *transient*: after firing that many
 times it goes quiet, which is how the retry runner's happy path
 ("failed twice, succeeded on the third attempt") is exercised.
+
+Chaos plans (:class:`ChaosPlan`) extend the same idea to the parallel
+executor: instead of firing at the Nth governed step of one governor,
+they target *workers and morsels* — a ``worker-crash`` kills the
+worker (a real ``os._exit`` under the process backend, so the parent
+observes ``BrokenProcessPool``), a ``morsel-fault`` raises
+:class:`WorkerCrash` partway through a shard's segment program.
+Firing is probabilistic but fully deterministic: the decision for
+``(shard, attempt)`` is a pure function of the plan's seed, so a run
+replays byte-for-byte, yet a *retried* morsel re-rolls the dice — the
+property the resilience layer's convergence depends on.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from random import Random
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.core.errors import (
     BudgetExceeded, Cancelled, DeadlineExceeded, GovernedError,
 )
 
-__all__ = ["FaultPlan", "FaultSequence", "FAULT_KINDS", "is_injected"]
+__all__ = ["FaultPlan", "FaultSequence", "FAULT_KINDS", "is_injected",
+           "ChaosPlan", "WorkerCrash", "CHAOS_KINDS"]
 
 #: The injectable failure kinds and the exception class each raises.
 FAULT_KINDS = {
@@ -86,3 +100,112 @@ class FaultSequence:
 def is_injected(error: GovernedError) -> bool:
     """Was this governed failure produced by fault injection?"""
     return bool(getattr(error, "injected", False))
+
+
+# ----------------------------------------------------------------------
+# Chaos: worker- and morsel-scoped fault plans
+# ----------------------------------------------------------------------
+
+class WorkerCrash(RuntimeError):
+    """A simulated worker death.
+
+    Deliberately *not* a :class:`~repro.core.errors.GovernedError`:
+    worker loss is an infrastructure failure, not a resource verdict,
+    so without the resilience layer it propagates like any other crash
+    (fail-fast), while with it the morsel is retried.  Instances are
+    picklable, so a crash raised inside a process-pool worker crosses
+    the pool boundary with its scope intact.
+    """
+
+    def __init__(self, message: str, shard: Optional[int] = None,
+                 attempt: Optional[int] = None):
+        super().__init__(message)
+        self.shard = shard
+        self.attempt = attempt
+        self.injected = True
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.shard,
+                                 self.attempt))
+
+
+#: The chaos failure kinds.  ``worker-crash`` hard-kills the hosting
+#: process when it can (``os._exit`` → ``BrokenProcessPool`` in the
+#: parent) and degrades to a raised :class:`WorkerCrash` on the thread
+#: backend; ``morsel-fault`` always raises :class:`WorkerCrash`.
+CHAOS_KINDS = ("worker-crash", "morsel-fault")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Scoped, seeded, probabilistic fault injection for morsels.
+
+    ``probability`` is the chance that one ``(shard, attempt)``
+    execution fails; the decision — and the program step the fault
+    fires at — is a pure function of ``(seed, shard, attempt)``, so
+    identical runs replay identically while retries of the same shard
+    draw fresh outcomes.  ``shards`` narrows the blast radius to
+    specific morsel indexes; ``max_attempt`` silences the plan after
+    the Nth attempt of a shard (``probability=1.0, max_attempt=1``
+    is the deterministic "fails exactly once, retry succeeds" plan).
+
+    The plan is a frozen dataclass of primitives: picklable, so the
+    process backend ships it to workers inside the task payload.
+    """
+
+    kind: str = "morsel-fault"
+    probability: float = 0.0
+    seed: int = 0
+    shards: Optional[Tuple[int, ...]] = None
+    max_attempt: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}; "
+                             f"expected one of {list(CHAOS_KINDS)}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.shards is not None:
+            object.__setattr__(self, "shards",
+                               tuple(sorted(set(self.shards))))
+
+    def _rng(self, shard: int, attempt: int) -> Random:
+        return Random((self.seed * 1_000_003 + shard) * 1_000_003
+                      + attempt)
+
+    def should_fire(self, shard: int, attempt: int) -> bool:
+        """The deterministic per-(shard, attempt) firing decision."""
+        if self.probability <= 0.0:
+            return False
+        if self.shards is not None and shard not in self.shards:
+            return False
+        if self.max_attempt is not None and attempt > self.max_attempt:
+            return False
+        if self.probability >= 1.0:
+            return True
+        return self._rng(shard, attempt).random() < self.probability
+
+    def fire_at(self, shard: int, attempt: int,
+                num_steps: int) -> Optional[int]:
+        """The 0-based program step this execution dies at, or
+        ``None``.  Picking a seeded step partway through the segment
+        means retries replay *partial* work — exactly the idempotence
+        the immutable input shards must guarantee."""
+        if not self.should_fire(shard, attempt):
+            return None
+        if num_steps <= 1:
+            return 0
+        return self._rng(shard, attempt).randrange(num_steps)
+
+    def fire(self, shard: int, attempt: int, *,
+             in_process_worker: bool = False) -> None:
+        """Raise (or die).  ``in_process_worker=True`` marks a
+        process-pool child, where ``worker-crash`` exits hard so the
+        parent sees genuine worker loss."""
+        if self.kind == "worker-crash" and in_process_worker:
+            # a real worker death: the parent's future fails with
+            # BrokenProcessPool and the whole pool is condemned
+            os._exit(13)
+        raise WorkerCrash(
+            f"injected {self.kind} on shard {shard} "
+            f"(attempt {attempt})", shard=shard, attempt=attempt)

@@ -3,28 +3,39 @@
 Benchmark batteries run hundreds of experiment cells; one cell hitting
 its budget must become a recorded data point, not an aborted battery.
 :func:`run_with_retry` runs a callable, retries the failure classes
-the policy declares transient (by default only deadline expiry — step
-and size budgets are deterministic, retrying them is wasted work), and
-classifies the outcome into the stable status labels the benchmark
-harness persists: ``ok`` / ``retried`` / ``budget-exceeded`` /
-``deadline-exceeded`` / ``cancelled``.
+the policy declares transient (by default deadline expiry and worker
+loss — step and size budgets are deterministic, retrying them is
+wasted work), and classifies the outcome into the stable status labels
+the benchmark harness persists: ``ok`` / ``retried`` / ``degraded`` /
+``budget-exceeded`` / ``deadline-exceeded`` / ``cancelled`` /
+``worker-lost``.
 
 ``sleep`` is injectable so backoff behaviour is testable without
-actually waiting.
+actually waiting, and the optional ``jitter`` is driven by an
+injectable seeded RNG so concurrent retries desynchronize without
+giving up reproducibility.  ``jitter=0.0`` (the default) keeps the
+delay sequence bit-identical to the pre-jitter behaviour.
 """
 
 from __future__ import annotations
 
+import random
 import time
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple, Type
 
 from repro.core.errors import (
     BudgetExceeded, Cancelled, DeadlineExceeded, GovernedError,
 )
+from repro.guard.faults import WorkerCrash
 
 __all__ = ["RetryPolicy", "RunOutcome", "run_with_retry",
-           "classify_governed_error"]
+           "classify_governed_error", "WORKER_LOSS_ERRORS"]
+
+#: Infrastructure failures that mean "the worker died", not "the query
+#: misbehaved": always transient, classified ``worker-lost``.
+WORKER_LOSS_ERRORS = (WorkerCrash, BrokenExecutor)
 
 
 @dataclass(frozen=True)
@@ -32,22 +43,44 @@ class RetryPolicy:
     """How many attempts, what to retry, and how long to back off.
 
     ``backoff`` is the delay before the second attempt; each further
-    retry multiplies it by ``multiplier``.
+    retry multiplies it by ``multiplier``.  ``jitter`` (a fraction in
+    ``[0, 1]``) stretches every delay by up to ``jitter * delay``,
+    drawn from the RNG handed to :meth:`delay_for` — concurrent
+    retries against a shared resource stop firing in lockstep.  The
+    default ``jitter=0.0`` leaves delays exactly as before.
     """
 
     attempts: int = 3
     backoff: float = 0.0
     multiplier: float = 2.0
-    retry_on: Tuple[Type[GovernedError], ...] = (DeadlineExceeded,)
+    jitter: float = 0.0
+    retry_on: Tuple[Type[BaseException], ...] = (DeadlineExceeded,)
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delay_for(self, attempt: int,
+                  rng: Optional[random.Random] = None) -> float:
+        """The backoff before retrying after the ``attempt``-th
+        failure (1-based): ``backoff * multiplier**(attempt-1)``,
+        stretched by the seeded jitter when one is configured."""
+        delay = self.backoff * self.multiplier ** (attempt - 1)
+        if self.jitter > 0.0 and rng is not None and delay > 0.0:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
 
 
 @dataclass
 class RunOutcome:
-    """The classified result of a governed (possibly retried) run."""
+    """The classified result of a governed (possibly retried) run.
+
+    ``degraded`` marks a run that *did* produce a value but only after
+    the resilience ladder demoted execution (parallel → serial, pool
+    respawn, ...) — visible in the persisted status, never silent.
+    """
 
     status: str
     value: Any = None
@@ -56,16 +89,25 @@ class RunOutcome:
 
     @property
     def ok(self) -> bool:
-        return self.status in ("ok", "retried")
+        return self.status in ("ok", "retried", "degraded")
 
     @property
     def stats(self):
         """Partial stats carried by the governed failure, if any."""
         return getattr(self.error, "stats", None)
 
+    def mark_degraded(self) -> "RunOutcome":
+        """Relabel a successful outcome as ``degraded`` (a value was
+        produced, but only through a recorded demotion)."""
+        if self.status in ("ok", "retried"):
+            self.status = "degraded"
+        return self
 
-def classify_governed_error(error: GovernedError) -> str:
-    """Map a governed failure onto a stable status label."""
+
+def classify_governed_error(error: BaseException) -> str:
+    """Map a governed (or worker-loss) failure onto a stable label."""
+    if isinstance(error, WORKER_LOSS_ERRORS):
+        return "worker-lost"
     if isinstance(error, BudgetExceeded):
         return "budget-exceeded"
     if isinstance(error, DeadlineExceeded):
@@ -77,17 +119,20 @@ def classify_governed_error(error: GovernedError) -> str:
 
 def run_with_retry(fn: Callable[[int], Any],
                    policy: Optional[RetryPolicy] = None, *,
-                   sleep: Callable[[float], None] = time.sleep
+                   sleep: Callable[[float], None] = time.sleep,
+                   rng: Optional[random.Random] = None
                    ) -> RunOutcome:
     """Run ``fn(attempt)`` under the policy; never raises governed errors.
 
     ``fn`` receives the 1-based attempt number (so it can build a
-    fresh governor per attempt).  Non-governed exceptions propagate —
-    they are bugs, not resource exhaustion.
+    fresh governor per attempt).  Worker-loss failures
+    (:data:`WORKER_LOSS_ERRORS`) are always transient — a respawned
+    pool may well succeed; other non-governed exceptions propagate —
+    they are bugs, not resource exhaustion.  ``rng`` seeds the
+    jitter; omit it (or keep ``jitter=0``) for bit-identical delays.
     """
     policy = policy if policy is not None else RetryPolicy()
-    delay = policy.backoff
-    last: Optional[GovernedError] = None
+    last: Optional[BaseException] = None
     for attempt in range(1, policy.attempts + 1):
         try:
             value = fn(attempt)
@@ -95,12 +140,21 @@ def run_with_retry(fn: Callable[[int], Any],
             last = error
             transient = isinstance(error, policy.retry_on)
             if transient and attempt < policy.attempts:
+                delay = policy.delay_for(attempt, rng)
                 if delay > 0:
                     sleep(delay)
-                    delay *= policy.multiplier
                 continue
             return RunOutcome(classify_governed_error(error),
                               error=error, attempts=attempt)
+        except WORKER_LOSS_ERRORS as error:
+            last = error
+            if attempt < policy.attempts:
+                delay = policy.delay_for(attempt, rng)
+                if delay > 0:
+                    sleep(delay)
+                continue
+            return RunOutcome("worker-lost", error=error,
+                              attempts=attempt)
         return RunOutcome("ok" if attempt == 1 else "retried",
                           value=value, attempts=attempt)
     # policy.attempts >= 1 guarantees the loop returned unless every

@@ -1,6 +1,6 @@
 """The N-way differential harness.
 
-Every case runs through up to eight independently written evaluation
+Every case runs through up to nine independently written evaluation
 paths:
 
 ======================  ================================================
@@ -15,6 +15,13 @@ backend                 what it exercises
                         threshold 0 so exchanges fire on tiny bags) —
                         hash partitioning, segment programs, budget
                         splitting, and the ordered gather on trial
+``engine-chaos``        the parallel executor under *injected worker
+                        crashes* (a seeded per-case
+                        :class:`~repro.guard.ChaosPlan`) with the
+                        resilience layer armed — morsel retry, the
+                        degradation ladder, and demotion accounting
+                        on trial: results must stay bag-equal no
+                        matter which workers died
 ``engine-opt0``         the planner pipeline with every rewrite
                         disabled and naive lowering (no join fusion,
                         no reordering, no sharing) — the purely
@@ -59,9 +66,9 @@ from repro.core.expr import (
 )
 from repro.core.typecheck import infer_type
 from repro.core.types import TupleType, Type
-from repro.engine import PlanCache
+from repro.engine import PlanCache, ResilienceConfig
 from repro.engine import evaluate as engine_evaluate
-from repro.guard import Limits, ResourceGovernor
+from repro.guard import ChaosPlan, Limits, ResourceGovernor
 from repro.planner import PassConfig, PlanContext
 from repro.planner import compile as planner_compile
 from repro.sql import Catalog, run_sql
@@ -77,10 +84,16 @@ __all__ = [
 
 #: Backend execution order; the first ``ok`` outcome is the reference.
 DEFAULT_BACKENDS = ("oracle", "engine", "engine-warm", "engine-parallel",
-                    "engine-opt0", "optimized", "surface", "sql")
+                    "engine-chaos", "engine-opt0", "optimized",
+                    "surface", "sql")
 
 #: Valid but non-default backends (CI's opt0-vs-opt2 fuzz leg).
 EXTRA_BACKENDS = ("engine-opt2",)
+
+#: Per-(shard, attempt) crash probability for ``engine-chaos``: high
+#: enough that most cases inject at least one crash, low enough that
+#: three attempts plus the ladder make completion certain in practice.
+CHAOS_PROBABILITY = 0.25
 
 #: Generous but finite: big enough that ordinary cases complete, small
 #: enough that a powerset blow-up degrades into a governed error in
@@ -255,6 +268,17 @@ class Harness:
                     case.expr, case.database, cache=None,
                     governor=self.governor(), engine="parallel",
                     workers=2, parallel_threshold=0.0)
+            elif backend == "engine-chaos":
+                # the parallel executor with seeded worker crashes
+                # injected: the resilience layer must absorb them
+                # (retry, then the degradation ladder) and still
+                # produce the same bag — a crash that escapes is a
+                # mismatch, not an acceptable outcome
+                value = engine_evaluate(
+                    case.expr, case.database, cache=None,
+                    governor=self.governor(), engine="parallel",
+                    workers=2, parallel_threshold=0.0,
+                    resilience=self._chaos_resilience(case))
             elif backend == "engine-opt0":
                 value = engine_evaluate(
                     case.expr, case.database, cache=None,
@@ -296,6 +320,18 @@ class Harness:
     def _oracle(self, expr: Expr, case: Case) -> Any:
         return Evaluator(governor=self.governor()).run(
             expr, case.database)
+
+    @staticmethod
+    def _chaos_resilience(case: Case) -> ResilienceConfig:
+        """The seeded fault-tolerance policy for ``engine-chaos``:
+        which (shard, attempt) executions crash is a pure function of
+        the case identity, so a mismatch replays exactly."""
+        seed = ((case.seed or 0) * 1_000_003 + (case.index or 0))
+        return ResilienceConfig(
+            seed=seed,
+            chaos=ChaosPlan(kind="worker-crash",
+                            probability=CHAOS_PROBABILITY,
+                            seed=seed))
 
     def _run_laws(self, case: Case, value: Bag) -> List[LawResult]:
         try:

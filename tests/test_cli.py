@@ -126,14 +126,17 @@ class TestEngineSelection:
 
     def test_parse_engine_flag(self):
         from repro.cli import _parse_engine_flag
-        engine, workers, backend, opt_level, rest = _parse_engine_flag(
+        (engine, workers, backend, opt_level, resilience,
+         rest) = _parse_engine_flag(
             ["--engine", "tree", "--max-steps", "5", "f.bag"])
         assert opt_level is None
         assert engine == "tree"
         assert workers is None
         assert backend == "thread"
+        assert resilience is False
         assert rest == ["--max-steps", "5", "f.bag"]
-        engine, workers, backend, opt_level, rest = _parse_engine_flag(
+        (engine, workers, backend, opt_level, resilience,
+         rest) = _parse_engine_flag(
             ["--engine=physical", "--opt-level=2"])
         assert opt_level == 2
         assert engine == "physical"
@@ -141,12 +144,14 @@ class TestEngineSelection:
 
     def test_parse_engine_flag_parallel(self):
         from repro.cli import _parse_engine_flag
-        engine, workers, backend, opt_level, rest = _parse_engine_flag(
+        (engine, workers, backend, opt_level, resilience,
+         rest) = _parse_engine_flag(
             ["--engine", "parallel", "--workers", "4",
-             "--parallel-backend=process", "f.bag"])
+             "--parallel-backend=process", "--resilience", "f.bag"])
         assert engine == "parallel"
         assert workers == 4
         assert backend == "process"
+        assert resilience is True
         assert rest == ["f.bag"]
 
     def test_parse_engine_flag_rejects_bad_values(self):
@@ -161,6 +166,8 @@ class TestEngineSelection:
             _parse_engine_flag(["--workers", "0"])
         with pytest.raises(ValueError):
             _parse_engine_flag(["--parallel-backend", "fiber"])
+        with pytest.raises(ValueError):
+            _parse_engine_flag(["--resilience=yes"])
 
     def test_main_accepts_engine_flag(self, tmp_path):
         from repro.cli import main

@@ -416,6 +416,9 @@ def _stats(seed: int) -> EngineStats:
     stats.morsels_executed = seed
     stats.gather_barriers = seed % 2
     stats.worker_steps = [seed, seed + 1]
+    stats.morsel_retries = seed % 3
+    stats.pool_respawns = seed % 2
+    stats.demotions = [f"process->thread: seed {seed}"]
     return stats
 
 
@@ -523,3 +526,108 @@ class TestFailFast:
         result = evaluate(expr, {"R": empty}, engine="parallel",
                           workers=2, parallel_threshold=0.0, cache=None)
         assert result == Bag.from_counts({})
+
+
+class TestFailFastEdges:
+    """The token-reset / secondary-cancellation edges of the fail-fast
+    scheduler: the *primary* failure (a worker's own governed verdict)
+    must win over the secondary ``Cancelled`` errors and cancelled
+    queued futures it provokes, and the sticky token must be reset."""
+
+    def test_prefer_keeps_primary_over_secondary(self):
+        from repro.engine.parallel.exchange import _prefer
+        primary = BudgetExceeded("steps", budget="steps")
+        secondary = Cancelled("parallel worker failed: BudgetExceeded")
+        assert _prefer(None, secondary) is secondary
+        assert _prefer(secondary, primary) is primary
+        assert _prefer(primary, secondary) is primary
+        # two non-Cancelled errors: first one wins
+        other = BudgetExceeded("size", budget="size")
+        assert _prefer(primary, other) is primary
+
+    def test_uncancel_resets_only_fail_fast_tokens(self):
+        from types import SimpleNamespace
+
+        from repro.engine.parallel.exchange import _uncancel
+        governor = ResourceGovernor(Limits(max_steps=10))
+        governor.token.cancel("parallel worker failed: BudgetExceeded")
+        _uncancel(SimpleNamespace(governor=governor),
+                  BudgetExceeded("steps"))
+        assert not governor.token.cancelled
+        # a user-initiated cancellation is NOT reset
+        governor = ResourceGovernor(Limits(max_steps=10))
+        governor.token.cancel("user abort")
+        _uncancel(SimpleNamespace(governor=governor),
+                  BudgetExceeded("steps"))
+        assert governor.token.cancelled
+        # neither is a fail-fast token when the surfacing error IS the
+        # cancellation (nothing more primary ever arrived)
+        governor = ResourceGovernor(Limits(max_steps=10))
+        governor.token.cancel("parallel worker failed: Cancelled")
+        _uncancel(SimpleNamespace(governor=governor),
+                  Cancelled("secondary"))
+        assert governor.token.cancelled
+
+    def test_primary_beats_first_completed_secondary_cancellation(
+            self, monkeypatch):
+        """The first *completed* future carries a secondary
+        ``Cancelled``; the real (governed) verdict finishes later and
+        must still be the error that surfaces, with the token reset."""
+        import threading
+        import time as time_mod
+
+        from repro.engine.parallel import exchange as exchange_mod
+
+        lock = threading.Lock()
+        primary_running = threading.Event()
+        calls = iter(range(100))
+
+        def fake_execute(program, inputs, **kwargs):
+            with lock:
+                n = next(calls)
+            if n == 0:
+                # wait until the primary-failure morsel is running so
+                # it cannot be cancelled, then fail "secondarily"
+                primary_running.wait(5)
+                raise Cancelled("parallel worker failed: simulated")
+            if n == 1:
+                primary_running.set()
+                time_mod.sleep(0.1)
+                raise BudgetExceeded("the real verdict", budget="steps")
+            raise Cancelled("tertiary")  # queued morsels, if any run
+
+        monkeypatch.setattr(exchange_mod, "execute_program",
+                            fake_execute)
+        governor = ResourceGovernor(Limits(max_steps=10**6))
+        with pytest.raises(BudgetExceeded) as info:
+            evaluate(_GOVERNED_EXPR, {"R": _BIG}, engine="parallel",
+                     workers=2, parallel_threshold=0.0, cache=None,
+                     governor=governor)
+        assert info.value.details.get("budget") == "steps"
+        assert not governor.token.cancelled
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_cancelled_queued_morsels_are_skipped(self, monkeypatch,
+                                                  backend):
+        """workers=1 queues every morsel after the first; the first
+        failure cancels them, and the scheduler must *skip* those
+        futures (``.exception()`` on a successfully-cancelled future
+        raises ``CancelledError``, which would escape as a crash)."""
+        import multiprocessing
+
+        if (backend == "process" and "fork"
+                not in multiprocessing.get_all_start_methods()):
+            pytest.skip("needs fork so workers see the patched module")
+
+        from repro.engine.parallel import exchange as exchange_mod
+
+        def fake_execute(program, inputs, **kwargs):
+            raise BudgetExceeded("worker verdict", budget="steps")
+
+        monkeypatch.setattr(exchange_mod, "execute_program",
+                            fake_execute)
+        with pytest.raises(BudgetExceeded):
+            evaluate(_GOVERNED_EXPR, {"R": _BIG}, engine="parallel",
+                     workers=1, parallel_backend=backend,
+                     parallel_threshold=0.0, cache=None,
+                     limits=Limits(max_steps=10**6))
