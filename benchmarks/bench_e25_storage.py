@@ -1,0 +1,341 @@
+"""E25 — storage subsystem: load throughput, catalog-driven compiles,
+and data-driven plan quality.
+
+The storage layer (`repro.storage`) gave the engine persistent
+workspaces and an ANALYZE catalog; this battery measures what the
+persistence round-trip costs and what the statistics buy, in four
+parts:
+
+* **load throughput** — synthesize a zipfian relation at increasing
+  scales, then time the workspace save / load / ANALYZE legs
+  separately; the round-trip is asserted bag-identical before any
+  timing is kept, so the rows/sec numbers are for *correct* codecs.
+* **compile overhead** — the same query compiled against an analyzed
+  workspace (statistics answered from the catalog, zero bag scans —
+  asserted via the planner's scan counter) vs a cold catalog-less
+  compile (``clear_stats_memo`` before every repetition, so each one
+  re-scans the bound bags the way a first-contact compile does).
+  Scans are counter-cheap on in-memory bags, so the honest claims are
+  the scan *counts* (0 vs one per relation) and a hard ceiling on the
+  catalog-driven compile, not a wall-clock race.
+* **plan quality** — end-to-end execution at opt 0 (naive lowering,
+  no statistics) vs opt 2 with the workspace catalog on a skewed
+  join, bag-equality asserted before timing; plus the plan-shape
+  flip: a join through a rare-value filter builds its hash table on
+  the wrong side under the flat selectivity default and on the
+  filtered side once the catalog's histogram knows the value is rare.
+* **q-error trend** — most-common-value selections at three scales,
+  estimated with the catalog's histogram selectivity vs the flat
+  default, against the measured cardinality.  Catalog q-error must
+  stay ~1 at every scale while the flat default drifts.
+
+Acceptance: catalog compiles perform zero bag scans and stay under
+``COMPILE_CEILING``, the build-side flip happens, the catalog's worst
+selection q-error stays under ``QERROR_CAP`` while never exceeding
+the flat default's, and (full tier) opt 2 with statistics beats opt 0
+by >= ``SPEEDUP_FLOOR`` on the join workload.
+
+Results persist to ``results/e25_storage.txt`` (human table),
+``results/e25_storage.json`` (machine-readable, consumed by
+``benchmarks/collect.py``), and ``results/e25_storage.status.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import (
+    RESULTS_DIR, emit_table, governed_cell,
+)
+from repro.core.eval import evaluate as oracle_evaluate
+from repro.core.expr import (
+    Attribute, Cartesian, Const, Dedup, Lam, Select, Var, var,
+)
+from repro.engine import evaluate, plan_for
+from repro.guard import Limits
+from repro.planner import PassConfig, PlanContext
+from repro.planner import compile as planner_compile
+from repro.planner.stats import (
+    clear_stats_memo, estimate, stats_scan_count,
+)
+from repro.storage import RelationSpec, Workspace
+from repro.storage.generate import synthesize_bag
+
+EXPERIMENT = "e25_storage"
+
+SMOKE = bool(os.environ.get("E25_SMOKE"))
+
+COMPILE_REPS = 10 if SMOKE else 25
+SPEEDUP_FLOOR = 1.5
+#: ceiling on one catalog-driven opt-2 compile (seconds) — the
+#: catalog must keep compilation in interactive territory
+COMPILE_CEILING = 0.05
+#: worst tolerated q-error for catalog-estimated MCV selections —
+#: the histogram stores exact fractions, so ~1 up to float noise
+QERROR_CAP = 1.05
+
+LOAD_SCALES = (1_000,) if SMOKE else (10_000, 40_000)
+COMPILE_ROWS = 2_000 if SMOKE else 20_000
+QUALITY_ROWS = (100, 400) if SMOKE else (1_500, 6_000)
+QERROR_SCALES = (50, 200) if SMOKE else (100, 400, 1600)
+
+LIMITS = Limits(max_steps=500_000_000, timeout=300.0)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _attr_eq_const(relation, index, value, op="eq"):
+    return Select(Lam("t", Attribute(Var("t"), index)),
+                  Lam("t", Const(value)), Var(relation), op=op)
+
+
+def _q_error(estimated, actual):
+    if estimated <= 0 or actual <= 0:
+        return float("inf")
+    return max(estimated / actual, actual / estimated)
+
+
+def _workspace(root, specs, seed):
+    ws = Workspace.create(str(root))
+    ws.generate(specs, seed=seed)
+    ws.analyze()
+    return ws
+
+
+# ----------------------------------------------------------------------
+# The experiment
+# ----------------------------------------------------------------------
+
+
+def test_e25_storage(benchmark, tmp_path):
+    rows = []
+    ledger = {"experiment": EXPERIMENT, "smoke": SMOKE,
+              "load": [], "compile": {}, "quality": [], "qerror": []}
+
+    # -- part 1: load throughput --------------------------------------
+    for scale in LOAD_SCALES:
+        spec = RelationSpec("L", rows=scale, arity=2,
+                            distinct=max(4, scale // 5),
+                            domain=max(4, scale // 4),
+                            skew="zipfian", zipf_s=1.2)
+        bag = synthesize_bag(spec, seed=scale)
+        root = str(tmp_path / f"load-{scale}")
+        ws = Workspace.create(root)
+        _, save_seconds = _timed(lambda: ws.save_relation("L", bag))
+        # reopen so the load actually decodes from disk instead of
+        # answering from the writer's in-memory cache
+        reader = Workspace.open(root)
+        reloaded, load_seconds = _timed(
+            lambda: reader.load_relation("L"))
+        # correctness before throughput: the round-trip must be
+        # bag-identical, duplicates and all
+        assert reloaded == bag
+        _, analyze_seconds = _timed(lambda: ws.analyze(["L"]))
+        ledger["load"].append(
+            {"rows": scale, "distinct": bag.distinct_count,
+             "save_seconds": save_seconds,
+             "load_seconds": load_seconds,
+             "analyze_seconds": analyze_seconds,
+             "save_rows_per_sec": scale / max(save_seconds, 1e-9),
+             "load_rows_per_sec": scale / max(load_seconds, 1e-9)})
+        rows.append((f"load:{scale}", "save/load/analyze",
+                     f"{scale / max(save_seconds, 1e-9):,.0f} rows/s",
+                     f"{scale / max(load_seconds, 1e-9):,.0f} rows/s",
+                     f"analyze {analyze_seconds * 1e3:.1f}ms"))
+
+    # -- part 2: catalog-vs-scan compile overhead ---------------------
+    compile_ws = _workspace(
+        tmp_path / "compile",
+        (RelationSpec("R", rows=COMPILE_ROWS, arity=2,
+                      distinct=max(4, COMPILE_ROWS // 5),
+                      domain=max(4, COMPILE_ROWS // 4)),
+         RelationSpec("S", rows=COMPILE_ROWS, arity=2,
+                      distinct=max(4, COMPILE_ROWS // 10),
+                      domain=max(4, COMPILE_ROWS // 4),
+                      skew="zipfian", zipf_s=1.3)),
+        seed=7)
+    database = compile_ws.database()
+    query = Dedup(Select(Lam("t", Attribute(Var("t"), 2)),
+                         Lam("t", Attribute(Var("t"), 3)),
+                         Cartesian(var("R"), var("S"))))
+
+    def compile_with_catalog():
+        context = PlanContext.capture(
+            database, engine="physical",
+            config=PassConfig.for_level(2), catalog=compile_ws)
+        return planner_compile(query, context)
+
+    def compile_cold():
+        clear_stats_memo()
+        context = PlanContext.capture(
+            database, engine="physical",
+            config=PassConfig.for_level(2))
+        return planner_compile(query, context)
+
+    clear_stats_memo()
+    before = stats_scan_count()
+    catalog_total = 0.0
+    for _ in range(COMPILE_REPS):
+        _, seconds = _timed(compile_with_catalog)
+        catalog_total += seconds
+    catalog_scans = stats_scan_count() - before
+    # the acceptance criterion: the whole catalog-driven loop never
+    # touched the bound bags
+    assert catalog_scans == 0, catalog_scans
+    before = stats_scan_count()
+    scan_total = 0.0
+    for _ in range(COMPILE_REPS):
+        _, seconds = _timed(compile_cold)
+        scan_total += seconds
+    cold_scans = stats_scan_count() - before
+    assert cold_scans == 2 * COMPILE_REPS, cold_scans
+    catalog_mean = catalog_total / COMPILE_REPS
+    scan_mean = scan_total / COMPILE_REPS
+    ledger["compile"] = {
+        "rows_per_relation": COMPILE_ROWS, "reps": COMPILE_REPS,
+        "catalog_mean_seconds": catalog_mean,
+        "cold_scan_mean_seconds": scan_mean,
+        "catalog_scans": catalog_scans, "cold_scans": cold_scans}
+    rows.append(("compile", f"{COMPILE_ROWS} rows x2",
+                 f"catalog {catalog_mean * 1e3:.2f}ms / 0 scans",
+                 f"cold {scan_mean * 1e3:.2f}ms / "
+                 f"{cold_scans} scans",
+                 f"ceiling {COMPILE_CEILING * 1e3:.0f}ms"))
+
+    # -- part 3: opt0 vs opt2-with-catalog plan quality ---------------
+    r_rows, s_rows = QUALITY_ROWS
+    quality_ws = _workspace(
+        tmp_path / "quality",
+        (RelationSpec("R", rows=r_rows, arity=2,
+                      distinct=max(4, r_rows // 5),
+                      domain=max(4, r_rows // 10)),
+         RelationSpec("S", rows=s_rows, arity=2,
+                      distinct=max(4, s_rows // 10),
+                      domain=max(4, s_rows // 16),
+                      skew="zipfian", zipf_s=1.3)),
+        seed=13)
+    quality_db = quality_ws.database()
+    join = Dedup(Select(Lam("t", Attribute(Var("t"), 2)),
+                        Lam("t", Attribute(Var("t"), 3)),
+                        Cartesian(var("R"), var("S"))))
+
+    seconds = {}
+    reference = None
+    for label, level, catalog in (("opt0", 0, None),
+                                  ("opt2+catalog", 2, quality_ws)):
+
+        def cell(governor, level=level, catalog=catalog):
+            return _timed(lambda: evaluate(
+                join, quality_db, cache=None, governor=governor,
+                opt_level=level, catalog=catalog))
+
+        outcome = governed_cell(EXPERIMENT, f"join-{label}", cell,
+                                limits=LIMITS)
+        assert outcome.status == "ok", outcome.status
+        result, elapsed = outcome.value
+        if reference is None:
+            reference = result
+        else:
+            assert result == reference
+        seconds[label] = elapsed
+    quality_speedup = seconds["opt0"] / max(seconds["opt2+catalog"],
+                                            1e-9)
+    ledger["quality"].append(
+        {"workload": "join", "opt0_seconds": seconds["opt0"],
+         "opt2_catalog_seconds": seconds["opt2+catalog"],
+         "speedup": quality_speedup})
+    rows.append(("quality:join", "opt0 vs opt2+catalog",
+                 f"{seconds['opt0'] * 1e3:.1f}ms",
+                 f"{seconds['opt2+catalog'] * 1e3:.1f}ms",
+                 f"{quality_speedup:.2f}x"))
+
+    # the plan-shape lever: a join through a rare-value filter flips
+    # its hash-join build side once the histogram knows the fraction
+    tail = quality_ws.catalog.get("S").column_stats[0].mcv[-1][0]
+    filtered_join = Select(
+        Lam("t", Attribute(Var("t"), 1)),
+        Lam("t", Attribute(Var("t"), 3)),
+        Cartesian(var("R"), _attr_eq_const("S", 1, tail)), op="eq")
+    flat_plan = plan_for(filtered_join, quality_db,
+                         cache=None).render()
+    informed_plan = plan_for(filtered_join, quality_db, cache=None,
+                             catalog=quality_ws).render()
+    flipped = ("build=left" in flat_plan
+               and "build=right" in informed_plan)
+    assert flipped, (flat_plan, informed_plan)
+    ledger["quality"].append(
+        {"workload": "build-side", "flipped": flipped})
+    rows.append(("quality:build-side", "flat vs catalog plan",
+                 "build=left", "build=right", "flipped"))
+
+    # -- part 4: q-error trend across scales --------------------------
+    worst_catalog_overall = 1.0
+    for scale in QERROR_SCALES:
+        ws = _workspace(
+            tmp_path / f"qerror-{scale}",
+            (RelationSpec("R", rows=scale, arity=2,
+                          distinct=max(4, scale // 5),
+                          domain=max(4, scale // 8)),
+             RelationSpec("S", rows=scale, arity=2,
+                          distinct=max(4, scale // 10),
+                          domain=max(4, scale // 8),
+                          skew="zipfian", zipf_s=1.3)),
+            seed=scale)
+        db = ws.database()
+        statistics = {name: ws.catalog.get(name).bag_stats()
+                      for name in ("R", "S")}
+        oracle_fn = ws.selectivity_oracle()
+        worst_catalog = worst_flat = 1.0
+        for column in (1, 2):
+            mcv = ws.catalog.get("S").column_stats[column - 1].mcv
+            for value, _ in mcv[:3]:
+                expr = _attr_eq_const("S", column, value)
+                actual = oracle_evaluate(expr, db).cardinality
+                informed = estimate(
+                    expr, statistics,
+                    selectivity_fn=oracle_fn).cardinality
+                flat = estimate(expr, statistics).cardinality
+                worst_catalog = max(worst_catalog,
+                                    _q_error(informed, actual))
+                worst_flat = max(worst_flat, _q_error(flat, actual))
+        worst_catalog_overall = max(worst_catalog_overall,
+                                    worst_catalog)
+        ledger["qerror"].append(
+            {"scale": scale, "catalog_q_error": worst_catalog,
+             "flat_q_error": worst_flat})
+        rows.append((f"qerror:{scale}", "mcv selections",
+                     f"catalog {worst_catalog:.3f}",
+                     f"flat {worst_flat:.3f}",
+                     "ok" if worst_catalog <= worst_flat else "DRIFT"))
+        # the histogram must never estimate worse than no histogram
+        assert worst_catalog <= worst_flat, scale
+
+    emit_table(
+        EXPERIMENT,
+        "E25  storage: load throughput, catalog compiles, data-driven "
+        f"plans ({'smoke' if SMOKE else 'full'} tier)",
+        ["cell", "config", "a", "b", "detail"],
+        rows)
+
+    ledger["quality_speedup"] = quality_speedup
+    ledger["worst_catalog_q_error"] = worst_catalog_overall
+    with open(os.path.join(RESULTS_DIR, f"{EXPERIMENT}.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(ledger, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert worst_catalog_overall <= QERROR_CAP, worst_catalog_overall
+    # the catalog must keep compilation interactive
+    assert catalog_mean < COMPILE_CEILING, catalog_mean
+    if not SMOKE:
+        # statistics must pay for themselves end-to-end
+        assert quality_speedup >= SPEEDUP_FLOOR, quality_speedup
+
+    # timing fixture: one catalog-driven opt-2 compile
+    benchmark(compile_with_catalog)

@@ -22,6 +22,10 @@ Collected headlines:
 * **e24_resilience** — fault-tolerant parallel execution under
   injected worker-crash chaos: completion/retry/demotion counts per
   fault probability and the zero-fault latency overhead.
+* **e25_storage** — workspace load throughput, catalog-vs-scan
+  compile overhead (zero-scan compiles against ANALYZEd relations),
+  the opt0-vs-opt2-with-catalog quality speedup, and the selection
+  q-error trend of histogram vs flat selectivity across scales.
 
 Usage::
 
@@ -179,6 +183,44 @@ def collect_e24() -> Optional[Dict[str, Any]]:
             "statuses": _statuses("e24_resilience")}
 
 
+def collect_e25() -> Optional[Dict[str, Any]]:
+    """Headline: storage round-trip throughput + what statistics buy."""
+    text = _read("e25_storage.json")
+    if text is None:
+        return None
+    document = json.loads(text)
+    load = [{"rows": entry["rows"],
+             "save_rows_per_sec": round(entry["save_rows_per_sec"], 1),
+             "load_rows_per_sec": round(entry["load_rows_per_sec"], 1),
+             "analyze_seconds": round(entry["analyze_seconds"], 4)}
+            for entry in document.get("load", [])]
+    compile_cell = document.get("compile") or {}
+    qerror = [{"scale": entry["scale"],
+               "catalog_q_error": round(entry["catalog_q_error"], 4),
+               "flat_q_error": round(entry["flat_q_error"], 4)}
+              for entry in document.get("qerror", [])]
+    return {"headline": "persistent workspaces + statistics catalog: "
+                        "load throughput, zero-scan compiles, "
+                        "data-driven plan quality",
+            "smoke": document.get("smoke"),
+            "load": load,
+            "compile": {
+                "catalog_mean_seconds": round(
+                    compile_cell.get("catalog_mean_seconds", 0.0), 6),
+                "cold_scan_mean_seconds": round(
+                    compile_cell.get("cold_scan_mean_seconds", 0.0),
+                    6),
+                "catalog_scans": compile_cell.get("catalog_scans"),
+                "cold_scans": compile_cell.get("cold_scans"),
+            },
+            "quality_speedup": round(
+                document.get("quality_speedup", 0.0), 3),
+            "worst_catalog_q_error": round(
+                document.get("worst_catalog_q_error", 0.0), 4),
+            "qerror": qerror,
+            "statuses": _statuses("e25_storage")}
+
+
 def build_ledger() -> Dict[str, Any]:
     return {
         "comment": ("per-PR perf trajectory; regenerate with "
@@ -189,6 +231,7 @@ def build_ledger() -> Dict[str, Any]:
             "e22_parallel": collect_e22(),
             "e23_planner": collect_e23(),
             "e24_resilience": collect_e24(),
+            "e25_storage": collect_e25(),
         },
     }
 

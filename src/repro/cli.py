@@ -36,6 +36,12 @@ Commands:
 ``:passes level N``   set the optimization level (0 | 1 | 2)
 ``:passes on NAME``   force one pass on (``off`` to force it off,
                       ``reset`` to clear all toggles)
+``:workspace open P`` open a storage workspace: bind its relations
+                      and compile against its statistics catalog
+                      (``analyze`` refreshes stats, ``close``
+                      detaches)
+``:feedback on|off``  fold observed cardinalities back into the open
+                      workspace's catalog after each run
 ``:save name path``   write a binding's standard encoding to a file
 ``:load name path``   read a standard encoding from a file
 ``:env``              list bindings
@@ -113,6 +119,13 @@ class Session:
         self.opt_level = opt_level
         #: Per-pass overrides from ``:passes on/off NAME``.
         self.pass_toggles: Dict[str, bool] = {}
+        #: The open :class:`~repro.storage.Workspace` (``:workspace
+        #: open PATH``): its relations become session bindings and
+        #: its catalog drives compilation.
+        self.workspace = None
+        #: ``:feedback on`` folds observed cardinalities back into
+        #: the open workspace's catalog after each evaluation.
+        self.feedback = False
 
     # -- helpers ----------------------------------------------------------
 
@@ -155,7 +168,9 @@ class Session:
         return evaluate(expr, self.bindings,
                         governor=self._governor(),
                         engine=self.engine,
-                        config=self._pass_config(), **extra)
+                        config=self._pass_config(),
+                        catalog=self.workspace,
+                        feedback=self.feedback, **extra)
 
     def _governor(self) -> Optional[ResourceGovernor]:
         if self.limits is None or not self.limits.any_set():
@@ -224,6 +239,24 @@ class Session:
             return True
         if line == ":passes" or line.startswith(":passes "):
             return self._handle_passes(line[len(":passes"):].strip())
+        if line == ":workspace" or line.startswith(":workspace "):
+            return self._handle_workspace(
+                line[len(":workspace"):].strip())
+        if line == ":feedback" or line.startswith(":feedback "):
+            choice = line[len(":feedback"):].strip()
+            if not choice:
+                self._print("feedback = "
+                            + ("on" if self.feedback else "off"))
+            elif choice in ("on", "off"):
+                self.feedback = choice == "on"
+                self._print(f"feedback = {choice}")
+                if self.workspace is None:
+                    self._print("(note: feedback applies once a "
+                                "workspace is open)")
+            else:
+                self._print(f"error: :feedback expects 'on' or "
+                            f"'off', got {choice!r}")
+            return True
         if line == ":env":
             if not self.bindings:
                 self._print("(no bindings)")
@@ -266,7 +299,8 @@ class Session:
             self._print("-- physical --")
             self._print(explain_physical(
                 expr, self.bindings, governor=self._governor(),
-                config=self._pass_config()))
+                config=self._pass_config(),
+                catalog=self.workspace, feedback=self.feedback))
             if self.engine == "parallel":
                 # the dual output: same expression, partitioned plan
                 self._print("-- parallel --")
@@ -310,8 +344,8 @@ class Session:
         if line.startswith(":"):
             self._print(f"unknown command {line.split()[0]!r} "
                         "(:type :fragment :optimize :explain :encode "
-                        ":engine :resilience :passes :save :load :env "
-                        ":limits :quit)")
+                        ":engine :resilience :passes :workspace "
+                        ":feedback :save :load :env :limits :quit)")
             return True
         if "=" in line and _looks_like_binding(line):
             name, _, body = line.partition("=")
@@ -322,6 +356,48 @@ class Session:
         self._print(repr(self.evaluate_text(line)))
         return True
 
+
+    # -- workspaces ---------------------------------------------------------
+
+    def _handle_workspace(self, args: str) -> bool:
+        """``:workspace`` — open/inspect a storage workspace.
+
+        ``open PATH`` binds every relation into the session and makes
+        the workspace's catalog drive compilation (the ``:explain``
+        stages view then shows ``stats: R=catalog``); ``analyze``
+        refreshes its statistics; ``close`` detaches it (bindings
+        stay).
+        """
+        from repro.storage import Workspace
+        if not args:
+            if self.workspace is None:
+                self._print("(no workspace; :workspace open PATH)")
+            else:
+                self._print(self.workspace.describe())
+            return True
+        parts = args.split()
+        if parts[0] == "open" and len(parts) == 2:
+            workspace = Workspace.open(parts[1])
+            self.workspace = workspace
+            self.bindings.update(workspace.database())
+            names = ", ".join(workspace.relation_names()) or "(none)"
+            self._print(f"workspace {workspace.name}: bound {names}")
+            if not len(workspace.catalog):
+                self._print("(catalog empty; run :workspace analyze)")
+            return True
+        if parts[0] == "analyze" and len(parts) == 1:
+            if self.workspace is None:
+                self._print("error: no workspace open")
+                return True
+            self.workspace.analyze()
+            self._print(self.workspace.describe())
+            return True
+        if parts[0] == "close" and len(parts) == 1:
+            self.workspace = None
+            self._print("workspace closed (bindings kept)")
+            return True
+        self._print("usage: :workspace [open PATH | analyze | close]")
+        return True
 
     # -- planner passes -----------------------------------------------------
 
@@ -382,8 +458,9 @@ class Session:
         from repro import planner
         config = self._pass_config() or planner.PassConfig.for_level(
             self._default_level())
-        context = planner.PlanContext.for_bindings(
-            self.bindings, engine=self.engine,
+        context = planner.PlanContext.capture(
+            self.bindings, catalog=self.workspace,
+            engine=self.engine,
             schema=self._schema(), governor=self._governor(),
             config=config)
         compiled = planner.compile(expr, context, trees=True)
@@ -521,6 +598,10 @@ def main(argv=None) -> int:
         # the conformance fuzz loop: ``python -m repro fuzz ...``
         from repro.testkit.cli import main as fuzz_main
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "workspace":
+        # storage subcommands: ``python -m repro workspace ...``
+        from repro.storage.cli import main as workspace_main
+        return workspace_main(argv[1:])
     try:
         engine, workers, backend, opt_level, resilience, argv = \
             _parse_engine_flag(argv)

@@ -233,6 +233,8 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
              opt_level: Optional[int] = None,
              config=None,
              resilience=None,
+             catalog=None,
+             feedback: bool = False,
              **named_bags: Bag) -> Any:
     """One-shot convenience wrapper around :class:`Evaluator`.
 
@@ -268,6 +270,7 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
             expr, database, engine=engine, governor=governor,
             limits=limits, powerset_budget=powerset_budget,
             opt_level=opt_level, config=config,
+            catalog=catalog, feedback=feedback,
             **extra, **named_bags)
     # the oracle path: compile at opt level 0 by default, so the tree
     # walker evaluates exactly the query the caller wrote

@@ -95,13 +95,27 @@ def _config_for(opt_level: Optional[int],
     return PassConfig.for_level(level, selectivity=selectivity)
 
 
+def _absorb_feedback(catalog, stats: EngineStats) -> None:
+    """Fold a run's observed cardinalities into the catalog (workspace
+    objects persist; bare catalogs update in memory)."""
+    observed = stats.observed_mean_cardinalities()
+    if not observed:
+        return
+    absorb = getattr(catalog, "absorb_feedback", None)
+    if absorb is None:
+        absorb = getattr(catalog, "absorb", None)
+    if absorb is not None:
+        absorb(observed)
+
+
 def plan_for(expr: Expr, bindings: Mapping[str, Any],
              cache: Optional[PlanCache] = None,
              stats: Optional[EngineStats] = None,
              selectivity: float = 0.5,
              policy=None,
              opt_level: Optional[int] = None,
-             config: Optional[PassConfig] = None) -> PhysicalPlan:
+             config: Optional[PassConfig] = None,
+             catalog=None) -> PhysicalPlan:
     """Fetch or build the physical plan for an expression.
 
     A thin shim over :func:`repro.planner.compile`: a cache hit skips
@@ -114,8 +128,8 @@ def plan_for(expr: Expr, bindings: Mapping[str, Any],
     of every key so opt levels never collide either.
     """
     resolved = _config_for(opt_level, config, selectivity)
-    ctx = PlanContext.for_bindings(
-        bindings,
+    ctx = PlanContext.capture(
+        bindings, catalog=catalog,
         engine="parallel" if policy is not None else "physical",
         cache=cache, engine_stats=stats, parallel=policy,
         config=resolved)
@@ -137,8 +151,19 @@ def evaluate(expr: Expr,
              opt_level: Optional[int] = None,
              config: Optional[PassConfig] = None,
              resilience=None,
+             catalog=None,
+             feedback: bool = False,
              **named_bags: Bag) -> Any:
     """Evaluate an expression with the physical engine.
+
+    ``catalog`` (a :class:`~repro.storage.Workspace` or
+    :class:`~repro.storage.Catalog`) makes compilation data-driven:
+    statistics for cataloged relations come from persisted ANALYZE
+    results instead of scanning the bound bags, and the catalog's
+    histogram selectivities replace the flat default.  ``feedback=True``
+    additionally folds the run's observed per-relation cardinalities
+    back into the catalog (opt-in, bounded, epoch-bumping — see
+    :meth:`repro.storage.Catalog.absorb`).
 
     ``engine="tree"`` falls through to the oracle evaluator, so callers
     can switch per query.  ``engine="parallel"`` runs the same kernels
@@ -199,8 +224,9 @@ def evaluate(expr: Expr,
     if evaluator.governor is not None:
         evaluator.governor.ensure_started()
     resolved_config = _config_for(opt_level, config)
-    ctx = PlanContext.for_bindings(
-        bindings, engine=engine, governor=evaluator.governor,
+    ctx = PlanContext.capture(
+        bindings, catalog=catalog, engine=engine,
+        governor=evaluator.governor,
         cache=cache, engine_stats=stats, parallel=policy,
         config=resolved_config)
     exec_ctx = ExecContext(bindings, evaluator, stats=stats,
@@ -208,7 +234,10 @@ def evaluate(expr: Expr,
     try:
         plan = planner_compile(expr, ctx).physical
         try:
-            return plan.execute(exec_ctx)
+            result = plan.execute(exec_ctx)
+            if feedback and catalog is not None:
+                _absorb_feedback(catalog, exec_ctx.stats)
+            return result
         except Exception as error:
             if not (engine == "parallel"
                     and resilience_config is not None
@@ -261,6 +290,8 @@ def explain_physical(expr: Expr,
                      opt_level: Optional[int] = None,
                      config: Optional[PassConfig] = None,
                      resilience=None,
+                     catalog=None,
+                     feedback: bool = False,
                      **named_bags: Bag) -> str:
     """Render the physical plan, optionally with actual cardinalities.
 
@@ -286,7 +317,9 @@ def explain_physical(expr: Expr,
             backend=parallel_backend,
             resilience=resilience_config)
     plan = plan_for(expr, bindings, cache=cache, stats=stats,
-                    policy=policy, opt_level=opt_level, config=config)
+                    policy=policy, opt_level=opt_level, config=config,
+                    catalog=catalog)
+    executed = False
     if execute and not (expr.free_vars() - set(bindings)):
         evaluator = Evaluator(governor=governor, limits=limits,
                               track_stats=False)
@@ -294,7 +327,31 @@ def explain_physical(expr: Expr,
             evaluator.governor.ensure_started()
         plan.execute(ExecContext(bindings, evaluator, stats=stats,
                                  parallel=parallel_config))
+        executed = True
+    # snapshot compile-time estimates before feedback rewrites them
+    estimates = {}
+    lookup = getattr(catalog, "planner_stats", None)
+    if lookup is not None:
+        for name in stats.observed_cardinalities:
+            entry = lookup(name)
+            if entry is not None:
+                estimates[name] = entry.bag_stats.cardinality
+    if feedback and executed and catalog is not None:
+        _absorb_feedback(catalog, stats)
     rendered = plan.render()
+    if feedback and executed:
+        feedback_lines = ["-- feedback --"]
+        observed = stats.observed_mean_cardinalities()
+        for name in sorted(observed):
+            estimated = (f"{estimates[name]:g}"
+                         if name in estimates else "?")
+            feedback_lines.append(
+                f"{name}: estimated {estimated}, observed "
+                f"{observed[name]:g} "
+                f"(scans {stats.observed_scans.get(name, 0)})")
+        if len(feedback_lines) == 1:
+            feedback_lines.append("no base-relation scans observed")
+        rendered = "\n".join([rendered] + feedback_lines)
     if engine != "parallel":
         return rendered
     lines = [rendered, "-- exchange --",

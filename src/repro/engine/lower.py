@@ -90,9 +90,13 @@ class Lowering:
     def __init__(self, statistics: Optional[Mapping[str, BagStats]]
                  = None, selectivity: float = 0.5,
                  arities: Optional[Mapping[str, int]] = None,
-                 parallel=None, cost_based: bool = True):
+                 parallel=None, cost_based: bool = True,
+                 selectivity_fn=None):
         self.statistics = dict(statistics) if statistics else None
         self.selectivity = selectivity
+        #: Optional per-predicate selectivity oracle (catalog
+        #: histograms); refines the flat ``selectivity`` per Select.
+        self.selectivity_fn = selectivity_fn
         self.arities = dict(arities) if arities else {}
         #: Optional ParallelPolicy: when set, the parallelism pass
         #: wraps eligible subtrees in Gather/Exchange/Partition nodes.
@@ -113,7 +117,8 @@ class Lowering:
             return None
         try:
             return estimate(expr, self.statistics,
-                            selectivity=self.selectivity)
+                            selectivity=self.selectivity,
+                            selectivity_fn=self.selectivity_fn)
         except BagTypeError:
             return None
 
@@ -440,8 +445,10 @@ def lower(expr: Expr,
           statistics: Optional[Mapping[str, BagStats]] = None,
           selectivity: float = 0.5,
           arities: Optional[Mapping[str, int]] = None,
-          parallel=None, cost_based: bool = True) -> PhysicalPlan:
+          parallel=None, cost_based: bool = True,
+          selectivity_fn=None) -> PhysicalPlan:
     """One-shot lowering convenience wrapper."""
     return Lowering(statistics, selectivity=selectivity,
                     arities=arities, parallel=parallel,
-                    cost_based=cost_based).lower(expr)
+                    cost_based=cost_based,
+                    selectivity_fn=selectivity_fn).lower(expr)

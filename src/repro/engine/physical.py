@@ -82,6 +82,27 @@ class EngineStats:
     morsel_retries: int = 0
     pool_respawns: int = 0
     demotions: List[str] = field(default_factory=list)
+    #: Execution-feedback counters: per-relation total rows observed
+    #: by ScanBag nodes and the number of scans that produced them.
+    #: Both merge by pointwise sum (associative, parallel-safe); the
+    #: honest per-scan observation is their ratio
+    #: (:meth:`observed_mean_cardinalities`) — a catalog absorbs that,
+    #: not the raw totals, so re-scanned partitions don't inflate it.
+    observed_cardinalities: Dict[str, int] = field(default_factory=dict)
+    observed_scans: Dict[str, int] = field(default_factory=dict)
+
+    def record_scan(self, name: str, cardinality: int) -> None:
+        self.observed_cardinalities[name] = (
+            self.observed_cardinalities.get(name, 0) + cardinality)
+        self.observed_scans[name] = (
+            self.observed_scans.get(name, 0) + 1)
+
+    def observed_mean_cardinalities(self) -> Dict[str, float]:
+        """Per-relation mean observed cardinality per scan — what the
+        storage catalog's feedback loop absorbs."""
+        return {name: total / max(1, self.observed_scans.get(name, 1))
+                for name, total in
+                sorted(self.observed_cardinalities.items())}
 
     def record_kernel(self, name: str) -> None:
         self.kernel_counts[name] = self.kernel_counts.get(name, 0) + 1
@@ -105,6 +126,12 @@ class EngineStats:
         self.morsel_retries += other.morsel_retries
         self.pool_respawns += other.pool_respawns
         self.demotions.extend(other.demotions)
+        for name, total in other.observed_cardinalities.items():
+            self.observed_cardinalities[name] = (
+                self.observed_cardinalities.get(name, 0) + total)
+        for name, scans in other.observed_scans.items():
+            self.observed_scans[name] = (
+                self.observed_scans.get(name, 0) + scans)
 
     def merged_with(self, other: "EngineStats") -> "EngineStats":
         """A new stats object combining both operands.
@@ -130,6 +157,8 @@ class EngineStats:
             morsel_retries=self.morsel_retries,
             pool_respawns=self.pool_respawns,
             demotions=list(self.demotions),
+            observed_cardinalities=dict(self.observed_cardinalities),
+            observed_scans=dict(self.observed_scans),
         )
         merged.merge_from(other)
         return merged
@@ -302,6 +331,9 @@ class ScanBag(PhysicalNode):
             raise UnboundVariableError(
                 f"binding {self.name!r} is not a bag "
                 f"(got {type(value).__name__})")
+        # feedback: one observation per scan (O(1), the cardinality
+        # is cached on the bag) so catalogs can absorb actuals
+        ctx.stats.record_scan(self.name, value.cardinality)
         yield from value.items()
 
     def label(self):

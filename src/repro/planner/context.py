@@ -23,7 +23,9 @@ from repro.planner.manager import DEFAULT_MAX_PASSES
 from repro.planner.rewrites import (
     ALL_RULES, NORMALIZE_RULES, REWRITE_RULES, Rule,
 )
-from repro.planner.stats import DEFAULT_SELECTIVITY, BagStats, stats_of
+from repro.planner.stats import (
+    DEFAULT_SELECTIVITY, BagStats, SelectivityFn, stats_of,
+)
 
 __all__ = ["PassConfig", "PlanContext", "STAGE_NAMES", "OPT_LEVELS",
            "toggleable_passes"]
@@ -180,11 +182,22 @@ class PlanContext:
     parallel:
         Optional ``ParallelPolicy`` driving the parallelize pass
         (set when ``engine == "parallel"``).
+    selectivity_fn:
+        Optional per-predicate selectivity oracle (see
+        :data:`repro.planner.stats.SelectivityFn`); usually supplied
+        by a storage catalog's histograms via :meth:`capture`.
+
+    ``stats_sources`` records where each relation's statistics came
+    from (``"catalog"`` / ``"scanned"``); ``stats_epochs`` records the
+    catalog epoch per catalog-sourced relation.  Both feed
+    :meth:`stats_tag`, the statistics component of the plan-cache key,
+    and the ``:explain`` stages view.
     """
 
     __slots__ = ("engine", "schema", "statistics", "arities",
                  "governor", "cache", "engine_stats", "parallel",
-                 "config")
+                 "config", "selectivity_fn", "stats_sources",
+                 "stats_epochs")
 
     def __init__(self, *, engine: str = "physical",
                  schema: Optional[Mapping[str, Any]] = None,
@@ -192,7 +205,8 @@ class PlanContext:
                  arities: Optional[Mapping[str, int]] = None,
                  governor=None, cache=None, engine_stats=None,
                  parallel=None,
-                 config: Optional[PassConfig] = None):
+                 config: Optional[PassConfig] = None,
+                 selectivity_fn: Optional[SelectivityFn] = None):
         if engine not in ("tree", "physical", "parallel"):
             raise ValueError(f"unknown engine {engine!r} "
                              "(choices: 'tree', 'physical', "
@@ -207,6 +221,63 @@ class PlanContext:
         self.engine_stats = engine_stats
         self.parallel = parallel
         self.config = config if config is not None else PassConfig()
+        self.selectivity_fn = selectivity_fn
+        self.stats_sources: Dict[str, str] = {}
+        self.stats_epochs: Dict[str, int] = {}
+
+    @classmethod
+    def capture(cls, bindings: Mapping[str, Any], *,
+                catalog=None,
+                engine: str = "physical",
+                schema: Optional[Mapping[str, Any]] = None,
+                governor=None, cache=None, engine_stats=None,
+                parallel=None,
+                config: Optional[PassConfig] = None
+                ) -> "PlanContext":
+        """Derive statistics and arities from concrete bindings.
+
+        With a ``catalog`` (any object exposing
+        ``planner_stats(name)`` — the storage catalog's protocol),
+        relations the catalog knows are answered from persisted
+        statistics without touching the bound bag at all, and the
+        catalog's histogram-driven selectivity oracle is installed.
+        Everything else falls back to :func:`stats_of`, which is
+        memoized by bag identity — so repeated compiles against the
+        same bound bag cost one dictionary hit, not a re-derivation
+        (the per-compile full-scan this method historically did).
+        """
+        statistics: Dict[str, BagStats] = {}
+        arities: Dict[str, int] = {}
+        sources: Dict[str, str] = {}
+        epochs: Dict[str, int] = {}
+        for name, value in bindings.items():
+            if not isinstance(value, Bag):
+                continue
+            entry = (catalog.planner_stats(name)
+                     if catalog is not None else None)
+            if entry is not None:
+                statistics[name] = entry.bag_stats
+                sources[name] = "catalog"
+                epochs[name] = entry.epoch
+                if entry.arity is not None:
+                    arities[name] = entry.arity
+                continue
+            statistics[name] = stats_of(value)
+            sources[name] = "scanned"
+            if not value.is_empty():
+                element = value.an_element()
+                if hasattr(element, "arity"):
+                    arities[name] = element.arity
+        selectivity_fn = None
+        if catalog is not None:
+            selectivity_fn = catalog.selectivity_oracle()
+        ctx = cls(engine=engine, schema=schema, statistics=statistics,
+                  arities=arities, governor=governor, cache=cache,
+                  engine_stats=engine_stats, parallel=parallel,
+                  config=config, selectivity_fn=selectivity_fn)
+        ctx.stats_sources = sources
+        ctx.stats_epochs = epochs
+        return ctx
 
     @classmethod
     def for_bindings(cls, bindings: Mapping[str, Any], *,
@@ -216,19 +287,34 @@ class PlanContext:
                      parallel=None,
                      config: Optional[PassConfig] = None
                      ) -> "PlanContext":
-        """Derive statistics and arities from concrete bindings —
-        O(1) per bag, the counters live on :class:`Bag` itself."""
-        statistics: Dict[str, BagStats] = {}
-        arities: Dict[str, int] = {}
-        for name, value in bindings.items():
-            if not isinstance(value, Bag):
-                continue
-            statistics[name] = stats_of(value)
-            if not value.is_empty():
-                element = value.an_element()
-                if hasattr(element, "arity"):
-                    arities[name] = element.arity
-        return cls(engine=engine, schema=schema, statistics=statistics,
-                   arities=arities, governor=governor, cache=cache,
-                   engine_stats=engine_stats, parallel=parallel,
-                   config=config)
+        """Catalog-less :meth:`capture` (the historical name)."""
+        return cls.capture(bindings, engine=engine, schema=schema,
+                           governor=governor, cache=cache,
+                           engine_stats=engine_stats, parallel=parallel,
+                           config=config)
+
+    def stats_tag(self) -> Optional[Tuple]:
+        """The statistics component of the plan-cache key.
+
+        Catalog-sourced relations contribute ``(name, "catalog",
+        epoch)`` — bumping the epoch on ANALYZE or feedback absorption
+        retires every plan built from the stale statistics, and a
+        catalog-driven compile can never collide with a scan-driven
+        one.  Scanned statistics deliberately contribute *nothing*:
+        plans hold no data, and one warm plan serving two databases of
+        the same shape is pinned behaviour
+        (``test_warm_cache_shared_across_databases``).
+        """
+        parts = tuple((name, "catalog", self.stats_epochs.get(name, 0))
+                      for name in sorted(self.stats_sources)
+                      if self.stats_sources[name] == "catalog")
+        return ("stats", parts) if parts else None
+
+    def describe_stats_sources(self) -> Optional[str]:
+        """Human summary for the ``:explain`` stages view, e.g.
+        ``"stats: R=catalog, S=scanned"``."""
+        if not self.stats_sources:
+            return None
+        inner = ", ".join(f"{name}={self.stats_sources[name]}"
+                          for name in sorted(self.stats_sources))
+        return f"stats: {inner}"

@@ -54,12 +54,16 @@ class CompiledPlan:
     cache_hit: bool = False
 
 
-def _combined_tag(config: PassConfig, policy) -> Any:
-    """Cache tag: pass configuration plus the parallel policy."""
+def _combined_tag(config: PassConfig, policy,
+                  stats_tag: Any = None) -> Any:
+    """Cache tag: pass configuration, parallel policy, and the
+    statistics fingerprint — stale-stats plans can't collide with
+    fresh ones because an ANALYZE bumps the catalog epoch inside
+    ``stats_tag``."""
     parallel = None
     if policy is not None:
         parallel = ("parallel", policy.threshold)
-    return (config.cache_tag(), parallel)
+    return (config.cache_tag(), parallel, stats_tag)
 
 
 def _left_arity_fn(schema: Mapping[str, Any]
@@ -112,7 +116,8 @@ def compile(expr: Expr, context: Optional[PlanContext] = None, *,
     if ctx.engine != "tree" and ctx.cache is not None:
         from repro.engine.cache import PlanCache
         key = PlanCache.key_for(expr, ctx.arities,
-                                _combined_tag(config, ctx.parallel))
+                                _combined_tag(config, ctx.parallel,
+                                              ctx.stats_tag()))
         plan = ctx.cache.get(key)
         if plan is not None:
             if ctx.engine_stats is not None:
@@ -172,9 +177,16 @@ def compile(expr: Expr, context: Optional[PlanContext] = None, *,
         plan = lower(logical, ctx.statistics,
                      selectivity=config.selectivity,
                      arities=ctx.arities, parallel=ctx.parallel,
-                     cost_based=config.cost_based_lowering)
+                     cost_based=config.cost_based_lowering,
+                     selectivity_fn=ctx.selectivity_fn)
+        notes = []
         if not config.cost_based_lowering:
-            record.note = "naive (cost-based lowering disabled)"
+            notes.append("naive (cost-based lowering disabled)")
+        sources = ctx.describe_stats_sources()
+        if sources is not None:
+            notes.append(sources)
+        if notes:
+            record.note = "; ".join(notes)
         if trees:
             record.tree = plan.render()
     report.add(record)

@@ -53,8 +53,9 @@ Two refinements matter for the physical engine's lowering decisions:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.bag import Bag
 from repro.core.errors import BagTypeError
@@ -66,7 +67,14 @@ from repro.core.expr import (
 from repro.core.nest import Nest, Unnest
 
 __all__ = ["BagStats", "stats_of", "estimate", "estimated_cost",
-           "NODE_WEIGHTS", "DEFAULT_SELECTIVITY"]
+           "NODE_WEIGHTS", "DEFAULT_SELECTIVITY", "SelectivityFn",
+           "stats_scan_count", "count_stats_scan", "clear_stats_memo"]
+
+#: A per-predicate selectivity oracle: given a ``Select`` node, return
+#: a selectivity in (0, 1] derived from data statistics (the storage
+#: catalog's histograms), or ``None`` to fall back to the flat
+#: default.  Threaded through :func:`estimate` by the lowering pass.
+SelectivityFn = Callable[["Select"], Optional[float]]
 
 #: Default fraction of members a selection is assumed to keep.
 DEFAULT_SELECTIVITY = 0.5
@@ -106,27 +114,86 @@ class BagStats:
         return self.cardinality / self.distinct
 
 
+# ----------------------------------------------------------------------
+# Exact statistics, memoized by bag identity
+# ----------------------------------------------------------------------
+
+#: Bounded identity-keyed memo: ``id(bag) -> (bag, stats)``.  The bag
+#: reference pins the id against reuse; bags are immutable, so a hit
+#: is always valid.  Bounded so long sessions cannot leak bags.
+_STATS_MEMO: "OrderedDict[int, tuple]" = OrderedDict()
+_STATS_MEMO_CAPACITY = 512
+
+#: How many times statistics were derived by touching a concrete bag
+#: (as opposed to a memo hit or a catalog lookup).  The storage tests
+#: assert a compile against cataloged relations leaves this unchanged.
+_SCANS = [0]
+
+
+def stats_scan_count() -> int:
+    """Number of bag-touching statistics captures so far (process-wide
+    monotone counter; diff before/after to count scans in a region)."""
+    return _SCANS[0]
+
+
+def count_stats_scan() -> None:
+    """Record one full-bag statistics scan (``ANALYZE`` and the
+    memo-miss path of :func:`stats_of` call this)."""
+    _SCANS[0] += 1
+
+
+def clear_stats_memo() -> None:
+    """Drop the identity memo (tests use this to force re-scans)."""
+    _STATS_MEMO.clear()
+
+
 def stats_of(bag: Bag) -> BagStats:
-    """Exact statistics of a concrete bag."""
-    return BagStats(cardinality=float(bag.cardinality),
-                    distinct=float(bag.distinct_count))
+    """Exact statistics of a concrete bag.
+
+    Memoized by bag *identity*: every entry point that derives
+    statistics from live bindings (``PlanContext.capture``) used to
+    re-derive them on every single compile; repeated compiles against
+    the same bound bag are now a dictionary hit, and the scan counter
+    (:func:`stats_scan_count`) only moves on a genuine miss.
+    """
+    key = id(bag)
+    hit = _STATS_MEMO.get(key)
+    if hit is not None and hit[0] is bag:
+        _STATS_MEMO.move_to_end(key)
+        return hit[1]
+    count_stats_scan()
+    stats = BagStats(cardinality=float(bag.cardinality),
+                     distinct=float(bag.distinct_count))
+    _STATS_MEMO[key] = (bag, stats)
+    if len(_STATS_MEMO) > _STATS_MEMO_CAPACITY:
+        _STATS_MEMO.popitem(last=False)
+    return stats
 
 
 def estimate(expr: Expr, statistics: Mapping[str, BagStats],
-             selectivity: float = DEFAULT_SELECTIVITY) -> BagStats:
+             selectivity: float = DEFAULT_SELECTIVITY,
+             selectivity_fn: Optional[SelectivityFn] = None) -> BagStats:
     """Estimate output statistics of an expression bottom-up.
 
     ``statistics`` binds the relation variables.  Lambda-bound
     variables never appear at estimation positions (lambdas map
     objects, not bags), so any unbound name is an error.
+
+    ``selectivity_fn`` refines selections: when provided, each
+    ``Select`` node is offered to it first and the flat ``selectivity``
+    only applies when it returns ``None`` — this is how catalog
+    histograms replace the one-size-fits-all default.
     """
     if not 0 < selectivity <= 1:
         raise BagTypeError("selectivity must be in (0, 1]")
-    return _estimate(expr, dict(statistics), selectivity)
+    return _estimate(expr, dict(statistics), selectivity,
+                     selectivity_fn)
 
 
 def _estimate(expr: Expr, stats: Dict[str, BagStats],
-              selectivity: float) -> BagStats:
+              selectivity: float,
+              selectivity_fn: Optional[SelectivityFn] = None
+              ) -> BagStats:
     if isinstance(expr, Var):
         if expr.name not in stats:
             raise BagTypeError(
@@ -138,68 +205,73 @@ def _estimate(expr: Expr, stats: Dict[str, BagStats],
         return BagStats(1.0, 1.0)
 
     if isinstance(expr, AdditiveUnion):
-        left = _estimate(expr.left, stats, selectivity)
+        left = _estimate(expr.left, stats, selectivity, selectivity_fn)
         if expr.left == expr.right:
             # B (+) B doubles every multiplicity: 2c rows but still
             # only d distinct members (the engine's MultiplicityScale)
             return BagStats(2.0 * left.cardinality, left.distinct,
                             left.avg_element_size)
-        right = _estimate(expr.right, stats, selectivity)
+        right = _estimate(expr.right, stats, selectivity, selectivity_fn)
         return BagStats(left.cardinality + right.cardinality,
                         left.distinct + right.distinct,
                         _merge_size(left, right))
     if isinstance(expr, MaxUnion):
-        left = _estimate(expr.left, stats, selectivity)
+        left = _estimate(expr.left, stats, selectivity, selectivity_fn)
         if expr.left == expr.right:
             return left  # B u B = B
-        right = _estimate(expr.right, stats, selectivity)
+        right = _estimate(expr.right, stats, selectivity, selectivity_fn)
         return BagStats(left.cardinality + right.cardinality,
                         left.distinct + right.distinct,
                         _merge_size(left, right))
     if isinstance(expr, Subtraction):
-        left = _estimate(expr.left, stats, selectivity)
+        left = _estimate(expr.left, stats, selectivity, selectivity_fn)
         if expr.left == expr.right:
             return BagStats(0.0, 0.0)  # B - B = {{}} under monus
         return left
     if isinstance(expr, Intersection):
-        left = _estimate(expr.left, stats, selectivity)
+        left = _estimate(expr.left, stats, selectivity, selectivity_fn)
         if expr.left == expr.right:
             return left  # B n B = B
-        right = _estimate(expr.right, stats, selectivity)
+        right = _estimate(expr.right, stats, selectivity, selectivity_fn)
         return BagStats(min(left.cardinality, right.cardinality),
                         min(left.distinct, right.distinct),
                         _merge_size(left, right))
     if isinstance(expr, Cartesian):
-        left = _estimate(expr.left, stats, selectivity)
-        right = _estimate(expr.right, stats, selectivity)
+        left = _estimate(expr.left, stats, selectivity, selectivity_fn)
+        right = _estimate(expr.right, stats, selectivity, selectivity_fn)
         return BagStats(left.cardinality * right.cardinality,
                         left.distinct * right.distinct)
     if isinstance(expr, Map):
-        inner = _estimate(expr.operand, stats, selectivity)
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
         return BagStats(inner.cardinality, inner.distinct)
     if isinstance(expr, Select):
-        inner = _estimate(expr.operand, stats, selectivity)
-        return BagStats(inner.cardinality * selectivity,
-                        inner.distinct * selectivity,
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
+        kept = None
+        if selectivity_fn is not None:
+            kept = selectivity_fn(expr)
+        if kept is None or not 0 < kept <= 1:
+            kept = selectivity
+        return BagStats(inner.cardinality * kept,
+                        inner.distinct * kept,
                         inner.avg_element_size)
     if isinstance(expr, Dedup):
-        inner = _estimate(expr.operand, stats, selectivity)
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
         return BagStats(inner.distinct, inner.distinct,
                         inner.avg_element_size)
     if isinstance(expr, Powerset):
-        inner = _estimate(expr.operand, stats, selectivity)
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
         subbags = _powerset_size(inner)
         # a uniformly random subbag keeps half of B's elements
         return BagStats(subbags, subbags,
                         avg_element_size=inner.cardinality / 2.0)
     if isinstance(expr, Powerbag):
-        inner = _estimate(expr.operand, stats, selectivity)
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
         total = min(_CAP, 2.0 ** min(inner.cardinality, 60.0)
                     if inner.cardinality <= 60 else _CAP)
         return BagStats(total, min(total, _powerset_size(inner)),
                         avg_element_size=inner.cardinality / 2.0)
     if isinstance(expr, BagDestroy):
-        inner = _estimate(expr.operand, stats, selectivity)
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
         # each of the inner bags contributes its own cardinality;
         # powerset/nest outputs carry the true average subbag size —
         # fall back to the average multiplicity only without it
@@ -210,13 +282,13 @@ def _estimate(expr: Expr, stats: Dict[str, BagStats],
         return BagStats(min(_CAP, inner.cardinality * per_bag),
                         min(_CAP, inner.distinct * per_bag))
     if isinstance(expr, Nest):
-        inner = _estimate(expr.operand, stats, selectivity)
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
         # one output tuple per distinct residual key: at most d groups
         groups = max(1.0, inner.distinct) if inner.cardinality else 0.0
         per_group = (inner.cardinality / groups) if groups else 0.0
         return BagStats(groups, groups, avg_element_size=per_group)
     if isinstance(expr, Unnest):
-        inner = _estimate(expr.operand, stats, selectivity)
+        inner = _estimate(expr.operand, stats, selectivity, selectivity_fn)
         if inner.avg_element_size is not None:
             per_tuple = inner.avg_element_size
         else:

@@ -1,7 +1,7 @@
 """A mini bag-SQL front end compiling to BALG (the introduction's
 motivation: SQL engines work on bags, not sets)."""
 
-from typing import List, Mapping, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.core.bag import Bag
 from repro.core.derived import bag_as_int
@@ -16,14 +16,41 @@ from repro.sql.parser import parse_sql
 __all__ = [
     "COUNT_STAR", "Catalog", "ColumnRef", "Comparison", "Query",
     "SelectQuery", "SetOpQuery", "CompiledQuery", "compile_query",
-    "compile_sql", "parse_sql", "run_sql",
+    "compile_sql", "parse_sql", "run_sql", "catalog_for_workspace",
 ]
 
 
-def run_sql(text: str, catalog: Catalog,
-            database: Mapping[str, Bag],
+def catalog_for_workspace(workspace) -> Catalog:
+    """Derive the schema-only :class:`Catalog` SQL compilation needs
+    from a :class:`~repro.storage.Workspace`.
+
+    Typed column names from the workspace manifest win; relations
+    without declared columns get positional names ``c1..ck`` from the
+    statistics catalog's arity (falling back to peeking at one
+    element when the relation was never analyzed).
+    """
+    tables = {}
+    for name in workspace.relation_names():
+        specs = workspace.columns_of(name)
+        if specs is not None:
+            tables[name] = tuple(spec.name for spec in specs)
+            continue
+        entry = workspace.catalog.get(name)
+        arity = entry.arity if entry is not None else None
+        if arity is None:
+            bag = workspace.load_relation(name)
+            element = None if bag.is_empty() else bag.an_element()
+            arity = getattr(element, "arity", 1)
+        tables[name] = tuple(f"c{index}"
+                             for index in range(1, arity + 1))
+    return Catalog(tables)
+
+
+def run_sql(text: str, catalog,
+            database: Optional[Mapping[str, Bag]] = None,
             governor=None, engine: str = "physical",
-            workers=None, opt_level=None, config=None) -> List[Tuple]:
+            workers=None, opt_level=None, config=None,
+            feedback: bool = False) -> List[Tuple]:
     """Parse, compile, evaluate, and decode a query.
 
     Returns a list of plain Python tuples *with duplicates* (bag
@@ -31,6 +58,14 @@ def run_sql(text: str, catalog: Catalog,
     returns ``[(count,)]``.  An optional
     :class:`~repro.guard.ResourceGovernor` governs the whole pipeline
     — compile and evaluate share one step budget and one deadline.
+
+    ``catalog`` is either the literal schema-only :class:`Catalog`
+    (the historical path — ``database`` is then required) or a
+    :class:`~repro.storage.Workspace`: table schemas come from the
+    workspace manifest, ``database`` defaults to the workspace's
+    loaded relations, and the planner compiles against the
+    workspace's persisted statistics (``feedback=True`` folds
+    observed cardinalities back in).
 
     ``engine`` picks the evaluator: ``"physical"`` (default) runs the
     compiled plan on the kernel engine of :mod:`repro.engine` — its
@@ -41,10 +76,23 @@ def run_sql(text: str, catalog: Catalog,
     (:func:`repro.planner.compile`); ``opt_level`` (0/1/2) or a full
     :class:`~repro.planner.PassConfig` picks its passes.
     """
+    storage_catalog = None
+    if not isinstance(catalog, Catalog):
+        # workspace path: schema from the manifest, data from disk,
+        # statistics from the persisted catalog
+        workspace = catalog
+        storage_catalog = workspace
+        catalog = catalog_for_workspace(workspace)
+        if database is None:
+            database = workspace.database()
+    if database is None:
+        raise TypeError("run_sql needs a database mapping when the "
+                        "catalog is not a workspace")
     compiled = compile_sql(text, catalog, governor=governor)
     result = evaluate(compiled.expr, database, governor=governor,
                       engine=engine, workers=workers,
-                      opt_level=opt_level, config=config)
+                      opt_level=opt_level, config=config,
+                      catalog=storage_catalog, feedback=feedback)
     if compiled.columns == ("count",):
         return [(bag_as_int(result),)]
     rows = [tuple(entry.items()) for entry in result.elements()]

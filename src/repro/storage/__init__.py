@@ -1,0 +1,39 @@
+"""``repro.storage`` — persistent workspaces and the statistics catalog.
+
+The layer under everything that used to fake its data: named on-disk
+collections of relations (:class:`Workspace`), typed CSV/JSON loaders
+and seeded synthetic generators (:mod:`repro.storage.generate`), and a
+persisted per-relation statistics catalog (:class:`Catalog`) that the
+planner consults instead of re-scanning bound bags.
+
+Usage::
+
+    from repro.storage import Workspace, RelationSpec
+
+    ws = Workspace.create("ws/orders")
+    ws.generate([RelationSpec("R", rows=1000, skew="zipfian")], seed=7)
+    ws.analyze()                                  # the one full scan
+    result = evaluate(expr, ws.database(), catalog=ws)   # zero scans
+
+CLI: ``python -m repro workspace create|load|analyze|ls`` and the
+REPL's ``:workspace`` command.  See ``docs/storage.md``.
+"""
+
+from repro.storage.catalog import (
+    Catalog, ColumnStats, PlannerStats, RelationEntry,
+)
+from repro.storage.generate import (
+    DEFAULT_SPECS, RelationSpec, parse_relation_spec, synthesize_bag,
+)
+from repro.storage.loaders import (
+    ColumnSpec, load_csv, load_json, parse_columns,
+)
+from repro.storage.workspace import FORMAT_VERSION, Workspace
+
+__all__ = [
+    "Workspace", "FORMAT_VERSION",
+    "Catalog", "RelationEntry", "ColumnStats", "PlannerStats",
+    "RelationSpec", "synthesize_bag", "parse_relation_spec",
+    "DEFAULT_SPECS",
+    "ColumnSpec", "parse_columns", "load_csv", "load_json",
+]

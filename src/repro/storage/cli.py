@@ -1,0 +1,146 @@
+"""``python -m repro workspace ...`` — the storage subcommands.
+
+::
+
+    python -m repro workspace create DIR --seed 7 \
+        --relations "R:rows=1000,arity=2,skew=zipfian,s=1.3"
+    python -m repro workspace load DIR --csv R=data.csv \
+        --columns R=id:int,name:str
+    python -m repro workspace analyze DIR
+    python -m repro workspace ls DIR
+
+``create`` synthesizes seeded relations (defaults to the two-relation
+uniform+zipfian starter set) and runs ANALYZE unless ``--no-analyze``;
+``load`` ingests CSV/JSON files with typed column schemas; ``analyze``
+refreshes the catalog; ``ls`` prints the catalog's view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.errors import ReproError
+from repro.storage.generate import DEFAULT_SPECS, parse_relation_spec
+from repro.storage.loaders import parse_columns
+from repro.storage.workspace import Workspace
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro workspace",
+        description="persistent workspaces + statistics catalog")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    create = sub.add_parser("create", help="create a workspace with "
+                            "seeded synthetic relations")
+    create.add_argument("dir", help="workspace directory")
+    create.add_argument("--name", default=None)
+    create.add_argument("--seed", type=int, default=0)
+    create.add_argument(
+        "--relations", action="append", default=[],
+        metavar="SPEC",
+        help="relation spec, e.g. "
+             "'R:rows=1000,arity=2,distinct=100,skew=zipfian,s=1.3' "
+             "(repeatable; default: a uniform R + zipfian S pair)")
+    create.add_argument("--no-analyze", action="store_true",
+                        help="skip the ANALYZE pass after generation")
+
+    load = sub.add_parser("load", help="ingest CSV/JSON relations")
+    load.add_argument("dir")
+    load.add_argument("--csv", action="append", default=[],
+                      metavar="NAME=PATH")
+    load.add_argument("--json", action="append", default=[],
+                      metavar="NAME=PATH")
+    load.add_argument("--columns", action="append", default=[],
+                      metavar="NAME=COLSPEC",
+                      help="typed columns for a --csv relation, e.g. "
+                           "'R=id:int,name:str'")
+    load.add_argument("--no-analyze", action="store_true")
+
+    analyze = sub.add_parser("analyze",
+                             help="refresh catalog statistics")
+    analyze.add_argument("dir")
+    analyze.add_argument("names", nargs="*",
+                         help="relations to analyze (default: all)")
+
+    ls = sub.add_parser("ls", help="show the catalog's view")
+    ls.add_argument("dir")
+    return parser
+
+
+def _split_assignment(text: str, flag: str):
+    name, sep, value = text.partition("=")
+    if not sep or not name or not value:
+        raise ReproError(f"{flag} expects NAME=VALUE, got {text!r}")
+    return name, value
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "create":
+        workspace = Workspace.create(args.dir, name=args.name)
+        specs = ([parse_relation_spec(text)
+                  for text in args.relations]
+                 if args.relations else list(DEFAULT_SPECS))
+        workspace.generate(specs, seed=args.seed)
+        if not args.no_analyze:
+            workspace.analyze()
+        print(workspace.describe())
+        return 0
+    if args.command == "load":
+        workspace = (Workspace.open(args.dir)
+                     if _is_workspace(args.dir)
+                     else Workspace.create(args.dir))
+        columns = {}
+        for text in args.columns:
+            name, spec = _split_assignment(text, "--columns")
+            columns[name] = parse_columns(spec)
+        loaded = []
+        for text in args.csv:
+            name, path = _split_assignment(text, "--csv")
+            workspace.import_csv(name, path,
+                                 columns=columns.get(name))
+            loaded.append(name)
+        for text in args.json:
+            name, path = _split_assignment(text, "--json")
+            workspace.import_json(name, path)
+            loaded.append(name)
+        if not loaded:
+            print("error: nothing to load (use --csv/--json)",
+                  file=sys.stderr)
+            return 2
+        if not args.no_analyze:
+            workspace.analyze(loaded)
+        print(workspace.describe())
+        return 0
+    if args.command == "analyze":
+        workspace = Workspace.open(args.dir)
+        workspace.analyze(args.names if args.names else None)
+        print(workspace.describe())
+        return 0
+    if args.command == "ls":
+        workspace = Workspace.open(args.dir)
+        print(workspace.describe())
+        return 0
+    raise ReproError(f"unknown workspace command {args.command!r}")
+
+
+def _is_workspace(path: str) -> bool:
+    import os
+    return os.path.exists(os.path.join(path, "workspace.json"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""Seeded synthetic relation generators for workspaces.
+
+The estimator-honesty and plan-quality experiments need data whose
+*multiplicity distribution* is controlled: bag statistics only diverge
+from set statistics when duplicates are plentiful and skewed
+(cardinality-with-duplicates vs. distinct count, PAPER.md §3).  A
+:class:`RelationSpec` describes one relation — total rows, tuple
+arity, distinct-element count, per-column domain width, and the
+multiplicity skew:
+
+* ``uniform`` — every distinct tuple gets ``rows / distinct`` copies
+  (remainder spread over the first ranks);
+* ``zipfian`` — rank ``r`` (1-based) gets weight ``1 / r**s``, scaled
+  to the requested total with largest-remainder rounding so the row
+  count is hit *exactly* (the q-error tests depend on exact totals).
+
+Everything is driven by one :class:`random.Random` seeded from the
+caller's seed plus a CRC of the relation name (never the salted
+built-in ``hash``), so the same seed reproduces the same bag in any
+process — the workspace round-trip test pins byte-identical files.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError
+
+__all__ = ["RelationSpec", "synthesize_bag", "parse_relation_spec",
+           "DEFAULT_SPECS"]
+
+_SKEWS = ("uniform", "zipfian")
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """One synthetic relation: shape, scale, and multiplicity skew."""
+
+    name: str
+    rows: int = 256
+    arity: int = 2
+    distinct: Optional[int] = None      # default: rows // 4, >= 1
+    domain: Optional[int] = None        # per-column value count
+    skew: str = "uniform"
+    zipf_s: float = 1.2
+
+    def __post_init__(self):
+        if self.rows < 0 or self.arity < 1:
+            raise BagTypeError("relation spec needs rows >= 0 and "
+                               "arity >= 1")
+        if self.skew not in _SKEWS:
+            raise BagTypeError(
+                f"unknown skew {self.skew!r} (choices: {_SKEWS})")
+        if self.zipf_s <= 0:
+            raise BagTypeError("zipf_s must be positive")
+
+    @property
+    def resolved_distinct(self) -> int:
+        if self.rows == 0:
+            return 0
+        if self.distinct is not None:
+            return max(1, min(self.distinct, self.rows))
+        return max(1, self.rows // 4)
+
+    @property
+    def resolved_domain(self) -> int:
+        if self.domain is not None:
+            return max(2, self.domain)
+        # wide enough that `distinct` different tuples exist, narrow
+        # enough that equality predicates and joins actually select
+        need = max(2, self.resolved_distinct)
+        width = 2
+        while width ** self.arity < 4 * need:
+            width += 1
+        return width
+
+
+def synthesize_bag(spec: RelationSpec, seed: int) -> Bag:
+    """The relation a spec describes, deterministically from a seed."""
+    distinct = spec.resolved_distinct
+    if distinct == 0:
+        return Bag()
+    rng = Random((int(seed) << 32)
+                 ^ zlib.crc32(spec.name.encode("utf-8")))
+    tuples = _distinct_tuples(rng, distinct, spec.arity,
+                              spec.resolved_domain)
+    multiplicities = _multiplicities(len(tuples), spec.rows, spec.skew,
+                                     spec.zipf_s)
+    return Bag.from_counts(dict(zip(tuples, multiplicities)))
+
+
+def _distinct_tuples(rng: Random, count: int, arity: int,
+                     domain: int) -> List[Tup]:
+    """``count`` distinct tuples over ``[0, domain)`` columns, in
+    generation order (rank order for the skew assignment)."""
+    space = domain ** arity
+    if count > space:
+        count = space
+    seen: Dict[Tup, bool] = {}
+    out: List[Tup] = []
+    while len(out) < count:
+        candidate = Tup(*(rng.randrange(domain) for _ in range(arity)))
+        if candidate not in seen:
+            seen[candidate] = True
+            out.append(candidate)
+    return out
+
+
+def _multiplicities(distinct: int, total: int, skew: str,
+                    s: float) -> List[int]:
+    """Positive multiplicities summing to exactly ``total`` (when
+    ``total >= distinct``; fewer rows than ranks drops the tail)."""
+    if distinct == 0 or total == 0:
+        return []
+    if total < distinct:
+        return [1] * total
+    if skew == "uniform":
+        base, remainder = divmod(total, distinct)
+        return [base + (1 if rank < remainder else 0)
+                for rank in range(distinct)]
+    # zipfian: weight 1/r^s, floor the scaled weights (at least one
+    # copy each), then hand the leftover rows to the largest
+    # fractional remainders — deterministic, exact total
+    weights = [1.0 / ((rank + 1) ** s) for rank in range(distinct)]
+    scale = total / sum(weights)
+    shares = [weight * scale for weight in weights]
+    counts = [max(1, int(share)) for share in shares]
+    leftover = total - sum(counts)
+    if leftover < 0:  # the max(1, ...) floor overshot: shave the tail
+        for rank in range(distinct - 1, -1, -1):
+            if leftover == 0:
+                break
+            give = min(counts[rank] - 1, -leftover)
+            counts[rank] -= give
+            leftover += give
+    elif leftover > 0:
+        remainders = sorted(
+            range(distinct),
+            key=lambda rank: (-(shares[rank] - int(shares[rank])),
+                              rank))
+        for rank in remainders[:leftover]:
+            counts[rank] += 1
+        leftover = 0
+    return counts
+
+
+def parse_relation_spec(text: str) -> RelationSpec:
+    """Parse a CLI relation spec like
+    ``"R:rows=1000,arity=2,distinct=100,skew=zipfian,s=1.3"``."""
+    name, _, rest = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise BagTypeError(f"relation spec {text!r} needs a name")
+    fields = {}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        fields[key.strip()] = value.strip()
+    kwargs = {}
+    for key in ("rows", "arity", "distinct", "domain"):
+        if key in fields:
+            kwargs[key] = int(fields.pop(key))
+    if "skew" in fields:
+        kwargs["skew"] = fields.pop("skew")
+    if "s" in fields:
+        kwargs["zipf_s"] = float(fields.pop("s"))
+    if fields:
+        raise BagTypeError(
+            f"unknown relation-spec fields {sorted(fields)!r}")
+    return RelationSpec(name=name, **kwargs)
+
+
+#: What ``workspace create`` builds when no --relations are given:
+#: one uniform and one zipfian relation sharing a joinable domain.
+DEFAULT_SPECS: Tuple[RelationSpec, ...] = (
+    RelationSpec("R", rows=512, arity=2, distinct=128, domain=16,
+                 skew="uniform"),
+    RelationSpec("S", rows=512, arity=2, distinct=64, domain=16,
+                 skew="zipfian", zipf_s=1.3),
+)

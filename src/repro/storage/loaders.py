@@ -1,0 +1,187 @@
+"""Typed loaders and the on-disk value encoding of workspaces.
+
+Relations on disk are JSON documents holding ``(value, count)`` pairs
+in canonical order.  The encoding is the minimal bijection between the
+complex-object fragment workspaces support and JSON:
+
+* atoms (``str`` / ``int`` / ``float`` / ``bool``) encode as
+  themselves;
+* :class:`~repro.core.bag.Tup` encodes as a JSON array of encoded
+  attributes;
+* a nested :class:`~repro.core.bag.Bag` encodes as
+  ``{"bag": [[encoded, count], ...]}`` (canonically ordered), so
+  nest/powerset outputs can round-trip too.
+
+CSV is the typed front door for external data: a
+:class:`ColumnSpec` list says how to parse each column, duplicates in
+the file accumulate multiplicity (CSV rows are a bag, not a set).
+JSON input accepts either the workspace's own ``{"rows": [[value,
+count], ...]}`` shape or a bare array of rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.bag import Bag, Tup, canonical_key
+from repro.core.errors import BagTypeError
+
+__all__ = ["ColumnSpec", "parse_columns", "load_csv", "load_json",
+           "encode_value", "decode_value", "encode_rows",
+           "decode_rows"]
+
+#: Column type name -> parser for CSV cells.
+_PARSERS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": lambda text: text.strip().lower() in ("1", "true", "t",
+                                                  "yes"),
+}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One typed column of a loaded relation."""
+
+    name: str
+    type: str = "str"
+
+    def __post_init__(self):
+        if self.type not in _PARSERS:
+            raise BagTypeError(
+                f"unknown column type {self.type!r} "
+                f"(choices: {sorted(_PARSERS)})")
+
+    def parse(self, text: str) -> Any:
+        return _PARSERS[self.type](text)
+
+
+def parse_columns(spec: str) -> Tuple[ColumnSpec, ...]:
+    """Parse ``"id:int,name:str"`` into column specs (type defaults
+    to ``str``)."""
+    columns: List[ColumnSpec] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            name, type_name = part.split(":", 1)
+            columns.append(ColumnSpec(name.strip(), type_name.strip()))
+        else:
+            columns.append(ColumnSpec(part))
+    if not columns:
+        raise BagTypeError(f"no columns in spec {spec!r}")
+    return tuple(columns)
+
+
+# ----------------------------------------------------------------------
+# Value encoding (complex object <-> JSON)
+# ----------------------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """Encode one complex object into its JSON form."""
+    if isinstance(value, Tup):
+        return [encode_value(item) for item in value.items()]
+    if isinstance(value, Bag):
+        return {"bag": encode_rows(value)}
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    raise BagTypeError(
+        f"cannot persist value of type {type(value).__name__}")
+
+
+def decode_value(encoded: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(encoded, list):
+        return Tup(*(decode_value(item) for item in encoded))
+    if isinstance(encoded, dict):
+        if set(encoded) != {"bag"}:
+            raise BagTypeError(
+                f"malformed encoded value: {sorted(encoded)!r}")
+        return decode_rows(encoded["bag"])
+    if isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    raise BagTypeError(
+        f"cannot decode value of type {type(encoded).__name__}")
+
+
+def encode_rows(bag: Bag) -> List[List[Any]]:
+    """A bag as a canonically-ordered ``[[value, count], ...]`` list —
+    the ordering (not insertion order) is what makes same-seed
+    workspaces byte-identical."""
+    ordered = sorted(bag.items(), key=lambda pair: canonical_key(pair[0]))
+    return [[encode_value(value), count] for value, count in ordered]
+
+
+def decode_rows(rows: Iterable[Sequence[Any]]) -> Bag:
+    counts = {}
+    for entry in rows:
+        if len(entry) != 2:
+            raise BagTypeError(f"malformed row entry {entry!r}")
+        encoded, count = entry
+        value = decode_value(encoded)
+        counts[value] = counts.get(value, 0) + int(count)
+    return Bag.from_counts(counts)
+
+
+# ----------------------------------------------------------------------
+# File loaders
+# ----------------------------------------------------------------------
+
+def load_csv(path: str, columns: Optional[Sequence[ColumnSpec]] = None,
+             delimiter: str = ",", header: Optional[bool] = None
+             ) -> Tuple[Bag, Tuple[ColumnSpec, ...]]:
+    """Load a CSV file into a bag of tuples.
+
+    Without explicit ``columns`` the first row is taken as a header of
+    ``str``-typed column names; with them, ``header`` controls whether
+    a first row is skipped (default: no).  Duplicate rows accumulate
+    multiplicity.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if columns is None:
+        if not rows:
+            raise BagTypeError(f"empty CSV file {path!r} needs "
+                               "explicit columns")
+        columns = tuple(ColumnSpec(name.strip()) for name in rows[0])
+        rows = rows[1:]
+    else:
+        columns = tuple(columns)
+        if header:
+            rows = rows[1:]
+    counts = {}
+    for line, row in enumerate(rows, start=1):
+        if not row:
+            continue
+        if len(row) != len(columns):
+            raise BagTypeError(
+                f"{path}:{line}: expected {len(columns)} columns, "
+                f"got {len(row)}")
+        value = Tup(*(spec.parse(cell)
+                      for spec, cell in zip(columns, row)))
+        counts[value] = counts.get(value, 0) + 1
+    return Bag.from_counts(counts), columns
+
+
+def load_json(path: str) -> Bag:
+    """Load a JSON relation: the workspace's ``{"rows": [[value,
+    count], ...]}`` shape, or a bare array of rows (each row a scalar
+    atom or an array-encoded tuple, multiplicity one each)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and "rows" in document:
+        return decode_rows(document["rows"])
+    if isinstance(document, list):
+        counts = {}
+        for entry in document:
+            value = decode_value(entry)
+            counts[value] = counts.get(value, 0) + 1
+        return Bag.from_counts(counts)
+    raise BagTypeError(
+        f"{path}: expected a rows document or an array of rows")

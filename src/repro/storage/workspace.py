@@ -1,0 +1,253 @@
+"""Workspaces: named on-disk collections of relations + their catalog.
+
+A workspace is one directory::
+
+    <root>/
+      workspace.json            # manifest: format, name, relation files
+      catalog.json              # the statistics catalog (after ANALYZE)
+      relations/<name>.json     # canonical {"rows": [[value, count]]}
+
+Every file is sorted, canonical JSON with no timestamps, so the same
+seed produces *byte-identical* workspaces (pinned by
+``tests/test_storage.py``) and reruns are diffable.  Relations load
+lazily and cache in memory; ``analyze()`` is the one deliberate
+full-scan pass, refreshing the catalog and persisting it.
+
+The workspace is what the execution entry points accept as a
+``catalog=`` argument — it forwards the planner protocol
+(``planner_stats`` / ``selectivity_oracle``) to its catalog, so
+``PlanContext.capture`` compiles against persisted statistics without
+touching the bound bags.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.bag import Bag
+from repro.core.errors import BagTypeError
+from repro.storage.catalog import Catalog, PlannerStats, RelationEntry
+from repro.storage.generate import RelationSpec, synthesize_bag
+from repro.storage.loaders import (
+    ColumnSpec, decode_rows, encode_rows, load_csv, load_json,
+)
+
+__all__ = ["Workspace", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+_MANIFEST = "workspace.json"
+_CATALOG = "catalog.json"
+_RELATION_DIR = "relations"
+
+
+def _dump(document: Any, path: str) -> None:
+    rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+
+
+def _load(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class Workspace:
+    """One on-disk workspace; create with :meth:`create` or attach to
+    an existing directory with :meth:`open`."""
+
+    def __init__(self, root: str, manifest: Dict[str, Any],
+                 catalog: Catalog):
+        self.root = os.path.abspath(root)
+        self._manifest = manifest
+        self._catalog = catalog
+        self._bags: Dict[str, Bag] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str,
+               name: Optional[str] = None) -> "Workspace":
+        """Initialise an empty workspace directory (idempotent on an
+        empty or not-yet-workspace directory; refuses to clobber an
+        existing manifest)."""
+        root = os.path.abspath(root)
+        manifest_path = os.path.join(root, _MANIFEST)
+        if os.path.exists(manifest_path):
+            raise BagTypeError(
+                f"{root} already holds a workspace; open it instead")
+        os.makedirs(os.path.join(root, _RELATION_DIR), exist_ok=True)
+        manifest = {
+            "format": FORMAT_VERSION,
+            "name": name if name else os.path.basename(root),
+            "relations": {},
+        }
+        workspace = cls(root, manifest, Catalog())
+        workspace._save_manifest()
+        return workspace
+
+    @classmethod
+    def open(cls, root: str) -> "Workspace":
+        root = os.path.abspath(root)
+        manifest_path = os.path.join(root, _MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise BagTypeError(f"{root} is not a workspace "
+                               f"(no {_MANIFEST})")
+        manifest = _load(manifest_path)
+        if manifest.get("format") != FORMAT_VERSION:
+            raise BagTypeError(
+                f"workspace format {manifest.get('format')!r} "
+                f"unsupported (this build reads {FORMAT_VERSION})")
+        catalog_path = os.path.join(root, _CATALOG)
+        catalog = (Catalog.from_document(_load(catalog_path))
+                   if os.path.exists(catalog_path) else Catalog())
+        return cls(root, manifest, catalog)
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._manifest["name"]
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._manifest["relations"]))
+
+    # -- relations ------------------------------------------------------
+
+    def save_relation(self, name: str, bag: Bag,
+                      columns: Optional[Sequence[ColumnSpec]] = None
+                      ) -> None:
+        """Persist one relation (canonical row order) and record it in
+        the manifest.  Statistics are *not* refreshed — run
+        :meth:`analyze`."""
+        if not name or "/" in name or name.startswith("."):
+            raise BagTypeError(f"bad relation name {name!r}")
+        path = os.path.join(self.root, _RELATION_DIR, f"{name}.json")
+        _dump({"name": name, "rows": encode_rows(bag)}, path)
+        self._manifest["relations"][name] = {
+            "file": f"{_RELATION_DIR}/{name}.json",
+            "columns": ([[spec.name, spec.type] for spec in columns]
+                        if columns else None),
+        }
+        self._bags[name] = bag
+        self._save_manifest()
+
+    def load_relation(self, name: str) -> Bag:
+        cached = self._bags.get(name)
+        if cached is not None:
+            return cached
+        meta = self._manifest["relations"].get(name)
+        if meta is None:
+            raise BagTypeError(f"workspace {self.name!r} has no "
+                               f"relation {name!r}")
+        document = _load(os.path.join(self.root, meta["file"]))
+        bag = decode_rows(document["rows"])
+        self._bags[name] = bag
+        return bag
+
+    def columns_of(self, name: str) -> Optional[Tuple[ColumnSpec, ...]]:
+        meta = self._manifest["relations"].get(name)
+        if meta is None or not meta.get("columns"):
+            return None
+        return tuple(ColumnSpec(cname, ctype)
+                     for cname, ctype in meta["columns"])
+
+    def database(self) -> Dict[str, Bag]:
+        """All relations as a bindings mapping, ready for
+        ``evaluate(expr, workspace.database(), catalog=workspace)``."""
+        return {name: self.load_relation(name)
+                for name in self.relation_names()}
+
+    # -- ingestion ------------------------------------------------------
+
+    def import_csv(self, name: str, path: str,
+                   columns: Optional[Sequence[ColumnSpec]] = None,
+                   delimiter: str = ",",
+                   header: Optional[bool] = None) -> Bag:
+        bag, resolved = load_csv(path, columns=columns,
+                                 delimiter=delimiter, header=header)
+        self.save_relation(name, bag, columns=resolved)
+        return bag
+
+    def import_json(self, name: str, path: str) -> Bag:
+        bag = load_json(path)
+        self.save_relation(name, bag)
+        return bag
+
+    def generate(self, specs: Sequence[RelationSpec],
+                 seed: int) -> Dict[str, Bag]:
+        """Synthesize and persist one bag per spec (see
+        :mod:`repro.storage.generate`)."""
+        out = {}
+        for spec in specs:
+            bag = synthesize_bag(spec, seed)
+            self.save_relation(spec.name, bag)
+            out[spec.name] = bag
+        return out
+
+    # -- statistics -----------------------------------------------------
+
+    def analyze(self, names: Optional[Sequence[str]] = None
+                ) -> Tuple[RelationEntry, ...]:
+        """ANALYZE: scan the named relations (default all), refresh
+        the catalog, persist it."""
+        targets = (tuple(names) if names is not None
+                   else self.relation_names())
+        entries = []
+        for name in targets:
+            bag = self.load_relation(name)
+            entries.append(self._catalog.analyze_bag(
+                name, bag, columns=self.columns_of(name)))
+        self.save_catalog()
+        return tuple(entries)
+
+    def save_catalog(self) -> None:
+        _dump(self._catalog.to_document(),
+              os.path.join(self.root, _CATALOG))
+
+    def absorb_feedback(self, observed: Mapping[str, float],
+                        **kwargs) -> List[str]:
+        """Catalog feedback absorption + persistence; returns the
+        updated relation names (see :meth:`Catalog.absorb`)."""
+        updated = self._catalog.absorb(observed, **kwargs)
+        if updated:
+            self.save_catalog()
+        return updated
+
+    # -- planner protocol (forwarded to the catalog) --------------------
+
+    def planner_stats(self, name: str) -> Optional[PlannerStats]:
+        return self._catalog.planner_stats(name)
+
+    def selectivity_oracle(self):
+        return self._catalog.selectivity_oracle()
+
+    # -- reporting ------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"workspace {self.name}  ({self.root})"]
+        for name in self.relation_names():
+            entry = self._catalog.get(name)
+            if entry is None:
+                lines.append(f"  {name}: not analyzed")
+                continue
+            arity = entry.arity if entry.arity is not None else "?"
+            lines.append(
+                f"  {name}: card {entry.cardinality:g}, distinct "
+                f"{entry.distinct:g}, arity {arity}, "
+                f"epoch {entry.epoch}")
+        return "\n".join(lines)
+
+    # -- internals ------------------------------------------------------
+
+    def _save_manifest(self) -> None:
+        _dump(self._manifest, os.path.join(self.root, _MANIFEST))
+
+    def __repr__(self) -> str:
+        return (f"Workspace({self.name!r}, "
+                f"{len(self._manifest['relations'])} relations)")

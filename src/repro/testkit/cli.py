@@ -61,6 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: tests/corpus)")
     parser.add_argument("--size", type=int, default=14,
                         help="expression size budget (default: 14)")
+    parser.add_argument("--workspace", default=None, metavar="DIR",
+                        help="fuzz against a persisted workspace: "
+                             "case databases come from the relation "
+                             "files round-tripped through DIR (a "
+                             "seeded workspace is synthesized there "
+                             "when empty) and the engines compile "
+                             "against its statistics catalog")
     parser.add_argument("--max-steps", type=int,
                         default=DEFAULT_LIMITS.max_steps)
     parser.add_argument("--max-size", type=int,
@@ -92,9 +99,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     powerset_budget=arguments.powerset_budget,
                     timeout=arguments.timeout,
                     max_depth=DEFAULT_LIMITS.max_depth)
+    workspace = None
+    if arguments.workspace is not None:
+        from repro.testkit.wsdiff import seeded_workspace
+        workspace = seeded_workspace(arguments.workspace, seed)
     try:
         harness = Harness(backends=backends, limits=limits,
-                          metamorphic=not arguments.no_metamorphic)
+                          metamorphic=not arguments.no_metamorphic,
+                          catalog=workspace)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -103,9 +115,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     summary = RunSummary()
     failures = 0
     for index in range(arguments.cases):
-        case = generate_case(seed, index,
-                             fragment=arguments.fragment,
-                             size=arguments.size)
+        if workspace is not None:
+            from repro.testkit.wsdiff import workspace_case
+            case = workspace_case(workspace, seed, index)
+        else:
+            case = generate_case(seed, index,
+                                 fragment=arguments.fragment,
+                                 size=arguments.size)
         report = harness.run_case(case)
         summary.absorb(report)
         if not arguments.quiet and (index + 1) % 50 == 0:
@@ -129,7 +145,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "detail": first.detail[:500],
                   "found_by": (f"repro fuzz --seed {seed} "
                                f"--fragment {arguments.fragment} "
-                               f"--size {arguments.size}")})
+                               f"--size {arguments.size}"
+                               + (f" --workspace {arguments.workspace}"
+                                  if workspace is not None else ""))})
         print(f"  minimized repro saved to {path}", file=out)
     print(f"fuzz: {summary.describe()}", file=out)
     if failures:

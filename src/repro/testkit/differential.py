@@ -207,7 +207,8 @@ class Harness:
                  limits: Optional[Limits] = None,
                  metamorphic: bool = True,
                  cache_capacity: int = 128,
-                 faults=None):
+                 faults=None,
+                 catalog=None):
         known = set(DEFAULT_BACKENDS) | set(EXTRA_BACKENDS)
         unknown = set(backends) - known
         if unknown:
@@ -218,6 +219,12 @@ class Harness:
         self.limits = limits if limits is not None else DEFAULT_LIMITS
         self.metamorphic = metamorphic
         self.faults = faults
+        #: Optional statistics catalog (a
+        #: :class:`~repro.storage.Workspace` in the workspace fuzz
+        #: mode): the engine backends compile against it, so the
+        #: statistics-driven planner paths — selectivity oracle,
+        #: catalog-tagged plan-cache keys — are on trial too.
+        self.catalog = catalog
         self.cache = PlanCache(capacity=cache_capacity)
 
     # -- running ---------------------------------------------------------
@@ -252,14 +259,16 @@ class Harness:
             elif backend == "engine":
                 value = engine_evaluate(
                     case.expr, case.database, cache=None,
-                    governor=self.governor())
+                    governor=self.governor(), catalog=self.catalog)
             elif backend == "engine-warm":
                 engine_evaluate(case.expr, case.database,
                                 cache=self.cache,
-                                governor=self.governor())
+                                governor=self.governor(),
+                                catalog=self.catalog)
                 value = engine_evaluate(case.expr, case.database,
                                         cache=self.cache,
-                                        governor=self.governor())
+                                        governor=self.governor(),
+                                        catalog=self.catalog)
             elif backend == "engine-parallel":
                 # threshold 0 forces exchanges wherever a segment
                 # compiles, so even tiny fuzz bags exercise the
@@ -267,7 +276,8 @@ class Harness:
                 value = engine_evaluate(
                     case.expr, case.database, cache=None,
                     governor=self.governor(), engine="parallel",
-                    workers=2, parallel_threshold=0.0)
+                    workers=2, parallel_threshold=0.0,
+                    catalog=self.catalog)
             elif backend == "engine-chaos":
                 # the parallel executor with seeded worker crashes
                 # injected: the resilience layer must absorb them
@@ -278,15 +288,18 @@ class Harness:
                     case.expr, case.database, cache=None,
                     governor=self.governor(), engine="parallel",
                     workers=2, parallel_threshold=0.0,
-                    resilience=self._chaos_resilience(case))
+                    resilience=self._chaos_resilience(case),
+                    catalog=self.catalog)
             elif backend == "engine-opt0":
                 value = engine_evaluate(
                     case.expr, case.database, cache=None,
-                    governor=self.governor(), opt_level=0)
+                    governor=self.governor(), opt_level=0,
+                    catalog=self.catalog)
             elif backend == "engine-opt2":
                 value = engine_evaluate(
                     case.expr, case.database, cache=None,
-                    governor=self.governor(), opt_level=2)
+                    governor=self.governor(), opt_level=2,
+                    catalog=self.catalog)
             elif backend == "optimized":
                 rewritten = planner_compile(
                     case.expr,

@@ -1,0 +1,455 @@
+"""The storage layer: loaders, generators, catalog, workspaces.
+
+Covers the persistence half of the subsystem — the planner-facing
+half (zero-scan compiles, selectivity, estimator honesty, plan
+shapes, feedback) lives in ``tests/test_storage_planner.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError
+from repro.core.eval import evaluate as oracle_evaluate
+from repro.engine import EngineStats, evaluate as engine_evaluate
+from repro.sql import Catalog as SqlCatalog, run_sql
+from repro.storage import (
+    Catalog, ColumnSpec, RelationSpec, Workspace, load_csv, load_json,
+    parse_columns, parse_relation_spec, synthesize_bag,
+)
+from repro.storage.catalog import ColumnStats, MCV_KEEP
+from repro.storage.cli import main as workspace_main
+from repro.storage.loaders import decode_rows, decode_value, \
+    encode_rows, encode_value
+from repro.core.expr import var
+
+
+# ----------------------------------------------------------------------
+# Value encoding and loaders
+# ----------------------------------------------------------------------
+
+def test_encode_decode_value_round_trip():
+    nested = Bag.from_counts({Tup(1, "x"): 2, Tup(2, "y"): 1})
+    value = Tup(3, nested, "atom", True)
+    assert decode_value(encode_value(value)) == value
+
+
+def test_encode_rows_is_canonically_ordered():
+    bag = Bag.from_counts({Tup(2, "b"): 1, Tup(1, "a"): 3})
+    rows = encode_rows(bag)
+    assert rows == [[[1, "a"], 3], [[2, "b"], 1]]
+    assert decode_rows(rows) == bag
+
+
+def test_encode_value_rejects_unencodable():
+    with pytest.raises(BagTypeError):
+        encode_value(object())
+
+
+def test_parse_columns():
+    specs = parse_columns("id:int, name:str, score:float, ok:bool")
+    assert [spec.name for spec in specs] == ["id", "name", "score",
+                                            "ok"]
+    assert specs[0].parse("7") == 7
+    assert specs[2].parse("1.5") == 1.5
+    assert specs[3].parse("true") is True
+    assert specs[3].parse("no") is False
+    with pytest.raises(BagTypeError):
+        ColumnSpec("x", "decimal")
+
+
+def test_load_csv_typed_with_duplicates(tmp_path):
+    path = tmp_path / "r.csv"
+    path.write_text("1,a\n1,a\n2,b\n", encoding="utf-8")
+    bag, columns = load_csv(str(path),
+                            columns=parse_columns("id:int,tag:str"))
+    assert bag == Bag.from_counts({Tup(1, "a"): 2, Tup(2, "b"): 1})
+    assert [spec.type for spec in columns] == ["int", "str"]
+
+
+def test_load_csv_header_inference(tmp_path):
+    path = tmp_path / "r.csv"
+    path.write_text("id,tag\n1,a\n2,b\n", encoding="utf-8")
+    bag, columns = load_csv(str(path))
+    # without explicit specs every cell stays a string
+    assert bag == Bag.from_counts({Tup("1", "a"): 1, Tup("2", "b"): 1})
+    assert [spec.name for spec in columns] == ["id", "tag"]
+
+
+def test_load_csv_ragged_row_is_an_error(tmp_path):
+    path = tmp_path / "r.csv"
+    path.write_text("1,a\n2\n", encoding="utf-8")
+    with pytest.raises(BagTypeError):
+        load_csv(str(path), columns=parse_columns("id:int,tag:str"))
+
+
+def test_load_json_both_shapes(tmp_path):
+    counted = tmp_path / "counted.json"
+    counted.write_text(json.dumps({"rows": [[[1, "a"], 2]]}),
+                       encoding="utf-8")
+    assert load_json(str(counted)) == Bag.from_counts(
+        {Tup(1, "a"): 2})
+    bare = tmp_path / "bare.json"
+    bare.write_text(json.dumps([[1, "a"], [1, "a"], [2, "b"]]),
+                    encoding="utf-8")
+    assert load_json(str(bare)) == Bag.from_counts(
+        {Tup(1, "a"): 2, Tup(2, "b"): 1})
+
+
+# ----------------------------------------------------------------------
+# Synthetic generators
+# ----------------------------------------------------------------------
+
+def test_synthesize_exact_totals_and_distinct():
+    for skew in ("uniform", "zipfian"):
+        spec = RelationSpec("R", rows=1000, arity=2, distinct=100,
+                            skew=skew)
+        bag = synthesize_bag(spec, seed=5)
+        assert bag.cardinality == 1000
+        assert bag.distinct_count == 100
+        assert all(t.arity == 2 for t in bag.distinct())
+
+
+def test_synthesize_zipfian_is_skewed():
+    spec = RelationSpec("R", rows=1000, arity=1, distinct=50,
+                        skew="zipfian", zipf_s=1.3)
+    counts = sorted((count for _, count in
+                     synthesize_bag(spec, seed=1).items()),
+                    reverse=True)
+    # the head rank dominates, the tail sits at the floor
+    assert counts[0] > 5 * counts[-1]
+    assert counts[-1] >= 1
+
+
+def test_synthesize_same_seed_same_bag_different_seed_differs():
+    spec = RelationSpec("R", rows=200, arity=2, distinct=40,
+                        skew="zipfian")
+    assert synthesize_bag(spec, 9) == synthesize_bag(spec, 9)
+    assert synthesize_bag(spec, 9) != synthesize_bag(spec, 10)
+
+
+def test_synthesize_name_decorrelates_streams():
+    base = RelationSpec("R", rows=100, arity=2, distinct=25)
+    other = RelationSpec("S", rows=100, arity=2, distinct=25)
+    assert synthesize_bag(base, 3) != synthesize_bag(other, 3)
+
+
+def test_parse_relation_spec():
+    spec = parse_relation_spec(
+        "R:rows=1000,arity=3,distinct=100,skew=zipfian,s=1.5")
+    assert spec == RelationSpec("R", rows=1000, arity=3, distinct=100,
+                                skew="zipfian", zipf_s=1.5)
+    with pytest.raises(BagTypeError):
+        parse_relation_spec("R:rows=10,skew=gauss")
+
+
+# ----------------------------------------------------------------------
+# Catalog statistics
+# ----------------------------------------------------------------------
+
+def _skewed_bag():
+    return Bag.from_counts({Tup(1, "a"): 6, Tup(1, "b"): 2,
+                            Tup(2, "b"): 1, Tup(3, "c"): 1})
+
+
+def test_analyze_bag_statistics():
+    catalog = Catalog()
+    entry = catalog.analyze_bag("R", _skewed_bag())
+    assert entry.cardinality == 10.0
+    assert entry.distinct == 4.0
+    assert entry.arity == 2
+    assert entry.epoch == 1
+    # multiplicity histogram: two elements at 1, one at 2, one at 6
+    assert entry.mult_histogram == ((1, 2), (2, 1), (6, 1))
+    first, second = entry.column_stats
+    assert first.distinct == 3
+    assert first.eq_fraction(1) == pytest.approx(0.8)
+    assert second.eq_fraction("b") == pytest.approx(0.3)
+
+
+def test_analyze_atom_relation_has_no_columns():
+    catalog = Catalog()
+    entry = catalog.analyze_bag(
+        "M", Bag.from_counts({"a": 2, "b": 1}))
+    assert entry.arity is None
+    assert entry.column_stats == ()
+    # estimates still work, selectivity just declines
+    assert catalog.selectivity_oracle() is not None
+
+
+def test_analyze_nested_bag_average_element_size():
+    inner_a = Bag.from_counts({Tup(1,): 2})
+    inner_b = Bag.from_counts({Tup(2,): 4})
+    catalog = Catalog()
+    entry = catalog.analyze_bag(
+        "N", Bag.from_counts({inner_a: 1, inner_b: 1}))
+    assert entry.avg_element_size == pytest.approx(3.0)
+
+
+def test_reanalyze_bumps_epoch():
+    catalog = Catalog()
+    assert catalog.analyze_bag("R", _skewed_bag()).epoch == 1
+    assert catalog.analyze_bag("R", _skewed_bag()).epoch == 2
+
+
+def test_eq_fraction_off_mcv_uses_residual_mass():
+    mcv = tuple((value, 0.09) for value in range(MCV_KEEP))
+    stats = ColumnStats(distinct=MCV_KEEP + 14, mcv=mcv)
+    expected = (1.0 - 0.09 * MCV_KEEP) / 14
+    assert stats.eq_fraction("unseen") == pytest.approx(expected)
+    # every distinct value on the MCV list: unseen values impossible
+    assert ColumnStats(distinct=2, mcv=((1, 0.6), (2, 0.4))
+                       ).eq_fraction(3) == 0.0
+
+
+def test_absorb_is_bounded_and_deadbanded():
+    catalog = Catalog()
+    for index in range(12):
+        catalog.analyze_bag(f"R{index:02d}",
+                            Bag.from_counts({Tup(1,): 100}))
+    observed = {f"R{index:02d}": 300.0 for index in range(12)}
+    observed["R03"] = 101.0          # inside the 5% deadband
+    observed["unknown"] = 50.0       # never cataloged
+    updated = catalog.absorb(observed)
+    assert len(updated) == 8         # max_updates bound
+    assert "R03" not in updated
+    assert "unknown" not in updated
+    entry = catalog.get(updated[0])
+    assert entry.cardinality == 300.0
+    assert entry.epoch == 2
+    # distinct can never exceed the observed cardinality
+    assert catalog.absorb({"R09": 0.5}) == ["R09"]
+    assert catalog.get("R09").cardinality == 0.5
+    assert catalog.get("R09").distinct == 0.5
+
+
+def test_catalog_document_round_trip():
+    catalog = Catalog()
+    catalog.analyze_bag("R", _skewed_bag(),
+                        columns=parse_columns("id:int,tag:str"))
+    document = catalog.to_document()
+    clone = Catalog.from_document(
+        json.loads(json.dumps(document, sort_keys=True)))
+    assert clone.to_document() == document
+    entry = clone.get("R")
+    assert entry.columns == parse_columns("id:int,tag:str")
+    assert entry.column_stats[1].eq_fraction("b") == pytest.approx(0.3)
+
+
+# ----------------------------------------------------------------------
+# Workspaces
+# ----------------------------------------------------------------------
+
+def test_workspace_round_trip(tmp_path):
+    root = str(tmp_path / "ws")
+    workspace = Workspace.create(root, name="trip")
+    bag = _skewed_bag()
+    workspace.save_relation("R", bag,
+                            columns=parse_columns("id:int,tag:str"))
+    workspace.analyze()
+    reopened = Workspace.open(root)
+    assert reopened.name == "trip"
+    assert reopened.load_relation("R") == bag
+    assert reopened.columns_of("R") == parse_columns("id:int,tag:str")
+    assert reopened.catalog.get("R").cardinality == 10.0
+    assert reopened.database() == {"R": bag}
+
+
+def test_workspace_refuses_to_clobber(tmp_path):
+    root = str(tmp_path / "ws")
+    Workspace.create(root)
+    with pytest.raises(BagTypeError):
+        Workspace.create(root)
+    with pytest.raises(BagTypeError):
+        Workspace.open(str(tmp_path / "elsewhere"))
+
+
+def test_workspace_rejects_bad_relation_names(tmp_path):
+    workspace = Workspace.create(str(tmp_path / "ws"))
+    for name in ("", "../evil", ".hidden"):
+        with pytest.raises(BagTypeError):
+            workspace.save_relation(name, Bag())
+
+
+def test_workspace_same_seed_byte_identical(tmp_path):
+    specs = (RelationSpec("R", rows=64, arity=2, distinct=16),
+             RelationSpec("S", rows=64, arity=2, distinct=8,
+                          skew="zipfian"))
+    contents = []
+    for which in ("a", "b"):
+        root = tmp_path / which
+        workspace = Workspace.create(str(root), name="same")
+        workspace.generate(specs, seed=42)
+        workspace.analyze()
+        files = {}
+        for base, _, names in os.walk(root):
+            for name in names:
+                path = os.path.join(base, name)
+                rel = os.path.relpath(path, root)
+                with open(path, "rb") as handle:
+                    files[rel] = handle.read()
+        contents.append(files)
+    assert contents[0] == contents[1]
+
+
+def test_workspace_queries_agree_across_engines(tmp_path):
+    """The acceptance round-trip: generate → ANALYZE → reopen → the
+    same query is bag-identical on the oracle, the physical engine,
+    and the parallel engine, compiled against the catalog."""
+    root = str(tmp_path / "ws")
+    workspace = Workspace.create(root)
+    workspace.generate((RelationSpec("R", rows=60, arity=2,
+                                     distinct=12, domain=6),
+                        RelationSpec("S", rows=60, arity=2, distinct=6,
+                                     domain=6, skew="zipfian")),
+                       seed=11)
+    workspace.analyze()
+    reopened = Workspace.open(root)
+    database = reopened.database()
+    expr = (var("R") + var("S")) & var("S")
+    oracle = oracle_evaluate(expr, database)
+    for engine in ("physical", "parallel"):
+        value = engine_evaluate(expr, database, engine=engine,
+                                cache=None, catalog=reopened,
+                                workers=2)
+        assert value == oracle, engine
+
+
+def test_workspace_feedback_persists(tmp_path):
+    root = str(tmp_path / "ws")
+    workspace = Workspace.create(root)
+    workspace.save_relation("R", Bag.from_counts({Tup(1,): 4}))
+    workspace.analyze()
+    # the relation drifts on disk; feedback folds the observation in
+    workspace.save_relation("R", Bag.from_counts({Tup(1,): 9}))
+    updated = workspace.absorb_feedback({"R": 9.0})
+    assert updated == ["R"]
+    reopened = Workspace.open(root)
+    assert reopened.catalog.get("R").cardinality == 9.0
+    assert reopened.catalog.get("R").epoch == 2
+
+
+# ----------------------------------------------------------------------
+# Workspace CLI
+# ----------------------------------------------------------------------
+
+def test_workspace_cli_create_analyze_ls(tmp_path, capsys):
+    root = str(tmp_path / "ws")
+    assert workspace_main(
+        ["create", root, "--seed", "7", "--relations",
+         "R:rows=120,arity=2,distinct=12,skew=zipfian,s=1.3"]) == 0
+    assert workspace_main(["ls", root]) == 0
+    assert workspace_main(["analyze", root, "R"]) == 0
+    out = capsys.readouterr().out
+    assert "R" in out
+    workspace = Workspace.open(root)
+    assert workspace.load_relation("R").cardinality == 120
+    assert workspace.catalog.get("R").epoch == 2  # create + analyze
+
+
+def test_workspace_cli_load_csv(tmp_path, capsys):
+    data = tmp_path / "r.csv"
+    data.write_text("1,a\n1,a\n2,b\n", encoding="utf-8")
+    root = str(tmp_path / "ws")
+    assert workspace_main(
+        ["load", root, "--csv", f"R={data}", "--columns",
+         "R=id:int,tag:str"]) == 0
+    workspace = Workspace.open(root)
+    assert workspace.load_relation("R") == Bag.from_counts(
+        {Tup(1, "a"): 2, Tup(2, "b"): 1})
+    assert workspace.catalog.get("R").cardinality == 3.0
+    capsys.readouterr()
+
+
+def test_workspace_cli_errors(tmp_path, capsys):
+    root = str(tmp_path / "ws")
+    assert workspace_main(["ls", root]) == 1         # not a workspace
+    workspace_main(["create", root])
+    assert workspace_main(["load", root]) == 2       # nothing to load
+    assert workspace_main(["create", root]) == 1     # clobber refused
+    capsys.readouterr()
+
+
+def test_cli_dispatches_workspace(tmp_path, capsys):
+    from repro.cli import main as repro_main
+    root = str(tmp_path / "ws")
+    assert repro_main(["workspace", "create", root, "--seed", "3"]) == 0
+    assert "workspace" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# SQL over workspaces
+# ----------------------------------------------------------------------
+
+def _sql_workspace(tmp_path):
+    root = str(tmp_path / "ws")
+    workspace = Workspace.create(root)
+    data = tmp_path / "r.csv"
+    data.write_text("1,a\n1,a\n2,b\n3,c\n", encoding="utf-8")
+    workspace.import_csv("R", str(data),
+                         columns=parse_columns("id:int,tag:str"))
+    workspace.analyze()
+    return workspace
+
+
+def test_run_sql_accepts_workspace(tmp_path):
+    workspace = _sql_workspace(tmp_path)
+    rows = run_sql("SELECT tag FROM R WHERE id = 1", workspace)
+    assert rows == [("a",), ("a",)]
+    assert run_sql("SELECT COUNT(*) FROM R", workspace) == [(4,)]
+
+
+def test_run_sql_workspace_positional_columns(tmp_path):
+    root = str(tmp_path / "ws")
+    workspace = Workspace.create(root)
+    workspace.save_relation("R", Bag.from_counts({Tup(1, "a"): 2}))
+    workspace.analyze()
+    # no declared columns: SQL sees c1..ck from the catalog's arity
+    assert run_sql("SELECT c2 FROM R", workspace) == [("a",), ("a",)]
+
+
+def test_run_sql_literal_catalog_path_unchanged(tmp_path):
+    catalog = SqlCatalog({"R": ("id", "tag")})
+    database = {"R": Bag.from_counts({Tup(1, "a"): 2, Tup(2, "b"): 1})}
+    rows = run_sql("SELECT tag FROM R WHERE id = 1", catalog, database)
+    assert rows == [("a",), ("a",)]
+    with pytest.raises(TypeError):
+        run_sql("SELECT tag FROM R", catalog)
+
+
+# ----------------------------------------------------------------------
+# EngineStats observed counters
+# ----------------------------------------------------------------------
+
+def test_engine_stats_records_scans():
+    database = {"R": Bag.from_counts({Tup(1,): 5}),
+                "S": Bag.from_counts({Tup(2,): 3})}
+    stats = EngineStats()
+    engine_evaluate(var("R") + var("S"), database, cache=None,
+                    stats=stats)
+    assert stats.observed_cardinalities == {"R": 5, "S": 3}
+    assert stats.observed_scans == {"R": 1, "S": 1}
+    assert stats.observed_mean_cardinalities() == {"R": 5.0, "S": 3.0}
+
+
+def test_engine_stats_merge_is_associative():
+    def build(pairs):
+        stats = EngineStats()
+        for name, cardinality in pairs:
+            stats.record_scan(name, cardinality)
+        return stats
+
+    a = build([("R", 5), ("S", 3)])
+    b = build([("R", 7)])
+    c = build([("S", 1), ("T", 2)])
+
+    left = a.merged_with(b).merged_with(c)
+    right = a.merged_with(b.merged_with(c))
+    assert left.observed_cardinalities == right.observed_cardinalities
+    assert left.observed_scans == right.observed_scans
+    assert left.observed_cardinalities == {"R": 12, "S": 4, "T": 2}
+    assert left.observed_scans == {"R": 2, "S": 2, "T": 1}
+    # means divide by scan count, so rescans do not inflate
+    assert left.observed_mean_cardinalities()["R"] == pytest.approx(6.0)
