@@ -26,6 +26,10 @@ Collected headlines:
   compile overhead (zero-scan compiles against ANALYZEd relations),
   the opt0-vs-opt2-with-catalog quality speedup, and the selection
   q-error trend of histogram vs flat selectivity across scales.
+* **e26_columnar** — codegen engine (fused columnar closures, opt
+  level 3) vs the stream engine: per-cell speedups on the three
+  fused-pipeline headline cells, their gated geometric mean, and the
+  report-only satellite rows.
 
 Usage::
 
@@ -221,6 +225,30 @@ def collect_e25() -> Optional[Dict[str, Any]]:
             "statuses": _statuses("e25_storage")}
 
 
+def collect_e26() -> Optional[Dict[str, Any]]:
+    """Headline: gated geomean of the fused-pipeline speedups."""
+    text = _read("e26_columnar.json")
+    if text is None:
+        return None
+    document = json.loads(text)
+    cells = {entry["cell"]: {
+        "physical_seconds": round(entry["physical_seconds"], 4),
+        "codegen_seconds": round(entry["codegen_seconds"], 4),
+        "speedup": round(entry["speedup"], 3)}
+        for entry in document.get("headline", [])}
+    satellite = {entry["cell"]: round(entry["speedup"], 3)
+                 for entry in document.get("satellite", [])}
+    return {"headline": "codegen engine vs stream engine, "
+                        "fused-pipeline geomean",
+            "smoke": document.get("smoke"),
+            "geomean": round(document.get("geomean", 0.0), 3),
+            "geomean_floor": document.get("geomean_floor"),
+            "cells": cells,
+            "satellite": satellite,
+            "fused_segments": document.get("fused_segments"),
+            "statuses": _statuses("e26_columnar")}
+
+
 def build_ledger() -> Dict[str, Any]:
     return {
         "comment": ("per-PR perf trajectory; regenerate with "
@@ -232,6 +260,7 @@ def build_ledger() -> Dict[str, Any]:
             "e23_planner": collect_e23(),
             "e24_resilience": collect_e24(),
             "e25_storage": collect_e25(),
+            "e26_columnar": collect_e26(),
         },
     }
 

@@ -29,11 +29,11 @@ Commands:
                       vs actual cardinalities)
 ``:encode expr``      print the Section 2 standard encoding
 ``:engine [name]``    show or set the evaluator
-                      (physical | parallel | tree)
+                      (physical | parallel | codegen | tree)
 ``:resilience [on|off]``  show or toggle fault-tolerant parallel
                       execution (morsel retry + degradation ladder)
 ``:passes``           list the planner's passes and their on/off state
-``:passes level N``   set the optimization level (0 | 1 | 2)
+``:passes level N``   set the optimization level (0 | 1 | 2 | 3)
 ``:passes on NAME``   force one pass on (``off`` to force it off,
                       ``reset`` to clear all toggles)
 ``:workspace open P`` open a storage workspace: bind its relations
@@ -98,11 +98,12 @@ class Session:
                  parallel_backend: str = "thread",
                  opt_level: Optional[int] = None,
                  resilience: bool = False):
-        if engine not in ("physical", "parallel", "tree"):
+        if engine not in ("physical", "parallel", "codegen", "tree"):
             raise ValueError(f"unknown engine {engine!r} "
-                             "(choices: physical, parallel, tree)")
-        if opt_level is not None and opt_level not in (0, 1, 2):
-            raise ValueError(f"--opt-level expects 0, 1, or 2, "
+                             "(choices: physical, parallel, codegen, "
+                             "tree)")
+        if opt_level is not None and opt_level not in (0, 1, 2, 3):
+            raise ValueError(f"--opt-level expects 0, 1, 2, or 3, "
                              f"got {opt_level!r}")
         self.bindings: Dict[str, object] = {}
         self.out = out if out is not None else sys.stdout
@@ -115,7 +116,8 @@ class Session:
         #: degradation ladder; only consulted under engine=parallel.
         self.resilience = resilience
         #: ``None`` keeps the engine's default level (tree: 0,
-        #: physical/parallel: 1); ``:passes level N`` overrides it.
+        #: physical/parallel: 1, codegen: 3); ``:passes level N``
+        #: overrides it.
         self.opt_level = opt_level
         #: Per-pass overrides from ``:passes on/off NAME``.
         self.pass_toggles: Dict[str, bool] = {}
@@ -138,8 +140,13 @@ class Session:
 
     def _default_level(self) -> int:
         """The opt level the current engine defaults to: the oracle
-        walker evaluates queries as written."""
-        return 0 if self.engine == "tree" else 1
+        walker evaluates queries as written, the codegen engine needs
+        the fusion stage of level 3."""
+        if self.engine == "tree":
+            return 0
+        if self.engine == "codegen":
+            return 3
+        return 1
 
     def _pass_config(self):
         """The session's :class:`~repro.planner.PassConfig`, or
@@ -215,12 +222,14 @@ class Session:
             choice = line[len(":engine"):].strip()
             if not choice:
                 self._print(f"engine = {self.engine}")
-            elif choice in ("physical", "parallel", "tree"):
+            elif choice in ("physical", "parallel", "codegen",
+                            "tree"):
                 self.engine = choice
                 self._print(f"engine = {self.engine}")
             else:
                 self._print(f"error: unknown engine {choice!r} "
-                            "(choices: physical, parallel, tree)")
+                            "(choices: physical, parallel, codegen, "
+                            "tree)")
             return True
         if line == ":resilience" or line.startswith(":resilience "):
             choice = line[len(":resilience"):].strip()
@@ -287,7 +296,8 @@ class Session:
             return True
         if line.startswith(":explain "):
             from repro.engine import explain_physical
-            from repro.optimizer import explain, stats_of
+            from repro.optimizer.explain import explain
+            from repro.planner.stats import stats_of
             expr = parse(line[len(":explain "):])
             statistics = {name: stats_of(value)
                           for name, value in self.bindings.items()
@@ -297,8 +307,13 @@ class Session:
             self._print("-- stages --")
             self._print(self._explain_stages(expr))
             self._print("-- physical --")
+            # under :engine codegen the physical section is the fused
+            # plan itself: segment report, lowered tree, and the
+            # "-- codegen --" fusion counters
             self._print(explain_physical(
                 expr, self.bindings, governor=self._governor(),
+                engine=("codegen" if self.engine == "codegen"
+                        else "physical"),
                 config=self._pass_config(),
                 catalog=self.workspace, feedback=self.feedback))
             if self.engine == "parallel":
@@ -429,8 +444,9 @@ class Session:
             return True
         parts = args.split()
         if parts[0] == "level" and len(parts) == 2:
-            if parts[1] not in ("0", "1", "2"):
-                self._print("error: :passes level expects 0, 1, or 2")
+            if parts[1] not in ("0", "1", "2", "3"):
+                self._print(
+                    "error: :passes level expects 0, 1, 2, or 3")
                 return True
             self.opt_level = int(parts[1])
             self._print(f"opt-level = {self.opt_level}")
@@ -543,10 +559,11 @@ def _parse_engine_flag(
         name, equals, inline = argument.partition("=")
         if name == "--engine":
             engine = value_of(name, equals, inline)
-            if engine not in ("physical", "parallel", "tree"):
+            if engine not in ("physical", "parallel", "codegen",
+                              "tree"):
                 raise ValueError(
-                    f"--engine expects 'physical', 'parallel', or "
-                    f"'tree', got {engine!r}")
+                    f"--engine expects 'physical', 'parallel', "
+                    f"'codegen', or 'tree', got {engine!r}")
         elif name == "--workers":
             raw = value_of(name, equals, inline)
             try:
@@ -563,9 +580,10 @@ def _parse_engine_flag(
                     f"'process', got {backend!r}")
         elif name == "--opt-level":
             raw = value_of(name, equals, inline)
-            if raw not in ("0", "1", "2"):
+            if raw not in ("0", "1", "2", "3"):
                 raise ValueError(
-                    f"--opt-level expects 0, 1, or 2, got {raw!r}")
+                    f"--opt-level expects 0, 1, 2, or 3, "
+                    f"got {raw!r}")
             opt_level = int(raw)
         elif name == "--resilience":
             if equals:
@@ -585,11 +603,13 @@ def main(argv=None) -> int:
     ``--max-depth``, ``--max-iterations``, ``--powerset-budget``)
     govern every evaluation; governed failures print as ``error:``
     lines instead of killing the process.  ``--engine
-    physical|parallel|tree`` picks the evaluator (default: the
-    physical kernel engine); ``--workers N`` and ``--parallel-backend
+    physical|parallel|codegen|tree`` picks the evaluator (default:
+    the physical kernel engine; ``codegen`` runs fused columnar
+    closures); ``--workers N`` and ``--parallel-backend
     thread|process`` configure the parallel engine; ``--opt-level
-    0|1|2`` picks the planner's pass set (0 disables every rewrite
-    and lowers naively; 2 adds the full algebraic fixpoint);
+    0|1|2|3`` picks the planner's pass set (0 disables every rewrite
+    and lowers naively; 2 adds the full algebraic fixpoint; 3 adds
+    the codegen fusion stage);
     ``--resilience`` turns on fault-tolerant parallel execution
     (morsel retry, pool respawn, degradation ladder).
     """

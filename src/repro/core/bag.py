@@ -53,13 +53,14 @@ class Tup:
     0-based ``tup[i]`` and the paper's 1-based :meth:`attribute`.
     """
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_hash", "_shape")
 
     def __init__(self, *items: Any):
         for item in items:
             _check_value(item)
         self._items: Tuple[Any, ...] = tuple(items)
         self._hash = hash(("Tup", self._items))
+        self._shape = None  # structural fingerprint, cached on demand
 
     @property
     def arity(self) -> int:
@@ -78,11 +79,23 @@ class Tup:
         return self._items
 
     def concat(self, other: "Tup") -> "Tup":
-        """Concatenate two tuples (used by the Cartesian product)."""
+        """Concatenate two tuples (used by the Cartesian product).
+
+        Both operands are already-validated tuples, so the result skips
+        the per-item value check — the join and product kernels build
+        one concatenation per output row and this is their hot path."""
         if not isinstance(other, Tup):
             raise ValueConstructionError(
                 f"cannot concatenate Tup with {type(other).__name__}")
-        return Tup(*(self._items + other._items))
+        out = Tup.__new__(Tup)
+        items = self._items + other._items
+        out._items = items
+        out._hash = hash(("Tup", items))
+        if self._shape is not None and other._shape is not None:
+            out._shape = _concat_shape(self._shape, other._shape)
+        else:
+            out._shape = None
+        return out
 
     def __getitem__(self, index: int) -> Any:
         return self._items[index]
@@ -123,17 +136,17 @@ class Bag:
     the paper's ``[[ ]]``.
     """
 
-    __slots__ = ("_counts", "_hash", "_cardinality")
+    __slots__ = ("_counts", "_hash", "_cardinality", "_shape")
 
     def __init__(self, elements: Iterable[Any] = ()):
         counts: Dict[Any, int] = {}
         for element in elements:
             _check_value(element)
             counts[element] = counts.get(element, 0) + 1
-        _check_homogeneous(counts.keys())
+        self._shape = _check_homogeneous(counts.keys())
         self._counts = counts
         self._cardinality = sum(counts.values())
-        self._hash = hash(("Bag", frozenset(counts.items())))
+        self._hash = None
 
     @classmethod
     def from_counts(cls, counts: Mapping[Any, int]) -> "Bag":
@@ -154,10 +167,10 @@ class Bag:
                 continue
             _check_value(element)
             clean[element] = count
-        _check_homogeneous(clean.keys())
+        bag._shape = _check_homogeneous(clean.keys())
         bag._counts = clean
         bag._cardinality = sum(clean.values())
-        bag._hash = hash(("Bag", frozenset(clean.items())))
+        bag._hash = None
         return bag
 
     @classmethod
@@ -262,7 +275,14 @@ class Bag:
         return self.is_subbag_of(other)
 
     def __hash__(self) -> int:
-        return self._hash
+        # computed on first use: most bags (query results above all)
+        # are never used as dictionary keys, and the frozenset walk is
+        # O(n) — only nested bags pay it
+        value = self._hash
+        if value is None:
+            value = hash(("Bag", frozenset(self._counts.items())))
+            self._hash = value
+        return value
 
     def __repr__(self) -> str:
         if not self._counts:
@@ -318,35 +338,68 @@ def _check_value(value: Any) -> None:
             f"bag elements must be hashable, got {value!r}") from exc
 
 
+#: Interned fingerprints: every atom shares one shape object, and flat
+#: tuples of atoms (by far the most common values) share one per
+#: arity — so the homogeneity merge usually short-circuits on
+#: identity instead of walking structures.
+_ATOM_SHAPE = ("atom",)
+_FLAT_TUP_SHAPES: Dict[int, tuple] = {}
+_CONCAT_SHAPE_CACHE: Dict[tuple, tuple] = {}
+
+
+def _flat_tup_shape(arity: int) -> tuple:
+    shape = _FLAT_TUP_SHAPES.get(arity)
+    if shape is None:
+        shape = ("tuple", (_ATOM_SHAPE,) * arity)
+        _FLAT_TUP_SHAPES[arity] = shape
+    return shape
+
+
+def _concat_shape(left: tuple, right: tuple) -> tuple:
+    """The shape of a tuple concatenation, interned per side-pair so
+    every row of a join output carries the *same* shape object."""
+    key = (left, right)
+    shape = _CONCAT_SHAPE_CACHE.get(key)
+    if shape is None:
+        items = left[1] + right[1]
+        if all(item is _ATOM_SHAPE for item in items):
+            shape = _flat_tup_shape(len(items))
+        else:
+            shape = ("tuple", items)
+        if len(_CONCAT_SHAPE_CACHE) < 4096:
+            _CONCAT_SHAPE_CACHE[key] = shape
+    return shape
+
+
 def _shape_of(value: Any):
     """A lightweight structural fingerprint used for the homogeneity
     check (full typing lives in :mod:`repro.core.types`).
 
     The empty bag is compatible with every bag shape, which the
-    fingerprint encodes with ``("bag", None)``.
+    fingerprint encodes with ``("bag", None)``.  Tuples cache their
+    fingerprint; bags store theirs at construction time (the
+    homogeneity check derives it anyway), so repeated validation of
+    the same values costs an attribute read, not a structure walk.
     """
     if isinstance(value, Tup):
-        return ("tuple", tuple(_shape_of(item) for item in value.items()))
-    if isinstance(value, Bag):
-        inner = None
-        for element in value.distinct():
-            candidate = _shape_of(element)
-            if inner is None:
-                inner = candidate
+        shape = value._shape
+        if shape is None:
+            items = tuple(_shape_of(item) for item in value.items())
+            if all(item is _ATOM_SHAPE for item in items):
+                shape = _flat_tup_shape(len(items))
             else:
-                merged = _merge_shapes(inner, candidate)
-                if merged is None:
-                    # The bag itself was already validated at its own
-                    # construction, so this cannot happen; guard anyway.
-                    raise HeterogeneousBagError(
-                        f"inconsistent element shapes inside {value!r}")
-                inner = merged
-        return ("bag", inner)
-    return ("atom",)
+                shape = ("tuple", items)
+            value._shape = shape
+        return shape
+    if isinstance(value, Bag):
+        return ("bag", value._shape)
+    return _ATOM_SHAPE
 
 
 def _merge_shapes(left, right):
     """Unify two shape fingerprints; None when incompatible."""
+    if left is right:
+        return left
     if left is None:
         return right
     if right is None:
@@ -372,13 +425,18 @@ def _merge_shapes(left, right):
     return ("tuple", tuple(merged_items))
 
 
-def _check_homogeneous(elements: Iterable[Any]) -> None:
-    """Ensure all elements share a common shape (homogeneous bag)."""
+def _check_homogeneous(elements: Iterable[Any]):
+    """Ensure all elements share a common shape (homogeneous bag).
+
+    Returns the merged shape (``None`` for an empty collection) — the
+    bag constructors store it so nested validation never re-walks."""
     shape = None
     for element in elements:
         candidate = _shape_of(element)
         if shape is None:
             shape = candidate
+            continue
+        if shape is candidate:
             continue
         merged = _merge_shapes(shape, candidate)
         if merged is None:
@@ -386,6 +444,7 @@ def _check_homogeneous(elements: Iterable[Any]) -> None:
                 "bags must be homogeneous: cannot mix elements of shapes "
                 f"{shape} and {candidate}")
         shape = merged
+    return shape
 
 
 #: The polymorphic empty bag ``[[ ]]``.

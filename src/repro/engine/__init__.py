@@ -85,13 +85,16 @@ def _bindings_of(database: Optional[Mapping[str, Any]],
 
 def _config_for(opt_level: Optional[int],
                 config: Optional[PassConfig],
-                selectivity: float = 0.5) -> PassConfig:
+                selectivity: float = 0.5,
+                default_level: int = 1) -> PassConfig:
     """Resolve the pass configuration for a physical-path call: an
     explicit config wins, then an explicit level; the default is
-    opt level 1 (normalize + cost-based lowering)."""
+    opt level 1 (normalize + cost-based lowering) — except under
+    ``engine="codegen"``, whose callers pass ``default_level=3`` so
+    the codegen stage is on by default."""
     if config is not None:
         return config
-    level = 1 if opt_level is None else opt_level
+    level = default_level if opt_level is None else opt_level
     return PassConfig.for_level(level, selectivity=selectivity)
 
 
@@ -115,7 +118,8 @@ def plan_for(expr: Expr, bindings: Mapping[str, Any],
              policy=None,
              opt_level: Optional[int] = None,
              config: Optional[PassConfig] = None,
-             catalog=None) -> PhysicalPlan:
+             catalog=None,
+             engine: Optional[str] = None) -> PhysicalPlan:
     """Fetch or build the physical plan for an expression.
 
     A thin shim over :func:`repro.planner.compile`: a cache hit skips
@@ -126,11 +130,17 @@ def plan_for(expr: Expr, bindings: Mapping[str, Any],
     parallelism pass; parallel plans live under a tagged cache key so
     they never shadow serial plans, and the pass configuration is part
     of every key so opt levels never collide either.
+    ``engine="codegen"`` yields a fused
+    :class:`~repro.engine.codegen.CodegenPlan` (default opt level 3)
+    under its own cache-tag component.
     """
-    resolved = _config_for(opt_level, config, selectivity)
+    if engine is None:
+        engine = "parallel" if policy is not None else "physical"
+    resolved = _config_for(
+        opt_level, config, selectivity,
+        default_level=3 if engine == "codegen" else 1)
     ctx = PlanContext.capture(
-        bindings, catalog=catalog,
-        engine="parallel" if policy is not None else "physical",
+        bindings, catalog=catalog, engine=engine,
         cache=cache, engine_stats=stats, parallel=policy,
         config=resolved)
     return planner_compile(expr, ctx).physical
@@ -171,10 +181,15 @@ def evaluate(expr: Expr,
     ``parallel_backend="process"``); ``parallel_threshold`` overrides
     the minimum estimated cardinality below which the lowering pass
     refuses to insert exchanges (0 forces them everywhere).
-    ``opt_level`` (0/1/2) or a full
+    ``engine="codegen"`` compiles the lowered plan one step further —
+    every pipeline segment fuses into a columnar Python closure
+    (:mod:`repro.engine.codegen`); powerset/flatten/nest subtrees fall
+    back to the stream kernels as barrier leaves.  ``opt_level``
+    (0/1/2/3) or a full
     :class:`~repro.planner.PassConfig` picks the planner passes —
     level 0 disables every rewrite and lowers naively, level 2 adds
-    the full algebraic rewrite fixpoint to the default.
+    the full algebraic rewrite fixpoint to the default, level 3 adds
+    the codegen stage (the ``engine="codegen"`` default).
     ``cache=None`` disables plan caching; the default is the
     process-wide cache.  Governed limits apply to the whole run:
     compilation ticks the shared governor per rewrite pass, every
@@ -197,9 +212,10 @@ def evaluate(expr: Expr,
                              governor=governor, limits=limits,
                              opt_level=opt_level, config=config,
                              **named_bags)
-    if engine not in ("physical", "parallel"):
+    if engine not in ("physical", "parallel", "codegen"):
         raise ValueError(f"unknown engine {engine!r} "
-                         "(choices: 'physical', 'parallel', 'tree')")
+                         "(choices: 'physical', 'parallel', "
+                         "'codegen', 'tree')")
     policy = None
     parallel_config = None
     resilience_config = resolve_resilience(resilience)
@@ -223,7 +239,9 @@ def evaluate(expr: Expr,
                           track_stats=False)
     if evaluator.governor is not None:
         evaluator.governor.ensure_started()
-    resolved_config = _config_for(opt_level, config)
+    resolved_config = _config_for(
+        opt_level, config,
+        default_level=3 if engine == "codegen" else 1)
     ctx = PlanContext.capture(
         bindings, catalog=catalog, engine=engine,
         governor=evaluator.governor,
@@ -318,7 +336,8 @@ def explain_physical(expr: Expr,
             resilience=resilience_config)
     plan = plan_for(expr, bindings, cache=cache, stats=stats,
                     policy=policy, opt_level=opt_level, config=config,
-                    catalog=catalog)
+                    catalog=catalog,
+                    engine="codegen" if engine == "codegen" else None)
     executed = False
     if execute and not (expr.free_vars() - set(bindings)):
         evaluator = Evaluator(governor=governor, limits=limits,
@@ -352,6 +371,16 @@ def explain_physical(expr: Expr,
         if len(feedback_lines) == 1:
             feedback_lines.append("no base-relation scans observed")
         rendered = "\n".join([rendered] + feedback_lines)
+    if engine == "codegen":
+        lines = [rendered, "-- codegen --",
+                 f"fused segments       {stats.fused_segments}",
+                 f"barrier fallbacks    {stats.barrier_fallbacks}"]
+        if cache is not None:
+            lines.append(
+                f"plan cache           hits={cache.stats.hits} "
+                f"misses={cache.stats.misses} "
+                f"evictions={cache.stats.evictions}")
+        return "\n".join(lines)
     if engine != "parallel":
         return rendered
     lines = [rendered, "-- exchange --",

@@ -1,0 +1,295 @@
+"""Columnar bag representation + count-vector kernels.
+
+The stream kernels (:mod:`repro.engine.kernels`) pull one
+``(value, count)`` pair at a time through a chain of Python
+generators; every row pays interpreter dispatch for every operator it
+crosses.  This module is the columnar half of the codegen runtime
+(:mod:`repro.engine.codegen`): a bag is two parallel arrays — a value
+array and a multiplicity-count array — and each kernel is one
+C-speed bulk operation (a dict comprehension, ``dict.fromkeys``, a
+list comprehension) over whole columns.  Hash-style operators (monus,
+min-intersect, max-union, join/product build sides) use plain
+``value -> count`` dicts, the dictionary form of the same columns.
+
+Semantics match :mod:`repro.core.ops` exactly — the differential
+harness's ``engine-codegen`` backend and the mutation tests in
+``tests/test_columnar.py`` pin this (a mutant that forgets the monus
+zero-clamp, the join multiplicity product, or the dedup collapse of
+the count column is caught within a handful of generated cases).
+
+Governance: the quadratic kernels (:func:`c_product`,
+:func:`c_hash_join`) accept a ``tick`` callable and invoke it once
+per ``TICK_CHUNK`` output rows, so step budgets, deadlines, and
+cancellation reach inside a single fused kernel.  The linear kernels
+are governed by their caller per kernel invocation (the emitted
+segment ticks proportionally to each result's size).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
+
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError
+
+__all__ = [
+    "ColumnarBag", "to_columnar", "from_columnar", "columnar_counts",
+    "sum_counts", "TICK_CHUNK",
+    "c_monus", "c_min_intersect", "c_max_union", "c_add_union",
+    "c_dedup", "c_scale", "c_scale_dict", "c_map", "c_select",
+    "c_product", "c_hash_join", "c_sym_diff_dedup",
+]
+
+#: Output rows between governor ticks inside a quadratic kernel.
+TICK_CHUNK = 1024
+
+
+class ColumnarBag:
+    """A bag as two parallel columns: values and multiplicity counts.
+
+    ``distinct=True`` asserts the value column has no repeats (scans
+    and dict-kernel outputs); ``False`` means repeated values must be
+    summed on materialisation (map images, union concatenations).
+    """
+
+    __slots__ = ("values", "counts", "distinct")
+
+    def __init__(self, values: Sequence[Any], counts: Sequence[int],
+                 distinct: bool = False):
+        if len(values) != len(counts):
+            raise ValueError(
+                f"column length mismatch: {len(values)} values vs "
+                f"{len(counts)} counts")
+        self.values = list(values)
+        self.counts = list(counts)
+        self.distinct = distinct
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return (f"ColumnarBag({len(self.values)} rows, "
+                f"distinct={self.distinct})")
+
+
+def to_columnar(bag: Bag) -> ColumnarBag:
+    """Decompose a sealed bag into parallel value/count columns."""
+    if not isinstance(bag, Bag):
+        raise BagTypeError(
+            f"to_columnar expects a Bag, got {type(bag).__name__}")
+    values: List[Any] = []
+    counts: List[int] = []
+    for value, count in bag.items():
+        values.append(value)
+        counts.append(count)
+    return ColumnarBag(values, counts, distinct=True)
+
+
+def from_columnar(col: ColumnarBag) -> Bag:
+    """Seal columns back into a bag (inverse of :func:`to_columnar`)."""
+    return Bag.from_counts(columnar_counts(col))
+
+
+def columnar_counts(col: ColumnarBag) -> Dict[Any, int]:
+    """The dictionary form of a columnar bag."""
+    if col.distinct:
+        return dict(zip(col.values, col.counts))
+    return sum_counts(col.values, col.counts)
+
+
+def sum_counts(values: Iterable[Any],
+               counts: Iterable[int]) -> Dict[Any, int]:
+    """Materialise possibly-repeating columns, summing counts."""
+    out: Dict[Any, int] = {}
+    get = out.get
+    for value, count in zip(values, counts):
+        out[value] = get(value, 0) + count
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dict kernels (hash sides: both columns already materialised)
+# ----------------------------------------------------------------------
+
+def c_monus(left: Dict[Any, int],
+            right: Dict[Any, int]) -> Dict[Any, int]:
+    """``B - B'``: monus on multiplicities, ``max(0, p - q)`` with the
+    zeroes dropped."""
+    get = right.get
+    return {value: remaining for value, count in left.items()
+            if (remaining := count - get(value, 0)) > 0}
+
+
+def c_min_intersect(small: Dict[Any, int],
+                    large: Dict[Any, int]) -> Dict[Any, int]:
+    """``B n B'``: min of multiplicities; iterate the smaller dict."""
+    get = large.get
+    return {value: count if count < other else other
+            for value, count in small.items()
+            if (other := get(value, 0)) > 0}
+
+
+def c_max_union(left: Dict[Any, int],
+                right: Dict[Any, int]) -> Dict[Any, int]:
+    """``B u B'``: max of multiplicities."""
+    get = left.get
+    out = {value: count if count > (other := get(value, 0)) else other
+           for value, count in right.items()}
+    for value, count in left.items():
+        if value not in out:
+            out[value] = count
+    return out
+
+
+def c_add_union(left: Dict[Any, int],
+                right: Dict[Any, int]) -> Dict[Any, int]:
+    """``B (+) B'`` in dictionary form: pointwise count sum."""
+    out = dict(left)
+    get = out.get
+    for value, count in right.items():
+        out[value] = get(value, 0) + count
+    return out
+
+
+def c_sym_diff_dedup(left: Dict[Any, int],
+                     right: Dict[Any, int]) -> Dict[Any, int]:
+    """``eps((B - B') (+) (B' - B))`` in one pass: the values whose
+    multiplicities differ between the two bags, each with count 1.
+
+    An element survives either monus exactly when its counts differ,
+    so the whole dedup'd symmetric difference is one candidate sweep
+    over the C-level key-set union — the compiler emits this wherever
+    the four-operator pattern appears in a segment (the e20/e26
+    headline chain), replacing two monus passes, a concatenation, and
+    a dedup."""
+    get_r = right.get
+    out = {value: 1 for value, count in left.items()
+           if get_r(value, 0) != count}
+    # values only the right side has differ by definition; the set
+    # difference and the fromkeys update both run at C level
+    out.update(dict.fromkeys(right.keys() - left.keys(), 1))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Column kernels
+# ----------------------------------------------------------------------
+
+def c_dedup(values: Iterable[Any]) -> Dict[Any, int]:
+    """``eps(B)``: duplicate elimination straight off the value
+    column — every surviving count is 1, whatever the count column
+    said (the count array collapses, not just the repeats)."""
+    return dict.fromkeys(values, 1)
+
+
+def c_scale(counts: Sequence[int], factor: int) -> List[int]:
+    """Multiply the whole count column by a constant."""
+    return [count * factor for count in counts]
+
+
+def c_scale_dict(counts: Dict[Any, int],
+                 factor: int) -> Dict[Any, int]:
+    """Dictionary form of :func:`c_scale`."""
+    return {value: count * factor for value, count in counts.items()}
+
+
+def c_map(values: Sequence[Any],
+          fn: Callable[[Any], Any]) -> List[Any]:
+    """``MAP_phi(B)``: transform the value column; the count column
+    rides along unchanged (colliding images sum on materialisation)."""
+    return [fn(value) for value in values]
+
+
+def c_select(values: Sequence[Any], counts: Sequence[int],
+             predicate: Callable[[Any], bool]
+             ) -> Tuple[List[Any], List[int]]:
+    """``sigma(B)``: filter both columns in one pass."""
+    out_values: List[Any] = []
+    out_counts: List[int] = []
+    add_value = out_values.append
+    add_count = out_counts.append
+    for value, count in zip(values, counts):
+        if predicate(value):
+            add_value(value)
+            add_count(count)
+    return out_values, out_counts
+
+
+# ----------------------------------------------------------------------
+# Product / join kernels (quadratic: tick inside)
+# ----------------------------------------------------------------------
+
+def _require_tup(value: Any, operation: str) -> None:
+    if not isinstance(value, Tup):
+        raise BagTypeError(
+            f"{operation} requires bags of tuples, found element of "
+            f"type {type(value).__name__}")
+
+
+def c_product(probe_values: Sequence[Any], probe_counts: Sequence[int],
+              build: Dict[Any, int],
+              tick: Optional[Callable[[], None]] = None
+              ) -> Tuple[List[Any], List[int]]:
+    """``B x B'`` against a materialised build dict: tuples
+    concatenate, counts multiply."""
+    for value in build:
+        _require_tup(value, "cartesian product")
+    build_items = list(build.items())
+    out_values: List[Any] = []
+    out_counts: List[int] = []
+    pending = 0
+    for left, lcount in zip(probe_values, probe_counts):
+        _require_tup(left, "cartesian product")
+        out_values.extend(left.concat(right) for right, _ in build_items)
+        out_counts.extend(lcount * rcount for _, rcount in build_items)
+        if tick is not None:
+            pending += len(build_items)
+            if pending >= TICK_CHUNK:
+                pending = 0
+                tick()
+    return out_values, out_counts
+
+
+def c_hash_join(probe_values: Sequence[Any],
+                probe_counts: Sequence[int],
+                build: Dict[Any, int],
+                probe_key: Callable[[Tup], Any],
+                build_key: Callable[[Tup], Any],
+                probe_is_left: bool,
+                tick: Optional[Callable[[], None]] = None
+                ) -> Tuple[List[Any], List[int]]:
+    """Equi-join: hash the build dict on its key attributes, stream
+    the probe columns; counts multiply and concatenation order follows
+    ``probe_is_left`` (the logical product order, not the build
+    choice)."""
+    table: Dict[Any, list] = {}
+    for value, count in build.items():
+        _require_tup(value, "hash join")
+        table.setdefault(build_key(value), []).append((value, count))
+    out_values: List[Any] = []
+    out_counts: List[int] = []
+    add_value = out_values.append
+    add_count = out_counts.append
+    get = table.get
+    pending = 0
+    for value, count in zip(probe_values, probe_counts):
+        _require_tup(value, "hash join")
+        matches = get(probe_key(value))
+        if not matches:
+            continue
+        if probe_is_left:
+            for other, other_count in matches:
+                add_value(value.concat(other))
+                add_count(count * other_count)
+        else:
+            for other, other_count in matches:
+                add_value(other.concat(value))
+                add_count(count * other_count)
+        if tick is not None:
+            pending += len(matches)
+            if pending >= TICK_CHUNK:
+                pending = 0
+                tick()
+    return out_values, out_counts

@@ -82,6 +82,11 @@ class EngineStats:
     morsel_retries: int = 0
     pool_respawns: int = 0
     demotions: List[str] = field(default_factory=list)
+    #: Codegen counters: fused-segment executions and barrier-leaf
+    #: fallbacks to the stream kernels (``engine=codegen`` only; the
+    #: ``:explain`` codegen footer prints both).
+    fused_segments: int = 0
+    barrier_fallbacks: int = 0
     #: Execution-feedback counters: per-relation total rows observed
     #: by ScanBag nodes and the number of scans that produced them.
     #: Both merge by pointwise sum (associative, parallel-safe); the
@@ -126,6 +131,8 @@ class EngineStats:
         self.morsel_retries += other.morsel_retries
         self.pool_respawns += other.pool_respawns
         self.demotions.extend(other.demotions)
+        self.fused_segments += other.fused_segments
+        self.barrier_fallbacks += other.barrier_fallbacks
         for name, total in other.observed_cardinalities.items():
             self.observed_cardinalities[name] = (
                 self.observed_cardinalities.get(name, 0) + total)
@@ -157,6 +164,8 @@ class EngineStats:
             morsel_retries=self.morsel_retries,
             pool_respawns=self.pool_respawns,
             demotions=list(self.demotions),
+            fused_segments=self.fused_segments,
+            barrier_fallbacks=self.barrier_fallbacks,
             observed_cardinalities=dict(self.observed_cardinalities),
             observed_scans=dict(self.observed_scans),
         )

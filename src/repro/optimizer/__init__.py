@@ -1,26 +1,32 @@
 """Algebraic rewrite rules, cardinality estimation, and the
-optimization engine (Section 3)."""
+optimization engine (Section 3).
 
-from repro.optimizer.cardinality import BagStats, estimate, stats_of
+Most of this package is a compatibility surface over
+:mod:`repro.planner` (rewrites, stats); only the logical EXPLAIN tree
+(:mod:`repro.optimizer.explain`) and the legacy :class:`Optimizer`
+driver are first-class here.  The package re-exports exactly the
+names external callers still import; everything else lives on the
+submodules (``repro.optimizer.cardinality``,
+``repro.optimizer.rules``) or, for new code, on ``repro.planner``.
+"""
+
+from repro.optimizer.cardinality import estimate, stats_of
 from repro.optimizer.engine import Optimizer, estimated_cost, optimize
-from repro.optimizer.explain import PlanNode, build_plan, explain
+from repro.optimizer.explain import build_plan, explain
 from repro.optimizer.rules import (
-    DEFAULT_RULES, RewriteRule, cancel_attribute_of_tupling,
-    collapse_dedup, drop_neutral_elements,
-    fold_constants, fuse_maps, idempotent_extremes,
-    make_push_selection_into_product, push_selection_into_product,
-    push_selection_into_union, push_selection_through_map, self_subtraction, substitute,
+    cancel_attribute_of_tupling, collapse_dedup,
+    drop_neutral_elements, fold_constants, fuse_maps,
+    idempotent_extremes, push_selection_into_union,
+    push_selection_through_map, self_subtraction, substitute,
 )
 
 __all__ = [
-    "BagStats", "estimate", "stats_of",
-    "PlanNode", "build_plan", "explain",
+    "estimate", "stats_of",
+    "build_plan", "explain",
     "Optimizer", "estimated_cost", "optimize",
-    "DEFAULT_RULES", "RewriteRule", "cancel_attribute_of_tupling",
-    "collapse_dedup",
+    "cancel_attribute_of_tupling", "collapse_dedup",
     "drop_neutral_elements", "fold_constants", "fuse_maps",
-    "idempotent_extremes", "make_push_selection_into_product",
-    "push_selection_into_product", "push_selection_into_union",
+    "idempotent_extremes", "push_selection_into_union",
     "push_selection_through_map",
     "self_subtraction", "substitute",
 ]

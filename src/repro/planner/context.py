@@ -32,7 +32,7 @@ __all__ = ["PassConfig", "PlanContext", "STAGE_NAMES", "OPT_LEVELS",
 
 #: The named stages of the pipeline, in order.
 STAGE_NAMES = ("typecheck", "normalize", "rewrite", "lower",
-               "parallelize")
+               "parallelize", "codegen")
 
 #: opt level -> one-line meaning (the CLI prints this).
 OPT_LEVELS = {
@@ -40,11 +40,13 @@ OPT_LEVELS = {
        "reordering, no sharing)",
     1: "normalize + cost-based lowering (the default)",
     2: "level 1 plus the algebraic rewrite fixpoint",
+    3: "level 2 plus columnar plan-to-closure codegen "
+       "(fused segments; engine=codegen)",
 }
 
 #: Stage-level toggle names plus every statically-registered rule name.
 def toggleable_passes() -> Tuple[str, ...]:
-    names = ["normalize", "rewrite", "cost-lowering"]
+    names = ["normalize", "rewrite", "cost-lowering", "codegen"]
     names.extend(rule.name for rule in ALL_RULES)
     names.append("push-select-product")
     return tuple(names)
@@ -116,6 +118,8 @@ class PassConfig:
             return self._active("rewrite", self.opt_level >= 2)
         if stage == "cost-lowering":
             return self._active("cost-lowering", self.opt_level >= 1)
+        if stage == "codegen":
+            return self._active("codegen", self.opt_level >= 3)
         return True
 
     def rule_active(self, rule: Rule) -> bool:
@@ -163,7 +167,8 @@ class PlanContext:
     ----------
     engine:
         ``"tree"`` (the oracle walker — the pipeline stops after the
-        logical stages), ``"physical"``, or ``"parallel"``.
+        logical stages), ``"physical"``, ``"parallel"``, or
+        ``"codegen"`` (the fused columnar runtime).
     schema:
         Optional ``name -> Type`` mapping; enables the typecheck stage
         and the schema-driven product pushdown rule.
@@ -207,10 +212,10 @@ class PlanContext:
                  parallel=None,
                  config: Optional[PassConfig] = None,
                  selectivity_fn: Optional[SelectivityFn] = None):
-        if engine not in ("tree", "physical", "parallel"):
+        if engine not in ("tree", "physical", "parallel", "codegen"):
             raise ValueError(f"unknown engine {engine!r} "
                              "(choices: 'tree', 'physical', "
-                             "'parallel')")
+                             "'parallel', 'codegen')")
         self.engine = engine
         self.schema = dict(schema) if schema is not None else None
         self.statistics = (dict(statistics) if statistics is not None

@@ -55,15 +55,19 @@ class CompiledPlan:
 
 
 def _combined_tag(config: PassConfig, policy,
-                  stats_tag: Any = None) -> Any:
-    """Cache tag: pass configuration, parallel policy, and the
-    statistics fingerprint — stale-stats plans can't collide with
-    fresh ones because an ANALYZE bumps the catalog epoch inside
-    ``stats_tag``."""
+                  stats_tag: Any = None,
+                  codegen: bool = False) -> Any:
+    """Cache tag: pass configuration, parallel policy, the statistics
+    fingerprint, and whether the codegen stage will transform the
+    plan — stale-stats plans can't collide with fresh ones because an
+    ANALYZE bumps the catalog epoch inside ``stats_tag``, and a fused
+    ``CodegenPlan`` can never be served to a stream-engine caller (or
+    vice versa) because the codegen component differs."""
     parallel = None
     if policy is not None:
         parallel = ("parallel", policy.threshold)
-    return (config.cache_tag(), parallel, stats_tag)
+    return (config.cache_tag(), parallel, stats_tag,
+            ("codegen",) if codegen else None)
 
 
 def _left_arity_fn(schema: Mapping[str, Any]
@@ -112,12 +116,15 @@ def compile(expr: Expr, context: Optional[PlanContext] = None, *,
     report = PlanReport(config.describe())
 
     # -- plan cache: a hit skips every stage ---------------------------
+    codegen_active = (ctx.engine == "codegen"
+                      and config.stage_active("codegen"))
     key = None
     if ctx.engine != "tree" and ctx.cache is not None:
         from repro.engine.cache import PlanCache
         key = PlanCache.key_for(expr, ctx.arities,
                                 _combined_tag(config, ctx.parallel,
-                                              ctx.stats_tag()))
+                                              ctx.stats_tag(),
+                                              codegen_active))
         plan = ctx.cache.get(key)
         if plan is not None:
             if ctx.engine_stats is not None:
@@ -198,6 +205,23 @@ def compile(expr: Expr, context: Optional[PlanContext] = None, *,
             note=(f"threshold={ctx.parallel.threshold}; "
                   + ("exchanges inserted" if inserted
                      else "below threshold, serial plan kept"))))
+
+    # -- codegen: fuse pipeline segments into columnar closures --------
+    if codegen_active:
+        record = StageRecord("codegen", tree="")
+        with _StageTimer(record):
+            from repro.engine.codegen import compile_codegen
+            plan = compile_codegen(plan)
+            record.note = (f"{len(plan.segments)} fused segment(s), "
+                           f"{len(plan.barriers)} barrier leaf(s)")
+            if trees:
+                record.tree = plan.render()
+        report.add(record)
+    elif ctx.engine == "codegen":
+        report.add(StageRecord(
+            "codegen", tree="",
+            note=(f"skipped (codegen pass inactive at opt-level "
+                  f"{config.opt_level}); streaming plan kept")))
 
     if key is not None:
         ctx.cache.put(key, plan)

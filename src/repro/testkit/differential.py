@@ -1,6 +1,6 @@
 """The N-way differential harness.
 
-Every case runs through up to nine independently written evaluation
+Every case runs through up to ten independently written evaluation
 paths:
 
 ======================  ================================================
@@ -27,6 +27,15 @@ backend                 what it exercises
                         no reordering, no sharing) — the purely
                         syntax-directed plan on trial against the
                         optimized ones
+``engine-codegen``      the columnar codegen engine (opt level 3):
+                        plans compile to fused Python closures over
+                        the bulk kernels of
+                        :mod:`repro.engine.columnar`, with
+                        powerset/flatten subtrees running as stream
+                        barrier leaves — segment fusion, the
+                        super-kernels (sym-diff-dedup, in-place
+                        dedup-union, scale folding), and the
+                        dict/column currency conversions on trial
 ``optimized``           the planner's full rewrite fixpoint (opt
                         level 2), then the oracle on the rewritten
                         tree (rule soundness)
@@ -84,8 +93,8 @@ __all__ = [
 
 #: Backend execution order; the first ``ok`` outcome is the reference.
 DEFAULT_BACKENDS = ("oracle", "engine", "engine-warm", "engine-parallel",
-                    "engine-chaos", "engine-opt0", "optimized",
-                    "surface", "sql")
+                    "engine-chaos", "engine-opt0", "engine-codegen",
+                    "optimized", "surface", "sql")
 
 #: Valid but non-default backends (CI's opt0-vs-opt2 fuzz leg).
 EXTRA_BACKENDS = ("engine-opt2",)
@@ -294,6 +303,11 @@ class Harness:
                 value = engine_evaluate(
                     case.expr, case.database, cache=None,
                     governor=self.governor(), opt_level=0,
+                    catalog=self.catalog)
+            elif backend == "engine-codegen":
+                value = engine_evaluate(
+                    case.expr, case.database, cache=None,
+                    governor=self.governor(), engine="codegen",
                     catalog=self.catalog)
             elif backend == "engine-opt2":
                 value = engine_evaluate(

@@ -1,0 +1,503 @@
+"""Tests for the columnar runtime and the plan-to-closure codegen.
+
+Three layers:
+
+* **representation** — ``to_columnar``/``from_columnar`` round-trips
+  (including empty bags and multiplicities past 2^16) and the bulk
+  kernels of :mod:`repro.engine.columnar` pinned one by one;
+* **compiler** — segment fusion, super-kernel pattern matches
+  (sym-diff-dedup, in-place dedup-union, scale folding), barrier
+  fallbacks, SharedScan transparency, plan-cache key isolation from
+  the stream plans, and the ``:explain`` counters;
+* **mutation teeth** — the monus count-clamp, the join multiplicity
+  product, and the dedup count-collapse each get a deliberately
+  broken kernel; the ``oracle`` vs ``engine-codegen`` differential
+  must catch every mutant within 10 generated cases (emitted segments
+  call kernels through the module object, so patching
+  ``repro.engine.columnar`` attributes reaches inside compiled
+  closures).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.engine.columnar as columnar
+from repro.core.bag import Bag, Tup
+from repro.core.errors import BagTypeError
+from repro.core.expr import (
+    AdditiveUnion, Attribute, Cartesian, Dedup, Lam, Powerset, Select,
+    Subtraction, Var, var,
+)
+from repro.core.types import TupleType
+from repro.engine import (
+    EngineStats, PlanCache, evaluate, explain_physical, plan_for,
+)
+from repro.engine.codegen import CodegenPlan, compile_codegen
+from repro.engine.columnar import (
+    ColumnarBag, c_add_union, c_dedup, c_hash_join, c_map, c_max_union,
+    c_min_intersect, c_monus, c_product, c_scale, c_scale_dict,
+    c_select, c_sym_diff_dedup, columnar_counts, from_columnar,
+    sum_counts, to_columnar,
+)
+from repro.planner.pipeline import _combined_tag
+from repro.planner import PassConfig
+from repro.testkit import Case, Harness, generate_case
+from repro.workloads import random_multigraph, random_relation
+from tests.strategies import input_bags
+
+
+def _ab(a_count, b_count):
+    counts = {}
+    if a_count:
+        counts[Tup("a",)] = a_count
+    if b_count:
+        counts[Tup("b",)] = b_count
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Representation round-trips
+# ----------------------------------------------------------------------
+
+class TestColumnarRoundTrip:
+    def test_empty_bag(self):
+        col = to_columnar(Bag([]))
+        assert len(col) == 0
+        assert from_columnar(col) == Bag([])
+
+    def test_small_bag(self):
+        bag = Bag.from_counts({Tup("a", "b"): 3, Tup("b", "a"): 1})
+        assert from_columnar(to_columnar(bag)) == bag
+
+    def test_multiplicity_past_2_16(self):
+        # counts are unbounded ints, not fixed-width column cells
+        bag = Bag.from_counts({Tup("a",): 2 ** 16 + 7,
+                               Tup("b",): 2 ** 40})
+        round_tripped = from_columnar(to_columnar(bag))
+        assert round_tripped == bag
+        assert round_tripped.multiplicity(Tup("a",)) == 2 ** 16 + 7
+
+    @given(input_bags())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_identity(self, bag):
+        assert from_columnar(to_columnar(bag)) == bag
+
+    def test_to_columnar_rejects_non_bags(self):
+        with pytest.raises(BagTypeError):
+            to_columnar([("a", 1)])
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarBag([Tup("a",)], [1, 2])
+
+    def test_non_distinct_columns_sum_on_materialisation(self):
+        col = ColumnarBag([Tup("a",), Tup("a",)], [2, 3],
+                          distinct=False)
+        assert columnar_counts(col) == {Tup("a",): 5}
+        assert from_columnar(col) == Bag.from_counts({Tup("a",): 5})
+
+
+# ----------------------------------------------------------------------
+# Kernels, pinned one by one
+# ----------------------------------------------------------------------
+
+class TestKernels:
+    def test_monus_clamps_at_zero_and_drops_rows(self):
+        assert c_monus(_ab(5, 2), _ab(3, 2)) == _ab(2, 0)
+        assert c_monus(_ab(1, 0), _ab(4, 0)) == {}
+
+    def test_monus_does_not_mutate_inputs(self):
+        left, right = _ab(5, 2), _ab(3, 1)
+        c_monus(left, right)
+        assert left == _ab(5, 2) and right == _ab(3, 1)
+
+    def test_min_intersect(self):
+        assert c_min_intersect(_ab(5, 2), _ab(3, 0)) == _ab(3, 0)
+
+    def test_max_union(self):
+        assert c_max_union(_ab(5, 2), _ab(3, 7)) == _ab(5, 7)
+
+    def test_add_union(self):
+        assert c_add_union(_ab(5, 2), _ab(3, 7)) == _ab(8, 9)
+
+    def test_dedup_collapses_the_count_column(self):
+        # not just repeats: a count of 40 collapses to 1 too
+        assert c_dedup([Tup("a",), Tup("a",), Tup("b",)]) == _ab(1, 1)
+        assert c_dedup(_ab(40, 2)) == _ab(1, 1)
+
+    def test_sym_diff_dedup_matches_composed_kernels(self):
+        left = {Tup(x,): (ord(x) % 5) + 1 for x in "abcdef"}
+        right = {Tup(x,): (ord(x) % 3) + 1 for x in "defghi"}
+        composed = c_dedup(c_add_union(c_monus(left, right),
+                                       c_monus(right, left)))
+        assert c_sym_diff_dedup(left, right) == composed
+
+    def test_scale(self):
+        assert c_scale([1, 2, 3], 4) == [4, 8, 12]
+        assert c_scale_dict(_ab(1, 2), 3) == _ab(3, 6)
+
+    def test_map_and_select(self):
+        values = [Tup("a", "b"), Tup("b", "a")]
+        assert c_map(values, lambda t: Tup(t.items()[1])) == \
+            [Tup("b",), Tup("a",)]
+        kept_v, kept_c = c_select(values, [2, 3],
+                                  lambda t: t.items()[0] == "a")
+        assert kept_v == [Tup("a", "b")] and kept_c == [2]
+
+    def test_product_multiplies_counts_and_requires_tups(self):
+        out_v, out_c = c_product([Tup("a",)], [2], {Tup("b",): 3})
+        assert out_v == [Tup("a", "b")] and out_c == [6]
+        with pytest.raises(BagTypeError):
+            c_product(["a"], [1], {Tup("b",): 1})
+
+    def test_hash_join_multiplies_counts(self):
+        out_v, out_c = c_hash_join(
+            [Tup("a", "b")], [2], {Tup("b", "c"): 3},
+            probe_key=lambda t: t.items()[1],
+            build_key=lambda t: t.items()[0],
+            probe_is_left=True)
+        assert out_v == [Tup("a", "b", "b", "c")] and out_c == [6]
+
+    def test_quadratic_kernels_tick(self):
+        ticks = []
+        build = {Tup(str(i),): 1 for i in range(columnar.TICK_CHUNK)}
+        c_product([Tup("x",)] * 3, [1] * 3, build,
+                  tick=lambda: ticks.append(1))
+        assert ticks  # at least one chunk boundary crossed
+
+    def test_sum_counts_sums_repeats(self):
+        assert sum_counts([Tup("a",), Tup("a",)], [2, 5]) == \
+            {Tup("a",): 7}
+
+
+# ----------------------------------------------------------------------
+# Compiler: fusion, super-kernels, barriers, cache keys
+# ----------------------------------------------------------------------
+
+def _sym_diff_chain(depth):
+    x, y = var("X"), var("Y")
+    for _ in range(depth):
+        x = Dedup(AdditiveUnion(Subtraction(x, y), Subtraction(y, x)))
+    return x
+
+
+def _union_dedup_cascade(levels):
+    x = var("A0")
+    for i in range(levels):
+        x = Dedup(AdditiveUnion(x, var(f"A{(i % 2) + 1}")))
+    return x
+
+
+def _scale_cascade(depth):
+    x = var("X")
+    for _ in range(depth):
+        x = AdditiveUnion(x, x)
+    return x
+
+
+class TestCodegenCompiler:
+    X = random_multigraph(10, 300, seed=1)
+    Y = random_multigraph(10, 300, seed=2)
+
+    def _parity(self, expr, database, **kwargs):
+        stats = EngineStats()
+        fused = evaluate(expr, database, engine="codegen", cache=None,
+                         stats=stats, **kwargs)
+        streamed = evaluate(expr, database, engine="physical",
+                            cache=None, **kwargs)
+        assert fused == streamed
+        return stats
+
+    def test_sym_diff_chain_fuses_to_super_kernel(self):
+        expr = _sym_diff_chain(3)
+        plan = plan_for(expr, {"X": self.X, "Y": self.Y},
+                        engine="codegen")
+        assert isinstance(plan, CodegenPlan)
+        kernels = [k for segment in plan.segments
+                   for k in segment.kernels]
+        assert "sym-diff-dedup" in kernels
+        assert not plan.barriers
+        stats = self._parity(expr, {"X": self.X, "Y": self.Y})
+        assert stats.fused_segments > 0
+        assert stats.barrier_fallbacks == 0
+
+    def test_union_dedup_cascade_merges_in_place(self):
+        expr = _union_dedup_cascade(6)
+        database = {f"A{i}": random_relation(12, arity=2, seed=20 + i)
+                    for i in range(3)}
+        plan = plan_for(expr, database, engine="codegen")
+        kernels = [k for segment in plan.segments
+                   for k in segment.kernels]
+        assert "dedup-union" in kernels
+        self._parity(expr, database)
+
+    def test_scale_cascade_folds_to_one_factor(self):
+        expr = _scale_cascade(4)
+        plan = plan_for(expr, {"X": self.X}, engine="codegen")
+        source = "".join(segment.source
+                         for segment in plan.segments)
+        # 2^4 = 16 in a single scale call, not four doublings
+        assert "16" in source
+        assert sum(segment.kernels.count("scale")
+                   for segment in plan.segments) <= 1
+        self._parity(expr, {"X": self.X})
+
+    def test_powerset_is_a_barrier_fallback(self):
+        expr = Dedup(Powerset(var("S")))
+        database = {"S": random_relation(3, arity=1, seed=5)}
+        stats = self._parity(expr, database)
+        assert stats.barrier_fallbacks == 1
+
+    def test_whole_plan_barrier_still_streams(self):
+        expr = Powerset(var("S"))
+        database = {"S": random_relation(3, arity=1, seed=5)}
+        plan = plan_for(expr, database, engine="codegen")
+        assert isinstance(plan, CodegenPlan)
+        assert plan.root_segment is None
+        stats = self._parity(expr, database)
+        assert stats.barrier_fallbacks == 1
+        assert stats.fused_segments == 0
+
+    def test_sym_diff_super_kernel_absorbs_the_sharing(self):
+        # every chain level mentions the previous level twice, but the
+        # matched super-kernel reads each level exactly once — the
+        # memo materialises shared levels without ever re-reading them
+        expr = _sym_diff_chain(4)
+        stats = self._parity(expr, {"X": self.X, "Y": self.Y})
+        assert stats.shared_materialized > 0
+        assert stats.shared_reused == 0
+        assert stats.kernel_counts.get("sym-diff-dedup") == 4
+
+    def test_shared_subtrees_materialise_once(self):
+        # without a dedup on top the super-kernel cannot fire, so the
+        # repeated subtree really is read twice — once materialised,
+        # once served from the run's memo
+        shared = Subtraction(var("X"), var("Y"))
+        expr = AdditiveUnion(Subtraction(shared, var("Y")),
+                             Subtraction(var("Y"), shared))
+        stats = self._parity(expr, {"X": self.X, "Y": self.Y})
+        assert stats.shared_materialized == 1
+        assert stats.shared_reused == 1
+
+    def test_scan_views_are_not_mutated(self):
+        # scans hand out the bag's internal dict uncopied; an in-place
+        # merge against a scan base must copy first
+        bag = Bag.from_counts({Tup("a", "b"): 1, Tup("c", "d"): 1})
+        other = random_relation(6, arity=2, seed=9)
+        before = dict(bag._counts)
+        expr = Dedup(AdditiveUnion(Dedup(var("B")), var("C")))
+        self._parity(expr, {"B": bag, "C": other})
+        assert bag._counts == before
+
+    def test_opt_levels_below_3_keep_the_stream_plan(self):
+        from repro.engine.lower import PhysicalPlan
+        expr = _sym_diff_chain(2)
+        database = {"X": self.X, "Y": self.Y}
+        for level in (0, 1, 2):
+            plan = plan_for(expr, database, engine="codegen",
+                            opt_level=level)
+            assert isinstance(plan, PhysicalPlan)
+            assert not isinstance(plan, CodegenPlan)
+        # and without engine="codegen" the pass never runs, even at 3
+        plan = plan_for(expr, database, opt_level=3)
+        assert not isinstance(plan, CodegenPlan)
+
+    def test_stream_plans_identical_with_codegen_available(self):
+        # opt 0/1/2 plans must be byte-identical to the stream
+        # pipeline's output: the codegen stage may only ever add a
+        # trailing compilation step, never perturb lowering
+        expr = _sym_diff_chain(2)
+        database = {"X": self.X, "Y": self.Y}
+        for level in (0, 1, 2):
+            stream = plan_for(expr, database, opt_level=level)
+            via_codegen_engine = plan_for(expr, database,
+                                          engine="codegen",
+                                          opt_level=level)
+            assert stream.render() == via_codegen_engine.render()
+
+    def test_cache_tag_isolates_codegen_keys(self):
+        config = PassConfig.for_level(3)
+        assert _combined_tag(config, None, codegen=True) != \
+            _combined_tag(config, None, codegen=False)
+
+    def test_shared_cache_never_crosses_engines(self):
+        cache = PlanCache(capacity=8)
+        stats = EngineStats()
+        expr = _sym_diff_chain(2)
+        database = {"X": self.X, "Y": self.Y}
+        first = evaluate(expr, database, engine="codegen", cache=cache,
+                         stats=stats)
+        assert stats.cache_misses == 1
+        repeat = evaluate(expr, database, engine="codegen",
+                          cache=cache, stats=stats)
+        assert repeat == first
+        assert stats.cache_hits == 1
+        crossed = evaluate(expr, database, engine="physical",
+                           cache=cache, stats=stats)
+        assert crossed == first
+        assert stats.cache_misses == 2  # isolated key: no false hit
+        assert stats.cache_hits == 1
+
+    def test_explain_reports_fusion_counters(self):
+        text = explain_physical(_sym_diff_chain(2), engine="codegen",
+                                X=self.X, Y=self.Y)
+        assert "-- codegen --" in text
+        assert "fused segments" in text
+        assert "barrier fallbacks" in text
+        assert "sym-diff-dedup" in text
+
+    def test_compile_codegen_render_lists_segments(self):
+        plan = plan_for(_sym_diff_chain(2), {"X": self.X, "Y": self.Y},
+                        engine="codegen")
+        rendered = plan.render()
+        assert "fused segment(s)" in rendered
+        assert "-- lowered plan --" in rendered
+
+
+# ----------------------------------------------------------------------
+# Mutation teeth: broken kernels must be caught within 10 cases
+# ----------------------------------------------------------------------
+
+def _detect(patches, cases=10, case_for=None):
+    """Run oracle vs engine-codegen over a fixed generated stream with
+    columnar kernels mutated (``patches`` maps kernel name to a
+    ``patch(original)`` wrapper); return the 1-based index of the
+    first mismatch, or None if the mutants survive all ``cases``.
+    ``case_for(index)`` overrides the default mixed-fragment stream
+    (returning None skips an index)."""
+    originals = {name: getattr(columnar, name) for name in patches}
+    for name, patch in patches.items():
+        setattr(columnar, name, patch(originals[name]))
+    try:
+        harness = Harness(backends=("oracle", "engine-codegen"),
+                          metamorphic=False)
+        for index in range(cases):
+            if case_for is not None:
+                case = case_for(index)
+                if case is None:
+                    continue
+            else:
+                case = generate_case(0, index, fragment="mixed")
+            report = harness.run_case(case)
+            if report.mismatches:
+                return index + 1
+        return None
+    finally:
+        for name, original in originals.items():
+            setattr(columnar, name, original)
+
+
+def _dedup_case(index):
+    """``eps(A (+) (A - B))`` over two same-typed generated relations:
+    every value surviving the monus repeats one of A's, so the value
+    column reaching the dedup kernel carries structural repeats (a
+    plain ``R (+) R`` would be rewritten into a multiplicity scale,
+    whose dedup path never sees them) and an occurrence-counting
+    mutant is visible immediately."""
+    base = generate_case(0, index, fragment="balg1")
+    by_type = {}
+    for name in sorted(base.database):
+        pair = by_type.setdefault(repr(base.schema[name]), [])
+        pair.append(name)
+        if len(pair) == 2:
+            a, b = pair
+            expr = Dedup(AdditiveUnion(
+                Var(a), Subtraction(Var(a), Var(b))))
+            return Case(schema=base.schema, database=base.database,
+                        expr=expr, fragment="balg1")
+    return None
+
+
+def _sym_diff_case(index):
+    """``eps((A - B) (+) (B - A))`` over two same-typed generated
+    relations — exactly the shape the compiler rewrites into the
+    ``c_sym_diff_dedup`` super-kernel."""
+    base = generate_case(0, index, fragment="balg1")
+    by_type = {}
+    for name in sorted(base.database):
+        pair = by_type.setdefault(repr(base.schema[name]), [])
+        pair.append(name)
+        if len(pair) == 2:
+            a, b = pair
+            expr = Dedup(AdditiveUnion(
+                Subtraction(Var(a), Var(b)),
+                Subtraction(Var(b), Var(a))))
+            return Case(schema=base.schema, database=base.database,
+                        expr=expr, fragment="balg1")
+    return None
+
+
+def _join_case(index):
+    """A join-shaped case over a generated database: the equality
+    crosses the product boundary, so lowering may fuse it to a hash
+    join (or keep the nested-loop product under the threshold) — the
+    multiplicity-product mutation is visible either way."""
+    base = generate_case(0, index, fragment="balg1")
+    flat = [name for name in sorted(base.database)
+            if isinstance(getattr(base.schema[name], "element", None),
+                          TupleType)]
+    if len(flat) < 2:
+        return None
+    r1, r2 = flat[:2]
+    a1 = base.schema[r1].element.arity
+    expr = Select(Lam("t", Attribute(Var("t"), 1)),
+                  Lam("t", Attribute(Var("t"), a1 + 1)),
+                  Cartesian(Var(r1), Var(r2)))
+    return Case(schema=base.schema, database=base.database,
+                expr=expr, fragment="balg1")
+
+
+class TestMutationDetection:
+    def test_monus_without_count_clamp_is_caught(self):
+        def patch(orig):
+            def patched(left, right):
+                get = right.get
+                # keeps zero/negative rows at count 1
+                return {value: max(1, count - get(value, 0))
+                        for value, count in left.items()}
+            return patched
+
+        assert _detect({"c_monus": patch}) is not None
+
+    def test_join_dropping_multiplicity_product_is_caught(self):
+        # the same semantic mutation on both members of the join
+        # family (the build side's counts flattened to 1), driven by
+        # join-shaped cases over generated databases
+        def patch(orig):
+            def patched(probe_values, probe_counts, build, *rest,
+                        **kw):
+                flat_build = dict.fromkeys(build, 1)
+                return orig(probe_values, probe_counts, flat_build,
+                            *rest, **kw)
+            return patched
+
+        assert _detect({"c_hash_join": patch, "c_product": patch},
+                       case_for=_join_case) is not None
+
+    def test_dedup_keeping_counts_is_caught(self):
+        def patch(orig):
+            def patched(values):
+                out = {}
+                get = out.get
+                # occurrence-counting instead of count collapse
+                for value in values:
+                    out[value] = get(value, 0) + 1
+                return out
+            return patched
+
+        assert _detect({"c_dedup": patch},
+                       case_for=_dedup_case) is not None
+
+    def test_sym_diff_super_kernel_mutant_is_caught(self):
+        def patch(orig):
+            def patched(left, right):
+                out = orig(left, right)
+                # forgets the right-only values
+                return {value: 1 for value in out if value in left}
+            return patched
+
+        assert _detect({"c_sym_diff_dedup": patch},
+                       case_for=_sym_diff_case) is not None
