@@ -14,8 +14,11 @@ Collected headlines:
 * **e20_engine** — final sym-diff speedup of the physical engine over
   the tree walker (the ``>= 5x`` acceptance number);
 * **e21_testkit** — full-matrix differential throughput in cases/sec;
-* **e22_parallel** — per-workload scaling cells, the best speedup at
-  4 workers, and the governed-edge statuses;
+* **e22_parallel** — per-workload scaling cells (with bytes shipped
+  per cell), the acceptance gates with their passed / failed /
+  skipped-with-reason verdicts and the CPU count they were judged on,
+  the codec-vs-pickle serialization bytes, and the governed-edge
+  statuses;
 * **e23_planner** — staged-planner compile overhead (worst mean
   compile across workloads and opt levels) and the opt0-vs-opt2
   end-to-end plan-quality speedups;
@@ -105,26 +108,50 @@ def collect_e21() -> Optional[Dict[str, Any]]:
 
 
 def collect_e22() -> Optional[Dict[str, Any]]:
-    """Headline: scaling cells plus governed-edge statuses."""
+    """Headline: scaling cells, acceptance gates (passed / failed /
+    skipped-with-reason), codec-vs-pickle bytes, governed edges."""
     text = _read("e22_parallel.json")
     if text is None:
         return None
     document = json.loads(text)
-    workloads = {
-        entry["workload"]: {
+    workloads = {}
+    for entry in document.get("workloads", []):
+        folded = {
             "serial_seconds": round(entry["serial_seconds"], 4),
             "cells": [{"workers": cell["workers"],
                        "seconds": round(cell["seconds"], 4),
-                       "speedup": round(cell["speedup"], 3)}
+                       "speedup": round(cell["speedup"], 3),
+                       "bytes_shipped": cell.get("bytes_shipped")}
                       for cell in entry["cells"]],
         }
-        for entry in document.get("workloads", [])
-    }
+        if "thread_2w_speedup" in entry:
+            folded["thread_2w_speedup"] = round(
+                entry["thread_2w_speedup"], 3)
+        workloads[entry["workload"]] = folded
+    serialization = document.get("serialization")
+    if serialization is not None:
+        serialization = {
+            "morsels": serialization.get("morsels"),
+            "codec_bytes": serialization.get("codec_bytes"),
+            "pickle_bytes": serialization.get("pickle_bytes"),
+            "bytes_ratio": round(
+                serialization.get("bytes_ratio", 0.0), 3),
+        }
+    gates = document.get("gates")
+    if gates is not None:
+        gates = {name: {key: (round(value, 3)
+                              if isinstance(value, float) else value)
+                        for key, value in gate.items()}
+                 for name, gate in gates.items()}
     return {"headline": "morsel-driven scaling, process backend",
             "smoke": document.get("smoke"),
             "cpu_count": document.get("cpu_count"),
             "speedup_at_4_workers": round(
                 document.get("speedup_at_4_workers", 0.0), 3),
+            "speedup_at_2_workers": round(
+                document.get("speedup_at_2_workers", 0.0), 3),
+            "gates": gates,
+            "serialization": serialization,
             "workloads": workloads,
             "governed": document.get("governed"),
             "statuses": _statuses("e22_parallel")}

@@ -34,6 +34,11 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: accumulated across one pytest run.
 _STATUS: Dict[str, List[Dict[str, object]]] = {}
 
+#: experiment name -> top-level metadata merged into the status file
+#: (hardware context, gate verdicts — anything a reader needs to tell
+#: a skipped acceptance gate from a failed one).
+_META: Dict[str, Dict[str, object]] = {}
+
 
 def emit_table(name: str, title: str, headers: Sequence[str],
                rows: Iterable[Sequence]) -> str:
@@ -58,6 +63,17 @@ def emit_table(name: str, title: str, headers: Sequence[str],
     return text
 
 
+def _write_status(experiment: str) -> None:
+    document: Dict[str, object] = {"experiment": experiment}
+    document.update(_META.get(experiment, {}))
+    document["cells"] = _STATUS.get(experiment, [])
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.status.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def record_cell_status(experiment: str, cell: str,
                        outcome: RunOutcome) -> None:
     """Record one cell's outcome and rewrite the experiment's status
@@ -67,12 +83,19 @@ def record_cell_status(experiment: str, cell: str,
     cells.append({"cell": cell, "status": outcome.status,
                   "attempts": outcome.attempts})
     cells.sort(key=lambda entry: str(entry["cell"]))
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{experiment}.status.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump({"experiment": experiment, "cells": cells}, handle,
-                  indent=2, sort_keys=True)
-        handle.write("\n")
+    _write_status(experiment)
+
+
+def record_experiment_meta(experiment: str, **meta: object) -> None:
+    """Merge top-level metadata into an experiment's status file.
+
+    E22 records the CPU count, smoke/full mode, and its acceptance
+    gates here, so a reader of ``<e>.status.json`` can distinguish a
+    *skipped* hardware-bound gate (too few cores, smoke tier) from a
+    *failed* one without re-deriving the gating rule.
+    """
+    _META.setdefault(experiment, {}).update(meta)
+    _write_status(experiment)
 
 
 def governed_cell(experiment: str, cell: str,

@@ -59,7 +59,7 @@ class Tup:
         for item in items:
             _check_value(item)
         self._items: Tuple[Any, ...] = tuple(items)
-        self._hash = hash(("Tup", self._items))
+        self._hash = None  # computed once on first __hash__, then cached
         self._shape = None  # structural fingerprint, cached on demand
 
     @property
@@ -90,7 +90,7 @@ class Tup:
         out = Tup.__new__(Tup)
         items = self._items + other._items
         out._items = items
-        out._hash = hash(("Tup", items))
+        out._hash = None
         if self._shape is not None and other._shape is not None:
             out._shape = _concat_shape(self._shape, other._shape)
         else:
@@ -110,7 +110,15 @@ class Tup:
         return isinstance(other, Tup) and self._items == other._items
 
     def __hash__(self) -> int:
-        return self._hash
+        # computed on first use and slot-cached: join/dedup kernels hash
+        # every row at least once, but many rows are built and discarded
+        # without ever entering a dict (projections, predicates), and a
+        # concat in the join hot path should not pay two child walks
+        value = self._hash
+        if value is None:
+            value = hash(("Tup", self._items))
+            self._hash = value
+        return value
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(item) for item in self._items)

@@ -158,6 +158,7 @@ def evaluate(expr: Expr,
              workers: Optional[int] = None,
              parallel_backend: str = "thread",
              parallel_threshold: Optional[float] = None,
+             min_morsel_rows: Optional[int] = None,
              opt_level: Optional[int] = None,
              config: Optional[PassConfig] = None,
              resilience=None,
@@ -180,7 +181,10 @@ def evaluate(expr: Expr,
     morsel-parallel on ``workers`` threads (or processes with
     ``parallel_backend="process"``); ``parallel_threshold`` overrides
     the minimum estimated cardinality below which the lowering pass
-    refuses to insert exchanges (0 forces them everywhere).
+    refuses to insert exchanges (0 forces them everywhere), and
+    ``min_morsel_rows`` overrides the adaptive morsel-granularity
+    floor (1 forces the full ``workers x morsel_factor`` split even
+    on tiny inputs — what the differential harness does).
     ``engine="codegen"`` compiles the lowered plan one step further —
     every pipeline segment fuses into a columnar Python closure
     (:mod:`repro.engine.codegen`); powerset/flatten/nest subtrees fall
@@ -225,10 +229,12 @@ def evaluate(expr: Expr,
             policy = ParallelPolicy(threshold=parallel_threshold)
         else:
             policy = ParallelPolicy()
+        extra = ({} if min_morsel_rows is None
+                 else {"min_morsel_rows": min_morsel_rows})
         parallel_config = ParallelConfig(
             workers=workers if workers is not None else 2,
             backend=parallel_backend,
-            resilience=resilience_config)
+            resilience=resilience_config, **extra)
     bindings = _bindings_of(database, named_bags)
     missing = expr.free_vars() - set(bindings)
     if missing:
@@ -387,7 +393,10 @@ def explain_physical(expr: Expr,
              f"partitions created   {stats.partitions_created}",
              f"morsels executed     {stats.morsels_executed}",
              f"gather barriers      {stats.gather_barriers}",
-             f"per-worker steps     {stats.worker_steps}"]
+             f"per-worker steps     {stats.worker_steps}",
+             f"bytes shipped        {stats.bytes_shipped}",
+             f"segment cache        hits={stats.segment_cache_hits} "
+             f"misses={stats.segment_cache_misses}"]
     if resilience_config is not None:
         demotions = ("; ".join(stats.demotions) if stats.demotions
                      else "none")

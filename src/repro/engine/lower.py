@@ -91,7 +91,7 @@ class Lowering:
                  = None, selectivity: float = 0.5,
                  arities: Optional[Mapping[str, int]] = None,
                  parallel=None, cost_based: bool = True,
-                 selectivity_fn=None):
+                 selectivity_fn=None, segment_tag=None):
         self.statistics = dict(statistics) if statistics else None
         self.selectivity = selectivity
         #: Optional per-predicate selectivity oracle (catalog
@@ -101,6 +101,9 @@ class Lowering:
         #: Optional ParallelPolicy: when set, the parallelism pass
         #: wraps eligible subtrees in Gather/Exchange/Partition nodes.
         self.parallel = parallel
+        #: The planner's ``PassConfig.cache_tag()``: stamped onto every
+        #: Exchange so workers key their compiled-segment caches on it.
+        self.segment_tag = segment_tag
         #: ``False`` is the planner's opt-level-0 mode: a purely
         #: syntax-directed kernel choice — no join fusion, no operand
         #: reordering, no multiplicity-scale collapse, no shared-scan
@@ -277,7 +280,8 @@ class Lowering:
                       self._estimate(leaf.expr))
             for leaf in segment.leaves
         ]
-        exchange = Exchange(partitions, segment.program, estimated)
+        exchange = Exchange(partitions, segment.program, estimated,
+                            tag=self.segment_tag)
         return Gather(exchange, estimated)
 
     # -- selection / join -----------------------------------------------
@@ -446,9 +450,10 @@ def lower(expr: Expr,
           selectivity: float = 0.5,
           arities: Optional[Mapping[str, int]] = None,
           parallel=None, cost_based: bool = True,
-          selectivity_fn=None) -> PhysicalPlan:
+          selectivity_fn=None, segment_tag=None) -> PhysicalPlan:
     """One-shot lowering convenience wrapper."""
     return Lowering(statistics, selectivity=selectivity,
                     arities=arities, parallel=parallel,
                     cost_based=cost_based,
-                    selectivity_fn=selectivity_fn).lower(expr)
+                    selectivity_fn=selectivity_fn,
+                    segment_tag=segment_tag).lower(expr)

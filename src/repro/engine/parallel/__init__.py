@@ -3,8 +3,13 @@
 Three layers (see ``docs/parallel.md`` for the full story):
 
 * :mod:`~repro.engine.parallel.partition` — hash partitioning of
-  multiplicity streams, the partition-compatibility table, and the
-  closure-free *segment programs* shipped to workers;
+  multiplicity streams, the partition-compatibility table, the
+  closure-free *segment programs* shipped to workers, and the
+  worker-resident compiled-segment cache (each worker compiles a
+  segment once per plan tag and reuses the closure across morsels);
+* :mod:`~repro.engine.parallel.codec` — the columnar shard codec
+  (value column + count column, interned atoms) used to ship morsels
+  to process-pool workers instead of pickled count dicts;
 * :mod:`~repro.engine.parallel.exchange` — the
   Partition/Exchange/Gather physical nodes and the thread/process
   worker pools with ordered merge and fail-fast errors;
@@ -24,8 +29,9 @@ workers=N)``, ``run_sql(..., engine="parallel")``, the CLI's
 ``--engine parallel --workers N`` / ``:engine parallel``.
 """
 
+from repro.engine.parallel.codec import decode_shard, encode_shard
 from repro.engine.parallel.exchange import (
-    Exchange, Gather, ParallelConfig, Partition,
+    Exchange, Gather, ParallelConfig, Partition, adaptive_shards,
 )
 from repro.engine.parallel.governor import (
     SharedBudget, WorkerGovernor, merge_worker_steps, presplit_limits,
@@ -33,16 +39,20 @@ from repro.engine.parallel.governor import (
 )
 from repro.engine.parallel.partition import (
     PARTITION_COMPAT, LeafSpec, ParallelPolicy, ParallelSegment,
-    compile_parallel_segment, execute_program, merge_counts,
-    split_counts,
+    clear_segment_cache, compile_parallel_segment,
+    compiled_segment_for, execute_program, merge_counts,
+    segment_cache_len, split_counts,
 )
 from repro.engine.resilience import LADDER, ResilienceConfig
 
 __all__ = [
     "PARTITION_COMPAT", "ParallelPolicy", "ParallelSegment", "LeafSpec",
     "ParallelConfig", "Partition", "Exchange", "Gather",
+    "adaptive_shards",
     "SharedBudget", "WorkerGovernor", "presplit_limits",
     "presplit_spec", "merge_worker_steps", "compile_parallel_segment",
+    "compiled_segment_for", "clear_segment_cache", "segment_cache_len",
     "execute_program", "split_counts", "merge_counts",
+    "encode_shard", "decode_shard",
     "ResilienceConfig", "LADDER",
 ]

@@ -1,0 +1,346 @@
+"""Compact binary codec for columnar morsels.
+
+The process backend used to ship each shard as a pickled
+``{value: count}`` dict.  Pickle is general but fat: every ``Tup``
+carries its class reference, slot-state machinery, and re-encoded
+atoms — for a join shard of k-ary tuples over a small atom domain
+that is an order of magnitude more bytes than the information
+content.  This codec exploits exactly the structure the bag model
+guarantees (Section 3 of the paper: complex objects are atoms closed
+under tuple and bag constructors):
+
+* **interned atoms** — every distinct atom is encoded once in a
+  type-tagged atom table; values reference atoms by varint index.
+  Join outputs repeat the same handful of atoms across thousands of
+  rows, so the table amortises to ~1–2 bytes per attribute.
+* **value array + count array** — the distinct values are encoded as
+  one contiguous value stream plus one varint count column: the wire
+  form of :class:`~repro.engine.columnar.ColumnarBag`'s parallel
+  ``values``/``counts`` arrays.  Homogeneous shards (every value a
+  same-arity tuple of atoms, or a bare atom — the join/scan shape)
+  take a *flat* mode whose value array is fixed-width columns of atom
+  indices, ~1 byte per attribute with no per-value tags; mixed or
+  nested shards fall back to a tagged recursive stream.
+* **no per-object protocol overhead** — tuples are
+  ``TUP arity item...``, nested bags are ``BAG n (value count)...``;
+  arity and nesting are explicit, so decoding rebuilds values without
+  running any constructor validation (the parent already validated
+  the shard it split).
+
+Atoms outside the scalar fast path (exotic hashables) fall back to an
+embedded pickle, so the codec is total over every shard the engine
+can produce.  ``decode_shard(encode_shard(d)) == d`` for any
+well-formed count dict — property-tested in ``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.bag import Bag, Tup, _check_homogeneous
+
+__all__ = ["encode_shard", "decode_shard"]
+
+_MAGIC = b"CM01"
+
+# atom table tags
+_A_NONE = 0
+_A_TRUE = 1
+_A_FALSE = 2
+_A_INT = 3
+_A_STR = 4
+_A_FLOAT = 5
+_A_BYTES = 6
+_A_PICKLE = 7
+
+# value stream tags
+_V_ATOM = 0
+_V_TUP = 1
+_V_BAG = 2
+
+# value-stream modes: the common shard shapes drop per-value tags
+_M_GENERIC = 0       # tagged recursive stream (nested bags, mixes)
+_M_FLAT_TUPLES = 1   # same-arity atom tuples: arity, then n*arity idx
+_M_FLAT_ATOMS = 2    # bare atoms: n indices
+
+_pack_double = struct.Struct(">d").pack
+_unpack_double = struct.Struct(">d").unpack_from
+
+
+def _write_varint(buf: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _write_signed(buf: bytearray, value: int) -> None:
+    # zigzag: small magnitudes of either sign stay one byte
+    if value >= 0:
+        _write_varint(buf, value << 1)
+    else:
+        _write_varint(buf, ((-value) << 1) - 1)
+
+
+def _read_signed(data: bytes, pos: int) -> Tuple[int, int]:
+    raw, pos = _read_varint(data, pos)
+    if raw & 1:
+        return -((raw + 1) >> 1), pos
+    return raw >> 1, pos
+
+
+class _AtomTable:
+    """Assigns dense indices to distinct atoms on first sight and
+    serialises the table itself (in index order) into the header."""
+
+    __slots__ = ("index", "buf")
+
+    def __init__(self) -> None:
+        self.index: Dict[Any, int] = {}
+        self.buf = bytearray()
+
+    def intern(self, atom: Any) -> int:
+        # bool before int: True == 1 would collide in the dict, and a
+        # bool must round-trip as a bool
+        key = (type(atom), atom)
+        slot = self.index.get(key)
+        if slot is not None:
+            return slot
+        slot = len(self.index)
+        self.index[key] = slot
+        buf = self.buf
+        if atom is None:
+            buf.append(_A_NONE)
+        elif atom is True:
+            buf.append(_A_TRUE)
+        elif atom is False:
+            buf.append(_A_FALSE)
+        elif type(atom) is int:
+            buf.append(_A_INT)
+            _write_signed(buf, atom)
+        elif type(atom) is str:
+            raw = atom.encode("utf-8")
+            buf.append(_A_STR)
+            _write_varint(buf, len(raw))
+            buf += raw
+        elif type(atom) is float:
+            buf.append(_A_FLOAT)
+            buf += _pack_double(atom)
+        elif type(atom) is bytes:
+            buf.append(_A_BYTES)
+            _write_varint(buf, len(raw := atom))
+            buf += raw
+        else:
+            raw = pickle.dumps(atom, protocol=pickle.HIGHEST_PROTOCOL)
+            buf.append(_A_PICKLE)
+            _write_varint(buf, len(raw))
+            buf += raw
+        return slot
+
+
+def _encode_value(value: Any, buf: bytearray, atoms: _AtomTable) -> None:
+    if isinstance(value, Tup):
+        buf.append(_V_TUP)
+        items = value.items()
+        _write_varint(buf, len(items))
+        for item in items:
+            _encode_value(item, buf, atoms)
+    elif isinstance(value, Bag):
+        counts = value._counts
+        buf.append(_V_BAG)
+        _write_varint(buf, len(counts))
+        for element, count in counts.items():
+            _encode_value(element, buf, atoms)
+            _write_varint(buf, count)
+    else:
+        buf.append(_V_ATOM)
+        _write_varint(buf, atoms.intern(value))
+
+
+def _flat_arity(counts: Dict[Any, int]) -> Optional[int]:
+    """The common arity when every value is a ``Tup`` of atoms (the
+    join/scan shard shape), else ``None``."""
+    arity = None
+    for value in counts:
+        if type(value) is not Tup:
+            return None
+        items = value.items()
+        if arity is None:
+            arity = len(items)
+        elif len(items) != arity:
+            return None
+        for item in items:
+            if isinstance(item, (Tup, Bag)):
+                return None
+    return arity
+
+
+def encode_shard(counts: Dict[Any, int]) -> bytes:
+    """Encode a ``{value: count}`` shard into the wire format.
+
+    Layout: magic, varint atom-table length, the type-tagged atom
+    table, varint value count, the count array (one varint per
+    value), a mode byte, then the value array.  Homogeneous shards —
+    every value a same-arity tuple of atoms, or every value a bare
+    atom — take a *flat* mode: fixed-width columns of atom indices
+    with no per-value structure tags (the dominant join/scan shape,
+    ~1 byte per attribute).  Anything else takes the generic tagged
+    recursive stream.
+    """
+    atoms = _AtomTable()
+    values = bytearray()
+    column = bytearray()
+    _write_varint(column, len(counts))
+    for count in counts.values():
+        _write_varint(column, count)
+    arity = _flat_arity(counts) if counts else None
+    if arity is not None:
+        values.append(_M_FLAT_TUPLES)
+        _write_varint(values, arity)
+        for value in counts:
+            for item in value.items():
+                _write_varint(values, atoms.intern(item))
+    elif counts and not any(isinstance(value, (Tup, Bag))
+                            for value in counts):
+        values.append(_M_FLAT_ATOMS)
+        for value in counts:
+            _write_varint(values, atoms.intern(value))
+    else:
+        values.append(_M_GENERIC)
+        for value in counts:
+            _encode_value(value, values, atoms)
+    out = bytearray(_MAGIC)
+    _write_varint(out, len(atoms.index))
+    out += atoms.buf
+    out += column
+    out += values
+    return bytes(out)
+
+
+def _decode_atoms(data: bytes, pos: int) -> Tuple[List[Any], int]:
+    natoms, pos = _read_varint(data, pos)
+    atoms: List[Any] = []
+    append = atoms.append
+    for _ in range(natoms):
+        tag = data[pos]
+        pos += 1
+        if tag == _A_NONE:
+            append(None)
+        elif tag == _A_TRUE:
+            append(True)
+        elif tag == _A_FALSE:
+            append(False)
+        elif tag == _A_INT:
+            value, pos = _read_signed(data, pos)
+            append(value)
+        elif tag == _A_STR:
+            length, pos = _read_varint(data, pos)
+            append(data[pos:pos + length].decode("utf-8"))
+            pos += length
+        elif tag == _A_FLOAT:
+            append(_unpack_double(data, pos)[0])
+            pos += 8
+        elif tag == _A_BYTES:
+            length, pos = _read_varint(data, pos)
+            append(data[pos:pos + length])
+            pos += length
+        elif tag == _A_PICKLE:
+            length, pos = _read_varint(data, pos)
+            append(pickle.loads(data[pos:pos + length]))
+            pos += length
+        else:  # pragma: no cover - encoder emits known tags only
+            raise ValueError(f"bad atom tag {tag}")
+    return atoms, pos
+
+
+def _decode_value(data: bytes, pos: int, atoms: List[Any]
+                  ) -> Tuple[Any, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _V_ATOM:
+        index, pos = _read_varint(data, pos)
+        return atoms[index], pos
+    if tag == _V_TUP:
+        arity, pos = _read_varint(data, pos)
+        items = []
+        for _ in range(arity):
+            item, pos = _decode_value(data, pos, atoms)
+            items.append(item)
+        # the encoder only sees validated values, so rebuild without
+        # re-running constructor checks; hash and shape stay lazy
+        tup = Tup.__new__(Tup)
+        tup._items = tuple(items)
+        tup._hash = None
+        tup._shape = None
+        return tup, pos
+    if tag == _V_BAG:
+        ndistinct, pos = _read_varint(data, pos)
+        inner: Dict[Any, int] = {}
+        for _ in range(ndistinct):
+            element, pos = _decode_value(data, pos, atoms)
+            count, pos = _read_varint(data, pos)
+            inner[element] = count
+        bag = Bag.__new__(Bag)
+        bag._shape = _check_homogeneous(inner.keys())
+        bag._counts = inner
+        bag._cardinality = sum(inner.values())
+        bag._hash = None
+        return bag, pos
+    raise ValueError(f"bad value tag {tag}")  # pragma: no cover
+
+
+def decode_shard(data: bytes) -> Dict[Any, int]:
+    """Decode :func:`encode_shard` output back into a count dict."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a columnar-morsel blob")
+    atoms, pos = _decode_atoms(data, 4)
+    nvalues, pos = _read_varint(data, pos)
+    counts = []
+    for _ in range(nvalues):
+        count, pos = _read_varint(data, pos)
+        counts.append(count)
+    out: Dict[Any, int] = {}
+    mode = data[pos]
+    pos += 1
+    if mode == _M_FLAT_TUPLES:
+        arity, pos = _read_varint(data, pos)
+        for count in counts:
+            items = []
+            for _ in range(arity):
+                index, pos = _read_varint(data, pos)
+                items.append(atoms[index])
+            tup = Tup.__new__(Tup)
+            tup._items = tuple(items)
+            tup._hash = None
+            tup._shape = None
+            out[tup] = count
+    elif mode == _M_FLAT_ATOMS:
+        for count in counts:
+            index, pos = _read_varint(data, pos)
+            out[atoms[index]] = count
+    elif mode == _M_GENERIC:
+        for count in counts:
+            value, pos = _decode_value(data, pos, atoms)
+            out[value] = count
+    else:  # pragma: no cover - encoder emits known modes only
+        raise ValueError(f"bad value-stream mode {mode}")
+    return out

@@ -19,9 +19,24 @@ order.  :class:`Gather` is the explicit barrier marker above the
 exchange (it is where value-disjointness ends and serial execution
 resumes).
 
-Morsels: over-partitioning by ``morsel_factor`` (default 4) gives the
+Morsels: over-partitioning by ``morsel_factor`` (default 2) gives the
 pool more tasks than workers, so a skewed shard does not leave the
 other workers idle — the classic morsel-driven load-balancing shape.
+The shard count additionally adapts downward to the input cardinality
+(:func:`adaptive_shards`): a morsel below ~``MORSEL_MIN_ROWS``
+distinct rows costs more in dispatch than it saves in parallelism, so
+small inputs get fewer, bigger morsels (down to one).
+
+Columnar morsels: under the process backend each shard crosses the
+process boundary as a codec blob
+(:mod:`repro.engine.parallel.codec` — interned atoms, value array +
+count array) instead of a pickled dict, in both directions; the bytes
+actually shipped are counted in ``EngineStats.bytes_shipped``.
+Workers execute the declarative segment program through a
+process-local compiled-segment cache
+(:func:`~repro.engine.parallel.partition.compiled_segment_for`), so a
+worker compiles each distinct ``(pass tag, program)`` once and every
+later morsel reuses the resident closures.
 
 Error handling is fail-fast by default: the first worker failure
 cancels the shared fail-fast token (thread backend), so sibling
@@ -47,12 +62,14 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import random
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import Cancelled
+from repro.engine.parallel.codec import decode_shard, encode_shard
 from repro.engine.parallel.governor import (
     SharedBudget, WorkerGovernor, merge_worker_steps, presplit_spec,
 )
@@ -66,10 +83,17 @@ from repro.engine.resilience import (
 from repro.guard import Limits, ResourceGovernor
 from repro.guard.retry import classify_governed_error
 
-__all__ = ["ParallelConfig", "Partition", "Exchange", "Gather"]
+__all__ = ["ParallelConfig", "Partition", "Exchange", "Gather",
+           "adaptive_shards"]
 
-#: Default shards-per-worker over-partitioning factor.
-MORSEL_FACTOR = 4
+#: Default shards-per-worker over-partitioning factor.  2, not 4: a
+#: compiled columnar step costs microseconds per morsel, so dispatch
+#: overhead — not load imbalance — dominates at high shard counts.
+MORSEL_FACTOR = 2
+
+#: Target minimum distinct rows per morsel; inputs smaller than
+#: ``num_shards * MORSEL_MIN_ROWS`` get proportionally fewer shards.
+MORSEL_MIN_ROWS = 512
 
 
 @dataclass(frozen=True)
@@ -86,12 +110,19 @@ class ParallelConfig:
     ResilienceConfig`, or ``None``) opts the exchange into per-morsel
     retry, pool respawn, and the degradation ladder; ``None`` keeps
     the original fail-fast scheduler.
+
+    ``min_morsel_rows`` is the adaptive-granularity floor (see
+    :func:`adaptive_shards`); ``1`` splits as finely as the input
+    cardinality allows, up to ``workers x morsel_factor`` shards —
+    the differential harness uses that to fuzz the multi-shard merge
+    on tiny bags.
     """
 
     workers: int = 2
     backend: str = "thread"
     morsel_factor: int = MORSEL_FACTOR
     resilience: Optional[ResilienceConfig] = None
+    min_morsel_rows: int = MORSEL_MIN_ROWS
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -103,6 +134,27 @@ class ParallelConfig:
     @property
     def num_shards(self) -> int:
         return self.workers * self.morsel_factor
+
+
+def adaptive_shards(config: ParallelConfig,
+                    inputs: Sequence[Dict[Any, int]]) -> int:
+    """Shard count adapted to the exchange's input cardinality.
+
+    ``workers x morsel_factor`` is the ceiling (enough morsels to
+    steal work across skewed shards); below it the count shrinks so
+    every morsel routes at least ~:data:`MORSEL_MIN_ROWS` distinct
+    rows — per-morsel dispatch (task submit, governor arming, and
+    under the process backend codec + IPC) is a fixed cost, so tiny
+    morsels make parallelism a net loss.  One shard means the segment
+    still runs on the pool (same code path, same governance) but
+    without splitting overhead.
+    """
+    total = sum(len(counts) for counts in inputs)
+    if total <= 0:
+        return 1
+    floor = max(1, config.min_morsel_rows)
+    by_rows = -(-total // floor)  # ceil division
+    return max(1, min(config.num_shards, by_rows))
 
 
 class Partition(PhysicalNode):
@@ -146,14 +198,19 @@ class Exchange(PhysicalNode):
     from serial entry points.
     """
 
-    __slots__ = ("partitions", "program")
+    __slots__ = ("partitions", "program", "tag")
     kernel = "exchange"
 
     def __init__(self, partitions: Sequence[Partition],
-                 program: Tuple[Tuple, ...], estimated=None):
+                 program: Tuple[Tuple, ...], estimated=None,
+                 tag: Optional[Tuple] = None):
         super().__init__(estimated)
         self.partitions = tuple(partitions)
         self.program = program
+        #: The planner's ``PassConfig.cache_tag()`` (or ``None``):
+        #: half of the worker-local compiled-segment cache key, so a
+        #: pass-config change invalidates resident segments.
+        self.tag = tag
 
     def children(self):
         return self.partitions
@@ -171,7 +228,7 @@ class Exchange(PhysicalNode):
             merged = execute_program(
                 self.program, inputs, tick=self._serial_tick(ctx),
                 every=ctx.tick_interval, stats=ctx.stats,
-                check_size=self._size_check(ctx))
+                check_size=self._size_check(ctx), tag=self.tag)
         else:
             merged = self._run_sharded(ctx, config, inputs)
         yield from merged.items()
@@ -194,7 +251,7 @@ class Exchange(PhysicalNode):
 
     def _run_sharded(self, ctx, config: ParallelConfig,
                      inputs: List[Dict[Any, int]]) -> Dict[Any, int]:
-        num_shards = config.num_shards
+        num_shards = adaptive_shards(config, inputs)
         sharded = [split_counts(counts, num_shards, part.key)
                    for counts, part in zip(inputs, self.partitions)]
         ctx.stats.partitions_created += len(inputs)
@@ -205,11 +262,13 @@ class Exchange(PhysicalNode):
             return {}
         if config.resilience is not None:
             outcomes = _run_resilient(ctx, config, self.program, tasks,
-                                      config.resilience)
+                                      config.resilience, self.tag)
         elif config.backend == "process":
-            outcomes = _run_process_pool(ctx, config, self.program, tasks)
+            outcomes = _run_process_pool(ctx, config, self.program,
+                                         tasks, self.tag)
         else:
-            outcomes = _run_thread_pool(ctx, config, self.program, tasks)
+            outcomes = _run_thread_pool(ctx, config, self.program,
+                                        tasks, self.tag)
         ctx.stats.morsels_executed += len(tasks)
         # ordered merge: shard index order, not completion order
         outcomes.sort(key=lambda outcome: outcome[0])
@@ -217,8 +276,11 @@ class Exchange(PhysicalNode):
         worker_steps = [steps for _, _, steps, _ in outcomes]
         if ctx.governor is not None:
             merge_worker_steps(ctx.governor, worker_steps)
-            ctx.governor.check_size(counts_size(merged),
-                                    ctx.evaluator.stats)
+            if ctx.governor.max_size is not None:
+                # counts_size walks every merged value, so only pay
+                # for it when a size budget can actually trip
+                ctx.governor.check_size(counts_size(merged),
+                                        ctx.evaluator.stats)
         ctx.stats.worker_steps.extend(worker_steps)
         for _, _, _, stats in outcomes:
             ctx.stats.merge_from(stats)
@@ -248,8 +310,30 @@ class Gather(PhysicalNode):
 # Thread backend
 # ----------------------------------------------------------------------
 
+#: Long-lived thread pools shared by every exchange, one per worker
+#: count.  Spawning OS threads costs ~10ms apiece on small boxes — a
+#: per-exchange pool would dominate sub-50ms queries, so the thread
+#: backend keeps its pools resident the same way workers keep their
+#: compiled segments.  The resilient thread rung still spawns its own
+#: pools: its worker-loss recovery condemns and respawns them.
+_THREAD_POOLS: Dict[int, concurrent.futures.ThreadPoolExecutor] = {}
+_THREAD_POOLS_LOCK = threading.Lock()
+
+
+def _thread_pool(workers: int) -> concurrent.futures.ThreadPoolExecutor:
+    with _THREAD_POOLS_LOCK:
+        pool = _THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"exchange-{workers}w")
+            _THREAD_POOLS[workers] = pool
+        return pool
+
+
 def _run_thread_pool(ctx, config: ParallelConfig, program,
-                     tasks: List[Tuple[int, List[Dict[Any, int]]]]
+                     tasks: List[Tuple[int, List[Dict[Any, int]]]],
+                     tag: Optional[Tuple] = None
                      ) -> List[Tuple[int, Dict[Any, int], int,
                                      EngineStats]]:
     parent = ctx.governor
@@ -266,41 +350,43 @@ def _run_thread_pool(ctx, config: ParallelConfig, program,
         if parent is None:
             counts = execute_program(program, inputs,
                                      every=ctx.tick_interval,
-                                     stats=stats)
+                                     stats=stats, tag=tag)
             return index, counts, 0, stats
         worker = WorkerGovernor(parent, shared)
         try:
             counts = execute_program(
                 program, inputs, tick=worker.tick,
                 every=ctx.tick_interval, stats=stats,
-                check_size=worker.check_size)
+                check_size=worker.check_size, tag=tag)
             return index, counts, worker.steps, stats
         finally:
             worker.close()
 
     outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
     first_error: Optional[BaseException] = None
-    with concurrent.futures.ThreadPoolExecutor(
-            max_workers=config.workers) as pool:
-        futures = [pool.submit(run_task, index, inputs)
-                   for index, inputs in tasks]
-        for future in concurrent.futures.as_completed(futures):
-            if future.cancelled():
-                # a queued morsel we cancelled after the first
-                # failure; .exception() would raise CancelledError
-                continue
-            error = future.exception()
-            if error is None:
-                outcomes.append(future.result())
-                continue
-            first_error = _prefer(first_error, error)
-            if parent is not None:
-                # fail fast: siblings observe the token at their
-                # next governor tick and stop mid-morsel
-                parent.token.cancel("parallel worker failed: "
-                                    f"{type(error).__name__}")
-            for pending in futures:
-                pending.cancel()
+    pool = _thread_pool(config.workers)
+    futures = [pool.submit(run_task, index, inputs)
+               for index, inputs in tasks]
+    # as_completed drains *every* future (cancelled ones included), so
+    # no task of this exchange is still running when we return even
+    # though the shared pool itself stays alive.
+    for future in concurrent.futures.as_completed(futures):
+        if future.cancelled():
+            # a queued morsel we cancelled after the first
+            # failure; .exception() would raise CancelledError
+            continue
+        error = future.exception()
+        if error is None:
+            outcomes.append(future.result())
+            continue
+        first_error = _prefer(first_error, error)
+        if parent is not None:
+            # fail fast: siblings observe the token at their
+            # next governor tick and stop mid-morsel
+            parent.token.cancel("parallel worker failed: "
+                                f"{type(error).__name__}")
+        for pending in futures:
+            pending.cancel()
     if first_error is not None:
         _uncancel(ctx, first_error)
         raise first_error
@@ -341,28 +427,34 @@ def _uncancel(ctx, error: BaseException) -> None:
 def _process_task(payload):
     """Top-level worker entry (must be picklable by reference).
 
-    Budgets arrive pre-split (:func:`~repro.engine.parallel.governor.
-    presplit_spec`); the governor is armed in the child, with the
-    remaining wall-clock as its timeout, so absolute deadlines carry
-    across the process boundary.  ``chaos``/``attempt`` ride in the
-    payload so injected faults fire *inside* the worker — a
-    ``worker-crash`` genuinely kills this process.
+    Shard inputs arrive as columnar-codec blobs and the result goes
+    back the same way — the payload never carries a pickled value
+    dict.  Budgets arrive pre-split
+    (:func:`~repro.engine.parallel.governor.presplit_spec`); the
+    governor is armed in the child, with the remaining wall-clock as
+    its timeout, so absolute deadlines carry across the process
+    boundary.  ``chaos``/``attempt`` ride in the payload so injected
+    faults fire *inside* the worker — a ``worker-crash`` genuinely
+    kills this process.  ``tag`` keys this process's compiled-segment
+    cache: the first morsel of a plan compiles, every later one hits.
     """
-    index, program, inputs, limits_spec, every, chaos, attempt = payload
+    (index, program, blobs, limits_spec, every, chaos, attempt,
+     tag) = payload
+    inputs = [decode_shard(blob) for blob in blobs]
     fault = _chaos_hook(chaos, index, attempt, len(program),
                         in_process_worker=True)
     stats = EngineStats()
     if limits_spec is None:
         counts = execute_program(program, inputs, every=every,
-                                 stats=stats, fault=fault)
-        return index, counts, 0, stats
+                                 stats=stats, fault=fault, tag=tag)
+        return index, encode_shard(counts), 0, stats
     governor = ResourceGovernor(Limits(**limits_spec))
     governor.start()
     counts = execute_program(program, inputs, tick=governor.tick,
                              every=every, stats=stats,
                              check_size=governor.check_size,
-                             fault=fault)
-    return index, counts, governor.steps, stats
+                             fault=fault, tag=tag)
+    return index, encode_shard(counts), governor.steps, stats
 
 
 def _process_context():
@@ -373,13 +465,31 @@ def _process_context():
     return multiprocessing.get_context()
 
 
+def _encode_task(ctx, inputs: List[Dict[Any, int]]) -> List[bytes]:
+    """Codec-encode one task's shard inputs, counting the outbound
+    bytes (what actually crosses the process boundary)."""
+    blobs = [encode_shard(counts) for counts in inputs]
+    ctx.stats.bytes_shipped += sum(len(blob) for blob in blobs)
+    return blobs
+
+
+def _decode_outcome(ctx, outcome) -> Tuple[int, Dict[Any, int], int,
+                                           EngineStats]:
+    """Decode a worker's result blob, counting the inbound bytes."""
+    index, blob, steps, stats = outcome
+    ctx.stats.bytes_shipped += len(blob)
+    return index, decode_shard(blob), steps, stats
+
+
 def _run_process_pool(ctx, config: ParallelConfig, program,
-                      tasks: List[Tuple[int, List[Dict[Any, int]]]]
+                      tasks: List[Tuple[int, List[Dict[Any, int]]]],
+                      tag: Optional[Tuple] = None
                       ) -> List[Tuple[int, Dict[Any, int], int,
                                       EngineStats]]:
     limits_spec = presplit_spec(ctx.governor, len(tasks))
-    payloads = [(index, program, inputs, limits_spec,
-                 ctx.tick_interval, None, 1) for index, inputs in tasks]
+    payloads = [(index, program, _encode_task(ctx, inputs),
+                 limits_spec, ctx.tick_interval, None, 1, tag)
+                for index, inputs in tasks]
     outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
     first_error: Optional[BaseException] = None
     with concurrent.futures.ProcessPoolExecutor(
@@ -392,7 +502,7 @@ def _run_process_pool(ctx, config: ParallelConfig, program,
                 continue
             error = future.exception()
             if error is None:
-                outcomes.append(future.result())
+                outcomes.append(_decode_outcome(ctx, future.result()))
                 continue
             first_error = _prefer(first_error, error)
             for pending in futures:
@@ -451,7 +561,8 @@ def _fault_reason(error: BaseException, attempts: int) -> str:
 
 def _run_resilient(ctx, config: ParallelConfig, program,
                    tasks: List[Tuple[int, List[Dict[Any, int]]]],
-                   res: ResilienceConfig
+                   res: ResilienceConfig,
+                   tag: Optional[Tuple] = None
                    ) -> List[Tuple[int, Dict[Any, int], int,
                                    EngineStats]]:
     """Run the shard tasks with retry/respawn, descending the
@@ -470,13 +581,14 @@ def _run_resilient(ctx, config: ParallelConfig, program,
     while True:
         try:
             if mode == "serial":
-                chunk = _run_serial_inline(ctx, program, remaining)
+                chunk = _run_serial_inline(ctx, program, remaining,
+                                           tag)
             elif mode == "process":
                 chunk = _run_process_pool_resilient(
-                    ctx, config, program, remaining, res, rng)
+                    ctx, config, program, remaining, res, rng, tag)
             else:
                 chunk = _run_thread_pool_resilient(
-                    ctx, config, program, remaining, res, rng)
+                    ctx, config, program, remaining, res, rng, tag)
             outcomes.extend(chunk)
             return outcomes
         except _LadderFault as fault:
@@ -492,7 +604,8 @@ def _run_resilient(ctx, config: ParallelConfig, program,
 
 
 def _run_serial_inline(ctx, program,
-                       tasks: List[Tuple[int, List[Dict[Any, int]]]]
+                       tasks: List[Tuple[int, List[Dict[Any, int]]]],
+                       tag: Optional[Tuple] = None
                        ) -> List[Tuple[int, Dict[Any, int], int,
                                        EngineStats]]:
     """The ladder floor: run the remaining shards inline under the
@@ -506,7 +619,7 @@ def _run_serial_inline(ctx, program,
         stats = EngineStats()
         counts = execute_program(program, inputs, tick=tick,
                                  every=ctx.tick_interval, stats=stats,
-                                 check_size=check)
+                                 check_size=check, tag=tag)
         # steps were ticked straight into the parent governor
         outcomes.append((index, counts, 0, stats))
     return outcomes
@@ -515,7 +628,8 @@ def _run_serial_inline(ctx, program,
 def _run_thread_pool_resilient(
         ctx, config: ParallelConfig, program,
         tasks: List[Tuple[int, List[Dict[Any, int]]]],
-        res: ResilienceConfig, rng: random.Random
+        res: ResilienceConfig, rng: random.Random,
+        tag: Optional[Tuple] = None
 ) -> List[Tuple[int, Dict[Any, int], int, EngineStats]]:
     """The thread rung: fail-fast semantics for governed errors, plus
     per-morsel retry for transient faults.
@@ -545,14 +659,15 @@ def _run_thread_pool_resilient(
         if parent is None:
             counts = execute_program(program, inputs,
                                      every=ctx.tick_interval,
-                                     stats=stats, fault=fault)
+                                     stats=stats, fault=fault,
+                                     tag=tag)
             return index, counts, 0, stats
         worker = WorkerGovernor(parent, shared)
         try:
             counts = execute_program(
                 program, inputs, tick=worker.tick,
                 every=ctx.tick_interval, stats=stats,
-                check_size=worker.check_size, fault=fault)
+                check_size=worker.check_size, fault=fault, tag=tag)
             return index, counts, worker.steps, stats
         finally:
             worker.close()
@@ -620,7 +735,8 @@ def _run_thread_pool_resilient(
 def _run_process_pool_resilient(
         ctx, config: ParallelConfig, program,
         tasks: List[Tuple[int, List[Dict[Any, int]]]],
-        res: ResilienceConfig, rng: random.Random
+        res: ResilienceConfig, rng: random.Random,
+        tag: Optional[Tuple] = None
 ) -> List[Tuple[int, Dict[Any, int], int, EngineStats]]:
     """The process rung: per-morsel retry plus worker-loss recovery.
 
@@ -639,10 +755,20 @@ def _run_process_pool_resilient(
     unfinished = {index for index, _ in tasks}
     outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
     respawns_left = 1 if res.respawn_pool else 0
+    blobs_of: Dict[int, List[bytes]] = {}
 
     def payload_for(index: int):
-        return (index, program, inputs_of[index], limits_spec,
-                ctx.tick_interval, chaos, attempts[index])
+        # encode once per shard (the blob is immutable, like the shard
+        # dict it encodes) but count bytes per submission — a retried
+        # or respawned morsel crosses the boundary again
+        blobs = blobs_of.get(index)
+        if blobs is None:
+            blobs = [encode_shard(counts)
+                     for counts in inputs_of[index]]
+            blobs_of[index] = blobs
+        ctx.stats.bytes_shipped += sum(len(blob) for blob in blobs)
+        return (index, program, blobs, limits_spec,
+                ctx.tick_interval, chaos, attempts[index], tag)
 
     while unfinished:
         broken: Optional[BaseException] = None
@@ -663,7 +789,8 @@ def _run_process_pool_resilient(
                         continue
                     error = future.exception()
                     if error is None:
-                        outcomes.append(future.result())
+                        outcomes.append(
+                            _decode_outcome(ctx, future.result()))
                         unfinished.discard(index)
                         continue
                     if isinstance(error, BrokenExecutor):

@@ -23,7 +23,13 @@ A *segment* is the unit shipped to workers: a closure-free program of
 kernel steps over input slots (:func:`execute_program`).  Keeping the
 program declarative — attribute indices and constants, never compiled
 closures — is what makes the process backend possible: a program plus
-its shard inputs pickles, a closure does not.
+its shard inputs pickles, a closure does not.  Each worker compiles
+the declarative program **once** into a list of columnar step
+closures (predicates, mappers, and key projectors prebuilt; kernels
+from :mod:`repro.engine.columnar`) and caches it in a process-local
+cache keyed by the planner's pass tag plus the program itself, so
+every subsequent morsel of the same plan reuses the compiled segment
+(:func:`compiled_segment_for`).
 
 :data:`PARTITION_COMPAT` is the compatibility table the docs and the
 lowering pass share; :func:`compile_parallel_segment` turns a logical
@@ -47,11 +53,16 @@ from repro.core.expr import (
 )
 from repro.core.nest import Nest
 from repro.engine import kernels
+from repro.engine.columnar import (
+    c_add_union, c_hash_join, c_max_union, c_min_intersect, c_monus,
+    c_scale_dict, sum_counts,
+)
 
 __all__ = [
     "PARTITION_COMPAT", "ParallelPolicy", "ParallelSegment", "LeafSpec",
     "shard_of", "split_counts", "merge_counts", "counts_size",
     "execute_program", "compile_parallel_segment",
+    "compiled_segment_for", "clear_segment_cache", "segment_cache_len",
 ]
 
 #: Kernel name -> how it behaves under a hash partition of the value
@@ -206,13 +217,118 @@ def _mapper_for(spec: Tuple) -> Callable[[Any], Any]:
     return build
 
 
+def _compile_step(step: Tuple) -> Tuple[str, Callable]:
+    """Compile one declarative program step into a columnar closure.
+
+    The closure takes ``(slots, tick)`` and returns a fresh count
+    dict; predicates, mappers, and key projectors are built **here**,
+    once per compiled segment, never per morsel.  Only the join kernel
+    consumes ``tick`` directly (it is the one step that can emit far
+    more rows than it reads); every other step is governed by the
+    driver's proportional post-step ticking.
+    """
+    op = step[0]
+    if op == "union":
+        i, j = step[1], step[2]
+        return op, lambda slots, tick: c_add_union(slots[i], slots[j])
+    if op == "monus":
+        i, j = step[1], step[2]
+        return op, lambda slots, tick: c_monus(slots[i], slots[j])
+    if op == "intersect":
+        i, j = step[1], step[2]
+        return op, lambda slots, tick: c_min_intersect(slots[i], slots[j])
+    if op == "max":
+        i, j = step[1], step[2]
+        return op, lambda slots, tick: c_max_union(slots[i], slots[j])
+    if op == "dedup":
+        i = step[1]
+        return op, lambda slots, tick: dict.fromkeys(slots[i], 1)
+    if op == "scale":
+        i, factor = step[1], step[2]
+        return op, lambda slots, tick: c_scale_dict(slots[i], factor)
+    if op == "select":
+        i = step[1]
+        predicate = _predicate_for(step[2], step[3], step[4])
+        return op, lambda slots, tick: {
+            value: count for value, count in slots[i].items()
+            if predicate(value)}
+    if op == "map":
+        i = step[1]
+        mapper = _mapper_for(step[2])
+        return op, lambda slots, tick: sum_counts(
+            map(mapper, slots[i]), slots[i].values())
+    if op == "join":
+        i, j = step[1], step[2]
+        probe_key = _key_projector((step[3],))
+        build_key = _key_projector((step[4],))
+
+        def join(slots, tick, i=i, j=j):
+            probe = slots[i]
+            values, counts = c_hash_join(
+                list(probe.keys()), list(probe.values()), slots[j],
+                probe_key, build_key, probe_is_left=True, tick=tick)
+            return sum_counts(values, counts)
+
+        return op, join
+    if op == "nest":
+        i, indices = step[1], step[2]
+        return op, lambda slots, tick: dict(kernels.k_nest(slots[i],
+                                                           indices))
+    raise ValueError(f"unknown segment op {op!r}")  # pragma: no cover
+
+
+#: Worker-local compiled segments: ``(tag, program) -> [(op, fn)]``.
+#: Lives at module level so it survives across morsels of one worker
+#: process (fork'd children inherit the parent's warm entries too).
+#: The tag is the planner's ``PassConfig.cache_tag()`` — a config
+#: change (different passes, different selectivity) must compile a
+#: fresh segment even for a syntactically identical program.
+_SEGMENT_CACHE: Dict[Tuple[Any, Tuple[Tuple, ...]], List[Tuple[str, Callable]]] = {}
+_SEGMENT_CACHE_CAP = 256
+
+
+def compiled_segment_for(program: Sequence[Tuple],
+                         tag: Optional[Tuple] = None,
+                         stats=None) -> List[Tuple[str, Callable]]:
+    """The compiled closure list for a program, compiled at most once
+    per worker per ``(tag, program)``.  Hit/miss counts land in
+    ``stats`` (an :class:`~repro.engine.physical.EngineStats`), which
+    the exchange merges back into the parent — so ``:explain`` shows
+    how often workers reused a resident segment."""
+    key = (tag, tuple(program))
+    compiled = _SEGMENT_CACHE.get(key)
+    if compiled is not None:
+        if stats is not None:
+            stats.segment_cache_hits += 1
+        return compiled
+    compiled = [_compile_step(step) for step in program]
+    if len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_CAP:
+        _SEGMENT_CACHE.pop(next(iter(_SEGMENT_CACHE)))
+    _SEGMENT_CACHE[key] = compiled
+    if stats is not None:
+        stats.segment_cache_misses += 1
+    return compiled
+
+
+def clear_segment_cache() -> None:
+    """Drop every compiled segment (tests; a respawned pool starts
+    cold anyway because a fresh process starts with an empty dict)."""
+    _SEGMENT_CACHE.clear()
+
+
+def segment_cache_len() -> int:
+    """Number of resident compiled segments in this process."""
+    return len(_SEGMENT_CACHE)
+
+
 def execute_program(program: Sequence[Tuple],
                     inputs: Sequence[Dict[Any, int]],
                     tick: Optional[Callable[[], None]] = None,
                     every: int = 128,
                     check_size: Optional[Callable[[int], None]] = None,
                     stats=None,
-                    fault: Optional[Callable[[int], None]] = None
+                    fault: Optional[Callable[[int], None]] = None,
+                    tag: Optional[Tuple] = None
                     ) -> Dict[Any, int]:
     """Run a segment program over one shard's input dicts.
 
@@ -223,48 +339,34 @@ def execute_program(program: Sequence[Tuple],
     intermediate-size check, ``stats`` an optional
     :class:`~repro.engine.physical.EngineStats` fed per step.
 
+    The program is compiled (once per worker, see
+    :func:`compiled_segment_for`) into columnar closures over the
+    dict kernels of :mod:`repro.engine.columnar`; each step runs as
+    one bulk dict operation instead of a per-row generator chain.
+    Governance is preserved per step: the driver ticks once before a
+    step and proportionally to the result size after it (so budgets,
+    deadlines, and cancellation trip with the same granularity the
+    stream kernels had), the join kernel additionally ticks inside
+    per ``TICK_CHUNK`` emitted rows, and every step's materialised
+    size passes through ``check_size``.
+
     ``fault`` is the chaos hook: called with the 0-based program-step
     index *before* the step runs, it may raise to simulate a worker
     dying mid-segment.  Because the input dicts are never mutated —
-    every step appends a fresh slot — a retry from the same inputs is
-    idempotent no matter where a previous attempt died.
+    every step produces a fresh dict in a new slot — a retry from the
+    same inputs is idempotent no matter where a previous attempt died.
     """
+    compiled = compiled_segment_for(program, tag=tag, stats=stats)
     slots: List[Dict[Any, int]] = list(inputs)
-    for position, step in enumerate(program):
+    for position, (op, fn) in enumerate(compiled):
         if fault is not None:
             fault(position)
-        op = step[0]
-        if op == "union":
-            rows = kernels.k_additive_union(slots[step[1]].items(),
-                                            slots[step[2]].items())
-        elif op == "monus":
-            rows = kernels.k_monus(slots[step[1]], slots[step[2]])
-        elif op == "intersect":
-            rows = kernels.k_min_intersect(slots[step[1]], slots[step[2]])
-        elif op == "max":
-            rows = kernels.k_max_union(slots[step[1]], slots[step[2]])
-        elif op == "dedup":
-            rows = kernels.k_dedup(slots[step[1]].items())
-        elif op == "scale":
-            rows = kernels.k_scale(slots[step[1]].items(), step[2])
-        elif op == "select":
-            rows = kernels.k_select(
-                slots[step[1]].items(),
-                _predicate_for(step[2], step[3], step[4]))
-        elif op == "map":
-            rows = kernels.k_map(slots[step[1]].items(),
-                                 _mapper_for(step[2]))
-        elif op == "join":
-            probe = slots[step[1]].items()
-            rows = kernels.k_hash_join(
-                probe, slots[step[2]],
-                _key_projector((step[3],)), _key_projector((step[4],)),
-                probe_is_left=True)
-        elif op == "nest":
-            rows = kernels.k_nest(slots[step[1]], step[2])
-        else:  # pragma: no cover - compiler emits known ops only
-            raise ValueError(f"unknown segment op {op!r}")
-        result = kernels.collect(rows, tick=tick, every=every)
+        if tick is not None:
+            tick()
+        result = fn(slots, tick)
+        if tick is not None:
+            for _ in range(len(result) // every):
+                tick()
         if check_size is not None:
             check_size(counts_size(result))
         if stats is not None:
@@ -340,12 +442,27 @@ class _SegmentCompiler:
         self.arity_of = arity_of
         self.steps: List[Tuple] = []
         self.leaves: List[LeafSpec] = []
+        # common-subexpression sharing: an expression tree repeats
+        # shared subtrees textually (the chain workloads repeat their
+        # relations at every level), but a shard is a pure function of
+        # (leaf expression, partition key) and a step a pure function
+        # of its tuple — so equal leaves and equal steps collapse to
+        # one slot instead of being materialised, shipped, and
+        # executed once per occurrence.
+        self._leaf_slots: Dict[Any, int] = {}
+        self._step_refs: Dict[Tuple, int] = {}
+        self._current_key: Optional[Tuple[int, ...]] = None
 
     # -- leaves -----------------------------------------------------------
 
     def _leaf(self, expr: Expr) -> int:
-        self.leaves.append(LeafSpec(expr))
-        return len(self.leaves) - 1
+        slot_key = (self._current_key, expr)
+        slot = self._leaf_slots.get(slot_key)
+        if slot is None:
+            self.leaves.append(LeafSpec(expr, self._current_key))
+            slot = len(self.leaves) - 1
+            self._leaf_slots[slot_key] = slot
+        return slot
 
     # -- value-preserving trees ------------------------------------------
 
@@ -370,8 +487,12 @@ class _SegmentCompiler:
         return self._leaf(expr)
 
     def _push(self, step: Tuple) -> int:
-        self.steps.append(step)
-        return -len(self.steps)  # negative = step slot, resolved later
+        ref = self._step_refs.get(step)
+        if ref is None:
+            self.steps.append(step)
+            ref = -len(self.steps)  # negative step slot, resolved later
+            self._step_refs[step] = ref
+        return ref
 
     # -- key operators ----------------------------------------------------
 
@@ -395,12 +516,15 @@ class _SegmentCompiler:
 
     def _key_side(self, expr: Expr, key: Tuple[int, ...]) -> int:
         """Compile one side of a key operator: a value-preserving tree
-        whose leaves are partitioned by the operator's key."""
-        first_leaf = len(self.leaves)
-        slot = self._vp(expr)
-        for leaf in self.leaves[first_leaf:]:
-            leaf.key = key
-        return slot
+        whose leaves are partitioned by the operator's key.  The key
+        scopes the CSE map — the same subtree needed under a different
+        partitioning is a different shard and keeps its own slot."""
+        previous = self._current_key
+        self._current_key = key
+        try:
+            return self._vp(expr)
+        finally:
+            self._current_key = previous
 
     # -- entry ------------------------------------------------------------
 

@@ -82,6 +82,14 @@ class EngineStats:
     morsel_retries: int = 0
     pool_respawns: int = 0
     demotions: List[str] = field(default_factory=list)
+    #: Columnar-morsel counters: bytes crossing the process boundary
+    #: (codec-encoded shards out plus encoded results back; retries
+    #: re-count because they re-ship), and worker-local compiled
+    #: segment cache hits/misses (a hit means a morsel reused a
+    #: resident compiled segment instead of recompiling).
+    bytes_shipped: int = 0
+    segment_cache_hits: int = 0
+    segment_cache_misses: int = 0
     #: Codegen counters: fused-segment executions and barrier-leaf
     #: fallbacks to the stream kernels (``engine=codegen`` only; the
     #: ``:explain`` codegen footer prints both).
@@ -131,6 +139,9 @@ class EngineStats:
         self.morsel_retries += other.morsel_retries
         self.pool_respawns += other.pool_respawns
         self.demotions.extend(other.demotions)
+        self.bytes_shipped += other.bytes_shipped
+        self.segment_cache_hits += other.segment_cache_hits
+        self.segment_cache_misses += other.segment_cache_misses
         self.fused_segments += other.fused_segments
         self.barrier_fallbacks += other.barrier_fallbacks
         for name, total in other.observed_cardinalities.items():
@@ -164,6 +175,9 @@ class EngineStats:
             morsel_retries=self.morsel_retries,
             pool_respawns=self.pool_respawns,
             demotions=list(self.demotions),
+            bytes_shipped=self.bytes_shipped,
+            segment_cache_hits=self.segment_cache_hits,
+            segment_cache_misses=self.segment_cache_misses,
             fused_segments=self.fused_segments,
             barrier_fallbacks=self.barrier_fallbacks,
             observed_cardinalities=dict(self.observed_cardinalities),

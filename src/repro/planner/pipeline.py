@@ -185,7 +185,8 @@ def compile(expr: Expr, context: Optional[PlanContext] = None, *,
                      selectivity=config.selectivity,
                      arities=ctx.arities, parallel=ctx.parallel,
                      cost_based=config.cost_based_lowering,
-                     selectivity_fn=ctx.selectivity_fn)
+                     selectivity_fn=ctx.selectivity_fn,
+                     segment_tag=config.cache_tag())
         notes = []
         if not config.cost_based_lowering:
             notes.append("naive (cost-based lowering disabled)")

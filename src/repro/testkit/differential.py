@@ -48,7 +48,12 @@ backend                 what it exercises
 ``engine-opt2`` (the physical engine at opt level 2) is also
 recognized — CI's conformance leg fuzzes ``oracle`` vs ``engine-opt0``
 vs ``engine-opt2`` — but is not in :data:`DEFAULT_BACKENDS`, since
-``optimized`` already covers rewrite soundness there.
+``optimized`` already covers rewrite soundness there.  So is
+``engine-parallel-codegen`` (the parallel executor under the opt-3
+pass config): workers execute the compiled columnar segment closures
+through the worker-resident segment cache, keyed by a *different*
+``PassConfig.cache_tag()`` than ``engine-parallel``'s — CI's
+parallel-parity job fuzzes it against the oracle.
 
 All backends run under the same :class:`~repro.guard.Limits`.  A
 *governed* failure (any :class:`~repro.core.errors.GovernedError` or
@@ -96,8 +101,11 @@ DEFAULT_BACKENDS = ("oracle", "engine", "engine-warm", "engine-parallel",
                     "engine-chaos", "engine-opt0", "engine-codegen",
                     "optimized", "surface", "sql")
 
-#: Valid but non-default backends (CI's opt0-vs-opt2 fuzz leg).
-EXTRA_BACKENDS = ("engine-opt2",)
+#: Valid but non-default backends (CI's opt0-vs-opt2 fuzz leg and the
+#: parallel-parity job's fused-columnar leg: the parallel backend at
+#: opt level 3, i.e. workers executing codegen-stage plans through
+#: the worker-resident compiled-segment cache).
+EXTRA_BACKENDS = ("engine-opt2", "engine-parallel-codegen")
 
 #: Per-(shard, attempt) crash probability for ``engine-chaos``: high
 #: enough that most cases inject at least one crash, low enough that
@@ -280,12 +288,24 @@ class Harness:
                                         catalog=self.catalog)
             elif backend == "engine-parallel":
                 # threshold 0 forces exchanges wherever a segment
-                # compiles, so even tiny fuzz bags exercise the
-                # partition machinery
+                # compiles, and min_morsel_rows=1 disables adaptive
+                # granularity, so even tiny fuzz bags exercise the
+                # partition machinery and the multi-shard merge
                 value = engine_evaluate(
                     case.expr, case.database, cache=None,
                     governor=self.governor(), engine="parallel",
                     workers=2, parallel_threshold=0.0,
+                    min_morsel_rows=1, catalog=self.catalog)
+            elif backend == "engine-parallel-codegen":
+                # the parallel backend at opt level 3: workers execute
+                # the same fused-pipeline plans the codegen stage
+                # produces, through the worker-resident compiled
+                # segment cache
+                value = engine_evaluate(
+                    case.expr, case.database, cache=None,
+                    governor=self.governor(), engine="parallel",
+                    workers=2, parallel_threshold=0.0,
+                    min_morsel_rows=1, opt_level=3,
                     catalog=self.catalog)
             elif backend == "engine-chaos":
                 # the parallel executor with seeded worker crashes
@@ -297,6 +317,7 @@ class Harness:
                     case.expr, case.database, cache=None,
                     governor=self.governor(), engine="parallel",
                     workers=2, parallel_threshold=0.0,
+                    min_morsel_rows=1,
                     resilience=self._chaos_resilience(case),
                     catalog=self.catalog)
             elif backend == "engine-opt0":

@@ -336,9 +336,11 @@ class TestProcessResilience:
         config = ResilienceConfig(chaos=ChaosPlan(
             kind="morsel-fault", probability=1.0, shards=(1,),
             max_attempt=1))
+        # min_morsel_rows=1 forces the full multi-shard split so the
+        # chaos scope (shard 1) exists even on this small input
         result = evaluate(_expr(), _db(), cache=None, engine="parallel",
                           workers=2, parallel_backend="process",
-                          parallel_threshold=0.0,
+                          parallel_threshold=0.0, min_morsel_rows=1,
                           resilience=config, stats=stats)
         assert result == _reference()
         assert stats.morsel_retries == 1
