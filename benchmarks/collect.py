@@ -33,6 +33,11 @@ Collected headlines:
   level 3) vs the stream engine: per-cell speedups on the three
   fused-pipeline headline cells, their gated geometric mean, and the
   report-only satellite rows.
+* **e27_semiring** — the semiring-generalized multiplicity core: the
+  gated N fast-path overhead pin (structural ``_sr``-free codegen
+  source plus the measured tagged-vs-default ratio), and the
+  report-only Bool-vs-N duplicate-heavy and provenance
+  annotation-size cells.
 
 Usage::
 
@@ -276,6 +281,24 @@ def collect_e26() -> Optional[Dict[str, Any]]:
             "statuses": _statuses("e26_columnar")}
 
 
+def collect_e27() -> Optional[Dict[str, Any]]:
+    """Headline: the N fast-path overhead pin and the generic-domain
+    cost/size cells."""
+    text = _read("e27_semiring.json")
+    if text is None:
+        return None
+    document = json.loads(text)
+    fast_path = document.get("fast_path", {})
+    return {"headline": "semiring core: N fast-path overhead pin",
+            "smoke": document.get("smoke"),
+            "overhead": fast_path.get("overhead"),
+            "overhead_ceiling": document.get("overhead_ceiling"),
+            "structural_pin": document.get("structural_pin"),
+            "bool_vs_nat": document.get("bool_vs_nat"),
+            "provenance": document.get("provenance"),
+            "statuses": _statuses("e27_semiring")}
+
+
 def build_ledger() -> Dict[str, Any]:
     return {
         "comment": ("per-PR perf trajectory; regenerate with "
@@ -288,6 +311,7 @@ def build_ledger() -> Dict[str, Any]:
             "e24_resilience": collect_e24(),
             "e25_storage": collect_e25(),
             "e26_columnar": collect_e26(),
+            "e27_semiring": collect_e27(),
         },
     }
 

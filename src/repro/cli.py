@@ -30,6 +30,8 @@ Commands:
 ``:encode expr``      print the Section 2 standard encoding
 ``:engine [name]``    show or set the evaluator
                       (physical | parallel | codegen | tree)
+``:semiring [name]``  show or set the multiplicity semiring
+                      (nat | bool | tropical | provenance)
 ``:resilience [on|off]``  show or toggle fault-tolerant parallel
                       execution (morsel retry + degradation ladder)
 ``:passes``           list the planner's passes and their on/off state
@@ -97,7 +99,8 @@ class Session:
                  workers: Optional[int] = None,
                  parallel_backend: str = "thread",
                  opt_level: Optional[int] = None,
-                 resilience: bool = False):
+                 resilience: bool = False,
+                 semiring: Optional[str] = None):
         if engine not in ("physical", "parallel", "codegen", "tree"):
             raise ValueError(f"unknown engine {engine!r} "
                              "(choices: physical, parallel, codegen, "
@@ -105,6 +108,10 @@ class Session:
         if opt_level is not None and opt_level not in (0, 1, 2, 3):
             raise ValueError(f"--opt-level expects 0, 1, 2, or 3, "
                              f"got {opt_level!r}")
+        from repro.core.semiring import resolve_semiring, semiring_name
+        #: The multiplicity semiring's registry name; ``"nat"`` is the
+        #: paper's N default (every fast path stays engaged).
+        self.semiring = semiring_name(resolve_semiring(semiring))
         self.bindings: Dict[str, object] = {}
         self.out = out if out is not None else sys.stdout
         self.limits = limits
@@ -152,7 +159,8 @@ class Session:
         """The session's :class:`~repro.planner.PassConfig`, or
         ``None`` when the user has not customised anything (the entry
         points then apply their own defaults)."""
-        if self.opt_level is None and not self.pass_toggles:
+        if (self.opt_level is None and not self.pass_toggles
+                and self.semiring == "nat"):
             return None
         from repro.planner import PassConfig
         level = (self.opt_level if self.opt_level is not None
@@ -162,7 +170,13 @@ class Session:
             disabled=tuple(name for name, on in
                            self.pass_toggles.items() if not on),
             enabled=tuple(name for name, on in
-                          self.pass_toggles.items() if on))
+                          self.pass_toggles.items() if on),
+            semiring=self.semiring)
+
+    def _semiring_arg(self) -> Optional[str]:
+        """The semiring argument for the entry points: ``None`` keeps
+        the default N fast paths."""
+        return None if self.semiring == "nat" else self.semiring
 
     def evaluate_text(self, text: str):
         from repro.core.eval import evaluate
@@ -177,7 +191,8 @@ class Session:
                         engine=self.engine,
                         config=self._pass_config(),
                         catalog=self.workspace,
-                        feedback=self.feedback, **extra)
+                        feedback=self.feedback,
+                        semiring=self._semiring_arg(), **extra)
 
     def _governor(self) -> Optional[ResourceGovernor]:
         if self.limits is None or not self.limits.any_set():
@@ -230,6 +245,19 @@ class Session:
                 self._print(f"error: unknown engine {choice!r} "
                             "(choices: physical, parallel, codegen, "
                             "tree)")
+            return True
+        if line == ":semiring" or line.startswith(":semiring "):
+            from repro.core.semiring import known_semirings
+            choice = line[len(":semiring"):].strip()
+            if not choice:
+                self._print(f"semiring = {self.semiring}")
+            elif choice in known_semirings():
+                self.semiring = choice
+                self._print(f"semiring = {self.semiring}")
+            else:
+                names = ", ".join(known_semirings())
+                self._print(f"error: unknown semiring {choice!r} "
+                            f"(choices: {names})")
             return True
         if line == ":resilience" or line.startswith(":resilience "):
             choice = line[len(":resilience"):].strip()
@@ -315,7 +343,8 @@ class Session:
                 engine=("codegen" if self.engine == "codegen"
                         else "physical"),
                 config=self._pass_config(),
-                catalog=self.workspace, feedback=self.feedback))
+                catalog=self.workspace, feedback=self.feedback,
+                semiring=self._semiring_arg()))
             if self.engine == "parallel":
                 # the dual output: same expression, partitioned plan
                 self._print("-- parallel --")
@@ -323,7 +352,8 @@ class Session:
                     expr, self.bindings, governor=self._governor(),
                     engine="parallel", workers=self.workers,
                     parallel_backend=self.parallel_backend,
-                    resilience=self.resilience))
+                    resilience=self.resilience,
+                    semiring=self._semiring_arg()))
             return True
         if line.startswith(":encode "):
             from repro.core.encoding import standard_encoding
@@ -359,8 +389,9 @@ class Session:
         if line.startswith(":"):
             self._print(f"unknown command {line.split()[0]!r} "
                         "(:type :fragment :optimize :explain :encode "
-                        ":engine :resilience :passes :workspace "
-                        ":feedback :save :load :env :limits :quit)")
+                        ":engine :semiring :resilience :passes "
+                        ":workspace :feedback :save :load :env "
+                        ":limits :quit)")
             return True
         if "=" in line and _looks_like_binding(line):
             name, _, body = line.partition("=")
@@ -531,17 +562,19 @@ def parse_limit_flags(argv: List[str]) -> Tuple[Optional[Limits],
 
 def _parse_engine_flag(
         argv: List[str]
-) -> Tuple[str, Optional[int], str, Optional[int], bool, List[str]]:
+) -> Tuple[str, Optional[int], str, Optional[int], bool,
+           Optional[str], List[str]]:
     """Strip ``--engine NAME`` / ``--workers N`` /
     ``--parallel-backend NAME`` / ``--opt-level N`` / ``--resilience``
-    (and their ``=`` forms) from the argument list before the limit
-    flags are parsed (so :func:`parse_limit_flags` keeps its strict
-    unknown-flag check)."""
+    / ``--semiring NAME`` (and their ``=`` forms) from the argument
+    list before the limit flags are parsed (so
+    :func:`parse_limit_flags` keeps its strict unknown-flag check)."""
     engine = "physical"
     workers: Optional[int] = None
     backend = "thread"
     opt_level: Optional[int] = None
     resilience = False
+    semiring: Optional[str] = None
     rest: List[str] = []
     index = 0
 
@@ -589,10 +622,19 @@ def _parse_engine_flag(
             if equals:
                 raise ValueError("--resilience takes no value")
             resilience = True
+        elif name == "--semiring":
+            from repro.core.semiring import known_semirings
+            semiring = value_of(name, equals, inline)
+            if semiring not in known_semirings():
+                names = ", ".join(known_semirings())
+                raise ValueError(
+                    f"--semiring expects one of {names}, "
+                    f"got {semiring!r}")
         else:
             rest.append(argument)
         index += 1
-    return engine, workers, backend, opt_level, resilience, rest
+    return (engine, workers, backend, opt_level, resilience, semiring,
+            rest)
 
 
 def main(argv=None) -> int:
@@ -611,7 +653,11 @@ def main(argv=None) -> int:
     and lowers naively; 2 adds the full algebraic fixpoint; 3 adds
     the codegen fusion stage);
     ``--resilience`` turns on fault-tolerant parallel execution
-    (morsel retry, pool respawn, degradation ladder).
+    (morsel retry, pool respawn, degradation ladder); ``--semiring
+    nat|bool|tropical|provenance`` picks the multiplicity semiring
+    (``nat`` is the paper's bag default; ``bool`` runs set
+    semantics, ``tropical`` min-plus costs, ``provenance``
+    why-provenance polynomials — see ``docs/semiring.md``).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fuzz":
@@ -623,15 +669,15 @@ def main(argv=None) -> int:
         from repro.storage.cli import main as workspace_main
         return workspace_main(argv[1:])
     try:
-        engine, workers, backend, opt_level, resilience, argv = \
-            _parse_engine_flag(argv)
+        (engine, workers, backend, opt_level, resilience, semiring,
+         argv) = _parse_engine_flag(argv)
         limits, paths = parse_limit_flags(argv)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     session = Session(limits=limits, engine=engine, workers=workers,
                       parallel_backend=backend, opt_level=opt_level,
-                      resilience=resilience)
+                      resilience=resilience, semiring=semiring)
     if paths:
         for path in paths:
             with open(path, "r", encoding="utf-8") as handle:

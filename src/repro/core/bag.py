@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
 
 from repro.core.errors import HeterogeneousBagError, ValueConstructionError
+from repro.core.semiring import SemiringValue
 
 __all__ = ["Tup", "Bag", "is_atom", "canonical_key", "EMPTY_BAG"]
 
@@ -160,24 +161,37 @@ class Bag:
     def from_counts(cls, counts: Mapping[Any, int]) -> "Bag":
         """Build a bag from an ``element -> multiplicity`` mapping.
 
-        Zero counts are dropped; negative counts are an error.
+        Multiplicities are non-negative ints (zero counts dropped,
+        negative counts an error) or :class:`SemiringValue` annotations
+        from a non-integer semiring (zero annotations dropped).
         """
         bag = cls.__new__(cls)
         clean: Dict[Any, int] = {}
         for element, count in counts.items():
-            if not isinstance(count, int):
+            if isinstance(count, int):
+                if count < 0:
+                    raise ValueConstructionError(
+                        f"multiplicity must be non-negative, got {count}")
+                if count == 0:
+                    continue
+            elif isinstance(count, SemiringValue):
+                if count.is_zero():
+                    continue
+            else:
                 raise ValueConstructionError(
-                    f"multiplicity must be an int, got {count!r}")
-            if count < 0:
-                raise ValueConstructionError(
-                    f"multiplicity must be non-negative, got {count}")
-            if count == 0:
-                continue
+                    "multiplicity must be an int or a semiring "
+                    f"annotation, got {count!r}")
             _check_value(element)
             clean[element] = count
         bag._shape = _check_homogeneous(clean.keys())
         bag._counts = clean
-        bag._cardinality = sum(clean.values())
+        try:
+            bag._cardinality = sum(clean.values())
+        except TypeError:
+            # annotated bags: each non-integer annotation weighs one
+            bag._cardinality = sum(
+                count if isinstance(count, int) else 1
+                for count in clean.values())
         bag._hash = None
         return bag
 

@@ -42,7 +42,10 @@ def encoding_size(value: Any) -> int:
     if isinstance(value, Tup):
         return 1 + sum(encoding_size(item) for item in value.items())
     if isinstance(value, Bag):
-        return 1 + sum(count * encoding_size(element)
+        # non-integer semiring annotations weigh one occurrence: the
+        # standard encoding writes the element once per annotation
+        return 1 + sum((count if isinstance(count, int) else 1)
+                       * encoding_size(element)
                        for element, count in value.items())
     return 1
 

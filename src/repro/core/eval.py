@@ -66,8 +66,11 @@ class EvalStats:
             self.peak_distinct = max(self.peak_distinct,
                                      result.distinct_count)
             if not result.is_empty():
-                top = max(count for _, count in result.items())
-                self.peak_multiplicity = max(self.peak_multiplicity, top)
+                int_counts = [count for _, count in result.items()
+                              if isinstance(count, int)]
+                if int_counts:
+                    self.peak_multiplicity = max(self.peak_multiplicity,
+                                                 max(int_counts))
 
     def merged_with(self, other: "EvalStats") -> "EvalStats":
         """Combine two measurement records (used by benchmark sweeps)."""
@@ -122,7 +125,9 @@ class Evaluator:
                  max_depth: Optional[int] = None,
                  max_iterations: Optional[int] = None,
                  cancellation: Optional[CancellationToken] = None,
-                 faults=None, clock=None):
+                 faults=None, clock=None, semiring=None):
+        from repro.core.semiring import resolve_semiring
+        self.semiring = resolve_semiring(semiring)
         if governor is None:
             wants_governor = (
                 faults is not None or cancellation is not None
@@ -198,6 +203,13 @@ class Evaluator:
         elif database is not None:
             bindings.update(database)
         bindings.update(named_bags)
+        sr = self.semiring
+        if sr is not None:
+            referenced = expr.free_vars()
+            bindings = {name: (sr.adapt_bag(value, name)
+                               if isinstance(value, Bag)
+                               and name in referenced else value)
+                        for name, value in bindings.items()}
         if self.governor is not None:
             self.governor.ensure_started()
         try:
@@ -235,6 +247,7 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
              resilience=None,
              catalog=None,
              feedback: bool = False,
+             semiring=None,
              **named_bags: Bag) -> Any:
     """One-shot convenience wrapper around :class:`Evaluator`.
 
@@ -273,17 +286,25 @@ def evaluate(expr: Expr, database: Optional[Mapping[str, Bag]] = None,
             expr, database, engine=engine, governor=governor,
             limits=limits, powerset_budget=powerset_budget,
             opt_level=opt_level, config=config,
-            catalog=catalog, feedback=feedback,
+            catalog=catalog, feedback=feedback, semiring=semiring,
             **extra, **named_bags)
     # the oracle path: compile at opt level 0 by default, so the tree
     # walker evaluates exactly the query the caller wrote
+    from repro.core.semiring import semiring_name
     from repro.planner import PassConfig, PlanContext
     from repro.planner import compile as planner_compile
     evaluator = Evaluator(powerset_budget=powerset_budget,
-                          governor=governor, limits=limits)
+                          governor=governor, limits=limits,
+                          semiring=semiring)
     if config is None:
-        config = PassConfig.for_level(0 if opt_level is None
-                                      else opt_level)
+        config = PassConfig.for_level(
+            0 if opt_level is None else opt_level,
+            semiring=semiring_name(evaluator.semiring))
+    elif evaluator.semiring is not None:
+        from dataclasses import replace as _replace
+        if config.semiring != evaluator.semiring.name:
+            config = _replace(config,
+                              semiring=evaluator.semiring.name)
     try:
         compiled = planner_compile(
             expr, PlanContext(engine="tree",

@@ -185,6 +185,9 @@ class Const(Expr):
         return ()
 
     def _evaluate(self, evaluator, env):
+        sr = evaluator.semiring
+        if sr is not None and isinstance(self.value, Bag):
+            return sr.adapt_bag(self.value)
         return self.value
 
     def _infer(self, checker, tenv):
@@ -248,7 +251,7 @@ class _Binary(Expr):
     def _evaluate(self, evaluator, env):
         left = evaluator.eval(self.left, env)
         right = evaluator.eval(self.right, env)
-        return type(self)._op(left, right)
+        return type(self)._op(left, right, evaluator.semiring)
 
     def _infer(self, checker, tenv):
         left = checker.infer(self.left, tenv)
@@ -332,7 +335,11 @@ class Bagging(Expr):
         return (self.item,)
 
     def _evaluate(self, evaluator, env):
-        return Bag.of(evaluator.eval(self.item, env))
+        item = evaluator.eval(self.item, env)
+        sr = evaluator.semiring
+        if sr is None:
+            return Bag.of(item)
+        return Bag.from_counts({item: sr.one})
 
     def _infer(self, checker, tenv):
         return BagType(checker.infer(self.item, tenv))
@@ -358,7 +365,8 @@ class Cartesian(Expr):
 
     def _evaluate(self, evaluator, env):
         return ops.cartesian(evaluator.eval(self.left, env),
-                             evaluator.eval(self.right, env))
+                             evaluator.eval(self.right, env),
+                             evaluator.semiring)
 
     def _infer(self, checker, tenv):
         left = checker.infer(self.left, tenv)
@@ -407,7 +415,8 @@ class Powerset(Expr):
 
     def _evaluate(self, evaluator, env):
         return ops.powerset(evaluator.eval(self.operand, env),
-                            budget=evaluator.powerset_budget)
+                            budget=evaluator.powerset_budget,
+                            sr=evaluator.semiring)
 
     def _infer(self, checker, tenv):
         operand = checker.infer(self.operand, tenv)
@@ -439,7 +448,8 @@ class Powerbag(Expr):
 
     def _evaluate(self, evaluator, env):
         return ops.powerbag(evaluator.eval(self.operand, env),
-                            budget=evaluator.powerset_budget)
+                            budget=evaluator.powerset_budget,
+                            sr=evaluator.semiring)
 
     def _infer(self, checker, tenv):
         operand = checker.infer(self.operand, tenv)
@@ -500,7 +510,8 @@ class BagDestroy(Expr):
         return (self.operand,)
 
     def _evaluate(self, evaluator, env):
-        return ops.bag_destroy(evaluator.eval(self.operand, env))
+        return ops.bag_destroy(evaluator.eval(self.operand, env),
+                               evaluator.semiring)
 
     def _infer(self, checker, tenv):
         operand = checker.infer(self.operand, tenv)
@@ -549,7 +560,7 @@ class Map(Expr):
         operand = evaluator.eval(self.operand, env)
         return ops.map_bag(
             lambda element: self.lam.apply(evaluator, env, element),
-            operand)
+            operand, evaluator.semiring)
 
     def _infer(self, checker, tenv):
         operand = checker.infer(self.operand, tenv)
@@ -611,7 +622,7 @@ class Select(Expr):
             rhs = self.right.apply(evaluator, env, element)
             return _compare(self.op, lhs, rhs)
 
-        return ops.select(predicate, operand)
+        return ops.select(predicate, operand, evaluator.semiring)
 
     def _infer(self, checker, tenv):
         operand = checker.infer(self.operand, tenv)
@@ -661,7 +672,8 @@ class Dedup(Expr):
         return (self.operand,)
 
     def _evaluate(self, evaluator, env):
-        return ops.dedup(evaluator.eval(self.operand, env))
+        return ops.dedup(evaluator.eval(self.operand, env),
+                         evaluator.semiring)
 
     def _infer(self, checker, tenv):
         operand = checker.infer(self.operand, tenv)

@@ -23,17 +23,19 @@ original bag (up to attribute order) — a property test in the suite.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.bag import Bag, Tup
 from repro.core.errors import BagTypeError
 from repro.core.expr import Expr, _as_expr
+from repro.core.semiring import Semiring
 from repro.core.types import BagType, TupleType, Type, UNKNOWN, unify
 
 __all__ = ["nest_bag", "unnest_bag", "Nest", "Unnest"]
 
 
-def nest_bag(bag: Bag, group_indices: Tuple[int, ...]) -> Bag:
+def nest_bag(bag: Bag, group_indices: Tuple[int, ...],
+             sr: Optional[Semiring] = None) -> Bag:
     """Operational ``nest``: group by the complement of
     ``group_indices`` (1-based), collecting the projections on
     ``group_indices`` into an inner bag."""
@@ -56,14 +58,22 @@ def nest_bag(bag: Bag, group_indices: Tuple[int, ...]) -> Bag:
         key = Tup(*(element.attribute(i) for i in rest_indices))
         grouped = Tup(*(element.attribute(i) for i in group_indices))
         bucket = groups.setdefault(key, {})
-        bucket[grouped] = bucket.get(grouped, 0) + count
+        if sr is None:
+            bucket[grouped] = bucket.get(grouped, 0) + count
+        else:
+            count = sr.coerce(count)
+            existing = bucket.get(grouped)
+            bucket[grouped] = (count if existing is None
+                               else sr.add(existing, count))
+    one = 1 if sr is None else sr.one
     result: Dict[Tup, int] = {}
     for key, bucket in groups.items():
-        result[Tup(*key.items(), Bag.from_counts(bucket))] = 1
+        result[Tup(*key.items(), Bag.from_counts(bucket))] = one
     return Bag.from_counts(result)
 
 
-def unnest_bag(bag: Bag, index: int) -> Bag:
+def unnest_bag(bag: Bag, index: int,
+               sr: Optional[Semiring] = None) -> Bag:
     """Operational ``unnest``: expand the bag-valued attribute at
     ``index`` (1-based), multiplying multiplicities."""
     if not isinstance(bag, Bag):
@@ -82,6 +92,8 @@ def unnest_bag(bag: Bag, index: int) -> Bag:
                 f"attribute {index} is not bag-valued")
         prefix = element.items()[:index - 1]
         suffix = element.items()[index:]
+        if sr is not None:
+            count = sr.coerce(count)
         for member, inner_count in inner.items():
             # inner *tuples* are spliced componentwise (classical
             # unnest, the inverse of nest's tuple-wrapped groups);
@@ -89,7 +101,13 @@ def unnest_bag(bag: Bag, index: int) -> Bag:
             spliced = (member.items() if isinstance(member, Tup)
                        else (member,))
             flat = Tup(*prefix, *spliced, *suffix)
-            result[flat] = result.get(flat, 0) + count * inner_count
+            if sr is None:
+                result[flat] = result.get(flat, 0) + count * inner_count
+            else:
+                contribution = sr.mul(count, sr.coerce(inner_count))
+                existing = result.get(flat)
+                result[flat] = (contribution if existing is None
+                                else sr.add(existing, contribution))
     return Bag.from_counts(result)
 
 
@@ -115,7 +133,8 @@ class Nest(Expr):
         return (self.operand,)
 
     def _evaluate(self, evaluator, env):
-        return nest_bag(evaluator.eval(self.operand, env), self.indices)
+        return nest_bag(evaluator.eval(self.operand, env), self.indices,
+                        evaluator.semiring)
 
     def _infer(self, checker, tenv) -> Type:
         operand = checker.infer(self.operand, tenv)
@@ -160,7 +179,8 @@ class Unnest(Expr):
         return (self.operand,)
 
     def _evaluate(self, evaluator, env):
-        return unnest_bag(evaluator.eval(self.operand, env), self.index)
+        return unnest_bag(evaluator.eval(self.operand, env), self.index,
+                          evaluator.semiring)
 
     def _infer(self, checker, tenv) -> Type:
         operand = checker.infer(self.operand, tenv)

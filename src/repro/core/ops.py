@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.core.bag import Bag, Tup
 from repro.core.errors import BagTypeError, BudgetExceeded
+from repro.core.semiring import Semiring
 from repro.core.types import type_of, unify
 
 __all__ = [
@@ -72,55 +73,110 @@ def _require_same_type(left: Bag, right: Bag, operation: str) -> None:
             f"{type_of(left)!r} vs {type_of(right)!r}") from exc
 
 
+def _require_integer_counts(sr: Optional[Semiring],
+                            operation: str) -> None:
+    """Powerset-family operators enumerate subbags by integer
+    multiplicity, which only makes sense for integer-count semirings
+    (N, Bool)."""
+    if sr is not None and not sr.integer_counts:
+        raise BagTypeError(
+            f"{operation} is not defined over the {sr.name} semiring "
+            "(non-integer multiplicities)")
+
+
 # ----------------------------------------------------------------------
 # Basic bag operations
 # ----------------------------------------------------------------------
 
-def additive_union(left: Bag, right: Bag) -> Bag:
+def additive_union(left: Bag, right: Bag,
+                   sr: Optional[Semiring] = None) -> Bag:
     """``B (+) B'``: multiplicities add (n = p + q)."""
     _require_bag(left, "additive union")
     _require_bag(right, "additive union")
     _require_same_type(left, right, "additive union")
-    counts: Dict[Any, int] = dict(left.counts())
-    for element, count in right.items():
-        counts[element] = counts.get(element, 0) + count
+    counts: Dict[Any, int]
+    if sr is None:
+        counts = dict(left.counts())
+        for element, count in right.items():
+            counts[element] = counts.get(element, 0) + count
+    else:
+        coerce, add = sr.coerce, sr.add
+        counts = {element: coerce(count)
+                  for element, count in left.items()}
+        for element, count in right.items():
+            count = coerce(count)
+            existing = counts.get(element)
+            counts[element] = (count if existing is None
+                               else add(existing, count))
     return Bag.from_counts(counts)
 
 
-def subtraction(left: Bag, right: Bag) -> Bag:
-    """``B - B'``: proper bag difference (n = max(0, p - q))."""
+def subtraction(left: Bag, right: Bag,
+                sr: Optional[Semiring] = None) -> Bag:
+    """``B - B'``: proper bag difference (n = max(0, p - q)); in a
+    general semiring the monus ``p ∸ q``."""
     _require_bag(left, "subtraction")
     _require_bag(right, "subtraction")
     _require_same_type(left, right, "subtraction")
     counts: Dict[Any, int] = {}
-    for element, count in left.items():
-        remaining = count - right.multiplicity(element)
-        if remaining > 0:
-            counts[element] = remaining
+    if sr is None:
+        for element, count in left.items():
+            remaining = count - right.multiplicity(element)
+            if remaining > 0:
+                counts[element] = remaining
+    else:
+        coerce, monus, is_zero = sr.coerce, sr.monus, sr.is_zero
+        for element, count in left.items():
+            remaining = monus(coerce(count),
+                              coerce(right.multiplicity(element)))
+            if not is_zero(remaining):
+                counts[element] = remaining
     return Bag.from_counts(counts)
 
 
-def max_union(left: Bag, right: Bag) -> Bag:
-    """``B u B'`` (maximal union): n = max(p, q)."""
+def max_union(left: Bag, right: Bag,
+              sr: Optional[Semiring] = None) -> Bag:
+    """``B u B'`` (maximal union): n = max(p, q) — the natural-order
+    join in a general semiring."""
     _require_bag(left, "maximal union")
     _require_bag(right, "maximal union")
     _require_same_type(left, right, "maximal union")
-    counts: Dict[Any, int] = dict(left.counts())
-    for element, count in right.items():
-        counts[element] = max(counts.get(element, 0), count)
+    counts: Dict[Any, int]
+    if sr is None:
+        counts = dict(left.counts())
+        for element, count in right.items():
+            counts[element] = max(counts.get(element, 0), count)
+    else:
+        coerce, join = sr.coerce, sr.max_
+        counts = {element: coerce(count)
+                  for element, count in left.items()}
+        for element, count in right.items():
+            count = coerce(count)
+            existing = counts.get(element)
+            counts[element] = (count if existing is None
+                               else join(existing, count))
     return Bag.from_counts(counts)
 
 
-def intersection(left: Bag, right: Bag) -> Bag:
-    """``B n B'``: n = min(p, q)."""
+def intersection(left: Bag, right: Bag,
+                 sr: Optional[Semiring] = None) -> Bag:
+    """``B n B'``: n = min(p, q) — the natural-order meet in a general
+    semiring."""
     _require_bag(left, "intersection")
     _require_bag(right, "intersection")
     _require_same_type(left, right, "intersection")
     counts: Dict[Any, int] = {}
-    for element, count in left.items():
-        other = right.multiplicity(element)
-        if other > 0:
-            counts[element] = min(count, other)
+    if sr is None:
+        for element, count in left.items():
+            other = right.multiplicity(element)
+            if other > 0:
+                counts[element] = min(count, other)
+    else:
+        coerce, meet = sr.coerce, sr.min_
+        for element, count in left.items():
+            if element in right:
+                counts[element] = meet(
+                    coerce(count), coerce(right.multiplicity(element)))
     return Bag.from_counts(counts)
 
 
@@ -138,7 +194,8 @@ def bagging(obj: Any) -> Bag:
     return Bag.of(obj)
 
 
-def cartesian(left: Bag, right: Bag) -> Bag:
+def cartesian(left: Bag, right: Bag,
+              sr: Optional[Semiring] = None) -> Bag:
     """``B x B'``: bags of tuples; multiplicities multiply (n = p*q)
     and the tuples are concatenated (arity k + k')."""
     _require_bag(left, "cartesian product")
@@ -150,9 +207,17 @@ def cartesian(left: Bag, right: Bag) -> Bag:
                     f"cartesian product requires bags of tuples; "
                     f"{side} operand contains {type(element).__name__}")
     counts: Dict[Any, int] = {}
-    for ltuple, lcount in left.items():
-        for rtuple, rcount in right.items():
-            counts[ltuple.concat(rtuple)] = lcount * rcount
+    if sr is None:
+        for ltuple, lcount in left.items():
+            for rtuple, rcount in right.items():
+                counts[ltuple.concat(rtuple)] = lcount * rcount
+    else:
+        coerce, mul = sr.coerce, sr.mul
+        for ltuple, lcount in left.items():
+            lcount = coerce(lcount)
+            for rtuple, rcount in right.items():
+                counts[ltuple.concat(rtuple)] = mul(
+                    lcount, coerce(rcount))
     return Bag.from_counts(counts)
 
 
@@ -180,7 +245,8 @@ def powerset_cardinality(bag: Bag) -> int:
     return prod(count + 1 for _, count in bag.items())
 
 
-def powerset(bag: Bag, budget: Optional[int] = None) -> Bag:
+def powerset(bag: Bag, budget: Optional[int] = None,
+             sr: Optional[Semiring] = None) -> Bag:
     """``P(B)``: the bag of all subbags of B, each with multiplicity 1.
 
     ``budget`` caps the number of subbags materialised;
@@ -189,6 +255,7 @@ def powerset(bag: Bag, budget: Optional[int] = None) -> Bag:
     exceeds it (checked *before* materialisation).
     """
     _require_bag(bag, "powerset")
+    _require_integer_counts(sr, "powerset")
     cardinality = powerset_cardinality(bag)
     if budget is not None and cardinality > budget:
         raise BudgetExceeded(
@@ -217,7 +284,8 @@ def powerbag_multiplicity(bag: Bag, subbag: Bag) -> int:
                 for element, count in bag.items())
 
 
-def powerbag(bag: Bag, budget: Optional[int] = None) -> Bag:
+def powerbag(bag: Bag, budget: Optional[int] = None,
+             sr: Optional[Semiring] = None) -> Bag:
     """``P_b(B)``: the duplicate-aware powerset (Definition 5.1).
 
     Its output is a *bag* of bags: each subbag occurs once per way of
@@ -225,6 +293,7 @@ def powerbag(bag: Bag, budget: Optional[int] = None) -> Bag:
     ``2^|B|``.  E.g. ``P_b([[a, a]]) = [[ {{}}, {{a}}, {{a}}, {{a,a}} ]]``.
     """
     _require_bag(bag, "powerbag")
+    _require_integer_counts(sr, "powerbag")
     total = powerbag_total(bag)
     if budget is not None and total > budget:
         raise BudgetExceeded(
@@ -252,20 +321,34 @@ def attribute(obj: Tup, i: int) -> Any:
         raise BagTypeError(str(exc)) from exc
 
 
-def bag_destroy(bag: Bag) -> Bag:
+def bag_destroy(bag: Bag, sr: Optional[Semiring] = None) -> Bag:
     """``delta(B)``: remove one level of bag nesting by additive union
     of the member bags, *with* multiplicity: a member bag occurring
     twice contributes twice."""
     _require_bag(bag, "bag-destroy")
     counts: Dict[Any, int] = {}
-    for inner, outer_count in bag.items():
-        if not isinstance(inner, Bag):
-            raise BagTypeError(
-                "bag-destroy requires a bag of bags, found element of "
-                f"type {type(inner).__name__}")
-        for element, inner_count in inner.items():
-            counts[element] = (counts.get(element, 0)
-                               + inner_count * outer_count)
+    if sr is None:
+        for inner, outer_count in bag.items():
+            if not isinstance(inner, Bag):
+                raise BagTypeError(
+                    "bag-destroy requires a bag of bags, found element "
+                    f"of type {type(inner).__name__}")
+            for element, inner_count in inner.items():
+                counts[element] = (counts.get(element, 0)
+                                   + inner_count * outer_count)
+    else:
+        coerce, add, mul = sr.coerce, sr.add, sr.mul
+        for inner, outer_count in bag.items():
+            if not isinstance(inner, Bag):
+                raise BagTypeError(
+                    "bag-destroy requires a bag of bags, found element "
+                    f"of type {type(inner).__name__}")
+            outer = coerce(outer_count)
+            for element, inner_count in inner.items():
+                contribution = mul(coerce(inner_count), outer)
+                existing = counts.get(element)
+                counts[element] = (contribution if existing is None
+                                   else add(existing, contribution))
     return Bag.from_counts(counts)
 
 
@@ -273,7 +356,8 @@ def bag_destroy(bag: Bag) -> Bag:
 # Filters
 # ----------------------------------------------------------------------
 
-def map_bag(func: Callable[[Any], Any], bag: Bag) -> Bag:
+def map_bag(func: Callable[[Any], Any], bag: Bag,
+            sr: Optional[Semiring] = None) -> Bag:
     """``MAP_phi(B)``: apply ``func`` to every member, *adding* the
     multiplicities of members that collide (Section 3's restructuring).
 
@@ -282,20 +366,31 @@ def map_bag(func: Callable[[Any], Any], bag: Bag) -> Bag:
     """
     _require_bag(bag, "MAP")
     counts: Dict[Any, int] = {}
-    for element, count in bag.items():
-        image = func(element)
-        counts[image] = counts.get(image, 0) + count
+    if sr is None:
+        for element, count in bag.items():
+            image = func(element)
+            counts[image] = counts.get(image, 0) + count
+    else:
+        coerce, add = sr.coerce, sr.add
+        for element, count in bag.items():
+            image = func(element)
+            count = coerce(count)
+            existing = counts.get(image)
+            counts[image] = (count if existing is None
+                             else add(existing, count))
     return Bag.from_counts(counts)
 
 
-def select(predicate: Callable[[Any], bool], bag: Bag) -> Bag:
+def select(predicate: Callable[[Any], bool], bag: Bag,
+           sr: Optional[Semiring] = None) -> Bag:
     """``sigma_{phi=phi'}(B)``: keep the members satisfying the
     predicate, multiplicities unchanged.
 
     The paper's selections compare two lambda expressions for equality;
     at this operational level any boolean predicate is accepted — the
     AST layer (:mod:`repro.core.expr`) restricts selections to
-    equality tests between algebra lambdas.
+    equality tests between algebra lambdas.  ``sr`` is accepted for
+    signature uniformity; selection performs no count arithmetic.
     """
     _require_bag(bag, "selection")
     counts = {element: count for element, count in bag.items()
@@ -303,11 +398,12 @@ def select(predicate: Callable[[Any], bool], bag: Bag) -> Bag:
     return Bag.from_counts(counts)
 
 
-def dedup(bag: Bag) -> Bag:
+def dedup(bag: Bag, sr: Optional[Semiring] = None) -> Bag:
     """``eps(B)``: duplicate elimination; every present element ends up
-    1-belonging to the result."""
+    1-belonging (annotated with ``one``) in the result."""
     _require_bag(bag, "duplicate elimination")
-    return Bag.from_counts({element: 1 for element in bag.distinct()})
+    one = 1 if sr is None else sr.one
+    return Bag.from_counts({element: one for element in bag.distinct()})
 
 
 # ----------------------------------------------------------------------

@@ -86,16 +86,26 @@ def _bindings_of(database: Optional[Mapping[str, Any]],
 def _config_for(opt_level: Optional[int],
                 config: Optional[PassConfig],
                 selectivity: float = 0.5,
-                default_level: int = 1) -> PassConfig:
+                default_level: int = 1,
+                semiring=None) -> PassConfig:
     """Resolve the pass configuration for a physical-path call: an
     explicit config wins, then an explicit level; the default is
     opt level 1 (normalize + cost-based lowering) — except under
     ``engine="codegen"``, whose callers pass ``default_level=3`` so
-    the codegen stage is on by default."""
+    the codegen stage is on by default.  ``semiring`` (an instance,
+    a name, or None for N) is stamped into the config so plan-cache
+    keys and the lowering pass see the active multiplicity domain."""
+    from dataclasses import replace as _replace
+
+    from repro.core.semiring import resolve_semiring, semiring_name
+    name = semiring_name(resolve_semiring(semiring))
     if config is not None:
+        if semiring is not None and config.semiring != name:
+            config = _replace(config, semiring=name)
         return config
     level = default_level if opt_level is None else opt_level
-    return PassConfig.for_level(level, selectivity=selectivity)
+    return PassConfig.for_level(level, selectivity=selectivity,
+                                semiring=name)
 
 
 def _absorb_feedback(catalog, stats: EngineStats) -> None:
@@ -119,7 +129,8 @@ def plan_for(expr: Expr, bindings: Mapping[str, Any],
              opt_level: Optional[int] = None,
              config: Optional[PassConfig] = None,
              catalog=None,
-             engine: Optional[str] = None) -> PhysicalPlan:
+             engine: Optional[str] = None,
+             semiring=None) -> PhysicalPlan:
     """Fetch or build the physical plan for an expression.
 
     A thin shim over :func:`repro.planner.compile`: a cache hit skips
@@ -138,7 +149,8 @@ def plan_for(expr: Expr, bindings: Mapping[str, Any],
         engine = "parallel" if policy is not None else "physical"
     resolved = _config_for(
         opt_level, config, selectivity,
-        default_level=3 if engine == "codegen" else 1)
+        default_level=3 if engine == "codegen" else 1,
+        semiring=semiring)
     ctx = PlanContext.capture(
         bindings, catalog=catalog, engine=engine,
         cache=cache, engine_stats=stats, parallel=policy,
@@ -164,6 +176,7 @@ def evaluate(expr: Expr,
              resilience=None,
              catalog=None,
              feedback: bool = False,
+             semiring=None,
              **named_bags: Bag) -> Any:
     """Evaluate an expression with the physical engine.
 
@@ -215,6 +228,7 @@ def evaluate(expr: Expr,
                              powerset_budget=powerset_budget,
                              governor=governor, limits=limits,
                              opt_level=opt_level, config=config,
+                             semiring=semiring,
                              **named_bags)
     if engine not in ("physical", "parallel", "codegen"):
         raise ValueError(f"unknown engine {engine!r} "
@@ -235,19 +249,33 @@ def evaluate(expr: Expr,
             workers=workers if workers is not None else 2,
             backend=parallel_backend,
             resilience=resilience_config, **extra)
+    from repro.core.semiring import resolve_semiring
+    sr = resolve_semiring(semiring)
+    if sr is None and config is not None:
+        sr = resolve_semiring(config.semiring)
     bindings = _bindings_of(database, named_bags)
-    missing = expr.free_vars() - set(bindings)
+    referenced = expr.free_vars()
+    missing = referenced - set(bindings)
     if missing:
         raise UnboundVariableError(
             f"expression mentions unbound bag(s): {sorted(missing)}")
+    if sr is not None:
+        # adapt only the bindings the expression references — a stale
+        # binding annotated under another semiring must not poison
+        # queries that never mention it
+        bindings = {name: (sr.adapt_bag(value, name)
+                           if isinstance(value, Bag)
+                           and name in referenced else value)
+                    for name, value in bindings.items()}
     evaluator = Evaluator(powerset_budget=powerset_budget,
                           governor=governor, limits=limits,
-                          track_stats=False)
+                          track_stats=False, semiring=sr)
     if evaluator.governor is not None:
         evaluator.governor.ensure_started()
     resolved_config = _config_for(
         opt_level, config,
-        default_level=3 if engine == "codegen" else 1)
+        default_level=3 if engine == "codegen" else 1,
+        semiring=sr)
     ctx = PlanContext.capture(
         bindings, catalog=catalog, engine=engine,
         governor=evaluator.governor,
@@ -278,7 +306,8 @@ def evaluate(expr: Expr,
                 f"{type(error).__name__}")
             replan_config = PassConfig.for_level(
                 min(1, resolved_config.opt_level),
-                selectivity=resolved_config.selectivity)
+                selectivity=resolved_config.selectivity,
+                semiring=resolved_config.semiring)
             serial_ctx = PlanContext.for_bindings(
                 bindings, engine="physical",
                 governor=evaluator.governor, cache=cache,
@@ -316,6 +345,7 @@ def explain_physical(expr: Expr,
                      resilience=None,
                      catalog=None,
                      feedback: bool = False,
+                     semiring=None,
                      **named_bags: Bag) -> str:
     """Render the physical plan, optionally with actual cardinalities.
 
@@ -327,7 +357,18 @@ def explain_physical(expr: Expr,
     morsels, gather barriers, per-worker steps) plus the plan-cache
     totals for the cache that served the plan.
     """
+    from repro.core.semiring import resolve_semiring
+    sr = resolve_semiring(semiring)
+    if sr is None and config is not None:
+        sr = resolve_semiring(config.semiring)
+    semiring_requested = (semiring is not None or sr is not None)
     bindings = _bindings_of(database, named_bags)
+    if sr is not None:
+        referenced = expr.free_vars()
+        bindings = {name: (sr.adapt_bag(value, name)
+                           if isinstance(value, Bag)
+                           and name in referenced else value)
+                    for name, value in bindings.items()}
     stats = EngineStats()
     policy = None
     parallel_config = None
@@ -343,11 +384,12 @@ def explain_physical(expr: Expr,
     plan = plan_for(expr, bindings, cache=cache, stats=stats,
                     policy=policy, opt_level=opt_level, config=config,
                     catalog=catalog,
-                    engine="codegen" if engine == "codegen" else None)
+                    engine="codegen" if engine == "codegen" else None,
+                    semiring=sr)
     executed = False
     if execute and not (expr.free_vars() - set(bindings)):
         evaluator = Evaluator(governor=governor, limits=limits,
-                              track_stats=False)
+                              track_stats=False, semiring=sr)
         if evaluator.governor is not None:
             evaluator.governor.ensure_started()
         plan.execute(ExecContext(bindings, evaluator, stats=stats,
@@ -377,6 +419,14 @@ def explain_physical(expr: Expr,
         if len(feedback_lines) == 1:
             feedback_lines.append("no base-relation scans observed")
         rendered = "\n".join([rendered] + feedback_lines)
+    if semiring_requested:
+        from repro.core.semiring import NAT
+        active = NAT if sr is None else sr
+        specialization = "fused-int" if sr is None else "generic"
+        rendered = "\n".join([
+            rendered, "-- semiring --",
+            f"domain               {active.describe()}",
+            f"specialization       {specialization}"])
     if engine == "codegen":
         lines = [rendered, "-- codegen --",
                  f"fused segments       {stats.fused_segments}",

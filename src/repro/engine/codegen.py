@@ -291,13 +291,25 @@ class _SegmentBuilder:
 
 
 class _Compiler:
-    """Compiles one PhysicalPlan into fused segments + barrier leaves."""
+    """Compiles one PhysicalPlan into fused segments + barrier leaves.
 
-    def __init__(self, refs: Optional[Dict[int, int]] = None) -> None:
+    ``semiring`` specialises the emitted code: with ``None`` (the N
+    default) every kernel call is emitted exactly as before — the
+    fused int fast path pays nothing for the generalisation — while a
+    non-N semiring appends a ``_sr`` argument to each kernel call and
+    binds the instance (plus its ``one``) into the segment namespace.
+    """
+
+    def __init__(self, refs: Optional[Dict[int, int]] = None,
+                 semiring=None) -> None:
         self.segments: List[FusedSegment] = []
         self.barriers: List[PhysicalNode] = []
         self._shared_thunks: Dict[int, Callable] = {}
         self._refs = refs if refs is not None else {}
+        self.semiring = semiring
+        #: appended verbatim to every columnar kernel call; empty for
+        #: N keeps the emitted source byte-identical to earlier PRs
+        self._srx = "" if semiring is None else ", _sr"
 
     def _resolve(self, node: PhysicalNode) -> PhysicalNode:
         """Fuse through SharedScans the plan reads only once."""
@@ -319,6 +331,9 @@ class _Compiler:
         index = len(self.segments)
         namespace = dict(_RUNTIME)
         namespace.update(builder.env)
+        if self.semiring is not None:
+            namespace["_sr"] = self.semiring
+            namespace["_one"] = self.semiring.one
         exec(compile(source, f"<codegen:segment{index}>", "exec"),
              namespace)
         segment = FusedSegment(index, role, namespace["_segment"],
@@ -385,7 +400,10 @@ class _Compiler:
             builder.record("scan", f"len({var})")
             return var
         if isinstance(node, ConstSource):
-            const = builder.bind("k", dict(node.value.items()))
+            value = node.value
+            if self.semiring is not None:
+                value = self.semiring.adapt_bag(value)
+            const = builder.bind("k", dict(value.items()))
             var = builder.fresh("d")
             builder.line(f"{var} = {const}")
             builder.record("const", f"len({var})")
@@ -394,7 +412,8 @@ class _Compiler:
             left = self._emit_dict(builder, node.left)
             right = self._emit_dict(builder, node.right)
             var = builder.fresh("d")
-            builder.line(f"{var} = _col.c_monus({left}, {right})")
+            builder.line(f"{var} = _col.c_monus({left}, {right}"
+                         f"{self._srx})")
             builder.record("monus", f"len({var})", var)
             return var
         if isinstance(node, HashIntersect):
@@ -402,14 +421,16 @@ class _Compiler:
             large = self._emit_dict(builder, node.right)
             var = builder.fresh("d")
             builder.line(
-                f"{var} = _col.c_min_intersect({small}, {large})")
+                f"{var} = _col.c_min_intersect({small}, {large}"
+                f"{self._srx})")
             builder.record("min-intersect", f"len({var})", var)
             return var
         if isinstance(node, HashMaxUnion):
             left = self._emit_dict(builder, node.left)
             right = self._emit_dict(builder, node.right)
             var = builder.fresh("d")
-            builder.line(f"{var} = _col.c_max_union({left}, {right})")
+            builder.line(f"{var} = _col.c_max_union({left}, {right}"
+                         f"{self._srx})")
             builder.record("max-union", f"len({var})", var)
             return var
         if isinstance(node, HashDedup):
@@ -422,7 +443,8 @@ class _Compiler:
                 right = self._emit_dict(builder, pair[1])
                 var = builder.own(builder.fresh("d"))
                 builder.line(
-                    f"{var} = _col.c_sym_diff_dedup({left}, {right})")
+                    f"{var} = _col.c_sym_diff_dedup({left}, {right}"
+                    f"{self._srx})")
                 builder.record("sym-diff-dedup", f"len({var})", var)
                 return var
             merged = self._emit_dedup_union(builder, node.child)
@@ -430,14 +452,15 @@ class _Compiler:
                 return merged
             values = self._emit_values(builder, node.child)
             var = builder.own(builder.fresh("d"))
-            builder.line(f"{var} = _col.c_dedup({values})")
+            builder.line(f"{var} = _col.c_dedup({values}{self._srx})")
             builder.record("dedup", f"len({var})", var)
             return var
         if isinstance(node, HashUnion):
             left = self._emit_dict(builder, node.left)
             right = self._emit_dict(builder, node.right)
             var = builder.fresh("d")
-            builder.line(f"{var} = _col.c_add_union({left}, {right})")
+            builder.line(f"{var} = _col.c_add_union({left}, {right}"
+                         f"{self._srx})")
             builder.record("additive-union", f"len({var})", var)
             return var
         if isinstance(node, MultiplicityScale):
@@ -446,7 +469,7 @@ class _Compiler:
                 child = self._emit_dict(builder, inner)
                 var = builder.fresh("d")
                 builder.line(f"{var} = _col.c_scale_dict({child}, "
-                             f"{factor})")
+                             f"{factor}{self._srx})")
                 builder.record("scale", f"len({var})", var)
                 return var
         # columns-native nodes (and scale over a columns child):
@@ -457,7 +480,8 @@ class _Compiler:
             builder.line(f"{var} = dict(zip({values}, {counts}))")
         else:
             builder.line(
-                f"{var} = _col.sum_counts({values}, {counts})")
+                f"{var} = _col.sum_counts({values}, {counts}"
+                f"{self._srx})")
         builder.line(f"ctx.check_size({var})")
         return var
 
@@ -480,7 +504,8 @@ class _Compiler:
             values, counts, distinct = self._emit_cols(builder, inner)
             scaled = builder.fresh("c")
             builder.line(
-                f"{scaled} = _col.c_scale({counts}, {factor})")
+                f"{scaled} = _col.c_scale({counts}, {factor}"
+                f"{self._srx})")
             builder.record("scale", f"len({scaled})")
             return values, scaled, distinct
         if isinstance(node, StreamingMap):
@@ -513,7 +538,7 @@ class _Compiler:
             out_v = builder.fresh("v")
             out_c = builder.fresh("c")
             builder.line(f"{out_v}, {out_c} = _col.c_product({pv}, "
-                         f"{pc}, {build}, _tickof(ctx))")
+                         f"{pc}, {build}, _tickof(ctx){self._srx})")
             builder.record("nested-loop-product", f"len({out_v})")
             return out_v, out_c, False
         if isinstance(node, HashJoin):
@@ -533,7 +558,8 @@ class _Compiler:
             out_c = builder.fresh("c")
             builder.line(
                 f"{out_v}, {out_c} = _col.c_hash_join({pv}, {pc}, "
-                f"{build}, {pk}, {bk}, {probe_is_left}, _tickof(ctx))")
+                f"{build}, {pk}, {bk}, {probe_is_left}, _tickof(ctx)"
+                f"{self._srx})")
             builder.record("hash-join", f"len({out_v})")
             return out_v, out_c, False
         # dict-native node (scan, const, monus, dedup, ...) or input:
@@ -590,7 +616,8 @@ class _Compiler:
         else:
             var = builder.own(builder.fresh("d"))
             builder.line(f"{var} = dict({base_var})")
-        builder.line(f"{var}.update(dict.fromkeys({values}, 1))")
+        one = "1" if self.semiring is None else "_one"
+        builder.line(f"{var}.update(dict.fromkeys({values}, {one}))")
         builder.record("dedup-union", f"len({var})", var)
         return var
 
@@ -665,9 +692,16 @@ def _make_barrier_thunk(node: PhysicalNode) -> Callable:
     return thunk
 
 
-def compile_codegen(plan: PhysicalPlan) -> CodegenPlan:
-    """Compile a lowered stream plan into fused columnar closures."""
-    compiler = _Compiler(_shared_refs(plan.root))
+def compile_codegen(plan: PhysicalPlan,
+                    semiring=None) -> CodegenPlan:
+    """Compile a lowered stream plan into fused columnar closures.
+
+    ``semiring=None`` (N) emits byte-identical source to earlier
+    revisions; a non-N instance specialises every kernel call with a
+    ``_sr`` argument (cache keys include the semiring, so the two
+    specialisations never collide in the plan cache).
+    """
+    compiler = _Compiler(_shared_refs(plan.root), semiring=semiring)
     root = compiler._resolve(plan.root)
     root_segment = None
     if _fusable(root):

@@ -92,20 +92,27 @@ def from_columnar(col: ColumnarBag) -> Bag:
     return Bag.from_counts(columnar_counts(col))
 
 
-def columnar_counts(col: ColumnarBag) -> Dict[Any, int]:
+def columnar_counts(col: ColumnarBag, sr=None) -> Dict[Any, int]:
     """The dictionary form of a columnar bag."""
     if col.distinct:
         return dict(zip(col.values, col.counts))
-    return sum_counts(col.values, col.counts)
+    return sum_counts(col.values, col.counts, sr)
 
 
 def sum_counts(values: Iterable[Any],
-               counts: Iterable[int]) -> Dict[Any, int]:
+               counts: Iterable[int], sr=None) -> Dict[Any, int]:
     """Materialise possibly-repeating columns, summing counts."""
     out: Dict[Any, int] = {}
     get = out.get
-    for value, count in zip(values, counts):
-        out[value] = get(value, 0) + count
+    if sr is None:
+        for value, count in zip(values, counts):
+            out[value] = get(value, 0) + count
+    else:
+        add = sr.add
+        for value, count in zip(values, counts):
+            existing = get(value)
+            out[value] = count if existing is None else add(existing,
+                                                            count)
     return out
 
 
@@ -114,28 +121,47 @@ def sum_counts(values: Iterable[Any],
 # ----------------------------------------------------------------------
 
 def c_monus(left: Dict[Any, int],
-            right: Dict[Any, int]) -> Dict[Any, int]:
+            right: Dict[Any, int], sr=None) -> Dict[Any, int]:
     """``B - B'``: monus on multiplicities, ``max(0, p - q)`` with the
     zeroes dropped."""
     get = right.get
+    if sr is None:
+        return {value: remaining for value, count in left.items()
+                if (remaining := count - get(value, 0)) > 0}
+    monus, is_zero, zero = sr.monus, sr.is_zero, sr.zero
     return {value: remaining for value, count in left.items()
-            if (remaining := count - get(value, 0)) > 0}
+            if not is_zero(remaining := monus(count,
+                                              get(value, zero)))}
 
 
 def c_min_intersect(small: Dict[Any, int],
-                    large: Dict[Any, int]) -> Dict[Any, int]:
+                    large: Dict[Any, int], sr=None) -> Dict[Any, int]:
     """``B n B'``: min of multiplicities; iterate the smaller dict."""
     get = large.get
-    return {value: count if count < other else other
+    if sr is None:
+        return {value: count if count < other else other
+                for value, count in small.items()
+                if (other := get(value, 0)) > 0}
+    meet = sr.min_
+    return {value: meet(count, other)
             for value, count in small.items()
-            if (other := get(value, 0)) > 0}
+            if (other := get(value)) is not None}
 
 
 def c_max_union(left: Dict[Any, int],
-                right: Dict[Any, int]) -> Dict[Any, int]:
+                right: Dict[Any, int], sr=None) -> Dict[Any, int]:
     """``B u B'``: max of multiplicities."""
     get = left.get
-    out = {value: count if count > (other := get(value, 0)) else other
+    if sr is None:
+        out = {value: count if count > (other := get(value, 0)) else
+               other for value, count in right.items()}
+        for value, count in left.items():
+            if value not in out:
+                out[value] = count
+        return out
+    join = sr.max_
+    out = {value: (count if (other := get(value)) is None
+                   else join(count, other))
            for value, count in right.items()}
     for value, count in left.items():
         if value not in out:
@@ -144,19 +170,26 @@ def c_max_union(left: Dict[Any, int],
 
 
 def c_add_union(left: Dict[Any, int],
-                right: Dict[Any, int]) -> Dict[Any, int]:
+                right: Dict[Any, int], sr=None) -> Dict[Any, int]:
     """``B (+) B'`` in dictionary form: pointwise count sum."""
     out = dict(left)
     get = out.get
+    if sr is None:
+        for value, count in right.items():
+            out[value] = get(value, 0) + count
+        return out
+    add = sr.add
     for value, count in right.items():
-        out[value] = get(value, 0) + count
+        existing = get(value)
+        out[value] = count if existing is None else add(existing, count)
     return out
 
 
 def c_sym_diff_dedup(left: Dict[Any, int],
-                     right: Dict[Any, int]) -> Dict[Any, int]:
+                     right: Dict[Any, int], sr=None) -> Dict[Any, int]:
     """``eps((B - B') (+) (B' - B))`` in one pass: the values whose
-    multiplicities differ between the two bags, each with count 1.
+    multiplicities differ between the two bags, each with count 1
+    (the semiring's ``one``).
 
     An element survives either monus exactly when its counts differ,
     so the whole dedup'd symmetric difference is one candidate sweep
@@ -165,11 +198,20 @@ def c_sym_diff_dedup(left: Dict[Any, int],
     headline chain), replacing two monus passes, a concatenation, and
     a dedup."""
     get_r = right.get
-    out = {value: 1 for value, count in left.items()
-           if get_r(value, 0) != count}
-    # values only the right side has differ by definition; the set
-    # difference and the fromkeys update both run at C level
-    out.update(dict.fromkeys(right.keys() - left.keys(), 1))
+    if sr is None:
+        out = {value: 1 for value, count in left.items()
+               if get_r(value, 0) != count}
+        # values only the right side has differ by definition; the set
+        # difference and the fromkeys update both run at C level
+        out.update(dict.fromkeys(right.keys() - left.keys(), 1))
+        return out
+    # the generic fusion is sound only in naturally ordered semirings
+    # where a (monus) b = 0 and b (monus) a = 0 together imply a = b;
+    # that is exactly "counts equal" for the shipped instances
+    one, zero = sr.one, sr.zero
+    out = {value: one for value, count in left.items()
+           if get_r(value, zero) != count}
+    out.update(dict.fromkeys(right.keys() - left.keys(), one))
     return out
 
 
@@ -177,22 +219,32 @@ def c_sym_diff_dedup(left: Dict[Any, int],
 # Column kernels
 # ----------------------------------------------------------------------
 
-def c_dedup(values: Iterable[Any]) -> Dict[Any, int]:
+def c_dedup(values: Iterable[Any], sr=None) -> Dict[Any, int]:
     """``eps(B)``: duplicate elimination straight off the value
-    column — every surviving count is 1, whatever the count column
-    said (the count array collapses, not just the repeats)."""
-    return dict.fromkeys(values, 1)
+    column — every surviving count is 1 (the semiring's ``one``),
+    whatever the count column said (the count array collapses, not
+    just the repeats)."""
+    return dict.fromkeys(values, 1 if sr is None else sr.one)
 
 
-def c_scale(counts: Sequence[int], factor: int) -> List[int]:
+def c_scale(counts: Sequence[int], factor: int,
+            sr=None) -> List[int]:
     """Multiply the whole count column by a constant."""
-    return [count * factor for count in counts]
+    if sr is None:
+        return [count * factor for count in counts]
+    scale = sr.scale
+    return [scale(count, factor) for count in counts]
 
 
 def c_scale_dict(counts: Dict[Any, int],
-                 factor: int) -> Dict[Any, int]:
+                 factor: int, sr=None) -> Dict[Any, int]:
     """Dictionary form of :func:`c_scale`."""
-    return {value: count * factor for value, count in counts.items()}
+    if sr is None:
+        return {value: count * factor
+                for value, count in counts.items()}
+    scale = sr.scale
+    return {value: scale(count, factor)
+            for value, count in counts.items()}
 
 
 def c_map(values: Sequence[Any],
@@ -230,8 +282,8 @@ def _require_tup(value: Any, operation: str) -> None:
 
 def c_product(probe_values: Sequence[Any], probe_counts: Sequence[int],
               build: Dict[Any, int],
-              tick: Optional[Callable[[], None]] = None
-              ) -> Tuple[List[Any], List[int]]:
+              tick: Optional[Callable[[], None]] = None,
+              sr=None) -> Tuple[List[Any], List[int]]:
     """``B x B'`` against a materialised build dict: tuples
     concatenate, counts multiply."""
     for value in build:
@@ -240,10 +292,16 @@ def c_product(probe_values: Sequence[Any], probe_counts: Sequence[int],
     out_values: List[Any] = []
     out_counts: List[int] = []
     pending = 0
+    mul = None if sr is None else sr.mul
     for left, lcount in zip(probe_values, probe_counts):
         _require_tup(left, "cartesian product")
         out_values.extend(left.concat(right) for right, _ in build_items)
-        out_counts.extend(lcount * rcount for _, rcount in build_items)
+        if mul is None:
+            out_counts.extend(lcount * rcount
+                              for _, rcount in build_items)
+        else:
+            out_counts.extend(mul(lcount, rcount)
+                              for _, rcount in build_items)
         if tick is not None:
             pending += len(build_items)
             if pending >= TICK_CHUNK:
@@ -258,8 +316,8 @@ def c_hash_join(probe_values: Sequence[Any],
                 probe_key: Callable[[Tup], Any],
                 build_key: Callable[[Tup], Any],
                 probe_is_left: bool,
-                tick: Optional[Callable[[], None]] = None
-                ) -> Tuple[List[Any], List[int]]:
+                tick: Optional[Callable[[], None]] = None,
+                sr=None) -> Tuple[List[Any], List[int]]:
     """Equi-join: hash the build dict on its key attributes, stream
     the probe columns; counts multiply and concatenation order follows
     ``probe_is_left`` (the logical product order, not the build
@@ -274,6 +332,7 @@ def c_hash_join(probe_values: Sequence[Any],
     add_count = out_counts.append
     get = table.get
     pending = 0
+    mul = None if sr is None else sr.mul
     for value, count in zip(probe_values, probe_counts):
         _require_tup(value, "hash join")
         matches = get(probe_key(value))
@@ -282,11 +341,13 @@ def c_hash_join(probe_values: Sequence[Any],
         if probe_is_left:
             for other, other_count in matches:
                 add_value(value.concat(other))
-                add_count(count * other_count)
+                add_count(count * other_count if mul is None
+                          else mul(count, other_count))
         else:
             for other, other_count in matches:
                 add_value(other.concat(value))
-                add_count(count * other_count)
+                add_count(count * other_count if mul is None
+                          else mul(count, other_count))
         if tick is not None:
             pending += len(matches)
             if pending >= TICK_CHUNK:

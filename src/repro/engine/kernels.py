@@ -49,8 +49,8 @@ Rows = Iterable[Tuple[Any, int]]
 
 def collect(rows: Rows, tick: Optional[Callable[[], None]] = None,
             every: int = 128,
-            get_every: Optional[Callable[[], int]] = None
-            ) -> Dict[Any, int]:
+            get_every: Optional[Callable[[], int]] = None,
+            sr=None) -> Dict[Any, int]:
     """Materialise a multiplicity stream into a ``value -> count``
     dict, summing repeated values.
 
@@ -60,7 +60,13 @@ def collect(rows: Rows, tick: Optional[Callable[[], None]] = None,
     ``get_every`` re-reads the interval after each tick, so an
     adaptive context (near-deadline halving) takes effect inside a
     long-running build instead of only at the next one.
+
+    ``sr`` selects the multiplicity semiring; ``None`` is the int fast
+    path, anything else sums collisions with ``sr.add`` (coercing
+    stray int counts through ``sr.coerce``).
     """
+    if sr is not None:
+        return _collect_generic(rows, tick, every, get_every, sr)
     counts: Dict[Any, int] = {}
     get = counts.get
     if tick is None:
@@ -79,6 +85,28 @@ def collect(rows: Rows, tick: Optional[Callable[[], None]] = None,
     return counts
 
 
+def _collect_generic(rows: Rows, tick, every, get_every,
+                     sr) -> Dict[Any, int]:
+    """Generic-semiring :func:`collect` (same governance contract)."""
+    counts: Dict[Any, int] = {}
+    get = counts.get
+    coerce, add = sr.coerce, sr.add
+    pending = 0
+    for value, count in rows:
+        count = coerce(count)
+        existing = get(value)
+        counts[value] = count if existing is None else add(existing,
+                                                           count)
+        if tick is not None:
+            pending += 1
+            if pending >= every:
+                pending = 0
+                tick()
+                if get_every is not None:
+                    every = get_every()
+    return counts
+
+
 # ----------------------------------------------------------------------
 # Union family: monus / min / max need both sides exact, so the right
 # side is a materialised dict; additive union is fully streaming.
@@ -90,61 +118,94 @@ def k_additive_union(left: Rows, right: Rows) -> Iterator[Tuple[Any, int]]:
     yield from right
 
 
-def k_monus(left: Dict[Any, int], right: Dict[Any, int]
-            ) -> Iterator[Tuple[Any, int]]:
+def k_monus(left: Dict[Any, int], right: Dict[Any, int],
+            sr=None) -> Iterator[Tuple[Any, int]]:
     """``B - B'``: monus on multiplicities (n = max(0, p - q))."""
     get = right.get
-    for value, count in left.items():
-        remaining = count - get(value, 0)
-        if remaining > 0:
-            yield value, remaining
+    if sr is None:
+        for value, count in left.items():
+            remaining = count - get(value, 0)
+            if remaining > 0:
+                yield value, remaining
+    else:
+        coerce, monus, is_zero = sr.coerce, sr.monus, sr.is_zero
+        for value, count in left.items():
+            remaining = monus(coerce(count), coerce(get(value, 0)))
+            if not is_zero(remaining):
+                yield value, remaining
 
 
-def k_min_intersect(small: Dict[Any, int], large: Dict[Any, int]
-                    ) -> Iterator[Tuple[Any, int]]:
+def k_min_intersect(small: Dict[Any, int], large: Dict[Any, int],
+                    sr=None) -> Iterator[Tuple[Any, int]]:
     """``B n B'``: min of multiplicities; probe the smaller dict."""
     get = large.get
-    for value, count in small.items():
-        other = get(value, 0)
-        if other > 0:
-            yield value, count if count < other else other
+    if sr is None:
+        for value, count in small.items():
+            other = get(value, 0)
+            if other > 0:
+                yield value, count if count < other else other
+    else:
+        coerce, meet = sr.coerce, sr.min_
+        for value, count in small.items():
+            other = get(value)
+            if other is not None:
+                yield value, meet(coerce(count), coerce(other))
 
 
-def k_max_union(left: Dict[Any, int], right: Dict[Any, int]
-                ) -> Iterator[Tuple[Any, int]]:
+def k_max_union(left: Dict[Any, int], right: Dict[Any, int],
+                sr=None) -> Iterator[Tuple[Any, int]]:
     """``B u B'``: max of multiplicities."""
-    left_get = left.get
-    for value, count in left.items():
-        other = right.get(value, 0)
-        yield value, count if count > other else other
-    for value, count in right.items():
-        if left_get(value, 0) == 0:
-            yield value, count
+    if sr is None:
+        left_get = left.get
+        for value, count in left.items():
+            other = right.get(value, 0)
+            yield value, count if count > other else other
+        for value, count in right.items():
+            if left_get(value, 0) == 0:
+                yield value, count
+    else:
+        coerce, join = sr.coerce, sr.max_
+        for value, count in left.items():
+            other = right.get(value)
+            count = coerce(count)
+            yield value, (count if other is None
+                          else join(count, coerce(other)))
+        for value, count in right.items():
+            if value not in left:
+                yield value, coerce(count)
 
 
 # ----------------------------------------------------------------------
 # Streaming unary kernels
 # ----------------------------------------------------------------------
 
-def k_dedup(rows: Rows) -> Iterator[Tuple[Any, int]]:
-    """``eps(B)``: emit each distinct value once with count 1.
+def k_dedup(rows: Rows, sr=None) -> Iterator[Tuple[Any, int]]:
+    """``eps(B)``: emit each distinct value once with count 1 (the
+    semiring's ``one``).
 
     Streams with an O(distinct) seen-set, so a dedup above a pipelined
     union never materialises the union.
     """
     seen = set()
     add = seen.add
+    one = 1 if sr is None else sr.one
     for value, _ in rows:
         if value not in seen:
             add(value)
-            yield value, 1
+            yield value, one
 
 
-def k_scale(rows: Rows, factor: int) -> Iterator[Tuple[Any, int]]:
+def k_scale(rows: Rows, factor: int, sr=None
+            ) -> Iterator[Tuple[Any, int]]:
     """Multiply every multiplicity by a constant ``factor`` — the
     kernel behind ``e (+) e (+) ... (+) e`` of a shared subexpression."""
-    for value, count in rows:
-        yield value, count * factor
+    if sr is None:
+        for value, count in rows:
+            yield value, count * factor
+    else:
+        scale = sr.scale
+        for value, count in rows:
+            yield value, scale(count, factor)
 
 
 def k_map(rows: Rows, fn: Callable[[Any], Any]
@@ -175,23 +236,32 @@ def _require_tup(value: Any, operation: str) -> Tup:
     return value
 
 
-def k_product(probe: Rows, build: Dict[Any, int]
-              ) -> Iterator[Tuple[Any, int]]:
+def k_product(probe: Rows, build: Dict[Any, int],
+              sr=None) -> Iterator[Tuple[Any, int]]:
     """``B x B'``: nested-loop product against a materialised build
     side; counts multiply and tuples concatenate."""
     build_items = list(build.items())
     for value in build:
         _require_tup(value, "cartesian product")
-    for left, lcount in probe:
-        _require_tup(left, "cartesian product")
-        for right, rcount in build_items:
-            yield left.concat(right), lcount * rcount
+    if sr is None:
+        for left, lcount in probe:
+            _require_tup(left, "cartesian product")
+            for right, rcount in build_items:
+                yield left.concat(right), lcount * rcount
+    else:
+        coerce, mul = sr.coerce, sr.mul
+        for left, lcount in probe:
+            _require_tup(left, "cartesian product")
+            lcount = coerce(lcount)
+            for right, rcount in build_items:
+                yield left.concat(right), mul(lcount, coerce(rcount))
 
 
 def k_hash_join(probe: Rows, build: Dict[Any, int],
                 probe_key: Callable[[Tup], Any],
                 build_key: Callable[[Tup], Any],
-                probe_is_left: bool) -> Iterator[Tuple[Any, int]]:
+                probe_is_left: bool, sr=None
+                ) -> Iterator[Tuple[Any, int]]:
     """Equi-join kernel for ``sigma_{alpha_i = alpha_j}(B x B')``.
 
     The build side is hashed on its key attributes; the probe side
@@ -200,40 +270,70 @@ def k_hash_join(probe: Rows, build: Dict[Any, int],
     not by syntactic position).
     """
     table: Dict[Any, list] = {}
-    for value, count in build.items():
-        _require_tup(value, "hash join")
-        table.setdefault(build_key(value), []).append((value, count))
-    for value, count in probe:
-        _require_tup(value, "hash join")
-        matches = table.get(probe_key(value))
-        if not matches:
-            continue
-        if probe_is_left:
-            for other, other_count in matches:
-                yield value.concat(other), count * other_count
-        else:
-            for other, other_count in matches:
-                yield other.concat(value), count * other_count
+    if sr is None:
+        for value, count in build.items():
+            _require_tup(value, "hash join")
+            table.setdefault(build_key(value), []).append((value, count))
+        for value, count in probe:
+            _require_tup(value, "hash join")
+            matches = table.get(probe_key(value))
+            if not matches:
+                continue
+            if probe_is_left:
+                for other, other_count in matches:
+                    yield value.concat(other), count * other_count
+            else:
+                for other, other_count in matches:
+                    yield other.concat(value), count * other_count
+    else:
+        coerce, mul = sr.coerce, sr.mul
+        for value, count in build.items():
+            _require_tup(value, "hash join")
+            table.setdefault(build_key(value), []).append(
+                (value, coerce(count)))
+        for value, count in probe:
+            _require_tup(value, "hash join")
+            matches = table.get(probe_key(value))
+            if not matches:
+                continue
+            count = coerce(count)
+            if probe_is_left:
+                for other, other_count in matches:
+                    yield value.concat(other), mul(count, other_count)
+            else:
+                for other, other_count in matches:
+                    yield other.concat(value), mul(count, other_count)
 
 
 # ----------------------------------------------------------------------
 # Restructuring kernels
 # ----------------------------------------------------------------------
 
-def k_flatten(rows: Rows) -> Iterator[Tuple[Any, int]]:
+def k_flatten(rows: Rows, sr=None) -> Iterator[Tuple[Any, int]]:
     """``delta(B)``: flatten one level of nesting, scaling the inner
     multiplicities by the outer count."""
-    for inner, outer_count in rows:
-        if not isinstance(inner, Bag):
-            raise BagTypeError(
-                "bag-destroy requires a bag of bags, found element of "
-                f"type {type(inner).__name__}")
-        for element, inner_count in inner.items():
-            yield element, inner_count * outer_count
+    if sr is None:
+        for inner, outer_count in rows:
+            if not isinstance(inner, Bag):
+                raise BagTypeError(
+                    "bag-destroy requires a bag of bags, found element "
+                    f"of type {type(inner).__name__}")
+            for element, inner_count in inner.items():
+                yield element, inner_count * outer_count
+    else:
+        coerce, mul = sr.coerce, sr.mul
+        for inner, outer_count in rows:
+            if not isinstance(inner, Bag):
+                raise BagTypeError(
+                    "bag-destroy requires a bag of bags, found element "
+                    f"of type {type(inner).__name__}")
+            outer_count = coerce(outer_count)
+            for element, inner_count in inner.items():
+                yield element, mul(coerce(inner_count), outer_count)
 
 
-def k_nest(counts: Dict[Any, int], group_indices: Tuple[int, ...]
-           ) -> Iterator[Tuple[Any, int]]:
+def k_nest(counts: Dict[Any, int], group_indices: Tuple[int, ...],
+           sr=None) -> Iterator[Tuple[Any, int]]:
     """``nest_J(B)``: group by the complement of ``group_indices``,
     collecting the J-projections into an inner bag (the grouping
     kernel; semantics of :func:`repro.core.nest.nest_bag`)."""
@@ -251,12 +351,20 @@ def k_nest(counts: Dict[Any, int], group_indices: Tuple[int, ...]
         key = Tup(*(element.attribute(i) for i in rest_indices))
         grouped = Tup(*(element.attribute(i) for i in group_indices))
         bucket = groups.setdefault(key, {})
-        bucket[grouped] = bucket.get(grouped, 0) + count
+        if sr is None:
+            bucket[grouped] = bucket.get(grouped, 0) + count
+        else:
+            existing = bucket.get(grouped)
+            count = sr.coerce(count)
+            bucket[grouped] = (count if existing is None
+                               else sr.add(existing, count))
+    one = 1 if sr is None else sr.one
     for key, bucket in groups.items():
-        yield Tup(*key.items(), Bag.from_counts(bucket)), 1
+        yield Tup(*key.items(), Bag.from_counts(bucket)), one
 
 
-def k_unnest(rows: Rows, index: int) -> Iterator[Tuple[Any, int]]:
+def k_unnest(rows: Rows, index: int, sr=None
+             ) -> Iterator[Tuple[Any, int]]:
     """``unnest_i(B)``: expand the bag-valued attribute ``i``,
     multiplying multiplicities (:func:`repro.core.nest.unnest_bag`)."""
     for element, count in rows:
@@ -270,20 +378,33 @@ def k_unnest(rows: Rows, index: int) -> Iterator[Tuple[Any, int]]:
             raise BagTypeError(f"attribute {index} is not bag-valued")
         prefix = element.items()[:index - 1]
         suffix = element.items()[index:]
-        for member, inner_count in inner.items():
-            spliced = (member.items() if isinstance(member, Tup)
-                       else (member,))
-            yield Tup(*prefix, *spliced, *suffix), count * inner_count
+        if sr is None:
+            for member, inner_count in inner.items():
+                spliced = (member.items() if isinstance(member, Tup)
+                           else (member,))
+                yield (Tup(*prefix, *spliced, *suffix),
+                       count * inner_count)
+        else:
+            count = sr.coerce(count)
+            for member, inner_count in inner.items():
+                spliced = (member.items() if isinstance(member, Tup)
+                           else (member,))
+                yield (Tup(*prefix, *spliced, *suffix),
+                       sr.mul(count, sr.coerce(inner_count)))
 
 
 # ----------------------------------------------------------------------
 # Powerset expansion (budget-checked before materialisation)
 # ----------------------------------------------------------------------
 
-def k_powerset(counts: Dict[Any, int], budget: Optional[int]
-               ) -> Iterator[Tuple[Any, int]]:
+def k_powerset(counts: Dict[Any, int], budget: Optional[int],
+               sr=None) -> Iterator[Tuple[Any, int]]:
     """``P(B)``: every subbag once; the budget check fires before any
     subbag is generated (Prop 3.2 territory)."""
+    if sr is not None and not sr.integer_counts:
+        raise BagTypeError(
+            f"powerset requires integer multiplicities; semiring "
+            f"{sr.name!r} does not provide them")
     base = Bag.from_counts(counts)
     cardinality = powerset_cardinality(base)
     if budget is not None and cardinality > budget:
@@ -295,9 +416,13 @@ def k_powerset(counts: Dict[Any, int], budget: Optional[int]
         yield subbag, 1
 
 
-def k_powerbag(counts: Dict[Any, int], budget: Optional[int]
-               ) -> Iterator[Tuple[Any, int]]:
+def k_powerbag(counts: Dict[Any, int], budget: Optional[int],
+               sr=None) -> Iterator[Tuple[Any, int]]:
     """``P_b(B)``: the duplicate-aware powerset of Definition 5.1."""
+    if sr is not None and not sr.integer_counts:
+        raise BagTypeError(
+            f"powerbag requires integer multiplicities; semiring "
+            f"{sr.name!r} does not provide them")
     base = Bag.from_counts(counts)
     total = powerbag_total(base)
     if budget is not None and total > budget:

@@ -91,8 +91,12 @@ class Lowering:
                  = None, selectivity: float = 0.5,
                  arities: Optional[Mapping[str, int]] = None,
                  parallel=None, cost_based: bool = True,
-                 selectivity_fn=None, segment_tag=None):
+                 selectivity_fn=None, segment_tag=None, semiring=None):
         self.statistics = dict(statistics) if statistics else None
+        #: Multiplicity semiring instance (None = N): gates the
+        #: self-union collapse and threads into compiled lambdas so
+        #: closure-produced bags agree with the tree walker.
+        self.semiring = semiring
         self.selectivity = selectivity
         #: Optional per-predicate selectivity oracle (catalog
         #: histograms); refines the flat ``selectivity`` per Select.
@@ -186,6 +190,11 @@ class Lowering:
 
         if isinstance(expr, AdditiveUnion):
             if self.cost_based and expr.left == expr.right:
+                if (self.semiring is not None
+                        and self.semiring.idempotent_add):
+                    # e (+) e = e when addition is idempotent
+                    # (Bool, Tropical): no scale node needed
+                    return self._lower(expr.left)
                 return MultiplicityScale(self._lower(expr.left), 2,
                                          estimated)
             return HashUnion(self._lower(expr.left),
@@ -225,7 +234,7 @@ class Lowering:
                                 estimated)
 
         if isinstance(expr, Map):
-            fn = compile_object_lambda(expr.lam)
+            fn = compile_object_lambda(expr.lam, self.semiring)
             return StreamingMap(self._lower(expr.operand), expr.lam,
                                 fn, estimated)
         if isinstance(expr, Select):
@@ -293,7 +302,7 @@ class Lowering:
             join = self._try_fuse_join(expr, expr.operand, estimated)
             if join is not None:
                 return join
-        compiled = compile_predicate(expr)
+        compiled = compile_predicate(expr, self.semiring)
         if compiled is not None:
             return StreamingSelect(self._lower(expr.operand),
                                    lambda ctx: compiled, True,
@@ -382,14 +391,21 @@ class Lowering:
 # Lambda compilation
 # ----------------------------------------------------------------------
 
-def compile_object_lambda(lam: Lam) -> Optional[Callable[[Any], Any]]:
+def compile_object_lambda(lam: Lam, sr=None
+                          ) -> Optional[Callable[[Any], Any]]:
     """Compile a lambda body made of projections, constants, tupling,
     and bagging into a plain closure; ``None`` when the body mentions
-    anything else (the evaluator applies it instead)."""
-    return _compile_body(lam.body, lam.param)
+    anything else (the evaluator applies it instead).
+
+    ``sr`` keeps closure output aligned with the tree walker under a
+    non-N semiring: bagging mints ``sr.one`` and bag constants are
+    adapted (cache keys include the semiring, so baking the adapted
+    value into the closure is safe).
+    """
+    return _compile_body(lam.body, lam.param, sr)
 
 
-def _compile_body(body: Expr, param: str
+def _compile_body(body: Expr, param: str, sr=None
                   ) -> Optional[Callable[[Any], Any]]:
     if isinstance(body, Var):
         if body.name == param:
@@ -397,32 +413,37 @@ def _compile_body(body: Expr, param: str
         return None  # free variable: needs the environment
     if isinstance(body, Const):
         constant = body.value
+        if sr is not None and isinstance(constant, Bag):
+            constant = sr.adapt_bag(constant)
         return lambda value: constant
     if isinstance(body, Attribute):
-        inner = _compile_body(body.operand, param)
+        inner = _compile_body(body.operand, param, sr)
         if inner is None:
             return None
         index = body.index
         return lambda value: ops_attribute(inner(value), index)
     if isinstance(body, Tupling):
-        parts = [_compile_body(part, param) for part in body.parts]
+        parts = [_compile_body(part, param, sr) for part in body.parts]
         if any(part is None for part in parts):
             return None
         from repro.core.bag import Tup
         return lambda value: Tup(*(part(value) for part in parts))
     if isinstance(body, Bagging):
-        inner = _compile_body(body.item, param)
+        inner = _compile_body(body.item, param, sr)
         if inner is None:
             return None
-        return lambda value: Bag.of(inner(value))
+        if sr is None:
+            return lambda value: Bag.of(inner(value))
+        one = sr.one
+        return lambda value: Bag.from_counts({inner(value): one})
     return None
 
 
-def compile_predicate(select: Select
+def compile_predicate(select: Select, sr=None
                       ) -> Optional[Callable[[Any], bool]]:
     """Compile both selection lambdas; ``None`` if either resists."""
-    lhs = _compile_body(select.left.body, select.left.param)
-    rhs = _compile_body(select.right.body, select.right.param)
+    lhs = _compile_body(select.left.body, select.left.param, sr)
+    rhs = _compile_body(select.right.body, select.right.param, sr)
     if lhs is None or rhs is None:
         return None
     op = select.op
@@ -450,10 +471,12 @@ def lower(expr: Expr,
           selectivity: float = 0.5,
           arities: Optional[Mapping[str, int]] = None,
           parallel=None, cost_based: bool = True,
-          selectivity_fn=None, segment_tag=None) -> PhysicalPlan:
+          selectivity_fn=None, segment_tag=None,
+          semiring=None) -> PhysicalPlan:
     """One-shot lowering convenience wrapper."""
     return Lowering(statistics, selectivity=selectivity,
                     arities=arities, parallel=parallel,
                     cost_based=cost_based,
                     selectivity_fn=selectivity_fn,
-                    segment_tag=segment_tag).lower(expr)
+                    segment_tag=segment_tag,
+                    semiring=semiring).lower(expr)

@@ -31,6 +31,16 @@ Atoms outside the scalar fast path (exotic hashables) fall back to an
 embedded pickle, so the codec is total over every shard the engine
 can produce.  ``decode_shard(encode_shard(d)) == d`` for any
 well-formed count dict — property-tested in ``tests/test_parallel.py``.
+
+Semiring annotations: a shard whose multiplicities are all
+non-negative ints (the N default, and Bool, which stays in ``{0,1}``
+ints) takes the original ``CM01`` layout byte-for-byte.  When any
+count — top-level or inside a nested bag — is a semiring annotation
+(a ``Trop`` cost, a ``Prov`` polynomial), the blob is stamped
+``CM02`` and every count is tag-prefixed: ``0`` + varint for ints,
+``1`` + length-prefixed pickle for annotations.  The atom table and
+value stream are unchanged, so the generic column costs exactly one
+tag byte per count plus the annotation payloads.
 """
 
 from __future__ import annotations
@@ -44,6 +54,11 @@ from repro.core.bag import Bag, Tup, _check_homogeneous
 __all__ = ["encode_shard", "decode_shard"]
 
 _MAGIC = b"CM01"
+_MAGIC_V2 = b"CM02"
+
+# CM02 count-column tags
+_C_INT = 0
+_C_PICKLE = 1
 
 # atom table tags
 _A_NONE = 0
@@ -157,20 +172,68 @@ class _AtomTable:
         return slot
 
 
-def _encode_value(value: Any, buf: bytearray, atoms: _AtomTable) -> None:
+def _write_count_v2(buf: bytearray, count: Any) -> None:
+    """CM02 count cell: tag byte, then varint or embedded pickle."""
+    if isinstance(count, int):
+        buf.append(_C_INT)
+        _write_varint(buf, count)
+    else:
+        raw = pickle.dumps(count, protocol=pickle.HIGHEST_PROTOCOL)
+        buf.append(_C_PICKLE)
+        _write_varint(buf, len(raw))
+        buf += raw
+
+
+def _read_count_v2(data: bytes, pos: int) -> Tuple[Any, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _C_INT:
+        return _read_varint(data, pos)
+    if tag == _C_PICKLE:
+        length, pos = _read_varint(data, pos)
+        return pickle.loads(data[pos:pos + length]), pos + length
+    raise ValueError(f"bad count tag {tag}")  # pragma: no cover
+
+
+def _value_has_annotations(value: Any) -> bool:
+    """Whether a value carries non-int counts in some nested bag."""
+    if isinstance(value, Tup):
+        return any(_value_has_annotations(item)
+                   for item in value.items())
+    if isinstance(value, Bag):
+        return any(not isinstance(count, int)
+                   or _value_has_annotations(element)
+                   for element, count in value._counts.items())
+    return False
+
+
+def _needs_v2(counts: Dict[Any, int]) -> bool:
+    for value, count in counts.items():
+        if not isinstance(count, int):
+            return True
+        if _value_has_annotations(value):
+            return True
+    return False
+
+
+def _encode_value(value: Any, buf: bytearray, atoms: _AtomTable,
+                  generic: bool = False) -> None:
     if isinstance(value, Tup):
         buf.append(_V_TUP)
         items = value.items()
         _write_varint(buf, len(items))
         for item in items:
-            _encode_value(item, buf, atoms)
+            _encode_value(item, buf, atoms, generic)
     elif isinstance(value, Bag):
         counts = value._counts
         buf.append(_V_BAG)
         _write_varint(buf, len(counts))
         for element, count in counts.items():
-            _encode_value(element, buf, atoms)
-            _write_varint(buf, count)
+            _encode_value(element, buf, atoms, generic)
+            if generic:
+                _write_count_v2(buf, count)
+            else:
+                _write_varint(buf, count)
     else:
         buf.append(_V_ATOM)
         _write_varint(buf, atoms.intern(value))
@@ -205,13 +268,23 @@ def encode_shard(counts: Dict[Any, int]) -> bytes:
     with no per-value structure tags (the dominant join/scan shape,
     ~1 byte per attribute).  Anything else takes the generic tagged
     recursive stream.
+
+    Shards with semiring annotations anywhere in their counts take
+    the ``CM02`` layout: identical except every count cell is
+    tag-prefixed (see module docstring).  All-int shards — every N
+    and Bool shard — emit ``CM01`` bytes unchanged.
     """
+    generic = bool(counts) and _needs_v2(counts)
     atoms = _AtomTable()
     values = bytearray()
     column = bytearray()
     _write_varint(column, len(counts))
-    for count in counts.values():
-        _write_varint(column, count)
+    if generic:
+        for count in counts.values():
+            _write_count_v2(column, count)
+    else:
+        for count in counts.values():
+            _write_varint(column, count)
     arity = _flat_arity(counts) if counts else None
     if arity is not None:
         values.append(_M_FLAT_TUPLES)
@@ -227,8 +300,8 @@ def encode_shard(counts: Dict[Any, int]) -> bytes:
     else:
         values.append(_M_GENERIC)
         for value in counts:
-            _encode_value(value, values, atoms)
-    out = bytearray(_MAGIC)
+            _encode_value(value, values, atoms, generic)
+    out = bytearray(_MAGIC_V2 if generic else _MAGIC)
     _write_varint(out, len(atoms.index))
     out += atoms.buf
     out += column
@@ -272,8 +345,8 @@ def _decode_atoms(data: bytes, pos: int) -> Tuple[List[Any], int]:
     return atoms, pos
 
 
-def _decode_value(data: bytes, pos: int, atoms: List[Any]
-                  ) -> Tuple[Any, int]:
+def _decode_value(data: bytes, pos: int, atoms: List[Any],
+                  generic: bool = False) -> Tuple[Any, int]:
     tag = data[pos]
     pos += 1
     if tag == _V_ATOM:
@@ -283,7 +356,7 @@ def _decode_value(data: bytes, pos: int, atoms: List[Any]
         arity, pos = _read_varint(data, pos)
         items = []
         for _ in range(arity):
-            item, pos = _decode_value(data, pos, atoms)
+            item, pos = _decode_value(data, pos, atoms, generic)
             items.append(item)
         # the encoder only sees validated values, so rebuild without
         # re-running constructor checks; hash and shape stay lazy
@@ -296,13 +369,19 @@ def _decode_value(data: bytes, pos: int, atoms: List[Any]
         ndistinct, pos = _read_varint(data, pos)
         inner: Dict[Any, int] = {}
         for _ in range(ndistinct):
-            element, pos = _decode_value(data, pos, atoms)
-            count, pos = _read_varint(data, pos)
+            element, pos = _decode_value(data, pos, atoms, generic)
+            if generic:
+                count, pos = _read_count_v2(data, pos)
+            else:
+                count, pos = _read_varint(data, pos)
             inner[element] = count
         bag = Bag.__new__(Bag)
         bag._shape = _check_homogeneous(inner.keys())
         bag._counts = inner
-        bag._cardinality = sum(inner.values())
+        try:
+            bag._cardinality = sum(inner.values())
+        except TypeError:  # annotated counts: one per distinct value
+            bag._cardinality = len(inner)
         bag._hash = None
         return bag, pos
     raise ValueError(f"bad value tag {tag}")  # pragma: no cover
@@ -310,13 +389,21 @@ def _decode_value(data: bytes, pos: int, atoms: List[Any]
 
 def decode_shard(data: bytes) -> Dict[Any, int]:
     """Decode :func:`encode_shard` output back into a count dict."""
-    if data[:4] != _MAGIC:
+    magic = data[:4]
+    if magic == _MAGIC:
+        generic = False
+    elif magic == _MAGIC_V2:
+        generic = True
+    else:
         raise ValueError("not a columnar-morsel blob")
     atoms, pos = _decode_atoms(data, 4)
     nvalues, pos = _read_varint(data, pos)
     counts = []
     for _ in range(nvalues):
-        count, pos = _read_varint(data, pos)
+        if generic:
+            count, pos = _read_count_v2(data, pos)
+        else:
+            count, pos = _read_varint(data, pos)
         counts.append(count)
     out: Dict[Any, int] = {}
     mode = data[pos]
@@ -339,7 +426,7 @@ def decode_shard(data: bytes) -> Dict[Any, int]:
             out[atoms[index]] = count
     elif mode == _M_GENERIC:
         for count in counts:
-            value, pos = _decode_value(data, pos, atoms)
+            value, pos = _decode_value(data, pos, atoms, generic)
             out[value] = count
     else:  # pragma: no cover - encoder emits known modes only
         raise ValueError(f"bad value-stream mode {mode}")

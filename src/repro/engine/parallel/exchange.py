@@ -224,13 +224,15 @@ class Exchange(PhysicalNode):
     def _rows(self, ctx):
         inputs = [ctx.collect(part) for part in self.partitions]
         config = getattr(ctx, "parallel", None)
+        sr = getattr(ctx, "semiring", None)
         if config is None:
             merged = execute_program(
                 self.program, inputs, tick=self._serial_tick(ctx),
                 every=ctx.tick_interval, stats=ctx.stats,
-                check_size=self._size_check(ctx), tag=self.tag)
+                check_size=self._size_check(ctx), tag=self.tag,
+                sr=sr)
         else:
-            merged = self._run_sharded(ctx, config, inputs)
+            merged = self._run_sharded(ctx, config, inputs, sr)
         yield from merged.items()
 
     @staticmethod
@@ -250,7 +252,8 @@ class Exchange(PhysicalNode):
         return check
 
     def _run_sharded(self, ctx, config: ParallelConfig,
-                     inputs: List[Dict[Any, int]]) -> Dict[Any, int]:
+                     inputs: List[Dict[Any, int]],
+                     sr=None) -> Dict[Any, int]:
         num_shards = adaptive_shards(config, inputs)
         sharded = [split_counts(counts, num_shards, part.key)
                    for counts, part in zip(inputs, self.partitions)]
@@ -262,17 +265,18 @@ class Exchange(PhysicalNode):
             return {}
         if config.resilience is not None:
             outcomes = _run_resilient(ctx, config, self.program, tasks,
-                                      config.resilience, self.tag)
+                                      config.resilience, self.tag, sr)
         elif config.backend == "process":
             outcomes = _run_process_pool(ctx, config, self.program,
-                                         tasks, self.tag)
+                                         tasks, self.tag, sr)
         else:
             outcomes = _run_thread_pool(ctx, config, self.program,
-                                        tasks, self.tag)
+                                        tasks, self.tag, sr)
         ctx.stats.morsels_executed += len(tasks)
         # ordered merge: shard index order, not completion order
         outcomes.sort(key=lambda outcome: outcome[0])
-        merged = merge_counts([counts for _, counts, _, _ in outcomes])
+        merged = merge_counts([counts for _, counts, _, _ in outcomes],
+                              sr)
         worker_steps = [steps for _, _, steps, _ in outcomes]
         if ctx.governor is not None:
             merge_worker_steps(ctx.governor, worker_steps)
@@ -333,7 +337,8 @@ def _thread_pool(workers: int) -> concurrent.futures.ThreadPoolExecutor:
 
 def _run_thread_pool(ctx, config: ParallelConfig, program,
                      tasks: List[Tuple[int, List[Dict[Any, int]]]],
-                     tag: Optional[Tuple] = None
+                     tag: Optional[Tuple] = None,
+                     sr=None
                      ) -> List[Tuple[int, Dict[Any, int], int,
                                      EngineStats]]:
     parent = ctx.governor
@@ -350,14 +355,14 @@ def _run_thread_pool(ctx, config: ParallelConfig, program,
         if parent is None:
             counts = execute_program(program, inputs,
                                      every=ctx.tick_interval,
-                                     stats=stats, tag=tag)
+                                     stats=stats, tag=tag, sr=sr)
             return index, counts, 0, stats
         worker = WorkerGovernor(parent, shared)
         try:
             counts = execute_program(
                 program, inputs, tick=worker.tick,
                 every=ctx.tick_interval, stats=stats,
-                check_size=worker.check_size, tag=tag)
+                check_size=worker.check_size, tag=tag, sr=sr)
             return index, counts, worker.steps, stats
         finally:
             worker.close()
@@ -437,23 +442,31 @@ def _process_task(payload):
     faults fire *inside* the worker — a ``worker-crash`` genuinely
     kills this process.  ``tag`` keys this process's compiled-segment
     cache: the first morsel of a plan compiles, every later one hits.
+    ``sr_name`` is the multiplicity semiring's registry name (``None``
+    = N): instances are not shipped, the worker resolves the name
+    against its own registry.
     """
     (index, program, blobs, limits_spec, every, chaos, attempt,
-     tag) = payload
+     tag, sr_name) = payload
+    sr = None
+    if sr_name is not None:
+        from repro.core.semiring import resolve_semiring
+        sr = resolve_semiring(sr_name)
     inputs = [decode_shard(blob) for blob in blobs]
     fault = _chaos_hook(chaos, index, attempt, len(program),
                         in_process_worker=True)
     stats = EngineStats()
     if limits_spec is None:
         counts = execute_program(program, inputs, every=every,
-                                 stats=stats, fault=fault, tag=tag)
+                                 stats=stats, fault=fault, tag=tag,
+                                 sr=sr)
         return index, encode_shard(counts), 0, stats
     governor = ResourceGovernor(Limits(**limits_spec))
     governor.start()
     counts = execute_program(program, inputs, tick=governor.tick,
                              every=every, stats=stats,
                              check_size=governor.check_size,
-                             fault=fault, tag=tag)
+                             fault=fault, tag=tag, sr=sr)
     return index, encode_shard(counts), governor.steps, stats
 
 
@@ -483,12 +496,15 @@ def _decode_outcome(ctx, outcome) -> Tuple[int, Dict[Any, int], int,
 
 def _run_process_pool(ctx, config: ParallelConfig, program,
                       tasks: List[Tuple[int, List[Dict[Any, int]]]],
-                      tag: Optional[Tuple] = None
+                      tag: Optional[Tuple] = None,
+                      sr=None
                       ) -> List[Tuple[int, Dict[Any, int], int,
                                       EngineStats]]:
     limits_spec = presplit_spec(ctx.governor, len(tasks))
+    sr_name = None if sr is None else sr.name
     payloads = [(index, program, _encode_task(ctx, inputs),
-                 limits_spec, ctx.tick_interval, None, 1, tag)
+                 limits_spec, ctx.tick_interval, None, 1, tag,
+                 sr_name)
                 for index, inputs in tasks]
     outcomes: List[Tuple[int, Dict[Any, int], int, EngineStats]] = []
     first_error: Optional[BaseException] = None
@@ -562,7 +578,8 @@ def _fault_reason(error: BaseException, attempts: int) -> str:
 def _run_resilient(ctx, config: ParallelConfig, program,
                    tasks: List[Tuple[int, List[Dict[Any, int]]]],
                    res: ResilienceConfig,
-                   tag: Optional[Tuple] = None
+                   tag: Optional[Tuple] = None,
+                   sr=None
                    ) -> List[Tuple[int, Dict[Any, int], int,
                                    EngineStats]]:
     """Run the shard tasks with retry/respawn, descending the
@@ -582,13 +599,15 @@ def _run_resilient(ctx, config: ParallelConfig, program,
         try:
             if mode == "serial":
                 chunk = _run_serial_inline(ctx, program, remaining,
-                                           tag)
+                                           tag, sr)
             elif mode == "process":
                 chunk = _run_process_pool_resilient(
-                    ctx, config, program, remaining, res, rng, tag)
+                    ctx, config, program, remaining, res, rng, tag,
+                    sr)
             else:
                 chunk = _run_thread_pool_resilient(
-                    ctx, config, program, remaining, res, rng, tag)
+                    ctx, config, program, remaining, res, rng, tag,
+                    sr)
             outcomes.extend(chunk)
             return outcomes
         except _LadderFault as fault:
@@ -605,7 +624,8 @@ def _run_resilient(ctx, config: ParallelConfig, program,
 
 def _run_serial_inline(ctx, program,
                        tasks: List[Tuple[int, List[Dict[Any, int]]]],
-                       tag: Optional[Tuple] = None
+                       tag: Optional[Tuple] = None,
+                       sr=None
                        ) -> List[Tuple[int, Dict[Any, int], int,
                                        EngineStats]]:
     """The ladder floor: run the remaining shards inline under the
@@ -619,7 +639,7 @@ def _run_serial_inline(ctx, program,
         stats = EngineStats()
         counts = execute_program(program, inputs, tick=tick,
                                  every=ctx.tick_interval, stats=stats,
-                                 check_size=check, tag=tag)
+                                 check_size=check, tag=tag, sr=sr)
         # steps were ticked straight into the parent governor
         outcomes.append((index, counts, 0, stats))
     return outcomes
@@ -629,7 +649,7 @@ def _run_thread_pool_resilient(
         ctx, config: ParallelConfig, program,
         tasks: List[Tuple[int, List[Dict[Any, int]]]],
         res: ResilienceConfig, rng: random.Random,
-        tag: Optional[Tuple] = None
+        tag: Optional[Tuple] = None, sr=None
 ) -> List[Tuple[int, Dict[Any, int], int, EngineStats]]:
     """The thread rung: fail-fast semantics for governed errors, plus
     per-morsel retry for transient faults.
@@ -660,14 +680,15 @@ def _run_thread_pool_resilient(
             counts = execute_program(program, inputs,
                                      every=ctx.tick_interval,
                                      stats=stats, fault=fault,
-                                     tag=tag)
+                                     tag=tag, sr=sr)
             return index, counts, 0, stats
         worker = WorkerGovernor(parent, shared)
         try:
             counts = execute_program(
                 program, inputs, tick=worker.tick,
                 every=ctx.tick_interval, stats=stats,
-                check_size=worker.check_size, fault=fault, tag=tag)
+                check_size=worker.check_size, fault=fault, tag=tag,
+                sr=sr)
             return index, counts, worker.steps, stats
         finally:
             worker.close()
@@ -736,7 +757,7 @@ def _run_process_pool_resilient(
         ctx, config: ParallelConfig, program,
         tasks: List[Tuple[int, List[Dict[Any, int]]]],
         res: ResilienceConfig, rng: random.Random,
-        tag: Optional[Tuple] = None
+        tag: Optional[Tuple] = None, sr=None
 ) -> List[Tuple[int, Dict[Any, int], int, EngineStats]]:
     """The process rung: per-morsel retry plus worker-loss recovery.
 
@@ -750,6 +771,7 @@ def _run_process_pool_resilient(
     """
     limits_spec = presplit_spec(ctx.governor, len(tasks))
     chaos = res.chaos
+    sr_name = None if sr is None else sr.name
     inputs_of = dict(tasks)
     attempts = {index: 1 for index, _ in tasks}
     unfinished = {index for index, _ in tasks}
@@ -768,7 +790,8 @@ def _run_process_pool_resilient(
             blobs_of[index] = blobs
         ctx.stats.bytes_shipped += sum(len(blob) for blob in blobs)
         return (index, program, blobs, limits_spec,
-                ctx.tick_interval, chaos, attempts[index], tag)
+                ctx.tick_interval, chaos, attempts[index], tag,
+                sr_name)
 
     while unfinished:
         broken: Optional[BaseException] = None

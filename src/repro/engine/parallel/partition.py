@@ -167,20 +167,31 @@ def split_counts(counts: Dict[Any, int], num_shards: int,
     return shards
 
 
-def merge_counts(shards: Sequence[Dict[Any, int]]) -> Dict[Any, int]:
+def merge_counts(shards: Sequence[Dict[Any, int]],
+                 sr=None) -> Dict[Any, int]:
     """Sum-merge shard results in shard order (the ordered gather)."""
     merged: Dict[Any, int] = {}
     get = merged.get
+    if sr is None:
+        for shard in shards:
+            for value, count in shard.items():
+                merged[value] = get(value, 0) + count
+        return merged
+    add = sr.add
     for shard in shards:
         for value, count in shard.items():
-            merged[value] = get(value, 0) + count
+            existing = get(value)
+            merged[value] = (count if existing is None
+                             else add(existing, count))
     return merged
 
 
 def counts_size(counts: Dict[Any, int]) -> int:
     """Standard-encoding size of a materialised count dict (the same
-    measure :meth:`ExecContext.check_size` applies)."""
-    return 1 + sum(count * encoding_size(value)
+    measure :meth:`ExecContext.check_size` applies); non-integer
+    semiring annotations weigh one occurrence."""
+    return 1 + sum((count if isinstance(count, int) else 1)
+                   * encoding_size(value)
                    for value, count in counts.items())
 
 
@@ -217,7 +228,7 @@ def _mapper_for(spec: Tuple) -> Callable[[Any], Any]:
     return build
 
 
-def _compile_step(step: Tuple) -> Tuple[str, Callable]:
+def _compile_step(step: Tuple, sr=None) -> Tuple[str, Callable]:
     """Compile one declarative program step into a columnar closure.
 
     The closure takes ``(slots, tick)`` and returns a fresh count
@@ -226,26 +237,35 @@ def _compile_step(step: Tuple) -> Tuple[str, Callable]:
     consumes ``tick`` directly (it is the one step that can emit far
     more rows than it reads); every other step is governed by the
     driver's proportional post-step ticking.
+
+    ``sr`` is the multiplicity semiring (``None`` = N): the closures
+    thread it into the columnar kernels, which keep their own int
+    fast paths, so the N specialisation is unchanged.
     """
     op = step[0]
     if op == "union":
         i, j = step[1], step[2]
-        return op, lambda slots, tick: c_add_union(slots[i], slots[j])
+        return op, lambda slots, tick: c_add_union(slots[i], slots[j],
+                                                   sr)
     if op == "monus":
         i, j = step[1], step[2]
-        return op, lambda slots, tick: c_monus(slots[i], slots[j])
+        return op, lambda slots, tick: c_monus(slots[i], slots[j], sr)
     if op == "intersect":
         i, j = step[1], step[2]
-        return op, lambda slots, tick: c_min_intersect(slots[i], slots[j])
+        return op, lambda slots, tick: c_min_intersect(slots[i],
+                                                       slots[j], sr)
     if op == "max":
         i, j = step[1], step[2]
-        return op, lambda slots, tick: c_max_union(slots[i], slots[j])
+        return op, lambda slots, tick: c_max_union(slots[i], slots[j],
+                                                   sr)
     if op == "dedup":
         i = step[1]
-        return op, lambda slots, tick: dict.fromkeys(slots[i], 1)
+        one = 1 if sr is None else sr.one
+        return op, lambda slots, tick: dict.fromkeys(slots[i], one)
     if op == "scale":
         i, factor = step[1], step[2]
-        return op, lambda slots, tick: c_scale_dict(slots[i], factor)
+        return op, lambda slots, tick: c_scale_dict(slots[i], factor,
+                                                    sr)
     if op == "select":
         i = step[1]
         predicate = _predicate_for(step[2], step[3], step[4])
@@ -256,7 +276,7 @@ def _compile_step(step: Tuple) -> Tuple[str, Callable]:
         i = step[1]
         mapper = _mapper_for(step[2])
         return op, lambda slots, tick: sum_counts(
-            map(mapper, slots[i]), slots[i].values())
+            map(mapper, slots[i]), slots[i].values(), sr)
     if op == "join":
         i, j = step[1], step[2]
         probe_key = _key_projector((step[3],))
@@ -266,14 +286,15 @@ def _compile_step(step: Tuple) -> Tuple[str, Callable]:
             probe = slots[i]
             values, counts = c_hash_join(
                 list(probe.keys()), list(probe.values()), slots[j],
-                probe_key, build_key, probe_is_left=True, tick=tick)
-            return sum_counts(values, counts)
+                probe_key, build_key, probe_is_left=True, tick=tick,
+                sr=sr)
+            return sum_counts(values, counts, sr)
 
         return op, join
     if op == "nest":
         i, indices = step[1], step[2]
-        return op, lambda slots, tick: dict(kernels.k_nest(slots[i],
-                                                           indices))
+        return op, lambda slots, tick: dict(
+            kernels.k_nest(slots[i], indices, sr=sr))
     raise ValueError(f"unknown segment op {op!r}")  # pragma: no cover
 
 
@@ -289,19 +310,22 @@ _SEGMENT_CACHE_CAP = 256
 
 def compiled_segment_for(program: Sequence[Tuple],
                          tag: Optional[Tuple] = None,
-                         stats=None) -> List[Tuple[str, Callable]]:
+                         stats=None,
+                         sr=None) -> List[Tuple[str, Callable]]:
     """The compiled closure list for a program, compiled at most once
     per worker per ``(tag, program)``.  Hit/miss counts land in
     ``stats`` (an :class:`~repro.engine.physical.EngineStats`), which
     the exchange merges back into the parent — so ``:explain`` shows
-    how often workers reused a resident segment."""
+    how often workers reused a resident segment.  The tag (the
+    planner's ``cache_tag()``) already carries the semiring name, so
+    N and generic compilations of the same program never collide."""
     key = (tag, tuple(program))
     compiled = _SEGMENT_CACHE.get(key)
     if compiled is not None:
         if stats is not None:
             stats.segment_cache_hits += 1
         return compiled
-    compiled = [_compile_step(step) for step in program]
+    compiled = [_compile_step(step, sr) for step in program]
     if len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_CAP:
         _SEGMENT_CACHE.pop(next(iter(_SEGMENT_CACHE)))
     _SEGMENT_CACHE[key] = compiled
@@ -328,8 +352,8 @@ def execute_program(program: Sequence[Tuple],
                     check_size: Optional[Callable[[int], None]] = None,
                     stats=None,
                     fault: Optional[Callable[[int], None]] = None,
-                    tag: Optional[Tuple] = None
-                    ) -> Dict[Any, int]:
+                    tag: Optional[Tuple] = None,
+                    sr=None) -> Dict[Any, int]:
     """Run a segment program over one shard's input dicts.
 
     Slots ``0..len(inputs)-1`` are the inputs; step ``k`` of the
@@ -356,7 +380,8 @@ def execute_program(program: Sequence[Tuple],
     every step produces a fresh dict in a new slot — a retry from the
     same inputs is idempotent no matter where a previous attempt died.
     """
-    compiled = compiled_segment_for(program, tag=tag, stats=stats)
+    compiled = compiled_segment_for(program, tag=tag, stats=stats,
+                                    sr=sr)
     slots: List[Dict[Any, int]] = list(inputs)
     for position, (op, fn) in enumerate(compiled):
         if fault is not None:

@@ -199,7 +199,7 @@ class ExecContext:
     """
 
     __slots__ = ("bindings", "evaluator", "governor", "stats", "memo",
-                 "powerset_budget", "parallel", "_env",
+                 "powerset_budget", "parallel", "semiring", "_env",
                  "_tick_interval", "_last_tick_at")
 
     def __init__(self, bindings: Mapping[str, Any], evaluator,
@@ -210,6 +210,9 @@ class ExecContext:
         self.stats = stats if stats is not None else EngineStats()
         self.memo: Dict[int, Dict[Any, int]] = {}
         self.powerset_budget = evaluator.powerset_budget
+        #: Multiplicity semiring (None = N fast path); shared with the
+        #: lambda/oracle evaluator so fallbacks agree with the kernels.
+        self.semiring = getattr(evaluator, "semiring", None)
         #: Optional ParallelConfig: set only under ``engine=parallel``;
         #: Exchange nodes fall back to inline execution without it.
         self.parallel = parallel
@@ -262,19 +265,21 @@ class ExecContext:
         governor = self.governor
         if governor is None or governor.max_size is None:
             return
-        size = 1 + sum(count * encoding_size(value)
+        size = 1 + sum((count if isinstance(count, int) else 1)
+                       * encoding_size(value)
                        for value, count in counts.items())
         governor.check_size(size, self.evaluator.stats)
 
     def collect(self, node: "PhysicalNode") -> Dict[Any, int]:
         """Materialise a child node under governance."""
         if self.governor is None:
-            counts = kernels.collect(node.rows(self))
+            counts = kernels.collect(node.rows(self), sr=self.semiring)
         else:
             counts = kernels.collect(
                 node.rows(self), tick=self.tick,
                 every=self._tick_interval,
-                get_every=lambda: self._tick_interval)
+                get_every=lambda: self._tick_interval,
+                sr=self.semiring)
         self.check_size(counts)
         return counts
 
@@ -378,7 +383,11 @@ class ConstSource(PhysicalNode):
         self.value = value
 
     def _rows(self, ctx):
-        yield from self.value.items()
+        sr = ctx.semiring
+        if sr is not None:
+            yield from sr.adapt_bag(self.value).items()
+        else:
+            yield from self.value.items()
 
 
 class OracleEval(PhysicalNode):
@@ -475,7 +484,7 @@ class HashDifference(_BinaryNode):
     def _rows(self, ctx):
         right = ctx.collect(self.right)
         left = ctx.collect(self.left)
-        return kernels.k_monus(left, right)
+        return kernels.k_monus(left, right, sr=ctx.semiring)
 
 
 class HashIntersect(_BinaryNode):
@@ -488,7 +497,7 @@ class HashIntersect(_BinaryNode):
     def _rows(self, ctx):
         small = ctx.collect(self.left)
         large = ctx.collect(self.right)
-        return kernels.k_min_intersect(small, large)
+        return kernels.k_min_intersect(small, large, sr=ctx.semiring)
 
 
 class HashMaxUnion(_BinaryNode):
@@ -500,7 +509,7 @@ class HashMaxUnion(_BinaryNode):
     def _rows(self, ctx):
         left = ctx.collect(self.left)
         right = ctx.collect(self.right)
-        return kernels.k_max_union(left, right)
+        return kernels.k_max_union(left, right, sr=ctx.semiring)
 
 
 # ----------------------------------------------------------------------
@@ -525,7 +534,7 @@ class HashDedup(_UnaryNode):
     kernel = "dedup"
 
     def _rows(self, ctx):
-        return kernels.k_dedup(self.child.rows(ctx))
+        return kernels.k_dedup(self.child.rows(ctx), sr=ctx.semiring)
 
 
 class StreamingMap(_UnaryNode):
@@ -580,7 +589,8 @@ class MultiplicityScale(_UnaryNode):
         self.factor = factor
 
     def _rows(self, ctx):
-        return kernels.k_scale(self.child.rows(ctx), self.factor)
+        return kernels.k_scale(self.child.rows(ctx), self.factor,
+                               sr=ctx.semiring)
 
     def label(self):
         return super().label() + f"  x{self.factor}"
@@ -593,7 +603,8 @@ class FlattenBags(_UnaryNode):
     kernel = "flatten"
 
     def _rows(self, ctx):
-        return kernels.k_flatten(self.child.rows(ctx))
+        return kernels.k_flatten(self.child.rows(ctx),
+                                 sr=ctx.semiring)
 
 
 class NestBuild(_UnaryNode):
@@ -608,7 +619,8 @@ class NestBuild(_UnaryNode):
         self.indices = indices
 
     def _rows(self, ctx):
-        return kernels.k_nest(ctx.collect(self.child), self.indices)
+        return kernels.k_nest(ctx.collect(self.child), self.indices,
+                              sr=ctx.semiring)
 
 
 class UnnestExpand(_UnaryNode):
@@ -622,7 +634,8 @@ class UnnestExpand(_UnaryNode):
         self.index = index
 
     def _rows(self, ctx):
-        return kernels.k_unnest(self.child.rows(ctx), self.index)
+        return kernels.k_unnest(self.child.rows(ctx), self.index,
+                                sr=ctx.semiring)
 
 
 class PowersetExpand(_UnaryNode):
@@ -642,8 +655,10 @@ class PowersetExpand(_UnaryNode):
     def _rows(self, ctx):
         counts = ctx.collect(self.child)
         if self.duplicate_aware:
-            return kernels.k_powerbag(counts, ctx.powerset_budget)
-        return kernels.k_powerset(counts, ctx.powerset_budget)
+            return kernels.k_powerbag(counts, ctx.powerset_budget,
+                                      sr=ctx.semiring)
+        return kernels.k_powerset(counts, ctx.powerset_budget,
+                                  sr=ctx.semiring)
 
 
 # ----------------------------------------------------------------------
@@ -663,7 +678,8 @@ class NestedLoopProduct(_BinaryNode):
 
     def _rows(self, ctx):
         build = ctx.collect(self.right)
-        return kernels.k_product(self.left.rows(ctx), build)
+        return kernels.k_product(self.left.rows(ctx), build,
+                                 sr=ctx.semiring)
 
 
 class HashJoin(_BinaryNode):
@@ -699,11 +715,13 @@ class HashJoin(_BinaryNode):
             build = ctx.collect(self.right)
             return kernels.k_hash_join(self.left.rows(ctx), build,
                                        left_key, right_key,
-                                       probe_is_left=True)
+                                       probe_is_left=True,
+                                       sr=ctx.semiring)
         build = ctx.collect(self.left)
         return kernels.k_hash_join(self.right.rows(ctx), build,
                                    right_key, left_key,
-                                   probe_is_left=False)
+                                   probe_is_left=False,
+                                   sr=ctx.semiring)
 
     def label(self):
         keys = (f"L{list(self.left_key)}=R{list(self.right_key)}"

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.core.bag import Bag
+from repro.core.semiring import resolve_semiring, semiring_name
 from repro.planner.manager import DEFAULT_MAX_PASSES
 from repro.planner.rewrites import (
     ALL_RULES, NORMALIZE_RULES, REWRITE_RULES, Rule,
@@ -66,6 +67,11 @@ class PassConfig:
     enabled: Tuple[str, ...] = ()
     max_rewrite_passes: int = DEFAULT_MAX_PASSES
     selectivity: float = DEFAULT_SELECTIVITY
+    #: Canonical name of the multiplicity semiring plans are built
+    #: for.  Part of the cache tag: an N plan and a Bool plan for the
+    #: same expression must never share a slot (constants are baked in
+    #: adapted form, lowering collapses differ under idempotent add).
+    semiring: str = "nat"
 
     def __post_init__(self):
         if self.opt_level not in OPT_LEVELS:
@@ -78,6 +84,11 @@ class PassConfig:
                            tuple(sorted(set(self.disabled))))
         object.__setattr__(self, "enabled",
                            tuple(sorted(set(self.enabled))))
+        # canonicalize semiring aliases ("set" -> "bool") so equal
+        # domains produce equal cache tags; unknown names raise here
+        object.__setattr__(
+            self, "semiring",
+            semiring_name(resolve_semiring(self.semiring)))
 
     # -- construction ----------------------------------------------------
 
@@ -86,12 +97,12 @@ class PassConfig:
                   disabled: Tuple[str, ...] = (),
                   enabled: Tuple[str, ...] = (),
                   max_rewrite_passes: int = DEFAULT_MAX_PASSES,
-                  selectivity: float = DEFAULT_SELECTIVITY
-                  ) -> "PassConfig":
+                  selectivity: float = DEFAULT_SELECTIVITY,
+                  semiring: str = "nat") -> "PassConfig":
         return cls(opt_level=opt_level, disabled=disabled,
                    enabled=enabled,
                    max_rewrite_passes=max_rewrite_passes,
-                   selectivity=selectivity)
+                   selectivity=selectivity, semiring=semiring)
 
     def with_toggle(self, name: str, on: bool) -> "PassConfig":
         """A new config with one pass forced on or off."""
@@ -126,6 +137,8 @@ class PassConfig:
         """Is one named rule active, given its stage and the toggles?"""
         if not self.stage_active(rule.stage):
             return False
+        if rule.nat_only and self.semiring != "nat":
+            return False
         return self._active(rule.name, True)
 
     def active_normalize_rules(self) -> Tuple[Rule, ...]:
@@ -149,7 +162,7 @@ class PassConfig:
         collide.
         """
         return ("passes", self.opt_level, self.disabled, self.enabled,
-                self.selectivity)
+                self.selectivity, self.semiring)
 
     def describe(self) -> str:
         parts = [f"opt-level {self.opt_level}"]
@@ -157,6 +170,8 @@ class PassConfig:
             parts.append("disabled: " + ", ".join(self.disabled))
         if self.enabled:
             parts.append("enabled: " + ", ".join(self.enabled))
+        if self.semiring != "nat":
+            parts.append(f"semiring: {self.semiring}")
         return "; ".join(parts)
 
 

@@ -180,14 +180,19 @@ def compile(expr: Expr, context: Optional[PlanContext] = None, *,
 
     record = StageRecord("lower", tree="")
     with _StageTimer(record):
+        from repro.core.semiring import resolve_semiring
         from repro.engine.lower import lower
+        semiring = resolve_semiring(config.semiring)
         plan = lower(logical, ctx.statistics,
                      selectivity=config.selectivity,
                      arities=ctx.arities, parallel=ctx.parallel,
                      cost_based=config.cost_based_lowering,
                      selectivity_fn=ctx.selectivity_fn,
-                     segment_tag=config.cache_tag())
+                     segment_tag=config.cache_tag(),
+                     semiring=semiring)
         notes = []
+        if semiring is not None:
+            notes.append(f"semiring {semiring.name}")
         if not config.cost_based_lowering:
             notes.append("naive (cost-based lowering disabled)")
         sources = ctx.describe_stats_sources()
@@ -212,7 +217,7 @@ def compile(expr: Expr, context: Optional[PlanContext] = None, *,
         record = StageRecord("codegen", tree="")
         with _StageTimer(record):
             from repro.engine.codegen import compile_codegen
-            plan = compile_codegen(plan)
+            plan = compile_codegen(plan, semiring=semiring)
             record.note = (f"{len(plan.segments)} fused segment(s), "
                            f"{len(plan.barriers)} barrier leaf(s)")
             if trees:

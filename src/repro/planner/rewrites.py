@@ -65,6 +65,11 @@ class Rule:
     stage: str  # "normalize" | "rewrite"
     side_condition: str
     requires_schema: bool = False
+    #: The rewrite performs multiplicity arithmetic over N at compile
+    #: time, so it is only sound when the plan's semiring is N: e.g.
+    #: folding ``({{x}} (+) {{x}}) - {{x}}`` to ``{{x}}`` is wrong
+    #: under Bool, and folding at all re-labels provenance variables.
+    nat_only: bool = False
 
     def __call__(self, expr: Expr) -> Optional[Expr]:
         return self.fn(expr)
@@ -375,7 +380,10 @@ NORMALIZE_RULES: Tuple[Rule, ...] = (
 REWRITE_RULES: Tuple[Rule, ...] = (
     Rule("fold-constants", fold_constants, "rewrite",
          "both operands are literal bags, so the kernel operator "
-         "computes the exact result multiplicities at compile time."),
+         "computes the exact result multiplicities at compile time.  "
+         "N-only: the fold runs the N kernels, which disagrees with "
+         "non-cancellative domains and re-indexes provenance labels.",
+         nat_only=True),
     Rule("drop-neutral", drop_neutral_elements, "rewrite",
          "{{}} is the neutral element of (+), u, and right-monus and "
          "absorbing for n and left-monus under the multiplicity "

@@ -55,6 +55,24 @@ through the worker-resident segment cache, keyed by a *different*
 ``PassConfig.cache_tag()`` than ``engine-parallel``'s — CI's
 parallel-parity job fuzzes it against the oracle.
 
+Three further extra backends form the **set-semantics
+tri-equivalence** (CI's semiring-parity job):
+
+``engine-boolean``      the physical engine under the Bool semiring
+                        (``semiring="bool"``) — every generic kernel
+                        branch on trial
+``ralg``                the independently written
+                        :class:`~repro.relational.ralg.SetEvaluator`
+                        (dedup after every operator; the paper's
+                        RALG/RALG^k baseline)
+``delta-bag``           ``deep_dedup`` of the N tree-walker's result —
+                        sound only where δ commutes with the plan, so
+                        it reports ``unsupported`` outside the
+                        monus/powerset/nesting-free flat fragment
+
+They evaluate under *set* semantics, so they are compared only among
+themselves — never against the N-semantics reference.
+
 All backends run under the same :class:`~repro.guard.Limits`.  A
 *governed* failure (any :class:`~repro.core.errors.GovernedError` or
 :class:`~repro.core.errors.ResourceLimitError`) is an acceptable
@@ -75,8 +93,9 @@ from repro.core.errors import (
 )
 from repro.core.eval import Evaluator
 from repro.core.expr import (
-    AdditiveUnion, Attribute, Cartesian, Const, Dedup, Expr,
-    Intersection, Map, Select, Subtraction, Tupling, Var,
+    AdditiveUnion, Attribute, BagDestroy, Bagging, Cartesian, Const,
+    Dedup, Expr, Intersection, Map, Powerbag, Powerset, Select,
+    Subtraction, Tupling, Var,
 )
 from repro.core.typecheck import infer_type
 from repro.core.types import TupleType, Type
@@ -91,9 +110,10 @@ from repro.testkit.generate import Case
 from repro.testkit.metamorphic import LawResult, check_laws
 
 __all__ = [
-    "DEFAULT_BACKENDS", "EXTRA_BACKENDS", "DEFAULT_LIMITS",
-    "BackendOutcome",
-    "CaseReport", "Harness", "Mismatch", "RunSummary", "sql_view",
+    "DEFAULT_BACKENDS", "EXTRA_BACKENDS", "SET_BACKENDS",
+    "DEFAULT_LIMITS", "BackendOutcome",
+    "CaseReport", "Harness", "Mismatch", "RunSummary",
+    "delta_commutes", "sql_view",
 ]
 
 #: Backend execution order; the first ``ok`` outcome is the reference.
@@ -101,11 +121,19 @@ DEFAULT_BACKENDS = ("oracle", "engine", "engine-warm", "engine-parallel",
                     "engine-chaos", "engine-opt0", "engine-codegen",
                     "optimized", "surface", "sql")
 
-#: Valid but non-default backends (CI's opt0-vs-opt2 fuzz leg and the
-#: parallel-parity job's fused-columnar leg: the parallel backend at
+#: Valid but non-default backends: CI's opt0-vs-opt2 fuzz leg, the
+#: parallel-parity job's fused-columnar leg (the parallel backend at
 #: opt level 3, i.e. workers executing codegen-stage plans through
-#: the worker-resident compiled-segment cache).
-EXTRA_BACKENDS = ("engine-opt2", "engine-parallel-codegen")
+#: the worker-resident compiled-segment cache), and the semiring
+#: tri-equivalence legs (Bool-semiring engine vs the relational
+#: SetEvaluator vs δ of the N result).
+EXTRA_BACKENDS = ("engine-opt2", "engine-parallel-codegen",
+                  "engine-boolean", "ralg", "delta-bag")
+
+#: Backends that evaluate under set semantics: they form their own
+#: comparison group (their results legitimately differ from the N
+#: reference whenever an input carries duplicates).
+SET_BACKENDS = frozenset({"engine-boolean", "ralg", "delta-bag"})
 
 #: Per-(shard, attempt) crash probability for ``engine-chaos``: high
 #: enough that most cases inject at least one crash, low enough that
@@ -335,6 +363,26 @@ class Harness:
                     case.expr, case.database, cache=None,
                     governor=self.governor(), opt_level=2,
                     catalog=self.catalog)
+            elif backend == "engine-boolean":
+                # the physical engine under the Bool semiring: inputs
+                # deep-dedup to sets, every kernel takes its generic
+                # branch, and the result must match the independent
+                # set-semantics evaluators below
+                value = engine_evaluate(
+                    case.expr, case.database, cache=None,
+                    governor=self.governor(), semiring="bool",
+                    catalog=self.catalog)
+            elif backend == "ralg":
+                from repro.relational.ralg import SetEvaluator
+                value = SetEvaluator(governor=self.governor()).run(
+                    case.expr, case.database)
+            elif backend == "delta-bag":
+                # δ ∘ (N engine): sound only where dedup commutes
+                # with every operator of the plan
+                if not delta_commutes(case.expr, case.database):
+                    return BackendOutcome(backend, "unsupported")
+                from repro.relational.ralg import deep_dedup
+                value = deep_dedup(self._oracle(case.expr, case))
             elif backend == "optimized":
                 rewritten = planner_compile(
                     case.expr,
@@ -397,11 +445,18 @@ class Harness:
     def _compare(self, case: Case,
                  outcomes: Dict[str, BackendOutcome]) -> List[Mismatch]:
         mismatches: List[Mismatch] = []
+        # two comparison groups: the N-semantics backends share one
+        # reference, the set-semantics tri-equivalence legs another
         reference: Optional[BackendOutcome] = None
+        set_reference: Optional[BackendOutcome] = None
         for backend in self.backends:
             outcome = outcomes[backend]
-            if (outcome.status == "ok" and backend != "sql"
-                    and reference is None):
+            if outcome.status != "ok":
+                continue
+            if backend in SET_BACKENDS:
+                if set_reference is None:
+                    set_reference = outcome
+            elif backend != "sql" and reference is None:
                 reference = outcome
         for backend in self.backends:
             outcome = outcomes[backend]
@@ -419,13 +474,16 @@ class Harness:
                     detail=f"well-typed case rejected: "
                            f"{type(outcome.error).__name__}: "
                            f"{outcome.error}"))
-            elif outcome.status == "ok" and reference is not None \
-                    and outcome is not reference:
-                detail = self._differ(outcome, reference)
+            elif outcome.status == "ok":
+                group_ref = (set_reference if backend in SET_BACKENDS
+                             else reference)
+                if group_ref is None or outcome is group_ref:
+                    continue
+                detail = self._differ(outcome, group_ref)
                 if detail is not None:
                     mismatches.append(Mismatch(
                         case=case, kind="value", backend=backend,
-                        reference=reference.backend, detail=detail))
+                        reference=group_ref.backend, detail=detail))
         return mismatches
 
     @staticmethod
@@ -447,6 +505,56 @@ class Harness:
         if actual != expected:
             return f"{actual!r} != {expected!r}"
         return None
+
+
+# ----------------------------------------------------------------------
+# The δ-commutation fragment for the ``delta-bag`` backend
+# ----------------------------------------------------------------------
+
+def delta_commutes(expr: Expr,
+                   database: Optional[Mapping[str, Bag]]) -> bool:
+    """Whether ``deep_dedup(Q(DB)) == Q_bool(DB)`` is guaranteed.
+
+    Dedup commutes with additive/max union, intersection, product,
+    map, select, and dedup itself (Proposition 4.2's monus-free
+    reasoning), but **not** with subtraction (supports differ:
+    ``δ(R - S) ⊊ δ(R) - δ(S)`` when S cancels only part of R's
+    multiplicity), and multiplicity-sensitive value constructors
+    (powerset/powerbag subsets, bagging, nesting) build *different
+    values* from a bag than from its support.  Nested database values
+    are excluded too: δ deduplicates them deeply while the engine's
+    top-level operators never rewrite inner counts.
+    """
+    from repro.core.nest import Nest, Unnest
+    forbidden = (Subtraction, Powerset, Powerbag, Bagging, BagDestroy,
+                 Nest, Unnest)
+    for node in expr.walk():
+        if isinstance(node, forbidden):
+            return False
+        if isinstance(node, Const) and _has_nested_bag(node.value):
+            return False
+    if database:
+        for value in database.values():
+            if isinstance(value, Bag) and _has_nested_bag(value):
+                return False
+    return True
+
+
+def _has_nested_bag(value: Any) -> bool:
+    from repro.core.bag import Tup
+    if isinstance(value, Bag):
+        return any(_contains_bag(element)
+                   for element in value.distinct())
+    return _contains_bag(value)
+
+
+def _contains_bag(value: Any) -> bool:
+    from repro.core.bag import Tup
+    if isinstance(value, Bag):
+        return True
+    if isinstance(value, Tup):
+        return any(_contains_bag(item) for item in value.items())
+    return False
 
 
 # ----------------------------------------------------------------------

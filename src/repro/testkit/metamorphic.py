@@ -35,6 +35,18 @@ The catalogue (paper references in each law's ``ref``):
 Powerset-based laws are size-gated: the identities require expanding
 ``P(e)``, so they only run when the observed value is small; a
 governed failure during a law marks it ``skipped``, never ``failed``.
+
+Semirings: the catalogue is parameterized over the multiplicity
+domain via :func:`laws_for_semiring`.  Most Section 2 identities hold
+in any naturally ordered commutative semiring, but not all — additive
+union then monus cancels exactly only in *cancellative* semirings
+(Bool and Tropical both break ``union-monus``), the meet-via-monus
+identity fails in Tropical, and the Section 3 derived-operator and
+aggregate constructions are counting arguments that only make sense
+over N.  Each instance declares its broken laws in
+``Semiring.unsound_laws``; idempotent instances gain the
+``union-idempotent`` law (``e (+) e = e``) that is *false* over N —
+the applicability gates must cut both ways.
 """
 
 from __future__ import annotations
@@ -56,7 +68,7 @@ from repro.core.expr import (
 )
 from repro.core.types import BagType, TupleType, Type, UNKNOWN
 
-__all__ = ["LAWS", "LawResult", "check_laws"]
+__all__ = ["LAWS", "LawResult", "check_laws", "laws_for_semiring"]
 
 #: Laws that expand a powerset only run below these observed sizes.
 _POWERSET_CARD_GATE = 6
@@ -225,6 +237,14 @@ def _law_avg_consistency(expr, typ, value, evaluate):
     return None
 
 
+def _law_union_idempotent(expr, typ, value, evaluate):
+    doubled = evaluate(AdditiveUnion(expr, expr))
+    if doubled != value:
+        return (f"e (+) e = {doubled!r} != e = {value!r} "
+                f"(idempotent addition)")
+    return None
+
+
 #: name -> (paper reference, law function).
 LAWS: Sequence[Tuple[str, str, Callable]] = (
     ("dedup-idempotent", "Section 2", _law_dedup_idempotent),
@@ -241,6 +261,44 @@ LAWS: Sequence[Tuple[str, str, Callable]] = (
     ("sum-consistency", "Section 3", _law_sum_consistency),
     ("avg-consistency", "Section 3", _law_avg_consistency),
 )
+
+#: Counting arguments over N: the derived-operator constructions
+#: enumerate powersets by multiplicity and the aggregates read
+#: cardinalities, neither of which transfers to annotated domains.
+_N_ONLY_LAWS = frozenset({
+    "derived-dedup", "derived-subtraction", "derived-additive-union",
+    "count-consistency", "sum-consistency", "avg-consistency",
+})
+
+#: ``(e (+) e) - e = e`` needs cancellative addition even before the
+#: per-instance ``unsound_laws`` veto is consulted.
+_CANCELLATIVE_LAWS = frozenset({"union-monus"})
+
+
+def laws_for_semiring(sr=None) -> Sequence[Tuple[str, str, Callable]]:
+    """The law subset applicable under one semiring instance.
+
+    ``None`` (or the N instance) keeps the full catalogue.  Otherwise
+    the N-only counting laws drop out, every law the instance declares
+    in ``unsound_laws`` drops out, the cancellation law requires the
+    ``cancellative`` flag, and idempotent instances gain
+    ``union-idempotent``.  Pass the result as ``check_laws``'s
+    ``laws`` argument together with an ``evaluate`` that runs under
+    the same semiring.
+    """
+    if sr is None or sr.name == "nat":
+        return LAWS
+    selected = [
+        (name, ref, law) for name, ref, law in LAWS
+        if name not in _N_ONLY_LAWS
+        and name not in sr.unsound_laws
+        and (name not in _CANCELLATIVE_LAWS or sr.cancellative)
+    ]
+    if sr.idempotent_add:
+        selected.append(("union-idempotent",
+                         "semiring idempotency",
+                         _law_union_idempotent))
+    return tuple(selected)
 
 
 def check_laws(case: Any, result_type: Type, value: Bag,

@@ -126,25 +126,28 @@ class TestEngineSelection:
 
     def test_parse_engine_flag(self):
         from repro.cli import _parse_engine_flag
-        (engine, workers, backend, opt_level, resilience,
+        (engine, workers, backend, opt_level, resilience, semiring,
          rest) = _parse_engine_flag(
             ["--engine", "tree", "--max-steps", "5", "f.bag"])
         assert opt_level is None
+        assert semiring is None
         assert engine == "tree"
         assert workers is None
         assert backend == "thread"
         assert resilience is False
         assert rest == ["--max-steps", "5", "f.bag"]
-        (engine, workers, backend, opt_level, resilience,
+        (engine, workers, backend, opt_level, resilience, semiring,
          rest) = _parse_engine_flag(
-            ["--engine=physical", "--opt-level=2"])
+            ["--engine=physical", "--opt-level=2",
+             "--semiring=tropical"])
+        assert semiring == "tropical"
         assert opt_level == 2
         assert engine == "physical"
         assert rest == []
 
     def test_parse_engine_flag_parallel(self):
         from repro.cli import _parse_engine_flag
-        (engine, workers, backend, opt_level, resilience,
+        (engine, workers, backend, opt_level, resilience, semiring,
          rest) = _parse_engine_flag(
             ["--engine", "parallel", "--workers", "4",
              "--parallel-backend=process", "--resilience", "f.bag"])
@@ -168,6 +171,8 @@ class TestEngineSelection:
             _parse_engine_flag(["--parallel-backend", "fiber"])
         with pytest.raises(ValueError):
             _parse_engine_flag(["--resilience=yes"])
+        with pytest.raises(ValueError):
+            _parse_engine_flag(["--semiring", "viterbi"])
 
     def test_main_accepts_engine_flag(self, tmp_path):
         from repro.cli import main

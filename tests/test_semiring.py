@@ -1,0 +1,439 @@
+"""The semiring-generalized multiplicity core.
+
+Five concerns, one file:
+
+* the algebraic contract of every shipped instance (axioms, natural
+  order, count codec round-trips);
+* cross-engine agreement — tree oracle, physical, codegen, and the
+  morsel-parallel executor must compute the same annotated bag under
+  every semiring, with the process backend exercising the CM02 shard
+  codec end to end;
+* the semiring-parameterized metamorphic law catalogue
+  (:func:`repro.testkit.metamorphic.laws_for_semiring`) on seeded
+  generated cases;
+* the A ≡ B tri-equivalence: Bool-engine, relational-algebra, and
+  delta-applied-to-bags backends agree on set semantics;
+* plumbing: plan-cache isolation by semiring tag, the ``:explain``
+  footer, CLI/REPL selection, and the N fast path's structural purity
+  (no ``_sr`` in emitted codegen source).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import random
+
+import pytest
+
+from repro.cli import Session
+from repro.core.bag import Bag, Tup
+from repro.core.eval import evaluate as tree_evaluate
+from repro.core.expr import (
+    AdditiveUnion, Dedup, Intersection, MaxUnion, Subtraction, var,
+)
+from repro.core.semiring import (
+    BOOL, NAT, PROVENANCE, TROPICAL, Prov, Trop,
+    known_semirings, resolve_semiring, semiring_name,
+)
+from repro.core.typecheck import infer_type
+from repro.engine import (
+    PlanCache, evaluate as engine_evaluate, explain_physical, plan_for,
+)
+from repro.engine.parallel.codec import decode_shard, encode_shard
+from repro.planner import PassConfig
+from repro.relational import deep_dedup
+from repro.testkit import Harness, generate_case
+from repro.testkit.differential import SET_BACKENDS, delta_commutes
+from repro.testkit.metamorphic import (
+    LAWS, check_laws, laws_for_semiring,
+)
+
+INSTANCES = (NAT, BOOL, TROPICAL, PROVENANCE)
+SPECS = ("nat", "bool", "tropical", "provenance")
+
+R = Bag({Tup("a", "b"): 3, Tup("c", "d"): 1})
+S = Bag({Tup("a", "b"): 1, Tup("e", "f"): 2})
+EXPR = AdditiveUnion(
+    Dedup(Subtraction(AdditiveUnion(var("R"), var("R")), var("S"))),
+    Intersection(var("S"), var("R")))
+DB = {"R": R, "S": S}
+
+
+def _samples(sr):
+    """A few domain values including zero and one."""
+    if sr is NAT:
+        return (0, 1, 2, 5)
+    if sr is BOOL:
+        return (0, 1)
+    if sr is TROPICAL:
+        return (sr.zero, sr.one, Trop(2.5), Trop(7.0))
+    return (sr.zero, sr.one, Prov({("x",): 2}),
+            Prov({("x",): 1, ("y", "y"): 3}))
+
+
+class TestAxioms:
+    @pytest.mark.parametrize("sr", INSTANCES, ids=lambda s: s.name)
+    def test_monoid_identities(self, sr):
+        for a in _samples(sr):
+            assert sr.add(a, sr.zero) == a
+            assert sr.add(sr.zero, a) == a
+            assert sr.mul(a, sr.one) == a
+            assert sr.mul(sr.one, a) == a
+            assert sr.mul(a, sr.zero) == sr.zero
+            assert sr.is_zero(sr.mul(a, sr.zero))
+
+    @pytest.mark.parametrize("sr", INSTANCES, ids=lambda s: s.name)
+    def test_commutativity_and_distributivity(self, sr):
+        values = _samples(sr)
+        for a in values:
+            for b in values:
+                assert sr.add(a, b) == sr.add(b, a)
+                assert sr.mul(a, b) == sr.mul(b, a)
+                for c in values:
+                    assert sr.mul(a, sr.add(b, c)) == \
+                        sr.add(sr.mul(a, b), sr.mul(a, c))
+
+    @pytest.mark.parametrize("sr", INSTANCES, ids=lambda s: s.name)
+    def test_monus_residuates_the_natural_order(self, sr):
+        values = _samples(sr)
+        for a in values:
+            assert sr.is_zero(sr.monus(a, a))
+            assert sr.monus(a, sr.zero) == a
+            for b in values:
+                # a <= b  iff  a monus b = 0 (natural order)
+                assert sr.leq(a, b) == sr.is_zero(sr.monus(a, b))
+
+    @pytest.mark.parametrize("sr", INSTANCES, ids=lambda s: s.name)
+    def test_idempotency_flag_matches_addition(self, sr):
+        for a in _samples(sr):
+            if sr.idempotent_add:
+                assert sr.add(a, a) == a
+            assert sr.scale(a, 2) == sr.add(a, a)
+
+    def test_from_int_collapses_under_idempotency(self):
+        assert BOOL.from_int(7) == BOOL.one
+        assert TROPICAL.from_int(7) == TROPICAL.one
+        assert PROVENANCE.from_int(7) == Prov.const(7)
+        assert NAT.from_int(7) == 7
+
+    @pytest.mark.parametrize("sr", INSTANCES, ids=lambda s: s.name)
+    def test_count_codec_round_trip(self, sr):
+        for a in _samples(sr):
+            assert sr.decode_count(sr.encode_count(a)) == a
+
+    @pytest.mark.parametrize("sr", (TROPICAL, PROVENANCE),
+                             ids=lambda s: s.name)
+    def test_annotations_pickle(self, sr):
+        for a in _samples(sr):
+            assert pickle.loads(pickle.dumps(a)) == a
+
+    @pytest.mark.parametrize("sr", (BOOL, TROPICAL, PROVENANCE),
+                             ids=lambda s: s.name)
+    def test_adapt_bag_is_idempotent(self, sr):
+        """A result bag re-entering as a binding (the REPL stores
+        evaluated bags in its environment) must not be re-annotated."""
+        adapted = sr.adapt_bag(R, "R")
+        assert sr.adapt_bag(adapted, "R") == adapted
+
+    @pytest.mark.parametrize("source, target", [
+        (TROPICAL, PROVENANCE), (PROVENANCE, TROPICAL),
+        (TROPICAL, BOOL), (PROVENANCE, BOOL),
+    ], ids=lambda s: getattr(s, "name", s))
+    def test_cross_domain_adaptation_is_governed(self, source, target):
+        """A bag annotated under one semiring fed to another must raise
+        the governed error family, not crash or silently reinterpret."""
+        from repro.core.errors import BagTypeError
+        foreign = source.adapt_bag(R, "R")
+        with pytest.raises(BagTypeError, match="another semiring"):
+            target.adapt_bag(foreign, "R")
+
+    def test_cross_domain_binding_survives_repl(self):
+        """The REPL sequence that stores a tropical-annotated binding
+        and re-uses it under provenance prints a governed error and the
+        session keeps going."""
+        out = io.StringIO()
+        session = Session(out=out)  # nat: B keeps plain int counts
+        session.handle("B = {{'a', 'a', 'b'}}")
+        session.handle(":semiring tropical")
+        session.handle("C = eps(B)")
+        session.handle(":semiring provenance")
+        session.handle("C (+) C")
+        assert "error:" in out.getvalue()
+        assert "another semiring" in out.getvalue()
+        # the session survives: an N-count binding still adapts fine
+        out.truncate(0), out.seek(0)
+        session.handle("B (+) B")
+        assert "error:" not in out.getvalue()
+
+
+class TestRegistry:
+    def test_known_semirings(self):
+        assert known_semirings() == SPECS
+
+    def test_nat_resolves_to_fast_path(self):
+        assert resolve_semiring(None) is None
+        assert resolve_semiring("nat") is None
+        assert semiring_name(None) == "nat"
+
+    def test_named_instances_resolve(self):
+        assert resolve_semiring("bool") is BOOL
+        assert resolve_semiring("tropical") is TROPICAL
+        assert resolve_semiring("provenance") is PROVENANCE
+        assert resolve_semiring(BOOL) is BOOL
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(Exception):
+            resolve_semiring("viterbi")
+
+
+class TestCrossEngineAgreement:
+    """Every engine computes the same annotated bag, per semiring."""
+
+    @pytest.mark.parametrize("spec", SPECS)
+    @pytest.mark.parametrize("engine",
+                             ("physical", "codegen", "parallel"))
+    def test_fixed_query(self, spec, engine):
+        expected = tree_evaluate(EXPR, DB, semiring=spec)
+        actual = engine_evaluate(
+            EXPR, DB, engine=engine, cache=None, semiring=spec)
+        assert actual == expected
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_seeded_generated_cases(self, spec):
+        for seed in range(103, 109):
+            case = generate_case(seed=seed, fragment="balg1", size=7)
+            expected = tree_evaluate(case.expr, case.database,
+                                     semiring=spec)
+            for engine in ("physical", "codegen"):
+                actual = engine_evaluate(
+                    case.expr, case.database, engine=engine,
+                    cache=None, powerset_budget=512, semiring=spec)
+                assert actual == expected, (seed, engine)
+
+    def test_nat_spec_is_bit_identical_to_default(self):
+        for seed in range(41, 45):
+            case = generate_case(seed=seed, fragment="balg1", size=7)
+            default = engine_evaluate(case.expr, case.database,
+                                      cache=None, powerset_budget=512)
+            tagged = engine_evaluate(case.expr, case.database,
+                                     cache=None, powerset_budget=512,
+                                     semiring="nat")
+            assert default == tagged
+
+
+class TestParallelSemiring:
+    """Forced multi-shard execution: shard merge and the CM02 codec."""
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_thread_backend_multi_shard(self, spec):
+        expected = tree_evaluate(EXPR, DB, semiring=spec)
+        actual = engine_evaluate(
+            EXPR, DB, engine="parallel", workers=2,
+            parallel_backend="thread", parallel_threshold=0,
+            min_morsel_rows=1, cache=None, semiring=spec)
+        assert actual == expected
+
+    @pytest.mark.parametrize("spec", ("tropical", "provenance"))
+    def test_process_backend_ships_annotations(self, spec):
+        expected = tree_evaluate(EXPR, DB, semiring=spec)
+        actual = engine_evaluate(
+            EXPR, DB, engine="parallel", workers=2,
+            parallel_backend="process", parallel_threshold=0,
+            min_morsel_rows=1, cache=None, semiring=spec)
+        assert actual == expected
+
+
+class TestShardCodec:
+    def test_int_shards_keep_the_varint_format(self):
+        blob = encode_shard({Tup("a", 1): 3, Tup("b", 2): 1})
+        assert blob[:4] == b"CM01"
+        assert decode_shard(blob) == {Tup("a", 1): 3, Tup("b", 2): 1}
+
+    @pytest.mark.parametrize(
+        "counts",
+        [{Tup("a",): Trop(2.0), Tup("b",): Trop(0.0)},
+         {Tup("a",): Prov({("x",): 2}), Tup("b",): Prov.const(1)}],
+        ids=("tropical", "provenance"))
+    def test_annotated_shards_use_v2_and_round_trip(self, counts):
+        blob = encode_shard(counts)
+        assert blob[:4] == b"CM02"
+        assert decode_shard(blob) == counts
+
+    def test_nested_bag_with_annotated_inner_counts(self):
+        inner = Bag({Tup("p",): Trop(1.5)})
+        counts = {Tup(inner, "tag"): Trop(0.5)}
+        blob = encode_shard(counts)
+        assert blob[:4] == b"CM02"
+        assert decode_shard(blob) == counts
+
+
+class TestMetamorphicLaws:
+    def test_nat_keeps_the_full_catalogue(self):
+        assert laws_for_semiring(None) is LAWS
+        assert laws_for_semiring(resolve_semiring("nat")) is LAWS
+
+    def test_gating_per_instance(self):
+        names = {sr.name: [n for n, _, _ in laws_for_semiring(sr)]
+                 for sr in (BOOL, TROPICAL, PROVENANCE)}
+        # Idempotent instances lose cancellation, gain idempotency.
+        assert "union-monus" not in names["bool"]
+        assert "union-monus" not in names["tropical"]
+        assert "union-monus" in names["provenance"]
+        assert "union-idempotent" in names["bool"]
+        assert "union-idempotent" in names["tropical"]
+        assert "union-idempotent" not in names["provenance"]
+        # Meet-via-monus fails only in Tropical.
+        assert "inter-via-monus" in names["bool"]
+        assert "inter-via-monus" not in names["tropical"]
+        # Counting laws are N-only.
+        for selected in names.values():
+            assert "derived-dedup" not in selected
+            assert "count-consistency" not in selected
+            # The universal core survives everywhere.
+            for core in ("dedup-idempotent", "delta-beta",
+                         "monus-self", "max-via-monus"):
+                assert core in selected
+
+    @pytest.mark.parametrize("spec",
+                             ("bool", "tropical", "provenance"))
+    def test_laws_hold_on_seeded_cases(self, spec):
+        sr = resolve_semiring(spec)
+        failures = []
+        for seed in range(211, 219):
+            case = generate_case(seed=seed, fragment="balg1", size=7)
+            typ = infer_type(case.expr, case.schema)
+
+            def run(e):
+                return tree_evaluate(e, case.database,
+                                     powerset_budget=512,
+                                     semiring=spec)
+
+            value = run(case.expr)
+            for res in check_laws(case, typ, value, run,
+                                  laws=laws_for_semiring(sr)):
+                if res.status == "failed":
+                    failures.append((seed, res.name, res.detail))
+        assert not failures
+
+    def test_union_idempotent_law_is_false_over_nat(self):
+        """The new law must never leak into the N catalogue: over N,
+        e (+) e doubles every multiplicity."""
+        assert all(name != "union-idempotent" for name, _, _ in LAWS)
+        doubled = tree_evaluate(AdditiveUnion(var("R"), var("R")),
+                                {"R": R})
+        assert doubled != R
+
+
+class TestTriEquivalence:
+    """A ≡ B on the engine: three independent set-semantics backends
+    (Bool-engine, relational algebra, delta-of-the-bag-result) agree
+    with each other on every case where delta commutes."""
+
+    def test_set_backends_registered(self):
+        assert SET_BACKENDS == {"engine-boolean", "ralg", "delta-bag"}
+
+    def test_fixed_query_three_ways(self):
+        bool_result = engine_evaluate(EXPR, DB, cache=None,
+                                      semiring="bool")
+        delta_result = deep_dedup(tree_evaluate(EXPR, DB))
+        assert bool_result == delta_result
+        assert all(count == 1 for _, count in bool_result.items())
+
+    def test_delta_commutes_gate(self):
+        assert delta_commutes(EXPR, DB) is False  # Subtraction
+        ok = AdditiveUnion(Dedup(var("R")),
+                           MaxUnion(var("R"), var("S")))
+        assert delta_commutes(ok, DB) is True
+
+    def test_seeded_harness_run_has_no_mismatches(self):
+        harness = Harness(
+            backends=("oracle", "engine-boolean", "ralg", "delta-bag"))
+        rng = random.Random(7)
+        reports = [harness.run_case(
+            generate_case(seed=rng.randrange(1 << 30),
+                          fragment="balg1", size=7))
+            for _ in range(25)]
+        mismatches = [m for report in reports
+                      for m in report.mismatches]
+        assert mismatches == []
+
+
+class TestPlannerPlumbing:
+    def test_cache_tag_includes_semiring(self):
+        nat_tag = PassConfig.for_level(2).cache_tag()
+        bool_tag = PassConfig.for_level(2, semiring="bool").cache_tag()
+        assert nat_tag != bool_tag
+
+    def test_plan_cache_isolation(self):
+        """N and Bool plans for one expression live under distinct
+        keys: planning both must never hit across the boundary."""
+        cache = PlanCache()
+        plan_for(EXPR, DB, cache=cache)
+        misses = cache.stats.misses
+        plan_for(EXPR, DB, cache=cache, semiring="bool")
+        assert cache.stats.misses == misses + 1
+        hits = cache.stats.hits
+        plan_for(EXPR, DB, cache=cache, semiring="bool")
+        assert cache.stats.hits == hits + 1
+
+    def test_explain_footer(self):
+        text = explain_physical(EXPR, DB, semiring="tropical")
+        assert "-- semiring --" in text
+        assert "tropical" in text
+        assert "generic" in text
+        nat_text = explain_physical(EXPR, DB, semiring="nat")
+        assert "-- semiring --" in nat_text
+        assert "fused-int" in nat_text
+        plain = explain_physical(EXPR, DB)
+        assert "-- semiring --" not in plain
+
+    def test_codegen_nat_source_has_no_semiring_argument(self):
+        """The N fast path is structural: default-planned codegen
+        source must not mention the semiring parameter at all."""
+        plan = plan_for(EXPR, DB, engine="codegen")
+        source = "".join(s.source for s in plan.segments)
+        assert plan.segments
+        assert "_sr" not in source
+
+    def test_codegen_generic_source_threads_semiring(self):
+        plan = plan_for(EXPR, DB, engine="codegen",
+                        semiring="provenance")
+        source = "".join(s.source for s in plan.segments)
+        assert "_sr" in source
+
+
+class TestCli:
+    def _session(self, **kwargs):
+        out = io.StringIO()
+        return Session(out=out, **kwargs), out
+
+    def test_semiring_command_shows_and_sets(self):
+        session, out = self._session()
+        session.handle(":semiring")
+        assert "semiring = nat" in out.getvalue()
+        session.handle(":semiring bool")
+        session.handle("{{'x'}} (+) {{'x'}}")
+        assert "'x'*2" not in out.getvalue()
+        session.handle(":semiring nat")
+        session.handle("{{'x'}} (+) {{'x'}}")
+        assert "'x'*2" in out.getvalue()
+
+    def test_semiring_command_rejects_unknown(self):
+        session, out = self._session()
+        session.handle(":semiring viterbi")
+        assert "unknown semiring" in out.getvalue()
+        assert session.semiring == "nat"
+
+    def test_session_semiring_argument(self):
+        session, out = self._session(semiring="bool")
+        assert session.semiring == "bool"
+        session.handle("{{'x'}} (+) {{'x'}}")
+        assert "'x'*2" not in out.getvalue()
+
+    def test_explain_carries_the_session_semiring(self):
+        session, out = self._session(semiring="tropical")
+        session.handle("B = {{'x', 'x'}}")
+        session.handle(":explain eps(B)")
+        assert "-- semiring --" in out.getvalue()
+        assert "tropical" in out.getvalue()

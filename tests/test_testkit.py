@@ -263,8 +263,8 @@ class TestHarness:
         # a fake backend disagreement via a broken kernel, one case
         original = kernels.k_monus
 
-        def broken(left, right):
-            for value, count in original(left, right):
+        def broken(left, right, sr=None):
+            for value, count in original(left, right, sr):
                 yield value, count + 1
 
         # Subtraction drives monus; the mutant inflates every count
@@ -400,7 +400,7 @@ class TestFuzzCli:
         from repro.testkit.cli import main
         original = kernels.k_monus
 
-        def broken(left, right):
+        def broken(left, right, sr=None):
             get = right.get
             for value, count in left.items():
                 remaining = count - get(value, 0)
